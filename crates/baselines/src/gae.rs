@@ -1,0 +1,544 @@
+//! GAE-family baselines: DOMINANT, GCNAE, AnomalyDAE, AdONE, GAD-NR,
+//! ADA-GAD.
+//!
+//! All are full-batch GCN autoencoders on the union graph, each keeping its
+//! paper's signature mechanism (see module docs per struct).
+
+use std::rc::Rc;
+
+use umgad_graph::{negative_endpoints, sample_indices, MultiplexGraph, RelationLayer};
+use umgad_nn::{Activation, Gcn, Gmae, GmaeConfig};
+use umgad_tensor::{cosine, Adam, Matrix, SpPair, Tape};
+
+use crate::common::{
+    mix_errors, neighbor_mean, row_errors, sample_edges, union_view, BaselineConfig, Category,
+    Detector,
+};
+
+/// Train a GCN attribute autoencoder and return its final reconstruction.
+pub(crate) fn train_attr_ae(
+    dims: &[usize],
+    pair: &SpPair,
+    x: &Matrix,
+    cfg: &BaselineConfig,
+    salt: u64,
+) -> Matrix {
+    let mut rng = cfg.rng(salt);
+    let mut ae = Gcn::new(dims, Activation::Relu, Activation::None, &mut rng);
+    let target = Rc::new(x.clone());
+    let opt = Adam { lr: cfg.lr, weight_decay: cfg.weight_decay, ..Adam::default() };
+    let mut recon = x.clone();
+    for _ in 0..cfg.epochs {
+        let mut tape = Tape::new();
+        let bound = ae.bind(&mut tape);
+        let xv = tape.constant(x.clone());
+        let y = ae.forward(&mut tape, &bound, pair, xv);
+        let loss = tape.mse_loss(y, Rc::clone(&target));
+        tape.backward(loss);
+        ae.update(&tape, &bound, &opt);
+        recon = tape.value(y).clone();
+    }
+    recon
+}
+
+/// Structure scores from an embedding via the shared Eq.-19 machinery.
+fn structure_scores(z: &Matrix, layer: &RelationLayer, cfg: &BaselineConfig) -> Vec<f64> {
+    let mut zn = z.clone();
+    for i in 0..zn.rows() {
+        let n = zn.row_norm(i);
+        if n > 1e-12 {
+            for v in zn.row_mut(i) {
+                *v /= n;
+            }
+        }
+    }
+    umgad_core::structure_errors_layer(&zn, layer, 0, &cfg.score_opts())
+}
+
+/// **DOMINANT** [SDM'19-era arXiv] — the canonical deep GAE detector: a GCN
+/// encoder with *dual decoders*, one reconstructing attributes and one
+/// reconstructing structure (`σ(Z Zᵀ)`), scores mixing both errors.
+pub struct Dominant {
+    cfg: BaselineConfig,
+}
+
+impl Dominant {
+    /// Standard configuration.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Detector for Dominant {
+    fn name(&self) -> &'static str {
+        "DOMINANT"
+    }
+
+    fn category(&self) -> Category {
+        Category::Gae
+    }
+
+    fn fit_scores(&mut self, graph: &MultiplexGraph) -> Vec<f64> {
+        let (layer, pair) = union_view(graph);
+        let f = graph.attr_dim();
+        let x = graph.attrs();
+        let mut rng = self.cfg.rng(0xd0);
+        // Shared encoder; attribute decoder; structure head uses the
+        // embedding itself (link prediction on sampled edges).
+        let mut enc = Gcn::new(&[f, self.cfg.hidden], Activation::Relu, Activation::Relu, &mut rng);
+        let mut dec = Gcn::new(&[self.cfg.hidden, f], Activation::None, Activation::None, &mut rng);
+        let target = Rc::new((**x).clone());
+        let opt = Adam { lr: self.cfg.lr, weight_decay: self.cfg.weight_decay, ..Adam::default() };
+        let mut emb = Matrix::zeros(graph.num_nodes(), self.cfg.hidden);
+        let mut recon = (**x).clone();
+        for _ in 0..self.cfg.epochs {
+            let mut tape = Tape::new();
+            let be = enc.bind(&mut tape);
+            let bd = dec.bind(&mut tape);
+            let xv = tape.constant((**x).clone());
+            let z = enc.forward(&mut tape, &be, &pair, xv);
+            let xhat = dec.forward(&mut tape, &bd, &pair, z);
+            let attr_loss = tape.mse_loss(xhat, Rc::clone(&target));
+            // Structure loss: predict sampled observed edges against
+            // sampled negatives.
+            let pos = sample_edges(&layer, self.cfg.edge_samples, &mut rng);
+            let loss = if pos.is_empty() {
+                attr_loss
+            } else {
+                let negs =
+                    Rc::new(negative_endpoints(&layer, &pos, self.cfg.negatives, &mut rng));
+                let zn = tape.row_normalize(z);
+                let sl = tape.edge_nce_loss(zn, Rc::new(pos), negs, self.cfg.negatives);
+                let a = tape.scale(attr_loss, self.cfg.alpha);
+                let s = tape.scale(sl, 1.0 - self.cfg.alpha);
+                tape.add(a, s)
+            };
+            tape.backward(loss);
+            enc.update(&tape, &be, &opt);
+            dec.update(&tape, &bd, &opt);
+            emb = tape.value(z).clone();
+            recon = tape.value(xhat).clone();
+        }
+        let attr_err = row_errors(&recon, x);
+        let struct_err = structure_scores(&emb, &layer, &self.cfg);
+        mix_errors(attr_err, struct_err, self.cfg.alpha)
+    }
+}
+
+/// **GCNAE** [SDM'19 / VGAE] — a plain GCN autoencoder scoring by attribute
+/// reconstruction error alone (the weakest GAE, as in the paper's tables).
+pub struct GcnAe {
+    cfg: BaselineConfig,
+}
+
+impl GcnAe {
+    /// Standard configuration.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Detector for GcnAe {
+    fn name(&self) -> &'static str {
+        "GCNAE"
+    }
+
+    fn category(&self) -> Category {
+        Category::Gae
+    }
+
+    fn fit_scores(&mut self, graph: &MultiplexGraph) -> Vec<f64> {
+        let (_, pair) = union_view(graph);
+        let f = graph.attr_dim();
+        let recon =
+            train_attr_ae(&[f, self.cfg.hidden, f], &pair, graph.attrs(), &self.cfg, 0x6c);
+        row_errors(&recon, graph.attrs())
+    }
+}
+
+/// **AnomalyDAE** [ICASSP'20] — dual autoencoders: a *structure* AE working
+/// from the neighbourhood signal and an *attribute* AE working from raw
+/// attributes, with cross-reconstruction. Here: the structure AE encodes the
+/// neighbour-mean features (the aggregated structural signal), the attribute
+/// AE encodes raw features without propagation (0-hop), and both errors mix.
+pub struct AnomalyDae {
+    cfg: BaselineConfig,
+}
+
+impl AnomalyDae {
+    /// Standard configuration.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Detector for AnomalyDae {
+    fn name(&self) -> &'static str {
+        "AnomalyDAE"
+    }
+
+    fn category(&self) -> Category {
+        Category::Gae
+    }
+
+    fn fit_scores(&mut self, graph: &MultiplexGraph) -> Vec<f64> {
+        let (layer, pair) = union_view(graph);
+        let f = graph.attr_dim();
+        // Structure stream: GCN embedding trained by link prediction; the
+        // decoder σ(Z Zᵀ) is scored against the adjacency (as published).
+        let z = train_link_embedding(&layer, &pair, graph, &self.cfg, 0xa1);
+        let s_err = structure_scores(&z, &layer, &self.cfg);
+        // Attribute stream: 0-hop (pure MLP-style) autoencoder.
+        let mut rng = self.cfg.rng(0xa2);
+        let mut enc = umgad_nn::SgcStack::new(f, self.cfg.hidden, 0, Activation::Relu, &mut rng);
+        let mut dec = umgad_nn::SgcStack::new(self.cfg.hidden, f, 0, Activation::None, &mut rng);
+        let target = Rc::new((**graph.attrs()).clone());
+        let opt = Adam { lr: self.cfg.lr, weight_decay: self.cfg.weight_decay, ..Adam::default() };
+        let mut attr_recon = (**graph.attrs()).clone();
+        for _ in 0..self.cfg.epochs {
+            let mut tape = Tape::new();
+            let be = enc.bind(&mut tape);
+            let bd = dec.bind(&mut tape);
+            let xv = tape.constant((**graph.attrs()).clone());
+            let z = enc.forward(&mut tape, &be, &pair, xv);
+            let y = dec.forward(&mut tape, &bd, &pair, z);
+            let loss = tape.mse_loss(y, Rc::clone(&target));
+            tape.backward(loss);
+            enc.update(&tape, &be, &opt);
+            dec.update(&tape, &bd, &opt);
+            attr_recon = tape.value(y).clone();
+        }
+        let a_err = row_errors(&attr_recon, graph.attrs());
+        mix_errors(a_err, s_err, self.cfg.alpha)
+    }
+}
+
+/// Train a GCN embedding by negative-sampled link prediction and return it.
+pub(crate) fn train_link_embedding(
+    layer: &RelationLayer,
+    pair: &SpPair,
+    graph: &MultiplexGraph,
+    cfg: &BaselineConfig,
+    salt: u64,
+) -> Matrix {
+    let f = graph.attr_dim();
+    let mut rng = cfg.rng(salt);
+    let mut enc = Gcn::new(&[f, cfg.hidden], Activation::Relu, Activation::Relu, &mut rng);
+    let opt = Adam { lr: cfg.lr, weight_decay: cfg.weight_decay, ..Adam::default() };
+    let mut emb = Matrix::zeros(graph.num_nodes(), cfg.hidden);
+    for _ in 0..cfg.epochs {
+        let mut tape = Tape::new();
+        let be = enc.bind(&mut tape);
+        let xv = tape.constant((**graph.attrs()).clone());
+        let z = enc.forward(&mut tape, &be, pair, xv);
+        let pos = sample_edges(layer, cfg.edge_samples, &mut rng);
+        if pos.is_empty() {
+            emb = tape.value(z).clone();
+            break;
+        }
+        let negs = Rc::new(negative_endpoints(layer, &pos, cfg.negatives, &mut rng));
+        let zn = tape.row_normalize(z);
+        let loss = tape.edge_nce_loss(zn, Rc::new(pos), negs, cfg.negatives);
+        tape.backward(loss);
+        enc.update(&tape, &be, &opt);
+        emb = tape.value(z).clone();
+    }
+    emb
+}
+
+/// **AdONE** [WSDM'20] — adversarially regularised separate structure and
+/// attribute embeddings. Simplified to its core: two autoencoders (structure
+/// from the propagated signal, attributes raw) plus an *alignment* error —
+/// nodes whose two embeddings disagree are outliers; adversarial weighting
+/// is replaced by the alignment term directly.
+pub struct AdOne {
+    cfg: BaselineConfig,
+}
+
+impl AdOne {
+    /// Standard configuration.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Detector for AdOne {
+    fn name(&self) -> &'static str {
+        "AdONE"
+    }
+
+    fn category(&self) -> Category {
+        Category::Gae
+    }
+
+    fn fit_scores(&mut self, graph: &MultiplexGraph) -> Vec<f64> {
+        let (layer, pair) = union_view(graph);
+        let f = graph.attr_dim();
+        // Structure embedding from link prediction; attribute embedding from
+        // a plain GCN autoencoder. Their *disagreement* is AdONE's outlier
+        // signal; both reconstruction errors join the mix.
+        let z_struct = train_link_embedding(&layer, &pair, graph, &self.cfg, 0xad1);
+        let a_recon =
+            train_attr_ae(&[f, self.cfg.hidden, f], &pair, graph.attrs(), &self.cfg, 0xad2);
+        let s_err = structure_scores(&z_struct, &layer, &self.cfg);
+        let a_err = row_errors(&a_recon, graph.attrs());
+        // Alignment disagreement: do the two streams place the node in the
+        // same region? Compare neighbourhood ranks via the cosine between
+        // the structure embedding and the attribute reconstruction projected
+        // through their neighbourhood means.
+        let n = graph.num_nodes();
+        let s_ctx = neighbor_mean(&layer, &z_struct);
+        let a_ctx = neighbor_mean(&layer, &a_recon);
+        let align: Vec<f64> = (0..n)
+            .map(|i| {
+                let s = cosine(z_struct.row(i), s_ctx.row(i));
+                let a = cosine(a_recon.row(i), a_ctx.row(i));
+                (s - a).abs()
+            })
+            .collect();
+        let base = mix_errors(a_err, s_err, 0.5);
+        mix_errors(base, align, 0.7)
+    }
+}
+
+/// **GAD-NR** [WSDM'24] — neighbourhood reconstruction: decode, from each
+/// node's embedding, (a) its own attributes, (b) its degree, (c) its
+/// neighbourhood attribute distribution (mean). Scores sum the three errors;
+/// anomalies fail at (c) even when (a) is camouflaged.
+pub struct GadNr {
+    cfg: BaselineConfig,
+}
+
+impl GadNr {
+    /// Standard configuration.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl Detector for GadNr {
+    fn name(&self) -> &'static str {
+        "GAD-NR"
+    }
+
+    fn category(&self) -> Category {
+        Category::Gae
+    }
+
+    fn fit_scores(&mut self, graph: &MultiplexGraph) -> Vec<f64> {
+        let (layer, pair) = union_view(graph);
+        let f = graph.attr_dim();
+        let n = graph.num_nodes();
+        // Target: [self attrs | neighbour mean | log degree].
+        let nbr = neighbor_mean(&layer, graph.attrs());
+        let mut target = Matrix::zeros(n, 2 * f + 1);
+        for i in 0..n {
+            let dst = target.row_mut(i);
+            dst[..f].copy_from_slice(graph.attrs().row(i));
+            dst[f..2 * f].copy_from_slice(nbr.row(i));
+            dst[2 * f] = ((layer.degree(i) + 1) as f64).ln();
+        }
+        let mut rng = self.cfg.rng(0x6ad);
+        let mut enc = Gcn::new(
+            &[f, self.cfg.hidden],
+            Activation::Relu,
+            Activation::Relu,
+            &mut rng,
+        );
+        let mut dec = umgad_nn::SgcStack::new(
+            self.cfg.hidden,
+            2 * f + 1,
+            0,
+            Activation::None,
+            &mut rng,
+        );
+        let target_rc = Rc::new(target.clone());
+        let opt = Adam { lr: self.cfg.lr, weight_decay: self.cfg.weight_decay, ..Adam::default() };
+        let mut recon = target.clone();
+        for _ in 0..self.cfg.epochs {
+            let mut tape = Tape::new();
+            let be = enc.bind(&mut tape);
+            let bd = dec.bind(&mut tape);
+            let xv = tape.constant((**graph.attrs()).clone());
+            let z = enc.forward(&mut tape, &be, &pair, xv);
+            let y = dec.forward(&mut tape, &bd, &pair, z);
+            let loss = tape.mse_loss(y, Rc::clone(&target_rc));
+            tape.backward(loss);
+            enc.update(&tape, &be, &opt);
+            dec.update(&tape, &bd, &opt);
+            recon = tape.value(y).clone();
+        }
+        row_errors(&recon, &target)
+    }
+}
+
+/// **ADA-GAD** [AAAI'24] — anomaly-denoised two-stage autoencoding:
+/// stage 1 pre-trains a graph-masked AE on a *denoised* graph (lowest-
+/// affinity edges dropped, highest-deviation attributes suspect), stage 2
+/// retrains the decoder on the original graph. Anomalies absent from the
+/// pre-training distribution reconstruct poorly in stage 2.
+pub struct AdaGad {
+    cfg: BaselineConfig,
+    /// Fraction of lowest-affinity edges dropped for stage 1.
+    pub denoise_cut: f64,
+}
+
+impl AdaGad {
+    /// Standard configuration.
+    pub fn new(cfg: BaselineConfig) -> Self {
+        Self { cfg, denoise_cut: 0.15 }
+    }
+}
+
+impl Detector for AdaGad {
+    fn name(&self) -> &'static str {
+        "ADA-GAD"
+    }
+
+    fn category(&self) -> Category {
+        Category::Gae
+    }
+
+    fn fit_scores(&mut self, graph: &MultiplexGraph) -> Vec<f64> {
+        let (layer, pair) = union_view(graph);
+        let n = graph.num_nodes();
+        let f = graph.attr_dim();
+        let x = graph.attrs();
+        // Denoise: drop lowest-affinity edges.
+        let mut aff: Vec<(f64, usize)> = layer
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v))| (cosine(x.row(u as usize), x.row(v as usize)), e))
+            .collect();
+        aff.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let cut = (aff.len() as f64 * self.denoise_cut) as usize;
+        let keep: Vec<(u32, u32)> = aff[cut..].iter().map(|&(_, e)| layer.edges()[e]).collect();
+        let denoised = RelationLayer::new("denoised", n, keep);
+        let dn_pair = denoised.norm_pair();
+
+        // Stage 1: GMAE pre-training on the denoised graph.
+        let mut rng = self.cfg.rng(0xada);
+        let gmae_cfg = GmaeConfig {
+            in_dim: f,
+            hidden: self.cfg.hidden,
+            enc_hops: 1,
+            dec_hops: 1,
+            act: Activation::Elu,
+            with_token: true,
+        };
+        let mut gmae = Gmae::new(&gmae_cfg, &mut rng);
+        let target = Rc::new((**x).clone());
+        let opt = Adam { lr: self.cfg.lr, weight_decay: self.cfg.weight_decay, ..Adam::default() };
+        for _ in 0..self.cfg.epochs {
+            let mut tape = Tape::new();
+            let bound = gmae.bind(&mut tape);
+            let xv = tape.constant((**x).clone());
+            let idx = Rc::new(sample_indices(n, 0.2, &mut rng));
+            let out = gmae.forward_attr_masked(&mut tape, &bound, &dn_pair, xv, Rc::clone(&idx));
+            let loss = tape.scaled_cosine_loss(out.recon, Rc::clone(&target), idx, 2.0);
+            tape.backward(loss);
+            gmae.update(&tape, &bound, &opt);
+        }
+        // Stage 2: retrain the decoder on the ORIGINAL graph (encoder
+        // frozen by only updating the decoder).
+        for _ in 0..self.cfg.epochs {
+            let mut tape = Tape::new();
+            let bound = gmae.bind(&mut tape);
+            let xv = tape.constant((**x).clone());
+            let out = gmae.forward(&mut tape, &bound, &pair, xv);
+            let loss = tape.mse_loss(out.recon, Rc::clone(&target));
+            tape.backward(loss);
+            // Stage 2 freezes the pre-trained encoder: decoder-only update.
+            gmae.update_decoder(&tape, &bound, &opt);
+        }
+        let (z, recon) = gmae.infer(pair.fwd.as_ref(), x);
+        let attr_err = row_errors(&recon, x);
+        let struct_err = structure_scores(&z, &layer, &self.cfg);
+        mix_errors(attr_err, struct_err, self.cfg.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Detector;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn planted() -> MultiplexGraph {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 90;
+        let comm = |i: usize| i / 30;
+        let mut attrs = Matrix::from_fn(n, 6, |i, j| {
+            if comm(i) == j % 3 {
+                1.0 + 0.1 * ((i * j) % 3) as f64
+            } else {
+                0.0
+            }
+        });
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for _ in 0..3 {
+                let j = comm(i) * 30 + rng.gen_range(0..30);
+                if i != j {
+                    edges.push((i.min(j) as u32, i.max(j) as u32));
+                }
+            }
+        }
+        let clique = [0usize, 31, 61, 15, 45];
+        for (a, &u) in clique.iter().enumerate() {
+            for &v in &clique[a + 1..] {
+                edges.push((u.min(v) as u32, u.max(v) as u32));
+            }
+        }
+        attrs.set_row(70, &[5.0, -5.0, 5.0, -5.0, 5.0, -5.0]);
+        attrs.set_row(20, &[-4.0, 4.0, -4.0, 4.0, -4.0, 4.0]);
+        let mut labels = vec![false; n];
+        for &c in &clique {
+            labels[c] = true;
+        }
+        labels[70] = true;
+        labels[20] = true;
+        MultiplexGraph::new(attrs, vec![RelationLayer::new("r", n, edges)], Some(labels))
+    }
+
+    fn check(det: &mut dyn Detector, min_auc: f64) {
+        let g = planted();
+        let scores = det.fit_scores(&g);
+        assert_eq!(scores.len(), g.num_nodes());
+        assert!(scores.iter().all(|s| s.is_finite()), "{}", det.name());
+        let auc = umgad_core::roc_auc(&scores, g.labels().unwrap());
+        assert!(auc > min_auc, "{} AUC {auc} < {min_auc}", det.name());
+    }
+
+    #[test]
+    fn dominant_detects() {
+        check(&mut Dominant::new(BaselineConfig::fast_test()), 0.6);
+    }
+
+    #[test]
+    fn gcnae_detects() {
+        check(&mut GcnAe::new(BaselineConfig::fast_test()), 0.55);
+    }
+
+    #[test]
+    fn anomalydae_detects() {
+        check(&mut AnomalyDae::new(BaselineConfig::fast_test()), 0.55);
+    }
+
+    #[test]
+    fn adone_detects() {
+        check(&mut AdOne::new(BaselineConfig::fast_test()), 0.55);
+    }
+
+    #[test]
+    fn gadnr_detects() {
+        check(&mut GadNr::new(BaselineConfig::fast_test()), 0.6);
+    }
+
+    #[test]
+    fn adagad_detects() {
+        check(&mut AdaGad::new(BaselineConfig::fast_test()), 0.6);
+    }
+}

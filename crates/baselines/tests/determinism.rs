@@ -1,0 +1,81 @@
+//! Baseline-suite invariants: determinism given a seed, seed sensitivity,
+//! category coverage, and output sanity on awkward graphs.
+
+use umgad_baselines::{registry, BaselineConfig, Category};
+use umgad_data::{Dataset, DatasetKind, Scale};
+use umgad_graph::{MultiplexGraph, RelationLayer};
+use umgad_tensor::Matrix;
+
+fn dataset() -> Dataset {
+    Dataset::generate(DatasetKind::Retail, Scale::Custom(1.0 / 64.0), 5)
+}
+
+#[test]
+fn every_baseline_is_deterministic_given_seed() {
+    let data = dataset();
+    let cfg = BaselineConfig { epochs: 2, hidden: 8, seed: 3, ..BaselineConfig::default() };
+    let runs1: Vec<(String, Vec<f64>)> = registry(cfg)
+        .into_iter()
+        .map(|mut d| (d.name().to_string(), d.fit_scores(&data.graph)))
+        .collect();
+    let runs2: Vec<(String, Vec<f64>)> = registry(cfg)
+        .into_iter()
+        .map(|mut d| (d.name().to_string(), d.fit_scores(&data.graph)))
+        .collect();
+    for ((n1, s1), (n2, s2)) in runs1.iter().zip(&runs2) {
+        assert_eq!(n1, n2);
+        assert_eq!(s1, s2, "{n1} is not deterministic");
+    }
+}
+
+#[test]
+fn trained_baselines_respond_to_seed() {
+    // Learning-based detectors must differ across seeds (init changes);
+    // closed-form ones (Radar, PREM, RAND, TAM) legitimately do not.
+    let data = dataset();
+    let deterministic_by_design = ["Radar", "PREM", "RAND", "TAM"];
+    let a = registry(BaselineConfig { epochs: 2, hidden: 8, seed: 1, ..BaselineConfig::default() });
+    let b = registry(BaselineConfig { epochs: 2, hidden: 8, seed: 2, ..BaselineConfig::default() });
+    for (mut d1, mut d2) in a.into_iter().zip(b) {
+        let name = d1.name().to_string();
+        let s1 = d1.fit_scores(&data.graph);
+        let s2 = d2.fit_scores(&data.graph);
+        if deterministic_by_design.contains(&name.as_str()) {
+            assert_eq!(s1, s2, "{name} should ignore the seed");
+        } else {
+            assert_ne!(s1, s2, "{name} should depend on the seed");
+        }
+    }
+}
+
+#[test]
+fn all_five_categories_represented() {
+    let cats: std::collections::HashSet<_> = registry(BaselineConfig::fast_test())
+        .iter()
+        .map(|d| d.category().label())
+        .collect();
+    for want in ["Trad.", "MPI", "CL", "GAE", "MV"] {
+        assert!(cats.contains(want), "missing category {want}");
+    }
+    assert_eq!(Category::Traditional.label(), "Trad.");
+}
+
+#[test]
+fn baselines_survive_single_relation_star_graph() {
+    // A star graph is the degenerate case for neighbourhood statistics
+    // (hub with n-1 neighbours, leaves with 1).
+    let n = 60;
+    let attrs = Matrix::from_fn(n, 4, |i, j| ((i + j) % 5) as f64 / 4.0);
+    let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+    let g = MultiplexGraph::new(
+        attrs,
+        vec![RelationLayer::new("star", n, edges)],
+        Some((0..n).map(|i| i == 0).collect()),
+    );
+    let cfg = BaselineConfig { epochs: 2, hidden: 8, seed: 1, ..BaselineConfig::default() };
+    for mut det in registry(cfg) {
+        let s = det.fit_scores(&g);
+        assert_eq!(s.len(), n, "{}", det.name());
+        assert!(s.iter().all(|v| v.is_finite()), "{} non-finite on star", det.name());
+    }
+}

@@ -1,0 +1,94 @@
+//! Micro-benchmarks for the substrate kernels: sparse-dense matmul, dense
+//! matmul, RWR sampling, threshold selection, AUC, and a full autograd
+//! GMAE step. These back the design notes in DESIGN.md §5.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+use umgad_core::select_threshold;
+use umgad_data::{Dataset, DatasetKind, Scale};
+use umgad_nn::{Gmae, GmaeConfig};
+use umgad_tensor::{Adam, Matrix, Tape};
+
+fn bench_spmm(c: &mut Criterion) {
+    let data = Dataset::generate(DatasetKind::Alibaba, Scale::Tiny, 1);
+    let layer = data.graph.layer(0);
+    let x = Matrix::from_fn(data.graph.num_nodes(), 32, |i, j| ((i + j) % 7) as f64 / 7.0);
+    c.bench_function("spmm_alibaba_tiny_f32dim", |b| {
+        b.iter(|| black_box(layer.normalized().spmm(&x)))
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [128usize, 512] {
+        let a = Matrix::from_fn(n, 32, |i, j| ((i * 3 + j) % 11) as f64 / 11.0);
+        let w = Matrix::from_fn(32, 32, |i, j| ((i + 2 * j) % 5) as f64 / 5.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(a.matmul(&w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rwr(c: &mut Criterion) {
+    let data = Dataset::generate(DatasetKind::Retail, Scale::Tiny, 2);
+    let layer = data.graph.layer(0);
+    c.bench_function("rwr_sample_size16", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| {
+            let seed = rng.gen_range(0..layer.num_nodes());
+            black_box(umgad_graph::rwr_sample(layer, seed, 16, 0.3, &mut rng))
+        })
+    });
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let scores: Vec<f64> = (0..50_000)
+        .map(|i| if i < 500 { 5.0 + rng.gen::<f64>() } else { rng.gen::<f64>() })
+        .collect();
+    c.bench_function("threshold_select_50k", |b| {
+        b.iter(|| black_box(select_threshold(&scores)))
+    });
+}
+
+fn bench_auc(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let scores: Vec<f64> = (0..50_000).map(|_| rng.gen()).collect();
+    let labels: Vec<bool> = (0..50_000).map(|i| i % 50 == 0).collect();
+    c.bench_function("roc_auc_50k", |b| {
+        b.iter(|| black_box(umgad_core::roc_auc(&scores, &labels)))
+    });
+}
+
+fn bench_gmae_step(c: &mut Criterion) {
+    let data = Dataset::generate(DatasetKind::Alibaba, Scale::Tiny, 6);
+    let g = &data.graph;
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut gmae = Gmae::new(&GmaeConfig::paper_injected(g.attr_dim(), 32), &mut rng);
+    let pair = g.layer(0).norm_pair();
+    let x = Rc::new((**g.attrs()).clone());
+    let opt = Adam::with_lr(1e-3);
+    c.bench_function("gmae_train_step", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let bound = gmae.bind(&mut tape);
+            let xv = tape.constant((*x).clone());
+            let idx = Rc::new(umgad_graph::sample_indices(g.num_nodes(), 0.2, &mut rng));
+            let out = gmae.forward_attr_masked(&mut tape, &bound, &pair, xv, Rc::clone(&idx));
+            let loss = tape.scaled_cosine_loss(out.recon, Rc::clone(&x), idx, 2.0);
+            tape.backward(loss);
+            gmae.update(&tape, &bound, &opt);
+            black_box(tape.value(loss).get(0, 0))
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spmm, bench_matmul, bench_rwr, bench_threshold, bench_auc, bench_gmae_step
+}
+criterion_main!(micro);

@@ -1,0 +1,97 @@
+//! Fig. 6(a/b) companion: Criterion measurements of per-epoch training
+//! time for UMGAD and the top baselines on the Tiny-scale datasets, plus
+//! the `share_repeats`-style ablation of per-(r,k) weights (DESIGN.md §5:
+//! per-repeat weight matrices vs a single repeat).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use umgad_baselines::BaselineConfig;
+use umgad_core::{Umgad, UmgadConfig};
+use umgad_data::{Dataset, DatasetKind, Scale};
+
+fn umgad_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("umgad_epoch");
+    for kind in [DatasetKind::Retail, DatasetKind::Amazon] {
+        let data = Dataset::generate(kind, Scale::Tiny, 11);
+        let mut cfg = if kind.injected() {
+            UmgadConfig::paper_injected()
+        } else {
+            UmgadConfig::paper_real()
+        };
+        cfg.epochs = 1;
+        let mut model = Umgad::new(&data.graph, cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| black_box(model.train_epoch(&data.graph).total))
+        });
+    }
+    group.finish();
+}
+
+fn umgad_repeats_ablation(c: &mut Criterion) {
+    // K = 1 vs K = 2 masking repeats: cost scales with K while the extra
+    // repeats buy score stability (DESIGN.md §5).
+    let data = Dataset::generate(DatasetKind::Alibaba, Scale::Tiny, 12);
+    let mut group = c.benchmark_group("umgad_repeats");
+    for k in [1usize, 2] {
+        let mut cfg = UmgadConfig::paper_injected();
+        cfg.repeats = k;
+        cfg.epochs = 1;
+        let mut model = Umgad::new(&data.graph, cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(model.train_epoch(&data.graph).total))
+        });
+    }
+    group.finish();
+}
+
+fn baseline_fit(c: &mut Criterion) {
+    let data = Dataset::generate(DatasetKind::Retail, Scale::Tiny, 13);
+    let cfg = BaselineConfig { epochs: 5, ..BaselineConfig::default() };
+    let mut group = c.benchmark_group("baseline_fit_5epochs");
+    group.sample_size(10);
+    for name in ["TAM", "ADA-GAD", "GADAM", "AnomMAN"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &which| {
+            b.iter(|| {
+                let mut det: Box<dyn umgad_baselines::Detector> = match which {
+                    "TAM" => Box::new(umgad_baselines::Tam::new(cfg)),
+                    "ADA-GAD" => Box::new(umgad_baselines::AdaGad::new(cfg)),
+                    "GADAM" => Box::new(umgad_baselines::Gadam::new(cfg)),
+                    _ => Box::new(umgad_baselines::AnomMan::new(cfg)),
+                };
+                black_box(det.fit_scores(&data.graph))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn scoring_paths(c: &mut Criterion) {
+    // Dense vs sampled structure-error paths in Eq. 19 (DESIGN.md §5).
+    let data = Dataset::generate(DatasetKind::Alibaba, Scale::Tiny, 14);
+    let mut cfg = UmgadConfig::paper_injected();
+    cfg.epochs = 2;
+    let mut model = Umgad::new(&data.graph, cfg);
+    model.train(&data.graph);
+    let mut group = c.benchmark_group("eq19_scoring");
+    group.sample_size(10);
+    group.bench_function("dense", |b| b.iter(|| black_box(model.anomaly_scores(&data.graph))));
+    group.finish();
+
+    let mut cfg2 = UmgadConfig::paper_injected();
+    cfg2.epochs = 2;
+    cfg2.dense_score_limit = 0; // force the sampled estimator
+    let mut model2 = Umgad::new(&data.graph, cfg2);
+    model2.train(&data.graph);
+    let mut group2 = c.benchmark_group("eq19_scoring_sampled");
+    group2.sample_size(10);
+    group2.bench_function("sampled", |b| {
+        b.iter(|| black_box(model2.anomaly_scores(&data.graph)))
+    });
+    group2.finish();
+}
+
+criterion_group! {
+    name = runtime;
+    config = Criterion::default().sample_size(10);
+    targets = umgad_epoch, umgad_repeats_ablation, baseline_fit, scoring_paths
+}
+criterion_main!(runtime);

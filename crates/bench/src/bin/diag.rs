@@ -1,0 +1,59 @@
+//! `diag` — developer tool decomposing UMGAD's anomaly score into its
+//! per-view and per-term components to see which carry the signal.
+//! Not part of the reproduction surface; used to tune Eq. 19 readout.
+
+use umgad_core::score::{attribute_errors, standardize, structure_errors, ScoreOptions};
+use umgad_core::{roc_auc, Umgad, UmgadConfig};
+use umgad_data::{Dataset, DatasetKind, Scale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("mini") => Scale::Mini,
+        Some("full") => Scale::Full,
+        _ => Scale::Tiny,
+    };
+    for kind in DatasetKind::ALL {
+        let data = Dataset::generate(kind, scale, 7);
+        let labels = data.graph.labels().unwrap().to_vec();
+        let mut cfg = if kind.injected() {
+            UmgadConfig::paper_injected()
+        } else {
+            UmgadConfig::paper_real()
+        };
+        cfg.epochs = 10;
+        cfg.seed = 7;
+        let mut model = Umgad::new(&data.graph, cfg);
+        model.train(&data.graph);
+
+        println!("== {} ({} nodes, {} anomalies)", data.name(), data.graph.num_nodes(), data.graph.num_anomalies());
+        let full = model.anomaly_scores(&data.graph);
+        println!("  combined           AUC {:.3}", roc_auc(&full, &labels));
+
+        for (vname, v) in model.debug_views(&data.graph) {
+            // First readout (held-out when masking is on).
+            let readout = &v.attrs[0];
+            let mut attr = attribute_errors(readout, data.graph.attrs());
+            let auc_a = roc_auc(&attr, &labels);
+            // Cosine variant.
+            let cos_err: Vec<f64> = (0..data.graph.num_nodes())
+                .map(|i| 1.0 - umgad_tensor::cosine(readout.row(i), data.graph.attrs().row(i)))
+                .collect();
+            let auc_c = roc_auc(&cos_err, &labels);
+            let opts = ScoreOptions { seed: 7, ..ScoreOptions::default() };
+            let mut s_total = vec![0.0; data.graph.num_nodes()];
+            let mut per_rel = String::new();
+            for (r, z) in v.structure.iter().enumerate() {
+                let e = structure_errors(z, &data.graph, r, &opts);
+                per_rel.push_str(&format!(" s{r}={:.3}", roc_auc(&e, &labels)));
+                for (t, x) in s_total.iter_mut().zip(e) {
+                    *t += x;
+                }
+            }
+            let auc_s = roc_auc(&s_total, &labels);
+            standardize(&mut attr);
+            println!(
+                "  view {vname:<6} attrL1 {auc_a:.3}  attrCos {auc_c:.3}  struct {auc_s:.3} ({per_rel})"
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! `repro` — regenerate every table and figure of the UMGAD paper.
+//!
+//! ```text
+//! repro <subcommand> [--scale tiny|mini|full|<factor>] [--seed N]
+//!                    [--runs N] [--epochs N] [--out DIR]
+//!
+//! subcommands:
+//!   table1   dataset statistics (Table I)
+//!   table2   unsupervised comparison (Table II)
+//!   table3   ablation study (Table III)
+//!   table4   ground-truth-leakage comparison (Table IV)
+//!   fig2     ranked anomaly-score curves
+//!   fig3     λ/μ sensitivity sweep
+//!   fig4     masking ratio × subgraph size sweep
+//!   fig5     α/β sensitivity sweep
+//!   fig6     runtime + convergence
+//!   all      everything above (table2+table4 share runs)
+//! ```
+//!
+//! Defaults: mini scale (≈1/16 of Table I), 1 run, 20 epochs, CSVs under
+//! `results/`. Build with `--release`.
+
+use std::process::ExitCode;
+
+use umgad_bench::{fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4, HarnessConfig};
+use umgad_data::Scale;
+
+fn parse_args() -> Result<(String, HarnessConfig), String> {
+    let mut args = std::env::args().skip(1);
+    let sub = args.next().ok_or_else(usage)?;
+    let mut harness = HarnessConfig::default();
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--scale" => {
+                let v = value()?;
+                harness.scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "mini" => Scale::Mini,
+                    "full" => Scale::Full,
+                    other => {
+                        let f: f64 =
+                            other.parse().map_err(|_| format!("bad scale: {other}"))?;
+                        Scale::Custom(f)
+                    }
+                };
+            }
+            "--seed" => harness.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--runs" => harness.runs = value()?.parse().map_err(|e| format!("bad runs: {e}"))?,
+            "--epochs" => {
+                harness.epochs = value()?.parse().map_err(|e| format!("bad epochs: {e}"))?;
+            }
+            "--out" => harness.out_dir = value()?.into(),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok((sub, harness))
+}
+
+fn usage() -> String {
+    "usage: repro <table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|report|all> \
+     [--scale tiny|mini|full|<factor>] [--seed N] [--runs N] [--epochs N] [--out DIR]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let (sub, harness) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[repro] {sub} at scale {:?}, seed {}, {} run(s), {} epochs -> {}",
+        harness.scale,
+        harness.seed,
+        harness.runs,
+        harness.epochs,
+        harness.out_dir.display()
+    );
+    let t0 = std::time::Instant::now();
+    match sub.as_str() {
+        "table1" => print!("{}", table1::run(&harness)),
+        "table2" => print!("{}", table2::run(&harness)),
+        "table3" => print!("{}", table3::run(&harness)),
+        "table4" => print!("{}", table4::run(&harness)),
+        "fig2" => print!("{}", fig2::run(&harness)),
+        "fig3" => print!("{}", fig3::run(&harness)),
+        "fig4" => print!("{}", fig4::run(&harness)),
+        "fig5" => print!("{}", fig5::run(&harness)),
+        "fig6" => print!("{}", fig6::run(&harness)),
+        "report" => print!("{}", umgad_bench::report::render(&harness.out_dir)),
+        "all" => {
+            print!("{}", table1::run(&harness));
+            println!();
+            let (t2, t4) = table2::run_with_table4(&harness);
+            print!("{t2}");
+            println!();
+            print!("{}", table3::run(&harness));
+            println!();
+            print!("{t4}");
+            println!();
+            print!("{}", fig2::run(&harness));
+            println!();
+            print!("{}", fig3::run(&harness));
+            println!();
+            print!("{}", fig4::run(&harness));
+            println!();
+            print!("{}", fig5::run(&harness));
+            println!();
+            print!("{}", fig6::run(&harness));
+        }
+        other => {
+            eprintln!("unknown subcommand {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,372 @@
+//! # umgad-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation section, all reachable through the `repro` binary.
+//!
+//! | paper artefact | function | `repro` subcommand |
+//! |---|---|---|
+//! | Table I (dataset stats) | [`table1::run`] | `repro table1` |
+//! | Fig. 2 (ranked score curves) | [`fig2::run`] | `repro fig2` |
+//! | Table II (unsupervised comparison) | [`table2::run`] | `repro table2` |
+//! | Table III (ablations) | [`table3::run`] | `repro table3` |
+//! | Fig. 3 (λ, μ sweep) | [`fig3::run`] | `repro fig3` |
+//! | Fig. 4 (mask ratio × subgraph size) | [`fig4::run`] | `repro fig4` |
+//! | Fig. 5 (α, β sweep) | [`fig5::run`] | `repro fig5` |
+//! | Table IV (ground-truth leakage) | [`table4::run`] | `repro table4` |
+//! | Fig. 6 (runtime + convergence) | [`fig6::run`] | `repro fig6` |
+//!
+//! Run with `--release`; the default `mini` scale (≈1/16 of Table I) keeps
+//! the full suite CPU-friendly, `--scale full` reproduces Table-I sizes.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use umgad_baselines::{BaselineConfig, Detector};
+use umgad_core::{macro_f1_at, oracle_threshold, roc_auc, select_threshold, Umgad, UmgadConfig};
+use umgad_data::{Dataset, DatasetKind, Scale};
+
+pub mod figures;
+pub mod report;
+pub mod tables;
+
+pub use figures::{fig2, fig3, fig4, fig5, fig6};
+pub use tables::{table1, table2, table3, table4};
+
+/// Harness-wide options shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// Dataset generation scale.
+    pub scale: Scale,
+    /// Base seed.
+    pub seed: u64,
+    /// Independent runs per cell (the paper reports mean ± std over runs).
+    pub runs: usize,
+    /// Training epochs (paper default 20).
+    pub epochs: usize,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Mini,
+            seed: 7,
+            runs: 1,
+            epochs: 20,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Fast settings for integration tests.
+    pub fn test() -> Self {
+        Self {
+            scale: Scale::Tiny,
+            runs: 1,
+            epochs: 6,
+            out_dir: std::env::temp_dir().join("umgad-bench-test"),
+            ..Self::default()
+        }
+    }
+
+    /// UMGAD configuration matched to a dataset: the paper's §V-A-3 base
+    /// settings plus the per-dataset optima from the sensitivity study
+    /// (Fig. 3: λ/μ; Fig. 4: masking ratio; Fig. 5: α/β).
+    pub fn umgad_config(&self, kind: DatasetKind, seed: u64) -> UmgadConfig {
+        let mut cfg = if kind.injected() {
+            UmgadConfig::paper_injected()
+        } else {
+            UmgadConfig::paper_real()
+        };
+        match kind {
+            DatasetKind::Retail => {
+                cfg.lambda = 0.3;
+                cfg.mu = 0.3;
+                cfg.alpha = 0.5;
+                cfg.beta = 0.4;
+                cfg.mask_ratio = 0.2;
+            }
+            DatasetKind::Alibaba => {
+                cfg.lambda = 0.3;
+                cfg.mu = 0.4;
+                cfg.alpha = 0.5;
+                cfg.beta = 0.4;
+                cfg.mask_ratio = 0.2;
+            }
+            DatasetKind::Amazon => {
+                cfg.lambda = 0.4;
+                cfg.mu = 0.4;
+                cfg.alpha = 0.6;
+                cfg.beta = 0.3;
+                cfg.mask_ratio = 0.4;
+            }
+            DatasetKind::YelpChi => {
+                cfg.lambda = 0.4;
+                cfg.mu = 0.5;
+                cfg.alpha = 0.5;
+                cfg.beta = 0.3;
+                cfg.mask_ratio = 0.6;
+            }
+        }
+        cfg.epochs = self.epochs;
+        cfg.seed = seed;
+        cfg
+    }
+
+    /// Baseline configuration for a run.
+    pub fn baseline_config(&self, seed: u64) -> BaselineConfig {
+        BaselineConfig { epochs: self.epochs, seed, ..BaselineConfig::default() }
+    }
+
+    /// Write a CSV artefact and return its path.
+    pub fn write_csv(&self, name: &str, content: &str) -> PathBuf {
+        fs::create_dir_all(&self.out_dir).ok();
+        let path = self.out_dir.join(name);
+        fs::write(&path, content).unwrap_or_else(|e| eprintln!("csv write failed: {e}"));
+        path
+    }
+}
+
+/// Evaluation of one method on one dataset.
+#[derive(Clone, Debug)]
+pub struct MethodResult {
+    /// Method display name.
+    pub method: String,
+    /// Category label for table grouping.
+    pub category: String,
+    /// Mean ROC-AUC over runs.
+    pub auc: f64,
+    /// AUC standard deviation over runs.
+    pub auc_std: f64,
+    /// Mean Macro-F1 at the *unsupervised* threshold.
+    pub f1: f64,
+    /// Macro-F1 std.
+    pub f1_std: f64,
+    /// Mean Macro-F1 at the ground-truth-leakage threshold.
+    pub f1_oracle: f64,
+    /// Mean flagged-node count at the unsupervised threshold.
+    pub flagged: f64,
+    /// Scores of the last run (for Fig. 2 curves).
+    pub last_scores: Vec<f64>,
+}
+
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Evaluate raw scores against labels under both threshold protocols:
+/// returns `(auc, f1_unsupervised, f1_oracle, flagged)`.
+pub fn evaluate_scores(scores: &[f64], labels: &[bool]) -> (f64, f64, f64, usize) {
+    let auc = roc_auc(scores, labels);
+    let decision = select_threshold(scores);
+    let f1 = macro_f1_at(scores, labels, decision.threshold);
+    let k = labels.iter().filter(|&&b| b).count().max(1);
+    let f1_oracle = macro_f1_at(scores, labels, oracle_threshold(scores, k));
+    let flagged = scores.iter().filter(|&&s| s >= decision.threshold).count();
+    (auc, f1, f1_oracle, flagged)
+}
+
+/// Run one baseline detector over `runs` seeds on a dataset.
+pub fn run_baseline(
+    make: &dyn Fn(BaselineConfig) -> Box<dyn Detector>,
+    data: &Dataset,
+    harness: &HarnessConfig,
+) -> MethodResult {
+    let labels = data.graph.labels().expect("labelled dataset");
+    let mut aucs = Vec::new();
+    let mut f1s = Vec::new();
+    let mut oracles = Vec::new();
+    let mut flaggeds = Vec::new();
+    let mut last_scores = Vec::new();
+    let mut name = String::new();
+    let mut category = String::new();
+    for r in 0..harness.runs {
+        let mut det = make(harness.baseline_config(harness.seed + r as u64));
+        name = det.name().to_string();
+        category = det.category().label().to_string();
+        let scores = det.fit_scores(&data.graph);
+        let (auc, f1, f1_oracle, flagged) = evaluate_scores(&scores, labels);
+        aucs.push(auc);
+        f1s.push(f1);
+        oracles.push(f1_oracle);
+        flaggeds.push(flagged as f64);
+        last_scores = scores;
+    }
+    let (auc, auc_std) = mean_std(&aucs);
+    let (f1, f1_std) = mean_std(&f1s);
+    MethodResult {
+        method: name,
+        category,
+        auc,
+        auc_std,
+        f1,
+        f1_std,
+        f1_oracle: mean_std(&oracles).0,
+        flagged: mean_std(&flaggeds).0,
+        last_scores,
+    }
+}
+
+/// Run UMGAD (optionally with a config tweak) over `runs` seeds.
+pub fn run_umgad(
+    data: &Dataset,
+    harness: &HarnessConfig,
+    tweak: &dyn Fn(&mut UmgadConfig),
+) -> MethodResult {
+    let labels = data.graph.labels().expect("labelled dataset");
+    let mut aucs = Vec::new();
+    let mut f1s = Vec::new();
+    let mut oracles = Vec::new();
+    let mut flaggeds = Vec::new();
+    let mut last_scores = Vec::new();
+    for r in 0..harness.runs {
+        let mut cfg = harness.umgad_config(data.kind, harness.seed + r as u64);
+        tweak(&mut cfg);
+        let mut model = Umgad::new(&data.graph, cfg);
+        model.train(&data.graph);
+        let scores = model.anomaly_scores(&data.graph);
+        let (auc, f1, f1_oracle, flagged) = evaluate_scores(&scores, labels);
+        aucs.push(auc);
+        f1s.push(f1);
+        oracles.push(f1_oracle);
+        flaggeds.push(flagged as f64);
+        last_scores = scores;
+    }
+    let (auc, auc_std) = mean_std(&aucs);
+    let (f1, f1_std) = mean_std(&f1s);
+    MethodResult {
+        method: "UMGAD".to_string(),
+        category: "Ours".to_string(),
+        auc,
+        auc_std,
+        f1,
+        f1_std,
+        f1_oracle: mean_std(&oracles).0,
+        flagged: mean_std(&flaggeds).0,
+        last_scores,
+    }
+}
+
+/// One comparison cell: `(auc, auc_std, f1, f1_std)`.
+pub type Cell = (f64, f64, f64, f64);
+
+/// One comparison row: `(category, method, cells-per-dataset)`.
+pub type ComparisonRow = (String, String, Vec<Cell>);
+
+/// Render a comparison table (one row per method, one AUC/F1 pair per
+/// dataset) in the paper's layout; the best AUC per dataset is starred.
+pub fn render_comparison(
+    datasets: &[&str],
+    rows: &[ComparisonRow],
+    highlight_best: bool,
+) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<6} {:<11}", "Cat.", "Method");
+    for d in datasets {
+        let _ = write!(out, " | {:^23}", d);
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<6} {:<11}", "", "");
+    for _ in datasets {
+        let _ = write!(out, " | {:^11} {:^11}", "AUC", "Macro-F1");
+    }
+    let _ = writeln!(out);
+    let width = 18 + datasets.len() * 26;
+    let _ = writeln!(out, "{}", "-".repeat(width));
+    let mut best = vec![f64::MIN; datasets.len()];
+    if highlight_best {
+        for (_, _, cells) in rows {
+            for (d, &(auc, _, _, _)) in cells.iter().enumerate() {
+                best[d] = best[d].max(auc);
+            }
+        }
+    }
+    for (cat, method, cells) in rows {
+        let _ = write!(out, "{cat:<6} {method:<11}");
+        for (d, &(auc, auc_std, f1, f1_std)) in cells.iter().enumerate() {
+            let mark = if highlight_best && (auc - best[d]).abs() < 1e-12 { "*" } else { " " };
+            let _ = write!(out, " |{mark}{auc:.3}±{auc_std:.3} {f1:.3}±{f1_std:.3}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Generate the four datasets at the harness scale.
+pub fn datasets(harness: &HarnessConfig) -> Vec<Dataset> {
+    DatasetKind::ALL
+        .iter()
+        .map(|&k| Dataset::generate(k, harness.scale, harness.seed))
+        .collect()
+}
+
+/// Simple CSV assembly helper.
+pub struct Csv {
+    buf: String,
+}
+
+impl Csv {
+    /// Start a CSV with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        Self { buf: header.join(",") + "\n" }
+    }
+
+    /// Append a row of stringified cells.
+    pub fn row(&mut self, cells: &[String]) {
+        self.buf.push_str(&cells.join(","));
+        self.buf.push('\n');
+    }
+
+    /// Finish and return the CSV text.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Ensure a directory exists and return it.
+pub fn ensure_out_dir(p: &Path) -> &Path {
+    fs::create_dir_all(p).ok();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_scores_sane() {
+        let scores = vec![0.9, 0.8, 0.85, 0.1, 0.2, 0.15, 0.12, 0.18];
+        let labels = vec![true, true, true, false, false, false, false, false];
+        let (auc, f1, f1_oracle, flagged) = evaluate_scores(&scores, &labels);
+        assert_eq!(auc, 1.0);
+        assert!(f1 > 0.0);
+        assert_eq!(f1_oracle, 1.0);
+        assert!(flagged >= 1);
+    }
+
+    #[test]
+    fn csv_assembles() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row(&["1".into(), "2".into()]);
+        assert_eq!(c.finish(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn render_comparison_stars_best() {
+        let rows = vec![
+            ("GAE".to_string(), "X".to_string(), vec![(0.7, 0.0, 0.6, 0.0)]),
+            ("Ours".to_string(), "UMGAD".to_string(), vec![(0.8, 0.0, 0.7, 0.0)]),
+        ];
+        let s = render_comparison(&["D"], &rows, true);
+        assert!(s.contains("*0.800"));
+        assert!(!s.contains("*0.700"));
+    }
+}

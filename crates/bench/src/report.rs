@@ -1,0 +1,205 @@
+//! `repro report` — assemble a markdown summary from the CSV artefacts the
+//! other subcommands leave in the results directory.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Minimal CSV reader for our own artefacts (no quoting/escapes needed).
+pub fn read_csv(path: &Path) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let header: Vec<String> = lines.next()?.split(',').map(str::to_string).collect();
+    let rows = lines
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .collect();
+    Some((header, rows))
+}
+
+fn col(header: &[String], name: &str) -> Option<usize> {
+    header.iter().position(|h| h == name)
+}
+
+/// Build the markdown report; missing artefacts are skipped with a note.
+pub fn render(dir: &Path) -> String {
+    let mut out = String::from("# UMGAD reproduction report\n\n");
+    let _ = writeln!(out, "artefact directory: `{}`\n", dir.display());
+
+    // -- Table II/IV summary: best method per dataset -----------------------
+    for (file, title) in [
+        ("table2.csv", "Table II (unsupervised thresholds)"),
+        ("table4.csv", "Table IV (ground-truth-leakage thresholds)"),
+    ] {
+        let path = dir.join(file);
+        let Some((header, rows)) = read_csv(&path) else {
+            let _ = writeln!(out, "## {title}\n\n_missing: run `repro table2` first_\n");
+            continue;
+        };
+        let (Some(mi), Some(di), Some(ai), Some(fi)) = (
+            col(&header, "method"),
+            col(&header, "dataset"),
+            col(&header, "auc"),
+            col(&header, "f1"),
+        ) else {
+            continue;
+        };
+        // dataset -> (best method, auc), umgad auc, umgad f1
+        let mut best: BTreeMap<String, (String, f64)> = BTreeMap::new();
+        let mut umgad: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        for r in &rows {
+            let auc: f64 = r[ai].parse().unwrap_or(0.0);
+            let f1: f64 = r[fi].parse().unwrap_or(0.0);
+            let d = r[di].clone();
+            if r[mi] == "UMGAD" {
+                umgad.insert(d.clone(), (auc, f1));
+            } else {
+                let e = best.entry(d).or_insert_with(|| (r[mi].clone(), auc));
+                if auc > e.1 {
+                    *e = (r[mi].clone(), auc);
+                }
+            }
+        }
+        let _ = writeln!(out, "## {title}\n");
+        let _ = writeln!(out, "| dataset | best baseline (AUC) | UMGAD AUC | UMGAD F1 | margin |");
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        for (d, (bm, bauc)) in &best {
+            if let Some(&(uauc, uf1)) = umgad.get(d) {
+                let margin = (uauc - bauc) / bauc * 100.0;
+                let _ = writeln!(
+                    out,
+                    "| {d} | {bm} ({bauc:.3}) | {uauc:.3} | {uf1:.3} | {margin:+.2}% |"
+                );
+            }
+        }
+        out.push('\n');
+    }
+
+    // -- Table III: ablation deltas ------------------------------------------
+    if let Some((header, rows)) = read_csv(&dir.join("table3.csv")) {
+        if let (Some(vi), Some(di), Some(ai)) =
+            (col(&header, "variant"), col(&header, "dataset"), col(&header, "auc"))
+        {
+            let mut full: BTreeMap<String, f64> = BTreeMap::new();
+            for r in &rows {
+                if r[vi] == "UMGAD" {
+                    full.insert(r[di].clone(), r[ai].parse().unwrap_or(0.0));
+                }
+            }
+            let mut deltas: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+            for r in &rows {
+                if r[vi] != "UMGAD" {
+                    if let Some(f) = full.get(&r[di]) {
+                        let auc: f64 = r[ai].parse().unwrap_or(0.0);
+                        let e = deltas.entry(r[vi].clone()).or_insert((0.0, 0));
+                        e.0 += f - auc;
+                        e.1 += 1;
+                    }
+                }
+            }
+            let _ = writeln!(out, "## Table III (ablations, mean AUC cost of removal)\n");
+            let _ = writeln!(out, "| variant | mean ΔAUC vs full |");
+            let _ = writeln!(out, "|---|---|");
+            let mut ordered: Vec<_> = deltas.into_iter().collect();
+            ordered.sort_by(|a, b| (b.1 .0 / b.1 .1 as f64).total_cmp(&(a.1 .0 / a.1 .1 as f64)));
+            for (v, (sum, n)) in ordered {
+                let _ = writeln!(out, "| {v} | {:+.4} |", sum / n as f64);
+            }
+            out.push('\n');
+        }
+    } else {
+        out.push_str("## Table III\n\n_missing: run `repro table3` first_\n\n");
+    }
+
+    // -- Fig 4: best masking ratio per dataset --------------------------------
+    if let Some((header, rows)) = read_csv(&dir.join("fig4.csv")) {
+        if let (Some(di), Some(ri), Some(ai)) = (
+            col(&header, "dataset"),
+            col(&header, "mask_ratio"),
+            col(&header, "auc"),
+        ) {
+            let mut best: BTreeMap<String, (String, f64)> = BTreeMap::new();
+            for r in &rows {
+                let auc: f64 = r[ai].parse().unwrap_or(0.0);
+                let e = best.entry(r[di].clone()).or_insert_with(|| (r[ri].clone(), auc));
+                if auc > e.1 {
+                    *e = (r[ri].clone(), auc);
+                }
+            }
+            let _ = writeln!(out, "## Fig. 4 (best masking ratio per dataset)\n");
+            let _ = writeln!(out, "| dataset | best r_m | AUC |");
+            let _ = writeln!(out, "|---|---|---|");
+            for (d, (r, a)) in best {
+                let _ = writeln!(out, "| {d} | {r} | {a:.3} |");
+            }
+            out.push('\n');
+        }
+    }
+
+    // -- Fig 6: runtime table --------------------------------------------------
+    if let Some((header, rows)) = read_csv(&dir.join("fig6_runtime.csv")) {
+        if let (Some(di), Some(mi), Some(ei)) = (
+            col(&header, "dataset"),
+            col(&header, "method"),
+            col(&header, "epoch_ms"),
+        ) {
+            let _ = writeln!(out, "## Fig. 6 (per-epoch runtime, ms)\n");
+            let _ = writeln!(out, "| dataset | method | epoch (ms) |");
+            let _ = writeln!(out, "|---|---|---|");
+            for r in &rows {
+                let _ = writeln!(out, "| {} | {} | {} |", r[di], r[mi], r[ei]);
+            }
+            out.push('\n');
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_from_synthetic_csvs() {
+        let dir = std::env::temp_dir().join("umgad-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("table2.csv"),
+            "method,category,dataset,auc,auc_std,f1,f1_std\n\
+             TAM,MPI,Retail,0.90,0,0.6,0\n\
+             UMGAD,Ours,Retail,0.95,0,0.7,0\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("table3.csv"),
+            "variant,dataset,auc,f1\nw/o M,Retail,0.90,0.5\nUMGAD,Retail,0.95,0.6\n",
+        )
+        .unwrap();
+        let md = render(&dir);
+        assert!(md.contains("| Retail | TAM (0.900) | 0.950 | 0.700 | +5.56% |"), "{md}");
+        assert!(md.contains("w/o M | +0.0500"), "{md}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_artefacts_are_reported_not_fatal() {
+        let dir = std::env::temp_dir().join("umgad-report-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let md = render(&dir);
+        assert!(md.contains("_missing"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("umgad-report-csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("x.csv");
+        std::fs::write(&p, "a,b\n1,2\n3,4\n").unwrap();
+        let (h, rows) = read_csv(&p).unwrap();
+        assert_eq!(h, vec!["a", "b"]);
+        assert_eq!(rows.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,512 @@
+//! # umgad-cli
+//!
+//! Library backing the `umgad` command-line tool: argument parsing and the
+//! generate / detect / baseline / threshold subcommands, factored out of
+//! `main` so they are unit-testable.
+//!
+//! ```text
+//! umgad generate --dataset retail --scale 0.05 --seed 7 --out graph.json
+//! umgad detect   --input graph.json --epochs 20 --scores scores.csv
+//! umgad baseline --input graph.json --method dominant --scores scores.csv
+//! umgad threshold --scores scores.csv
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use umgad_baselines::{registry, BaselineConfig, Detector};
+use umgad_core::{roc_auc, select_threshold, Umgad, UmgadConfig};
+use umgad_data::{load_graph, save_graph, Dataset, DatasetKind, Scale};
+use umgad_graph::MultiplexGraph;
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Generate a dataset twin and write it as JSON.
+    Generate {
+        /// Which dataset family.
+        dataset: DatasetKind,
+        /// Shrink factor in (0, 1].
+        scale: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Output JSON path.
+        out: PathBuf,
+    },
+    /// Train UMGAD on a JSON graph and emit per-node scores.
+    Detect {
+        /// Input JSON graph.
+        input: PathBuf,
+        /// Training epochs.
+        epochs: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Use the real-anomaly (2-hop) preset instead of the injected one.
+        real_preset: bool,
+        /// Where to write the score CSV (stdout when absent).
+        scores: Option<PathBuf>,
+        /// Save the trained model as a JSON checkpoint.
+        save_model: Option<PathBuf>,
+    },
+    /// Score a graph with a previously saved model (no training).
+    Score {
+        /// Input JSON graph.
+        input: PathBuf,
+        /// Model checkpoint from `detect --save-model`.
+        model: PathBuf,
+        /// Where to write the score CSV (stdout when absent).
+        scores: Option<PathBuf>,
+    },
+    /// Run one named baseline instead of UMGAD.
+    Baseline {
+        /// Input JSON graph.
+        input: PathBuf,
+        /// Baseline name (case-insensitive, as in Table II).
+        method: String,
+        /// Training epochs.
+        epochs: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Where to write the score CSV (stdout when absent).
+        scores: Option<PathBuf>,
+    },
+    /// Convert plain-text edge/attribute/label files to a JSON graph.
+    Import {
+        /// Attribute table (one node per row).
+        attrs: PathBuf,
+        /// `name=path` relation edge files, in order.
+        relations: Vec<(String, PathBuf)>,
+        /// Optional label file.
+        labels: Option<PathBuf>,
+        /// Output JSON path.
+        out: PathBuf,
+    },
+    /// Apply the unsupervised threshold strategy to a score CSV.
+    Threshold {
+        /// Input CSV (`node,score` with header).
+        scores: PathBuf,
+    },
+    /// List available baseline names.
+    Methods,
+}
+
+/// Top-level usage string.
+pub fn usage() -> &'static str {
+    "usage: umgad <generate|detect|baseline|import|threshold|methods> [flags]\n\
+     generate  --dataset retail|alibaba|amazon|yelpchi [--scale F] [--seed N] --out FILE\n\
+     detect    --input FILE [--epochs N] [--seed N] [--real] [--scores FILE] [--save-model FILE]\n\
+     score     --input FILE --model FILE [--scores FILE]\n\
+     baseline  --input FILE --method NAME [--epochs N] [--seed N] [--scores FILE]\n\
+     threshold --scores FILE\n\
+     import    --attrs FILE --relation NAME=FILE [--relation ...] [--labels FILE] --out FILE\n\
+     methods"
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or_else(|| usage().to_string())?;
+    let mut flags = std::collections::HashMap::new();
+    let mut bools = std::collections::HashSet::new();
+    let mut relations: Vec<(String, PathBuf)> = Vec::new();
+    while let Some(flag) = it.next() {
+        if flag == "--real" {
+            bools.insert("real");
+            continue;
+        }
+        if flag == "--relation" {
+            let v = it.next().ok_or("--relation needs NAME=FILE")?;
+            let (name, path) = v
+                .split_once('=')
+                .ok_or_else(|| format!("--relation expects NAME=FILE, got {v}"))?;
+            relations.push((name.to_string(), path.into()));
+            continue;
+        }
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected flag, got {flag}"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    let get = |k: &str| flags.get(k).cloned();
+    let num =
+        |k: &str, d: u64| -> Result<u64, String> { get(k).map_or(Ok(d), |v| v.parse().map_err(|e| format!("--{k}: {e}"))) };
+    match sub.as_str() {
+        "generate" => {
+            let dataset = match get("dataset").ok_or("--dataset required")?.to_lowercase().as_str() {
+                "retail" => DatasetKind::Retail,
+                "alibaba" => DatasetKind::Alibaba,
+                "amazon" => DatasetKind::Amazon,
+                "yelpchi" => DatasetKind::YelpChi,
+                other => return Err(format!("unknown dataset {other}")),
+            };
+            let scale = get("scale").map_or(Ok(1.0 / 16.0), |v| {
+                v.parse::<f64>().map_err(|e| format!("--scale: {e}"))
+            })?;
+            Ok(Command::Generate {
+                dataset,
+                scale,
+                seed: num("seed", 7)?,
+                out: get("out").ok_or("--out required")?.into(),
+            })
+        }
+        "detect" => Ok(Command::Detect {
+            input: get("input").ok_or("--input required")?.into(),
+            epochs: num("epochs", 20)? as usize,
+            seed: num("seed", 7)?,
+            real_preset: bools.contains("real"),
+            scores: get("scores").map(Into::into),
+            save_model: get("save-model").map(Into::into),
+        }),
+        "score" => Ok(Command::Score {
+            input: get("input").ok_or("--input required")?.into(),
+            model: get("model").ok_or("--model required")?.into(),
+            scores: get("scores").map(Into::into),
+        }),
+        "baseline" => Ok(Command::Baseline {
+            input: get("input").ok_or("--input required")?.into(),
+            method: get("method").ok_or("--method required")?,
+            epochs: num("epochs", 20)? as usize,
+            seed: num("seed", 7)?,
+            scores: get("scores").map(Into::into),
+        }),
+        "threshold" => Ok(Command::Threshold {
+            scores: get("scores").ok_or("--scores required")?.into(),
+        }),
+        "import" => {
+            if relations.is_empty() {
+                return Err("import needs at least one --relation NAME=FILE".into());
+            }
+            Ok(Command::Import {
+                attrs: get("attrs").ok_or("--attrs required")?.into(),
+                relations,
+                labels: get("labels").map(Into::into),
+                out: get("out").ok_or("--out required")?.into(),
+            })
+        }
+        "methods" => Ok(Command::Methods),
+        other => Err(format!("unknown subcommand {other}\n{}", usage())),
+    }
+}
+
+/// Render per-node scores as CSV.
+pub fn scores_csv(scores: &[f64]) -> String {
+    let mut out = String::from("node,score\n");
+    for (i, s) in scores.iter().enumerate() {
+        let _ = writeln!(out, "{i},{s:.6}");
+    }
+    out
+}
+
+/// Parse a score CSV produced by [`scores_csv`] (or any `node,score` file).
+pub fn parse_scores_csv(text: &str) -> Result<Vec<f64>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if lineno == 0 && line.to_lowercase().contains("score") {
+            continue; // header
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let score = line
+            .rsplit(',')
+            .next()
+            .ok_or_else(|| format!("line {}: empty", lineno + 1))?
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        out.push(score);
+    }
+    if out.is_empty() {
+        return Err("no scores found".into());
+    }
+    Ok(out)
+}
+
+/// Build a baseline by (case-insensitive) Table II name.
+pub fn baseline_by_name(name: &str, cfg: BaselineConfig) -> Option<Box<dyn Detector>> {
+    registry(cfg).into_iter().find(|d| d.name().eq_ignore_ascii_case(name))
+}
+
+/// All baseline names.
+pub fn method_names() -> Vec<&'static str> {
+    registry(BaselineConfig::default()).iter().map(|d| d.name()).collect()
+}
+
+/// Run a parsed command; returns what should be printed to stdout.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Generate { dataset, scale, seed, out } => {
+            let data = Dataset::generate(dataset, Scale::Custom(scale), seed);
+            save_graph(&data.graph, &out).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "wrote {} ({} nodes, {} relations, {} anomalies)\n",
+                out.display(),
+                data.graph.num_nodes(),
+                data.graph.num_relations(),
+                data.graph.num_anomalies()
+            ))
+        }
+        Command::Detect { input, epochs, seed, real_preset, scores, save_model } => {
+            let graph = load_graph(&input).map_err(|e| e.to_string())?;
+            let mut cfg =
+                if real_preset { UmgadConfig::paper_real() } else { UmgadConfig::paper_injected() };
+            cfg.epochs = epochs;
+            cfg.seed = seed;
+            let mut model = Umgad::new(&graph, cfg);
+            model.train(&graph);
+            let mut extra = String::new();
+            if let Some(p) = save_model {
+                model.save(&p).map_err(|e| e.to_string())?;
+                extra = format!("saved model to {}\n", p.display());
+            }
+            let s = model.anomaly_scores(&graph);
+            finish_scores(&graph, &s, scores).map(|out| extra + &out)
+        }
+        Command::Score { input, model, scores } => {
+            let graph = load_graph(&input).map_err(|e| e.to_string())?;
+            let model = Umgad::load(&model, &graph)?;
+            let s = model.anomaly_scores(&graph);
+            finish_scores(&graph, &s, scores)
+        }
+        Command::Baseline { input, method, epochs, seed, scores } => {
+            let graph = load_graph(&input).map_err(|e| e.to_string())?;
+            let cfg = BaselineConfig { epochs, seed, ..BaselineConfig::default() };
+            let mut det = baseline_by_name(&method, cfg)
+                .ok_or_else(|| format!("unknown method {method}; try `umgad methods`"))?;
+            let s = det.fit_scores(&graph);
+            finish_scores(&graph, &s, scores)
+        }
+        Command::Import { attrs, relations, labels, out } => {
+            let rels: Vec<(&str, &std::path::Path)> =
+                relations.iter().map(|(n, p)| (n.as_str(), p.as_path())).collect();
+            let graph = umgad_data::import_graph(&attrs, &rels, labels.as_deref())
+                .map_err(|e| e.to_string())?;
+            save_graph(&graph, &out).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "imported {} nodes, {} relations{} -> {}\n",
+                graph.num_nodes(),
+                graph.num_relations(),
+                graph
+                    .labels()
+                    .map(|l| format!(", {} labelled anomalies", l.iter().filter(|&&b| b).count()))
+                    .unwrap_or_default(),
+                out.display()
+            ))
+        }
+        Command::Threshold { scores } => {
+            let text = std::fs::read_to_string(&scores).map_err(|e| e.to_string())?;
+            let s = parse_scores_csv(&text)?;
+            let d = select_threshold(&s);
+            let flagged: Vec<usize> = s
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v >= d.threshold)
+                .map(|(i, _)| i)
+                .collect();
+            let mut out = format!(
+                "threshold {:.6} (inflection rank {}, window {})\nflagged {} nodes:\n",
+                d.threshold,
+                d.inflection,
+                d.window,
+                flagged.len()
+            );
+            for i in flagged {
+                let _ = writeln!(out, "{i}");
+            }
+            Ok(out)
+        }
+        Command::Methods => {
+            let mut out = String::from("available baselines:\n");
+            for n in method_names() {
+                let _ = writeln!(out, "  {n}");
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Shared tail of detect/baseline: evaluate when labels exist, write or
+/// return the CSV.
+fn finish_scores(
+    graph: &MultiplexGraph,
+    s: &[f64],
+    path: Option<PathBuf>,
+) -> Result<String, String> {
+    let csv = scores_csv(s);
+    let mut summary = String::new();
+    if let Some(labels) = graph.labels() {
+        let auc = roc_auc(s, labels);
+        let d = select_threshold(s);
+        let f1 = umgad_core::macro_f1_at(s, labels, d.threshold);
+        let _ = writeln!(summary, "# AUC {auc:.4}  Macro-F1 {f1:.4} (labels present in input)");
+    }
+    match path {
+        Some(p) => {
+            std::fs::write(&p, csv).map_err(|e| e.to_string())?;
+            let _ = writeln!(summary, "wrote {}", p.display());
+            Ok(summary)
+        }
+        None => Ok(summary + &csv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_generate() {
+        let cmd = parse(&s(&[
+            "generate", "--dataset", "retail", "--scale", "0.02", "--seed", "3", "--out", "g.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                dataset: DatasetKind::Retail,
+                scale: 0.02,
+                seed: 3,
+                out: "g.json".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_detect_with_real_flag() {
+        let cmd = parse(&s(&["detect", "--input", "g.json", "--real"])).unwrap();
+        match cmd {
+            Command::Detect { real_preset, epochs, save_model, .. } => {
+                assert!(real_preset);
+                assert_eq!(epochs, 20);
+                assert!(save_model.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(parse(&s(&["explode"])).is_err());
+        assert!(parse(&s(&["generate", "--dataset", "nope", "--out", "x"])).is_err());
+        assert!(parse(&s(&["detect"])).is_err());
+    }
+
+    #[test]
+    fn scores_csv_roundtrip() {
+        let scores = vec![0.5, -1.25, 3.0];
+        let csv = scores_csv(&scores);
+        let back = parse_scores_csv(&csv).unwrap();
+        for (a, b) in scores.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parse_scores_rejects_garbage() {
+        assert!(parse_scores_csv("").is_err());
+        assert!(parse_scores_csv("node,score\n0,not_a_number").is_err());
+    }
+
+    #[test]
+    fn baseline_lookup_is_case_insensitive() {
+        let cfg = BaselineConfig::fast_test();
+        assert!(baseline_by_name("dominant", cfg).is_some());
+        assert!(baseline_by_name("DOMINANT", cfg).is_some());
+        assert!(baseline_by_name("AnomMAN", cfg).is_some());
+        assert!(baseline_by_name("nonexistent", cfg).is_none());
+    }
+
+    #[test]
+    fn methods_lists_all_22() {
+        assert_eq!(method_names().len(), 22);
+    }
+
+    #[test]
+    fn parse_and_run_import() {
+        let dir = std::env::temp_dir().join("umgad-cli-import");
+        std::fs::create_dir_all(&dir).unwrap();
+        let attrs = dir.join("a.tsv");
+        let edges = dir.join("e.tsv");
+        let out = dir.join("g.json");
+        std::fs::write(&attrs, "1 0\n0 1\n1 1\n").unwrap();
+        std::fs::write(&edges, "0 1\n1 2\n").unwrap();
+        let cmd = parse(&s(&[
+            "import",
+            "--attrs", attrs.to_str().unwrap(),
+            "--relation", &format!("follows={}", edges.display()),
+            "--out", out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let msg = run(cmd).unwrap();
+        assert!(msg.contains("3 nodes"), "{msg}");
+        let g = umgad_data::load_graph(&out).unwrap();
+        assert_eq!(g.layer(0).name(), "follows");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_generate_detect_threshold() {
+        let dir = std::env::temp_dir().join("umgad-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.json");
+        let scores_path = dir.join("s.csv");
+
+        let out = run(Command::Generate {
+            dataset: DatasetKind::Alibaba,
+            scale: 0.01,
+            seed: 4,
+            out: graph_path.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("nodes"));
+
+        let model_path = dir.join("m.json");
+        let out = run(Command::Detect {
+            input: graph_path.clone(),
+            epochs: 3,
+            seed: 4,
+            real_preset: false,
+            scores: Some(scores_path.clone()),
+            save_model: Some(model_path.clone()),
+        })
+        .unwrap();
+        assert!(out.contains("AUC"), "labels present => summary: {out}");
+        assert!(out.contains("saved model"), "{out}");
+
+        // Score with the saved model: must reproduce the training-time CSV.
+        let csv_trained = std::fs::read_to_string(&scores_path).unwrap();
+        let out = run(Command::Score {
+            input: graph_path.clone(),
+            model: model_path.clone(),
+            scores: None,
+        })
+        .unwrap();
+        let body = out.lines().skip_while(|l| l.starts_with('#')).collect::<Vec<_>>().join("\n");
+        assert_eq!(body.trim(), csv_trained.trim(), "checkpointed scores must match");
+        std::fs::remove_file(&model_path).ok();
+
+        let out = run(Command::Threshold { scores: scores_path.clone() }).unwrap();
+        assert!(out.contains("threshold"));
+        assert!(out.contains("flagged"));
+
+        let out = run(Command::Baseline {
+            input: graph_path.clone(),
+            method: "radar".into(),
+            epochs: 2,
+            seed: 4,
+            scores: None,
+        })
+        .unwrap();
+        assert!(out.contains("node,score"));
+
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&scores_path).ok();
+    }
+}

@@ -1,0 +1,286 @@
+//! UMGAD hyperparameters and ablation switches.
+
+use umgad_nn::Activation;
+
+/// All UMGAD hyperparameters. Defaults follow §V-A-3 and the sensitivity
+/// analysis (§V-E) of the paper.
+#[derive(Clone, Debug)]
+pub struct UmgadConfig {
+    /// Embedding dimensionality `d` (paper: 32).
+    pub hidden: usize,
+    /// Encoder propagation hops (paper: 2 for real-anomaly datasets, 1 for
+    /// injected ones).
+    pub enc_hops: usize,
+    /// Decoder propagation hops (paper: 1).
+    pub dec_hops: usize,
+    /// Masking repeats `K`.
+    pub repeats: usize,
+    /// Share one weight set across the `K` masking repeats instead of the
+    /// paper's separate `W^{r,k}` per repeat (Eq. 2/6/11). Cuts parameters
+    /// K-fold; the masks still differ per repeat, so the self-supervision
+    /// signal is preserved — DESIGN.md §5 flags this as the "simpler yet
+    /// highly efficient model" direction of the paper's future work.
+    pub share_repeats: bool,
+    /// Masking ratio `r_m` for attributes and edges (paper sweeps 20–80%).
+    pub mask_ratio: f64,
+    /// Scaled-cosine sharpening exponent `η ≥ 1` (Eq. 4).
+    pub eta: f64,
+    /// Attribute/structure balance `α` in the original view (Eq. 9).
+    pub alpha: f64,
+    /// Attribute/structure balance `β` in the subgraph view (Eq. 16).
+    pub beta: f64,
+    /// Attribute-level augmented view weight `λ` (Eq. 18).
+    pub lambda: f64,
+    /// Subgraph-level augmented view weight `μ` (Eq. 18).
+    pub mu: f64,
+    /// Contrastive weight `Θ` (Eq. 18; paper: 0.1).
+    pub theta: f64,
+    /// Attribute/structure mix `ε` in the anomaly score (Eq. 19).
+    pub epsilon: f64,
+    /// RWR subgraph size `|V_m|` (paper sweeps {4, 8, 12, 16}).
+    pub subgraph_size: usize,
+    /// Number of RWR patches masked per repeat.
+    pub subgraph_patches: usize,
+    /// RWR restart probability.
+    pub restart_p: f64,
+    /// Negative samples per masked edge in Eq. 7.
+    pub edge_negatives: usize,
+    /// Cap on masked edges entering the Eq. 7 loss per (relation, repeat) —
+    /// keeps epochs linear on the dense similarity relations.
+    pub max_masked_edges: usize,
+    /// Contrast nodes per anchor in Eq. 17.
+    pub contrast_negatives: usize,
+    /// InfoNCE temperature (1.0 = the paper's un-tempered form).
+    pub tau: f64,
+    /// Training epochs (paper: 20).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Decoupled weight decay (paper: 0.01).
+    pub weight_decay: f64,
+    /// Dropout on encoder inputs (paper: 0.1).
+    pub dropout: f64,
+    /// Hidden activation.
+    pub act: Activation,
+    /// Node-count threshold above which the structure term of Eq. 19 is
+    /// estimated from sampled columns instead of the dense `|V|²` product.
+    pub dense_score_limit: usize,
+    /// Sampled non-neighbour columns per node for the sampled structure
+    /// error.
+    pub score_negatives: usize,
+    /// Batches for *masked* attribute scoring: nodes are split into this
+    /// many groups, each group's attributes are `[MASK]`ed in turn, and a
+    /// node's reconstruction error is measured while it is hidden — the
+    /// held-out readout a graph-masked autoencoder is actually trained for.
+    /// `0` falls back to plain (unmasked) reconstruction error.
+    pub score_mask_batches: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ablation switches.
+    pub ablation: Ablation,
+}
+
+/// Ablation switches (§V-D). All `true` = full UMGAD.
+#[derive(Clone, Copy, Debug)]
+pub struct Ablation {
+    /// `w/o M`: replace the GMAE masking with a plain GAE (no `[MASK]`
+    /// token, no edge masking — reconstruction of the visible graph).
+    pub masking: bool,
+    /// `w/o O`: keep the original-view reconstruction.
+    pub original_view: bool,
+    /// `w/o A`: keep the augmented views (both).
+    pub augmented_views: bool,
+    /// `w/o NA`: keep the node-attribute-level augmentation.
+    pub attr_augmentation: bool,
+    /// `w/o SA`: keep the subgraph-level augmentation.
+    pub subgraph_augmentation: bool,
+    /// `w/o DCL`: keep dual-view contrastive learning.
+    pub contrastive: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Self {
+            masking: true,
+            original_view: true,
+            augmented_views: true,
+            attr_augmentation: true,
+            subgraph_augmentation: true,
+            contrastive: true,
+        }
+    }
+}
+
+impl Ablation {
+    /// Paper variant names, in Table III order, with the matching switches.
+    pub fn variants() -> Vec<(&'static str, Ablation)> {
+        let full = Ablation::default();
+        vec![
+            ("w/o M", Ablation { masking: false, ..full }),
+            ("w/o O", Ablation { original_view: false, ..full }),
+            ("w/o A", Ablation { augmented_views: false, ..full }),
+            ("w/o NA", Ablation { attr_augmentation: false, ..full }),
+            ("w/o SA", Ablation { subgraph_augmentation: false, ..full }),
+            ("w/o DCL", Ablation { contrastive: false, ..full }),
+        ]
+    }
+
+    /// Whether the attribute-level augmented view runs.
+    pub fn attr_aug_active(&self) -> bool {
+        self.augmented_views && self.attr_augmentation
+    }
+
+    /// Whether the subgraph-level augmented view runs.
+    pub fn subgraph_aug_active(&self) -> bool {
+        self.augmented_views && self.subgraph_augmentation
+    }
+}
+
+impl Default for UmgadConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            enc_hops: 1,
+            dec_hops: 1,
+            repeats: 2,
+            share_repeats: false,
+            mask_ratio: 0.2,
+            eta: 2.0,
+            alpha: 0.5,
+            beta: 0.4,
+            lambda: 0.3,
+            mu: 0.3,
+            theta: 0.1,
+            epsilon: 0.7,
+            subgraph_size: 8,
+            subgraph_patches: 4,
+            restart_p: 0.3,
+            edge_negatives: 4,
+            max_masked_edges: 2_000,
+            contrast_negatives: 2,
+            tau: 1.0,
+            epochs: 20,
+            lr: 5e-3,
+            weight_decay: 0.01,
+            dropout: 0.1,
+            act: Activation::Elu,
+            dense_score_limit: 3_000,
+            score_negatives: 32,
+            score_mask_batches: 8,
+            seed: 0,
+            ablation: Ablation::default(),
+        }
+    }
+}
+
+impl UmgadConfig {
+    /// Paper configuration for the injected-anomaly datasets (Retail,
+    /// Alibaba): 1-hop encoder/decoder, 20% masking, λ = μ = 0.3, α = 0.5,
+    /// β = 0.4.
+    pub fn paper_injected() -> Self {
+        Self::default()
+    }
+
+    /// Paper configuration for the real-anomaly datasets (Amazon, YelpChi):
+    /// 2-hop encoder, higher masking (40–60%), λ/μ ≈ 0.4, α ≈ 0.55, β = 0.3.
+    pub fn paper_real() -> Self {
+        Self {
+            enc_hops: 2,
+            mask_ratio: 0.5,
+            lambda: 0.4,
+            mu: 0.45,
+            alpha: 0.55,
+            beta: 0.3,
+            epsilon: 0.75,
+            ..Self::default()
+        }
+    }
+
+    /// Quick config for unit tests: small and fast.
+    pub fn fast_test() -> Self {
+        Self {
+            hidden: 8,
+            repeats: 1,
+            epochs: 8,
+            subgraph_patches: 2,
+            subgraph_size: 5,
+            max_masked_edges: 200,
+            dense_score_limit: 10_000,
+            ..Self::default()
+        }
+    }
+
+    /// Setter-style helpers for sweep harnesses.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the ablation switches.
+    pub fn with_ablation(mut self, ablation: Ablation) -> Self {
+        self.ablation = ablation;
+        self
+    }
+
+    /// Validate ranges; panics on misuse (programmer error).
+    pub fn validate(&self) {
+        assert!(self.hidden > 0 && self.repeats > 0 && self.epochs > 0);
+        assert!((0.0..=1.0).contains(&self.mask_ratio) && self.mask_ratio > 0.0);
+        assert!(self.eta >= 1.0, "η ≥ 1 (Eq. 4)");
+        for (name, v) in [
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("epsilon", self.epsilon),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1]");
+        }
+        assert!(self.lambda >= 0.0 && self.mu >= 0.0 && self.theta >= 0.0);
+        assert!(self.subgraph_size >= 2);
+        assert!(self.edge_negatives > 0 && self.contrast_negatives > 0);
+        assert!(
+            self.ablation.original_view || self.ablation.augmented_views,
+            "at least one view must remain"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        UmgadConfig::default().validate();
+        UmgadConfig::paper_real().validate();
+        UmgadConfig::fast_test().validate();
+    }
+
+    #[test]
+    fn variants_cover_table3() {
+        let v = Ablation::variants();
+        assert_eq!(v.len(), 6);
+        assert!(!v[0].1.masking);
+        assert!(!v[5].1.contrastive);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one view")]
+    fn cannot_drop_both_views() {
+        let cfg = UmgadConfig::default().with_ablation(Ablation {
+            original_view: false,
+            augmented_views: false,
+            ..Ablation::default()
+        });
+        cfg.validate();
+    }
+
+    #[test]
+    fn aug_switches_compose() {
+        let ab = Ablation { augmented_views: false, ..Ablation::default() };
+        assert!(!ab.attr_aug_active());
+        assert!(!ab.subgraph_aug_active());
+        let ab2 = Ablation { attr_augmentation: false, ..Ablation::default() };
+        assert!(!ab2.attr_aug_active());
+        assert!(ab2.subgraph_aug_active());
+    }
+}

@@ -1,0 +1,269 @@
+//! Evaluation metrics: ROC-AUC, Macro-F1, and threshold application.
+
+/// ROC-AUC computed from the rank statistic (Mann–Whitney U), with proper
+/// handling of tied scores. Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending; ties get the average rank.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Average 1-based rank of the tie block [i, j].
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            if labels[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Confusion counts at a given prediction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against labels.
+    pub fn tally(pred: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(pred.len(), labels.len());
+        let mut c = Confusion::default();
+        for (&p, &l) in pred.iter().zip(labels) {
+            match (p, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// F1 of the positive class.
+    pub fn f1_pos(&self) -> f64 {
+        let denom = 2 * self.tp + self.fp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            2.0 * self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 of the negative class.
+    pub fn f1_neg(&self) -> f64 {
+        let denom = 2 * self.tn + self.fn_ + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            2.0 * self.tn as f64 / denom as f64
+        }
+    }
+
+    /// Macro-F1: unweighted mean of per-class F1 (the paper's second metric).
+    pub fn macro_f1(&self) -> f64 {
+        (self.f1_pos() + self.f1_neg()) / 2.0
+    }
+
+    /// Precision of the positive class.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall of the positive class.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+}
+
+/// Macro-F1 given scores, labels, and a score threshold (`score >= threshold`
+/// is predicted anomalous).
+pub fn macro_f1_at(scores: &[f64], labels: &[bool], threshold: f64) -> f64 {
+    let pred: Vec<bool> = scores.iter().map(|&s| s >= threshold).collect();
+    Confusion::tally(&pred, labels).macro_f1()
+}
+
+/// Ground-truth-leakage threshold (§V-F, Table IV): the score of the
+/// `num_anomalies`-th highest-scoring node, i.e. exactly the known anomaly
+/// count is flagged.
+pub fn oracle_threshold(scores: &[f64], num_anomalies: usize) -> f64 {
+    assert!(num_anomalies > 0 && num_anomalies <= scores.len());
+    let mut sorted: Vec<f64> = scores.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("scores must not be NaN"));
+    sorted[num_anomalies - 1]
+}
+
+/// Area under the precision-recall curve (average precision), the GAD
+/// literature's complement to ROC-AUC on heavily imbalanced data.
+/// Computed as `Σ_k (R_k − R_{k−1}) · P_k` over the ranked list, with ties
+/// broken by rank (standard AP). Returns the positive rate when either
+/// class is empty.
+pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let pos = labels.iter().filter(|&&l| l).count();
+    if pos == 0 || pos == labels.len() {
+        return pos as f64 / labels.len().max(1) as f64;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    let mut tp = 0usize;
+    let mut ap = 0.0;
+    for (rank, &i) in order.iter().enumerate() {
+        if labels[i] {
+            tp += 1;
+            ap += tp as f64 / (rank + 1) as f64;
+        }
+    }
+    ap / pos as f64
+}
+
+/// Precision among the `k` highest-scoring nodes.
+pub fn precision_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let k = k.clamp(1, scores.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    let hits = order[..k].iter().filter(|&&i| labels[i]).count();
+    hits as f64 / k as f64
+}
+
+/// Recall among the `k` highest-scoring nodes (fraction of all anomalies
+/// captured in the top `k`).
+pub fn recall_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let pos = labels.iter().filter(|&&l| l).count();
+    if pos == 0 {
+        return 0.0;
+    }
+    let k = k.clamp(1, scores.len());
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    let hits = order[..k].iter().filter(|&&i| labels[i]).count();
+    hits as f64 / pos as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_separation() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn auc_inverted() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores tied: AUC must be exactly 0.5 by the tie correction.
+        let scores = [0.5; 10];
+        let labels = [true, false, true, false, true, false, true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value() {
+        // pos scores {3, 1}, neg scores {2, 0}: pairs won = (3>2, 3>0, 1>0) =
+        // 3 of 4 -> 0.75.
+        let scores = [3.0, 1.0, 2.0, 0.0];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_empty_class() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn confusion_and_f1() {
+        let pred = [true, true, false, false, true];
+        let labels = [true, false, false, true, true];
+        let c = Confusion::tally(&pred, &labels);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.f1_pos() - 2.0 * 2.0 / 6.0).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        let macro_f1 = (c.f1_pos() + c.f1_neg()) / 2.0;
+        assert!((c.macro_f1() - macro_f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_inverted() {
+        let labels = [true, true, false, false, false];
+        assert_eq!(average_precision(&[5.0, 4.0, 3.0, 2.0, 1.0], &labels), 1.0);
+        // Worst case: both positives ranked last -> AP = (1/4 + 2/5)/2.
+        let ap = average_precision(&[1.0, 2.0, 5.0, 4.0, 3.0], &labels);
+        assert!((ap - (1.0 / 4.0 + 2.0 / 5.0) / 2.0).abs() < 1e-12, "{ap}");
+    }
+
+    #[test]
+    fn average_precision_degenerate_classes() {
+        assert_eq!(average_precision(&[1.0, 2.0], &[false, false]), 0.0);
+        assert_eq!(average_precision(&[1.0, 2.0], &[true, true]), 1.0);
+    }
+
+    #[test]
+    fn precision_recall_at_k() {
+        let scores = [9.0, 8.0, 7.0, 1.0, 0.5];
+        let labels = [true, false, true, false, true];
+        assert_eq!(precision_at_k(&scores, &labels, 2), 0.5);
+        assert!((precision_at_k(&scores, &labels, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_k(&scores, &labels, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at_k(&scores, &labels, 5), 1.0);
+        // k is clamped, not a panic.
+        assert_eq!(precision_at_k(&scores, &labels, 100), 3.0 / 5.0);
+    }
+
+    #[test]
+    fn oracle_threshold_flags_exact_count() {
+        let scores = [0.1, 0.9, 0.5, 0.7, 0.3];
+        let t = oracle_threshold(&scores, 2);
+        assert_eq!(t, 0.7);
+        let flagged = scores.iter().filter(|&&s| s >= t).count();
+        assert_eq!(flagged, 2);
+    }
+
+    #[test]
+    fn macro_f1_at_threshold() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [true, true, false, false];
+        assert_eq!(macro_f1_at(&scores, &labels, 0.5), 1.0);
+    }
+}

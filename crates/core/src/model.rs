@@ -1,0 +1,956 @@
+//! The UMGAD model (§IV): dual-view graph-masked autoencoders over
+//! multiplex heterogeneous graphs with contrastive coupling.
+//!
+//! Per (relation `r`, masking repeat `k`) the model owns four GMAE units —
+//! original-view attribute (Eq. 2), original-view structure (Eq. 6),
+//! attribute-level augmented (Eq. 11), and subgraph-level augmented
+//! (Eq. 14) — plus the two learnable relation-weight vectors `a^r`, `b^r`
+//! shared across views (Eq. 3/8/12/14). One training epoch builds a single
+//! tape spanning every active component, so all couplings (fusion weights,
+//! the dual-view contrast) receive exact gradients.
+//!
+//! **Complexity** (§IV-F): with `|V|` nodes, `f` attribute dims, `d_h`
+//! hidden dims, `L` SGC hops and `R` relations, one epoch costs
+//! `O(K · R · (nnz·f + |V|·f·d_h))` for the reconstructions plus
+//! `O(|V|·q·f)` for the contrast — matching the paper's
+//! `O(|V|·f·(L + d_h·R + f))` up to the masking-repeat constant `K`.
+
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use umgad_graph::{
+    contrast_indices, induced_edge_indices, negative_endpoints, rwr_mask_sets, sample_indices,
+    swap_partners, MultiplexGraph, RelationLayer,
+};
+use umgad_nn::{BoundGmae, Gmae, GmaeConfig, RelationWeights};
+use umgad_tensor::{Adam, Matrix, SpPair, Tape, Var};
+
+use crate::config::UmgadConfig;
+use crate::eval::{macro_f1_at, oracle_threshold, roc_auc, Confusion};
+use crate::score::{combine_views, view_scores, ScoreOptions, ViewRecon};
+use crate::threshold::{select_threshold, ThresholdDecision};
+
+/// Loss breakdown for one training epoch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochStats {
+    /// Total Eq. 18 loss.
+    pub total: f64,
+    /// Original-view loss `L_O`.
+    pub original: f64,
+    /// Attribute-level augmented loss `L_A_Aug`.
+    pub attr_aug: f64,
+    /// Subgraph-level augmented loss `L_S_Aug`.
+    pub subgraph_aug: f64,
+    /// Dual-view contrastive loss `L_CL`.
+    pub contrastive: f64,
+    /// Wall-clock duration of the epoch.
+    pub duration: Duration,
+}
+
+/// Detection outcome on a labelled graph.
+#[derive(Clone, Debug)]
+pub struct Detection {
+    /// Per-node anomaly scores `S(i)`.
+    pub scores: Vec<f64>,
+    /// Unsupervised threshold decision (Eq. 20–23).
+    pub decision: ThresholdDecision,
+    /// ROC-AUC against the labels.
+    pub auc: f64,
+    /// Macro-F1 at the unsupervised threshold.
+    pub macro_f1: f64,
+    /// Macro-F1 at the ground-truth-leakage threshold (Table IV protocol).
+    pub macro_f1_oracle: f64,
+    /// AUC is threshold-free; this is the number of flagged nodes at the
+    /// unsupervised threshold.
+    pub flagged: usize,
+    /// Confusion at the unsupervised threshold.
+    pub confusion: Confusion,
+}
+
+/// Per-view breakdown of one node's anomaly score (see [`Umgad::explain`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ScoreExplanation {
+    /// View name (`"O"`, `"A_Aug"`, `"S_Aug"`).
+    pub view: &'static str,
+    /// z-score of the node's attribute reconstruction error in this view.
+    pub attribute_z: f64,
+    /// z-score of the node's (relation-averaged) structure error.
+    pub structure_z: f64,
+}
+
+/// The UMGAD detector.
+pub struct Umgad {
+    cfg: UmgadConfig,
+    relations: usize,
+    orig_attr: Vec<Gmae>,
+    orig_struct: Vec<Gmae>,
+    aug_attr: Vec<Gmae>,
+    sub: Vec<Gmae>,
+    a_weights: RelationWeights,
+    b_weights: RelationWeights,
+    union_layer: RelationLayer,
+    opt: Adam,
+    rng: SmallRng,
+    /// Per-epoch loss history (Fig. 6c input).
+    pub history: Vec<EpochStats>,
+}
+
+impl Umgad {
+    /// Build a detector for `graph` under `cfg`.
+    pub fn new(graph: &MultiplexGraph, cfg: UmgadConfig) -> Self {
+        cfg.validate();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let r = graph.num_relations();
+        let k = cfg.repeats;
+        let f = graph.attr_dim();
+        let gmae_cfg = GmaeConfig {
+            in_dim: f,
+            hidden: cfg.hidden,
+            enc_hops: cfg.enc_hops,
+            dec_hops: cfg.dec_hops,
+            act: cfg.act,
+            with_token: true,
+        };
+        let no_token = GmaeConfig { with_token: false, ..gmae_cfg };
+        let units = if cfg.share_repeats { r } else { r * k };
+        let make = |cfg: &GmaeConfig, rng: &mut SmallRng| -> Vec<Gmae> {
+            (0..units).map(|_| Gmae::new(cfg, rng)).collect()
+        };
+        Self {
+            relations: r,
+            orig_attr: make(&gmae_cfg, &mut rng),
+            orig_struct: make(&no_token, &mut rng),
+            aug_attr: make(&gmae_cfg, &mut rng),
+            sub: make(&gmae_cfg, &mut rng),
+            a_weights: RelationWeights::new(r, &mut rng),
+            b_weights: RelationWeights::new(r, &mut rng),
+            union_layer: graph.union_layer(),
+            opt: Adam { lr: cfg.lr, weight_decay: cfg.weight_decay, ..Adam::default() },
+            rng,
+            history: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &UmgadConfig {
+        &self.cfg
+    }
+
+    /// Current softmaxed relation weights `a^r` (attribute fusion).
+    pub fn relation_weights(&self) -> Vec<f64> {
+        self.a_weights.current()
+    }
+
+    /// Number of relations this model was built for.
+    pub fn num_relations(&self) -> usize {
+        self.relations
+    }
+
+    /// Borrow the four unit families `(orig_attr, orig_struct, aug_attr,
+    /// sub)` — used by checkpointing.
+    pub fn unit_slices(&self) -> (&[Gmae], &[Gmae], &[Gmae], &[Gmae]) {
+        (&self.orig_attr, &self.orig_struct, &self.aug_attr, &self.sub)
+    }
+
+    /// Raw relation-weight logits `(a, b)` — used by checkpointing.
+    pub fn relation_weight_logits(&self) -> (Matrix, Matrix) {
+        (self.a_weights.logits.value.clone(), self.b_weights.logits.value.clone())
+    }
+
+    /// Replace all learned state (checkpoint restore). Unit counts and
+    /// shapes must match the model's architecture.
+    pub fn replace_units(
+        &mut self,
+        orig_attr: Vec<Gmae>,
+        orig_struct: Vec<Gmae>,
+        aug_attr: Vec<Gmae>,
+        sub: Vec<Gmae>,
+        a_logits: Matrix,
+        b_logits: Matrix,
+    ) -> Result<(), String> {
+        for (name, new, old) in [
+            ("orig_attr", &orig_attr, &self.orig_attr),
+            ("orig_struct", &orig_struct, &self.orig_struct),
+            ("aug_attr", &aug_attr, &self.aug_attr),
+            ("sub", &sub, &self.sub),
+        ] {
+            if new.len() != old.len() {
+                return Err(format!(
+                    "{name}: expected {} units, checkpoint has {}",
+                    old.len(),
+                    new.len()
+                ));
+            }
+            for (n, o) in new.iter().zip(old.iter()) {
+                if n.enc.w.shape() != o.enc.w.shape() || n.dec.w.shape() != o.dec.w.shape() {
+                    return Err(format!("{name}: unit shape mismatch"));
+                }
+            }
+        }
+        if a_logits.shape() != self.a_weights.logits.shape()
+            || b_logits.shape() != self.b_weights.logits.shape()
+        {
+            return Err("relation-weight shape mismatch".to_string());
+        }
+        self.orig_attr = orig_attr;
+        self.orig_struct = orig_struct;
+        self.aug_attr = aug_attr;
+        self.sub = sub;
+        self.a_weights.logits = umgad_tensor::Param::new(a_logits);
+        self.b_weights.logits = umgad_tensor::Param::new(b_logits);
+        Ok(())
+    }
+
+    #[inline]
+    fn unit(&self, r: usize, k: usize) -> usize {
+        if self.cfg.share_repeats {
+            r
+        } else {
+            r * self.cfg.repeats + k
+        }
+    }
+
+    /// Train for `cfg.epochs` epochs.
+    pub fn train(&mut self, graph: &MultiplexGraph) {
+        for _ in 0..self.cfg.epochs {
+            self.train_epoch(graph);
+        }
+    }
+
+    /// Train with early stopping: stop when the total loss has not improved
+    /// by at least `min_delta` (relative) for `patience` consecutive epochs,
+    /// up to `cfg.epochs` at most. Returns the number of epochs run.
+    /// Fig. 6c shows UMGAD converging well before the fixed epoch budget;
+    /// this makes that observation actionable.
+    pub fn train_early_stopping(
+        &mut self,
+        graph: &MultiplexGraph,
+        patience: usize,
+        min_delta: f64,
+    ) -> usize {
+        assert!(patience >= 1);
+        let mut best = f64::INFINITY;
+        let mut stale = 0usize;
+        let mut epochs = 0usize;
+        for _ in 0..self.cfg.epochs {
+            let stats = self.train_epoch(graph);
+            epochs += 1;
+            if stats.total < best * (1.0 - min_delta) {
+                best = stats.total;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= patience {
+                    break;
+                }
+            }
+        }
+        epochs
+    }
+
+    /// Run one training epoch; returns (and records) the loss breakdown.
+    #[allow(clippy::too_many_lines)]
+    pub fn train_epoch(&mut self, graph: &MultiplexGraph) -> EpochStats {
+        let start = Instant::now();
+        let n = graph.num_nodes();
+        let kk = self.cfg.repeats;
+        let rr = self.relations;
+        let ab = self.cfg.ablation;
+        let x_rc: Rc<Matrix> = Rc::new((**graph.attrs()).clone());
+
+        let mut tape = Tape::new();
+        let x_const = tape.constant((*x_rc).clone());
+        let x_in = if self.cfg.dropout > 0.0 {
+            tape.dropout(x_const, self.cfg.dropout, &mut self.rng)
+        } else {
+            x_const
+        };
+        let pairs: Vec<SpPair> = graph.layers().iter().map(RelationLayer::norm_pair).collect();
+        let aw = self.a_weights.bind(&mut tape);
+        let bw = self.b_weights.bind(&mut tape);
+
+        // Bind every module that may participate this epoch.
+        let bind_all = |modules: &[Gmae], tape: &mut Tape| -> Vec<BoundGmae> {
+            modules.iter().map(|m| m.bind(tape)).collect()
+        };
+        let b_orig_attr = bind_all(&self.orig_attr, &mut tape);
+        let b_orig_struct = bind_all(&self.orig_struct, &mut tape);
+        let b_aug_attr = bind_all(&self.aug_attr, &mut tape);
+        let b_sub = bind_all(&self.sub, &mut tape);
+
+        let mut loss_terms: Vec<Var> = Vec::new();
+        let mut stats = EpochStats::default();
+
+        // Fused attribute reconstructions per view (inputs to the contrast).
+        let mut fused_orig: Vec<Var> = Vec::new();
+        let mut fused_aa: Vec<Var> = Vec::new();
+        let mut fused_sa: Vec<Var> = Vec::new();
+
+        // ---- (1) original view -----------------------------------------
+        if ab.original_view {
+            // Attribute reconstruction (Eq. 1–4).
+            let mut l_a: Option<Var> = None;
+            for k in 0..kk {
+                let idx = if ab.masking {
+                    Rc::new(sample_indices(n, self.cfg.mask_ratio, &mut self.rng))
+                } else {
+                    Rc::new((0..n).collect::<Vec<_>>())
+                };
+                let recons: Vec<Var> = (0..rr)
+                    .map(|r| {
+                        let u = self.unit(r, k);
+                        let module = &self.orig_attr[u];
+                        if ab.masking {
+                            module
+                                .forward_attr_masked(
+                                    &mut tape,
+                                    &b_orig_attr[u],
+                                    &pairs[r],
+                                    x_in,
+                                    Rc::clone(&idx),
+                                )
+                                .recon
+                        } else {
+                            module.forward(&mut tape, &b_orig_attr[u], &pairs[r], x_in).recon
+                        }
+                    })
+                    .collect();
+                let fused = self.a_weights.fuse(&mut tape, &aw, &recons);
+                fused_orig.push(fused);
+                let lk = tape.scaled_cosine_loss(fused, Rc::clone(&x_rc), idx, self.cfg.eta);
+                l_a = Some(match l_a {
+                    Some(acc) => tape.add(acc, lk),
+                    None => lk,
+                });
+            }
+            let l_a = l_a.expect("K >= 1");
+
+            // Structure reconstruction (Eq. 5–8).
+            let mut per_relation: Vec<Var> = Vec::with_capacity(rr);
+            for r in 0..rr {
+                let layer = graph.layer(r);
+                let mut l_r: Option<Var> = None;
+                for k in 0..kk {
+                    let u = self.unit(r, k);
+                    let (adj, pos_edges) = if ab.masking {
+                        let e = layer.num_edges();
+                        if e == 0 {
+                            continue;
+                        }
+                        let masked = sample_indices(e, self.cfg.mask_ratio, &mut self.rng);
+                        let (pruned, masked_edges) = layer.without_edges(&masked);
+                        (SpPair::symmetric(pruned), masked_edges)
+                    } else {
+                        // Plain GAE: predict a random subset of observed
+                        // edges from the full-graph encoding.
+                        let e = layer.num_edges();
+                        if e == 0 {
+                            continue;
+                        }
+                        let sampled = sample_indices(e, self.cfg.mask_ratio, &mut self.rng);
+                        let edges = sampled.iter().map(|&i| layer.edges()[i]).collect();
+                        (pairs[r].clone(), edges)
+                    };
+                    let mut pos: Vec<(usize, usize)> = pos_edges
+                        .iter()
+                        .map(|&(a, b)| (a as usize, b as usize))
+                        .collect();
+                    if pos.is_empty() {
+                        continue;
+                    }
+                    if pos.len() > self.cfg.max_masked_edges {
+                        // Deterministic thinning keeps the loss linear on
+                        // the dense similarity relations.
+                        let stride = pos.len().div_ceil(self.cfg.max_masked_edges);
+                        pos = pos.into_iter().step_by(stride).collect();
+                    }
+                    let q = self.cfg.edge_negatives;
+                    let negs = Rc::new(negative_endpoints(layer, &pos, q, &mut self.rng));
+                    let out =
+                        self.orig_struct[u].forward(&mut tape, &b_orig_struct[u], &adj, x_in);
+                    let z = tape.row_normalize(out.recon);
+                    let lrk = tape.edge_nce_loss(z, Rc::new(pos), negs, q);
+                    l_r = Some(match l_r {
+                        Some(acc) => tape.add(acc, lrk),
+                        None => lrk,
+                    });
+                }
+                per_relation.push(l_r.unwrap_or_else(|| tape.constant(Matrix::zeros(1, 1))));
+            }
+            let l_s = self.b_weights.fuse_scalars(&mut tape, &bw, &per_relation);
+
+            let a_part = tape.scale(l_a, self.cfg.alpha);
+            let s_part = tape.scale(l_s, 1.0 - self.cfg.alpha);
+            let lo = tape.add(a_part, s_part);
+            stats.original = tape.value(lo).get(0, 0);
+            loss_terms.push(lo);
+        }
+
+        // ---- (2a) attribute-level augmented view (Eq. 10–13) ------------
+        if ab.attr_aug_active() {
+            let mut l_aa: Option<Var> = None;
+            for _k in 0..kk {
+                let sel = Rc::new(sample_indices(n, self.cfg.mask_ratio, &mut self.rng));
+                let partners = swap_partners(n, &sel, &mut self.rng);
+                let mut x_aa = (*x_rc).clone();
+                for (&i, &j) in sel.iter().zip(&partners) {
+                    let row = x_rc.row(j).to_vec();
+                    x_aa.set_row(i, &row);
+                }
+                let x_aa_const = tape.constant(x_aa);
+                let recons: Vec<Var> = (0..rr)
+                    .map(|r| {
+                        let u = self.unit(r, _k);
+                        if ab.masking {
+                            self.aug_attr[u]
+                                .forward_attr_masked(
+                                    &mut tape,
+                                    &b_aug_attr[u],
+                                    &pairs[r],
+                                    x_aa_const,
+                                    Rc::clone(&sel),
+                                )
+                                .recon
+                        } else {
+                            self.aug_attr[u]
+                                .forward(&mut tape, &b_aug_attr[u], &pairs[r], x_aa_const)
+                                .recon
+                        }
+                    })
+                    .collect();
+                let fused = self.a_weights.fuse(&mut tape, &aw, &recons);
+                fused_aa.push(fused);
+                // Eq. 13 reconstructs toward the ORIGINAL attributes.
+                let lk = tape.scaled_cosine_loss(fused, Rc::clone(&x_rc), sel, self.cfg.eta);
+                l_aa = Some(match l_aa {
+                    Some(acc) => tape.add(acc, lk),
+                    None => lk,
+                });
+            }
+            let l = l_aa.expect("K >= 1");
+            stats.attr_aug = tape.value(l).get(0, 0);
+            let weighted = tape.scale(l, self.cfg.lambda);
+            loss_terms.push(weighted);
+        }
+
+        // ---- (2b) subgraph-level augmented view (Eq. 14–16) -------------
+        if ab.subgraph_aug_active() {
+            let mut l_sa: Option<Var> = None;
+            let mut l_ss_per_rel: Vec<Option<Var>> = vec![None; rr];
+            for k in 0..kk {
+                // Patches sampled on the union graph so the masked node set
+                // V_s^k is shared across relations (Eq. 15 indexes it by k).
+                let (nodes, _) = rwr_mask_sets(
+                    &self.union_layer,
+                    self.cfg.subgraph_patches,
+                    self.cfg.subgraph_size,
+                    self.cfg.restart_p,
+                    &mut self.rng,
+                );
+                if nodes.is_empty() {
+                    continue;
+                }
+                let nodes_rc = Rc::new(nodes);
+                let mut recons = Vec::with_capacity(rr);
+                for r in 0..rr {
+                    let layer = graph.layer(r);
+                    let u = self.unit(r, k);
+                    let edge_idx = induced_edge_indices(layer, &nodes_rc);
+                    let (adj, masked_edges) = if ab.masking && !edge_idx.is_empty() {
+                        let (pruned, me) = layer.without_edges(&edge_idx);
+                        (SpPair::symmetric(pruned), me)
+                    } else {
+                        (pairs[r].clone(), Vec::new())
+                    };
+                    let out = if ab.masking {
+                        self.sub[u].forward_attr_masked(
+                            &mut tape,
+                            &b_sub[u],
+                            &adj,
+                            x_in,
+                            Rc::clone(&nodes_rc),
+                        )
+                    } else {
+                        self.sub[u].forward(&mut tape, &b_sub[u], &adj, x_in)
+                    };
+                    recons.push(out.recon);
+                    if !masked_edges.is_empty() {
+                        let pos: Vec<(usize, usize)> =
+                            masked_edges.iter().map(|&(a, b)| (a as usize, b as usize)).collect();
+                        let q = self.cfg.edge_negatives;
+                        let negs = Rc::new(negative_endpoints(layer, &pos, q, &mut self.rng));
+                        let z = tape.row_normalize(out.recon);
+                        let l = tape.edge_nce_loss(z, Rc::new(pos), negs, q);
+                        l_ss_per_rel[r] = Some(match l_ss_per_rel[r] {
+                            Some(acc) => tape.add(acc, l),
+                            None => l,
+                        });
+                    }
+                }
+                let fused = self.a_weights.fuse(&mut tape, &aw, &recons);
+                fused_sa.push(fused);
+                let lk =
+                    tape.scaled_cosine_loss(fused, Rc::clone(&x_rc), nodes_rc, self.cfg.eta);
+                l_sa = Some(match l_sa {
+                    Some(acc) => tape.add(acc, lk),
+                    None => lk,
+                });
+            }
+            if let Some(l_sa) = l_sa {
+                let per_rel: Vec<Var> = l_ss_per_rel
+                    .into_iter()
+                    .map(|o| o.unwrap_or_else(|| tape.constant(Matrix::zeros(1, 1))))
+                    .collect();
+                let l_ss = self.b_weights.fuse_scalars(&mut tape, &bw, &per_rel);
+                let a_part = tape.scale(l_sa, self.cfg.beta);
+                let s_part = tape.scale(l_ss, 1.0 - self.cfg.beta);
+                let l = tape.add(a_part, s_part);
+                stats.subgraph_aug = tape.value(l).get(0, 0);
+                let weighted = tape.scale(l, self.cfg.mu);
+                loss_terms.push(weighted);
+            }
+        }
+
+        // ---- (3) dual-view contrastive learning (Eq. 17) ----------------
+        if ab.contrastive && !fused_orig.is_empty() && (!fused_aa.is_empty() || !fused_sa.is_empty())
+        {
+            let mean_of = |vars: &[Var], tape: &mut Tape| -> Var {
+                let mut acc = vars[0];
+                for &v in &vars[1..] {
+                    acc = tape.add(acc, v);
+                }
+                tape.scale(acc, 1.0 / vars.len() as f64)
+            };
+            let o_mean = mean_of(&fused_orig, &mut tape);
+            let o_norm = tape.row_normalize(o_mean);
+            let q = self.cfg.contrast_negatives;
+            let mut l_cl: Option<Var> = None;
+            for views in [&fused_aa, &fused_sa] {
+                if views.is_empty() {
+                    continue;
+                }
+                let v_mean = mean_of(views, &mut tape);
+                let v_norm = tape.row_normalize(v_mean);
+                let negs = Rc::new(contrast_indices(n, q, &mut self.rng));
+                let l = tape.info_nce_loss(o_norm, v_norm, negs, q, self.cfg.tau);
+                l_cl = Some(match l_cl {
+                    Some(acc) => tape.add(acc, l),
+                    None => l,
+                });
+            }
+            if let Some(l) = l_cl {
+                stats.contrastive = tape.value(l).get(0, 0);
+                let weighted = tape.scale(l, self.cfg.theta);
+                loss_terms.push(weighted);
+            }
+        }
+
+        // ---- (4) combine, backprop, update ------------------------------
+        assert!(!loss_terms.is_empty(), "no active loss terms — check ablation flags");
+        let mut total = loss_terms[0];
+        for &t in &loss_terms[1..] {
+            total = tape.add(total, t);
+        }
+        stats.total = tape.value(total).get(0, 0);
+        tape.backward(total);
+
+        for (m, b) in self.orig_attr.iter_mut().zip(&b_orig_attr) {
+            m.update(&tape, b, &self.opt);
+        }
+        for (m, b) in self.orig_struct.iter_mut().zip(&b_orig_struct) {
+            m.update(&tape, b, &self.opt);
+        }
+        for (m, b) in self.aug_attr.iter_mut().zip(&b_aug_attr) {
+            m.update(&tape, b, &self.opt);
+        }
+        for (m, b) in self.sub.iter_mut().zip(&b_sub) {
+            m.update(&tape, b, &self.opt);
+        }
+        self.a_weights.update(&tape, &aw, &self.opt);
+        self.b_weights.update(&tape, &bw, &self.opt);
+
+        stats.duration = start.elapsed();
+        self.history.push(stats);
+        stats
+    }
+
+    /// Held-out ("masked") reconstruction: nodes are split into
+    /// `score_mask_batches` groups; each group is replaced by the unit's
+    /// `[MASK]` token in turn and its rows are read from that pass. This is
+    /// the readout a GMAE is actually trained for — a plain unmasked pass
+    /// lets the decoder copy the input and flattens the anomaly signal.
+    fn masked_unit_recon(&self, graph: &MultiplexGraph, unit: &Gmae, r: usize) -> Matrix {
+        let x = graph.attrs();
+        let n = graph.num_nodes();
+        let norm = graph.layer(r).normalized();
+        // The `w/o M` ablation trains a plain GAE — no masking was ever
+        // seen, so the held-out readout is ill-defined for it and the
+        // variant scores through plain reconstruction instead.
+        let batches = if self.cfg.ablation.masking { self.cfg.score_mask_batches } else { 0 };
+        let (Some(token), true) = (&unit.token, batches > 0) else {
+            return unit.infer(norm, x).1;
+        };
+        let token_row = token.value.row(0).to_vec();
+        let mut out = Matrix::zeros(n, x.cols());
+        for b in 0..batches.min(n) {
+            let mut masked = (**x).clone();
+            for i in (b..n).step_by(batches) {
+                masked.set_row(i, &token_row);
+            }
+            let (_, recon) = unit.infer(norm, &masked);
+            for i in (b..n).step_by(batches) {
+                out.set_row(i, recon.row(i));
+            }
+        }
+        out
+    }
+
+    /// Reconstructions for one view family at inference time.
+    fn view_recon(&self, graph: &MultiplexGraph, attr_units: &[Gmae], struct_units: &[Gmae]) -> ViewRecon {
+        let x = graph.attrs();
+        let kk = self.cfg.repeats;
+        let a = self.a_weights.current();
+        let n = graph.num_nodes();
+        let f = graph.attr_dim();
+
+        // Fused attribute readouts: Σ_r a_r · mean_k recon^{r,k}, once under
+        // held-out masking and once as a plain pass. The two catch different
+        // anomaly types (context-unpredictable vs manifold-distant) and the
+        // scorer averages their standardised errors. Units are independent
+        // pure inference — fan them out across worker threads.
+        let jobs: Vec<(usize, usize)> =
+            (0..self.relations).flat_map(|r| (0..kk).map(move |k| (r, k))).collect();
+        let recons = umgad_tensor::parallel_map(jobs, umgad_tensor::default_threads(), |(r, k)| {
+            let unit = &attr_units[self.unit(r, k)];
+            let masked = self.masked_unit_recon(graph, unit, r);
+            let plain = unit.infer(graph.layer(r).normalized(), graph.attrs()).1;
+            (r, masked, plain)
+        });
+        let use_masked = self.cfg.ablation.masking && self.cfg.score_mask_batches > 0;
+        let mut fused = Matrix::zeros(n, f);
+        let mut fused_plain = Matrix::zeros(n, f);
+        for (r, masked, plain) in recons {
+            fused.add_scaled(&masked, a[r] / kk as f64);
+            fused_plain.add_scaled(&plain, a[r] / kk as f64);
+        }
+        let attr_readouts = if use_masked { vec![fused, fused_plain] } else { vec![fused_plain] };
+
+        // Per-relation structure embeddings: mean_k recon of the structure
+        // units, row-normalised (matching the training-time g(v,u)).
+        let mut structure = Vec::with_capacity(self.relations);
+        for r in 0..self.relations {
+            let norm = graph.layer(r).normalized();
+            let mut mean = Matrix::zeros(n, f);
+            for k in 0..kk {
+                let (_, recon) = struct_units[self.unit(r, k)].infer(norm, x);
+                mean.add_scaled(&recon, 1.0 / kk as f64);
+            }
+            for i in 0..n {
+                let norm_i = mean.row_norm(i);
+                if norm_i > 1e-12 {
+                    for v in mean.row_mut(i) {
+                        *v /= norm_i;
+                    }
+                }
+            }
+            structure.push(mean);
+        }
+        ViewRecon { attrs: attr_readouts, structure }
+    }
+
+    /// Expose the per-view reconstructions for diagnostics and custom
+    /// scoring (view name, reconstruction bundle).
+    pub fn debug_views(&self, graph: &MultiplexGraph) -> Vec<(&'static str, ViewRecon)> {
+        let mut out = Vec::new();
+        let ab = self.cfg.ablation;
+        if ab.original_view {
+            out.push(("O", self.view_recon(graph, &self.orig_attr, &self.orig_struct)));
+        }
+        if ab.attr_aug_active() {
+            out.push(("A_Aug", self.view_recon(graph, &self.aug_attr, &self.orig_struct)));
+        }
+        if ab.subgraph_aug_active() {
+            out.push(("S_Aug", self.view_recon(graph, &self.sub, &self.sub)));
+        }
+        out
+    }
+
+    /// Compute per-node anomaly scores `S(i)` (Eq. 19), averaging the active
+    /// views.
+    pub fn anomaly_scores(&self, graph: &MultiplexGraph) -> Vec<f64> {
+        let opts = ScoreOptions {
+            epsilon: self.cfg.epsilon,
+            dense_limit: self.cfg.dense_score_limit,
+            negatives: self.cfg.score_negatives,
+            standardize: true,
+            seed: self.cfg.seed,
+            ..ScoreOptions::default()
+        };
+        let ab = self.cfg.ablation;
+        let mut views = Vec::new();
+        if ab.original_view {
+            let v = self.view_recon(graph, &self.orig_attr, &self.orig_struct);
+            views.push(view_scores(&v, graph, &opts));
+        }
+        if ab.attr_aug_active() {
+            let v = self.view_recon(graph, &self.aug_attr, &self.orig_struct);
+            views.push(view_scores(&v, graph, &opts));
+        }
+        if ab.subgraph_aug_active() {
+            let v = self.view_recon(graph, &self.sub, &self.sub);
+            views.push(view_scores(&v, graph, &opts));
+        }
+        combine_views(&views)
+    }
+
+    /// Explain node `i`'s anomaly score: the z-standardised attribute and
+    /// structure error contributions per active view (higher = more
+    /// anomalous on that axis). An analyst triaging a flagged account wants
+    /// to know *why* it was flagged — attribute drift or structural
+    /// implausibility — and in which view.
+    pub fn explain(&self, graph: &MultiplexGraph, node: usize) -> Vec<ScoreExplanation> {
+        assert!(node < graph.num_nodes(), "node {node} out of range");
+        let opts = ScoreOptions {
+            epsilon: self.cfg.epsilon,
+            dense_limit: self.cfg.dense_score_limit,
+            negatives: self.cfg.score_negatives,
+            standardize: true,
+            seed: self.cfg.seed,
+            ..ScoreOptions::default()
+        };
+        self.debug_views(graph)
+            .into_iter()
+            .map(|(view, recon)| {
+                // Average the standardised error over the view's readouts.
+                let n = graph.num_nodes();
+                let mut attr = vec![0.0; n];
+                for readout in &recon.attrs {
+                    let mut e = crate::score::attribute_errors(readout, graph.attrs());
+                    crate::score::standardize(&mut e);
+                    for (a, v) in attr.iter_mut().zip(e) {
+                        *a += v / recon.attrs.len() as f64;
+                    }
+                }
+                let mut structure = vec![0.0; n];
+                for (r, z) in recon.structure.iter().enumerate() {
+                    let mut e = crate::score::structure_errors(z, graph, r, &opts);
+                    crate::score::standardize(&mut e);
+                    for (s, v) in structure.iter_mut().zip(e) {
+                        *s += v / recon.structure.len() as f64;
+                    }
+                }
+                ScoreExplanation {
+                    view,
+                    attribute_z: attr[node],
+                    structure_z: structure[node],
+                }
+            })
+            .collect()
+    }
+
+    /// Full pipeline on a labelled graph: score, select the unsupervised
+    /// threshold, and evaluate.
+    pub fn detect(&self, graph: &MultiplexGraph) -> Detection {
+        let labels = graph.labels().expect("detect() needs ground-truth labels to evaluate");
+        let scores = self.anomaly_scores(graph);
+        let decision = select_threshold(&scores);
+        let auc = roc_auc(&scores, labels);
+        let macro_f1 = macro_f1_at(&scores, labels, decision.threshold);
+        let k = graph.num_anomalies().max(1);
+        let macro_f1_oracle = macro_f1_at(&scores, labels, oracle_threshold(&scores, k));
+        let pred: Vec<bool> = scores.iter().map(|&s| s >= decision.threshold).collect();
+        let flagged = pred.iter().filter(|&&b| b).count();
+        let confusion = Confusion::tally(&pred, labels);
+        Detection { scores, decision, auc, macro_f1, macro_f1_oracle, flagged, confusion }
+    }
+
+    /// Train and detect in one call.
+    pub fn fit_detect(graph: &MultiplexGraph, cfg: UmgadConfig) -> Detection {
+        let mut model = Umgad::new(graph, cfg);
+        model.train(graph);
+        model.detect(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Ablation;
+    use rand::Rng;
+    use umgad_graph::RelationLayer;
+
+    /// A small two-relation graph with planted attribute + clique anomalies
+    /// that UMGAD should separate comfortably.
+    fn planted_graph(seed: u64) -> MultiplexGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = 160;
+        let f = 8;
+        let comm = |i: usize| i / 40; // 4 communities of 40
+        let mut attrs = Matrix::zeros(n, f);
+        for i in 0..n {
+            for j in 0..f {
+                let base = if comm(i) == j % 4 { 1.5 } else { 0.0 };
+                attrs.set(i, j, base + 0.3 * umgad_tensor::init::normal_scalar(&mut rng));
+            }
+        }
+        let mut edges1 = Vec::new();
+        let mut edges2 = Vec::new();
+        for i in 0..n {
+            for _ in 0..3 {
+                let j = comm(i) * 40 + rng.gen_range(0..40);
+                if i != j {
+                    edges1.push((i.min(j) as u32, i.max(j) as u32));
+                }
+            }
+            let j = comm(i) * 40 + rng.gen_range(0..40);
+            if i != j {
+                edges2.push((i.min(j) as u32, i.max(j) as u32));
+            }
+        }
+        let mut labels = vec![false; n];
+        // Clique anomaly: nodes 0..6 from different communities, fully
+        // connected in both relations.
+        let clique = [0usize, 41, 82, 123, 10, 51];
+        for (a, &u) in clique.iter().enumerate() {
+            labels[u] = true;
+            for &v in &clique[a + 1..] {
+                edges1.push((u.min(v) as u32, u.max(v) as u32));
+                edges2.push((u.min(v) as u32, u.max(v) as u32));
+            }
+        }
+        // Attribute anomalies: 6 nodes get far-community attributes.
+        for &i in &[20usize, 65, 100, 140, 30, 75] {
+            labels[i] = true;
+            for j in 0..f {
+                let foreign = if (comm(i) + 2) % 4 == j % 4 { 2.5 } else { -0.5 };
+                attrs.set(i, j, foreign);
+            }
+        }
+        MultiplexGraph::new(
+            attrs,
+            vec![RelationLayer::new("a", n, edges1), RelationLayer::new("b", n, edges2)],
+            Some(labels),
+        )
+    }
+
+    #[test]
+    fn training_decreases_loss() {
+        let g = planted_graph(1);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 12;
+        let mut model = Umgad::new(&g, cfg);
+        model.train(&g);
+        let first = model.history.first().unwrap().total;
+        let last = model.history.last().unwrap().total;
+        assert!(last < first, "loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn detects_planted_anomalies_better_than_random() {
+        let g = planted_graph(2);
+        let det = Umgad::fit_detect(&g, UmgadConfig::fast_test());
+        assert!(det.auc > 0.7, "AUC should beat random comfortably: {}", det.auc);
+        assert!(det.macro_f1 > 0.5, "macro-F1: {}", det.macro_f1);
+    }
+
+    #[test]
+    fn unsupervised_threshold_flags_reasonable_count() {
+        let g = planted_graph(3);
+        let det = Umgad::fit_detect(&g, UmgadConfig::fast_test());
+        let true_anoms = g.num_anomalies();
+        assert!(
+            det.flagged >= 2 && det.flagged <= true_anoms * 6,
+            "flagged {} vs true {}",
+            det.flagged,
+            true_anoms
+        );
+    }
+
+    #[test]
+    fn ablations_run_and_score() {
+        let g = planted_graph(4);
+        for (name, ab) in Ablation::variants() {
+            let mut cfg = UmgadConfig::fast_test().with_ablation(ab);
+            cfg.epochs = 3;
+            let det = Umgad::fit_detect(&g, cfg);
+            assert!(det.scores.iter().all(|s| s.is_finite()), "{name} produced non-finite scores");
+        }
+    }
+
+    #[test]
+    fn oracle_f1_at_least_close_to_unsupervised() {
+        let g = planted_graph(5);
+        let det = Umgad::fit_detect(&g, UmgadConfig::fast_test());
+        // Ground-truth-leakage threshold should not be dramatically worse.
+        assert!(det.macro_f1_oracle + 0.15 >= det.macro_f1);
+    }
+
+    #[test]
+    fn relation_weights_stay_normalized() {
+        let g = planted_graph(6);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 5;
+        let mut model = Umgad::new(&g, cfg);
+        model.train(&g);
+        let w = model.relation_weights();
+        assert_eq!(w.len(), 2);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn explain_reports_all_views() {
+        let g = planted_graph(21);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 5;
+        let mut model = Umgad::new(&g, cfg);
+        model.train(&g);
+        let ex = model.explain(&g, 0);
+        assert_eq!(ex.len(), 3, "O, A_Aug, S_Aug");
+        assert!(ex.iter().all(|e| e.attribute_z.is_finite() && e.structure_z.is_finite()));
+        // Node 0 is a clique anomaly: its structure z-score in the original
+        // view should sit above average (0) in at least one view.
+        assert!(ex.iter().any(|e| e.structure_z > 0.0 || e.attribute_z > 0.0));
+    }
+
+    #[test]
+    fn early_stopping_stops_before_budget_on_plateau() {
+        let g = planted_graph(22);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 60;
+        let mut model = Umgad::new(&g, cfg);
+        // Generous min_delta makes the plateau trigger quickly.
+        let ran = model.train_early_stopping(&g, 3, 0.05);
+        assert!(ran < 60, "should stop early, ran {ran}");
+        assert!(ran >= 4, "must run at least patience+1 epochs, ran {ran}");
+        assert_eq!(model.history.len(), ran);
+    }
+
+    #[test]
+    fn share_repeats_variant_trains_and_detects() {
+        let g = planted_graph(8);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.repeats = 2;
+        cfg.share_repeats = true;
+        cfg.epochs = 8;
+        let mut model = Umgad::new(&g, cfg);
+        model.train(&g);
+        let det = model.detect(&g);
+        assert!(det.auc > 0.6, "shared-repeat variant AUC {}", det.auc);
+        let first = model.history.first().unwrap().total;
+        let last = model.history.last().unwrap().total;
+        assert!(last < first, "shared-repeat loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = planted_graph(7);
+        let d1 = Umgad::fit_detect(&g, UmgadConfig::fast_test().with_seed(9));
+        let d2 = Umgad::fit_detect(&g, UmgadConfig::fast_test().with_seed(9));
+        assert_eq!(d1.scores, d2.scores);
+        assert_eq!(d1.auc, d2.auc);
+    }
+}

@@ -1,0 +1,415 @@
+//! Model checkpointing: serialise a trained [`Umgad`] detector to JSON and
+//! restore it bit-for-bit (training once, scoring many graphs of the same
+//! schema, or resuming later).
+//!
+//! Only the *learned state* is persisted — parameter matrices, relation
+//! weights, configuration, and loss history. RNG state is re-seeded from
+//! the config, so a restored model scores identically but further training
+//! re-draws masks from the seed.
+
+use serde::{Deserialize, Serialize};
+use umgad_graph::MultiplexGraph;
+use umgad_nn::{Activation, Gmae};
+use umgad_tensor::{Matrix, Param};
+
+use crate::config::{Ablation, UmgadConfig};
+use crate::model::Umgad;
+
+/// Serialisable matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatrixData {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major entries.
+    pub data: Vec<f64>,
+}
+
+impl From<&Matrix> for MatrixData {
+    fn from(m: &Matrix) -> Self {
+        Self { rows: m.rows(), cols: m.cols(), data: m.data().to_vec() }
+    }
+}
+
+impl From<MatrixData> for Matrix {
+    fn from(d: MatrixData) -> Self {
+        Matrix::from_vec(d.rows, d.cols, d.data)
+    }
+}
+
+/// Serialisable GMAE unit (weights only; optimiser moments reset on load —
+/// matching the usual fine-tuning convention).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GmaeData {
+    /// Encoder weight.
+    pub enc_w: MatrixData,
+    /// Encoder bias.
+    pub enc_b: MatrixData,
+    /// Encoder hops.
+    pub enc_hops: usize,
+    /// Decoder weight.
+    pub dec_w: MatrixData,
+    /// Decoder bias.
+    pub dec_b: MatrixData,
+    /// Decoder hops.
+    pub dec_hops: usize,
+    /// `[MASK]` token when present.
+    pub token: Option<MatrixData>,
+    /// Hidden activation tag.
+    pub act: String,
+}
+
+fn act_tag(a: Activation) -> String {
+    match a {
+        Activation::None => "none",
+        Activation::Relu => "relu",
+        Activation::Elu => "elu",
+        Activation::LeakyRelu => "leaky_relu",
+        Activation::Tanh => "tanh",
+    }
+    .to_string()
+}
+
+fn act_from_tag(s: &str) -> Result<Activation, String> {
+    Ok(match s {
+        "none" => Activation::None,
+        "relu" => Activation::Relu,
+        "elu" => Activation::Elu,
+        "leaky_relu" => Activation::LeakyRelu,
+        "tanh" => Activation::Tanh,
+        other => return Err(format!("unknown activation tag {other}")),
+    })
+}
+
+impl GmaeData {
+    /// Capture a unit's learned state.
+    pub fn capture(g: &Gmae) -> Self {
+        Self {
+            enc_w: (&g.enc.w.value).into(),
+            enc_b: (&g.enc.b.value).into(),
+            enc_hops: g.enc.hops,
+            dec_w: (&g.dec.w.value).into(),
+            dec_b: (&g.dec.b.value).into(),
+            dec_hops: g.dec.hops,
+            token: g.token.as_ref().map(|t| (&t.value).into()),
+            act: act_tag(g.enc.act),
+        }
+    }
+
+    /// Restore into a GMAE unit.
+    pub fn restore(self) -> Result<Gmae, String> {
+        let act = act_from_tag(&self.act)?;
+        Ok(Gmae {
+            enc: umgad_nn::SgcStack {
+                w: Param::new(self.enc_w.into()),
+                b: Param::new(self.enc_b.into()),
+                hops: self.enc_hops,
+                act,
+            },
+            dec: umgad_nn::SgcStack {
+                w: Param::new(self.dec_w.into()),
+                b: Param::new(self.dec_b.into()),
+                hops: self.dec_hops,
+                act: Activation::None,
+            },
+            token: self.token.map(|t| Param::new(t.into())),
+        })
+    }
+}
+
+/// Serialisable UMGAD configuration (mirrors [`UmgadConfig`]; kept separate
+/// so the runtime struct stays serde-free).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub struct ConfigData {
+    pub hidden: usize,
+    pub enc_hops: usize,
+    pub dec_hops: usize,
+    pub repeats: usize,
+    pub share_repeats: bool,
+    pub mask_ratio: f64,
+    pub eta: f64,
+    pub alpha: f64,
+    pub beta: f64,
+    pub lambda: f64,
+    pub mu: f64,
+    pub theta: f64,
+    pub epsilon: f64,
+    pub subgraph_size: usize,
+    pub subgraph_patches: usize,
+    pub restart_p: f64,
+    pub edge_negatives: usize,
+    pub max_masked_edges: usize,
+    pub contrast_negatives: usize,
+    pub tau: f64,
+    pub epochs: usize,
+    pub lr: f64,
+    pub weight_decay: f64,
+    pub dropout: f64,
+    pub act: String,
+    pub dense_score_limit: usize,
+    pub score_negatives: usize,
+    pub score_mask_batches: usize,
+    pub seed: u64,
+    pub ablation: [bool; 6],
+}
+
+impl From<&UmgadConfig> for ConfigData {
+    fn from(c: &UmgadConfig) -> Self {
+        Self {
+            hidden: c.hidden,
+            enc_hops: c.enc_hops,
+            dec_hops: c.dec_hops,
+            repeats: c.repeats,
+            share_repeats: c.share_repeats,
+            mask_ratio: c.mask_ratio,
+            eta: c.eta,
+            alpha: c.alpha,
+            beta: c.beta,
+            lambda: c.lambda,
+            mu: c.mu,
+            theta: c.theta,
+            epsilon: c.epsilon,
+            subgraph_size: c.subgraph_size,
+            subgraph_patches: c.subgraph_patches,
+            restart_p: c.restart_p,
+            edge_negatives: c.edge_negatives,
+            max_masked_edges: c.max_masked_edges,
+            contrast_negatives: c.contrast_negatives,
+            tau: c.tau,
+            epochs: c.epochs,
+            lr: c.lr,
+            weight_decay: c.weight_decay,
+            dropout: c.dropout,
+            act: act_tag(c.act),
+            dense_score_limit: c.dense_score_limit,
+            score_negatives: c.score_negatives,
+            score_mask_batches: c.score_mask_batches,
+            seed: c.seed,
+            ablation: [
+                c.ablation.masking,
+                c.ablation.original_view,
+                c.ablation.augmented_views,
+                c.ablation.attr_augmentation,
+                c.ablation.subgraph_augmentation,
+                c.ablation.contrastive,
+            ],
+        }
+    }
+}
+
+impl ConfigData {
+    /// Reconstruct the runtime configuration.
+    pub fn restore(&self) -> Result<UmgadConfig, String> {
+        Ok(UmgadConfig {
+            hidden: self.hidden,
+            enc_hops: self.enc_hops,
+            dec_hops: self.dec_hops,
+            repeats: self.repeats,
+            share_repeats: self.share_repeats,
+            mask_ratio: self.mask_ratio,
+            eta: self.eta,
+            alpha: self.alpha,
+            beta: self.beta,
+            lambda: self.lambda,
+            mu: self.mu,
+            theta: self.theta,
+            epsilon: self.epsilon,
+            subgraph_size: self.subgraph_size,
+            subgraph_patches: self.subgraph_patches,
+            restart_p: self.restart_p,
+            edge_negatives: self.edge_negatives,
+            max_masked_edges: self.max_masked_edges,
+            contrast_negatives: self.contrast_negatives,
+            tau: self.tau,
+            epochs: self.epochs,
+            lr: self.lr,
+            weight_decay: self.weight_decay,
+            dropout: self.dropout,
+            act: act_from_tag(&self.act)?,
+            dense_score_limit: self.dense_score_limit,
+            score_negatives: self.score_negatives,
+            score_mask_batches: self.score_mask_batches,
+            seed: self.seed,
+            ablation: Ablation {
+                masking: self.ablation[0],
+                original_view: self.ablation[1],
+                augmented_views: self.ablation[2],
+                attr_augmentation: self.ablation[3],
+                subgraph_augmentation: self.ablation[4],
+                contrastive: self.ablation[5],
+            },
+        })
+    }
+}
+
+/// Complete checkpoint of a trained detector.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Configuration the model was built with.
+    pub config: ConfigData,
+    /// Per-unit GMAE weights in model order.
+    pub orig_attr: Vec<GmaeData>,
+    /// Structure units.
+    pub orig_struct: Vec<GmaeData>,
+    /// Attribute-augmented units.
+    pub aug_attr: Vec<GmaeData>,
+    /// Subgraph units.
+    pub sub: Vec<GmaeData>,
+    /// Relation weight logits `a^r`.
+    pub a_logits: MatrixData,
+    /// Relation weight logits `b^r`.
+    pub b_logits: MatrixData,
+    /// Number of relations the model was trained for.
+    pub relations: usize,
+}
+
+impl Umgad {
+    /// Capture the learned state as a checkpoint.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let cap = |units: &[Gmae]| units.iter().map(GmaeData::capture).collect();
+        let (orig_attr, orig_struct, aug_attr, sub) = self.unit_slices();
+        Checkpoint {
+            version: 1,
+            config: self.config().into(),
+            orig_attr: cap(orig_attr),
+            orig_struct: cap(orig_struct),
+            aug_attr: cap(aug_attr),
+            sub: cap(sub),
+            a_logits: (&self.relation_weight_logits().0).into(),
+            b_logits: (&self.relation_weight_logits().1).into(),
+            relations: self.num_relations(),
+        }
+    }
+
+    /// Save the checkpoint as JSON.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(&self.checkpoint()).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Restore a detector from a checkpoint onto a graph with the same
+    /// relation count and attribute dimensionality.
+    pub fn from_checkpoint(ckpt: Checkpoint, graph: &MultiplexGraph) -> Result<Umgad, String> {
+        if ckpt.version != 1 {
+            return Err(format!("unsupported checkpoint version {}", ckpt.version));
+        }
+        if ckpt.relations != graph.num_relations() {
+            return Err(format!(
+                "checkpoint expects {} relations, graph has {}",
+                ckpt.relations,
+                graph.num_relations()
+            ));
+        }
+        let cfg = ckpt.config.restore()?;
+        let mut model = Umgad::new(graph, cfg);
+        let restore_all = |data: Vec<GmaeData>| -> Result<Vec<Gmae>, String> {
+            data.into_iter().map(GmaeData::restore).collect()
+        };
+        model.replace_units(
+            restore_all(ckpt.orig_attr)?,
+            restore_all(ckpt.orig_struct)?,
+            restore_all(ckpt.aug_attr)?,
+            restore_all(ckpt.sub)?,
+            ckpt.a_logits.into(),
+            ckpt.b_logits.into(),
+        )?;
+        Ok(model)
+    }
+
+    /// Load a checkpoint from a JSON file.
+    pub fn load(path: &std::path::Path, graph: &MultiplexGraph) -> Result<Umgad, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let ckpt: Checkpoint = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+        Umgad::from_checkpoint(ckpt, graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umgad_graph::RelationLayer;
+
+    fn graph() -> MultiplexGraph {
+        let n = 60;
+        let attrs = Matrix::from_fn(n, 4, |i, j| ((i * 4 + j) % 7) as f64 / 3.0);
+        let e1: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let e2: Vec<(u32, u32)> = (0..n as u32 - 2).step_by(2).map(|i| (i, i + 2)).collect();
+        let labels = (0..n).map(|i| i % 13 == 0).collect();
+        MultiplexGraph::new(
+            attrs,
+            vec![RelationLayer::new("a", n, e1), RelationLayer::new("b", n, e2)],
+            Some(labels),
+        )
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_scores_identically() {
+        let g = graph();
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 5;
+        let mut model = Umgad::new(&g, cfg);
+        model.train(&g);
+        let before = model.anomaly_scores(&g);
+
+        let dir = std::env::temp_dir().join("umgad-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+        let restored = Umgad::load(&path, &g).unwrap();
+        let after = restored.anomaly_scores(&g);
+        assert_eq!(before, after, "restored model must score identically");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_rejects_wrong_relation_count() {
+        let g = graph();
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 1;
+        let mut model = Umgad::new(&g, cfg);
+        model.train(&g);
+        let ckpt = model.checkpoint();
+        // Single-relation graph: incompatible.
+        let g1 = MultiplexGraph::new(
+            (**g.attrs()).clone(),
+            vec![g.layer(0).clone()],
+            g.labels().map(<[bool]>::to_vec),
+        );
+        let err = match Umgad::from_checkpoint(ckpt, &g1) {
+            Err(e) => e,
+            Ok(_) => panic!("restore should fail on mismatched relation count"),
+        };
+        assert!(err.contains("relations"), "{err}");
+    }
+
+    #[test]
+    fn restored_model_can_keep_training() {
+        let g = graph();
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 3;
+        let mut model = Umgad::new(&g, cfg);
+        model.train(&g);
+        let ckpt = model.checkpoint();
+        let mut restored = Umgad::from_checkpoint(ckpt, &g).unwrap();
+        let stats = restored.train_epoch(&g);
+        assert!(stats.total.is_finite());
+    }
+
+    #[test]
+    fn activation_tags_roundtrip() {
+        for a in [
+            Activation::None,
+            Activation::Relu,
+            Activation::Elu,
+            Activation::LeakyRelu,
+            Activation::Tanh,
+        ] {
+            assert_eq!(act_from_tag(&act_tag(a)).unwrap(), a);
+        }
+        assert!(act_from_tag("bogus").is_err());
+    }
+}

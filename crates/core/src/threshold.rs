@@ -1,0 +1,203 @@
+//! Unsupervised anomaly-score threshold selection (§IV-E, Eq. 20–23).
+//!
+//! The strategy works on the descending-sorted score sequence: smooth with a
+//! moving average (Eq. 20), take first- and second-order differences
+//! (Eq. 21–22), and place the threshold at the inflection point where the
+//! decline flips from steep (anomalies) to flat (normal mass) — the index
+//! maximising `|Δ₂|` (Eq. 23). Ties resolve to the candidate whose smoothed
+//! score is closest to the tail score `s̄(|V|)`, per the paper.
+//!
+//! ```
+//! use umgad_core::{apply_threshold, select_threshold};
+//!
+//! // 8 anomalies with high scores, 192 normal nodes on a gentle slope.
+//! let scores: Vec<f64> = (0..8)
+//!     .map(|i| 10.0 - i as f64 * 0.5)
+//!     .chain((0..192).map(|i| 1.0 - i as f64 * 0.002))
+//!     .collect();
+//! let decision = select_threshold(&scores);
+//! let flagged = apply_threshold(&scores, decision.threshold)
+//!     .iter()
+//!     .filter(|&&b| b)
+//!     .count();
+//! assert!(flagged >= 4 && flagged <= 16, "knee lands near the true 8, got {flagged}");
+//! ```
+
+/// Outcome of threshold selection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThresholdDecision {
+    /// The selected score threshold `s(T)`; nodes with `score >= threshold`
+    /// are flagged anomalous.
+    pub threshold: f64,
+    /// Index of the inflection point in the sorted sequence (number of
+    /// flagged nodes ≈ this index).
+    pub inflection: usize,
+    /// Window size used for smoothing.
+    pub window: usize,
+    /// The smoothed sequence (for plotting / Fig. 2).
+    pub smoothed: Vec<f64>,
+}
+
+/// Paper guideline for the smoothing window: `w = max(⌊1e-4·|V|⌋, 5)`.
+pub fn default_window(n: usize) -> usize {
+    ((n as f64 * 1e-4) as usize).max(5)
+}
+
+/// Moving average with window `w` (Eq. 20). Output length `n - w + 1`.
+pub fn moving_average(sorted_desc: &[f64], w: usize) -> Vec<f64> {
+    assert!(w >= 1 && w <= sorted_desc.len());
+    let mut out = Vec::with_capacity(sorted_desc.len() - w + 1);
+    let mut acc: f64 = sorted_desc[..w].iter().sum();
+    out.push(acc / w as f64);
+    for i in w..sorted_desc.len() {
+        acc += sorted_desc[i] - sorted_desc[i - w];
+        out.push(acc / w as f64);
+    }
+    out
+}
+
+/// Select the unsupervised threshold for raw (unsorted) anomaly scores.
+pub fn select_threshold(scores: &[f64]) -> ThresholdDecision {
+    select_threshold_with_window(scores, default_window(scores.len()))
+}
+
+/// As [`select_threshold`] with an explicit smoothing window.
+///
+/// Eq. 23 selects `argmax |Δ₂|`, and the paper resolves ties toward the
+/// candidate whose smoothed score is closest to the tail `s̄(|V|)`. With
+/// floating-point scores *exact* ties never occur, so the tie rule is
+/// applied to a tolerance band: every index whose `|Δ₂|` reaches at least
+/// [`CANDIDATE_TOLERANCE`] of the maximum is a candidate, and the
+/// closest-to-tail one wins. This keeps the top-of-curve spike (one extreme
+/// score) from shadowing the anomaly/normal shelf the strategy is after.
+pub fn select_threshold_with_window(scores: &[f64], w: usize) -> ThresholdDecision {
+    let n = scores.len();
+    assert!(n >= 4, "need at least 4 scores for inflection detection");
+    let w = w.clamp(1, n.saturating_sub(3));
+    let mut sorted: Vec<f64> = scores.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("scores must not be NaN"));
+    let smoothed = moving_average(&sorted, w);
+
+    // Δ₁(i) = s̄(i) − s̄(i+1); Δ₂(i) = Δ₁(i) − Δ₁(i+1).
+    let d1: Vec<f64> = smoothed.windows(2).map(|p| p[0] - p[1]).collect();
+    let d2: Vec<f64> = d1.windows(2).map(|p| p[0] - p[1]).collect();
+
+    let tail = *smoothed.last().expect("non-empty smoothed sequence");
+    // Candidates come from the first quarter of the curve (anomalies are a
+    // small minority by the premise of the task) and must be *convex* bends
+    // (Δ₂ > 0: the decline is flattening — a knee, not a cliff edge).
+    let limit = (d2.len() / 4).max(1);
+    let max_mag = d2[..limit].iter().fold(0.0f64, |m, &v| m.max(v));
+    let mut best_idx = 0;
+    let mut best_gap = f64::INFINITY;
+    for (i, &v) in d2[..limit].iter().enumerate() {
+        if v > 0.0 && v >= CANDIDATE_TOLERANCE * max_mag {
+            let gap = (smoothed[i] - tail).abs();
+            if gap < best_gap {
+                best_gap = gap;
+                best_idx = i;
+            }
+        }
+    }
+    let threshold = smoothed[best_idx];
+    ThresholdDecision { threshold, inflection: best_idx, window: w, smoothed }
+}
+
+/// Fraction of the maximum `|Δ₂|` an index must reach to enter the paper's
+/// closest-to-tail tie-break (see [`select_threshold_with_window`]).
+pub const CANDIDATE_TOLERANCE: f64 = 0.1;
+
+/// Apply a threshold: `score >= threshold` → anomalous.
+pub fn apply_threshold(scores: &[f64], threshold: f64) -> Vec<bool> {
+    scores.iter().map(|&s| s >= threshold).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a score sequence with a planted knee: `k` anomalies with high,
+    /// steeply decaying scores followed by a flat noisy plateau.
+    fn planted_knee(n: usize, k: usize) -> (Vec<f64>, usize) {
+        let mut scores = Vec::with_capacity(n);
+        for i in 0..k {
+            scores.push(10.0 - 6.0 * (i as f64 / k as f64));
+        }
+        for i in 0..n - k {
+            // Slowly decaying tail with tiny deterministic jitter.
+            scores.push(1.0 - 0.5 * (i as f64 / (n - k) as f64) + 0.01 * ((i * 7 % 13) as f64 / 13.0));
+        }
+        (scores, k)
+    }
+
+    #[test]
+    fn window_guideline() {
+        assert_eq!(default_window(1_000), 5);
+        assert_eq!(default_window(100_000), 10);
+    }
+
+    #[test]
+    fn moving_average_flat_is_identity() {
+        let s = vec![2.0; 10];
+        let m = moving_average(&s, 3);
+        assert_eq!(m.len(), 8);
+        assert!(m.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn moving_average_known() {
+        let s = vec![4.0, 2.0, 0.0];
+        assert_eq!(moving_average(&s, 2), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn finds_planted_knee() {
+        let (scores, k) = planted_knee(2_000, 60);
+        let d = select_threshold(&scores);
+        // The inflection should land near the true anomaly count.
+        assert!(
+            d.inflection as i64 - k as i64 >= -(k as i64) && d.inflection <= 2 * k + d.window,
+            "inflection {} vs true {k}",
+            d.inflection
+        );
+        let flagged = apply_threshold(&scores, d.threshold).iter().filter(|&&b| b).count();
+        assert!(
+            flagged >= k / 3 && flagged <= 3 * k,
+            "flagged {flagged} should be within 3x of true {k}"
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let (mut scores, _) = planted_knee(500, 25);
+        // Shuffle deterministically.
+        let n = scores.len();
+        for i in 0..n {
+            scores.swap(i, (i * 17 + 3) % n);
+        }
+        let d = select_threshold(&scores);
+        assert!(d.threshold > 1.0, "threshold should sit above the plateau");
+    }
+
+    #[test]
+    fn flagged_count_matches_inflection_roughly() {
+        let (scores, k) = planted_knee(5_000, 100);
+        let d = select_threshold(&scores);
+        let flagged = apply_threshold(&scores, d.threshold).iter().filter(|&&b| b).count();
+        // Within smoothing slack of the inflection index.
+        assert!((flagged as i64 - d.inflection as i64).unsigned_abs() as usize <= d.window + k);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 scores")]
+    fn too_few_scores_panics() {
+        select_threshold(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn constant_scores_do_not_crash() {
+        let scores = vec![1.0; 100];
+        let d = select_threshold(&scores);
+        assert_eq!(d.threshold, 1.0);
+    }
+}

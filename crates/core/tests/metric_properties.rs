@@ -1,0 +1,133 @@
+//! Property-based tests for the evaluation metrics and the unsupervised
+//! threshold strategy: the invariances anomaly detection depends on.
+
+use proptest::prelude::*;
+use umgad_core::{
+    apply_threshold, macro_f1_at, moving_average, oracle_threshold, roc_auc, select_threshold,
+    select_threshold_with_window, Confusion,
+};
+
+fn scores_and_labels(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    (
+        proptest::collection::vec(-10.0f64..10.0, n),
+        proptest::collection::vec(proptest::bool::weighted(0.2), n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn auc_in_unit_interval((s, l) in scores_and_labels(40)) {
+        let auc = roc_auc(&s, &l);
+        prop_assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform((s, l) in scores_and_labels(40)) {
+        let a1 = roc_auc(&s, &l);
+        // exp is strictly monotone: ranks unchanged.
+        let transformed: Vec<f64> = s.iter().map(|v| (v / 4.0).exp()).collect();
+        let a2 = roc_auc(&transformed, &l);
+        prop_assert!((a1 - a2).abs() < 1e-9, "{a1} vs {a2}");
+    }
+
+    #[test]
+    fn auc_flips_under_negation((s, l) in scores_and_labels(40)) {
+        let pos = l.iter().filter(|&&b| b).count();
+        prop_assume!(pos > 0 && pos < l.len());
+        let a1 = roc_auc(&s, &l);
+        let neg: Vec<f64> = s.iter().map(|v| -v).collect();
+        let a2 = roc_auc(&neg, &l);
+        prop_assert!((a1 + a2 - 1.0).abs() < 1e-9, "{a1} + {a2} != 1");
+    }
+
+    #[test]
+    fn auc_label_complement((s, l) in scores_and_labels(30)) {
+        let pos = l.iter().filter(|&&b| b).count();
+        prop_assume!(pos > 0 && pos < l.len());
+        let flipped: Vec<bool> = l.iter().map(|b| !b).collect();
+        let a1 = roc_auc(&s, &l);
+        let a2 = roc_auc(&s, &flipped);
+        prop_assert!((a1 + a2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_threshold_flags_exactly_k_modulo_ties(s in proptest::collection::vec(-5.0f64..5.0, 10..60), k in 1usize..8) {
+        prop_assume!(k <= s.len());
+        let t = oracle_threshold(&s, k);
+        let flagged = s.iter().filter(|&&v| v >= t).count();
+        // At least k (ties can add more, never fewer).
+        prop_assert!(flagged >= k);
+    }
+
+    #[test]
+    fn confusion_counts_partition(s in proptest::collection::vec(-1.0f64..1.0, 30)) {
+        let labels: Vec<bool> = s.iter().map(|v| *v > 0.3).collect();
+        let pred: Vec<bool> = s.iter().map(|v| *v > 0.0).collect();
+        let c = Confusion::tally(&pred, &labels);
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, 30);
+        let f1 = c.macro_f1();
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn macro_f1_peaks_at_perfect_threshold(k in 2usize..10) {
+        // Perfectly separated scores: anomalies at 2.0, normal at 0.0.
+        let n = 50;
+        let scores: Vec<f64> = (0..n).map(|i| if i < k { 2.0 } else { 0.0 }).collect();
+        let labels: Vec<bool> = (0..n).map(|i| i < k).collect();
+        prop_assert_eq!(macro_f1_at(&scores, &labels, 1.0), 1.0);
+    }
+
+    #[test]
+    fn moving_average_preserves_mean(s in proptest::collection::vec(-3.0f64..3.0, 12..60), w in 1usize..6) {
+        prop_assume!(w <= s.len());
+        let m = moving_average(&s, w);
+        prop_assert_eq!(m.len(), s.len() - w + 1);
+        // Bounded by the extremes of the input.
+        let lo = s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &v in &m {
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn threshold_invariant_to_input_order(s in proptest::collection::vec(0.0f64..10.0, 20..80), rot in 1usize..19) {
+        let d1 = select_threshold(&s);
+        let mut rotated = s.clone();
+        rotated.rotate_left(rot % s.len());
+        let d2 = select_threshold(&rotated);
+        prop_assert_eq!(d1.threshold, d2.threshold);
+        prop_assert_eq!(d1.inflection, d2.inflection);
+    }
+
+    #[test]
+    fn threshold_equivariant_to_affine_shift(s in proptest::collection::vec(0.0f64..10.0, 20..80), shift in -5.0f64..5.0) {
+        // Adding a constant to every score shifts the threshold by the
+        // constant and keeps the flagged set identical.
+        let d1 = select_threshold(&s);
+        let shifted: Vec<f64> = s.iter().map(|v| v + shift).collect();
+        let d2 = select_threshold(&shifted);
+        prop_assert_eq!(d1.inflection, d2.inflection);
+        let f1 = apply_threshold(&s, d1.threshold);
+        let f2 = apply_threshold(&shifted, d2.threshold);
+        prop_assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn threshold_flags_nonempty_minority(s in proptest::collection::vec(0.0f64..1.0, 30..200)) {
+        // Degenerate inputs must still produce a usable threshold.
+        let d = select_threshold(&s);
+        let flagged = apply_threshold(&s, d.threshold).iter().filter(|&&b| b).count();
+        prop_assert!(flagged >= 1);
+    }
+
+    #[test]
+    fn explicit_window_matches_guideline_at_default(s in proptest::collection::vec(0.0f64..5.0, 50..120)) {
+        let d1 = select_threshold(&s);
+        let d2 = select_threshold_with_window(&s, umgad_core::default_window(s.len()));
+        prop_assert_eq!(d1.threshold, d2.threshold);
+    }
+}

@@ -1,0 +1,278 @@
+//! Base multiplex graph generator.
+//!
+//! Generates the *clean* substrate graph for each dataset: a community-
+//! structured, degree-skewed multiplex graph with Gaussian-mixture node
+//! attributes. The e-commerce datasets additionally get *nested* relations
+//! (Buy ⊂ Cart ⊂ View in expectation), mirroring how add-to-cart and
+//! purchase edges are near-subsets of page views.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use umgad_graph::{MultiplexGraph, RelationLayer};
+use umgad_tensor::init::normal;
+use umgad_tensor::Matrix;
+
+use crate::spec::{DatasetKind, ScaledSpec};
+
+/// Per-node community assignments plus everything needed to keep sampling
+/// consistent across relations.
+pub struct BaseGraph {
+    /// The clean multiplex graph (no labels yet).
+    pub graph: MultiplexGraph,
+    /// Community id per node.
+    pub communities: Vec<usize>,
+}
+
+/// Degree-skew weights: node `i` gets weight `(rank_i + 1)^{-skew}` under a
+/// random rank permutation, yielding heavy-tailed degrees without hubs being
+/// correlated across datasets.
+struct NodeSampler {
+    cdf: Vec<f64>,
+}
+
+impl NodeSampler {
+    fn new(n: usize, skew: f64, rng: &mut SmallRng) -> Self {
+        let mut ranks: Vec<usize> = (0..n).collect();
+        // Fisher–Yates shuffle for the rank permutation.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            ranks.swap(i, j);
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &r in &ranks {
+            acc += 1.0 / ((r + 1) as f64).powf(skew);
+            cdf.push(acc);
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> usize {
+        let total = *self.cdf.last().expect("non-empty sampler");
+        let t = rng.gen::<f64>() * total;
+        self.cdf.partition_point(|&c| c < t).min(self.cdf.len() - 1)
+    }
+}
+
+/// Group nodes by community for intra-community endpoint sampling.
+struct CommunityIndex {
+    members: Vec<Vec<usize>>,
+}
+
+impl CommunityIndex {
+    fn new(communities: &[usize], count: usize) -> Self {
+        let mut members = vec![Vec::new(); count];
+        for (node, &c) in communities.iter().enumerate() {
+            members[c].push(node);
+        }
+        Self { members }
+    }
+
+    fn sample_peer(&self, community: usize, rng: &mut SmallRng) -> Option<usize> {
+        let m = &self.members[community];
+        if m.len() < 2 {
+            return None;
+        }
+        Some(m[rng.gen_range(0..m.len())])
+    }
+}
+
+/// Generate the clean substrate graph for `spec`.
+///
+/// `seed` fixes all randomness; the same `(spec, seed)` always yields the
+/// same graph (tests and the repro harness rely on this).
+pub fn generate_base(spec: &ScaledSpec, seed: u64) -> BaseGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = spec.nodes;
+    let c = spec.communities.min(n / 4).max(2);
+
+    // Community assignment: Zipf-ish sizes so some communities dominate.
+    let mut communities = Vec::with_capacity(n);
+    let comm_weights: Vec<f64> = (0..c).map(|i| 1.0 / ((i + 1) as f64).powf(0.5)).collect();
+    let comm_total: f64 = comm_weights.iter().sum();
+    for _ in 0..n {
+        let t = rng.gen::<f64>() * comm_total;
+        let mut acc = 0.0;
+        let mut chosen = c - 1;
+        for (i, w) in comm_weights.iter().enumerate() {
+            acc += w;
+            if t <= acc {
+                chosen = i;
+                break;
+            }
+        }
+        communities.push(chosen);
+    }
+    let index = CommunityIndex::new(&communities, c);
+
+    // Attributes: community mean + noise. Means are spread so that
+    // communities are separable but overlapping (σ_mean = 1, σ_noise = 0.5).
+    let f = spec.spec.attr_dim;
+    let means = normal(c, f, 0.0, 1.0, &mut rng);
+    let noise = normal(n, f, 0.0, 0.5, &mut rng);
+    let mut attrs = Matrix::zeros(n, f);
+    for i in 0..n {
+        let m = means.row(communities[i]);
+        let nz = noise.row(i);
+        let dst = attrs.row_mut(i);
+        for ((d, &mv), &nv) in dst.iter_mut().zip(m).zip(nz) {
+            *d = mv + nv;
+        }
+    }
+
+    let sampler = NodeSampler::new(n, spec.spec.skew, &mut rng);
+    let nested = spec.spec.kind.injected() || matches!(spec.spec.kind, DatasetKind::Retail);
+
+    // Sample relations. For nested (e-commerce) datasets, each subsequent
+    // relation draws ~70% of its edges from the previous relation's edges.
+    let mut layers = Vec::with_capacity(spec.relations.len());
+    let mut prev_edges: Vec<(u32, u32)> = Vec::new();
+    for (ri, rel) in spec.relations.iter().enumerate() {
+        let target = rel.edges.min(n * (n - 1) / 2);
+        let mut set: HashSet<(u32, u32)> = HashSet::with_capacity(target * 2);
+        if nested && ri > 0 && !prev_edges.is_empty() {
+            let reuse = ((target as f64) * 0.7) as usize;
+            while set.len() < reuse.min(prev_edges.len()) {
+                let e = prev_edges[rng.gen_range(0..prev_edges.len())];
+                set.insert(e);
+            }
+        }
+        let mut attempts = 0usize;
+        let max_attempts = target.saturating_mul(30).max(1000);
+        while set.len() < target && attempts < max_attempts {
+            attempts += 1;
+            let u = sampler.sample(&mut rng);
+            let v = if rng.gen::<f64>() < spec.spec.intra_community_p {
+                match index.sample_peer(communities[u], &mut rng) {
+                    Some(p) => p,
+                    None => sampler.sample(&mut rng),
+                }
+            } else {
+                sampler.sample(&mut rng)
+            };
+            if u == v {
+                continue;
+            }
+            let e = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+            set.insert(e);
+        }
+        // Sort: HashSet iteration order is instance-dependent, and the
+        // nested relations *index* into this list — unsorted it would make
+        // two identically-seeded generations disagree on cart/buy edges.
+        let mut edges: Vec<(u32, u32)> = set.into_iter().collect();
+        edges.sort_unstable();
+        prev_edges = edges.clone();
+        layers.push(RelationLayer::new(rel.name.clone(), n, edges));
+    }
+
+    let graph = MultiplexGraph::new(attrs, layers, None);
+    BaseGraph { graph, communities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DatasetSpec, Scale};
+
+    fn tiny_spec() -> ScaledSpec {
+        DatasetSpec::table1(DatasetKind::Alibaba).at_scale(Scale::Custom(0.02))
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = tiny_spec();
+        let a = generate_base(&spec, 42);
+        let b = generate_base(&spec, 42);
+        // Every relation must match — the nested (cart/buy) layers sample
+        // from the previous layer's edge list and are the ones that caught
+        // a HashSet-iteration-order bug.
+        for r in 0..a.graph.num_relations() {
+            assert_eq!(a.graph.layer(r).edges(), b.graph.layer(r).edges(), "relation {r}");
+        }
+        assert_eq!(a.graph.attrs().data(), b.graph.attrs().data());
+        assert_eq!(a.communities, b.communities);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = tiny_spec();
+        let a = generate_base(&spec, 1);
+        let b = generate_base(&spec, 2);
+        assert_ne!(a.graph.layer(0).edges(), b.graph.layer(0).edges());
+    }
+
+    #[test]
+    fn edge_counts_near_target() {
+        let spec = tiny_spec();
+        let g = generate_base(&spec, 7).graph;
+        for (layer, rel) in g.layers().iter().zip(&spec.relations) {
+            let got = layer.num_edges();
+            assert!(
+                got as f64 >= rel.edges as f64 * 0.9,
+                "{}: got {got}, want ~{}",
+                rel.name,
+                rel.edges
+            );
+        }
+    }
+
+    #[test]
+    fn nested_relations_overlap() {
+        let spec = tiny_spec();
+        let g = generate_base(&spec, 9).graph;
+        let view: std::collections::HashSet<_> = g.layer(0).edges().iter().collect();
+        let cart = g.layer(1).edges();
+        let overlap = cart.iter().filter(|e| view.contains(e)).count();
+        assert!(
+            overlap as f64 >= cart.len() as f64 * 0.5,
+            "cart should mostly be a subset of view: {overlap}/{}",
+            cart.len()
+        );
+    }
+
+    #[test]
+    fn attributes_cluster_by_community() {
+        let spec = tiny_spec();
+        let base = generate_base(&spec, 11);
+        let g = &base.graph;
+        // Average intra-community distance should be below the global one.
+        let attrs = g.attrs();
+        let n = g.num_nodes();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let mut ic = 0;
+        let mut xc = 0;
+        for _ in 0..2000 {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            let d = umgad_tensor::l2_distance(attrs.row(i), attrs.row(j));
+            if base.communities[i] == base.communities[j] {
+                intra += d;
+                ic += 1;
+            } else {
+                inter += d;
+                xc += 1;
+            }
+        }
+        assert!(ic > 0 && xc > 0);
+        assert!(intra / ic as f64 + 0.5 < inter / xc as f64, "communities should be separable");
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let spec = tiny_spec();
+        let g = generate_base(&spec, 13).graph;
+        let layer = g.layer(0);
+        let mut degs: Vec<usize> = (0..g.num_nodes()).map(|v| layer.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let top = degs.iter().take(g.num_nodes() / 100 + 1).sum::<usize>() as f64;
+        let total = degs.iter().sum::<usize>() as f64;
+        assert!(top / total > 0.03, "top 1% should hold a disproportionate share");
+    }
+}

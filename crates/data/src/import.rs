@@ -1,0 +1,221 @@
+//! Import multiplex graphs from plain text files (bring-your-own-data).
+//!
+//! Downstream users rarely have JSON in our schema; they have edge lists
+//! and feature tables. This module assembles a [`MultiplexGraph`] from:
+//!
+//! - one **edge file per relation**: two whitespace- or comma-separated
+//!   node ids per line (`u v`), `#`-comments and blank lines ignored;
+//! - one **attribute file**: one row per node, whitespace/comma-separated
+//!   floats (row index = node id);
+//! - an optional **label file**: one `0`/`1` per line.
+//!
+//! Node count is taken from the attribute file; edges referencing nodes
+//! beyond it are rejected with a line-numbered error.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use umgad_graph::{MultiplexGraph, RelationLayer};
+use umgad_tensor::Matrix;
+
+/// Error with file/line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportError {
+    /// Human-readable description including file and line.
+    pub message: String,
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn err(file: &Path, line: usize, what: impl std::fmt::Display) -> ImportError {
+    let mut message = String::new();
+    let _ = write!(message, "{}:{}: {}", file.display(), line, what);
+    ImportError { message }
+}
+
+fn split_fields(line: &str) -> impl Iterator<Item = &str> {
+    line.split(|c: char| c.is_whitespace() || c == ',').filter(|t| !t.is_empty())
+}
+
+/// Parse an attribute table: one node per row.
+pub fn parse_attributes(path: &Path) -> Result<Matrix, ImportError> {
+    let text = std::fs::read_to_string(path).map_err(|e| err(path, 0, e))?;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = split_fields(line).map(str::parse::<f64>).collect();
+        let row = row.map_err(|e| err(path, lineno + 1, e))?;
+        if let Some(first) = rows.first() {
+            if first.len() != row.len() {
+                return Err(err(
+                    path,
+                    lineno + 1,
+                    format!("expected {} columns, found {}", first.len(), row.len()),
+                ));
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(err(path, 0, "no attribute rows"));
+    }
+    let cols = rows[0].len();
+    let data: Vec<f64> = rows.into_iter().flatten().collect();
+    Ok(Matrix::from_vec(data.len() / cols, cols, data))
+}
+
+/// Parse one relation's edge list (`u v` per line).
+pub fn parse_edges(path: &Path, num_nodes: usize) -> Result<Vec<(u32, u32)>, ImportError> {
+    let text = std::fs::read_to_string(path).map_err(|e| err(path, 0, e))?;
+    let mut edges = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = split_fields(line);
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(err(path, lineno + 1, "expected two node ids"));
+        };
+        let u: usize = a.parse().map_err(|e| err(path, lineno + 1, e))?;
+        let v: usize = b.parse().map_err(|e| err(path, lineno + 1, e))?;
+        if u >= num_nodes || v >= num_nodes {
+            return Err(err(
+                path,
+                lineno + 1,
+                format!("edge ({u},{v}) exceeds node count {num_nodes}"),
+            ));
+        }
+        edges.push((u as u32, v as u32));
+    }
+    Ok(edges)
+}
+
+/// Parse a label file: one `0`/`1` (or `true`/`false`) per line.
+pub fn parse_labels(path: &Path, num_nodes: usize) -> Result<Vec<bool>, ImportError> {
+    let text = std::fs::read_to_string(path).map_err(|e| err(path, 0, e))?;
+    let mut labels = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let v = match line {
+            "0" | "false" => false,
+            "1" | "true" => true,
+            other => return Err(err(path, lineno + 1, format!("expected 0/1, got {other}"))),
+        };
+        labels.push(v);
+    }
+    if labels.len() != num_nodes {
+        return Err(err(
+            path,
+            0,
+            format!("label count {} != node count {num_nodes}", labels.len()),
+        ));
+    }
+    Ok(labels)
+}
+
+/// Assemble a multiplex graph from attribute, edge, and optional label
+/// files. `relations` pairs a display name with each edge file.
+pub fn import_graph(
+    attrs: &Path,
+    relations: &[(&str, &Path)],
+    labels: Option<&Path>,
+) -> Result<MultiplexGraph, ImportError> {
+    let x = parse_attributes(attrs)?;
+    let n = x.rows();
+    let mut layers = Vec::with_capacity(relations.len());
+    for &(name, path) in relations {
+        let edges = parse_edges(path, n)?;
+        layers.push(RelationLayer::new(name.to_string(), n, edges));
+    }
+    if layers.is_empty() {
+        return Err(ImportError { message: "at least one relation file is required".into() });
+    }
+    let labels = labels.map(|p| parse_labels(p, n)).transpose()?;
+    Ok(MultiplexGraph::new(x, layers, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("umgad-import-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    #[test]
+    fn imports_complete_dataset() {
+        let attrs = tmp("a.tsv", "# three nodes\n1.0 0.0\n0.5,0.5\n0.0\t1.0\n");
+        let e1 = tmp("e1.tsv", "0 1\n1 2\n");
+        let e2 = tmp("e2.tsv", "# sparse relation\n0,2\n");
+        let lab = tmp("l.tsv", "0\n1\n0\n");
+        let g = import_graph(&attrs, &[("f", &e1), ("m", &e2)], Some(&lab)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_relations(), 2);
+        assert_eq!(g.layer(0).num_edges(), 2);
+        assert_eq!(g.layer(1).num_edges(), 1);
+        assert_eq!(g.num_anomalies(), 1);
+        assert_eq!(g.attrs().row(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        let attrs = tmp("a2.tsv", "1 2\n3 4\n");
+        let e = tmp("e3.tsv", "0 5\n");
+        let res = import_graph(&attrs, &[("r", &e)], None);
+        let msg = res.unwrap_err().message;
+        assert!(msg.contains("exceeds node count"), "{msg}");
+        assert!(msg.contains("e3.tsv:1"), "line-numbered: {msg}");
+    }
+
+    #[test]
+    fn rejects_ragged_attributes() {
+        let attrs = tmp("a3.tsv", "1 2 3\n4 5\n");
+        let e = tmp("e4.tsv", "");
+        let res = import_graph(&attrs, &[("r", &e)], None);
+        assert!(res.unwrap_err().message.contains("expected 3 columns"));
+    }
+
+    #[test]
+    fn rejects_label_count_mismatch() {
+        let attrs = tmp("a4.tsv", "1\n2\n3\n");
+        let e = tmp("e5.tsv", "0 1\n");
+        let lab = tmp("l2.tsv", "0\n1\n");
+        let res = import_graph(&attrs, &[("r", &e)], Some(&lab));
+        assert!(res.unwrap_err().message.contains("label count"));
+    }
+
+    #[test]
+    fn rejects_bad_label_token() {
+        let attrs = tmp("a5.tsv", "1\n");
+        let e = tmp("e6.tsv", "");
+        let lab = tmp("l3.tsv", "maybe\n");
+        let res = import_graph(&attrs, &[("r", &e)], Some(&lab));
+        assert!(res.unwrap_err().message.contains("expected 0/1"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored_everywhere() {
+        let attrs = tmp("a6.tsv", "\n# header\n1 2\n\n3 4\n");
+        let e = tmp("e7.tsv", "\n# edges\n0 1\n\n");
+        let g = import_graph(&attrs, &[("r", &e)], None).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.layer(0).num_edges(), 1);
+    }
+}

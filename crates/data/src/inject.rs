@@ -1,0 +1,222 @@
+//! Synthetic anomaly injection — the paper's protocol (§V-A-1, after [8]).
+//!
+//! *Structural anomalies*: `n` cliques of `m` randomly chosen nodes each are
+//! made fully connected; all `m × n` members are labelled anomalous.
+//!
+//! *Attribute anomalies*: another `m × n` nodes are selected; for each node
+//! `i`, `k` candidate nodes are sampled and `i`'s attributes are replaced by
+//! those of the candidate `j` maximising `‖x_i − x_j‖²`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use umgad_graph::{sample_k, MultiplexGraph, RelationLayer};
+use umgad_tensor::Matrix;
+
+/// Which relational layers receive the injected clique edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CliqueTarget {
+    /// Add the clique to every relation (anomaly visible in all views).
+    AllRelations,
+    /// Add the clique to a single relation.
+    Relation(usize),
+}
+
+/// Injection parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct InjectionConfig {
+    /// Clique size `m`.
+    pub clique_size: usize,
+    /// Number of cliques `n`; total structural anomalies are `m × n`.
+    pub num_cliques: usize,
+    /// Candidate pool size `k` for the farthest-attribute swap.
+    pub candidates: usize,
+    /// Where clique edges land.
+    pub target: CliqueTarget,
+}
+
+impl InjectionConfig {
+    /// Paper-style config producing `total` anomalies, split evenly between
+    /// structural and attribute anomalies (so `total/2` each), with clique
+    /// size `m` and `k = 50` candidates.
+    pub fn for_total(total: usize, clique_size: usize) -> Self {
+        let m = clique_size.max(2);
+        let structural = total / 2;
+        let num_cliques = (structural / m).max(1);
+        Self { clique_size: m, num_cliques, candidates: 50, target: CliqueTarget::AllRelations }
+    }
+
+    /// Total number of anomalies this config injects.
+    pub fn total(&self) -> usize {
+        2 * self.clique_size * self.num_cliques
+    }
+}
+
+/// Result of an injection: the perturbed graph plus bookkeeping.
+pub struct Injected {
+    /// Graph with clique edges added, attributes swapped, and labels set.
+    pub graph: MultiplexGraph,
+    /// Nodes made anomalous structurally.
+    pub structural: Vec<usize>,
+    /// Nodes made anomalous by attribute swap.
+    pub attribute: Vec<usize>,
+}
+
+/// Inject anomalies into `graph` per the paper's protocol.
+pub fn inject_anomalies(graph: &MultiplexGraph, cfg: &InjectionConfig, seed: u64) -> Injected {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = graph.num_nodes();
+    let m = cfg.clique_size;
+    let need = 2 * m * cfg.num_cliques;
+    assert!(need <= n, "cannot inject {need} anomalies into {n} nodes");
+
+    // Draw all anomalous nodes up front (distinct across the two kinds).
+    let chosen = sample_k(n, need, &mut rng);
+    let (structural, attribute) = chosen.split_at(m * cfg.num_cliques);
+
+    // Structural: fully connect each clique in the targeted relations.
+    let mut new_edges_per_layer: Vec<Vec<(u32, u32)>> =
+        graph.layers().iter().map(|l| l.edges().to_vec()).collect();
+    for clique in structural.chunks(m) {
+        for (a, &u) in clique.iter().enumerate() {
+            for &v in &clique[a + 1..] {
+                let e = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+                match cfg.target {
+                    CliqueTarget::AllRelations => {
+                        for edges in &mut new_edges_per_layer {
+                            edges.push(e);
+                        }
+                    }
+                    CliqueTarget::Relation(r) => new_edges_per_layer[r].push(e),
+                }
+            }
+        }
+    }
+
+    // Attribute: farthest-of-k swap.
+    let mut attrs: Matrix = (**graph.attrs()).clone();
+    for &i in attribute {
+        let mut best_j = i;
+        let mut best_d = -1.0;
+        for _ in 0..cfg.candidates {
+            let j = rng.gen_range(0..n);
+            if j == i {
+                continue;
+            }
+            let d = umgad_tensor::l2_distance(attrs.row(i), attrs.row(j));
+            if d > best_d {
+                best_d = d;
+                best_j = j;
+            }
+        }
+        if best_j != i {
+            let row = attrs.row(best_j).to_vec();
+            attrs.set_row(i, &row);
+        }
+    }
+
+    let mut labels = vec![false; n];
+    for &v in structural.iter().chain(attribute.iter()) {
+        labels[v] = true;
+    }
+
+    let layers = graph
+        .layers()
+        .iter()
+        .zip(new_edges_per_layer)
+        .map(|(l, edges)| RelationLayer::new(l.name().to_string(), n, edges))
+        .collect();
+    let graph = MultiplexGraph::new(attrs, layers, Some(labels));
+
+    Injected { graph, structural: structural.to_vec(), attribute: attribute.to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_graph(n: usize) -> MultiplexGraph {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let attrs = umgad_tensor::init::normal(n, 8, 0.0, 1.0, &mut rng);
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let l1 = RelationLayer::new("a", n, edges.clone());
+        let l2 = RelationLayer::new("b", n, edges.iter().step_by(2).copied().collect::<Vec<_>>());
+        MultiplexGraph::new(attrs, vec![l1, l2], None)
+    }
+
+    #[test]
+    fn injects_requested_counts() {
+        let g = clean_graph(400);
+        let cfg = InjectionConfig { clique_size: 5, num_cliques: 4, candidates: 10, target: CliqueTarget::AllRelations };
+        let out = inject_anomalies(&g, &cfg, 1);
+        assert_eq!(out.structural.len(), 20);
+        assert_eq!(out.attribute.len(), 20);
+        assert_eq!(out.graph.num_anomalies(), 40);
+        // Structural and attribute sets are disjoint.
+        let s: std::collections::HashSet<_> = out.structural.iter().collect();
+        assert!(out.attribute.iter().all(|v| !s.contains(v)));
+    }
+
+    #[test]
+    fn cliques_are_fully_connected() {
+        let g = clean_graph(300);
+        let cfg = InjectionConfig { clique_size: 6, num_cliques: 2, candidates: 10, target: CliqueTarget::AllRelations };
+        let out = inject_anomalies(&g, &cfg, 2);
+        for clique in out.structural.chunks(6) {
+            for layer in out.graph.layers() {
+                for (a, &u) in clique.iter().enumerate() {
+                    for &v in &clique[a + 1..] {
+                        assert_eq!(layer.adjacency().get(u, v), 1.0, "missing clique edge {u}-{v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_relation_target_leaves_others_unchanged() {
+        let g = clean_graph(300);
+        let cfg = InjectionConfig { clique_size: 5, num_cliques: 2, candidates: 10, target: CliqueTarget::Relation(1) };
+        let out = inject_anomalies(&g, &cfg, 3);
+        assert_eq!(out.graph.layer(0).num_edges(), g.layer(0).num_edges());
+        assert!(out.graph.layer(1).num_edges() > g.layer(1).num_edges());
+    }
+
+    #[test]
+    fn attribute_swap_changes_features() {
+        let g = clean_graph(300);
+        let cfg = InjectionConfig { clique_size: 5, num_cliques: 2, candidates: 20, target: CliqueTarget::AllRelations };
+        let out = inject_anomalies(&g, &cfg, 4);
+        let before = g.attrs();
+        let after = out.graph.attrs();
+        let changed = out
+            .attribute
+            .iter()
+            .filter(|&&i| before.row(i) != after.row(i))
+            .count();
+        assert!(changed as f64 >= out.attribute.len() as f64 * 0.9);
+        // Swapped features now coincide with some other node's original ones.
+        for &i in &out.attribute {
+            let hit = (0..g.num_nodes()).any(|j| before.row(j) == after.row(i));
+            assert!(hit, "swapped row must come from the original attribute set");
+        }
+    }
+
+    #[test]
+    fn for_total_hits_target() {
+        let cfg = InjectionConfig::for_total(300, 15);
+        assert_eq!(cfg.total(), 300);
+        let cfg2 = InjectionConfig::for_total(20, 15); // too small for one clique of 15
+        assert_eq!(cfg2.clique_size, 15);
+        assert_eq!(cfg2.num_cliques, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = clean_graph(300);
+        let cfg = InjectionConfig::for_total(40, 5);
+        let a = inject_anomalies(&g, &cfg, 7);
+        let b = inject_anomalies(&g, &cfg, 7);
+        assert_eq!(a.structural, b.structural);
+        assert_eq!(a.graph.attrs().data(), b.graph.attrs().data());
+    }
+}

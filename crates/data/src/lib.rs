@@ -1,0 +1,41 @@
+//! # umgad-data
+//!
+//! Statistical-twin generators for the four UMGAD evaluation datasets
+//! (Retail_Rocket, Alibaba, Amazon-Fraud, YelpChi) plus the paper's anomaly
+//! injection protocol.
+//!
+//! The real datasets are external downloads unavailable offline; these
+//! generators match their Table I statistics — node counts, per-relation
+//! edge counts, anomaly counts, and relation semantics — so the model and
+//! baselines face the same size/density/anomaly-rate regime the paper
+//! evaluated in. See `DESIGN.md` §3 for the substitution rationale.
+//!
+//! ## Example
+//!
+//! ```
+//! use umgad_data::{Dataset, DatasetKind, Scale};
+//!
+//! let d = Dataset::generate(DatasetKind::Retail, Scale::Tiny, 42);
+//! assert_eq!(d.graph.num_relations(), 3); // view / cart / buy
+//! assert!(d.graph.num_anomalies() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod import;
+pub mod inject;
+pub mod io;
+pub mod real;
+pub mod registry;
+pub mod spec;
+pub mod stats;
+
+pub use generator::{generate_base, BaseGraph};
+pub use inject::{inject_anomalies, CliqueTarget, Injected, InjectionConfig};
+pub use import::{import_graph, parse_attributes, parse_edges, parse_labels, ImportError};
+pub use io::{load_graph, save_graph};
+pub use real::{generate_with_fraud, FraudConfig};
+pub use registry::Dataset;
+pub use spec::{DatasetKind, DatasetSpec, RelationSpec, Scale, ScaledSpec};
+pub use stats::DatasetStats;

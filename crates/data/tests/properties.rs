@@ -1,0 +1,65 @@
+//! Property-based tests for dataset generation and anomaly injection.
+
+use proptest::prelude::*;
+use umgad_data::{
+    inject_anomalies, CliqueTarget, Dataset, DatasetKind, DatasetSpec, InjectionConfig, Scale,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_scale_produces_valid_datasets(factor in 0.004f64..0.03, seed in 0u64..50) {
+        let d = Dataset::generate(DatasetKind::Alibaba, Scale::Custom(factor), seed);
+        let g = &d.graph;
+        prop_assert!(g.num_nodes() >= 200);
+        prop_assert_eq!(g.num_relations(), 3);
+        prop_assert!(g.num_anomalies() >= 12);
+        prop_assert!(g.num_anomalies() * 2 < g.num_nodes());
+        prop_assert!(g.attrs().is_finite());
+        // Labels and attrs shapes line up.
+        prop_assert_eq!(g.labels().unwrap().len(), g.num_nodes());
+    }
+
+    #[test]
+    fn injection_totals_exact(m in 3usize..8, c in 1usize..4, seed in 0u64..50) {
+        let spec = DatasetSpec::table1(DatasetKind::Retail).at_scale(Scale::Custom(0.02));
+        let base = umgad_data::generate_base(&spec, seed);
+        let cfg = InjectionConfig {
+            clique_size: m,
+            num_cliques: c,
+            candidates: 10,
+            target: CliqueTarget::AllRelations,
+        };
+        let out = inject_anomalies(&base.graph, &cfg, seed);
+        prop_assert_eq!(out.structural.len(), m * c);
+        prop_assert_eq!(out.attribute.len(), m * c);
+        prop_assert_eq!(out.graph.num_anomalies(), 2 * m * c);
+        // Injection only ever adds edges.
+        for (l0, l1) in base.graph.layers().iter().zip(out.graph.layers()) {
+            prop_assert!(l1.num_edges() >= l0.num_edges());
+        }
+    }
+
+    #[test]
+    fn scales_monotone_in_nodes(seed in 0u64..20) {
+        let tiny = Dataset::generate(DatasetKind::Amazon, Scale::Custom(0.01), seed);
+        let small = Dataset::generate(DatasetKind::Amazon, Scale::Custom(0.02), seed);
+        prop_assert!(small.graph.num_nodes() >= tiny.graph.num_nodes());
+        prop_assert!(small.graph.total_edges() >= tiny.graph.total_edges());
+    }
+}
+
+#[test]
+fn all_four_datasets_generate_at_tiny() {
+    for kind in DatasetKind::ALL {
+        let d = Dataset::generate(kind, Scale::Tiny, 99);
+        assert_eq!(d.graph.num_relations(), 3, "{kind:?}");
+        assert!(d.graph.num_anomalies() > 0, "{kind:?}");
+        // Relation names mirror Table I.
+        let spec = DatasetSpec::table1(kind);
+        for (layer, rel) in d.graph.layers().iter().zip(&spec.relations) {
+            assert_eq!(layer.name(), rel.name, "{kind:?}");
+        }
+    }
+}

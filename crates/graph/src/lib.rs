@@ -1,0 +1,37 @@
+//! # umgad-graph
+//!
+//! Multiplex heterogeneous graph structures for the UMGAD reproduction
+//! (ICDE 2025): CSR relational layers with cached GCN normalisation,
+//! random-walk-with-restart subgraph sampling, and the uniform masking /
+//! negative-sampling primitives behind the paper's graph-masked autoencoders.
+//!
+//! ## Example
+//!
+//! ```
+//! use umgad_graph::{MultiplexGraph, RelationLayer};
+//! use umgad_tensor::Matrix;
+//!
+//! let attrs = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
+//! let view = RelationLayer::new("view", 5, vec![(0, 1), (1, 2), (2, 3)]);
+//! let buy = RelationLayer::new("buy", 5, vec![(0, 4)]);
+//! let g = MultiplexGraph::new(attrs, vec![view, buy], None);
+//! assert_eq!(g.num_relations(), 2);
+//! assert_eq!(g.layer(0).degree(1), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod mask;
+pub mod multiplex;
+pub mod norm;
+pub mod rwr;
+pub mod stats;
+
+pub use mask::{contrast_indices, negative_endpoints, sample_indices, sample_k, split_indices, swap_partners};
+pub use multiplex::{MultiplexGraph, MultiplexGraphData, RelationLayer};
+pub use norm::{adjacency, gcn_norm_rc, gcn_normalize, rw_normalize};
+pub use rwr::{induced_edge_indices, rwr_mask_sets, rwr_sample};
+pub use stats::{
+    anomaly_isolation, clustering_coefficient, degree_stats, edge_homophily, label_homophily,
+    profile, DegreeStats, GraphProfile,
+};

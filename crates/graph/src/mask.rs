@@ -1,0 +1,183 @@
+//! Uniform random masking/sampling utilities.
+//!
+//! The paper's masking strategies (Eq. 1, Eq. 5, Eq. 10) all start from
+//! *uniform sampling without replacement*; these helpers implement that
+//! primitive plus negative sampling for the structure-reconstruction loss.
+
+use rand::Rng;
+
+use crate::multiplex::RelationLayer;
+
+/// Sample `floor(ratio * n)` distinct indices from `0..n` uniformly without
+/// replacement (partial Fisher–Yates). Guarantees at least one index when
+/// `n > 0` and `ratio > 0`.
+pub fn sample_indices(n: usize, ratio: f64, rng: &mut impl Rng) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0,1]");
+    if n == 0 || ratio == 0.0 {
+        return Vec::new();
+    }
+    let k = ((n as f64 * ratio) as usize).clamp(1, n);
+    sample_k(n, k, rng)
+}
+
+/// Sample exactly `k` distinct indices from `0..n` (partial Fisher–Yates).
+pub fn sample_k(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} of {n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// Split `0..n` into (sampled, remaining) by ratio.
+pub fn split_indices(n: usize, ratio: f64, rng: &mut impl Rng) -> (Vec<usize>, Vec<usize>) {
+    let sampled = sample_indices(n, ratio, rng);
+    let mut taken = vec![false; n];
+    for &i in &sampled {
+        taken[i] = true;
+    }
+    let remaining = (0..n).filter(|&i| !taken[i]).collect();
+    (sampled, remaining)
+}
+
+/// Draw `q` negative endpoints per positive edge for the Eq. 7 denominator:
+/// uniform nodes that are not neighbours of the anchor `u` (rejection
+/// sampling with a bounded number of attempts — on dense rows we accept a
+/// rare false negative rather than loop forever, matching common practice).
+pub fn negative_endpoints(
+    layer: &RelationLayer,
+    pos: &[(usize, usize)],
+    q: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let n = layer.num_nodes();
+    let mut out = Vec::with_capacity(pos.len() * q);
+    for &(u, v) in pos {
+        for _ in 0..q {
+            let mut cand = rng.gen_range(0..n);
+            for _attempt in 0..8 {
+                let is_nbr = layer.neighbors(u).binary_search(&(cand as u32)).is_ok();
+                if cand != u && cand != v && !is_nbr {
+                    break;
+                }
+                cand = rng.gen_range(0..n);
+            }
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Draw `q` random contrast indices per anchor for the dual-view InfoNCE,
+/// avoiding the anchor itself.
+pub fn contrast_indices(n: usize, q: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(n > 1, "contrastive sampling needs at least two nodes");
+    let mut out = Vec::with_capacity(n * q);
+    for i in 0..n {
+        for _ in 0..q {
+            let mut j = rng.gen_range(0..n);
+            while j == i {
+                j = rng.gen_range(0..n);
+            }
+            out.push(j);
+        }
+    }
+    out
+}
+
+/// For attribute-level augmentation (Eq. 10): pair each selected node `i`
+/// with a random *other* node `j` whose attributes it will take.
+pub fn swap_partners(n: usize, selected: &[usize], rng: &mut impl Rng) -> Vec<usize> {
+    assert!(n > 1);
+    selected
+        .iter()
+        .map(|&i| {
+            let mut j = rng.gen_range(0..n);
+            while j == i {
+                j = rng.gen_range(0..n);
+            }
+            j
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_indices_distinct_and_sized() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = sample_indices(100, 0.25, &mut rng);
+        assert_eq!(s.len(), 25);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 25);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_minimum_one() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = sample_indices(10, 0.01, &mut rng);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sample_indices_zero_cases() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(sample_indices(0, 0.5, &mut rng).is_empty());
+        assert!(sample_indices(10, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn split_is_partition() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (a, b) = split_indices(50, 0.3, &mut rng);
+        assert_eq!(a.len() + b.len(), 50);
+        let mut all: Vec<_> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn negatives_avoid_neighbors_when_possible() {
+        let layer = RelationLayer::new("r", 20, vec![(0, 1), (0, 2)]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let negs = negative_endpoints(&layer, &[(0, 1)], 16, &mut rng);
+        assert_eq!(negs.len(), 16);
+        // With 20 nodes and 3 forbidden, rejection sampling should avoid all.
+        assert!(negs.iter().all(|&c| c != 0 && c != 1 && c != 2));
+    }
+
+    #[test]
+    fn contrast_avoids_anchor() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let c = contrast_indices(10, 3, &mut rng);
+        assert_eq!(c.len(), 30);
+        for i in 0..10 {
+            assert!(c[i * 3..(i + 1) * 3].iter().all(|&j| j != i));
+        }
+    }
+
+    #[test]
+    fn swap_partners_never_identity() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let sel: Vec<usize> = (0..8).collect();
+        let p = swap_partners(8, &sel, &mut rng);
+        assert!(sel.iter().zip(&p).all(|(&i, &j)| i != j));
+    }
+
+    #[test]
+    fn sample_k_exact() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let s = sample_k(5, 5, &mut rng);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+}

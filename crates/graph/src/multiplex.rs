@@ -1,0 +1,313 @@
+//! Multiplex heterogeneous graphs (Definition 1 of the paper).
+//!
+//! A [`MultiplexGraph`] is a shared node set with attributes plus `R`
+//! relational layers `G^r = (V, E^r, X)`. Each [`RelationLayer`] caches its
+//! plain and GCN-normalised adjacency so model code can ask for autograd-ready
+//! [`SpPair`]s without re-normalising every epoch.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use umgad_tensor::{CsrMatrix, Matrix, SpPair};
+
+use crate::norm::{adjacency, gcn_normalize};
+
+/// One relational subgraph of a multiplex graph.
+#[derive(Clone, Debug)]
+pub struct RelationLayer {
+    name: String,
+    n: usize,
+    /// Canonical undirected edges, `u < v`, deduplicated and sorted.
+    edges: Vec<(u32, u32)>,
+    adj: Arc<CsrMatrix>,
+    norm: Arc<CsrMatrix>,
+}
+
+impl RelationLayer {
+    /// Build a layer over `n` nodes from undirected edges. Edges are
+    /// canonicalised (`u < v`), deduplicated, and self-loops dropped.
+    pub fn new(name: impl Into<String>, n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut canon: Vec<(u32, u32)> = edges
+            .into_iter()
+            .filter(|&(u, v)| u != v)
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+        for &(u, v) in &canon {
+            assert!((v as usize) < n, "edge ({u},{v}) out of bounds for {n} nodes");
+        }
+        let adj = Arc::new(adjacency(n, &canon));
+        let norm = Arc::new(gcn_normalize(n, &canon));
+        Self { name: name.into(), n, edges: canon, adj, norm }
+    }
+
+    /// Relation name (e.g. `"view"`, `"u-p-u"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Canonical undirected edge list (`u < v`).
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Plain symmetric 0/1 adjacency (no self-loops).
+    pub fn adjacency(&self) -> &Arc<CsrMatrix> {
+        &self.adj
+    }
+
+    /// GCN-normalised adjacency `D̃^{-1/2}(A+I)D̃^{-1/2}`.
+    pub fn normalized(&self) -> &Arc<CsrMatrix> {
+        &self.norm
+    }
+
+    /// Normalised adjacency as an autograd spmm pair (symmetric: forward and
+    /// backward share storage).
+    pub fn norm_pair(&self) -> SpPair {
+        SpPair { fwd: Arc::clone(&self.norm), bwd: Arc::clone(&self.norm) }
+    }
+
+    /// Neighbours of `u` (from the plain adjacency).
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        self.adj.row_cols(u)
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj.row_nnz(u)
+    }
+
+    /// Rebuild this layer with `masked` edges (indices into [`Self::edges`])
+    /// removed, returning the remaining layer's GCN-normalised adjacency and
+    /// the masked edge endpoints. Used by the structure-masking GMAE (Eq. 5).
+    pub fn without_edges(&self, masked: &[usize]) -> (Arc<CsrMatrix>, Vec<(u32, u32)>) {
+        let mut drop = vec![false; self.edges.len()];
+        let mut masked_edges = Vec::with_capacity(masked.len());
+        for &e in masked {
+            drop[e] = true;
+            masked_edges.push(self.edges[e]);
+        }
+        let remaining: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !drop[*i])
+            .map(|(_, &e)| e)
+            .collect();
+        (Arc::new(gcn_normalize(self.n, &remaining)), masked_edges)
+    }
+}
+
+/// A multiplex heterogeneous graph: `R` relational layers over one node set
+/// with one attribute matrix, plus optional anomaly labels.
+#[derive(Clone, Debug)]
+pub struct MultiplexGraph {
+    n: usize,
+    attrs: Arc<Matrix>,
+    layers: Vec<RelationLayer>,
+    labels: Option<Vec<bool>>,
+}
+
+impl MultiplexGraph {
+    /// Assemble a multiplex graph. All layers must share the node count and
+    /// the attribute matrix must have one row per node.
+    pub fn new(attrs: Matrix, layers: Vec<RelationLayer>, labels: Option<Vec<bool>>) -> Self {
+        assert!(!layers.is_empty(), "a multiplex graph needs at least one relation");
+        let n = attrs.rows();
+        for l in &layers {
+            assert_eq!(l.num_nodes(), n, "layer {} node count mismatch", l.name());
+        }
+        if let Some(lab) = &labels {
+            assert_eq!(lab.len(), n, "label count mismatch");
+        }
+        Self { n, attrs: Arc::new(attrs), layers, labels }
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of relations `R`.
+    pub fn num_relations(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Attribute dimensionality `f`.
+    pub fn attr_dim(&self) -> usize {
+        self.attrs.cols()
+    }
+
+    /// Shared node attribute matrix `X`.
+    pub fn attrs(&self) -> &Arc<Matrix> {
+        &self.attrs
+    }
+
+    /// Replace the attribute matrix (used by augmented views); shape must
+    /// match.
+    pub fn with_attrs(&self, attrs: Matrix) -> Self {
+        assert_eq!(attrs.shape(), self.attrs.shape());
+        Self { attrs: Arc::new(attrs), ..self.clone() }
+    }
+
+    /// Relational layers.
+    pub fn layers(&self) -> &[RelationLayer] {
+        &self.layers
+    }
+
+    /// Layer `r`.
+    pub fn layer(&self, r: usize) -> &RelationLayer {
+        &self.layers[r]
+    }
+
+    /// Ground-truth anomaly labels when known.
+    pub fn labels(&self) -> Option<&[bool]> {
+        self.labels.as_deref()
+    }
+
+    /// Attach labels (e.g. after anomaly injection).
+    pub fn set_labels(&mut self, labels: Vec<bool>) {
+        assert_eq!(labels.len(), self.n);
+        self.labels = Some(labels);
+    }
+
+    /// Number of labelled anomalies (0 when unlabelled).
+    pub fn num_anomalies(&self) -> usize {
+        self.labels.as_ref().map_or(0, |l| l.iter().filter(|&&b| b).count())
+    }
+
+    /// Union layer: one layer containing every edge of every relation.
+    /// Non-multiplex baselines operate on this collapsed view.
+    pub fn union_layer(&self) -> RelationLayer {
+        let edges: Vec<(u32, u32)> =
+            self.layers.iter().flat_map(|l| l.edges().iter().copied()).collect();
+        RelationLayer::new("union", self.n, edges)
+    }
+
+    /// Total undirected edge count across relations.
+    pub fn total_edges(&self) -> usize {
+        self.layers.iter().map(RelationLayer::num_edges).sum()
+    }
+}
+
+/// Serialisable DTO mirroring [`MultiplexGraph`]; used by `umgad-data` for
+/// save/load so generated datasets can be cached and audited.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MultiplexGraphData {
+    /// Node count.
+    pub n: usize,
+    /// Attribute dimensionality.
+    pub attr_dim: usize,
+    /// Row-major attribute data (`n * attr_dim`).
+    pub attrs: Vec<f64>,
+    /// Relation names, parallel to `edges`.
+    pub relation_names: Vec<String>,
+    /// Per-relation undirected edge lists.
+    pub edges: Vec<Vec<(u32, u32)>>,
+    /// Optional anomaly labels.
+    pub labels: Option<Vec<bool>>,
+}
+
+impl From<&MultiplexGraph> for MultiplexGraphData {
+    fn from(g: &MultiplexGraph) -> Self {
+        Self {
+            n: g.num_nodes(),
+            attr_dim: g.attr_dim(),
+            attrs: g.attrs().data().to_vec(),
+            relation_names: g.layers().iter().map(|l| l.name().to_string()).collect(),
+            edges: g.layers().iter().map(|l| l.edges().to_vec()).collect(),
+            labels: g.labels().map(<[bool]>::to_vec),
+        }
+    }
+}
+
+impl From<MultiplexGraphData> for MultiplexGraph {
+    fn from(d: MultiplexGraphData) -> Self {
+        let attrs = Matrix::from_vec(d.n, d.attr_dim, d.attrs);
+        let layers = d
+            .relation_names
+            .into_iter()
+            .zip(d.edges)
+            .map(|(name, edges)| RelationLayer::new(name, d.n, edges))
+            .collect();
+        MultiplexGraph::new(attrs, layers, d.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MultiplexGraph {
+        let attrs = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let l1 = RelationLayer::new("a", 4, vec![(0, 1), (1, 2)]);
+        let l2 = RelationLayer::new("b", 4, vec![(2, 3)]);
+        MultiplexGraph::new(attrs, vec![l1, l2], Some(vec![false, true, false, false]))
+    }
+
+    #[test]
+    fn layer_canonicalises_edges() {
+        let l = RelationLayer::new("r", 3, vec![(2, 0), (0, 2), (1, 1), (0, 1)]);
+        assert_eq!(l.edges(), &[(0, 1), (0, 2)]);
+        assert_eq!(l.degree(0), 2);
+        assert_eq!(l.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn without_edges_removes_only_masked() {
+        let l = RelationLayer::new("r", 4, vec![(0, 1), (1, 2), (2, 3)]);
+        let (norm, masked) = l.without_edges(&[1]);
+        assert_eq!(masked, vec![(1, 2)]);
+        // Node 1 now only connects to 0 (plus its self loop).
+        assert_eq!(norm.get(1, 2), 0.0);
+        assert!(norm.get(1, 0) > 0.0);
+    }
+
+    #[test]
+    fn multiplex_accessors() {
+        let g = tiny();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_relations(), 2);
+        assert_eq!(g.attr_dim(), 2);
+        assert_eq!(g.num_anomalies(), 1);
+        assert_eq!(g.total_edges(), 3);
+    }
+
+    #[test]
+    fn union_layer_merges_relations() {
+        let g = tiny();
+        let u = g.union_layer();
+        assert_eq!(u.num_edges(), 3);
+        assert_eq!(u.neighbors(2), &[1, 3]);
+    }
+
+    #[test]
+    fn dto_roundtrip() {
+        let g = tiny();
+        let dto = MultiplexGraphData::from(&g);
+        let back = MultiplexGraph::from(dto);
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.layer(0).edges(), g.layer(0).edges());
+        assert_eq!(back.attrs().data(), g.attrs().data());
+        assert_eq!(back.labels(), g.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn mismatched_layer_panics() {
+        let attrs = Matrix::zeros(3, 2);
+        let l = RelationLayer::new("a", 4, vec![(0, 1)]);
+        let _ = MultiplexGraph::new(attrs, vec![l], None);
+    }
+}

@@ -1,0 +1,140 @@
+//! GCN-style adjacency normalisation.
+
+use std::sync::Arc;
+
+use umgad_tensor::CsrMatrix;
+
+/// Symmetric GCN normalisation with self-loops:
+/// `Â = D̃^{-1/2} (A + I) D̃^{-1/2}` where `D̃` is the degree of `A + I`.
+///
+/// `edges` are undirected pairs (each stored once, `u != v` not required —
+/// explicit self-loops are merged with the added identity).
+pub fn gcn_normalize(n: usize, edges: &[(u32, u32)]) -> CsrMatrix {
+    let mut triples = Vec::with_capacity(edges.len() * 2 + n);
+    let mut degree = vec![1.0f64; n]; // self-loop contributes 1
+    for &(u, v) in edges {
+        let (u, v) = (u as usize, v as usize);
+        if u == v {
+            degree[u] += 1.0;
+        } else {
+            degree[u] += 1.0;
+            degree[v] += 1.0;
+        }
+    }
+    let inv_sqrt: Vec<f64> = degree.iter().map(|&d| 1.0 / d.sqrt()).collect();
+    for &(u, v) in edges {
+        let (u, v) = (u as usize, v as usize);
+        let w = inv_sqrt[u] * inv_sqrt[v];
+        if u == v {
+            triples.push((u, v, w));
+        } else {
+            triples.push((u, v, w));
+            triples.push((v, u, w));
+        }
+    }
+    for (i, &s) in inv_sqrt.iter().enumerate() {
+        triples.push((i, i, s * s));
+    }
+    CsrMatrix::from_coo(n, n, triples)
+}
+
+/// Row-stochastic normalisation `D^{-1} A` (no self-loops), used by
+/// random-walk-style propagation. Rows with no edges stay empty.
+pub fn rw_normalize(n: usize, edges: &[(u32, u32)]) -> CsrMatrix {
+    let mut degree = vec![0.0f64; n];
+    for &(u, v) in edges {
+        degree[u as usize] += 1.0;
+        if u != v {
+            degree[v as usize] += 1.0;
+        }
+    }
+    let mut triples = Vec::with_capacity(edges.len() * 2);
+    for &(u, v) in edges {
+        let (u, v) = (u as usize, v as usize);
+        triples.push((u, v, 1.0 / degree[u]));
+        if u != v {
+            triples.push((v, u, 1.0 / degree[v]));
+        }
+    }
+    CsrMatrix::from_coo(n, n, triples)
+}
+
+/// Plain symmetric 0/1 adjacency (no self-loops) from undirected edges.
+pub fn adjacency(n: usize, edges: &[(u32, u32)]) -> CsrMatrix {
+    let mut triples = Vec::with_capacity(edges.len() * 2);
+    for &(u, v) in edges {
+        let (u, v) = (u as usize, v as usize);
+        triples.push((u, v, 1.0));
+        if u != v {
+            triples.push((v, u, 1.0));
+        }
+    }
+    // from_coo sums duplicates; clamp back to 0/1 in case an edge repeats.
+    let m = CsrMatrix::from_coo(n, n, triples);
+    if m.iter().any(|(_, _, v)| v != 1.0) {
+        let ones: Vec<_> = m.iter().map(|(r, c, _)| (r, c, 1.0)).collect();
+        return CsrMatrix::from_coo(n, n, ones);
+    }
+    m
+}
+
+/// Convenience: normalised adjacency wrapped for autograd spmm.
+pub fn gcn_norm_rc(n: usize, edges: &[(u32, u32)]) -> Arc<CsrMatrix> {
+    Arc::new(gcn_normalize(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcn_norm_path_graph() {
+        // Path 0-1-2. Degrees with self loops: 2, 3, 2.
+        let m = gcn_normalize(3, &[(0, 1), (1, 2)]);
+        assert!((m.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((m.get(0, 1) - 1.0 / (2.0f64.sqrt() * 3.0f64.sqrt())).abs() < 1e-12);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn gcn_norm_entries_valid() {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)];
+        let m = gcn_normalize(4, &edges);
+        assert!(m.is_symmetric());
+        // Every stored entry is in (0, 1]; diagonal equals 1/d̃_i.
+        assert!(m.iter().all(|(_, _, v)| v > 0.0 && v <= 1.0));
+        let degrees = [4.0, 3.0, 4.0, 3.0]; // with self-loops
+        for (r, d) in degrees.iter().enumerate() {
+            assert!((m.get(r, r) - 1.0 / d).abs() < 1e-12);
+        }
+        // On a regular graph the row sums are exactly 1 — check the cycle.
+        let cyc = gcn_normalize(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        for r in 0..4 {
+            let s: f64 = cyc.row_vals(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn isolated_node_keeps_self_loop() {
+        let m = gcn_normalize(3, &[(0, 1)]);
+        assert!((m.get(2, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rw_norm_rows_sum_to_one() {
+        let m = rw_normalize(4, &[(0, 1), (0, 2), (0, 3), (2, 3)]);
+        for r in 0..4 {
+            let s: f64 = m.row_vals(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_01() {
+        let m = adjacency(4, &[(0, 1), (1, 2), (0, 1)]); // duplicate edge
+        assert!(m.is_symmetric());
+        assert!(m.iter().all(|(_, _, v)| v == 1.0));
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Random walk with restart (RWR) subgraph sampling.
+//!
+//! The subgraph-level augmentation (IV-B-2) masks subgraphs sampled by RWR;
+//! CoLA-style baselines use the same sampler for contrastive instance pairs.
+
+use rand::Rng;
+
+use crate::multiplex::RelationLayer;
+
+/// Sample a connected node set of up to `size` distinct nodes around `seed`
+/// by a random walk with restart probability `restart_p`.
+///
+/// The walk restarts at `seed` with probability `restart_p` at every step
+/// and stops after collecting `size` distinct nodes or `max_steps` moves
+/// (whichever comes first), so sampling terminates even on tiny components.
+pub fn rwr_sample(
+    layer: &RelationLayer,
+    seed: usize,
+    size: usize,
+    restart_p: f64,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    assert!(seed < layer.num_nodes());
+    assert!((0.0..=1.0).contains(&restart_p));
+    let mut visited = Vec::with_capacity(size);
+    let mut seen = std::collections::HashSet::with_capacity(size * 2);
+    visited.push(seed);
+    seen.insert(seed);
+    let mut cur = seed;
+    let max_steps = size.saturating_mul(20).max(64);
+    for _ in 0..max_steps {
+        if visited.len() >= size {
+            break;
+        }
+        if rng.gen::<f64>() < restart_p {
+            cur = seed;
+            continue;
+        }
+        let nbrs = layer.neighbors(cur);
+        if nbrs.is_empty() {
+            // Dead end: forced restart.
+            cur = seed;
+            continue;
+        }
+        cur = nbrs[rng.gen_range(0..nbrs.len())] as usize;
+        if seen.insert(cur) {
+            visited.push(cur);
+        }
+    }
+    visited
+}
+
+/// Collect the edge indices of `layer` whose *both* endpoints fall inside
+/// `nodes`. Returns indices into `layer.edges()`.
+pub fn induced_edge_indices(layer: &RelationLayer, nodes: &[usize]) -> Vec<usize> {
+    let inside: std::collections::HashSet<u32> = nodes.iter().map(|&v| v as u32).collect();
+    layer
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, (u, v))| inside.contains(u) && inside.contains(v))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Sample `count` RWR subgraphs with distinct random seeds and return the
+/// union of their node sets plus the union of their induced edge indices.
+/// This is the paper's subgraph masking unit: `|V_m|`-node patches are
+/// masked together (attributes and internal edges).
+pub fn rwr_mask_sets(
+    layer: &RelationLayer,
+    count: usize,
+    size: usize,
+    restart_p: f64,
+    rng: &mut impl Rng,
+) -> (Vec<usize>, Vec<usize>) {
+    let n = layer.num_nodes();
+    let mut node_set = std::collections::HashSet::new();
+    for _ in 0..count {
+        let seed = rng.gen_range(0..n);
+        for v in rwr_sample(layer, seed, size, restart_p, rng) {
+            node_set.insert(v);
+        }
+    }
+    let mut nodes: Vec<usize> = node_set.into_iter().collect();
+    nodes.sort_unstable();
+    let edges = induced_edge_indices(layer, &nodes);
+    (nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn path_layer(n: usize) -> RelationLayer {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        RelationLayer::new("path", n, edges)
+    }
+
+    #[test]
+    fn sample_contains_seed_and_is_bounded() {
+        let layer = path_layer(50);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = rwr_sample(&layer, 10, 8, 0.3, &mut rng);
+        assert!(s.contains(&10));
+        assert!(s.len() <= 8);
+        assert!(!s.is_empty());
+        // All distinct.
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), s.len());
+    }
+
+    #[test]
+    fn sample_respects_connectivity() {
+        // Two components: 0-1-2 and 3-4. Walk from 0 can never reach 3.
+        let layer = RelationLayer::new("two", 5, vec![(0, 1), (1, 2), (3, 4)]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let s = rwr_sample(&layer, 0, 5, 0.2, &mut rng);
+            assert!(s.iter().all(|&v| v < 3), "escaped component: {s:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_seed_terminates() {
+        let layer = RelationLayer::new("iso", 3, vec![(1, 2)]);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = rwr_sample(&layer, 0, 4, 0.5, &mut rng);
+        assert_eq!(s, vec![0]);
+    }
+
+    #[test]
+    fn induced_edges_are_internal() {
+        let layer = path_layer(6);
+        let idx = induced_edge_indices(&layer, &[1, 2, 3]);
+        let edges: Vec<_> = idx.iter().map(|&i| layer.edges()[i]).collect();
+        assert_eq!(edges, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn mask_sets_cover_requested_patches() {
+        let layer = path_layer(100);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let (nodes, edges) = rwr_mask_sets(&layer, 4, 6, 0.2, &mut rng);
+        assert!(!nodes.is_empty());
+        assert!(nodes.len() <= 4 * 6);
+        for &e in &edges {
+            let (u, v) = layer.edges()[e];
+            assert!(nodes.binary_search(&(u as usize)).is_ok());
+            assert!(nodes.binary_search(&(v as usize)).is_ok());
+        }
+    }
+}

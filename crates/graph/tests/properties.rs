@@ -1,0 +1,163 @@
+//! Property-based tests for the graph substrate: normalisation algebra,
+//! layer canonicalisation, RWR sampling invariants, and mask/sampling
+//! distribution properties.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use umgad_graph::{
+    gcn_normalize, rw_normalize, rwr_sample, sample_indices, split_indices, swap_partners,
+    MultiplexGraph, MultiplexGraphData, RelationLayer,
+};
+use umgad_tensor::Matrix;
+
+/// Strategy: a random undirected edge list over `n` nodes.
+fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gcn_normalize_always_symmetric(e in edges(12, 40)) {
+        let m = gcn_normalize(12, &e);
+        prop_assert!(m.is_symmetric());
+        // Diagonal present for every node (self-loops).
+        for i in 0..12 {
+            prop_assert!(m.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn gcn_normalize_spectral_bound(e in edges(10, 30)) {
+        // Â = D̃^{-1/2}(A+I)D̃^{-1/2} has spectral radius ≤ 1, so the ℓ2
+        // norm of a vector never grows under repeated application.
+        let m = gcn_normalize(10, &e);
+        let mut x = Matrix::full(10, 1, 1.0);
+        let mut prev = x.frob_norm();
+        for _ in 0..30 {
+            x = m.spmm(&x);
+            let cur = x.frob_norm();
+            prop_assert!(cur <= prev + 1e-9, "ℓ2 norm grew: {prev} -> {cur}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn rw_normalize_rows_stochastic(e in edges(9, 30)) {
+        let m = rw_normalize(9, &e);
+        for r in 0..9 {
+            let s: f64 = m.row_vals(r).iter().sum();
+            // Rows are empty (isolated) or sum to exactly 1.
+            prop_assert!(s == 0.0 || (s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn layer_edges_canonical(e in edges(15, 60)) {
+        let l = RelationLayer::new("r", 15, e);
+        let es = l.edges();
+        for w in es.windows(2) {
+            prop_assert!(w[0] < w[1], "sorted and deduplicated");
+        }
+        for &(u, v) in es {
+            prop_assert!(u < v, "canonical orientation, no self-loops");
+        }
+        // Degree sum equals twice the edge count.
+        let total: usize = (0..15).map(|v| l.degree(v)).sum();
+        prop_assert_eq!(total, 2 * l.num_edges());
+    }
+
+    #[test]
+    fn without_edges_only_removes_requested(e in edges(12, 40), seed in 0u64..1000) {
+        let l = RelationLayer::new("r", 12, e);
+        if l.num_edges() == 0 {
+            return Ok(());
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let masked = sample_indices(l.num_edges(), 0.4, &mut rng);
+        let (pruned, removed) = l.without_edges(&masked);
+        prop_assert_eq!(removed.len(), masked.len());
+        for &(u, v) in &removed {
+            prop_assert_eq!(pruned.get(u as usize, v as usize), 0.0);
+        }
+        // Surviving edges keep a nonzero normalised weight.
+        let removed_set: std::collections::HashSet<_> = removed.iter().collect();
+        for e in l.edges() {
+            if !removed_set.contains(e) {
+                prop_assert!(pruned.get(e.0 as usize, e.1 as usize) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rwr_nodes_always_reachable(seed in 0u64..500, size in 2usize..12) {
+        // A two-component graph: the walk must stay in the seed's component.
+        let l = RelationLayer::new(
+            "two",
+            20,
+            (0u32..9).map(|i| (i, i + 1)).chain((10u32..19).map(|i| (i, i + 1))).collect::<Vec<_>>(),
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sample = rwr_sample(&l, 3, size, 0.2, &mut rng);
+        prop_assert!(sample.contains(&3));
+        prop_assert!(sample.iter().all(|&v| v < 10), "leaked across components: {sample:?}");
+        let uniq: std::collections::HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(uniq.len(), sample.len());
+    }
+
+    #[test]
+    fn split_indices_partitions(n in 1usize..200, ratio in 0.01f64..0.99, seed in 0u64..100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b) = split_indices(n, ratio, &mut rng);
+        let mut all: Vec<_> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn swap_partners_are_proper(n in 2usize..100, seed in 0u64..100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sel: Vec<usize> = (0..n / 2).collect();
+        let partners = swap_partners(n, &sel, &mut rng);
+        prop_assert_eq!(partners.len(), sel.len());
+        for (&i, &j) in sel.iter().zip(&partners) {
+            prop_assert!(i != j && j < n);
+        }
+    }
+
+    #[test]
+    fn dto_roundtrip_any_graph(e1 in edges(10, 25), e2 in edges(10, 25)) {
+        let attrs = Matrix::from_fn(10, 3, |i, j| (i * 3 + j) as f64 / 7.0);
+        let g = MultiplexGraph::new(
+            attrs,
+            vec![RelationLayer::new("a", 10, e1), RelationLayer::new("b", 10, e2)],
+            Some((0..10).map(|i| i % 4 == 0).collect()),
+        );
+        let dto = MultiplexGraphData::from(&g);
+        let json = serde_json::to_string(&dto).unwrap();
+        let back: MultiplexGraphData = serde_json::from_str(&json).unwrap();
+        let g2 = MultiplexGraph::from(back);
+        prop_assert_eq!(g2.layer(0).edges(), g.layer(0).edges());
+        prop_assert_eq!(g2.layer(1).edges(), g.layer(1).edges());
+        prop_assert_eq!(g2.attrs().data(), g.attrs().data());
+        prop_assert_eq!(g2.labels(), g.labels());
+    }
+
+    #[test]
+    fn union_layer_contains_all_relations(e1 in edges(8, 20), e2 in edges(8, 20)) {
+        let attrs = Matrix::zeros(8, 2);
+        let g = MultiplexGraph::new(
+            attrs,
+            vec![RelationLayer::new("a", 8, e1), RelationLayer::new("b", 8, e2)],
+            None,
+        );
+        let u = g.union_layer();
+        for layer in g.layers() {
+            for &(a, b) in layer.edges() {
+                prop_assert_eq!(u.adjacency().get(a as usize, b as usize), 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Learnable relation-weight fusion (Eq. 3 / 8 / 12 / 14).
+//!
+//! UMGAD fuses per-relation reconstructions with learnable weights `a^r`
+//! (attributes) and `b^r` (structure losses). The paper initialises them
+//! from a normal distribution and lets self-supervision optimise them; we
+//! constrain the fused weights through a softmax so the combination stays a
+//! convex one — free weights can collapse to the trivial all-zero solution
+//! of the reconstruction losses. The ablation bench (`repro fig6` companion)
+//! covers the free-weight variant.
+
+use rand::Rng;
+
+use umgad_tensor::init::normal;
+use umgad_tensor::{Adam, Param, Tape, Var};
+
+/// Learnable softmax-normalised weights over `R` relations.
+#[derive(Clone, Debug)]
+pub struct RelationWeights {
+    /// Raw logits (`1 x R`).
+    pub logits: Param,
+}
+
+/// Tape bindings for [`RelationWeights`].
+#[derive(Clone, Copy, Debug)]
+pub struct BoundWeights {
+    logits: Var,
+    softmax: Var,
+}
+
+impl RelationWeights {
+    /// Initialise logits from `N(0, 0.1)` (paper: "initially randomized
+    /// using a normal distribution").
+    pub fn new(relations: usize, rng: &mut impl Rng) -> Self {
+        Self { logits: Param::new(normal(1, relations, 0.0, 0.1, rng)) }
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.logits.shape().1
+    }
+
+    /// True when covering zero relations (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy onto the tape and take the softmax.
+    pub fn bind(&self, tape: &mut Tape) -> BoundWeights {
+        let logits = tape.leaf(self.logits.value.clone());
+        let softmax = tape.softmax_row(logits);
+        BoundWeights { logits, softmax }
+    }
+
+    /// Weight `r` as a `1x1` node.
+    pub fn weight(&self, tape: &mut Tape, bound: &BoundWeights, r: usize) -> Var {
+        tape.entry(bound.softmax, 0, r)
+    }
+
+    /// Fuse per-relation matrices: `Σ_r a_r · X_r` (Eq. 3).
+    pub fn fuse(&self, tape: &mut Tape, bound: &BoundWeights, inputs: &[Var]) -> Var {
+        assert_eq!(inputs.len(), self.len(), "one input per relation");
+        let mut acc: Option<Var> = None;
+        for (r, &x) in inputs.iter().enumerate() {
+            let w = self.weight(tape, bound, r);
+            let term = tape.scalar_mul(w, x);
+            acc = Some(match acc {
+                Some(a) => tape.add(a, term),
+                None => term,
+            });
+        }
+        acc.expect("at least one relation")
+    }
+
+    /// Fuse per-relation scalar losses: `Σ_r b_r · L_r` (Eq. 8).
+    pub fn fuse_scalars(&self, tape: &mut Tape, bound: &BoundWeights, losses: &[Var]) -> Var {
+        self.fuse(tape, bound, losses)
+    }
+
+    /// Apply optimiser updates.
+    pub fn update(&mut self, tape: &Tape, bound: &BoundWeights, opt: &Adam) {
+        if let Some(g) = tape.grad(bound.logits) {
+            opt.step(&mut self.logits, g);
+        }
+    }
+
+    /// Current softmaxed weights (for inspection/reporting).
+    pub fn current(&self) -> Vec<f64> {
+        let row = self.logits.value.row(0);
+        let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = row.iter().map(|v| (v - mx).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / z).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::rc::Rc;
+    use umgad_tensor::Matrix;
+
+    #[test]
+    fn fuse_is_convex_combination() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = RelationWeights::new(3, &mut rng);
+        let mut tape = Tape::new();
+        let bound = w.bind(&mut tape);
+        let ones = tape.constant(Matrix::full(2, 2, 1.0));
+        let twos = tape.constant(Matrix::full(2, 2, 2.0));
+        let threes = tape.constant(Matrix::full(2, 2, 3.0));
+        let fused = w.fuse(&mut tape, &bound, &[ones, twos, threes]);
+        let v = tape.value(fused).get(0, 0);
+        assert!(v > 1.0 && v < 3.0, "convex combination must stay in range: {v}");
+        let ws = w.current();
+        assert!((ws.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_learn_to_prefer_useful_relation() {
+        // Relation 0 carries the target exactly; relation 1 is noise. The
+        // softmax weight of relation 0 should grow during training.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut w = RelationWeights::new(2, &mut rng);
+        let target = Rc::new(Matrix::from_fn(4, 3, |i, j| (i + j) as f64 / 3.0 + 0.2));
+        let noise = Matrix::from_fn(4, 3, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let opt = Adam::with_lr(0.05);
+        let before = w.current()[0];
+        for _ in 0..100 {
+            let mut tape = Tape::new();
+            let bound = w.bind(&mut tape);
+            let good = tape.constant((*target).clone());
+            let bad = tape.constant(noise.clone());
+            let fused = w.fuse(&mut tape, &bound, &[good, bad]);
+            let loss = tape.mse_loss(fused, Rc::clone(&target));
+            tape.backward(loss);
+            w.update(&tape, &bound, &opt);
+        }
+        let after = w.current()[0];
+        assert!(after > before, "useful relation weight should grow: {before} -> {after}");
+        assert!(after > 0.9, "should strongly prefer the informative relation: {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per relation")]
+    fn fuse_arity_checked() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let w = RelationWeights::new(2, &mut rng);
+        let mut tape = Tape::new();
+        let bound = w.bind(&mut tape);
+        let x = tape.constant(Matrix::zeros(1, 1));
+        let _ = w.fuse(&mut tape, &bound, &[x]);
+    }
+}

@@ -1,0 +1,358 @@
+//! GNN layers: Simplified-GCN stacks and classic GCN layers.
+//!
+//! The paper uses **Simplified GCN** (SGC) encoders/decoders: `L` propagation
+//! hops through the normalised adjacency followed by a single linear map,
+//! `act(Â^L X W + b)`. Baselines additionally use classic multi-layer GCNs
+//! with one weight per layer.
+//!
+//! Modules own their [`Param`]s. Because the tape is rebuilt every step, a
+//! module is first *bound* to a tape (copying parameter values onto it) and
+//! later *updated* from the tape's gradients:
+//!
+//! ```text
+//! let bound = stack.bind(&mut tape);
+//! let y = stack.forward(&mut tape, &bound, &pair, x);
+//! ... build loss, tape.backward(loss) ...
+//! stack.update(&tape, &bound, &opt);
+//! ```
+
+use rand::Rng;
+
+use umgad_tensor::init::xavier_uniform;
+use umgad_tensor::{Adam, Matrix, Param, SpPair, Tape, Var};
+
+/// Activation functions available to GNN layers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Exponential linear unit (α = 1), GraphMAE's default.
+    Elu,
+    /// Leaky ReLU with slope 0.2.
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply to a tape node.
+    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::None => x,
+            Activation::Relu => tape.relu(x),
+            Activation::Elu => tape.elu(x, 1.0),
+            Activation::LeakyRelu => tape.leaky_relu(x, 0.2),
+            Activation::Tanh => tape.tanh(x),
+        }
+    }
+
+    /// Apply directly to a matrix (inference path, no tape).
+    pub fn apply_matrix(self, x: &mut Matrix) {
+        match self {
+            Activation::None => {}
+            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
+            Activation::Elu => x.map_inplace(|v| if v > 0.0 { v } else { v.exp() - 1.0 }),
+            Activation::LeakyRelu => x.map_inplace(|v| if v > 0.0 { v } else { 0.2 * v }),
+            Activation::Tanh => x.map_inplace(f64::tanh),
+        }
+    }
+}
+
+/// Simplified-GCN stack: `act(Â^hops · X · W + b)`.
+#[derive(Clone, Debug)]
+pub struct SgcStack {
+    /// Linear weight (`in_dim x out_dim`).
+    pub w: Param,
+    /// Bias row (`1 x out_dim`).
+    pub b: Param,
+    /// Number of propagation hops `L`.
+    pub hops: usize,
+    /// Output activation.
+    pub act: Activation,
+}
+
+/// Tape bindings for an [`SgcStack`].
+#[derive(Clone, Copy, Debug)]
+pub struct BoundSgc {
+    w: Var,
+    b: Var,
+}
+
+impl SgcStack {
+    /// New stack with Xavier-initialised weights.
+    pub fn new(in_dim: usize, out_dim: usize, hops: usize, act: Activation, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Param::new(xavier_uniform(in_dim, out_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            hops,
+            act,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.shape().0
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.shape().1
+    }
+
+    /// Copy parameters onto `tape`.
+    pub fn bind(&self, tape: &mut Tape) -> BoundSgc {
+        BoundSgc { w: tape.leaf(self.w.value.clone()), b: tape.leaf(self.b.value.clone()) }
+    }
+
+    /// Forward pass through the bound parameters.
+    pub fn forward(&self, tape: &mut Tape, bound: &BoundSgc, adj: &SpPair, x: Var) -> Var {
+        let mut h = x;
+        for _ in 0..self.hops {
+            h = tape.spmm(adj, h);
+        }
+        let h = tape.matmul(h, bound.w);
+        let h = tape.add_row(h, bound.b);
+        self.act.apply(tape, h)
+    }
+
+    /// Apply optimiser updates from the tape's gradients.
+    pub fn update(&mut self, tape: &Tape, bound: &BoundSgc, opt: &Adam) {
+        if let Some(g) = tape.grad(bound.w) {
+            opt.step(&mut self.w, g);
+        }
+        if let Some(g) = tape.grad(bound.b) {
+            opt.step(&mut self.b, g);
+        }
+    }
+
+    /// Tape-free forward for inference/scoring.
+    pub fn infer(&self, adj: &umgad_tensor::CsrMatrix, x: &Matrix) -> Matrix {
+        let mut h = if self.hops == 0 { x.clone() } else { adj.spmm(x) };
+        for _ in 1..self.hops {
+            h = adj.spmm(&h);
+        }
+        let mut out = h.matmul(&self.w.value);
+        let bias = self.b.value.row(0).to_vec();
+        for i in 0..out.rows() {
+            for (o, &bv) in out.row_mut(i).iter_mut().zip(&bias) {
+                *o += bv;
+            }
+        }
+        self.act.apply_matrix(&mut out);
+        out
+    }
+}
+
+/// One classic GCN layer: `act(Â X W + b)`.
+#[derive(Clone, Debug)]
+pub struct GcnLayer {
+    /// Linear weight.
+    pub w: Param,
+    /// Bias row.
+    pub b: Param,
+    /// Activation.
+    pub act: Activation,
+}
+
+/// Tape bindings for a [`GcnLayer`].
+#[derive(Clone, Copy, Debug)]
+pub struct BoundGcnLayer {
+    w: Var,
+    b: Var,
+}
+
+impl GcnLayer {
+    /// New layer with Xavier-initialised weights.
+    pub fn new(in_dim: usize, out_dim: usize, act: Activation, rng: &mut impl Rng) -> Self {
+        Self {
+            w: Param::new(xavier_uniform(in_dim, out_dim, rng)),
+            b: Param::new(Matrix::zeros(1, out_dim)),
+            act,
+        }
+    }
+
+    /// Copy parameters onto `tape`.
+    pub fn bind(&self, tape: &mut Tape) -> BoundGcnLayer {
+        BoundGcnLayer { w: tape.leaf(self.w.value.clone()), b: tape.leaf(self.b.value.clone()) }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, tape: &mut Tape, bound: &BoundGcnLayer, adj: &SpPair, x: Var) -> Var {
+        let h = tape.spmm(adj, x);
+        let h = tape.matmul(h, bound.w);
+        let h = tape.add_row(h, bound.b);
+        self.act.apply(tape, h)
+    }
+
+    /// Apply optimiser updates.
+    pub fn update(&mut self, tape: &Tape, bound: &BoundGcnLayer, opt: &Adam) {
+        if let Some(g) = tape.grad(bound.w) {
+            opt.step(&mut self.w, g);
+        }
+        if let Some(g) = tape.grad(bound.b) {
+            opt.step(&mut self.b, g);
+        }
+    }
+}
+
+/// A stack of classic GCN layers.
+#[derive(Clone, Debug)]
+pub struct Gcn {
+    /// Layers, applied in order.
+    pub layers: Vec<GcnLayer>,
+}
+
+/// Tape bindings for a [`Gcn`].
+#[derive(Clone, Debug)]
+pub struct BoundGcn {
+    layers: Vec<BoundGcnLayer>,
+}
+
+impl Gcn {
+    /// Build from a dimension chain, e.g. `[f, 64, d]` gives two layers.
+    /// All but the last layer use `hidden_act`; the last uses `out_act`.
+    pub fn new(
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+                GcnLayer::new(w[0], w[1], act, rng)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Copy all layer parameters onto `tape`.
+    pub fn bind(&self, tape: &mut Tape) -> BoundGcn {
+        BoundGcn { layers: self.layers.iter().map(|l| l.bind(tape)).collect() }
+    }
+
+    /// Forward through all layers.
+    pub fn forward(&self, tape: &mut Tape, bound: &BoundGcn, adj: &SpPair, x: Var) -> Var {
+        let mut h = x;
+        for (layer, b) in self.layers.iter().zip(&bound.layers) {
+            h = layer.forward(tape, b, adj, h);
+        }
+        h
+    }
+
+    /// Apply optimiser updates to all layers.
+    pub fn update(&mut self, tape: &Tape, bound: &BoundGcn, opt: &Adam) {
+        for (layer, b) in self.layers.iter_mut().zip(&bound.layers) {
+            layer.update(tape, b, opt);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::rc::Rc;
+
+    fn ring_pair(n: usize) -> SpPair {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        SpPair::symmetric(std::sync::Arc::new(umgad_graph::gcn_normalize(n, &edges)))
+    }
+
+    #[test]
+    fn sgc_forward_shapes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let stack = SgcStack::new(6, 4, 2, Activation::Elu, &mut rng);
+        let mut tape = Tape::new();
+        let bound = stack.bind(&mut tape);
+        let x = tape.constant(Matrix::from_fn(5, 6, |i, j| (i + j) as f64 / 5.0));
+        let y = stack.forward(&mut tape, &bound, &ring_pair(5), x);
+        assert_eq!(tape.value(y).shape(), (5, 4));
+    }
+
+    #[test]
+    fn sgc_zero_hops_is_linear_map() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let stack = SgcStack::new(3, 2, 0, Activation::None, &mut rng);
+        let mut tape = Tape::new();
+        let bound = stack.bind(&mut tape);
+        let xm = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let x = tape.constant(xm.clone());
+        let y = stack.forward(&mut tape, &bound, &ring_pair(4), x);
+        let expect = xm.matmul(&stack.w.value);
+        assert_eq!(tape.value(y).data(), expect.data());
+    }
+
+    #[test]
+    fn sgc_training_reduces_loss() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut stack = SgcStack::new(4, 4, 1, Activation::None, &mut rng);
+        let pair = ring_pair(6);
+        let x = Matrix::from_fn(6, 4, |i, j| ((i + j) % 3) as f64 / 2.0 + 0.1);
+        let target = Rc::new(x.clone());
+        let opt = Adam::with_lr(0.05);
+        let mut losses = Vec::new();
+        for _ in 0..60 {
+            let mut tape = Tape::new();
+            let bound = stack.bind(&mut tape);
+            let xv = tape.constant(x.clone());
+            let y = stack.forward(&mut tape, &bound, &pair, xv);
+            let loss = tape.mse_loss(y, Rc::clone(&target));
+            tape.backward(loss);
+            stack.update(&tape, &bound, &opt);
+            losses.push(tape.value(loss).get(0, 0));
+        }
+        assert!(losses.last().unwrap() < &(losses[0] * 0.5), "{losses:?}");
+    }
+
+    #[test]
+    fn gcn_chain_dims() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let gcn = Gcn::new(&[8, 5, 3], Activation::Relu, Activation::None, &mut rng);
+        assert_eq!(gcn.layers.len(), 2);
+        let mut tape = Tape::new();
+        let bound = gcn.bind(&mut tape);
+        let x = tape.constant(Matrix::from_fn(4, 8, |i, j| (i + j) as f64 / 8.0));
+        let y = gcn.forward(&mut tape, &bound, &ring_pair(4), x);
+        assert_eq!(tape.value(y).shape(), (4, 3));
+    }
+
+    #[test]
+    fn infer_matches_tape_forward() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let stack = SgcStack::new(5, 3, 2, Activation::Elu, &mut rng);
+        let pair = ring_pair(7);
+        let x = Matrix::from_fn(7, 5, |i, j| (i as f64 - j as f64) / 4.0);
+        let mut tape = Tape::new();
+        let bound = stack.bind(&mut tape);
+        let xv = tape.constant(x.clone());
+        let y = stack.forward(&mut tape, &bound, &pair, xv);
+        let inferred = stack.infer(&pair.fwd, &x);
+        let diff: f64 = tape
+            .value(y)
+            .data()
+            .iter()
+            .zip(inferred.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff < 1e-12, "tape and infer paths must agree: {diff}");
+    }
+
+    #[test]
+    fn activations_apply() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::from_vec(1, 2, vec![-1.0, 1.0]));
+        let r = Activation::Relu.apply(&mut tape, x);
+        assert_eq!(tape.value(r).data(), &[0.0, 1.0]);
+        let l = Activation::LeakyRelu.apply(&mut tape, x);
+        assert_eq!(tape.value(l).data(), &[-0.2, 1.0]);
+        let n = Activation::None.apply(&mut tape, x);
+        assert_eq!(n, x);
+    }
+}

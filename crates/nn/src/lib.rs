@@ -1,0 +1,41 @@
+//! # umgad-nn
+//!
+//! GNN building blocks for the UMGAD reproduction: Simplified-GCN stacks,
+//! classic GCN layers, graph-masked autoencoders with learnable `[MASK]`
+//! tokens, and the learnable relation-weight fusion of Eq. 3/8/12/14.
+//!
+//! ## Example: one attribute-GMAE step
+//!
+//! ```
+//! use std::rc::Rc;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use umgad_graph::gcn_normalize;
+//! use umgad_nn::{Gmae, GmaeConfig};
+//! use umgad_tensor::{Adam, Matrix, SpPair, Tape};
+//!
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut gmae = Gmae::new(&GmaeConfig::paper_injected(4, 8), &mut rng);
+//! let adj = SpPair::symmetric(std::sync::Arc::new(gcn_normalize(6, &[(0,1),(1,2),(2,3),(3,4),(4,5)])));
+//! let x = Matrix::from_fn(6, 4, |i, j| (i + j) as f64 / 4.0 + 0.1);
+//!
+//! let mut tape = Tape::new();
+//! let bound = gmae.bind(&mut tape);
+//! let xv = tape.constant(x.clone());
+//! let idx = Rc::new(vec![1usize, 4]);
+//! let out = gmae.forward_attr_masked(&mut tape, &bound, &adj, xv, Rc::clone(&idx));
+//! let loss = tape.scaled_cosine_loss(out.recon, Rc::new(x), idx, 2.0);
+//! tape.backward(loss);
+//! gmae.update(&tape, &bound, &Adam::with_lr(0.01));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fusion;
+pub mod gmae;
+pub mod layer;
+pub mod prelude_docs;
+
+pub use fusion::{BoundWeights, RelationWeights};
+pub use gmae::{BoundGmae, Gmae, GmaeConfig, GmaeOutput};
+pub use layer::{Activation, BoundGcn, BoundGcnLayer, BoundSgc, Gcn, GcnLayer, SgcStack};

@@ -1,0 +1,88 @@
+//! Extended, doc-tested usage examples for the `umgad-nn` building blocks.
+//!
+//! These examples double as executable documentation (`cargo test --doc`)
+//! for patterns the unit tests exercise only indirectly.
+//!
+//! # Training a two-layer GCN end to end
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use std::rc::Rc;
+//! use std::sync::Arc;
+//! use umgad_graph::gcn_normalize;
+//! use umgad_nn::{Activation, Gcn};
+//! use umgad_tensor::{Adam, Matrix, SpPair, Tape};
+//!
+//! let mut rng = SmallRng::seed_from_u64(0);
+//! let mut gcn = Gcn::new(&[4, 8, 4], Activation::Relu, Activation::None, &mut rng);
+//! let adj = SpPair::symmetric(Arc::new(gcn_normalize(6, &[(0, 1), (1, 2), (3, 4), (4, 5)])));
+//! let x = Matrix::from_fn(6, 4, |i, j| ((i + j) % 3) as f64 / 2.0);
+//! let target = Rc::new(x.clone());
+//! let opt = Adam::with_lr(0.05);
+//!
+//! let mut first = None;
+//! let mut last = 0.0;
+//! for _ in 0..40 {
+//!     let mut tape = Tape::new();
+//!     let bound = gcn.bind(&mut tape);
+//!     let xv = tape.constant(x.clone());
+//!     let y = gcn.forward(&mut tape, &bound, &adj, xv);
+//!     let loss = tape.mse_loss(y, Rc::clone(&target));
+//!     tape.backward(loss);
+//!     gcn.update(&tape, &bound, &opt);
+//!     last = tape.value(loss).get(0, 0);
+//!     first.get_or_insert(last);
+//! }
+//! assert!(last < first.unwrap());
+//! ```
+//!
+//! # Relation-weight fusion learns informative relations
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use std::rc::Rc;
+//! use umgad_nn::RelationWeights;
+//! use umgad_tensor::{Adam, Matrix, Tape};
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let mut w = RelationWeights::new(2, &mut rng);
+//! let target = Rc::new(Matrix::full(2, 2, 1.0));
+//! let opt = Adam::with_lr(0.1);
+//! for _ in 0..60 {
+//!     let mut tape = Tape::new();
+//!     let bound = w.bind(&mut tape);
+//!     let good = tape.constant(Matrix::full(2, 2, 1.0));   // matches target
+//!     let bad = tape.constant(Matrix::full(2, 2, -3.0));   // noise
+//!     let fused = w.fuse(&mut tape, &bound, &[good, bad]);
+//!     let loss = tape.mse_loss(fused, Rc::clone(&target));
+//!     tape.backward(loss);
+//!     w.update(&tape, &bound, &opt);
+//! }
+//! let weights = w.current();
+//! assert!(weights[0] > 0.9, "informative relation dominates: {weights:?}");
+//! ```
+//!
+//! # Held-out reconstruction with the `[MASK]` token
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use std::rc::Rc;
+//! use std::sync::Arc;
+//! use umgad_graph::gcn_normalize;
+//! use umgad_nn::{Gmae, GmaeConfig};
+//! use umgad_tensor::{Matrix, SpPair, Tape};
+//!
+//! let mut rng = SmallRng::seed_from_u64(2);
+//! let gmae = Gmae::new(&GmaeConfig::paper_injected(3, 4), &mut rng);
+//! let adj = SpPair::symmetric(Arc::new(gcn_normalize(4, &[(0, 1), (1, 2), (2, 3)])));
+//! let mut tape = Tape::new();
+//! let bound = gmae.bind(&mut tape);
+//! let x = tape.constant(Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64));
+//! let masked = Rc::new(vec![2usize]);
+//! let out = gmae.forward_attr_masked(&mut tape, &bound, &adj, x, masked);
+//! // The masked node's reconstruction comes from its context, not itself.
+//! assert_eq!(tape.value(out.recon).shape(), (4, 3));
+//! ```

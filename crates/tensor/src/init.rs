@@ -1,0 +1,71 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Glorot/Xavier uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+}
+
+/// i.i.d. normal entries via the Box–Muller transform (the `rand` build we
+/// pin does not ship distribution adapters).
+pub fn normal(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut impl Rng) -> Matrix {
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// A single standard-normal draw.
+pub fn normal_scalar(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let a = (6.0 / 30.0f64).sqrt();
+        assert!(m.data().iter().all(|v| v.abs() <= a));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = normal(100, 100, 1.0, 2.0, &mut rng);
+        let n = m.len() as f64;
+        let mean = m.sum() / n;
+        let var = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn normal_odd_count() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = normal(3, 3, 0.0, 1.0, &mut rng);
+        assert_eq!(m.len(), 9);
+        assert!(m.is_finite());
+    }
+}

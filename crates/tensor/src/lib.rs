@@ -1,0 +1,59 @@
+//! # umgad-tensor
+//!
+//! A compact dense/CSR `f64` tensor engine with tape-based reverse-mode
+//! automatic differentiation, purpose-built for the graph-masked-autoencoder
+//! workloads of the UMGAD reproduction (ICDE 2025).
+//!
+//! The crate provides:
+//!
+//! - [`Matrix`]: dense row-major matrices with the handful of BLAS-like
+//!   kernels GNN training needs (`matmul`, `matmul_tb`, `matmul_ta`,
+//!   row gathers, element-wise maps);
+//! - [`CsrMatrix`] / [`SpPair`]: immutable CSR sparse matrices and the
+//!   forward/backward pair used by autograd sparse-dense products;
+//! - [`Tape`] / [`Var`]: a define-by-run autodiff tape with primitive ops
+//!   and the paper's composite losses (scaled cosine, negative-sampled edge
+//!   cross-entropy, dual-view InfoNCE);
+//! - [`Param`], [`Adam`], [`Sgd`]: parameters and optimisers;
+//! - [`init`]: Xavier/normal initialisers;
+//! - [`parallel_map`]: scoped-thread fork/join for per-subgraph autoencoders.
+//!
+//! ## Example
+//!
+//! ```
+//! use umgad_tensor::{Adam, Matrix, Param, Tape};
+//! use std::rc::Rc;
+//!
+//! // Fit y = x @ w to a target with Adam.
+//! let x = Matrix::from_fn(8, 3, |i, j| (i * 3 + j) as f64 / 10.0);
+//! let target = Rc::new(Matrix::from_fn(8, 2, |i, j| (i + j) as f64 / 5.0));
+//! let mut w = Param::new(Matrix::zeros(3, 2));
+//! let opt = Adam::with_lr(0.05);
+//! let mut last = f64::INFINITY;
+//! for _ in 0..100 {
+//!     let mut tape = Tape::new();
+//!     let xv = tape.constant(x.clone());
+//!     let wv = tape.leaf(w.value.clone());
+//!     let y = tape.matmul(xv, wv);
+//!     let loss = tape.mse_loss(y, Rc::clone(&target));
+//!     tape.backward(loss);
+//!     opt.step(&mut w, tape.grad(wv).unwrap());
+//!     last = tape.value(loss).get(0, 0);
+//! }
+//! assert!(last < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod matrix;
+pub mod optim;
+pub mod parallel;
+pub mod sparse;
+pub mod tape;
+
+pub use matrix::{cosine, dot, l1_distance, l2_distance, Matrix};
+pub use optim::{clip_grad_norm, Adam, LrSchedule, Param, Sgd};
+pub use parallel::{default_threads, parallel_map};
+pub use sparse::{CsrMatrix, SpPair};
+pub use tape::{sigmoid, Tape, Var};

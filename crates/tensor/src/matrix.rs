@@ -1,0 +1,453 @@
+//! Dense row-major `f64` matrices.
+//!
+//! This is the storage type used throughout the workspace: node attribute
+//! matrices, hidden representations, weight matrices, and gradients are all
+//! [`Matrix`] values. The implementation favours predictable cache behaviour
+//! (row-major, `i-k-j` matmul loops) over cleverness; at the sizes UMGAD
+//! works with (`|V|` up to ~46k rows, feature widths 16–128) this is the
+//! dominant consideration.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Build from a row-major data vector. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} != {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build element-wise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        Self::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the raw data vector.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copy `src` into row `i`.
+    pub fn set_row(&mut self, i: usize, src: &[f64]) {
+        assert_eq!(src.len(), self.cols);
+        self.row_mut(i).copy_from_slice(src);
+    }
+
+    /// `self @ other` — standard matrix product.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T` — product with the transpose of `other`.
+    pub fn matmul_tb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_tb: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            let orow = out.row_mut(i);
+            for (j, brow) in other.rows_iter().enumerate() {
+                orow[j] = dot(arow, brow);
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other` — transpose-left product.
+    pub fn matmul_ta(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_ta: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = other.row(k);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise `self += alpha * other`.
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f64) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise sum, returning a new matrix.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_scaled(other, 1.0);
+        out
+    }
+
+    /// Element-wise difference, returning a new matrix.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_scaled(other, -1.0);
+        out
+    }
+
+    /// Element-wise (Hadamard) product, returning a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape());
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Scale every entry in place.
+    pub fn scale_inplace(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Scaled copy.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        let mut out = self.clone();
+        out.scale_inplace(alpha);
+        out
+    }
+
+    /// Apply `f` to every entry, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let data = self.data.iter().map(|&v| f(v)).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Apply `f` to every entry in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn sq_sum(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.sq_sum().sqrt()
+    }
+
+    /// Maximum absolute entry (0 for empty matrices).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Gather the given rows into a new `idx.len() x cols` matrix.
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (o, &i) in idx.iter().enumerate() {
+            out.set_row(o, self.row(i));
+        }
+        out
+    }
+
+    /// L2 norm of row `i`.
+    pub fn row_norm(&self, i: usize) -> f64 {
+        dot(self.row(i), self.row(i)).sqrt()
+    }
+
+    /// True when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) distance between two rows.
+#[inline]
+pub fn l2_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// L1 distance between two rows.
+#[inline]
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Cosine similarity between two rows, with an epsilon guard for zero rows.
+#[inline]
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn from_fn_matches_manual() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.data(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::eye(2);
+        assert_eq!(a.matmul(&i).data(), a.data());
+        assert_eq!(i.matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tb_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(5, 4, |i, j| (i * j) as f64 - 1.0);
+        let viat = a.matmul(&b.transpose());
+        assert_eq!(a.matmul_tb(&b).data(), viat.data());
+    }
+
+    #[test]
+    fn matmul_ta_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |i, j| (2 * i + j) as f64);
+        let b = Matrix::from_fn(4, 5, |i, j| (i * 2 + j) as f64);
+        let viat = a.transpose().matmul(&b);
+        assert_eq!(a.matmul_ta(&b).data(), viat.data());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 7 + j * 3) as f64);
+        assert_eq!(a.transpose().transpose().data(), a.data());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.hadamard(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scaled(2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.sq_sum(), 30.0);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let a = Matrix::from_fn(4, 2, |i, _| i as f64);
+        let g = a.gather_rows(&[3, 1]);
+        assert_eq!(g.data(), &[3.0, 3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn distance_helpers() {
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert_eq!(l2_distance(&a, &b), 5.0);
+        assert_eq!(l1_distance(&a, &b), 7.0);
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(cosine(&a, &b).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &b), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Parameters and first-order optimisers.
+//!
+//! Parameters live *outside* the tape (the tape is rebuilt every step). A
+//! [`Param`] owns its value plus lazily allocated Adam moment buffers; the
+//! training loop copies the value onto the tape, runs backward, then calls
+//! [`Adam::step`]/[`Sgd::step`] with the gradient read off the tape.
+
+use crate::matrix::Matrix;
+
+/// A trainable parameter with optimiser state.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current value.
+    pub value: Matrix,
+    m: Option<Matrix>,
+    v: Option<Matrix>,
+    t: u64,
+}
+
+impl Param {
+    /// Wrap an initial value.
+    pub fn new(value: Matrix) -> Self {
+        Self { value, m: None, v: None, t: 0 }
+    }
+
+    /// Shape of the underlying matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.value.shape()
+    }
+
+    /// Reset optimiser state (keeps the value).
+    pub fn reset_state(&mut self) {
+        self.m = None;
+        self.v = None;
+        self.t = 0;
+    }
+}
+
+/// Adam with decoupled (AdamW-style) weight decay.
+#[derive(Clone, Copy, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Denominator fuzz.
+    pub eps: f64,
+    /// Decoupled weight decay coefficient.
+    pub weight_decay: f64,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self { lr: 1e-2, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+impl Adam {
+    /// Adam with the given learning rate and defaults otherwise.
+    pub fn with_lr(lr: f64) -> Self {
+        Self { lr, ..Self::default() }
+    }
+
+    /// Paper setting: weight decay 0.01.
+    pub fn paper_default() -> Self {
+        Self { lr: 5e-3, weight_decay: 0.01, ..Self::default() }
+    }
+
+    /// Apply one update to `param` given its gradient.
+    pub fn step(&self, param: &mut Param, grad: &Matrix) {
+        assert_eq!(param.value.shape(), grad.shape(), "optimiser shape mismatch");
+        let (r, c) = grad.shape();
+        param.t += 1;
+        let m = param.m.get_or_insert_with(|| Matrix::zeros(r, c));
+        let v = param.v.get_or_insert_with(|| Matrix::zeros(r, c));
+        let t = param.t as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        let md = m.data_mut();
+        let vd = v.data_mut();
+        let pd = param.value.data_mut();
+        for ((p, g), (mm, vv)) in pd.iter_mut().zip(grad.data()).zip(md.iter_mut().zip(vd)) {
+            *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
+            *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+            let mhat = *mm / bc1;
+            let vhat = *vv / bc2;
+            *p -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * *p);
+        }
+    }
+}
+
+/// Learning-rate schedules for the training loop. Stateless: ask for the
+/// rate at a given epoch.
+#[derive(Clone, Copy, Debug)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant(f64),
+    /// Linear warmup over `warmup` epochs to `peak`, then cosine decay to
+    /// `floor` at `total` epochs.
+    WarmupCosine {
+        /// Peak learning rate reached after warmup.
+        peak: f64,
+        /// Final learning rate.
+        floor: f64,
+        /// Warmup epochs.
+        warmup: usize,
+        /// Total epochs of the schedule.
+        total: usize,
+    },
+    /// Multiply by `gamma` every `every` epochs, starting from `initial`.
+    Step {
+        /// Starting rate.
+        initial: f64,
+        /// Decay factor per step.
+        gamma: f64,
+        /// Epochs between decays.
+        every: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `epoch` (0-based).
+    pub fn at(&self, epoch: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::WarmupCosine { peak, floor, warmup, total } => {
+                if warmup > 0 && epoch < warmup {
+                    peak * (epoch + 1) as f64 / warmup as f64
+                } else {
+                    let span = total.saturating_sub(warmup).max(1) as f64;
+                    let t = (epoch.saturating_sub(warmup) as f64 / span).min(1.0);
+                    floor + 0.5 * (peak - floor) * (1.0 + (std::f64::consts::PI * t).cos())
+                }
+            }
+            LrSchedule::Step { initial, gamma, every } => {
+                initial * gamma.powi((epoch / every.max(1)) as i32)
+            }
+        }
+    }
+}
+
+/// Clip a gradient to a maximum global L2 norm, in place. Returns the norm
+/// before clipping. Standard protection against the occasional exploding
+/// contrastive batch.
+pub fn clip_grad_norm(grad: &mut Matrix, max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0);
+    let norm = grad.frob_norm();
+    if norm > max_norm {
+        grad.scale_inplace(max_norm / norm);
+    }
+    norm
+}
+
+/// Plain SGD with optional L2 weight decay.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 decay folded into the gradient.
+    pub weight_decay: f64,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no decay.
+    pub fn with_lr(lr: f64) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    /// Apply one update.
+    pub fn step(&self, param: &mut Param, grad: &Matrix) {
+        assert_eq!(param.value.shape(), grad.shape(), "optimiser shape mismatch");
+        let pd = param.value.data_mut();
+        for (p, g) in pd.iter_mut().zip(grad.data()) {
+            *p -= self.lr * (g + self.weight_decay * *p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x - 3)^2 with Adam; gradient is 2(x-3).
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        let opt = Adam::with_lr(0.1);
+        for _ in 0..500 {
+            let x = p.value.get(0, 0);
+            let g = Matrix::from_vec(1, 1, vec![2.0 * (x - 3.0)]);
+            opt.step(&mut p, &g);
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![10.0]));
+        let opt = Sgd::with_lr(0.1);
+        for _ in 0..200 {
+            let x = p.value.get(0, 0);
+            let g = Matrix::from_vec(1, 1, vec![2.0 * (x - 3.0)]);
+            opt.step(&mut p, &g);
+        }
+        assert!((p.value.get(0, 0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![1.0]));
+        let opt = Sgd { lr: 0.1, weight_decay: 0.5 };
+        let zero_grad = Matrix::zeros(1, 1);
+        opt.step(&mut p, &zero_grad);
+        assert!((p.value.get(0, 0) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_cosine_shape() {
+        let s = LrSchedule::WarmupCosine { peak: 1.0, floor: 0.1, warmup: 5, total: 25 };
+        // Ramps up...
+        assert!(s.at(0) < s.at(4));
+        assert!((s.at(4) - 1.0).abs() < 1e-12);
+        // ...then decays monotonically to the floor.
+        assert!(s.at(10) > s.at(20));
+        assert!((s.at(25) - 0.1).abs() < 1e-9);
+        // Beyond the schedule it stays at the floor.
+        assert!((s.at(100) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_schedule_decays() {
+        let s = LrSchedule::Step { initial: 1.0, gamma: 0.5, every: 10 };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+        assert_eq!(LrSchedule::Constant(0.3).at(1000), 0.3);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_large_gradients() {
+        let mut g = Matrix::from_vec(1, 2, vec![3.0, 4.0]); // norm 5
+        let before = clip_grad_norm(&mut g, 1.0);
+        assert_eq!(before, 5.0);
+        assert!((g.frob_norm() - 1.0).abs() < 1e-12);
+        // Small gradients untouched.
+        let mut small = Matrix::from_vec(1, 2, vec![0.3, 0.4]);
+        clip_grad_norm(&mut small, 1.0);
+        assert_eq!(small.data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn reset_state_clears_moments() {
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![1.0]));
+        let opt = Adam::default();
+        opt.step(&mut p, &Matrix::from_vec(1, 1, vec![1.0]));
+        assert!(p.m.is_some());
+        p.reset_state();
+        assert!(p.m.is_none());
+        assert_eq!(p.t, 0);
+    }
+}

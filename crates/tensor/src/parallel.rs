@@ -1,0 +1,83 @@
+//! Minimal scoped-thread fork/join helper.
+//!
+//! UMGAD trains one graph-masked autoencoder per (relation, masking-repeat)
+//! pair; those units are independent within a step, so the trainer fans them
+//! out with [`parallel_map`]. Tapes are `!Send` by content choice (they hold
+//! `Rc`s), so each worker builds its *own* tape — only inputs and outputs
+//! cross threads.
+
+/// Apply `f` to every item, distributing items over at most `threads`
+/// OS threads. Order of results matches input order. With `threads <= 1`
+/// (or a single item) this degrades to a plain serial map.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(n);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // Pair each item with its slot and hand out chunks.
+    let tagged: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let chunk = n.div_ceil(workers);
+    let results = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        let mut rest = tagged;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let batch: Vec<(usize, T)> = rest.drain(..take).collect();
+            let f = &f;
+            let results = &results;
+            scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::with_capacity(batch.len());
+                for (i, item) in batch {
+                    local.push((i, f(item)));
+                }
+                let mut guard = results.lock().unwrap();
+                for (i, r) in local {
+                    guard[i] = Some(r);
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+}
+
+/// Number of worker threads to use by default: available parallelism capped
+/// at 8 (the workloads here are memory-bandwidth-bound beyond that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), 4, |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_fallback() {
+        let out = parallel_map(vec![1, 2, 3], 1, |x: i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![5], 16, |x: i32| x * x);
+        assert_eq!(out, vec![25]);
+    }
+}

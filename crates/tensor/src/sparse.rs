@@ -1,0 +1,273 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Graph adjacency (and its GCN-normalised variant) is stored as CSR and
+//! multiplied against dense feature matrices with [`CsrMatrix::spmm`]. CSR
+//! matrices are immutable once built; construction goes through COO triples.
+
+use std::sync::Arc;
+
+use crate::matrix::Matrix;
+
+/// An immutable sparse matrix in CSR format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from COO triples `(row, col, value)`.
+    ///
+    /// Triples may arrive in any order; duplicates are summed. Entries with
+    /// value exactly `0.0` are kept out of the structure.
+    pub fn from_coo(rows: usize, cols: usize, mut triples: Vec<(usize, usize, f64)>) -> Self {
+        assert!(cols <= u32::MAX as usize, "CsrMatrix supports at most 2^32 columns");
+        triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // Pass 1: merge duplicate (row, col) runs.
+        let mut merged: Vec<(usize, u32, f64)> = Vec::with_capacity(triples.len());
+        for (r, c, v) in triples {
+            assert!(r < rows && c < cols, "coo entry ({r},{c}) out of bounds {rows}x{cols}");
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c as u32 => *lv += v,
+                _ => merged.push((r, c as u32, v)),
+            }
+        }
+        // Pass 2: build CSR arrays, skipping entries that merged to zero.
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut vals = Vec::with_capacity(merged.len());
+        for (r, c, v) in merged {
+            if v == 0.0 {
+                continue;
+            }
+            col_idx.push(c);
+            vals.push(v);
+            row_ptr[r + 1] += 1;
+        }
+        for r in 1..=rows {
+            row_ptr[r] += row_ptr[r - 1];
+        }
+        Self { rows, cols, row_ptr, col_idx, vals }
+    }
+
+    /// Build an unweighted CSR (all values 1.0) from an edge list.
+    pub fn from_edges(rows: usize, cols: usize, edges: &[(usize, usize)]) -> Self {
+        Self::from_coo(rows, cols, edges.iter().map(|&(r, c)| (r, c, 1.0)).collect())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Column indices of row `r`.
+    #[inline]
+    pub fn row_cols(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Values of row `r`.
+    #[inline]
+    pub fn row_vals(&self, r: usize) -> &[f64] {
+        &self.vals[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Out-degree (stored entries) of row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Iterate all `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            self.row_cols(r)
+                .iter()
+                .zip(self.row_vals(r))
+                .map(move |(&c, &v)| (r, c as usize, v))
+        })
+    }
+
+    /// Value at `(r, c)` (binary search within the row), 0.0 when absent.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let cols = self.row_cols(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(k) => self.row_vals(r)[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse × dense product `self @ x`.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.cols, x.rows(), "spmm: {}x{} @ {}x{}", self.rows, self.cols, x.rows(), x.cols());
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        for r in 0..self.rows {
+            let orow = out.row_mut(r);
+            for (&c, &v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
+                let xrow = x.row(c as usize);
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy (CSR of `self^T`).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..=self.cols {
+            counts[i] += counts[i - 1];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut vals = vec![0.0; self.nnz()];
+        let mut cursor = counts;
+        for (r, c, v) in self.iter() {
+            let k = cursor[c];
+            col_idx[k] = r as u32;
+            vals[k] = v;
+            cursor[c] += 1;
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, vals }
+    }
+
+    /// True when the matrix equals its transpose.
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() < 1e-12)
+    }
+
+    /// Densify — for tests and very small graphs only.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.set(r, c, out.get(r, c) + v);
+        }
+        out
+    }
+}
+
+/// A forward/backward pair of sparse operands for autograd `spmm`.
+///
+/// The backward pass of `y = A @ x` needs `A^T @ grad_y`. Computing the
+/// transpose on every op creation would be wasteful, so callers build the
+/// pair once per adjacency matrix. GCN-normalised adjacency of an undirected
+/// graph is symmetric, in which case both directions share one allocation.
+#[derive(Clone, Debug)]
+pub struct SpPair {
+    /// Matrix used in the forward product.
+    pub fwd: Arc<CsrMatrix>,
+    /// Transpose used when back-propagating to the dense operand.
+    pub bwd: Arc<CsrMatrix>,
+}
+
+impl SpPair {
+    /// Pair for a symmetric matrix: forward and backward share storage.
+    pub fn symmetric(m: Arc<CsrMatrix>) -> Self {
+        debug_assert!(m.is_symmetric() || m.nnz() > 200_000, "SpPair::symmetric on asymmetric matrix");
+        Self { bwd: Arc::clone(&m), fwd: m }
+    }
+
+    /// Pair for a general matrix; computes the transpose once.
+    pub fn new(m: Arc<CsrMatrix>) -> Self {
+        let t = Arc::new(m.transpose());
+        Self { fwd: m, bwd: t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        CsrMatrix::from_coo(3, 3, vec![(2, 1, 4.0), (0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0)])
+    }
+
+    #[test]
+    fn from_coo_sorts_and_indexes() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_coo(2, 2, vec![(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn explicit_zeros_dropped() {
+        let m = CsrMatrix::from_coo(2, 2, vec![(0, 0, 0.0), (1, 1, 2.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let x = Matrix::from_fn(3, 2, |i, j| (i * 2 + j + 1) as f64);
+        let sparse = m.spmm(&x);
+        let dense = m.to_dense().matmul(&x);
+        assert_eq!(sparse.data(), dense.data());
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = sample();
+        assert_eq!(m.transpose().to_dense().data(), m.to_dense().transpose().data());
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let sym = CsrMatrix::from_coo(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(sym.is_symmetric());
+        assert!(!sample().is_symmetric());
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let m = sample();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
+    }
+
+    #[test]
+    fn empty_rows_have_valid_ptrs() {
+        let m = CsrMatrix::from_coo(4, 4, vec![(3, 3, 1.0)]);
+        assert_eq!(m.row_nnz(0), 0);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_nnz(2), 0);
+        assert_eq!(m.row_nnz(3), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Edge-case and stress tests for the tensor engine beyond the
+//! finite-difference suite: optimiser behaviour, parallel map under load,
+//! sparse corner cases, and numerical-robustness checks.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use umgad_tensor::{Adam, CsrMatrix, Matrix, Param, Sgd, SpPair, Tape};
+
+#[test]
+fn empty_sparse_matrix_spmm_is_zero() {
+    let m = CsrMatrix::from_coo(3, 3, vec![]);
+    let x = Matrix::full(3, 2, 5.0);
+    let y = m.spmm(&x);
+    assert_eq!(y.data(), &[0.0; 6]);
+    assert_eq!(m.nnz(), 0);
+    assert!(m.is_symmetric());
+}
+
+#[test]
+fn sparse_single_column_matrix() {
+    let m = CsrMatrix::from_coo(4, 1, vec![(0, 0, 2.0), (3, 0, -1.0)]);
+    let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+    let y = m.spmm(&x);
+    assert_eq!(y.row(0), &[2.0, 4.0, 6.0]);
+    assert_eq!(y.row(3), &[-1.0, -2.0, -3.0]);
+    assert_eq!(y.row(1), &[0.0, 0.0, 0.0]);
+}
+
+#[test]
+fn sppair_asymmetric_backward_uses_transpose() {
+    // y = A x with asymmetric A; check grad_x = A^T g numerically.
+    let a = CsrMatrix::from_coo(2, 3, vec![(0, 1, 2.0), (1, 2, 3.0)]);
+    let pair = SpPair::new(Arc::new(a.clone()));
+    let mut tape = Tape::new();
+    let x = tape.leaf(Matrix::from_fn(3, 1, |i, _| i as f64));
+    let y = tape.spmm(&pair, x);
+    let l = tape.sum(y);
+    tape.backward(l);
+    let g = tape.grad(x).unwrap();
+    // grad = A^T * ones = column sums of A.
+    assert_eq!(g.data(), &[0.0, 2.0, 3.0]);
+}
+
+#[test]
+fn adam_handles_sparse_gradients() {
+    // Gradients that are zero in most entries must not corrupt the rest.
+    let mut p = Param::new(Matrix::full(1, 4, 1.0));
+    let opt = Adam::with_lr(0.1);
+    let mut g = Matrix::zeros(1, 4);
+    g.set(0, 2, 1.0);
+    for _ in 0..10 {
+        opt.step(&mut p, &g);
+    }
+    // Only the updated entry moves (weight decay is 0 by default).
+    assert_eq!(p.value.get(0, 0), 1.0);
+    assert!(p.value.get(0, 2) < 1.0);
+}
+
+#[test]
+fn adam_is_scale_adaptive() {
+    // Adam normalises by gradient magnitude: two quadratic bowls with very
+    // different curvature converge in a comparable number of steps.
+    let solve = |curvature: f64| -> usize {
+        let mut p = Param::new(Matrix::from_vec(1, 1, vec![4.0]));
+        let opt = Adam::with_lr(0.2);
+        for step in 0..1000 {
+            let x = p.value.get(0, 0);
+            if x.abs() < 1e-2 {
+                return step;
+            }
+            let g = Matrix::from_vec(1, 1, vec![2.0 * curvature * x]);
+            opt.step(&mut p, &g);
+        }
+        1000
+    };
+    let fast = solve(1.0);
+    let slow = solve(1e4);
+    assert!(slow < fast * 3, "adaptive steps: {fast} vs {slow}");
+}
+
+#[test]
+fn sgd_weight_decay_alone_decays_exponentially() {
+    let mut p = Param::new(Matrix::from_vec(1, 1, vec![1.0]));
+    let opt = Sgd { lr: 0.1, weight_decay: 1.0 };
+    let zero = Matrix::zeros(1, 1);
+    for _ in 0..20 {
+        opt.step(&mut p, &zero);
+    }
+    let expect = 0.9f64.powi(20);
+    assert!((p.value.get(0, 0) - expect).abs() < 1e-12);
+}
+
+#[test]
+fn parallel_map_heavy_load_and_unbalanced_work() {
+    // Items with wildly different costs still produce ordered results.
+    let items: Vec<usize> = (0..200).collect();
+    let out = umgad_tensor::parallel_map(items, 8, |i| {
+        let mut acc = 0u64;
+        for k in 0..(i % 13) * 1000 {
+            acc = acc.wrapping_add(k as u64).rotate_left(1);
+        }
+        (i, acc)
+    });
+    for (idx, (i, _)) in out.iter().enumerate() {
+        assert_eq!(idx, *i);
+    }
+}
+
+#[test]
+fn tape_handles_long_chains() {
+    // 500 chained ops: no recursion, no quadratic blowup in backward.
+    let mut tape = Tape::new();
+    let x = tape.leaf(Matrix::full(4, 4, 1.0));
+    let mut h = x;
+    for i in 0..500 {
+        h = if i % 2 == 0 { tape.scale(h, 1.001) } else { tape.tanh(h) };
+    }
+    let l = tape.mean(h);
+    tape.backward(l);
+    assert!(tape.grad(x).unwrap().is_finite());
+}
+
+#[test]
+fn losses_are_finite_on_extreme_inputs() {
+    let mut tape = Tape::new();
+    let big = tape.leaf(Matrix::full(4, 3, 1e6));
+    let target = Rc::new(Matrix::full(4, 3, -1e6));
+    let l1 = tape.mse_loss(big, Rc::clone(&target));
+    assert!(tape.value(l1).get(0, 0).is_finite());
+    let l2 = tape.bce_logits_loss(big, Rc::new(Matrix::zeros(4, 3)), 1.0);
+    assert!(tape.value(l2).get(0, 0).is_finite(), "stable BCE must not overflow");
+    let idx = Rc::new(vec![0usize, 1]);
+    let l3 = tape.scaled_cosine_loss(big, Rc::new(Matrix::full(4, 3, 1.0)), idx, 3.0);
+    assert!(tape.value(l3).get(0, 0).is_finite());
+    tape.backward(l2);
+    assert!(tape.grad(big).unwrap().is_finite());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn csr_transpose_involution(entries in proptest::collection::vec((0usize..6, 0usize..6, -3.0f64..3.0), 0..20)) {
+        let m = CsrMatrix::from_coo(6, 6, entries);
+        let tt = m.transpose().transpose();
+        let a = tt.to_dense();
+        let b = m.to_dense();
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference(entries in proptest::collection::vec((0usize..5, 0usize..7, -2.0f64..2.0), 0..25)) {
+        let m = CsrMatrix::from_coo(5, 7, entries);
+        let x = Matrix::from_fn(7, 3, |i, j| (i as f64 - j as f64) / 3.0);
+        let sparse = m.spmm(&x);
+        let dense = m.to_dense().matmul(&x);
+        for (a, b) in sparse.data().iter().zip(dense.data()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_associativity(a in proptest::collection::vec(-2.0f64..2.0, 6), b in proptest::collection::vec(-2.0f64..2.0, 6), c in proptest::collection::vec(-2.0f64..2.0, 4))
+    {
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 2, b);
+        let mc = Matrix::from_vec(2, 2, c);
+        let left = ma.matmul(&mb).matmul(&mc);
+        let right = ma.matmul(&mb.matmul(&mc));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn softmax_row_shift_invariance(v in proptest::collection::vec(-4.0f64..4.0, 5), shift in -10.0f64..10.0) {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_vec(1, 5, v.clone()));
+        let s1 = t.softmax_row(a);
+        let shifted = t.constant(Matrix::from_vec(1, 5, v.iter().map(|x| x + shift).collect()));
+        let s2 = t.softmax_row(shifted);
+        for (x, y) in t.value(s1).data().iter().zip(t.value(s2).data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

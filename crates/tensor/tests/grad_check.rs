@@ -1,0 +1,347 @@
+//! Finite-difference gradient checks for every differentiable op.
+//!
+//! Each check builds a scalar loss from a parameter matrix, computes the
+//! analytic gradient via the tape, then perturbs each entry by `±h` and
+//! compares the central difference. Property tests draw random shapes and
+//! values to cover the op space broadly.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use umgad_tensor::{CsrMatrix, Matrix, SpPair, Tape, Var};
+
+const H: f64 = 1e-5;
+const TOL: f64 = 1e-4;
+
+/// Check the analytic gradient of `build` (a scalar-valued graph over one
+/// parameter) against central finite differences.
+fn grad_check(param: &Matrix, build: impl Fn(&mut Tape, Var) -> Var) {
+    let mut tape = Tape::new();
+    let p = tape.leaf(param.clone());
+    let loss = build(&mut tape, p);
+    assert_eq!(tape.value(loss).shape(), (1, 1));
+    tape.backward(loss);
+    let analytic = tape.grad_or_zero(p);
+
+    let eval = |m: &Matrix| -> f64 {
+        let mut t = Tape::new();
+        let pv = t.leaf(m.clone());
+        let l = build(&mut t, pv);
+        t.value(l).get(0, 0)
+    };
+
+    for i in 0..param.rows() {
+        for j in 0..param.cols() {
+            let mut up = param.clone();
+            up.set(i, j, up.get(i, j) + H);
+            let mut dn = param.clone();
+            dn.set(i, j, dn.get(i, j) - H);
+            let numeric = (eval(&up) - eval(&dn)) / (2.0 * H);
+            let a = analytic.get(i, j);
+            let denom = 1.0_f64.max(a.abs()).max(numeric.abs());
+            assert!(
+                ((a - numeric) / denom).abs() < TOL,
+                "grad mismatch at ({i},{j}): analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+}
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f64..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Matrix whose rows are bounded away from zero norm (needed for cosine and
+/// row-normalise, whose gradients blow up at the origin).
+fn nonzero_rows_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    small_matrix(rows, cols).prop_map(move |mut m| {
+        for i in 0..rows {
+            if m.row_norm(i) < 0.3 {
+                m.set(i, 0, m.get(i, 0) + 1.0);
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn grad_add_chain(p in small_matrix(3, 4)) {
+        let c = Matrix::from_fn(3, 4, |i, j| (i + 2 * j) as f64 / 3.0);
+        grad_check(&p, move |t, x| {
+            let cv = t.constant(c.clone());
+            let s = t.add(x, cv);
+            let d = t.sub(s, x);
+            let e = t.add(d, x);
+            t.sum(e)
+        });
+    }
+
+    #[test]
+    fn grad_hadamard(p in small_matrix(2, 3)) {
+        grad_check(&p, |t, x| {
+            let y = t.hadamard(x, x);
+            t.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_left(p in small_matrix(3, 2)) {
+        let b = Matrix::from_fn(2, 4, |i, j| (i as f64 - j as f64) / 2.0);
+        grad_check(&p, move |t, x| {
+            let bv = t.constant(b.clone());
+            let y = t.matmul(x, bv);
+            t.mean(y)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_right(p in small_matrix(2, 4)) {
+        let a = Matrix::from_fn(3, 2, |i, j| (i * j) as f64 / 2.0 + 0.5);
+        grad_check(&p, move |t, x| {
+            let av = t.constant(a.clone());
+            let y = t.matmul(av, x);
+            t.mean(y)
+        });
+    }
+
+    #[test]
+    fn grad_matmul_tb_both_sides(p in small_matrix(3, 2)) {
+        grad_check(&p, |t, x| {
+            let y = t.matmul_tb(x, x); // 3x3 gram matrix — x appears twice
+            t.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_spmm(p in small_matrix(4, 3)) {
+        let a = CsrMatrix::from_coo(4, 4, vec![
+            (0, 1, 0.5), (1, 0, 0.5), (1, 2, -1.0), (2, 3, 2.0), (3, 3, 1.0),
+        ]);
+        let pair = SpPair::new(std::sync::Arc::new(a));
+        grad_check(&p, move |t, x| {
+            let y = t.spmm(&pair, x);
+            t.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_activations(p in small_matrix(2, 3)) {
+        // Keep away from the ReLU kink where the numeric gradient is undefined.
+        let mut shifted = p.clone();
+        shifted.map_inplace(|v| if v.abs() < 0.05 { v + 0.1 } else { v });
+        grad_check(&shifted, |t, x| {
+            let a = t.relu(x);
+            let b = t.sigmoid(a);
+            let c = t.tanh(b);
+            let d = t.elu(c, 1.0);
+            let e = t.leaky_relu(d, 0.2);
+            t.sum(e)
+        });
+    }
+
+    #[test]
+    fn grad_scalar_mul(p in small_matrix(1, 1)) {
+        let x = Matrix::from_fn(2, 2, |i, j| (i + j) as f64 - 1.0);
+        grad_check(&p, move |t, s| {
+            let xv = t.constant(x.clone());
+            let y = t.scalar_mul(s, xv);
+            t.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_scalar_mul_matrix_side(p in small_matrix(2, 2)) {
+        grad_check(&p, |t, x| {
+            let s = t.constant(Matrix::from_vec(1, 1, vec![1.7]));
+            let y = t.scalar_mul(s, x);
+            t.sum(y)
+        });
+    }
+
+    #[test]
+    fn grad_add_row_bias(p in small_matrix(1, 3)) {
+        let x = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64 / 6.0);
+        grad_check(&p, move |t, bias| {
+            let xv = t.constant(x.clone());
+            let y = t.add_row(xv, bias);
+            let z = t.sigmoid(y);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_gather_rows(p in small_matrix(4, 2)) {
+        let idx = Rc::new(vec![2usize, 0, 2]); // duplicate index exercises accumulation
+        grad_check(&p, move |t, x| {
+            let y = t.gather_rows(x, Rc::clone(&idx));
+            let z = t.hadamard(y, y);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_replace_rows_token(p in small_matrix(1, 3)) {
+        let x = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 / 2.0);
+        let idx = Rc::new(vec![1usize, 3]);
+        grad_check(&p, move |t, token| {
+            let xv = t.constant(x.clone());
+            let y = t.replace_rows(xv, token, Rc::clone(&idx));
+            let z = t.hadamard(y, y);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_replace_rows_carrier(p in small_matrix(4, 3)) {
+        let idx = Rc::new(vec![0usize, 2]);
+        grad_check(&p, move |t, x| {
+            let token = t.constant(Matrix::full(1, 3, 0.5));
+            let y = t.replace_rows(x, token, Rc::clone(&idx));
+            let z = t.hadamard(y, y);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_row_normalize(p in nonzero_rows_matrix(3, 4)) {
+        grad_check(&p, |t, x| {
+            let y = t.row_normalize(x);
+            let c = Matrix::from_fn(3, 4, |i, j| ((i + j) % 3) as f64 - 1.0);
+            let cv = t.constant(c);
+            let z = t.hadamard(y, cv);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_softmax_row(p in small_matrix(2, 4)) {
+        let w = Matrix::from_fn(2, 4, |i, j| (i as f64 + 1.0) * (j as f64 - 1.5));
+        grad_check(&p, move |t, x| {
+            let y = t.softmax_row(x);
+            let wv = t.constant(w.clone());
+            let z = t.hadamard(y, wv);
+            t.sum(z)
+        });
+    }
+
+    #[test]
+    fn grad_entry(p in small_matrix(3, 3)) {
+        grad_check(&p, |t, x| {
+            let e = t.entry(x, 1, 2);
+            let f = t.entry(x, 0, 0);
+            let s = t.add(e, f);
+            t.hadamard(s, s)
+        });
+    }
+
+    #[test]
+    fn grad_mean_sqsum(p in small_matrix(2, 5)) {
+        grad_check(&p, |t, x| {
+            let m = t.mean(x);
+            let s = t.sq_sum(x);
+            let sm = t.scale(s, 0.25);
+            t.add(m, sm)
+        });
+    }
+
+    #[test]
+    fn grad_scaled_cosine(p in nonzero_rows_matrix(4, 3)) {
+        let target = Rc::new(Matrix::from_fn(4, 3, |i, j| ((i * 2 + j) % 4) as f64 + 0.5));
+        let idx = Rc::new(vec![0usize, 1, 3]);
+        for eta in [1.0, 2.0, 3.0] {
+            grad_check(&p, |t, x| {
+                t.scaled_cosine_loss(x, Rc::clone(&target), Rc::clone(&idx), eta)
+            });
+        }
+    }
+
+    #[test]
+    fn grad_edge_nce(p in small_matrix(5, 3)) {
+        let pos = Rc::new(vec![(0usize, 1usize), (2, 3)]);
+        let negs = Rc::new(vec![4usize, 2, 0, 4]); // q = 2 per edge
+        grad_check(&p, move |t, z| {
+            t.edge_nce_loss(z, Rc::clone(&pos), Rc::clone(&negs), 2)
+        });
+    }
+
+    #[test]
+    fn grad_info_nce(p in small_matrix(4, 3)) {
+        let b = Matrix::from_fn(4, 3, |i, j| ((i + j) % 3) as f64 / 2.0 + 0.1);
+        let negs = Rc::new(vec![1usize, 2, 0, 3, 0, 1, 2, 0]); // q = 2 per anchor
+        grad_check(&p, move |t, a| {
+            let bv = t.constant(b.clone());
+            t.info_nce_loss(a, bv, Rc::clone(&negs), 2, 0.7)
+        });
+    }
+
+    #[test]
+    fn grad_info_nce_second_view(p in small_matrix(4, 2)) {
+        let a = Matrix::from_fn(4, 2, |i, j| (i as f64 - j as f64) / 3.0 + 0.2);
+        let negs = Rc::new(vec![3usize, 2, 1, 0]); // q = 1 per anchor
+        grad_check(&p, move |t, b| {
+            let av = t.constant(a.clone());
+            t.info_nce_loss(av, b, Rc::clone(&negs), 1, 1.0)
+        });
+    }
+
+    #[test]
+    fn grad_mse(p in small_matrix(3, 3)) {
+        let target = Rc::new(Matrix::from_fn(3, 3, |i, j| (i * j) as f64 / 4.0));
+        grad_check(&p, move |t, x| {
+            t.mse_loss(x, Rc::clone(&target))
+        });
+    }
+
+    #[test]
+    fn grad_bce_logits(p in small_matrix(2, 4)) {
+        let target = Rc::new(Matrix::from_fn(2, 4, |i, j| ((i + j) % 2) as f64));
+        for pw in [1.0, 5.0] {
+            grad_check(&p, |t, x| {
+                t.bce_logits_loss(x, Rc::clone(&target), pw)
+            });
+        }
+    }
+
+    #[test]
+    fn grad_deep_composition(p in nonzero_rows_matrix(3, 3)) {
+        // A miniature GCN-autoencoder-shaped graph: spmm -> linear -> act ->
+        // linear -> cosine loss, with p as the first weight.
+        let a = CsrMatrix::from_coo(4, 4, vec![
+            (0, 0, 0.5), (0, 1, 0.5), (1, 0, 0.5), (1, 1, 0.5),
+            (2, 2, 0.7), (2, 3, 0.3), (3, 2, 0.3), (3, 3, 0.7),
+        ]);
+        let pair = SpPair::new(std::sync::Arc::new(a));
+        let x = Matrix::from_fn(4, 3, |i, j| ((i + j) % 3) as f64 / 2.0 + 0.2);
+        let target = Rc::new(x.clone());
+        let idx = Rc::new(vec![0usize, 2]);
+        grad_check(&p, move |t, w| {
+            let xv = t.constant(x.clone());
+            let ax = t.spmm(&pair, xv);
+            let h = t.matmul(ax, w); // 4x3 @ 3x3
+            let h = t.elu(h, 1.0); // smooth activation keeps the check well-posed
+            let h2 = t.spmm(&pair, h);
+            t.scaled_cosine_loss(h2, Rc::clone(&target), Rc::clone(&idx), 2.0)
+        });
+    }
+}
+
+#[test]
+fn dropout_grad_uses_mask() {
+    // Dropout is stochastic, so the check fixes the mask by seeding the rng
+    // and rebuilding the same graph — instead we verify the identity:
+    // grad = mask (for sum loss).
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut tape = Tape::new();
+    let p = tape.leaf(Matrix::full(4, 4, 1.0));
+    let y = tape.dropout(p, 0.5, &mut rng);
+    let mask = tape.value(y).clone(); // value = 1 * mask
+    let l = tape.sum(y);
+    tape.backward(l);
+    assert_eq!(tape.grad(p).unwrap().data(), mask.data());
+}

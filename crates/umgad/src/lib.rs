@@ -1,0 +1,55 @@
+//! # umgad
+//!
+//! Facade crate for the full UMGAD reproduction — *Unsupervised Multiplex
+//! Graph Anomaly Detection* (ICDE 2025) — re-exporting every sub-crate
+//! under one roof:
+//!
+//! - [`tensor`]: dense/CSR `f64` engine with reverse-mode autograd;
+//! - [`graph`]: multiplex heterogeneous graphs, RWR sampling, masking;
+//! - [`data`]: statistical twins of the four evaluation datasets plus the
+//!   paper's anomaly-injection protocol;
+//! - [`nn`]: Simplified-GCN stacks, graph-masked autoencoders, relation
+//!   fusion;
+//! - [`core`]: the UMGAD model, unsupervised threshold selection, metrics;
+//! - [`baselines`]: 22 simplified baseline detectors across the paper's
+//!   five method families.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use umgad::prelude::*;
+//!
+//! // A statistical twin of the Retail_Rocket benchmark at test scale.
+//! let data = Dataset::generate(DatasetKind::Retail, Scale::Tiny, 42);
+//!
+//! // Train UMGAD and detect without any ground-truth leakage.
+//! let detection = Umgad::fit_detect(&data.graph, UmgadConfig::fast_test());
+//! println!(
+//!     "AUC {:.3}, Macro-F1 {:.3}, flagged {} of {} true anomalies",
+//!     detection.auc,
+//!     detection.macro_f1,
+//!     detection.flagged,
+//!     data.graph.num_anomalies(),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub use umgad_baselines as baselines;
+pub use umgad_core as core;
+pub use umgad_data as data;
+pub use umgad_graph as graph;
+pub use umgad_nn as nn;
+pub use umgad_tensor as tensor;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use umgad_baselines::{registry, BaselineConfig, Category, Detector};
+    pub use umgad_core::{
+        average_precision, precision_at_k, recall_at_k, roc_auc, select_threshold, Ablation,
+        Detection, ScoreExplanation, ThresholdDecision, Umgad, UmgadConfig,
+    };
+    pub use umgad_data::{Dataset, DatasetKind, DatasetStats, Scale};
+    pub use umgad_graph::{MultiplexGraph, RelationLayer};
+    pub use umgad_tensor::Matrix;
+}

@@ -1,0 +1,108 @@
+//! Bring your own graph: build a [`MultiplexGraph`] from raw edge lists and
+//! attributes (here, a small synthetic social network), run UMGAD, inspect
+//! the learned relation weights, and save/reload the dataset as JSON.
+//!
+//! ```sh
+//! cargo run --release --example custom_dataset
+//! ```
+
+use umgad::data::{load_graph, save_graph};
+use umgad::prelude::*;
+
+fn main() {
+    // --- 1. assemble a multiplex graph by hand ---------------------------
+    // 300 accounts in 3 interest groups; two relations:
+    //  - "follows": dense intra-group social edges (informative),
+    //  - "mentions": sparse, mostly random chatter (noise).
+    let n = 300;
+    let group = |i: usize| i / 100;
+    let mut rng_state = 0x12345u64;
+    let mut next = move || {
+        // Tiny xorshift for a dependency-free example.
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+
+    let mut follows = Vec::new();
+    let mut mentions = Vec::new();
+    for i in 0..n {
+        for _ in 0..4 {
+            let j = (group(i) * 100 + (next() as usize % 100)) as u32;
+            if j as usize != i {
+                follows.push((i as u32, j));
+            }
+        }
+        let j = (next() as usize % n) as u32;
+        if j as usize != i {
+            mentions.push((i as u32, j));
+        }
+    }
+    // Bot ring: 6 accounts across groups that all follow each other.
+    let bots = [5usize, 105, 205, 55, 155, 255];
+    for (a, &u) in bots.iter().enumerate() {
+        for &v in &bots[a + 1..] {
+            follows.push((u as u32, v as u32));
+        }
+    }
+
+    // Attributes: group-indicator features + noise; bots get erratic values.
+    let mut attrs = Matrix::from_fn(n, 6, |i, j| {
+        let base = if group(i) == j % 3 { 1.0 } else { 0.0 };
+        base + ((i * 31 + j * 17) % 10) as f64 / 30.0
+    });
+    for (b, &bot) in bots.iter().enumerate() {
+        for j in 0..6 {
+            attrs.set(bot, j, if (b + j) % 2 == 0 { 2.5 } else { -1.5 });
+        }
+    }
+    let mut labels = vec![false; n];
+    for &b in &bots {
+        labels[b] = true;
+    }
+
+    let graph = MultiplexGraph::new(
+        attrs,
+        vec![
+            RelationLayer::new("follows", n, follows),
+            RelationLayer::new("mentions", n, mentions),
+        ],
+        Some(labels),
+    );
+    println!(
+        "custom graph: {} nodes, follows={} mentions={} edges",
+        graph.num_nodes(),
+        graph.layer(0).num_edges(),
+        graph.layer(1).num_edges()
+    );
+
+    // --- 2. persist + reload --------------------------------------------
+    let path = std::env::temp_dir().join("umgad-custom-graph.json");
+    save_graph(&graph, &path).expect("save");
+    let graph = load_graph(&path).expect("load");
+    println!("round-tripped through {}", path.display());
+
+    // --- 3. detect --------------------------------------------------------
+    let mut cfg = UmgadConfig::paper_injected();
+    cfg.epochs = 15;
+    cfg.hidden = 16;
+    let mut model = Umgad::new(&graph, cfg);
+    model.train(&graph);
+    let detection = model.detect(&graph);
+
+    println!("\nAUC {:.3}, flagged {} (true bots: {})", detection.auc, detection.flagged, bots.len());
+    println!(
+        "learned relation weights a^r = {:?} (follows should dominate)",
+        model
+            .relation_weights()
+            .iter()
+            .map(|w| format!("{w:.2}"))
+            .collect::<Vec<_>>()
+    );
+
+    let mut ranked: Vec<(usize, f64)> = detection.scores.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let hits = ranked.iter().take(bots.len()).filter(|(i, _)| bots.contains(i)).count();
+    println!("precision@{}: {:.2}", bots.len(), hits as f64 / bots.len() as f64);
+}

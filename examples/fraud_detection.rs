@@ -1,0 +1,83 @@
+//! Fraud detection on a review network with *real-style* anomalies:
+//! camouflaged fraudsters planted inside the generative process (the
+//! Amazon-fraud substitution), compared against representative baselines
+//! from every family the paper evaluates.
+//!
+//! ```sh
+//! cargo run --release --example fraud_detection
+//! ```
+
+use umgad::baselines::{self, BaselineConfig, Detector};
+use umgad::prelude::*;
+
+fn main() {
+    // Amazon-like review network: three similarity relations of very
+    // different densities, ~7% camouflaged fraudsters.
+    let data = Dataset::generate(DatasetKind::Amazon, Scale::Custom(1.0 / 32.0), 7);
+    let g = &data.graph;
+    let labels = g.labels().unwrap().to_vec();
+    println!(
+        "review network: {} users, {} fraudsters ({:.1}%)",
+        g.num_nodes(),
+        g.num_anomalies(),
+        100.0 * g.num_anomalies() as f64 / g.num_nodes() as f64
+    );
+
+    let epochs = 15;
+    let bcfg = BaselineConfig { epochs, seed: 7, ..BaselineConfig::default() };
+
+    // One representative per family.
+    let mut contenders: Vec<Box<dyn Detector>> = vec![
+        Box::new(baselines::traditional::Radar::new(bcfg)),
+        Box::new(baselines::Tam::new(bcfg)),
+        Box::new(baselines::Gradate::new(bcfg)),
+        Box::new(baselines::Dominant::new(bcfg)),
+        Box::new(baselines::AnomMan::new(bcfg)),
+    ];
+
+    println!("\n{:<12} {:>7} {:>9} {:>9}", "method", "AUC", "Macro-F1", "flagged");
+    for det in &mut contenders {
+        let scores = det.fit_scores(g);
+        let decision = select_threshold(&scores);
+        let auc = roc_auc(&scores, &labels);
+        let f1 = umgad::core::macro_f1_at(&scores, &labels, decision.threshold);
+        let flagged = scores.iter().filter(|&&s| s >= decision.threshold).count();
+        println!("{:<12} {auc:>7.3} {f1:>9.3} {flagged:>9}", det.name());
+    }
+
+    let mut cfg = UmgadConfig::paper_real();
+    cfg.epochs = epochs;
+    cfg.seed = 7;
+    let mut model = Umgad::new(g, cfg);
+    model.train(g);
+    let det = model.detect(g);
+    println!(
+        "{:<12} {:>7.3} {:>9.3} {:>9}   <- multiplex-aware, dual-view GMAE",
+        "UMGAD", det.auc, det.macro_f1, det.flagged
+    );
+
+    // Show how many of the flagged nodes are actual fraudsters.
+    println!(
+        "\nUMGAD precision at its own threshold: {:.2} (recall {:.2})",
+        det.confusion.precision(),
+        det.confusion.recall()
+    );
+
+    // Triage: explain WHY the top-scored node was flagged.
+    let top = det
+        .scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    println!(
+        "\nwhy was node {top} flagged? (z-scores per view; >0 = more anomalous than average)"
+    );
+    for ex in model.explain(g, top) {
+        println!(
+            "  view {:<6} attribute drift {:+.2}σ   structural implausibility {:+.2}σ",
+            ex.view, ex.attribute_z, ex.structure_z
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Train once, score forever: checkpoint a trained UMGAD detector to JSON,
+//! restore it, verify bit-identical scores, and keep fine-tuning from where
+//! training left off.
+//!
+//! ```sh
+//! cargo run --release --example model_persistence
+//! ```
+
+use umgad::prelude::*;
+
+fn main() {
+    let data = Dataset::generate(DatasetKind::Alibaba, Scale::Custom(1.0 / 32.0), 11);
+    let g = &data.graph;
+
+    let mut cfg = UmgadConfig::paper_injected();
+    cfg.epochs = 12;
+    cfg.seed = 11;
+    let mut model = Umgad::new(g, cfg);
+    model.train(g);
+    let det = model.detect(g);
+    println!(
+        "trained: AUC {:.3}, loss {:.4} -> {:.4} over {} epochs",
+        det.auc,
+        model.history.first().unwrap().total,
+        model.history.last().unwrap().total,
+        model.history.len()
+    );
+
+    // --- checkpoint to disk ----------------------------------------------
+    let path = std::env::temp_dir().join("umgad-model.json");
+    model.save(&path).expect("save checkpoint");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("checkpoint: {} ({bytes} bytes)", path.display());
+
+    // --- restore and verify ------------------------------------------------
+    let restored = Umgad::load(&path, g).expect("load checkpoint");
+    let scores_restored = restored.anomaly_scores(g);
+    assert_eq!(det.scores, scores_restored, "restored model must score identically");
+    println!("restored model scores are bit-identical to the original");
+
+    // --- resume training -----------------------------------------------------
+    let mut resumed = Umgad::load(&path, g).expect("load for fine-tuning");
+    let epochs_run = resumed.train_early_stopping(g, 3, 0.01);
+    let det2 = resumed.detect(g);
+    println!(
+        "fine-tuned {epochs_run} more epochs (early stopping): AUC {:.3} -> {:.3}",
+        det.auc, det2.auc
+    );
+
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,52 @@
+//! Why multiplexity matters (the paper's Challenge 1): collapse the three
+//! relations into one union graph and detection degrades, because relations
+//! carry *different* anomaly signal that the learnable weights `a^r`/`b^r`
+//! can exploit only when the relations stay separate.
+//!
+//! ```sh
+//! cargo run --release --example multiplex_vs_union
+//! ```
+
+use umgad::prelude::*;
+
+fn main() {
+    let mut wins = 0;
+    let runs = 3;
+    println!(
+        "{:<8} {:>12} {:>12} {:>8}",
+        "seed", "multiplex", "union", "Δ"
+    );
+    for seed in 0..runs {
+        let data = Dataset::generate(DatasetKind::Alibaba, Scale::Custom(1.0 / 24.0), seed);
+        let g = &data.graph;
+
+        let mut cfg = UmgadConfig::paper_injected();
+        cfg.epochs = 15;
+        cfg.seed = seed;
+
+        // 1. Full multiplex model: 3 relations, learnable weights.
+        let multiplex = Umgad::fit_detect(g, cfg.clone());
+
+        // 2. Same model on the collapsed union graph (single relation):
+        //    what every non-multiplex baseline effectively sees.
+        let union = MultiplexGraph::new(
+            (**g.attrs()).clone(),
+            vec![g.union_layer()],
+            g.labels().map(<[bool]>::to_vec),
+        );
+        let collapsed = Umgad::fit_detect(&union, cfg);
+
+        let delta = multiplex.auc - collapsed.auc;
+        if delta > 0.0 {
+            wins += 1;
+        }
+        println!(
+            "{seed:<8} {:>12.3} {:>12.3} {:>+8.3}",
+            multiplex.auc, collapsed.auc, delta
+        );
+    }
+    println!(
+        "\nmultiplex wins {wins}/{runs} seeds — separate relations let the \
+         learnable weights a^r isolate the informative interaction type"
+    );
+}

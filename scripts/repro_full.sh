@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full reproduction protocol.
+#
+# Defaults reproduce every table/figure at `mini` scale (≈1/16 of the
+# paper's Table I sizes) with 1 seed — ~1h on an 8-core CPU. Uncomment the
+# full-scale / multi-seed variants for the slow, publication-grade runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p umgad-bench
+
+# Everything, one seed, mini scale (CSV artefacts land in results/).
+./target/release/repro all --scale mini --epochs 20 --seed 7
+
+# Markdown summary assembled from the CSVs.
+./target/release/repro report > results/report.md
+echo "report written to results/report.md"
+
+# --- slower, sharper variants -------------------------------------------
+# Mean±std over 3 seeds for the headline tables (paper reports ±):
+# ./target/release/repro table2 --scale mini --epochs 20 --runs 3
+# ./target/release/repro table3 --scale mini --epochs 20 --runs 3
+#
+# Table-I-sized graphs (hours on CPU; scoring switches to the sampled
+# estimator automatically above dense_score_limit nodes):
+# ./target/release/repro table1 --scale full
+# ./target/release/repro table2 --scale full --epochs 20
+
+# Criterion micro + runtime benches (Fig. 6 companions):
+# cargo bench -p umgad-bench

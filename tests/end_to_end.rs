@@ -1,0 +1,147 @@
+//! End-to-end integration tests: the full pipeline from dataset generation
+//! through training, scoring, threshold selection, and evaluation — the
+//! shape claims of Tables II/III at test scale.
+
+use umgad::baselines::{BaselineConfig, Detector};
+use umgad::prelude::*;
+
+fn tiny(kind: DatasetKind, seed: u64) -> Dataset {
+    Dataset::generate(kind, Scale::Custom(1.0 / 48.0), seed)
+}
+
+fn umgad_cfg(kind: DatasetKind) -> UmgadConfig {
+    let mut cfg = if kind.injected() {
+        UmgadConfig::paper_injected()
+    } else {
+        UmgadConfig::paper_real()
+    };
+    cfg.epochs = 15;
+    cfg.hidden = 32;
+    cfg.seed = 5;
+    cfg
+}
+
+#[test]
+fn umgad_beats_random_on_every_dataset() {
+    for kind in DatasetKind::ALL {
+        let data = tiny(kind, 11);
+        let det = Umgad::fit_detect(&data.graph, umgad_cfg(kind));
+        assert!(
+            det.auc > 0.55,
+            "{kind:?}: UMGAD AUC {:.3} should beat random clearly",
+            det.auc
+        );
+        assert!(det.scores.iter().all(|s| s.is_finite()));
+    }
+}
+
+#[test]
+fn injected_datasets_are_easier_than_yelpchi() {
+    // The paper's headline dataset ordering: everything scores lower on
+    // YelpChi than on the injected e-commerce datasets.
+    let retail = Umgad::fit_detect(&tiny(DatasetKind::Retail, 3).graph, umgad_cfg(DatasetKind::Retail));
+    let yelp = Umgad::fit_detect(&tiny(DatasetKind::YelpChi, 3).graph, umgad_cfg(DatasetKind::YelpChi));
+    assert!(
+        retail.auc > yelp.auc,
+        "Retail ({:.3}) should be easier than YelpChi ({:.3})",
+        retail.auc,
+        yelp.auc
+    );
+}
+
+#[test]
+fn unsupervised_threshold_tracks_anomaly_count() {
+    // RQ1: the knee-based threshold flags a count within a small factor of
+    // the (never revealed) ground-truth anomaly count.
+    let data = tiny(DatasetKind::Retail, 13);
+    let truth = data.graph.num_anomalies();
+    let det = Umgad::fit_detect(&data.graph, umgad_cfg(DatasetKind::Retail));
+    assert!(
+        det.flagged <= truth * 8 && det.flagged >= 1,
+        "flagged {} vs true {truth}",
+        det.flagged
+    );
+}
+
+#[test]
+fn umgad_tops_weak_baseline_families() {
+    // Table II shape: UMGAD beats the early/weak families (Radar, CoLA,
+    // GCNAE) on the injected datasets. Run above the `tiny` size — with
+    // fewer than ~500 nodes the 12-anomaly AUC variance swamps the margin.
+    let data = Dataset::generate(DatasetKind::Alibaba, Scale::Custom(1.0 / 24.0), 17);
+    let labels = data.graph.labels().unwrap().to_vec();
+    let u = Umgad::fit_detect(&data.graph, umgad_cfg(DatasetKind::Alibaba));
+    let bcfg = BaselineConfig { epochs: 15, seed: 5, ..BaselineConfig::default() };
+    for mut det in [
+        Box::new(umgad::baselines::traditional::Radar::new(bcfg)) as Box<dyn Detector>,
+        Box::new(umgad::baselines::Cola::new(bcfg)),
+        Box::new(umgad::baselines::GcnAe::new(bcfg)),
+    ] {
+        let auc = roc_auc(&det.fit_scores(&data.graph), &labels);
+        // Tolerance: at this test scale (≈470 nodes, 12 anomalies) one
+        // swapped rank moves AUC by ~0.01; the strict dominance claim is
+        // checked at benchmark scale by `repro table2`.
+        assert!(
+            u.auc + 0.05 > auc,
+            "UMGAD ({:.3}) should not lose clearly to {} ({auc:.3})",
+            u.auc,
+            det.name()
+        );
+    }
+}
+
+#[test]
+fn ablations_do_not_beat_full_model_on_average() {
+    // Table III shape: averaged over variants AND seeds, removing
+    // components does not help. At test scale a single run has ±0.04 AUC
+    // noise (12–16 anomalies), so this averages 2 seeds × 2 datasets; the
+    // per-dataset dominance claim is checked at benchmark scale by
+    // `repro table3`.
+    let mut full_total = 0.0;
+    let mut ablated_total = 0.0;
+    let variants = Ablation::variants();
+    let mut runs = 0.0;
+    for kind in [DatasetKind::Retail, DatasetKind::Alibaba] {
+        for seed in [19, 23] {
+            let data = Dataset::generate(kind, Scale::Custom(1.0 / 32.0), seed);
+            let mut cfg = umgad_cfg(kind);
+            cfg.seed = seed;
+            let full = Umgad::fit_detect(&data.graph, cfg.clone());
+            full_total += full.auc;
+            for (_, ab) in &variants {
+                let det = Umgad::fit_detect(&data.graph, cfg.clone().with_ablation(*ab));
+                ablated_total += det.auc;
+            }
+            runs += 1.0;
+        }
+    }
+    let full_mean = full_total / runs;
+    let ablated_mean = ablated_total / (runs * variants.len() as f64);
+    assert!(
+        full_mean + 0.02 > ablated_mean,
+        "full {full_mean:.3} vs mean ablated {ablated_mean:.3}"
+    );
+}
+
+#[test]
+fn oracle_threshold_bounds_unsupervised_f1_reasonably() {
+    // Table IV is expected to be >= Table II numbers (minus noise) because
+    // it leaks the exact anomaly count.
+    let data = tiny(DatasetKind::Amazon, 23);
+    let det = Umgad::fit_detect(&data.graph, umgad_cfg(DatasetKind::Amazon));
+    assert!(
+        det.macro_f1_oracle + 0.1 >= det.macro_f1,
+        "oracle {:.3} vs unsup {:.3}",
+        det.macro_f1_oracle,
+        det.macro_f1
+    );
+}
+
+#[test]
+fn detection_is_reproducible() {
+    let data = tiny(DatasetKind::Alibaba, 29);
+    let a = Umgad::fit_detect(&data.graph, umgad_cfg(DatasetKind::Alibaba));
+    let b = Umgad::fit_detect(&data.graph, umgad_cfg(DatasetKind::Alibaba));
+    assert_eq!(a.scores, b.scores);
+    assert_eq!(a.decision.threshold, b.decision.threshold);
+}
