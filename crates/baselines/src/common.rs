@@ -6,9 +6,9 @@
 //! [`union layer`](umgad_graph::MultiplexGraph::union_layer), exactly how
 //! the paper feeds single-graph methods a multiplex dataset.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use umgad_graph::{MultiplexGraph, RelationLayer};
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::SeedableRng;
 use umgad_tensor::{Matrix, SpPair};
 
 /// A fit-and-score anomaly detector.
@@ -92,7 +92,12 @@ impl Default for BaselineConfig {
 impl BaselineConfig {
     /// Small/fast settings for unit tests.
     pub fn fast_test() -> Self {
-        Self { hidden: 8, epochs: 8, edge_samples: 400, ..Self::default() }
+        Self {
+            hidden: 8,
+            epochs: 8,
+            edge_samples: 400,
+            ..Self::default()
+        }
     }
 
     /// Seeded RNG for a detector.
@@ -146,21 +151,26 @@ pub fn neighbor_mean(layer: &RelationLayer, x: &Matrix) -> Matrix {
 /// Per-node L2 reconstruction error between two matrices.
 pub fn row_errors(a: &Matrix, b: &Matrix) -> Vec<f64> {
     assert_eq!(a.shape(), b.shape());
-    (0..a.rows()).map(|i| umgad_tensor::l2_distance(a.row(i), b.row(i))).collect()
+    (0..a.rows())
+        .map(|i| umgad_tensor::l2_distance(a.row(i), b.row(i)))
+        .collect()
 }
 
 /// z-standardise then mix two error vectors: `alpha·a + (1−alpha)·b`.
 pub fn mix_errors(mut a: Vec<f64>, mut b: Vec<f64>, alpha: f64) -> Vec<f64> {
     umgad_core::score::standardize(&mut a);
     umgad_core::score::standardize(&mut b);
-    a.iter().zip(&b).map(|(x, y)| alpha * x + (1.0 - alpha) * y).collect()
+    a.iter()
+        .zip(&b)
+        .map(|(x, y)| alpha * x + (1.0 - alpha) * y)
+        .collect()
 }
 
 /// Sample `count` observed edges (as `(usize, usize)`) from a layer.
 pub fn sample_edges(
     layer: &RelationLayer,
     count: usize,
-    rng: &mut impl rand::Rng,
+    rng: &mut impl umgad_rt::rand::Rng,
 ) -> Vec<(usize, usize)> {
     let e = layer.num_edges();
     if e == 0 {
@@ -208,7 +218,10 @@ mod tests {
         let a = vec![1.0, 2.0, 3.0];
         let b = vec![3.0, 2.0, 1.0];
         let mixed = mix_errors(a, b, 0.5);
-        assert!(mixed.iter().all(|&v| v.abs() < 1e-12), "symmetric mix cancels: {mixed:?}");
+        assert!(
+            mixed.iter().all(|&v| v.abs() < 1e-12),
+            "symmetric mix cancels: {mixed:?}"
+        );
     }
 
     #[test]

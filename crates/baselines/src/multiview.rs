@@ -38,11 +38,22 @@ impl Detector for AnomMan {
         let rr = graph.num_relations();
         let mut rng = self.cfg.rng(0xa303);
         let mut aes: Vec<Gcn> = (0..rr)
-            .map(|_| Gcn::new(&[f, self.cfg.hidden, f], Activation::Relu, Activation::None, &mut rng))
+            .map(|_| {
+                Gcn::new(
+                    &[f, self.cfg.hidden, f],
+                    Activation::Relu,
+                    Activation::None,
+                    &mut rng,
+                )
+            })
             .collect();
         let mut attn = RelationWeights::new(rr, &mut rng);
         let target = Rc::new((**graph.attrs()).clone());
-        let opt = Adam { lr: self.cfg.lr, weight_decay: self.cfg.weight_decay, ..Adam::default() };
+        let opt = Adam {
+            lr: self.cfg.lr,
+            weight_decay: self.cfg.weight_decay,
+            ..Adam::default()
+        };
         let pairs: Vec<_> = graph.layers().iter().map(|l| l.norm_pair()).collect();
 
         let mut fused_recon = (**graph.attrs()).clone();
@@ -127,10 +138,21 @@ impl Detector for DualGad {
         let n = graph.num_nodes();
         let mut rng = self.cfg.rng(0xd0a1);
         let mut aes: Vec<Gcn> = (0..rr)
-            .map(|_| Gcn::new(&[f, self.cfg.hidden, f], Activation::Relu, Activation::None, &mut rng))
+            .map(|_| {
+                Gcn::new(
+                    &[f, self.cfg.hidden, f],
+                    Activation::Relu,
+                    Activation::None,
+                    &mut rng,
+                )
+            })
             .collect();
         let target = Rc::new((**graph.attrs()).clone());
-        let opt = Adam { lr: self.cfg.lr, weight_decay: self.cfg.weight_decay, ..Adam::default() };
+        let opt = Adam {
+            lr: self.cfg.lr,
+            weight_decay: self.cfg.weight_decay,
+            ..Adam::default()
+        };
         let pairs: Vec<_> = graph.layers().iter().map(|l| l.norm_pair()).collect();
 
         let mut recons: Vec<Matrix> = vec![(**graph.attrs()).clone(); rr];
@@ -208,9 +230,9 @@ impl Detector for DualGad {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
     use umgad_graph::RelationLayer;
+    use umgad_rt::rand::rngs::SmallRng;
+    use umgad_rt::rand::{Rng, SeedableRng};
 
     fn planted_multiplex() -> MultiplexGraph {
         let mut rng = SmallRng::seed_from_u64(8);
@@ -247,7 +269,10 @@ mod tests {
         labels[70] = true;
         MultiplexGraph::new(
             attrs,
-            vec![RelationLayer::new("a", n, e1), RelationLayer::new("b", n, e2)],
+            vec![
+                RelationLayer::new("a", n, e1),
+                RelationLayer::new("b", n, e2),
+            ],
             Some(labels),
         )
     }

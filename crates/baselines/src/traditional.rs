@@ -28,7 +28,11 @@ pub struct Radar {
 impl Radar {
     /// Standard configuration.
     pub fn new(cfg: BaselineConfig) -> Self {
-        Self { cfg, rounds: 3, gamma: 0.6 }
+        Self {
+            cfg,
+            rounds: 3,
+            gamma: 0.6,
+        }
     }
 }
 
@@ -74,7 +78,9 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         let g = MultiplexGraph::new(attrs, vec![RelationLayer::new("r", n, edges)], None);
         let scores = Radar::new(BaselineConfig::fast_test()).fit_scores(&g);
-        let max_i = (0..n).max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap()).unwrap();
+        let max_i = (0..n)
+            .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap())
+            .unwrap();
         assert_eq!(max_i, 7);
     }
 

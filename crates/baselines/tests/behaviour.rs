@@ -1,9 +1,7 @@
 //! Mechanism-level behavioural tests: each baseline's signature signal
 //! reacts the way its paper says it should on purpose-built graphs.
 
-use umgad_baselines::{
-    common::Detector, traditional::Radar, AnomMan, BaselineConfig, Prem, Tam,
-};
+use umgad_baselines::{common::Detector, traditional::Radar, AnomMan, BaselineConfig, Prem, Tam};
 use umgad_graph::{MultiplexGraph, RelationLayer};
 use umgad_tensor::Matrix;
 
@@ -20,7 +18,10 @@ fn radar_is_quiet_on_network_consistent_attributes() {
     let g = homophilous_ring(40);
     let scores = Radar::new(BaselineConfig::fast_test()).fit_scores(&g);
     let max = scores.iter().cloned().fold(0.0f64, f64::max);
-    assert!(max < 1e-9, "constant graph should produce ~zero residuals, max {max}");
+    assert!(
+        max < 1e-9,
+        "constant graph should produce ~zero residuals, max {max}"
+    );
 }
 
 #[test]
@@ -53,7 +54,10 @@ fn tam_affinity_uniform_on_homophilous_graph() {
     // a fixed fraction per round regardless). The majority must be exactly
     // the perfect-affinity score.
     let perfect = scores.iter().filter(|&&s| (s + 1.0).abs() < 1e-6).count();
-    assert!(perfect * 2 > scores.len(), "majority at affinity 1, got {perfect}/30");
+    assert!(
+        perfect * 2 > scores.len(),
+        "majority at affinity 1, got {perfect}/30"
+    );
 }
 
 #[test]
@@ -64,10 +68,15 @@ fn tam_flags_the_low_affinity_node() {
     attrs.set_row(7, &[-1.0, -1.0, -1.0, -1.0]);
     g = g.with_attrs(attrs);
     let scores = Tam::new(BaselineConfig::fast_test()).fit_scores(&g);
-    let top = (0..30).max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap()).unwrap();
+    let top = (0..30)
+        .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap())
+        .unwrap();
     // Node 7 or one of its immediate neighbours (their affinity also drops)
     // must rank top.
-    assert!([6, 7, 8].contains(&top), "expected the anti-aligned region, got {top}");
+    assert!(
+        [6, 7, 8].contains(&top),
+        "expected the anti-aligned region, got {top}"
+    );
 }
 
 #[test]
@@ -91,10 +100,16 @@ fn anomman_prefers_the_informative_relation() {
     labels[44] = true;
     let g = MultiplexGraph::new(
         attrs,
-        vec![RelationLayer::new("clean", n, ea), RelationLayer::new("noise", n, eb)],
+        vec![
+            RelationLayer::new("clean", n, ea),
+            RelationLayer::new("noise", n, eb),
+        ],
         Some(labels),
     );
     let scores = AnomMan::new(BaselineConfig::fast_test()).fit_scores(&g);
     let auc = umgad_core::roc_auc(&scores, g.labels().unwrap());
-    assert!(auc > 0.9, "single clear attribute anomaly should be found: {auc}");
+    assert!(
+        auc > 0.9,
+        "single clear attribute anomaly should be found: {auc}"
+    );
 }

@@ -13,7 +13,12 @@ fn dataset() -> Dataset {
 #[test]
 fn every_baseline_is_deterministic_given_seed() {
     let data = dataset();
-    let cfg = BaselineConfig { epochs: 2, hidden: 8, seed: 3, ..BaselineConfig::default() };
+    let cfg = BaselineConfig {
+        epochs: 2,
+        hidden: 8,
+        seed: 3,
+        ..BaselineConfig::default()
+    };
     let runs1: Vec<(String, Vec<f64>)> = registry(cfg)
         .into_iter()
         .map(|mut d| (d.name().to_string(), d.fit_scores(&data.graph)))
@@ -34,8 +39,18 @@ fn trained_baselines_respond_to_seed() {
     // closed-form ones (Radar, PREM, RAND, TAM) legitimately do not.
     let data = dataset();
     let deterministic_by_design = ["Radar", "PREM", "RAND", "TAM"];
-    let a = registry(BaselineConfig { epochs: 2, hidden: 8, seed: 1, ..BaselineConfig::default() });
-    let b = registry(BaselineConfig { epochs: 2, hidden: 8, seed: 2, ..BaselineConfig::default() });
+    let a = registry(BaselineConfig {
+        epochs: 2,
+        hidden: 8,
+        seed: 1,
+        ..BaselineConfig::default()
+    });
+    let b = registry(BaselineConfig {
+        epochs: 2,
+        hidden: 8,
+        seed: 2,
+        ..BaselineConfig::default()
+    });
     for (mut d1, mut d2) in a.into_iter().zip(b) {
         let name = d1.name().to_string();
         let s1 = d1.fit_scores(&data.graph);
@@ -72,10 +87,19 @@ fn baselines_survive_single_relation_star_graph() {
         vec![RelationLayer::new("star", n, edges)],
         Some((0..n).map(|i| i == 0).collect()),
     );
-    let cfg = BaselineConfig { epochs: 2, hidden: 8, seed: 1, ..BaselineConfig::default() };
+    let cfg = BaselineConfig {
+        epochs: 2,
+        hidden: 8,
+        seed: 1,
+        ..BaselineConfig::default()
+    };
     for mut det in registry(cfg) {
         let s = det.fit_scores(&g);
         assert_eq!(s.len(), n, "{}", det.name());
-        assert!(s.iter().all(|v| v.is_finite()), "{} non-finite on star", det.name());
+        assert!(
+            s.iter().all(|v| v.is_finite()),
+            "{} non-finite on star",
+            det.name()
+        );
     }
 }

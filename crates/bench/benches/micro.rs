@@ -2,19 +2,22 @@
 //! matmul, RWR sampling, threshold selection, AUC, and a full autograd
 //! GMAE step. These back the design notes in DESIGN.md §5.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::rc::Rc;
 use umgad_core::select_threshold;
 use umgad_data::{Dataset, DatasetKind, Scale};
 use umgad_nn::{Gmae, GmaeConfig};
+use umgad_rt::bench::{black_box, BenchmarkId, Criterion};
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::{Rng, SeedableRng};
+use umgad_rt::{criterion_group, criterion_main};
 use umgad_tensor::{Adam, Matrix, Tape};
 
 fn bench_spmm(c: &mut Criterion) {
     let data = Dataset::generate(DatasetKind::Alibaba, Scale::Tiny, 1);
     let layer = data.graph.layer(0);
-    let x = Matrix::from_fn(data.graph.num_nodes(), 32, |i, j| ((i + j) % 7) as f64 / 7.0);
+    let x = Matrix::from_fn(data.graph.num_nodes(), 32, |i, j| {
+        ((i + j) % 7) as f64 / 7.0
+    });
     c.bench_function("spmm_alibaba_tiny_f32dim", |b| {
         b.iter(|| black_box(layer.normalized().spmm(&x)))
     });
@@ -47,7 +50,13 @@ fn bench_rwr(c: &mut Criterion) {
 fn bench_threshold(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(4);
     let scores: Vec<f64> = (0..50_000)
-        .map(|i| if i < 500 { 5.0 + rng.gen::<f64>() } else { rng.gen::<f64>() })
+        .map(|i| {
+            if i < 500 {
+                5.0 + rng.gen::<f64>()
+            } else {
+                rng.gen::<f64>()
+            }
+        })
         .collect();
     c.bench_function("threshold_select_50k", |b| {
         b.iter(|| black_box(select_threshold(&scores)))

@@ -3,10 +3,11 @@
 //! the `share_repeats`-style ablation of per-(r,k) weights (DESIGN.md §5:
 //! per-repeat weight matrices vs a single repeat).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use umgad_baselines::BaselineConfig;
 use umgad_core::{Umgad, UmgadConfig};
 use umgad_data::{Dataset, DatasetKind, Scale};
+use umgad_rt::bench::{black_box, BenchmarkId, Criterion};
+use umgad_rt::{criterion_group, criterion_main};
 
 fn umgad_epoch(c: &mut Criterion) {
     let mut group = c.benchmark_group("umgad_epoch");
@@ -45,7 +46,10 @@ fn umgad_repeats_ablation(c: &mut Criterion) {
 
 fn baseline_fit(c: &mut Criterion) {
     let data = Dataset::generate(DatasetKind::Retail, Scale::Tiny, 13);
-    let cfg = BaselineConfig { epochs: 5, ..BaselineConfig::default() };
+    let cfg = BaselineConfig {
+        epochs: 5,
+        ..BaselineConfig::default()
+    };
     let mut group = c.benchmark_group("baseline_fit_5epochs");
     group.sample_size(10);
     for name in ["TAM", "ADA-GAD", "GADAM", "AnomMAN"] {
@@ -73,7 +77,9 @@ fn scoring_paths(c: &mut Criterion) {
     model.train(&data.graph);
     let mut group = c.benchmark_group("eq19_scoring");
     group.sample_size(10);
-    group.bench_function("dense", |b| b.iter(|| black_box(model.anomaly_scores(&data.graph))));
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(model.anomaly_scores(&data.graph)))
+    });
     group.finish();
 
     let mut cfg2 = UmgadConfig::paper_injected();

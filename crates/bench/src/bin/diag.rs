@@ -25,7 +25,12 @@ fn main() {
         let mut model = Umgad::new(&data.graph, cfg);
         model.train(&data.graph);
 
-        println!("== {} ({} nodes, {} anomalies)", data.name(), data.graph.num_nodes(), data.graph.num_anomalies());
+        println!(
+            "== {} ({} nodes, {} anomalies)",
+            data.name(),
+            data.graph.num_nodes(),
+            data.graph.num_anomalies()
+        );
         let full = model.anomaly_scores(&data.graph);
         println!("  combined           AUC {:.3}", roc_auc(&full, &labels));
 
@@ -39,7 +44,10 @@ fn main() {
                 .map(|i| 1.0 - umgad_tensor::cosine(readout.row(i), data.graph.attrs().row(i)))
                 .collect();
             let auc_c = roc_auc(&cos_err, &labels);
-            let opts = ScoreOptions { seed: 7, ..ScoreOptions::default() };
+            let opts = ScoreOptions {
+                seed: 7,
+                ..ScoreOptions::default()
+            };
             let mut s_total = vec![0.0; data.graph.num_nodes()];
             let mut per_rel = String::new();
             for (r, z) in v.structure.iter().enumerate() {

@@ -39,8 +39,7 @@ fn parse_args() -> Result<(String, HarnessConfig), String> {
                     "mini" => Scale::Mini,
                     "full" => Scale::Full,
                     other => {
-                        let f: f64 =
-                            other.parse().map_err(|_| format!("bad scale: {other}"))?;
+                        let f: f64 = other.parse().map_err(|_| format!("bad scale: {other}"))?;
                         Scale::Custom(f)
                     }
                 };

@@ -120,7 +120,10 @@ pub mod fig4 {
         let mut out = String::from("FIG 4 — masking ratio × subgraph size (AUC)\n");
         let mut csv = Csv::new(&["dataset", "mask_ratio", "subgraph_size", "auc"]);
         for data in datasets(harness) {
-            out.push_str(&format!("{}: rows |V_m|, cols r_m {ratios:?}\n", data.name()));
+            out.push_str(&format!(
+                "{}: rows |V_m|, cols r_m {ratios:?}\n",
+                data.name()
+            ));
             for &s in &sizes {
                 out.push_str(&format!("  |V_m|={s:<2} "));
                 for &r_m in &ratios {

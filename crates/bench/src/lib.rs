@@ -120,7 +120,11 @@ impl HarnessConfig {
 
     /// Baseline configuration for a run.
     pub fn baseline_config(&self, seed: u64) -> BaselineConfig {
-        BaselineConfig { epochs: self.epochs, seed, ..BaselineConfig::default() }
+        BaselineConfig {
+            epochs: self.epochs,
+            seed,
+            ..BaselineConfig::default()
+        }
     }
 
     /// Write a CSV artefact and return its path.
@@ -292,7 +296,11 @@ pub fn render_comparison(
     for (cat, method, cells) in rows {
         let _ = write!(out, "{cat:<6} {method:<11}");
         for (d, &(auc, auc_std, f1, f1_std)) in cells.iter().enumerate() {
-            let mark = if highlight_best && (auc - best[d]).abs() < 1e-12 { "*" } else { " " };
+            let mark = if highlight_best && (auc - best[d]).abs() < 1e-12 {
+                "*"
+            } else {
+                " "
+            };
             let _ = write!(out, " |{mark}{auc:.3}±{auc_std:.3} {f1:.3}±{f1_std:.3}");
         }
         let _ = writeln!(out);
@@ -316,7 +324,9 @@ pub struct Csv {
 impl Csv {
     /// Start a CSV with a header row.
     pub fn new(header: &[&str]) -> Self {
-        Self { buf: header.join(",") + "\n" }
+        Self {
+            buf: header.join(",") + "\n",
+        }
     }
 
     /// Append a row of stringified cells.
@@ -362,8 +372,16 @@ mod tests {
     #[test]
     fn render_comparison_stars_best() {
         let rows = vec![
-            ("GAE".to_string(), "X".to_string(), vec![(0.7, 0.0, 0.6, 0.0)]),
-            ("Ours".to_string(), "UMGAD".to_string(), vec![(0.8, 0.0, 0.7, 0.0)]),
+            (
+                "GAE".to_string(),
+                "X".to_string(),
+                vec![(0.7, 0.0, 0.6, 0.0)],
+            ),
+            (
+                "Ours".to_string(),
+                "UMGAD".to_string(),
+                vec![(0.8, 0.0, 0.7, 0.0)],
+            ),
         ];
         let s = render_comparison(&["D"], &rows, true);
         assert!(s.contains("*0.800"));

@@ -61,7 +61,10 @@ pub fn render(dir: &Path) -> String {
             }
         }
         let _ = writeln!(out, "## {title}\n");
-        let _ = writeln!(out, "| dataset | best baseline (AUC) | UMGAD AUC | UMGAD F1 | margin |");
+        let _ = writeln!(
+            out,
+            "| dataset | best baseline (AUC) | UMGAD AUC | UMGAD F1 | margin |"
+        );
         let _ = writeln!(out, "|---|---|---|---|---|");
         for (d, (bm, bauc)) in &best {
             if let Some(&(uauc, uf1)) = umgad.get(d) {
@@ -77,9 +80,11 @@ pub fn render(dir: &Path) -> String {
 
     // -- Table III: ablation deltas ------------------------------------------
     if let Some((header, rows)) = read_csv(&dir.join("table3.csv")) {
-        if let (Some(vi), Some(di), Some(ai)) =
-            (col(&header, "variant"), col(&header, "dataset"), col(&header, "auc"))
-        {
+        if let (Some(vi), Some(di), Some(ai)) = (
+            col(&header, "variant"),
+            col(&header, "dataset"),
+            col(&header, "auc"),
+        ) {
             let mut full: BTreeMap<String, f64> = BTreeMap::new();
             for r in &rows {
                 if r[vi] == "UMGAD" {
@@ -121,7 +126,9 @@ pub fn render(dir: &Path) -> String {
             let mut best: BTreeMap<String, (String, f64)> = BTreeMap::new();
             for r in &rows {
                 let auc: f64 = r[ai].parse().unwrap_or(0.0);
-                let e = best.entry(r[di].clone()).or_insert_with(|| (r[ri].clone(), auc));
+                let e = best
+                    .entry(r[di].clone())
+                    .or_insert_with(|| (r[ri].clone(), auc));
                 if auc > e.1 {
                     *e = (r[ri].clone(), auc);
                 }
@@ -177,7 +184,10 @@ mod tests {
         )
         .unwrap();
         let md = render(&dir);
-        assert!(md.contains("| Retail | TAM (0.900) | 0.950 | 0.700 | +5.56% |"), "{md}");
+        assert!(
+            md.contains("| Retail | TAM (0.900) | 0.950 | 0.700 | +5.56% |"),
+            "{md}"
+        );
         assert!(md.contains("w/o M | +0.0500"), "{md}");
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -24,7 +24,15 @@ pub mod table1 {
         ));
         out.push_str(&"-".repeat(78));
         out.push('\n');
-        let mut csv = Csv::new(&["dataset", "nodes", "anomalies", "injected", "relation", "edges", "paper_edges"]);
+        let mut csv = Csv::new(&[
+            "dataset",
+            "nodes",
+            "anomalies",
+            "injected",
+            "relation",
+            "edges",
+            "paper_edges",
+        ]);
         for data in datasets(harness) {
             let spec = DatasetSpec::table1(data.kind);
             let stats = DatasetStats::of(data.name(), data.kind.injected(), &data.graph);
@@ -56,16 +64,26 @@ fn comparison_results(harness: &HarnessConfig) -> Vec<(String, Vec<MethodResult>
     let makers = baseline_makers();
     let mut per_dataset = Vec::new();
     for d in &data {
-        eprintln!("[bench] dataset {} ({} nodes)", d.name(), d.graph.num_nodes());
+        eprintln!(
+            "[bench] dataset {} ({} nodes)",
+            d.name(),
+            d.graph.num_nodes()
+        );
         let mut results: Vec<MethodResult> = Vec::new();
         for (i, make) in makers.iter().enumerate() {
             let r = run_baseline(make.as_ref(), d, harness);
-            eprintln!("[bench]   {:<11} AUC {:.3}  F1 {:.3}", r.method, r.auc, r.f1);
+            eprintln!(
+                "[bench]   {:<11} AUC {:.3}  F1 {:.3}",
+                r.method, r.auc, r.f1
+            );
             let _ = i;
             results.push(r);
         }
         let u = run_umgad(d, harness, &|_| {});
-        eprintln!("[bench]   {:<11} AUC {:.3}  F1 {:.3}", u.method, u.auc, u.f1);
+        eprintln!(
+            "[bench]   {:<11} AUC {:.3}  F1 {:.3}",
+            u.method, u.auc, u.f1
+        );
         results.push(u);
         per_dataset.push((d.name().to_string(), results));
     }
@@ -111,7 +129,9 @@ fn render_from_results(
     let names: Vec<&str> = per_dataset.iter().map(|(n, _)| n.as_str()).collect();
     let methods = per_dataset[0].1.len();
     let mut rows = Vec::new();
-    let mut csv = Csv::new(&["method", "category", "dataset", "auc", "auc_std", "f1", "f1_std"]);
+    let mut csv = Csv::new(&[
+        "method", "category", "dataset", "auc", "auc_std", "f1", "f1_std",
+    ]);
     for m in 0..methods {
         let cat = per_dataset[0].1[m].category.clone();
         let name = per_dataset[0].1[m].method.clone();
@@ -157,10 +177,14 @@ pub mod table2 {
     /// *unsupervised* threshold.
     pub fn run(harness: &HarnessConfig) -> String {
         let per_dataset = comparison_results(harness);
-        let mut out = String::from(
-            "TABLE II — Performance comparison in the real unsupervised scenario\n",
-        );
-        out.push_str(&render_from_results(&per_dataset, false, harness, "table2.csv"));
+        let mut out =
+            String::from("TABLE II — Performance comparison in the real unsupervised scenario\n");
+        out.push_str(&render_from_results(
+            &per_dataset,
+            false,
+            harness,
+            "table2.csv",
+        ));
         out
     }
 
@@ -168,14 +192,22 @@ pub mod table2 {
     /// only in the threshold protocol), saving half the compute.
     pub fn run_with_table4(harness: &HarnessConfig) -> (String, String) {
         let per_dataset = comparison_results(harness);
-        let mut t2 = String::from(
-            "TABLE II — Performance comparison in the real unsupervised scenario\n",
-        );
-        t2.push_str(&render_from_results(&per_dataset, false, harness, "table2.csv"));
-        let mut t4 = String::from(
-            "TABLE IV — Performance with ground-truth-leakage threshold selection\n",
-        );
-        t4.push_str(&render_from_results(&per_dataset, true, harness, "table4.csv"));
+        let mut t2 =
+            String::from("TABLE II — Performance comparison in the real unsupervised scenario\n");
+        t2.push_str(&render_from_results(
+            &per_dataset,
+            false,
+            harness,
+            "table2.csv",
+        ));
+        let mut t4 =
+            String::from("TABLE IV — Performance with ground-truth-leakage threshold selection\n");
+        t4.push_str(&render_from_results(
+            &per_dataset,
+            true,
+            harness,
+            "table4.csv",
+        ));
         (t2, t4)
     }
 }
@@ -187,10 +219,14 @@ pub mod table4 {
     /// Same runs as Table II but the F1 column uses the oracle threshold.
     pub fn run(harness: &HarnessConfig) -> String {
         let per_dataset = comparison_results(harness);
-        let mut out = String::from(
-            "TABLE IV — Performance with ground-truth-leakage threshold selection\n",
-        );
-        out.push_str(&render_from_results(&per_dataset, true, harness, "table4.csv"));
+        let mut out =
+            String::from("TABLE IV — Performance with ground-truth-leakage threshold selection\n");
+        out.push_str(&render_from_results(
+            &per_dataset,
+            true,
+            harness,
+            "table4.csv",
+        ));
         out
     }
 }
@@ -224,7 +260,12 @@ pub mod table3 {
                     format!("{:.4}", r.auc),
                     format!("{:.4}", r.f1),
                 ]);
-                eprintln!("[bench] {name:<9} {} AUC {:.3} F1 {:.3}", d.name(), r.auc, r.f1);
+                eprintln!(
+                    "[bench] {name:<9} {} AUC {:.3} F1 {:.3}",
+                    d.name(),
+                    r.auc,
+                    r.f1
+                );
             }
             out.push('\n');
         }

@@ -131,11 +131,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         flags.insert(key.to_string(), value.clone());
     }
     let get = |k: &str| flags.get(k).cloned();
-    let num =
-        |k: &str, d: u64| -> Result<u64, String> { get(k).map_or(Ok(d), |v| v.parse().map_err(|e| format!("--{k}: {e}"))) };
+    let num = |k: &str, d: u64| -> Result<u64, String> {
+        get(k).map_or(Ok(d), |v| v.parse().map_err(|e| format!("--{k}: {e}")))
+    };
     match sub.as_str() {
         "generate" => {
-            let dataset = match get("dataset").ok_or("--dataset required")?.to_lowercase().as_str() {
+            let dataset = match get("dataset")
+                .ok_or("--dataset required")?
+                .to_lowercase()
+                .as_str()
+            {
                 "retail" => DatasetKind::Retail,
                 "alibaba" => DatasetKind::Alibaba,
                 "amazon" => DatasetKind::Amazon,
@@ -227,18 +232,28 @@ pub fn parse_scores_csv(text: &str) -> Result<Vec<f64>, String> {
 
 /// Build a baseline by (case-insensitive) Table II name.
 pub fn baseline_by_name(name: &str, cfg: BaselineConfig) -> Option<Box<dyn Detector>> {
-    registry(cfg).into_iter().find(|d| d.name().eq_ignore_ascii_case(name))
+    registry(cfg)
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(name))
 }
 
 /// All baseline names.
 pub fn method_names() -> Vec<&'static str> {
-    registry(BaselineConfig::default()).iter().map(|d| d.name()).collect()
+    registry(BaselineConfig::default())
+        .iter()
+        .map(|d| d.name())
+        .collect()
 }
 
 /// Run a parsed command; returns what should be printed to stdout.
 pub fn run(cmd: Command) -> Result<String, String> {
     match cmd {
-        Command::Generate { dataset, scale, seed, out } => {
+        Command::Generate {
+            dataset,
+            scale,
+            seed,
+            out,
+        } => {
             let data = Dataset::generate(dataset, Scale::Custom(scale), seed);
             save_graph(&data.graph, &out).map_err(|e| e.to_string())?;
             Ok(format!(
@@ -249,10 +264,20 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 data.graph.num_anomalies()
             ))
         }
-        Command::Detect { input, epochs, seed, real_preset, scores, save_model } => {
+        Command::Detect {
+            input,
+            epochs,
+            seed,
+            real_preset,
+            scores,
+            save_model,
+        } => {
             let graph = load_graph(&input).map_err(|e| e.to_string())?;
-            let mut cfg =
-                if real_preset { UmgadConfig::paper_real() } else { UmgadConfig::paper_injected() };
+            let mut cfg = if real_preset {
+                UmgadConfig::paper_real()
+            } else {
+                UmgadConfig::paper_injected()
+            };
             cfg.epochs = epochs;
             cfg.seed = seed;
             let mut model = Umgad::new(&graph, cfg);
@@ -265,23 +290,44 @@ pub fn run(cmd: Command) -> Result<String, String> {
             let s = model.anomaly_scores(&graph);
             finish_scores(&graph, &s, scores).map(|out| extra + &out)
         }
-        Command::Score { input, model, scores } => {
+        Command::Score {
+            input,
+            model,
+            scores,
+        } => {
             let graph = load_graph(&input).map_err(|e| e.to_string())?;
             let model = Umgad::load(&model, &graph)?;
             let s = model.anomaly_scores(&graph);
             finish_scores(&graph, &s, scores)
         }
-        Command::Baseline { input, method, epochs, seed, scores } => {
+        Command::Baseline {
+            input,
+            method,
+            epochs,
+            seed,
+            scores,
+        } => {
             let graph = load_graph(&input).map_err(|e| e.to_string())?;
-            let cfg = BaselineConfig { epochs, seed, ..BaselineConfig::default() };
+            let cfg = BaselineConfig {
+                epochs,
+                seed,
+                ..BaselineConfig::default()
+            };
             let mut det = baseline_by_name(&method, cfg)
                 .ok_or_else(|| format!("unknown method {method}; try `umgad methods`"))?;
             let s = det.fit_scores(&graph);
             finish_scores(&graph, &s, scores)
         }
-        Command::Import { attrs, relations, labels, out } => {
-            let rels: Vec<(&str, &std::path::Path)> =
-                relations.iter().map(|(n, p)| (n.as_str(), p.as_path())).collect();
+        Command::Import {
+            attrs,
+            relations,
+            labels,
+            out,
+        } => {
+            let rels: Vec<(&str, &std::path::Path)> = relations
+                .iter()
+                .map(|(n, p)| (n.as_str(), p.as_path()))
+                .collect();
             let graph = umgad_data::import_graph(&attrs, &rels, labels.as_deref())
                 .map_err(|e| e.to_string())?;
             save_graph(&graph, &out).map_err(|e| e.to_string())?;
@@ -341,7 +387,10 @@ fn finish_scores(
         let auc = roc_auc(s, labels);
         let d = select_threshold(s);
         let f1 = umgad_core::macro_f1_at(s, labels, d.threshold);
-        let _ = writeln!(summary, "# AUC {auc:.4}  Macro-F1 {f1:.4} (labels present in input)");
+        let _ = writeln!(
+            summary,
+            "# AUC {auc:.4}  Macro-F1 {f1:.4} (labels present in input)"
+        );
     }
     match path {
         Some(p) => {
@@ -364,7 +413,15 @@ mod tests {
     #[test]
     fn parse_generate() {
         let cmd = parse(&s(&[
-            "generate", "--dataset", "retail", "--scale", "0.02", "--seed", "3", "--out", "g.json",
+            "generate",
+            "--dataset",
+            "retail",
+            "--scale",
+            "0.02",
+            "--seed",
+            "3",
+            "--out",
+            "g.json",
         ]))
         .unwrap();
         assert_eq!(
@@ -382,7 +439,12 @@ mod tests {
     fn parse_detect_with_real_flag() {
         let cmd = parse(&s(&["detect", "--input", "g.json", "--real"])).unwrap();
         match cmd {
-            Command::Detect { real_preset, epochs, save_model, .. } => {
+            Command::Detect {
+                real_preset,
+                epochs,
+                save_model,
+                ..
+            } => {
                 assert!(real_preset);
                 assert_eq!(epochs, 20);
                 assert!(save_model.is_none());
@@ -439,9 +501,12 @@ mod tests {
         std::fs::write(&edges, "0 1\n1 2\n").unwrap();
         let cmd = parse(&s(&[
             "import",
-            "--attrs", attrs.to_str().unwrap(),
-            "--relation", &format!("follows={}", edges.display()),
-            "--out", out.to_str().unwrap(),
+            "--attrs",
+            attrs.to_str().unwrap(),
+            "--relation",
+            &format!("follows={}", edges.display()),
+            "--out",
+            out.to_str().unwrap(),
         ]))
         .unwrap();
         let msg = run(cmd).unwrap();
@@ -488,11 +553,22 @@ mod tests {
             scores: None,
         })
         .unwrap();
-        let body = out.lines().skip_while(|l| l.starts_with('#')).collect::<Vec<_>>().join("\n");
-        assert_eq!(body.trim(), csv_trained.trim(), "checkpointed scores must match");
+        let body = out
+            .lines()
+            .skip_while(|l| l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(
+            body.trim(),
+            csv_trained.trim(),
+            "checkpointed scores must match"
+        );
         std::fs::remove_file(&model_path).ok();
 
-        let out = run(Command::Threshold { scores: scores_path.clone() }).unwrap();
+        let out = run(Command::Threshold {
+            scores: scores_path.clone(),
+        })
+        .unwrap();
         assert!(out.contains("threshold"));
         assert!(out.contains("flagged"));
 

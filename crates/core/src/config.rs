@@ -116,12 +116,48 @@ impl Ablation {
     pub fn variants() -> Vec<(&'static str, Ablation)> {
         let full = Ablation::default();
         vec![
-            ("w/o M", Ablation { masking: false, ..full }),
-            ("w/o O", Ablation { original_view: false, ..full }),
-            ("w/o A", Ablation { augmented_views: false, ..full }),
-            ("w/o NA", Ablation { attr_augmentation: false, ..full }),
-            ("w/o SA", Ablation { subgraph_augmentation: false, ..full }),
-            ("w/o DCL", Ablation { contrastive: false, ..full }),
+            (
+                "w/o M",
+                Ablation {
+                    masking: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o O",
+                Ablation {
+                    original_view: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o A",
+                Ablation {
+                    augmented_views: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o NA",
+                Ablation {
+                    attr_augmentation: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o SA",
+                Ablation {
+                    subgraph_augmentation: false,
+                    ..full
+                },
+            ),
+            (
+                "w/o DCL",
+                Ablation {
+                    contrastive: false,
+                    ..full
+                },
+            ),
         ]
     }
 
@@ -276,10 +312,16 @@ mod tests {
 
     #[test]
     fn aug_switches_compose() {
-        let ab = Ablation { augmented_views: false, ..Ablation::default() };
+        let ab = Ablation {
+            augmented_views: false,
+            ..Ablation::default()
+        };
         assert!(!ab.attr_aug_active());
         assert!(!ab.subgraph_aug_active());
-        let ab2 = Ablation { attr_augmentation: false, ..Ablation::default() };
+        let ab2 = Ablation {
+            attr_augmentation: false,
+            ..Ablation::default()
+        };
         assert!(!ab2.attr_aug_active());
         assert!(ab2.subgraph_aug_active());
     }

@@ -11,7 +11,11 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     }
     // Rank scores ascending; ties get the average rank.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("scores must not be NaN")
+    });
     let mut rank_sum_pos = 0.0;
     let mut i = 0;
     while i < order.len() {
@@ -134,7 +138,11 @@ pub fn average_precision(scores: &[f64], labels: &[bool]) -> f64 {
         return pos as f64 / labels.len().max(1) as f64;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must not be NaN")
+    });
     let mut tp = 0usize;
     let mut ap = 0.0;
     for (rank, &i) in order.iter().enumerate() {
@@ -151,7 +159,11 @@ pub fn precision_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
     assert_eq!(scores.len(), labels.len());
     let k = k.clamp(1, scores.len());
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must not be NaN")
+    });
     let hits = order[..k].iter().filter(|&&i| labels[i]).count();
     hits as f64 / k as f64
 }
@@ -166,7 +178,11 @@ pub fn recall_at_k(scores: &[f64], labels: &[bool], k: usize) -> f64 {
     }
     let k = k.clamp(1, scores.len());
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("scores must not be NaN"));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("scores must not be NaN")
+    });
     let hits = order[..k].iter().filter(|&&i| labels[i]).count();
     hits as f64 / pos as f64
 }
@@ -193,7 +209,9 @@ mod tests {
     fn auc_random_is_half() {
         // All scores tied: AUC must be exactly 0.5 by the tie correction.
         let scores = [0.5; 10];
-        let labels = [true, false, true, false, true, false, true, false, true, false];
+        let labels = [
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
     }
 
@@ -216,7 +234,15 @@ mod tests {
         let pred = [true, true, false, false, true];
         let labels = [true, false, false, true, true];
         let c = Confusion::tally(&pred, &labels);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert!((c.f1_pos() - 2.0 * 2.0 / 6.0).abs() < 1e-12);
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);

@@ -18,13 +18,13 @@
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use umgad_graph::{
     contrast_indices, induced_edge_indices, negative_endpoints, rwr_mask_sets, sample_indices,
     swap_partners, MultiplexGraph, RelationLayer,
 };
 use umgad_nn::{BoundGmae, Gmae, GmaeConfig, RelationWeights};
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::SeedableRng;
 use umgad_tensor::{Adam, Matrix, SpPair, Tape, Var};
 
 use crate::config::UmgadConfig;
@@ -113,7 +113,10 @@ impl Umgad {
             act: cfg.act,
             with_token: true,
         };
-        let no_token = GmaeConfig { with_token: false, ..gmae_cfg };
+        let no_token = GmaeConfig {
+            with_token: false,
+            ..gmae_cfg
+        };
         let units = if cfg.share_repeats { r } else { r * k };
         let make = |cfg: &GmaeConfig, rng: &mut SmallRng| -> Vec<Gmae> {
             (0..units).map(|_| Gmae::new(cfg, rng)).collect()
@@ -127,7 +130,11 @@ impl Umgad {
             a_weights: RelationWeights::new(r, &mut rng),
             b_weights: RelationWeights::new(r, &mut rng),
             union_layer: graph.union_layer(),
-            opt: Adam { lr: cfg.lr, weight_decay: cfg.weight_decay, ..Adam::default() },
+            opt: Adam {
+                lr: cfg.lr,
+                weight_decay: cfg.weight_decay,
+                ..Adam::default()
+            },
             rng,
             history: Vec::new(),
             cfg,
@@ -152,12 +159,20 @@ impl Umgad {
     /// Borrow the four unit families `(orig_attr, orig_struct, aug_attr,
     /// sub)` — used by checkpointing.
     pub fn unit_slices(&self) -> (&[Gmae], &[Gmae], &[Gmae], &[Gmae]) {
-        (&self.orig_attr, &self.orig_struct, &self.aug_attr, &self.sub)
+        (
+            &self.orig_attr,
+            &self.orig_struct,
+            &self.aug_attr,
+            &self.sub,
+        )
     }
 
     /// Raw relation-weight logits `(a, b)` — used by checkpointing.
     pub fn relation_weight_logits(&self) -> (Matrix, Matrix) {
-        (self.a_weights.logits.value.clone(), self.b_weights.logits.value.clone())
+        (
+            self.a_weights.logits.value.clone(),
+            self.b_weights.logits.value.clone(),
+        )
     }
 
     /// Replace all learned state (checkpoint restore). Unit counts and
@@ -268,7 +283,11 @@ impl Umgad {
         } else {
             x_const
         };
-        let pairs: Vec<SpPair> = graph.layers().iter().map(RelationLayer::norm_pair).collect();
+        let pairs: Vec<SpPair> = graph
+            .layers()
+            .iter()
+            .map(RelationLayer::norm_pair)
+            .collect();
         let aw = self.a_weights.bind(&mut tape);
         let bw = self.b_weights.bind(&mut tape);
 
@@ -314,7 +333,9 @@ impl Umgad {
                                 )
                                 .recon
                         } else {
-                            module.forward(&mut tape, &b_orig_attr[u], &pairs[r], x_in).recon
+                            module
+                                .forward(&mut tape, &b_orig_attr[u], &pairs[r], x_in)
+                                .recon
                         }
                     })
                     .collect();
@@ -369,8 +390,7 @@ impl Umgad {
                     }
                     let q = self.cfg.edge_negatives;
                     let negs = Rc::new(negative_endpoints(layer, &pos, q, &mut self.rng));
-                    let out =
-                        self.orig_struct[u].forward(&mut tape, &b_orig_struct[u], &adj, x_in);
+                    let out = self.orig_struct[u].forward(&mut tape, &b_orig_struct[u], &adj, x_in);
                     let z = tape.row_normalize(out.recon);
                     let lrk = tape.edge_nce_loss(z, Rc::new(pos), negs, q);
                     l_r = Some(match l_r {
@@ -478,8 +498,10 @@ impl Umgad {
                     };
                     recons.push(out.recon);
                     if !masked_edges.is_empty() {
-                        let pos: Vec<(usize, usize)> =
-                            masked_edges.iter().map(|&(a, b)| (a as usize, b as usize)).collect();
+                        let pos: Vec<(usize, usize)> = masked_edges
+                            .iter()
+                            .map(|&(a, b)| (a as usize, b as usize))
+                            .collect();
                         let q = self.cfg.edge_negatives;
                         let negs = Rc::new(negative_endpoints(layer, &pos, q, &mut self.rng));
                         let z = tape.row_normalize(out.recon);
@@ -492,8 +514,7 @@ impl Umgad {
                 }
                 let fused = self.a_weights.fuse(&mut tape, &aw, &recons);
                 fused_sa.push(fused);
-                let lk =
-                    tape.scaled_cosine_loss(fused, Rc::clone(&x_rc), nodes_rc, self.cfg.eta);
+                let lk = tape.scaled_cosine_loss(fused, Rc::clone(&x_rc), nodes_rc, self.cfg.eta);
                 l_sa = Some(match l_sa {
                     Some(acc) => tape.add(acc, lk),
                     None => lk,
@@ -515,7 +536,9 @@ impl Umgad {
         }
 
         // ---- (3) dual-view contrastive learning (Eq. 17) ----------------
-        if ab.contrastive && !fused_orig.is_empty() && (!fused_aa.is_empty() || !fused_sa.is_empty())
+        if ab.contrastive
+            && !fused_orig.is_empty()
+            && (!fused_aa.is_empty() || !fused_sa.is_empty())
         {
             let mean_of = |vars: &[Var], tape: &mut Tape| -> Var {
                 let mut acc = vars[0];
@@ -549,7 +572,10 @@ impl Umgad {
         }
 
         // ---- (4) combine, backprop, update ------------------------------
-        assert!(!loss_terms.is_empty(), "no active loss terms — check ablation flags");
+        assert!(
+            !loss_terms.is_empty(),
+            "no active loss terms — check ablation flags"
+        );
         let mut total = loss_terms[0];
         for &t in &loss_terms[1..] {
             total = tape.add(total, t);
@@ -589,7 +615,11 @@ impl Umgad {
         // The `w/o M` ablation trains a plain GAE — no masking was ever
         // seen, so the held-out readout is ill-defined for it and the
         // variant scores through plain reconstruction instead.
-        let batches = if self.cfg.ablation.masking { self.cfg.score_mask_batches } else { 0 };
+        let batches = if self.cfg.ablation.masking {
+            self.cfg.score_mask_batches
+        } else {
+            0
+        };
         let (Some(token), true) = (&unit.token, batches > 0) else {
             return unit.infer(norm, x).1;
         };
@@ -609,7 +639,12 @@ impl Umgad {
     }
 
     /// Reconstructions for one view family at inference time.
-    fn view_recon(&self, graph: &MultiplexGraph, attr_units: &[Gmae], struct_units: &[Gmae]) -> ViewRecon {
+    fn view_recon(
+        &self,
+        graph: &MultiplexGraph,
+        attr_units: &[Gmae],
+        struct_units: &[Gmae],
+    ) -> ViewRecon {
         let x = graph.attrs();
         let kk = self.cfg.repeats;
         let a = self.a_weights.current();
@@ -621,8 +656,9 @@ impl Umgad {
         // anomaly types (context-unpredictable vs manifold-distant) and the
         // scorer averages their standardised errors. Units are independent
         // pure inference — fan them out across worker threads.
-        let jobs: Vec<(usize, usize)> =
-            (0..self.relations).flat_map(|r| (0..kk).map(move |k| (r, k))).collect();
+        let jobs: Vec<(usize, usize)> = (0..self.relations)
+            .flat_map(|r| (0..kk).map(move |k| (r, k)))
+            .collect();
         let recons = umgad_tensor::parallel_map(jobs, umgad_tensor::default_threads(), |(r, k)| {
             let unit = &attr_units[self.unit(r, k)];
             let masked = self.masked_unit_recon(graph, unit, r);
@@ -636,7 +672,11 @@ impl Umgad {
             fused.add_scaled(&masked, a[r] / kk as f64);
             fused_plain.add_scaled(&plain, a[r] / kk as f64);
         }
-        let attr_readouts = if use_masked { vec![fused, fused_plain] } else { vec![fused_plain] };
+        let attr_readouts = if use_masked {
+            vec![fused, fused_plain]
+        } else {
+            vec![fused_plain]
+        };
 
         // Per-relation structure embeddings: mean_k recon of the structure
         // units, row-normalised (matching the training-time g(v,u)).
@@ -658,7 +698,10 @@ impl Umgad {
             }
             structure.push(mean);
         }
-        ViewRecon { attrs: attr_readouts, structure }
+        ViewRecon {
+            attrs: attr_readouts,
+            structure,
+        }
     }
 
     /// Expose the per-view reconstructions for diagnostics and custom
@@ -667,10 +710,16 @@ impl Umgad {
         let mut out = Vec::new();
         let ab = self.cfg.ablation;
         if ab.original_view {
-            out.push(("O", self.view_recon(graph, &self.orig_attr, &self.orig_struct)));
+            out.push((
+                "O",
+                self.view_recon(graph, &self.orig_attr, &self.orig_struct),
+            ));
         }
         if ab.attr_aug_active() {
-            out.push(("A_Aug", self.view_recon(graph, &self.aug_attr, &self.orig_struct)));
+            out.push((
+                "A_Aug",
+                self.view_recon(graph, &self.aug_attr, &self.orig_struct),
+            ));
         }
         if ab.subgraph_aug_active() {
             out.push(("S_Aug", self.view_recon(graph, &self.sub, &self.sub)));
@@ -754,7 +803,9 @@ impl Umgad {
     /// Full pipeline on a labelled graph: score, select the unsupervised
     /// threshold, and evaluate.
     pub fn detect(&self, graph: &MultiplexGraph) -> Detection {
-        let labels = graph.labels().expect("detect() needs ground-truth labels to evaluate");
+        let labels = graph
+            .labels()
+            .expect("detect() needs ground-truth labels to evaluate");
         let scores = self.anomaly_scores(graph);
         let decision = select_threshold(&scores);
         let auc = roc_auc(&scores, labels);
@@ -764,7 +815,15 @@ impl Umgad {
         let pred: Vec<bool> = scores.iter().map(|&s| s >= decision.threshold).collect();
         let flagged = pred.iter().filter(|&&b| b).count();
         let confusion = Confusion::tally(&pred, labels);
-        Detection { scores, decision, auc, macro_f1, macro_f1_oracle, flagged, confusion }
+        Detection {
+            scores,
+            decision,
+            auc,
+            macro_f1,
+            macro_f1_oracle,
+            flagged,
+            confusion,
+        }
     }
 
     /// Train and detect in one call.
@@ -779,8 +838,8 @@ impl Umgad {
 mod tests {
     use super::*;
     use crate::config::Ablation;
-    use rand::Rng;
     use umgad_graph::RelationLayer;
+    use umgad_rt::rand::Rng;
 
     /// A small two-relation graph with planted attribute + clique anomalies
     /// that UMGAD should separate comfortably.
@@ -793,7 +852,11 @@ mod tests {
         for i in 0..n {
             for j in 0..f {
                 let base = if comm(i) == j % 4 { 1.5 } else { 0.0 };
-                attrs.set(i, j, base + 0.3 * umgad_tensor::init::normal_scalar(&mut rng));
+                attrs.set(
+                    i,
+                    j,
+                    base + 0.3 * umgad_tensor::init::normal_scalar(&mut rng),
+                );
             }
         }
         let mut edges1 = Vec::new();
@@ -825,13 +888,20 @@ mod tests {
         for &i in &[20usize, 65, 100, 140, 30, 75] {
             labels[i] = true;
             for j in 0..f {
-                let foreign = if (comm(i) + 2) % 4 == j % 4 { 2.5 } else { -0.5 };
+                let foreign = if (comm(i) + 2) % 4 == j % 4 {
+                    2.5
+                } else {
+                    -0.5
+                };
                 attrs.set(i, j, foreign);
             }
         }
         MultiplexGraph::new(
             attrs,
-            vec![RelationLayer::new("a", n, edges1), RelationLayer::new("b", n, edges2)],
+            vec![
+                RelationLayer::new("a", n, edges1),
+                RelationLayer::new("b", n, edges2),
+            ],
             Some(labels),
         )
     }
@@ -852,7 +922,11 @@ mod tests {
     fn detects_planted_anomalies_better_than_random() {
         let g = planted_graph(2);
         let det = Umgad::fit_detect(&g, UmgadConfig::fast_test());
-        assert!(det.auc > 0.7, "AUC should beat random comfortably: {}", det.auc);
+        assert!(
+            det.auc > 0.7,
+            "AUC should beat random comfortably: {}",
+            det.auc
+        );
         assert!(det.macro_f1 > 0.5, "macro-F1: {}", det.macro_f1);
     }
 
@@ -876,7 +950,10 @@ mod tests {
             let mut cfg = UmgadConfig::fast_test().with_ablation(ab);
             cfg.epochs = 3;
             let det = Umgad::fit_detect(&g, cfg);
-            assert!(det.scores.iter().all(|s| s.is_finite()), "{name} produced non-finite scores");
+            assert!(
+                det.scores.iter().all(|s| s.is_finite()),
+                "{name} produced non-finite scores"
+            );
         }
     }
 
@@ -910,10 +987,14 @@ mod tests {
         model.train(&g);
         let ex = model.explain(&g, 0);
         assert_eq!(ex.len(), 3, "O, A_Aug, S_Aug");
-        assert!(ex.iter().all(|e| e.attribute_z.is_finite() && e.structure_z.is_finite()));
+        assert!(ex
+            .iter()
+            .all(|e| e.attribute_z.is_finite() && e.structure_z.is_finite()));
         // Node 0 is a clique anomaly: its structure z-score in the original
         // view should sit above average (0) in at least one view.
-        assert!(ex.iter().any(|e| e.structure_z > 0.0 || e.attribute_z > 0.0));
+        assert!(ex
+            .iter()
+            .any(|e| e.structure_z > 0.0 || e.attribute_z > 0.0));
     }
 
     #[test]
@@ -942,7 +1023,10 @@ mod tests {
         assert!(det.auc > 0.6, "shared-repeat variant AUC {}", det.auc);
         let first = model.history.first().unwrap().total;
         let last = model.history.last().unwrap().total;
-        assert!(last < first, "shared-repeat loss should decrease: {first} -> {last}");
+        assert!(
+            last < first,
+            "shared-repeat loss should decrease: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! the config, so a restored model scores identically but further training
 //! re-draws masks from the seed.
 
-use serde::{Deserialize, Serialize};
 use umgad_graph::MultiplexGraph;
 use umgad_nn::{Activation, Gmae};
 use umgad_tensor::{Matrix, Param};
@@ -16,7 +15,7 @@ use crate::config::{Ablation, UmgadConfig};
 use crate::model::Umgad;
 
 /// Serialisable matrix.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MatrixData {
     /// Row count.
     pub rows: usize,
@@ -26,9 +25,15 @@ pub struct MatrixData {
     pub data: Vec<f64>,
 }
 
+umgad_rt::json_object!(MatrixData { rows, cols, data });
+
 impl From<&Matrix> for MatrixData {
     fn from(m: &Matrix) -> Self {
-        Self { rows: m.rows(), cols: m.cols(), data: m.data().to_vec() }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.data().to_vec(),
+        }
     }
 }
 
@@ -40,7 +45,7 @@ impl From<MatrixData> for Matrix {
 
 /// Serialisable GMAE unit (weights only; optimiser moments reset on load —
 /// matching the usual fine-tuning convention).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GmaeData {
     /// Encoder weight.
     pub enc_w: MatrixData,
@@ -59,6 +64,17 @@ pub struct GmaeData {
     /// Hidden activation tag.
     pub act: String,
 }
+
+umgad_rt::json_object!(GmaeData {
+    enc_w,
+    enc_b,
+    enc_hops,
+    dec_w,
+    dec_b,
+    dec_hops,
+    token,
+    act
+});
 
 fn act_tag(a: Activation) -> String {
     match a {
@@ -119,8 +135,8 @@ impl GmaeData {
 }
 
 /// Serialisable UMGAD configuration (mirrors [`UmgadConfig`]; kept separate
-/// so the runtime struct stays serde-free).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// so the runtime struct stays serialisation-free).
+#[derive(Clone, Debug)]
 #[allow(missing_docs)]
 pub struct ConfigData {
     pub hidden: usize,
@@ -154,6 +170,39 @@ pub struct ConfigData {
     pub seed: u64,
     pub ablation: [bool; 6],
 }
+
+umgad_rt::json_object!(ConfigData {
+    hidden,
+    enc_hops,
+    dec_hops,
+    repeats,
+    share_repeats,
+    mask_ratio,
+    eta,
+    alpha,
+    beta,
+    lambda,
+    mu,
+    theta,
+    epsilon,
+    subgraph_size,
+    subgraph_patches,
+    restart_p,
+    edge_negatives,
+    max_masked_edges,
+    contrast_negatives,
+    tau,
+    epochs,
+    lr,
+    weight_decay,
+    dropout,
+    act,
+    dense_score_limit,
+    score_negatives,
+    score_mask_batches,
+    seed,
+    ablation
+});
 
 impl From<&UmgadConfig> for ConfigData {
     fn from(c: &UmgadConfig) -> Self {
@@ -245,7 +294,7 @@ impl ConfigData {
 }
 
 /// Complete checkpoint of a trained detector.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -267,6 +316,18 @@ pub struct Checkpoint {
     pub relations: usize,
 }
 
+umgad_rt::json_object!(Checkpoint {
+    version,
+    config,
+    orig_attr,
+    orig_struct,
+    aug_attr,
+    sub,
+    a_logits,
+    b_logits,
+    relations
+});
+
 impl Umgad {
     /// Capture the learned state as a checkpoint.
     pub fn checkpoint(&self) -> Checkpoint {
@@ -287,7 +348,7 @@ impl Umgad {
 
     /// Save the checkpoint as JSON.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let json = serde_json::to_string(&self.checkpoint()).map_err(std::io::Error::other)?;
+        let json = umgad_rt::json::to_string(&self.checkpoint()).map_err(std::io::Error::other)?;
         std::fs::write(path, json)
     }
 
@@ -323,7 +384,7 @@ impl Umgad {
     /// Load a checkpoint from a JSON file.
     pub fn load(path: &std::path::Path, graph: &MultiplexGraph) -> Result<Umgad, String> {
         let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        let ckpt: Checkpoint = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+        let ckpt: Checkpoint = umgad_rt::json::from_str(&json).map_err(|e| e.to_string())?;
         Umgad::from_checkpoint(ckpt, graph)
     }
 }
@@ -341,7 +402,10 @@ mod tests {
         let labels = (0..n).map(|i| i % 13 == 0).collect();
         MultiplexGraph::new(
             attrs,
-            vec![RelationLayer::new("a", n, e1), RelationLayer::new("b", n, e2)],
+            vec![
+                RelationLayer::new("a", n, e1),
+                RelationLayer::new("b", n, e2),
+            ],
             Some(labels),
         )
     }

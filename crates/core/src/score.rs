@@ -21,9 +21,9 @@
 //!   z-standardised across nodes before mixing. This makes `ε` a true
 //!   balance knob; the raw-mix variant is available for ablation.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use umgad_graph::MultiplexGraph;
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::{Rng, SeedableRng};
 use umgad_tensor::{dot, l1_distance, sigmoid, Matrix};
 
 /// Reconstructions produced by one view.
@@ -41,7 +41,10 @@ pub struct ViewRecon {
 impl ViewRecon {
     /// Convenience constructor for a single attribute readout.
     pub fn single(attrs: Matrix, structure: Vec<Matrix>) -> Self {
-        Self { attrs: vec![attrs], structure }
+        Self {
+            attrs: vec![attrs],
+            structure,
+        }
     }
 }
 
@@ -86,7 +89,9 @@ impl Default for ScoreOptions {
 /// Per-node attribute error `‖x̃(i) − x(i)‖₁`.
 pub fn attribute_errors(recon: &Matrix, original: &Matrix) -> Vec<f64> {
     assert_eq!(recon.shape(), original.shape());
-    (0..recon.rows()).map(|i| l1_distance(recon.row(i), original.row(i))).collect()
+    (0..recon.rows())
+        .map(|i| l1_distance(recon.row(i), original.row(i)))
+        .collect()
 }
 
 /// Per-node angular attribute error `1 − cos(x̃(i), x(i))` — scale-free, and
@@ -265,17 +270,16 @@ pub fn standardize(v: &mut [f64]) {
 }
 
 /// Score one view (Eq. 19 for a fixed `*`).
-pub fn view_scores(
-    view: &ViewRecon,
-    graph: &MultiplexGraph,
-    opts: &ScoreOptions,
-) -> Vec<f64> {
+pub fn view_scores(view: &ViewRecon, graph: &MultiplexGraph, opts: &ScoreOptions) -> Vec<f64> {
     let n = graph.num_nodes();
     // Attribute term: blend of the magnitude-sensitive L1 error (Eq. 19's
     // ‖·‖₁) and the angular error matching the Eq. 4 training objective;
     // each is z-standardised so the blend is scale-free, then averaged over
     // the view's readouts (held-out and plain reconstruction).
-    assert!(!view.attrs.is_empty(), "a view needs at least one attribute readout");
+    assert!(
+        !view.attrs.is_empty(),
+        "a view needs at least one attribute readout"
+    );
     let mut attr = vec![0.0; n];
     for readout in &view.attrs {
         let mut l1 = attribute_errors(readout, graph.attrs());
@@ -304,7 +308,9 @@ pub fn view_scores(
     } else {
         // Blend with uniform so a single separable relation cannot silence
         // the others entirely.
-        rel_w.iter_mut().for_each(|w| *w = 0.5 * *w / total_w + 0.5 * uniform);
+        rel_w
+            .iter_mut()
+            .for_each(|w| *w = 0.5 * *w / total_w + 0.5 * uniform);
     }
     for (rel, z) in view.structure.iter().enumerate() {
         let mut errs = structure_errors(z, graph, rel, opts);
@@ -322,7 +328,10 @@ pub fn view_scores(
         standardize(&mut attr);
         standardize(&mut structure);
     }
-    attr.iter().zip(&structure).map(|(a, s)| opts.epsilon * a + (1.0 - opts.epsilon) * s).collect()
+    attr.iter()
+        .zip(&structure)
+        .map(|(a, s)| opts.epsilon * a + (1.0 - opts.epsilon) * s)
+        .collect()
 }
 
 /// Final anomaly score: arithmetic mean over the per-view scores.
@@ -410,11 +419,18 @@ mod tests {
     fn view_scores_shape_and_mix() {
         let g = graph(10);
         let view = ViewRecon::single((**g.attrs()).clone(), vec![Matrix::zeros(10, 3)]);
-        let opts = ScoreOptions { standardize: false, ..ScoreOptions::default() };
+        let opts = ScoreOptions {
+            standardize: false,
+            ..ScoreOptions::default()
+        };
         let s = view_scores(&view, &g, &opts);
         assert_eq!(s.len(), 10);
         // Perfect attrs: the score reduces to the structure half.
-        let zero_eps = ScoreOptions { epsilon: 1.0, standardize: false, ..ScoreOptions::default() };
+        let zero_eps = ScoreOptions {
+            epsilon: 1.0,
+            standardize: false,
+            ..ScoreOptions::default()
+        };
         let s2 = view_scores(&view, &g, &zero_eps);
         assert!(s2.iter().all(|&v| v.abs() < 1e-9), "{s2:?}");
     }

@@ -100,7 +100,12 @@ pub fn select_threshold_with_window(scores: &[f64], w: usize) -> ThresholdDecisi
         }
     }
     let threshold = smoothed[best_idx];
-    ThresholdDecision { threshold, inflection: best_idx, window: w, smoothed }
+    ThresholdDecision {
+        threshold,
+        inflection: best_idx,
+        window: w,
+        smoothed,
+    }
 }
 
 /// Fraction of the maximum `|Δ₂|` an index must reach to enter the paper's
@@ -125,7 +130,9 @@ mod tests {
         }
         for i in 0..n - k {
             // Slowly decaying tail with tiny deterministic jitter.
-            scores.push(1.0 - 0.5 * (i as f64 / (n - k) as f64) + 0.01 * ((i * 7 % 13) as f64 / 13.0));
+            scores.push(
+                1.0 - 0.5 * (i as f64 / (n - k) as f64) + 0.01 * ((i * 7 % 13) as f64 / 13.0),
+            );
         }
         (scores, k)
     }
@@ -160,7 +167,10 @@ mod tests {
             "inflection {} vs true {k}",
             d.inflection
         );
-        let flagged = apply_threshold(&scores, d.threshold).iter().filter(|&&b| b).count();
+        let flagged = apply_threshold(&scores, d.threshold)
+            .iter()
+            .filter(|&&b| b)
+            .count();
         assert!(
             flagged >= k / 3 && flagged <= 3 * k,
             "flagged {flagged} should be within 3x of true {k}"
@@ -183,7 +193,10 @@ mod tests {
     fn flagged_count_matches_inflection_roughly() {
         let (scores, k) = planted_knee(5_000, 100);
         let d = select_threshold(&scores);
-        let flagged = apply_threshold(&scores, d.threshold).iter().filter(|&&b| b).count();
+        let flagged = apply_threshold(&scores, d.threshold)
+            .iter()
+            .filter(|&&b| b)
+            .count();
         // Within smoothing slack of the inflection index.
         assert!((flagged as i64 - d.inflection as i64).unsigned_abs() as usize <= d.window + k);
     }

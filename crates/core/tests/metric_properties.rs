@@ -1,16 +1,16 @@
 //! Property-based tests for the evaluation metrics and the unsupervised
 //! threshold strategy: the invariances anomaly detection depends on.
 
-use proptest::prelude::*;
 use umgad_core::{
     apply_threshold, macro_f1_at, moving_average, oracle_threshold, roc_auc, select_threshold,
     select_threshold_with_window, Confusion,
 };
+use umgad_rt::proptest::prelude::*;
 
 fn scores_and_labels(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
     (
-        proptest::collection::vec(-10.0f64..10.0, n),
-        proptest::collection::vec(proptest::bool::weighted(0.2), n),
+        umgad_rt::proptest::collection::vec(-10.0f64..10.0, n),
+        umgad_rt::proptest::collection::vec(umgad_rt::proptest::bool::weighted(0.2), n),
     )
 }
 
@@ -53,7 +53,7 @@ proptest! {
     }
 
     #[test]
-    fn oracle_threshold_flags_exactly_k_modulo_ties(s in proptest::collection::vec(-5.0f64..5.0, 10..60), k in 1usize..8) {
+    fn oracle_threshold_flags_exactly_k_modulo_ties(s in umgad_rt::proptest::collection::vec(-5.0f64..5.0, 10..60), k in 1usize..8) {
         prop_assume!(k <= s.len());
         let t = oracle_threshold(&s, k);
         let flagged = s.iter().filter(|&&v| v >= t).count();
@@ -62,7 +62,7 @@ proptest! {
     }
 
     #[test]
-    fn confusion_counts_partition(s in proptest::collection::vec(-1.0f64..1.0, 30)) {
+    fn confusion_counts_partition(s in umgad_rt::proptest::collection::vec(-1.0f64..1.0, 30)) {
         let labels: Vec<bool> = s.iter().map(|v| *v > 0.3).collect();
         let pred: Vec<bool> = s.iter().map(|v| *v > 0.0).collect();
         let c = Confusion::tally(&pred, &labels);
@@ -81,7 +81,7 @@ proptest! {
     }
 
     #[test]
-    fn moving_average_preserves_mean(s in proptest::collection::vec(-3.0f64..3.0, 12..60), w in 1usize..6) {
+    fn moving_average_preserves_mean(s in umgad_rt::proptest::collection::vec(-3.0f64..3.0, 12..60), w in 1usize..6) {
         prop_assume!(w <= s.len());
         let m = moving_average(&s, w);
         prop_assert_eq!(m.len(), s.len() - w + 1);
@@ -94,7 +94,7 @@ proptest! {
     }
 
     #[test]
-    fn threshold_invariant_to_input_order(s in proptest::collection::vec(0.0f64..10.0, 20..80), rot in 1usize..19) {
+    fn threshold_invariant_to_input_order(s in umgad_rt::proptest::collection::vec(0.0f64..10.0, 20..80), rot in 1usize..19) {
         let d1 = select_threshold(&s);
         let mut rotated = s.clone();
         rotated.rotate_left(rot % s.len());
@@ -104,7 +104,7 @@ proptest! {
     }
 
     #[test]
-    fn threshold_equivariant_to_affine_shift(s in proptest::collection::vec(0.0f64..10.0, 20..80), shift in -5.0f64..5.0) {
+    fn threshold_equivariant_to_affine_shift(s in umgad_rt::proptest::collection::vec(0.0f64..10.0, 20..80), shift in -5.0f64..5.0) {
         // Adding a constant to every score shifts the threshold by the
         // constant and keeps the flagged set identical.
         let d1 = select_threshold(&s);
@@ -117,7 +117,7 @@ proptest! {
     }
 
     #[test]
-    fn threshold_flags_nonempty_minority(s in proptest::collection::vec(0.0f64..1.0, 30..200)) {
+    fn threshold_flags_nonempty_minority(s in umgad_rt::proptest::collection::vec(0.0f64..1.0, 30..200)) {
         // Degenerate inputs must still produce a usable threshold.
         let d = select_threshold(&s);
         let flagged = apply_threshold(&s, d.threshold).iter().filter(|&&b| b).count();
@@ -125,7 +125,7 @@ proptest! {
     }
 
     #[test]
-    fn explicit_window_matches_guideline_at_default(s in proptest::collection::vec(0.0f64..5.0, 50..120)) {
+    fn explicit_window_matches_guideline_at_default(s in umgad_rt::proptest::collection::vec(0.0f64..5.0, 50..120)) {
         let d1 = select_threshold(&s);
         let d2 = select_threshold_with_window(&s, umgad_core::default_window(s.len()));
         prop_assert_eq!(d1.threshold, d2.threshold);

@@ -1,10 +1,10 @@
 //! Model-level invariants: permutation equivariance of the anomaly scores,
 //! robustness to degenerate graphs, and ablation-flag plumbing.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use umgad_core::{roc_auc, Umgad, UmgadConfig};
 use umgad_graph::{MultiplexGraph, RelationLayer};
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::{Rng, SeedableRng};
 use umgad_tensor::Matrix;
 
 /// A small labelled two-relation graph.
@@ -40,7 +40,10 @@ fn base_graph(seed: u64) -> MultiplexGraph {
     labels[100] = true;
     MultiplexGraph::new(
         attrs,
-        vec![RelationLayer::new("a", n, e1), RelationLayer::new("b", n, e2)],
+        vec![
+            RelationLayer::new("a", n, e1),
+            RelationLayer::new("b", n, e2),
+        ],
         Some(labels),
     )
 }
@@ -108,10 +111,14 @@ fn handles_relation_with_no_edges() {
         g0.labels().map(<[bool]>::to_vec),
     );
     let mut cfg = UmgadConfig::fast_test();
-    cfg.epochs = 4;
+    cfg.epochs = 8;
     let det = Umgad::fit_detect(&g, cfg);
     assert!(det.scores.iter().all(|s| s.is_finite()));
-    assert!(det.auc > 0.5, "still detects from the informative relation: {}", det.auc);
+    assert!(
+        det.auc > 0.5,
+        "still detects from the informative relation: {}",
+        det.auc
+    );
 }
 
 #[test]
@@ -167,7 +174,10 @@ fn more_epochs_do_not_collapse() {
     let s = model.anomaly_scores(&g);
     assert!(s.iter().all(|v| v.is_finite()));
     let first = s[0];
-    assert!(s.iter().any(|&v| (v - first).abs() > 1e-9), "scores must not collapse");
+    assert!(
+        s.iter().any(|&v| (v - first).abs() > 1e-9),
+        "scores must not collapse"
+    );
     // Over-training must not destroy detection either (wide margin: this
     // is a stability check, not a quality benchmark).
     assert!(roc_auc(&s, g.labels().unwrap()) > 0.5);
@@ -188,11 +198,7 @@ fn anomaly_scores_without_labels_work() {
     // Unlabelled graph: anomaly_scores is usable even though detect()
     // (which evaluates) requires labels.
     let g0 = base_graph(19);
-    let g = MultiplexGraph::new(
-        (**g0.attrs()).clone(),
-        g0.layers().to_vec(),
-        None,
-    );
+    let g = MultiplexGraph::new((**g0.attrs()).clone(), g0.layers().to_vec(), None);
     let mut cfg = UmgadConfig::fast_test();
     cfg.epochs = 3;
     let mut model = Umgad::new(&g, cfg);

@@ -8,9 +8,9 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use umgad_graph::{MultiplexGraph, RelationLayer};
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::{Rng, SeedableRng};
 use umgad_tensor::init::normal;
 use umgad_tensor::Matrix;
 
@@ -155,7 +155,11 @@ pub fn generate_base(spec: &ScaledSpec, seed: u64) -> BaseGraph {
             if u == v {
                 continue;
             }
-            let e = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+            let e = if u < v {
+                (u as u32, v as u32)
+            } else {
+                (v as u32, u as u32)
+            };
             set.insert(e);
         }
         // Sort: HashSet iteration order is instance-dependent, and the
@@ -189,7 +193,11 @@ mod tests {
         // from the previous layer's edge list and are the ones that caught
         // a HashSet-iteration-order bug.
         for r in 0..a.graph.num_relations() {
-            assert_eq!(a.graph.layer(r).edges(), b.graph.layer(r).edges(), "relation {r}");
+            assert_eq!(
+                a.graph.layer(r).edges(),
+                b.graph.layer(r).edges(),
+                "relation {r}"
+            );
         }
         assert_eq!(a.graph.attrs().data(), b.graph.attrs().data());
         assert_eq!(a.communities, b.communities);
@@ -261,7 +269,10 @@ mod tests {
             }
         }
         assert!(ic > 0 && xc > 0);
-        assert!(intra / ic as f64 + 0.5 < inter / xc as f64, "communities should be separable");
+        assert!(
+            intra / ic as f64 + 0.5 < inter / xc as f64,
+            "communities should be separable"
+        );
     }
 
     #[test]
@@ -273,6 +284,9 @@ mod tests {
         degs.sort_unstable_by(|a, b| b.cmp(a));
         let top = degs.iter().take(g.num_nodes() / 100 + 1).sum::<usize>() as f64;
         let total = degs.iter().sum::<usize>() as f64;
-        assert!(top / total > 0.03, "top 1% should hold a disproportionate share");
+        assert!(
+            top / total > 0.03,
+            "top 1% should hold a disproportionate share"
+        );
     }
 }

@@ -40,7 +40,8 @@ fn err(file: &Path, line: usize, what: impl std::fmt::Display) -> ImportError {
 }
 
 fn split_fields(line: &str) -> impl Iterator<Item = &str> {
-    line.split(|c: char| c.is_whitespace() || c == ',').filter(|t| !t.is_empty())
+    line.split(|c: char| c.is_whitespace() || c == ',')
+        .filter(|t| !t.is_empty())
 }
 
 /// Parse an attribute table: one node per row.
@@ -141,7 +142,9 @@ pub fn import_graph(
         layers.push(RelationLayer::new(name.to_string(), n, edges));
     }
     if layers.is_empty() {
-        return Err(ImportError { message: "at least one relation file is required".into() });
+        return Err(ImportError {
+            message: "at least one relation file is required".into(),
+        });
     }
     let labels = labels.map(|p| parse_labels(p, n)).transpose()?;
     Ok(MultiplexGraph::new(x, layers, labels))

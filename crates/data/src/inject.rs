@@ -7,9 +7,9 @@
 //! `i`, `k` candidate nodes are sampled and `i`'s attributes are replaced by
 //! those of the candidate `j` maximising `‖x_i − x_j‖²`.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use umgad_graph::{sample_k, MultiplexGraph, RelationLayer};
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::{Rng, SeedableRng};
 use umgad_tensor::Matrix;
 
 /// Which relational layers receive the injected clique edges.
@@ -42,7 +42,12 @@ impl InjectionConfig {
         let m = clique_size.max(2);
         let structural = total / 2;
         let num_cliques = (structural / m).max(1);
-        Self { clique_size: m, num_cliques, candidates: 50, target: CliqueTarget::AllRelations }
+        Self {
+            clique_size: m,
+            num_cliques,
+            candidates: 50,
+            target: CliqueTarget::AllRelations,
+        }
     }
 
     /// Total number of anomalies this config injects.
@@ -79,7 +84,11 @@ pub fn inject_anomalies(graph: &MultiplexGraph, cfg: &InjectionConfig, seed: u64
     for clique in structural.chunks(m) {
         for (a, &u) in clique.iter().enumerate() {
             for &v in &clique[a + 1..] {
-                let e = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+                let e = if u < v {
+                    (u as u32, v as u32)
+                } else {
+                    (v as u32, u as u32)
+                };
                 match cfg.target {
                     CliqueTarget::AllRelations => {
                         for edges in &mut new_edges_per_layer {
@@ -127,7 +136,11 @@ pub fn inject_anomalies(graph: &MultiplexGraph, cfg: &InjectionConfig, seed: u64
         .collect();
     let graph = MultiplexGraph::new(attrs, layers, Some(labels));
 
-    Injected { graph, structural: structural.to_vec(), attribute: attribute.to_vec() }
+    Injected {
+        graph,
+        structural: structural.to_vec(),
+        attribute: attribute.to_vec(),
+    }
 }
 
 #[cfg(test)]
@@ -146,7 +159,12 @@ mod tests {
     #[test]
     fn injects_requested_counts() {
         let g = clean_graph(400);
-        let cfg = InjectionConfig { clique_size: 5, num_cliques: 4, candidates: 10, target: CliqueTarget::AllRelations };
+        let cfg = InjectionConfig {
+            clique_size: 5,
+            num_cliques: 4,
+            candidates: 10,
+            target: CliqueTarget::AllRelations,
+        };
         let out = inject_anomalies(&g, &cfg, 1);
         assert_eq!(out.structural.len(), 20);
         assert_eq!(out.attribute.len(), 20);
@@ -159,13 +177,22 @@ mod tests {
     #[test]
     fn cliques_are_fully_connected() {
         let g = clean_graph(300);
-        let cfg = InjectionConfig { clique_size: 6, num_cliques: 2, candidates: 10, target: CliqueTarget::AllRelations };
+        let cfg = InjectionConfig {
+            clique_size: 6,
+            num_cliques: 2,
+            candidates: 10,
+            target: CliqueTarget::AllRelations,
+        };
         let out = inject_anomalies(&g, &cfg, 2);
         for clique in out.structural.chunks(6) {
             for layer in out.graph.layers() {
                 for (a, &u) in clique.iter().enumerate() {
                     for &v in &clique[a + 1..] {
-                        assert_eq!(layer.adjacency().get(u, v), 1.0, "missing clique edge {u}-{v}");
+                        assert_eq!(
+                            layer.adjacency().get(u, v),
+                            1.0,
+                            "missing clique edge {u}-{v}"
+                        );
                     }
                 }
             }
@@ -175,7 +202,12 @@ mod tests {
     #[test]
     fn single_relation_target_leaves_others_unchanged() {
         let g = clean_graph(300);
-        let cfg = InjectionConfig { clique_size: 5, num_cliques: 2, candidates: 10, target: CliqueTarget::Relation(1) };
+        let cfg = InjectionConfig {
+            clique_size: 5,
+            num_cliques: 2,
+            candidates: 10,
+            target: CliqueTarget::Relation(1),
+        };
         let out = inject_anomalies(&g, &cfg, 3);
         assert_eq!(out.graph.layer(0).num_edges(), g.layer(0).num_edges());
         assert!(out.graph.layer(1).num_edges() > g.layer(1).num_edges());
@@ -184,7 +216,12 @@ mod tests {
     #[test]
     fn attribute_swap_changes_features() {
         let g = clean_graph(300);
-        let cfg = InjectionConfig { clique_size: 5, num_cliques: 2, candidates: 20, target: CliqueTarget::AllRelations };
+        let cfg = InjectionConfig {
+            clique_size: 5,
+            num_cliques: 2,
+            candidates: 20,
+            target: CliqueTarget::AllRelations,
+        };
         let out = inject_anomalies(&g, &cfg, 4);
         let before = g.attrs();
         let after = out.graph.attrs();

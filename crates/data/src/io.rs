@@ -9,14 +9,14 @@ use umgad_graph::{MultiplexGraph, MultiplexGraphData};
 /// Save a multiplex graph to a JSON file.
 pub fn save_graph(g: &MultiplexGraph, path: &Path) -> io::Result<()> {
     let dto = MultiplexGraphData::from(g);
-    let json = serde_json::to_string(&dto).map_err(io::Error::other)?;
+    let json = umgad_rt::json::to_string(&dto).map_err(io::Error::other)?;
     fs::write(path, json)
 }
 
 /// Load a multiplex graph from a JSON file written by [`save_graph`].
 pub fn load_graph(path: &Path) -> io::Result<MultiplexGraph> {
     let json = fs::read_to_string(path)?;
-    let dto: MultiplexGraphData = serde_json::from_str(&json).map_err(io::Error::other)?;
+    let dto: MultiplexGraphData = umgad_rt::json::from_str(&json).map_err(io::Error::other)?;
     Ok(dto.into())
 }
 

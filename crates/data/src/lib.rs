@@ -32,8 +32,8 @@ pub mod spec;
 pub mod stats;
 
 pub use generator::{generate_base, BaseGraph};
-pub use inject::{inject_anomalies, CliqueTarget, Injected, InjectionConfig};
 pub use import::{import_graph, parse_attributes, parse_edges, parse_labels, ImportError};
+pub use inject::{inject_anomalies, CliqueTarget, Injected, InjectionConfig};
 pub use io::{load_graph, save_graph};
 pub use real::{generate_with_fraud, FraudConfig};
 pub use registry::Dataset;

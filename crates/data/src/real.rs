@@ -16,9 +16,9 @@
 //! method's AUC on YelpChi sits near 0.5–0.6 in the paper, versus 0.6–0.88
 //! on the injected datasets — and this generator preserves that ordering.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use umgad_graph::{sample_k, MultiplexGraph, RelationLayer};
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::{Rng, SeedableRng};
 use umgad_tensor::init::normal_scalar;
 use umgad_tensor::Matrix;
 
@@ -56,12 +56,24 @@ pub struct FraudConfig {
 impl FraudConfig {
     /// Amazon-like: moderately detectable fraud (paper AUCs ≈ 0.6–0.88).
     pub fn amazon() -> Self {
-        Self { noise_mult: 2.2, drift: 0.9, cross_edge_boost: 0.7, collusion_p: 0.3, collusion_size: 8 }
+        Self {
+            noise_mult: 2.2,
+            drift: 0.9,
+            cross_edge_boost: 0.7,
+            collusion_p: 0.3,
+            collusion_size: 8,
+        }
     }
 
     /// YelpChi-like: heavily camouflaged fraud (paper AUCs ≈ 0.5–0.61).
     pub fn yelpchi() -> Self {
-        Self { noise_mult: 1.3, drift: 0.18, cross_edge_boost: 0.08, collusion_p: 0.15, collusion_size: 10 }
+        Self {
+            noise_mult: 1.3,
+            drift: 0.18,
+            cross_edge_boost: 0.08,
+            collusion_p: 0.15,
+            collusion_size: 10,
+        }
     }
 }
 
@@ -107,8 +119,7 @@ pub fn generate_with_fraud(spec: &ScaledSpec, cfg: &FraudConfig, seed: u64) -> M
     let mut edges_per_layer: Vec<Vec<(u32, u32)>> =
         graph.layers().iter().map(|l| l.edges().to_vec()).collect();
 
-    let avg_degree =
-        (2 * graph.layer(densest).num_edges()) as f64 / n as f64;
+    let avg_degree = (2 * graph.layer(densest).num_edges()) as f64 / n as f64;
     let extra = ((avg_degree * cfg.cross_edge_boost) as usize).max(1);
     for &i in &fraud {
         for _ in 0..extra {
@@ -123,7 +134,11 @@ pub fn generate_with_fraud(spec: &ScaledSpec, cfg: &FraudConfig, seed: u64) -> M
             if j == i {
                 continue;
             }
-            let e = if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) };
+            let e = if i < j {
+                (i as u32, j as u32)
+            } else {
+                (j as u32, i as u32)
+            };
             edges_per_layer[densest].push(e);
         }
     }
@@ -132,7 +147,11 @@ pub fn generate_with_fraud(spec: &ScaledSpec, cfg: &FraudConfig, seed: u64) -> M
         for (a, &u) in group.iter().enumerate() {
             for &v in &group[a + 1..] {
                 if rng.gen::<f64>() < cfg.collusion_p {
-                    let e = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+                    let e = if u < v {
+                        (u as u32, v as u32)
+                    } else {
+                        (v as u32, u as u32)
+                    };
                     edges_per_layer[sparsest].push(e);
                 }
             }
@@ -183,7 +202,9 @@ mod tests {
         let s = spec();
         let g = generate_with_fraud(&s, &FraudConfig::amazon(), 7);
         let labels = g.labels().unwrap();
-        let densest = (0..g.num_relations()).max_by_key(|&r| g.layer(r).num_edges()).unwrap();
+        let densest = (0..g.num_relations())
+            .max_by_key(|&r| g.layer(r).num_edges())
+            .unwrap();
         let layer = g.layer(densest);
         let (mut fd, mut nd, mut fc, mut nc) = (0usize, 0usize, 0usize, 0usize);
         for v in 0..g.num_nodes() {
@@ -197,7 +218,10 @@ mod tests {
         }
         let fraud_avg = fd as f64 / fc as f64;
         let norm_avg = nd as f64 / nc as f64;
-        assert!(fraud_avg > norm_avg, "fraud {fraud_avg} vs normal {norm_avg}");
+        assert!(
+            fraud_avg > norm_avg,
+            "fraud {fraud_avg} vs normal {norm_avg}"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl Dataset {
         let scaled = spec.at_scale(scale);
         let graph = if kind.injected() {
             let base = crate::generator::generate_base(&scaled, seed);
-            let cfg = InjectionConfig::for_total(scaled.anomalies, spec.clique_size.min(scaled.anomalies / 4).max(3));
+            let cfg = InjectionConfig::for_total(
+                scaled.anomalies,
+                spec.clique_size.min(scaled.anomalies / 4).max(3),
+            );
             inject_anomalies(&base.graph, &cfg, seed ^ 0xabcd).graph
         } else {
             let cfg = match kind {
@@ -41,12 +44,20 @@ impl Dataset {
             };
             generate_with_fraud(&scaled, &cfg, seed)
         };
-        Self { kind, scale, seed, graph }
+        Self {
+            kind,
+            scale,
+            seed,
+            graph,
+        }
     }
 
     /// Convenience: all four datasets at the same scale/seed.
     pub fn all(scale: Scale, seed: u64) -> Vec<Dataset> {
-        DatasetKind::ALL.iter().map(|&k| Dataset::generate(k, scale, seed)).collect()
+        DatasetKind::ALL
+            .iter()
+            .map(|&k| Dataset::generate(k, scale, seed))
+            .collect()
     }
 
     /// Display name.
@@ -65,7 +76,10 @@ mod tests {
             let d = Dataset::generate(kind, Scale::Tiny, 3);
             let a = d.graph.num_anomalies();
             assert!(a >= 10, "{kind:?}: {a} anomalies");
-            assert!(a * 10 < d.graph.num_nodes(), "anomalies stay a small minority");
+            assert!(
+                a * 10 < d.graph.num_nodes(),
+                "anomalies stay a small minority"
+            );
         }
     }
 
@@ -85,10 +99,17 @@ mod tests {
             .iter()
             .map(|&k| {
                 let d = Dataset::generate(k, Scale::Tiny, 5);
-                (k, d.graph.num_anomalies() as f64 / d.graph.num_nodes() as f64)
+                (
+                    k,
+                    d.graph.num_anomalies() as f64 / d.graph.num_nodes() as f64,
+                )
             })
             .collect();
-        let yelp = rates.iter().find(|(k, _)| *k == DatasetKind::YelpChi).unwrap().1;
+        let yelp = rates
+            .iter()
+            .find(|(k, _)| *k == DatasetKind::YelpChi)
+            .unwrap()
+            .1;
         for (k, r) in &rates {
             if *k != DatasetKind::YelpChi {
                 assert!(yelp > *r, "YelpChi rate {yelp} should top {k:?} {r}");

@@ -1,9 +1,9 @@
 //! Dataset specifications mirroring Table I of the paper.
 
-use serde::{Deserialize, Serialize};
+use umgad_rt::json::{FromJson, JsonError, ToJson, Value};
 
 /// Which of the four evaluation datasets.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// Retail_Rocket — e-commerce, injected anomalies.
     Retail,
@@ -17,8 +17,12 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All four datasets in paper order.
-    pub const ALL: [DatasetKind; 4] =
-        [DatasetKind::Retail, DatasetKind::Alibaba, DatasetKind::Amazon, DatasetKind::YelpChi];
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::Retail,
+        DatasetKind::Alibaba,
+        DatasetKind::Amazon,
+        DatasetKind::YelpChi,
+    ];
 
     /// Display name used in tables.
     pub fn name(self) -> &'static str {
@@ -37,9 +41,25 @@ impl DatasetKind {
     }
 }
 
+impl ToJson for DatasetKind {
+    fn to_json(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for DatasetKind {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let s: String = String::from_json(v)?;
+        DatasetKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| JsonError::new(format!("unknown DatasetKind: {s}")))
+    }
+}
+
 /// Generation scale. `Full` reproduces the Table I sizes; smaller scales
 /// shrink nodes and edges proportionally for CPU-friendly runs.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Scale {
     /// Table I sizes.
     Full,
@@ -71,8 +91,36 @@ impl Scale {
     }
 }
 
+impl ToJson for Scale {
+    fn to_json(&self) -> Value {
+        match self {
+            Scale::Full => Value::Str("Full".to_string()),
+            Scale::Mini => Value::Str("Mini".to_string()),
+            Scale::Tiny => Value::Str("Tiny".to_string()),
+            Scale::Custom(f) => Value::Obj(vec![("Custom".to_string(), f.to_json())]),
+        }
+    }
+}
+
+impl FromJson for Scale {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "Full" => Ok(Scale::Full),
+                "Mini" => Ok(Scale::Mini),
+                "Tiny" => Ok(Scale::Tiny),
+                other => Err(JsonError::new(format!("unknown Scale variant: {other}"))),
+            },
+            Value::Obj(fields) if fields.len() == 1 && fields[0].0 == "Custom" => {
+                Ok(Scale::Custom(f64::from_json(&fields[0].1)?))
+            }
+            _ => Err(JsonError::new("expected Scale (string or {\"Custom\": f})")),
+        }
+    }
+}
+
 /// One relation's target statistics.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RelationSpec {
     /// Relation name as printed in Table I.
     pub name: String,
@@ -80,8 +128,10 @@ pub struct RelationSpec {
     pub edges: usize,
 }
 
+umgad_rt::json_object!(RelationSpec { name, edges });
+
 /// Full dataset specification (Table I row + generation knobs).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatasetSpec {
     /// Which dataset this specifies.
     pub kind: DatasetKind,
@@ -105,6 +155,18 @@ pub struct DatasetSpec {
     pub clique_size: usize,
 }
 
+umgad_rt::json_object!(DatasetSpec {
+    kind,
+    nodes,
+    anomalies,
+    attr_dim,
+    relations,
+    communities,
+    intra_community_p,
+    skew,
+    clique_size
+});
+
 impl DatasetSpec {
     /// Table I specification for `kind`.
     pub fn table1(kind: DatasetKind) -> Self {
@@ -115,9 +177,18 @@ impl DatasetSpec {
                 anomalies: 300,
                 attr_dim: 32,
                 relations: vec![
-                    RelationSpec { name: "view".into(), edges: 75_374 },
-                    RelationSpec { name: "cart".into(), edges: 12_456 },
-                    RelationSpec { name: "buy".into(), edges: 9_551 },
+                    RelationSpec {
+                        name: "view".into(),
+                        edges: 75_374,
+                    },
+                    RelationSpec {
+                        name: "cart".into(),
+                        edges: 12_456,
+                    },
+                    RelationSpec {
+                        name: "buy".into(),
+                        edges: 9_551,
+                    },
                 ],
                 communities: 64,
                 intra_community_p: 0.85,
@@ -130,9 +201,18 @@ impl DatasetSpec {
                 anomalies: 300,
                 attr_dim: 32,
                 relations: vec![
-                    RelationSpec { name: "view".into(), edges: 34_933 },
-                    RelationSpec { name: "cart".into(), edges: 6_230 },
-                    RelationSpec { name: "buy".into(), edges: 4_571 },
+                    RelationSpec {
+                        name: "view".into(),
+                        edges: 34_933,
+                    },
+                    RelationSpec {
+                        name: "cart".into(),
+                        edges: 6_230,
+                    },
+                    RelationSpec {
+                        name: "buy".into(),
+                        edges: 4_571,
+                    },
                 ],
                 communities: 48,
                 intra_community_p: 0.85,
@@ -145,9 +225,18 @@ impl DatasetSpec {
                 anomalies: 821,
                 attr_dim: 32,
                 relations: vec![
-                    RelationSpec { name: "u-p-u".into(), edges: 175_608 },
-                    RelationSpec { name: "u-s-u".into(), edges: 3_566_479 },
-                    RelationSpec { name: "u-v-u".into(), edges: 1_036_737 },
+                    RelationSpec {
+                        name: "u-p-u".into(),
+                        edges: 175_608,
+                    },
+                    RelationSpec {
+                        name: "u-s-u".into(),
+                        edges: 3_566_479,
+                    },
+                    RelationSpec {
+                        name: "u-v-u".into(),
+                        edges: 1_036_737,
+                    },
                 ],
                 communities: 32,
                 intra_community_p: 0.75,
@@ -160,9 +249,18 @@ impl DatasetSpec {
                 anomalies: 6_674,
                 attr_dim: 32,
                 relations: vec![
-                    RelationSpec { name: "r-u-r".into(), edges: 49_315 },
-                    RelationSpec { name: "r-s-r".into(), edges: 3_402_743 },
-                    RelationSpec { name: "r-t-r".into(), edges: 573_616 },
+                    RelationSpec {
+                        name: "r-u-r".into(),
+                        edges: 49_315,
+                    },
+                    RelationSpec {
+                        name: "r-s-r".into(),
+                        edges: 3_402_743,
+                    },
+                    RelationSpec {
+                        name: "r-t-r".into(),
+                        edges: 573_616,
+                    },
                 ],
                 communities: 96,
                 intra_community_p: 0.7,
@@ -186,7 +284,10 @@ impl DatasetSpec {
         let relations = self
             .relations
             .iter()
-            .map(|r| RelationSpec { name: r.name.clone(), edges: scale.apply(r.edges, (nodes / 4).min(r.edges)) })
+            .map(|r| RelationSpec {
+                name: r.name.clone(),
+                edges: scale.apply(r.edges, (nodes / 4).min(r.edges)),
+            })
             .collect();
         ScaledSpec {
             spec: self.clone(),

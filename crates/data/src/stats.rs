@@ -1,10 +1,9 @@
 //! Dataset statistics — regenerates Table I.
 
-use serde::{Deserialize, Serialize};
 use umgad_graph::MultiplexGraph;
 
 /// Statistics of one dataset, one row of Table I.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatasetStats {
     /// Dataset name.
     pub name: String,
@@ -19,6 +18,15 @@ pub struct DatasetStats {
     /// Anomaly rate.
     pub anomaly_rate: f64,
 }
+
+umgad_rt::json_object!(DatasetStats {
+    name,
+    nodes,
+    anomalies,
+    injected,
+    relations,
+    anomaly_rate
+});
 
 impl DatasetStats {
     /// Compute statistics for a labelled multiplex graph.
@@ -53,7 +61,10 @@ impl DatasetStats {
                     edges
                 ));
             } else {
-                rows.push(format!("{:<10} {:>8} {:>10} {:<8} {:>10}", "", "", "", rel, edges));
+                rows.push(format!(
+                    "{:<10} {:>8} {:>10} {:<8} {:>10}",
+                    "", "", "", rel, edges
+                ));
             }
         }
         rows

@@ -1,9 +1,9 @@
 //! Property-based tests for dataset generation and anomaly injection.
 
-use proptest::prelude::*;
 use umgad_data::{
     inject_anomalies, CliqueTarget, Dataset, DatasetKind, DatasetSpec, InjectionConfig, Scale,
 };
+use umgad_rt::proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]

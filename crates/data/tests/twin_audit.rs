@@ -3,7 +3,9 @@
 //! key on — degree skew, attribute homophily, and the homophily *drop* that
 //! anomaly injection causes (the "one-class homophily" premise of TAM).
 
-use umgad_data::{generate_base, inject_anomalies, Dataset, DatasetKind, DatasetSpec, InjectionConfig, Scale};
+use umgad_data::{
+    generate_base, inject_anomalies, Dataset, DatasetKind, DatasetSpec, InjectionConfig, Scale,
+};
 use umgad_graph::stats::{anomaly_isolation, degree_stats, edge_homophily};
 
 #[test]
@@ -18,7 +20,10 @@ fn ecommerce_twins_have_heavy_tailed_degrees() {
             "{kind:?}: view relation should be heavy-tailed, top1% share {}",
             s.top1pct_share
         );
-        assert!(s.max > 5 * s.median.max(1), "{kind:?}: hub degrees expected");
+        assert!(
+            s.max > 5 * s.median.max(1),
+            "{kind:?}: hub degrees expected"
+        );
     }
 }
 
@@ -27,7 +32,10 @@ fn clean_graphs_are_homophilous_and_injection_erodes_it() {
     let spec = DatasetSpec::table1(DatasetKind::Alibaba).at_scale(Scale::Custom(1.0 / 32.0));
     let base = generate_base(&spec, 9);
     let clean_h = edge_homophily(base.graph.layer(0), base.graph.attrs());
-    assert!(clean_h > 0.3, "clean community graph should be homophilous: {clean_h}");
+    assert!(
+        clean_h > 0.3,
+        "clean community graph should be homophilous: {clean_h}"
+    );
 
     let cfg = InjectionConfig::for_total(spec.anomalies, 4);
     let injected = inject_anomalies(&base.graph, &cfg, 9);
@@ -54,7 +62,9 @@ fn injected_cliques_clump_structurally() {
     for &v in &injected.structural {
         structural_labels[v] = true;
     }
-    let sparsest = (0..3).min_by_key(|&r| injected.graph.layer(r).num_edges()).unwrap();
+    let sparsest = (0..3)
+        .min_by_key(|&r| injected.graph.layer(r).num_edges())
+        .unwrap();
     let iso = anomaly_isolation(injected.graph.layer(sparsest), &structural_labels);
     assert!(
         iso > 0.3,

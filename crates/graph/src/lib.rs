@@ -27,7 +27,9 @@ pub mod norm;
 pub mod rwr;
 pub mod stats;
 
-pub use mask::{contrast_indices, negative_endpoints, sample_indices, sample_k, split_indices, swap_partners};
+pub use mask::{
+    contrast_indices, negative_endpoints, sample_indices, sample_k, split_indices, swap_partners,
+};
 pub use multiplex::{MultiplexGraph, MultiplexGraphData, RelationLayer};
 pub use norm::{adjacency, gcn_norm_rc, gcn_normalize, rw_normalize};
 pub use rwr::{induced_edge_indices, rwr_mask_sets, rwr_sample};

@@ -4,7 +4,7 @@
 //! *uniform sampling without replacement*; these helpers implement that
 //! primitive plus negative sampling for the structure-reconstruction loss.
 
-use rand::Rng;
+use umgad_rt::rand::Rng;
 
 use crate::multiplex::RelationLayer;
 
@@ -107,8 +107,8 @@ pub fn swap_partners(n: usize, selected: &[usize], rng: &mut impl Rng) -> Vec<us
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use umgad_rt::rand::rngs::SmallRng;
+    use umgad_rt::rand::SeedableRng;
 
     #[test]
     fn sample_indices_distinct_and_sized() {

@@ -7,7 +7,6 @@
 
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 use umgad_tensor::{CsrMatrix, Matrix, SpPair};
 
 use crate::norm::{adjacency, gcn_normalize};
@@ -26,7 +25,11 @@ pub struct RelationLayer {
 impl RelationLayer {
     /// Build a layer over `n` nodes from undirected edges. Edges are
     /// canonicalised (`u < v`), deduplicated, and self-loops dropped.
-    pub fn new(name: impl Into<String>, n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Self {
         let mut canon: Vec<(u32, u32)> = edges
             .into_iter()
             .filter(|&(u, v)| u != v)
@@ -35,11 +38,20 @@ impl RelationLayer {
         canon.sort_unstable();
         canon.dedup();
         for &(u, v) in &canon {
-            assert!((v as usize) < n, "edge ({u},{v}) out of bounds for {n} nodes");
+            assert!(
+                (v as usize) < n,
+                "edge ({u},{v}) out of bounds for {n} nodes"
+            );
         }
         let adj = Arc::new(adjacency(n, &canon));
         let norm = Arc::new(gcn_normalize(n, &canon));
-        Self { name: name.into(), n, edges: canon, adj, norm }
+        Self {
+            name: name.into(),
+            n,
+            edges: canon,
+            adj,
+            norm,
+        }
     }
 
     /// Relation name (e.g. `"view"`, `"u-p-u"`).
@@ -75,7 +87,10 @@ impl RelationLayer {
     /// Normalised adjacency as an autograd spmm pair (symmetric: forward and
     /// backward share storage).
     pub fn norm_pair(&self) -> SpPair {
-        SpPair { fwd: Arc::clone(&self.norm), bwd: Arc::clone(&self.norm) }
+        SpPair {
+            fwd: Arc::clone(&self.norm),
+            bwd: Arc::clone(&self.norm),
+        }
     }
 
     /// Neighbours of `u` (from the plain adjacency).
@@ -123,7 +138,10 @@ impl MultiplexGraph {
     /// Assemble a multiplex graph. All layers must share the node count and
     /// the attribute matrix must have one row per node.
     pub fn new(attrs: Matrix, layers: Vec<RelationLayer>, labels: Option<Vec<bool>>) -> Self {
-        assert!(!layers.is_empty(), "a multiplex graph needs at least one relation");
+        assert!(
+            !layers.is_empty(),
+            "a multiplex graph needs at least one relation"
+        );
         let n = attrs.rows();
         for l in &layers {
             assert_eq!(l.num_nodes(), n, "layer {} node count mismatch", l.name());
@@ -131,7 +149,12 @@ impl MultiplexGraph {
         if let Some(lab) = &labels {
             assert_eq!(lab.len(), n, "label count mismatch");
         }
-        Self { n, attrs: Arc::new(attrs), layers, labels }
+        Self {
+            n,
+            attrs: Arc::new(attrs),
+            layers,
+            labels,
+        }
     }
 
     /// Number of nodes `|V|`.
@@ -158,7 +181,10 @@ impl MultiplexGraph {
     /// match.
     pub fn with_attrs(&self, attrs: Matrix) -> Self {
         assert_eq!(attrs.shape(), self.attrs.shape());
-        Self { attrs: Arc::new(attrs), ..self.clone() }
+        Self {
+            attrs: Arc::new(attrs),
+            ..self.clone()
+        }
     }
 
     /// Relational layers.
@@ -184,14 +210,19 @@ impl MultiplexGraph {
 
     /// Number of labelled anomalies (0 when unlabelled).
     pub fn num_anomalies(&self) -> usize {
-        self.labels.as_ref().map_or(0, |l| l.iter().filter(|&&b| b).count())
+        self.labels
+            .as_ref()
+            .map_or(0, |l| l.iter().filter(|&&b| b).count())
     }
 
     /// Union layer: one layer containing every edge of every relation.
     /// Non-multiplex baselines operate on this collapsed view.
     pub fn union_layer(&self) -> RelationLayer {
-        let edges: Vec<(u32, u32)> =
-            self.layers.iter().flat_map(|l| l.edges().iter().copied()).collect();
+        let edges: Vec<(u32, u32)> = self
+            .layers
+            .iter()
+            .flat_map(|l| l.edges().iter().copied())
+            .collect();
         RelationLayer::new("union", self.n, edges)
     }
 
@@ -203,7 +234,7 @@ impl MultiplexGraph {
 
 /// Serialisable DTO mirroring [`MultiplexGraph`]; used by `umgad-data` for
 /// save/load so generated datasets can be cached and audited.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MultiplexGraphData {
     /// Node count.
     pub n: usize,
@@ -218,6 +249,15 @@ pub struct MultiplexGraphData {
     /// Optional anomaly labels.
     pub labels: Option<Vec<bool>>,
 }
+
+umgad_rt::json_object!(MultiplexGraphData {
+    n,
+    attr_dim,
+    attrs,
+    relation_names,
+    edges,
+    labels
+});
 
 impl From<&MultiplexGraph> for MultiplexGraphData {
     fn from(g: &MultiplexGraph) -> Self {

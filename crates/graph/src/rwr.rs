@@ -3,7 +3,7 @@
 //! The subgraph-level augmentation (IV-B-2) masks subgraphs sampled by RWR;
 //! CoLA-style baselines use the same sampler for contrastive instance pairs.
 
-use rand::Rng;
+use umgad_rt::rand::Rng;
 
 use crate::multiplex::RelationLayer;
 
@@ -91,8 +91,8 @@ pub fn rwr_mask_sets(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use umgad_rt::rand::rngs::SmallRng;
+    use umgad_rt::rand::SeedableRng;
 
     fn path_layer(n: usize) -> RelationLayer {
         let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();

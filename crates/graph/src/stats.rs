@@ -42,7 +42,11 @@ pub fn degree_stats(layer: &RelationLayer) -> DegreeStats {
         max: *degrees.last().unwrap_or(&0),
         mean: total as f64 / n.max(1) as f64,
         median: degrees.get(n / 2).copied().unwrap_or(0),
-        top1pct_share: if total == 0 { 0.0 } else { top_mass as f64 / total as f64 },
+        top1pct_share: if total == 0 {
+            0.0
+        } else {
+            top_mass as f64 / total as f64
+        },
         isolated,
     }
 }
@@ -152,12 +156,17 @@ pub fn profile(graph: &MultiplexGraph) -> GraphProfile {
         })
         .collect();
     let anomaly_isolation = match graph.labels() {
-        Some(labels) => {
-            graph.layers().iter().map(|l| anomaly_isolation(l, labels)).collect()
-        }
+        Some(labels) => graph
+            .layers()
+            .iter()
+            .map(|l| anomaly_isolation(l, labels))
+            .collect(),
         None => Vec::new(),
     };
-    GraphProfile { relations, anomaly_isolation }
+    GraphProfile {
+        relations,
+        anomaly_isolation,
+    }
 }
 
 #[cfg(test)]
@@ -230,11 +239,7 @@ mod tests {
     fn profile_composes() {
         let l = triangle_plus_tail();
         let attrs = Matrix::from_fn(5, 2, |i, _| i as f64 + 1.0);
-        let g = MultiplexGraph::new(
-            attrs,
-            vec![l],
-            Some(vec![true, false, false, false, false]),
-        );
+        let g = MultiplexGraph::new(attrs, vec![l], Some(vec![true, false, false, false, false]));
         let p = profile(&g);
         assert_eq!(p.relations.len(), 1);
         assert_eq!(p.anomaly_isolation.len(), 1);

@@ -2,18 +2,18 @@
 //! layer canonicalisation, RWR sampling invariants, and mask/sampling
 //! distribution properties.
 
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use umgad_graph::{
     gcn_normalize, rw_normalize, rwr_sample, sample_indices, split_indices, swap_partners,
     MultiplexGraph, MultiplexGraphData, RelationLayer,
 };
+use umgad_rt::proptest::prelude::*;
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::SeedableRng;
 use umgad_tensor::Matrix;
 
 /// Strategy: a random undirected edge list over `n` nodes.
 fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
+    umgad_rt::proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
 }
 
 proptest! {
@@ -136,8 +136,8 @@ proptest! {
             Some((0..10).map(|i| i % 4 == 0).collect()),
         );
         let dto = MultiplexGraphData::from(&g);
-        let json = serde_json::to_string(&dto).unwrap();
-        let back: MultiplexGraphData = serde_json::from_str(&json).unwrap();
+        let json = umgad_rt::json::to_string(&dto).unwrap();
+        let back: MultiplexGraphData = umgad_rt::json::from_str(&json).unwrap();
         let g2 = MultiplexGraph::from(back);
         prop_assert_eq!(g2.layer(0).edges(), g.layer(0).edges());
         prop_assert_eq!(g2.layer(1).edges(), g.layer(1).edges());

@@ -8,7 +8,7 @@
 //! of the reconstruction losses. The ablation bench (`repro fig6` companion)
 //! covers the free-weight variant.
 
-use rand::Rng;
+use umgad_rt::rand::Rng;
 
 use umgad_tensor::init::normal;
 use umgad_tensor::{Adam, Param, Tape, Var};
@@ -31,7 +31,9 @@ impl RelationWeights {
     /// Initialise logits from `N(0, 0.1)` (paper: "initially randomized
     /// using a normal distribution").
     pub fn new(relations: usize, rng: &mut impl Rng) -> Self {
-        Self { logits: Param::new(normal(1, relations, 0.0, 0.1, rng)) }
+        Self {
+            logits: Param::new(normal(1, relations, 0.0, 0.1, rng)),
+        }
     }
 
     /// Number of relations.
@@ -96,9 +98,9 @@ impl RelationWeights {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
     use std::rc::Rc;
+    use umgad_rt::rand::rngs::SmallRng;
+    use umgad_rt::rand::SeedableRng;
     use umgad_tensor::Matrix;
 
     #[test]
@@ -112,7 +114,10 @@ mod tests {
         let threes = tape.constant(Matrix::full(2, 2, 3.0));
         let fused = w.fuse(&mut tape, &bound, &[ones, twos, threes]);
         let v = tape.value(fused).get(0, 0);
-        assert!(v > 1.0 && v < 3.0, "convex combination must stay in range: {v}");
+        assert!(
+            v > 1.0 && v < 3.0,
+            "convex combination must stay in range: {v}"
+        );
         let ws = w.current();
         assert!((ws.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
@@ -138,8 +143,14 @@ mod tests {
             w.update(&tape, &bound, &opt);
         }
         let after = w.current()[0];
-        assert!(after > before, "useful relation weight should grow: {before} -> {after}");
-        assert!(after > 0.9, "should strongly prefer the informative relation: {after}");
+        assert!(
+            after > before,
+            "useful relation weight should grow: {before} -> {after}"
+        );
+        assert!(
+            after > 0.9,
+            "should strongly prefer the informative relation: {after}"
+        );
     }
 
     #[test]

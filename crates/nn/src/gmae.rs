@@ -14,7 +14,7 @@
 
 use std::rc::Rc;
 
-use rand::Rng;
+use umgad_rt::rand::Rng;
 
 use umgad_tensor::{Adam, Matrix, Param, SpPair, Tape, Var};
 
@@ -40,12 +40,26 @@ pub struct GmaeConfig {
 impl GmaeConfig {
     /// Paper defaults for real-anomaly datasets: 2-hop encoder, 1-hop decoder.
     pub fn paper_real(in_dim: usize, hidden: usize) -> Self {
-        Self { in_dim, hidden, enc_hops: 2, dec_hops: 1, act: Activation::Elu, with_token: true }
+        Self {
+            in_dim,
+            hidden,
+            enc_hops: 2,
+            dec_hops: 1,
+            act: Activation::Elu,
+            with_token: true,
+        }
     }
 
     /// Paper defaults for injected-anomaly datasets: 1-hop encoder/decoder.
     pub fn paper_injected(in_dim: usize, hidden: usize) -> Self {
-        Self { in_dim, hidden, enc_hops: 1, dec_hops: 1, act: Activation::Elu, with_token: true }
+        Self {
+            in_dim,
+            hidden,
+            enc_hops: 1,
+            dec_hops: 1,
+            act: Activation::Elu,
+            with_token: true,
+        }
     }
 }
 
@@ -83,7 +97,9 @@ impl Gmae {
         Self {
             enc: SgcStack::new(cfg.in_dim, cfg.hidden, cfg.enc_hops, cfg.act, rng),
             dec: SgcStack::new(cfg.hidden, cfg.in_dim, cfg.dec_hops, Activation::None, rng),
-            token: cfg.with_token.then(|| Param::new(Matrix::zeros(1, cfg.in_dim))),
+            token: cfg
+                .with_token
+                .then(|| Param::new(Matrix::zeros(1, cfg.in_dim))),
         }
     }
 
@@ -150,9 +166,9 @@ impl Gmae {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
     use umgad_graph::gcn_normalize;
+    use umgad_rt::rand::rngs::SmallRng;
+    use umgad_rt::rand::SeedableRng;
 
     fn pair(n: usize) -> SpPair {
         let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
@@ -166,8 +182,7 @@ mod tests {
         let mut tape = Tape::new();
         let bound = gmae.bind(&mut tape);
         let x = tape.constant(Matrix::from_fn(8, 6, |i, j| (i + j) as f64 / 4.0));
-        let out =
-            gmae.forward_attr_masked(&mut tape, &bound, &pair(8), x, Rc::new(vec![0, 3, 5]));
+        let out = gmae.forward_attr_masked(&mut tape, &bound, &pair(8), x, Rc::new(vec![0, 3, 5]));
         assert_eq!(tape.value(out.hidden).shape(), (8, 4));
         assert_eq!(tape.value(out.recon).shape(), (8, 6));
     }
@@ -206,7 +221,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let n = 10;
         let f = 4;
-        let cfg = GmaeConfig { with_token: false, ..GmaeConfig::paper_injected(f, 6) };
+        let cfg = GmaeConfig {
+            with_token: false,
+            ..GmaeConfig::paper_injected(f, 6)
+        };
         let mut gmae = Gmae::new(&cfg, &mut rng);
         assert!(gmae.token.is_none());
         let adj = pair(n);
@@ -228,14 +246,20 @@ mod tests {
             last = tape.value(loss).get(0, 0);
             first.get_or_insert(last);
         }
-        assert!(last < first.unwrap(), "edge loss should decrease: {first:?} -> {last}");
+        assert!(
+            last < first.unwrap(),
+            "edge loss should decrease: {first:?} -> {last}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "needs a [MASK] token")]
     fn attr_masking_without_token_panics() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let cfg = GmaeConfig { with_token: false, ..GmaeConfig::paper_injected(3, 2) };
+        let cfg = GmaeConfig {
+            with_token: false,
+            ..GmaeConfig::paper_injected(3, 2)
+        };
         let gmae = Gmae::new(&cfg, &mut rng);
         let mut tape = Tape::new();
         let bound = gmae.bind(&mut tape);

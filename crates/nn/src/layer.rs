@@ -16,7 +16,7 @@
 //! stack.update(&tape, &bound, &opt);
 //! ```
 
-use rand::Rng;
+use umgad_rt::rand::Rng;
 
 use umgad_tensor::init::xavier_uniform;
 use umgad_tensor::{Adam, Matrix, Param, SpPair, Tape, Var};
@@ -82,7 +82,13 @@ pub struct BoundSgc {
 
 impl SgcStack {
     /// New stack with Xavier-initialised weights.
-    pub fn new(in_dim: usize, out_dim: usize, hops: usize, act: Activation, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        hops: usize,
+        act: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
         Self {
             w: Param::new(xavier_uniform(in_dim, out_dim, rng)),
             b: Param::new(Matrix::zeros(1, out_dim)),
@@ -103,7 +109,10 @@ impl SgcStack {
 
     /// Copy parameters onto `tape`.
     pub fn bind(&self, tape: &mut Tape) -> BoundSgc {
-        BoundSgc { w: tape.leaf(self.w.value.clone()), b: tape.leaf(self.b.value.clone()) }
+        BoundSgc {
+            w: tape.leaf(self.w.value.clone()),
+            b: tape.leaf(self.b.value.clone()),
+        }
     }
 
     /// Forward pass through the bound parameters.
@@ -129,7 +138,11 @@ impl SgcStack {
 
     /// Tape-free forward for inference/scoring.
     pub fn infer(&self, adj: &umgad_tensor::CsrMatrix, x: &Matrix) -> Matrix {
-        let mut h = if self.hops == 0 { x.clone() } else { adj.spmm(x) };
+        let mut h = if self.hops == 0 {
+            x.clone()
+        } else {
+            adj.spmm(x)
+        };
         for _ in 1..self.hops {
             h = adj.spmm(&h);
         }
@@ -175,7 +188,10 @@ impl GcnLayer {
 
     /// Copy parameters onto `tape`.
     pub fn bind(&self, tape: &mut Tape) -> BoundGcnLayer {
-        BoundGcnLayer { w: tape.leaf(self.w.value.clone()), b: tape.leaf(self.b.value.clone()) }
+        BoundGcnLayer {
+            w: tape.leaf(self.w.value.clone()),
+            b: tape.leaf(self.b.value.clone()),
+        }
     }
 
     /// Forward pass.
@@ -224,7 +240,11 @@ impl Gcn {
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act = if i + 2 == dims.len() { out_act } else { hidden_act };
+                let act = if i + 2 == dims.len() {
+                    out_act
+                } else {
+                    hidden_act
+                };
                 GcnLayer::new(w[0], w[1], act, rng)
             })
             .collect();
@@ -233,7 +253,9 @@ impl Gcn {
 
     /// Copy all layer parameters onto `tape`.
     pub fn bind(&self, tape: &mut Tape) -> BoundGcn {
-        BoundGcn { layers: self.layers.iter().map(|l| l.bind(tape)).collect() }
+        BoundGcn {
+            layers: self.layers.iter().map(|l| l.bind(tape)).collect(),
+        }
     }
 
     /// Forward through all layers.
@@ -256,9 +278,9 @@ impl Gcn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
     use std::rc::Rc;
+    use umgad_rt::rand::rngs::SmallRng;
+    use umgad_rt::rand::SeedableRng;
 
     fn ring_pair(n: usize) -> SpPair {
         let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();

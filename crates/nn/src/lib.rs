@@ -8,8 +8,8 @@
 //!
 //! ```
 //! use std::rc::Rc;
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use umgad_rt::rand::rngs::SmallRng;
+//! use umgad_rt::rand::SeedableRng;
 //! use umgad_graph::gcn_normalize;
 //! use umgad_nn::{Gmae, GmaeConfig};
 //! use umgad_tensor::{Adam, Matrix, SpPair, Tape};

@@ -6,8 +6,8 @@
 //! # Training a two-layer GCN end to end
 //!
 //! ```
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use umgad_rt::rand::rngs::SmallRng;
+//! use umgad_rt::rand::SeedableRng;
 //! use std::rc::Rc;
 //! use std::sync::Arc;
 //! use umgad_graph::gcn_normalize;
@@ -40,8 +40,8 @@
 //! # Relation-weight fusion learns informative relations
 //!
 //! ```
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use umgad_rt::rand::rngs::SmallRng;
+//! use umgad_rt::rand::SeedableRng;
 //! use std::rc::Rc;
 //! use umgad_nn::RelationWeights;
 //! use umgad_tensor::{Adam, Matrix, Tape};
@@ -67,8 +67,8 @@
 //! # Held-out reconstruction with the `[MASK]` token
 //!
 //! ```
-//! use rand::rngs::SmallRng;
-//! use rand::SeedableRng;
+//! use umgad_rt::rand::rngs::SmallRng;
+//! use umgad_rt::rand::SeedableRng;
 //! use std::rc::Rc;
 //! use std::sync::Arc;
 //! use umgad_graph::gcn_normalize;

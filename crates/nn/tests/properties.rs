@@ -1,13 +1,13 @@
 //! Property tests for the GNN building blocks: infer/tape agreement on
 //! random architectures, fusion convexity, and masking semantics.
 
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use std::rc::Rc;
 use std::sync::Arc;
 use umgad_graph::gcn_normalize;
 use umgad_nn::{Activation, Gmae, GmaeConfig, RelationWeights, SgcStack};
+use umgad_rt::proptest::prelude::*;
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::SeedableRng;
 use umgad_tensor::{Matrix, SpPair, Tape};
 
 fn ring(n: usize) -> SpPair {
@@ -22,7 +22,7 @@ proptest! {
     fn sgc_infer_matches_tape(
         seed in 0u64..500,
         hops in 0usize..3,
-        data in proptest::collection::vec(-2.0f64..2.0, 5 * 4),
+        data in umgad_rt::proptest::collection::vec(-2.0f64..2.0, 5 * 4),
     ) {
         let mut rng = SmallRng::seed_from_u64(seed);
         for act in [Activation::None, Activation::Relu, Activation::Elu, Activation::Tanh, Activation::LeakyRelu] {

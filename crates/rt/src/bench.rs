@@ -1,0 +1,384 @@
+//! Wall-clock benchmark harness: warmup, N timed samples, median/p95, and a
+//! JSON report — the in-tree stand-in for `criterion`, exposing the API
+//! subset the workspace's benches use (`Criterion`, `black_box`,
+//! `BenchmarkId`, groups, [`crate::criterion_group!`] /
+//! [`crate::criterion_main!`]).
+//!
+//! Run modes (matching cargo's conventions for `harness = false` targets):
+//!
+//! - `cargo bench` passes `--bench`: full measurement (warmup + samples).
+//! - `cargo test` passes `--test` (or nothing): each benchmark body runs
+//!   **once** as a smoke check, keeping the tier-1 gate fast.
+//!
+//! The JSON report is written to `$RT_BENCH_OUT` (or
+//! `<target dir>/rt-bench/<binary>.json`) with per-benchmark mean/median/p95
+//! nanoseconds, so later perf PRs can diff runs mechanically.
+
+use std::time::{Duration, Instant};
+
+use crate::json::{to_string, Value};
+
+/// Opaque sink preventing the optimiser from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One benchmark's measurements, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Fully qualified name (`group/function` or `group/param`).
+    pub name: String,
+    /// Number of recorded samples.
+    pub samples: usize,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// 95th-percentile ns/iter.
+    pub p95_ns: f64,
+}
+
+/// Parameter tag for grouped benchmarks (`BenchmarkId::from_parameter(n)`).
+pub struct BenchmarkId {
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Identify a group entry by its parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(param: P) -> Self {
+        BenchmarkId {
+            param: param.to_string(),
+        }
+    }
+}
+
+/// Timer handed to benchmark closures; call [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    recorded: Option<Vec<f64>>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    /// `cargo bench`: real measurement.
+    Measure,
+    /// `cargo test` smoke run: body executes once, no timing.
+    Smoke,
+}
+
+impl Bencher {
+    /// Run the routine under measurement (or once in smoke mode).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                // Warmup: at least 3 iterations and ~200ms, whichever is more.
+                let warmup_budget = Duration::from_millis(200);
+                let warmup_start = Instant::now();
+                let mut warmup_iters = 0u64;
+                while warmup_iters < 3 || warmup_start.elapsed() < warmup_budget {
+                    black_box(routine());
+                    warmup_iters += 1;
+                    if warmup_iters >= 10_000 {
+                        break;
+                    }
+                }
+                let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+                // Batch fast routines so each sample spans >= ~1ms of work.
+                let batch = ((1e-3 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 1_000_000);
+                let mut samples = Vec::with_capacity(self.sample_size);
+                for _ in 0..self.sample_size {
+                    let t = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    samples.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+                }
+                self.recorded = Some(samples);
+            }
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Top-level harness state; collects results across groups.
+pub struct Criterion {
+    sample_size: usize,
+    mode: Mode,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` to harness=false targets under `cargo
+        // bench`; anything else (notably `cargo test`) gets a smoke run.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 30,
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let result = run_one(name.to_string(), self.mode, self.sample_size, &mut f);
+        self.record(result);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn record(&mut self, result: Option<BenchResult>) {
+        if let Some(r) = result {
+            println!(
+                "{:<40} median {:>12.1} ns/iter   p95 {:>12.1} ns/iter   ({} samples)",
+                r.name, r.median_ns, r.p95_ns, r.samples
+            );
+            self.results.push(r);
+        }
+    }
+
+    /// Write the JSON report for every measured benchmark. Called from
+    /// [`crate::criterion_main!`]; a no-op in smoke mode.
+    pub fn final_summary(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let report = Value::Arr(
+            self.results
+                .iter()
+                .map(|r| {
+                    Value::Obj(vec![
+                        ("name".into(), Value::Str(r.name.clone())),
+                        ("samples".into(), Value::U64(r.samples as u64)),
+                        ("mean_ns".into(), Value::F64(r.mean_ns)),
+                        ("median_ns".into(), Value::F64(r.median_ns)),
+                        ("p95_ns".into(), Value::F64(r.p95_ns)),
+                    ])
+                })
+                .collect(),
+        );
+        let path = std::env::var("RT_BENCH_OUT").unwrap_or_else(|_| {
+            let bin = std::env::args()
+                .next()
+                .and_then(|p| {
+                    std::path::Path::new(&p)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                })
+                .unwrap_or_else(|| "bench".to_string());
+            // cargo runs bench binaries with cwd = the package dir, so a
+            // relative "target/" would scatter per-crate target dirs.
+            // Anchor on the executable's own target dir instead
+            // (<target>/<profile>/deps/<bin>), falling back to cwd.
+            let target_dir = std::env::current_exe()
+                .ok()
+                .and_then(|p| p.ancestors().nth(3).map(|d| d.to_path_buf()))
+                .unwrap_or_else(|| std::path::PathBuf::from("target"));
+            target_dir
+                .join("rt-bench")
+                .join(format!("{bin}.json"))
+                .to_string_lossy()
+                .into_owned()
+        });
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match to_string(&report).and_then(|s| {
+            std::fs::write(&path, s).map_err(|e| crate::json::JsonError::new(e.to_string()))
+        }) {
+            Ok(()) => println!("rt-bench report written to {path}"),
+            Err(e) => eprintln!("rt-bench: failed to write report {path}: {e}"),
+        }
+        self.results.clear();
+    }
+}
+
+fn run_one(
+    name: String,
+    mode: Mode,
+    sample_size: usize,
+    f: &mut impl FnMut(&mut Bencher),
+) -> Option<BenchResult> {
+    let mut b = Bencher {
+        mode,
+        sample_size,
+        recorded: None,
+    };
+    f(&mut b);
+    let mut samples = b.recorded?;
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Some(BenchResult {
+        name,
+        samples: samples.len(),
+        mean_ns: mean,
+        median_ns: percentile(&samples, 0.5),
+        p95_ns: percentile(&samples, 0.95),
+    })
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmark under `group/name`.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        let result = run_one(full, self.parent.mode, n, &mut f);
+        self.parent.record(result);
+        self
+    }
+
+    /// Benchmark a parameterised entry under `group/param`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.param);
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        let result = run_one(full, self.parent.mode, n, &mut |b| f(b, input));
+        self.parent.record(result);
+        self
+    }
+
+    /// End the group (results are already recorded incrementally).
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::bench::Criterion = $cfg;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once_without_recording() {
+        let mut c = Criterion {
+            sample_size: 5,
+            mode: Mode::Smoke,
+            results: Vec::new(),
+        };
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+        assert!(c.results.is_empty());
+    }
+
+    #[test]
+    fn measure_mode_records_percentiles() {
+        let mut c = Criterion {
+            sample_size: 8,
+            mode: Mode::Measure,
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        let r = &c.results[0];
+        assert_eq!(r.samples, 8);
+        assert!(r.median_ns > 0.0 && r.median_ns.is_finite());
+        assert!(r.p95_ns >= r.median_ns);
+    }
+
+    #[test]
+    fn group_names_are_prefixed() {
+        let mut c = Criterion {
+            sample_size: 2,
+            mode: Mode::Measure,
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::from_parameter(128), &128usize, |b, &n| {
+                b.iter(|| black_box(n) * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results[0].name, "grp/128");
+    }
+
+    #[test]
+    fn percentile_of_sorted_samples() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 0.5), 6.0);
+        assert_eq!(percentile(&v, 0.95), 10.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # umgad-rt — the workspace's zero-dependency runtime substrate
+//!
+//! The UMGAD reproduction is deliberately hermetic: every bit of randomness,
+//! serialisation, testing, and benchmarking infrastructure lives in this
+//! crate, with no crates.io dependencies anywhere in the workspace. That buys
+//! two properties the evaluation depends on:
+//!
+//! - **Offline reproducibility** — `cargo build && cargo test` succeeds on a
+//!   bare toolchain with no registry access.
+//! - **Determinism ownership** — anomaly scores are a function of `(graph,
+//!   config, seed)` alone. The PRNG stream and the JSON byte format are
+//!   defined *here*, so no third-party version bump can silently shift
+//!   results between runs or machines.
+//!
+//! Modules:
+//!
+//! - [`rand`] — SplitMix64-seeded Xoshiro256++ with a rand-compatible
+//!   surface (`Rng`, `SeedableRng`, `rngs::SmallRng`).
+//! - [`json`] — minimal JSON with round-trip-exact `f64` formatting and the
+//!   [`json_object!`] macro standing in for `#[derive(Serialize)]` on plain
+//!   structs.
+//! - [`proptest`] — a small property-testing harness (seeded generation,
+//!   greedy shrinking, failure-seed reporting) behind a [`proptest!`] macro.
+//! - [`bench`] — a wall-clock benchmark harness (warmup + N samples,
+//!   median/p95, JSON report) with a criterion-compatible API subset.
+
+pub mod bench;
+pub mod json;
+pub mod proptest;
+pub mod rand;

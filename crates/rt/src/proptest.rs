@@ -1,0 +1,695 @@
+//! A small property-based testing harness: seeded case generation, greedy
+//! shrinking on failure, and failure-seed reporting — the in-tree stand-in
+//! for the `proptest` crate.
+//!
+//! Design: a [`Strategy`] produces a lazy shrink tree ([`Tree`]) per case —
+//! the root is the generated value, children are progressively "smaller"
+//! variants. On failure the runner walks the tree greedily, re-running the
+//! body on each candidate, and reports the smallest input that still fails
+//! together with the seed that reproduces the run.
+//!
+//! Generation is fully deterministic: the per-test seed is derived from the
+//! test name (override with the `RT_PROPTEST_SEED` environment variable), so
+//! a red test stays red until the code changes.
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use crate::rand::{Rng, SeedableRng, SmallRng};
+
+/// Everything a test file needs: the [`Strategy`] trait, config, result
+/// types, and the assertion macros.
+pub mod prelude {
+    pub use super::{ProptestConfig, Strategy, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+// ---------------------------------------------------------------------------
+// Shrink trees
+// ---------------------------------------------------------------------------
+
+/// A generated value plus a lazy list of smaller variants.
+pub struct Tree<T> {
+    /// The candidate input.
+    pub value: T,
+    children: Rc<dyn Fn() -> Vec<Tree<T>>>,
+}
+
+impl<T: Clone + 'static> Clone for Tree<T> {
+    fn clone(&self) -> Self {
+        Tree {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Tree<T> {
+    /// A value with no shrinks.
+    pub fn leaf(value: T) -> Self {
+        Tree {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A value with lazily computed shrinks.
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
+        Tree {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// Materialise the immediate shrink candidates.
+    pub fn children(&self) -> Vec<Tree<T>> {
+        (self.children)()
+    }
+
+    /// Map the whole tree through `f` (shrink structure preserved).
+    pub fn map<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Tree<U> {
+        let value = f(&self.value);
+        let src = Rc::clone(&self.children);
+        let f2 = Rc::clone(&f);
+        Tree {
+            value,
+            children: Rc::new(move || src().iter().map(|c| c.map(Rc::clone(&f2))).collect()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating (and shrinking) values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug + 'static;
+
+    /// Generate one case as a shrink tree.
+    fn tree(&self, rng: &mut SmallRng) -> Tree<Self::Value>;
+
+    /// Transform generated values; shrinking happens on the *input* and is
+    /// mapped through `f`, so mapped strategies still shrink well.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, U>
+    where
+        Self: Sized,
+        U: Clone + Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map {
+            inner: self,
+            f: Rc::new(move |v: &Self::Value| f(v.clone())),
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S: Strategy, U> {
+    inner: S,
+    f: Rc<dyn Fn(&S::Value) -> U>,
+}
+
+impl<S: Strategy, U: Clone + Debug + 'static> Strategy for Map<S, U> {
+    type Value = U;
+    fn tree(&self, rng: &mut SmallRng) -> Tree<U> {
+        self.inner.tree(rng).map(Rc::clone(&self.f))
+    }
+}
+
+// Integer ranges: uniform draw, shrink towards the lower bound.
+
+fn int_tree(lo: i128, v: i128) -> Tree<i128> {
+    Tree::with_children(v, move || {
+        let mut cands = Vec::new();
+        if v > lo {
+            // Far-to-near candidates: lo, then v minus halving distances —
+            // greedy descent converges in O(log(v - lo)) failing steps.
+            cands.push(lo);
+            let mut dist = v - lo;
+            while dist > 1 {
+                dist /= 2;
+                let c = v - dist;
+                if c != lo {
+                    cands.push(c);
+                }
+            }
+        }
+        cands.into_iter().map(|c| int_tree(lo, c)).collect()
+    })
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn tree(&self, rng: &mut SmallRng) -> Tree<$t> {
+                let v = rng.gen_range(self.clone());
+                int_tree(self.start as i128, v as i128).map(Rc::new(|v: &i128| *v as $t))
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Float ranges: uniform draw, shrink towards the lower bound by halving.
+
+fn f64_tree(lo: f64, v: f64, span: f64) -> Tree<f64> {
+    Tree::with_children(v, move || {
+        let mut cands = Vec::new();
+        let tol = span * 1e-7;
+        if v - lo > tol {
+            cands.push(lo);
+            let mut dist = (v - lo) / 2.0;
+            while dist > tol {
+                cands.push(v - dist);
+                dist /= 2.0;
+            }
+        }
+        cands.into_iter().map(|c| f64_tree(lo, c, span)).collect()
+    })
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn tree(&self, rng: &mut SmallRng) -> Tree<f64> {
+        let v = rng.gen_range(self.clone());
+        f64_tree(self.start, v, self.end - self.start)
+    }
+}
+
+// Tuples of strategies.
+
+fn tuple2_tree<A: Clone + 'static, B: Clone + 'static>(a: Tree<A>, b: Tree<B>) -> Tree<(A, B)> {
+    let value = (a.value.clone(), b.value.clone());
+    Tree::with_children(value, move || {
+        let mut out = Vec::new();
+        for ca in a.children() {
+            out.push(tuple2_tree(ca, b.clone()));
+        }
+        for cb in b.children() {
+            out.push(tuple2_tree(a.clone(), cb));
+        }
+        out
+    })
+}
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn tree(&self, rng: &mut SmallRng) -> Tree<Self::Value> {
+        self.0.tree(rng).map(Rc::new(|v| (v.clone(),)))
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn tree(&self, rng: &mut SmallRng) -> Tree<Self::Value> {
+        let (ta, tb) = (self.0.tree(rng), self.1.tree(rng));
+        tuple2_tree(ta, tb)
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn tree(&self, rng: &mut SmallRng) -> Tree<Self::Value> {
+        let nested = tuple2_tree(
+            tuple2_tree(self.0.tree(rng), self.1.tree(rng)),
+            self.2.tree(rng),
+        );
+        nested.map(Rc::new(|((a, b), c)| (a.clone(), b.clone(), c.clone())))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn tree(&self, rng: &mut SmallRng) -> Tree<Self::Value> {
+        let ab = tuple2_tree(self.0.tree(rng), self.1.tree(rng));
+        let cd = tuple2_tree(self.2.tree(rng), self.3.tree(rng));
+        tuple2_tree(ab, cd).map(Rc::new(|((a, b), (c, d))| {
+            (a.clone(), b.clone(), c.clone(), d.clone())
+        }))
+    }
+}
+
+/// Collection strategies (`proptest::collection` mirror).
+pub mod collection {
+    use super::*;
+
+    /// Size specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec size range must be non-empty");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with the given element strategy and size.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: SizeRange,
+    }
+
+    fn vec_tree<T: Clone + Debug + 'static>(min_len: usize, elems: Vec<Tree<T>>) -> Tree<Vec<T>> {
+        let value: Vec<T> = elems.iter().map(|t| t.value.clone()).collect();
+        Tree::with_children(value, move || {
+            let mut out = Vec::new();
+            // Structural shrinks first: drop the back half, then one element.
+            if elems.len() > min_len {
+                let half = (elems.len() + min_len).div_ceil(2);
+                if half < elems.len() {
+                    out.push(vec_tree(min_len, elems[..half].to_vec()));
+                }
+                out.push(vec_tree(min_len, elems[..elems.len() - 1].to_vec()));
+            }
+            // Then element-wise shrinks.
+            for (i, elem) in elems.iter().enumerate() {
+                for child in elem.children() {
+                    let mut next = elems.clone();
+                    next[i] = child;
+                    out.push(vec_tree(min_len, next));
+                }
+            }
+            out
+        })
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn tree(&self, rng: &mut SmallRng) -> Tree<Self::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            let elems: Vec<Tree<S::Value>> = (0..len).map(|_| self.element.tree(rng)).collect();
+            vec_tree(self.size.lo, elems)
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool` mirror).
+pub mod bool {
+    use super::*;
+
+    /// `true` with probability `p`; shrinks towards `false`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+
+    /// Strategy returned by [`weighted`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn tree(&self, rng: &mut SmallRng) -> Tree<bool> {
+            let v = rng.gen_bool(self.p);
+            if v {
+                Tree::with_children(true, || vec![Tree::leaf(false)])
+            } else {
+                Tree::leaf(false)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure — triggers shrinking.
+    Fail(String),
+    /// `prop_assume!` rejection — the case is skipped, not failed.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Result of one case execution.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+enum Outcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+fn run_case<T: Clone, F: Fn(T) -> TestCaseResult>(body: &F, value: &T) -> Outcome {
+    let v = value.clone();
+    match catch_unwind(AssertUnwindSafe(|| body(v))) {
+        Ok(Ok(())) => Outcome::Pass,
+        Ok(Err(TestCaseError::Reject)) => Outcome::Reject,
+        Ok(Err(TestCaseError::Fail(msg))) => Outcome::Fail(msg),
+        Err(payload) => Outcome::Fail(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed that does not depend on
+/// declaration order or std's randomised `DefaultHasher`.
+fn derive_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+const MAX_SHRINK_STEPS: usize = 1024;
+
+/// Execute a property: generate `cfg.cases` inputs from `strategy`, run
+/// `body` on each, shrink and panic with a reproducible report on failure.
+///
+/// Used via the [`crate::proptest!`] macro rather than directly.
+pub fn run<S, F>(name: &str, cfg: ProptestConfig, strategy: &S, body: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let seed = match std::env::var("RT_PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or_else(|_| derive_seed(name)),
+        Err(_) => derive_seed(name),
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut executed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = cfg.cases.saturating_mul(16).saturating_add(100);
+    while executed < cfg.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "[rt::proptest] {name}: too many prop_assume! rejections \
+             ({executed}/{} cases after {attempts} attempts, seed={seed})",
+            cfg.cases
+        );
+        let case = strategy.tree(&mut rng);
+        match run_case(&body, &case.value) {
+            Outcome::Pass => executed += 1,
+            Outcome::Reject => continue,
+            Outcome::Fail(msg) => {
+                let (minimal, final_msg, shrink_steps) = shrink(case, msg, &body);
+                panic!(
+                    "[rt::proptest] property '{name}' failed (seed={seed}, case {executed}, \
+                     {shrink_steps} shrink steps)\n  minimal failing input: {:?}\n  {final_msg}",
+                    minimal
+                );
+            }
+        }
+    }
+}
+
+fn shrink<T, F>(root: Tree<T>, msg: String, body: &F) -> (T, String, usize)
+where
+    T: Clone + Debug + 'static,
+    F: Fn(T) -> TestCaseResult,
+{
+    let mut cur = root;
+    let mut cur_msg = msg;
+    let mut steps = 0usize;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for child in cur.children() {
+            steps += 1;
+            if let Outcome::Fail(m) = run_case(body, &child.value) {
+                cur = child;
+                cur_msg = m;
+                continue 'outer;
+            }
+            if steps >= MAX_SHRINK_STEPS {
+                break;
+            }
+        }
+        break;
+    }
+    (cur.value.clone(), cur_msg, steps)
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declare property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that draws inputs, checks the body, and shrinks
+/// counterexamples. Mirrors the `proptest!` macro surface the workspace
+/// uses, including the `#![proptest_config(...)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let strategy = ($($strat,)+);
+                $crate::proptest::run(
+                    stringify!($name),
+                    $cfg,
+                    &strategy,
+                    |case| -> $crate::proptest::TestCaseResult {
+                        let ($($arg,)+) = case;
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::proptest::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Property-test assertion: on failure the case shrinks instead of aborting
+/// the whole test process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::proptest::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Skip the current case (not counted towards the case budget) when a
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::proptest::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let strategy = (0u64..100,);
+        let cfg = ProptestConfig::with_cases(10);
+        // `run` takes Fn, so count through a Cell.
+        let counter = std::cell::Cell::new(0u32);
+        run("meta_pass", cfg, &strategy, |(_v,)| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal() {
+        // Property "v < 57" over 0..1000: minimal counterexample is 57.
+        let strategy = (0u64..1000,);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "meta_shrink",
+                ProptestConfig::with_cases(64),
+                &strategy,
+                |(v,)| {
+                    prop_assert!(v < 57, "v too big: {v}");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = panic_message(outcome.expect_err("property must fail").as_ref());
+        assert!(msg.contains("(57,)"), "should shrink to exactly 57: {msg}");
+        assert!(msg.contains("seed="), "must report the failing seed: {msg}");
+    }
+
+    #[test]
+    fn vec_strategy_shrinks_length_and_elements() {
+        // Failing iff the vec contains any element >= 5: minimal is [5].
+        let strategy = (collection::vec(0usize..100, 0..20),);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "meta_vec_shrink",
+                ProptestConfig::with_cases(64),
+                &strategy,
+                |(v,)| {
+                    prop_assert!(v.iter().all(|&x| x < 5), "bad vec");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = panic_message(outcome.expect_err("property must fail").as_ref());
+        assert!(msg.contains("([5],)"), "should shrink to ([5],): {msg}");
+    }
+
+    #[test]
+    fn mapped_strategy_shrinks_through_map() {
+        // Shrinking works on the pre-map input, so the doubled value shrinks
+        // to the smallest doubled counterexample: 2 * 30 = 60.
+        let strategy = ((0u64..1000).prop_map(|v| v * 2),);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "meta_map_shrink",
+                ProptestConfig::with_cases(64),
+                &strategy,
+                |(v,)| {
+                    prop_assert!(v < 60, "too big");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = panic_message(outcome.expect_err("property must fail").as_ref());
+        assert!(msg.contains("(60,)"), "should shrink to (60,): {msg}");
+    }
+
+    #[test]
+    fn rejections_do_not_consume_case_budget() {
+        let counter = std::cell::Cell::new(0u32);
+        run(
+            "meta_assume",
+            ProptestConfig::with_cases(8),
+            &(0u64..100,),
+            |(v,)| {
+                prop_assume!(v % 2 == 0);
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(counter.get(), 8, "exactly 8 even cases must execute");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        fn macro_smoke(a in 0usize..50, (b, c) in (0u32..10, -1.0f64..1.0)) {
+            prop_assert!(a < 50);
+            prop_assert!(b < 10);
+            prop_assert!((-1.0..1.0).contains(&c));
+        }
+
+        fn macro_early_return(v in 0u64..10) {
+            if v > 100 {
+                return Ok(());
+            }
+            prop_assert_eq!(v, v);
+        }
+    }
+}

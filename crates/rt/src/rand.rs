@@ -1,0 +1,410 @@
+//! Deterministic pseudo-random numbers owned by the workspace.
+//!
+//! The generator is Xoshiro256++ (Blackman & Vigna) seeded through
+//! SplitMix64, the standard pairing: SplitMix64 decorrelates nearby `u64`
+//! seeds, Xoshiro256++ provides the fast, statistically solid stream. The
+//! surface mirrors the parts of the `rand` crate the workspace uses —
+//! [`Rng`], [`SeedableRng`], [`rngs::SmallRng`], `gen_range`, `gen`,
+//! `gen_bool`, `shuffle`, and uniform/normal [`Distribution`]s — so code
+//! ports mechanically while the stream itself is pinned by this file
+//! forever.
+
+/// Namespace mirror of `rand::rngs`.
+pub mod rngs {
+    pub use super::SmallRng;
+}
+
+/// Core entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from a `u64` seed. Same seed, same stream — forever.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step: mixes `state` and returns the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's small, fast generator: Xoshiro256++.
+///
+/// Named `SmallRng` so call sites keep the `rand` idiom
+/// `SmallRng::seed_from_u64(seed)`.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // All-zero state is the one fixed point of the xoshiro transition;
+        // SplitMix64 cannot produce four consecutive zeros, but guard anyway.
+        debug_assert!(s.iter().any(|&w| w != 0));
+        SmallRng { s }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// `f64` uniform in `[0, 1)` from the top 53 bits of a `u64`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased uniform draw in `[0, bound)` via bitmask rejection.
+pub fn gen_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "gen_u64_below: bound must be positive");
+    if bound == 1 {
+        return 0;
+    }
+    let mask = u64::MAX >> (bound - 1).leading_zeros();
+    loop {
+        let v = rng.next_u64() & mask;
+        if v < bound {
+            return v;
+        }
+    }
+}
+
+/// Types drawable from the "standard" distribution (`rng.gen::<T>()`):
+/// `f64`/`f32` uniform in `[0, 1)`, integers uniform over their range,
+/// `bool` as a fair coin.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Element types `gen_range` can draw uniformly.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+/// Ranges drawable uniformly (the argument of `gen_range`). Generic over
+/// the element type with a single blanket impl per range shape — like
+/// `rand` — so integer literals in ranges unify with the surrounding
+/// expression instead of defaulting to `i32`
+/// (`len + rng.gen_range(0..40)` infers `usize`).
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(*self.start(), *self.end(), true, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty inclusive range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + gen_u64_below(rng, span + 1) as i128) as $t
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + gen_u64_below(rng, span) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                assert!(
+                    (if inclusive { lo <= hi } else { lo < hi }) && lo.is_finite() && hi.is_finite(),
+                    "gen_range: invalid float range"
+                );
+                let u = unit_f64(rng.next_u64()) as $t;
+                let v = lo + u * (hi - lo);
+                if inclusive {
+                    if v > hi { hi } else { v }
+                } else {
+                    // Guard against rounding up to the excluded endpoint.
+                    if v >= hi { lo } else { v }
+                }
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// A parameterised distribution (`rng.sample(&distr)`).
+pub trait Distribution {
+    /// Sampled value type.
+    type Output;
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform distribution over `[lo, hi)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Uniform over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "Uniform: invalid bounds"
+        );
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.lo..self.hi).sample_in(rng)
+    }
+}
+
+/// Gaussian via Box–Muller (two uniform draws per sample; the sine twin is
+/// discarded so consumption per sample is constant — a determinism property
+/// callers may rely on).
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Normal with the given mean and standard deviation (`std >= 0`).
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(
+            std >= 0.0 && std.is_finite() && mean.is_finite(),
+            "Normal: invalid parameters"
+        );
+        Normal { mean, std }
+    }
+}
+
+impl Distribution for Normal {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1 = (f64::EPSILON..1.0).sample_in(&mut *rng);
+        let u2 = unit_f64(rng.next_u64());
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        self.mean + self.std * z
+    }
+}
+
+/// The user-facing surface, `rand`-style: blanket-implemented for every
+/// [`RngCore`], including `&mut R`.
+pub trait Rng: RngCore {
+    /// Draw from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from an integer or float range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Bernoulli draw with success probability `p ∈ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Draw from a parameterised distribution.
+    fn sample<D: Distribution>(&mut self, distr: &D) -> D::Output
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = gen_u64_below(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs for the all-{1,2,3,4} state, computed from the
+        // reference C implementation of xoshiro256++.
+        let mut rng = SmallRng { s: [1, 2, 3, 4] };
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![41943041, 58720359, 3588806011781223, 3591011842654386]
+        );
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // SplitMix64 test vector for seed 0.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let a = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&b));
+            let c = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&c));
+            let d = rng.gen_range(-0.25f64..=0.25);
+            assert!((-0.25..=0.25).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements should not shuffle to identity"
+        );
+    }
+
+    #[test]
+    fn reborrowed_rng_advances_parent_stream() {
+        fn take(rng: &mut impl Rng) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = SmallRng::seed_from_u64(4);
+        let a = take(&mut rng);
+        let b = take(&mut rng);
+        assert_ne!(a, b);
+    }
+}

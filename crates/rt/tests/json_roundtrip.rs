@@ -1,0 +1,164 @@
+//! JSON round-trip fidelity, with emphasis on the `f64` edge cases that
+//! decide whether checkpoints and score files restore bit-for-bit.
+
+use umgad_rt::json::{from_str, to_string, FromJson, JsonError, ToJson, Value};
+
+fn roundtrip_f64(x: f64) {
+    let json = to_string(&x).unwrap();
+    let back: f64 = from_str(&json).unwrap();
+    assert_eq!(
+        x.to_bits(),
+        back.to_bits(),
+        "{x:?} serialised as {json} came back as {back:?}"
+    );
+}
+
+#[test]
+fn f64_edge_values_roundtrip_bit_exact() {
+    for x in [
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        0.1,
+        1.0 / 3.0,
+        f64::MIN_POSITIVE,       // smallest normal
+        5e-324,                  // smallest subnormal
+        f64::MIN_POSITIVE / 2.0, // mid-range subnormal
+        f64::MAX,
+        f64::MIN,
+        1e308,
+        -1e-308,
+        2f64.powi(53), // integer precision boundary
+        2f64.powi(53) + 2.0,
+        std::f64::consts::PI,
+        std::f64::consts::E,
+        6.02214076e23,
+        1.616255e-35,
+    ] {
+        roundtrip_f64(x);
+    }
+}
+
+#[test]
+fn f64_negative_zero_preserves_sign() {
+    let json = to_string(&(-0.0f64)).unwrap();
+    let back: f64 = from_str(&json).unwrap();
+    assert!(
+        back.is_sign_negative(),
+        "-0.0 serialised as {json} lost its sign"
+    );
+}
+
+#[test]
+fn f64_sweep_roundtrips() {
+    // A deterministic sweep across magnitudes, both signs.
+    let mut x = 1e-320f64;
+    while x < 1e300 {
+        roundtrip_f64(x);
+        roundtrip_f64(-x);
+        roundtrip_f64(x * 1.0000000000000002); // next-ish representable
+        x *= 987.654321;
+    }
+}
+
+#[test]
+fn non_finite_floats_are_errors() {
+    assert!(to_string(&f64::NAN).is_err());
+    assert!(to_string(&f64::INFINITY).is_err());
+    assert!(to_string(&f64::NEG_INFINITY).is_err());
+}
+
+#[test]
+fn integer_extremes_roundtrip() {
+    let json = to_string(&u64::MAX).unwrap();
+    let back: u64 = from_str(&json).unwrap();
+    assert_eq!(back, u64::MAX);
+
+    let json = to_string(&i64::MIN).unwrap();
+    let back: i64 = from_str(&json).unwrap();
+    assert_eq!(back, i64::MIN);
+
+    // u64::MAX does not fit in i64 and must fail loudly, not wrap.
+    let r: Result<i64, JsonError> = from_str(&to_string(&u64::MAX).unwrap());
+    assert!(r.is_err());
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Nested {
+    tag: String,
+    values: Vec<f64>,
+    flags: [bool; 3],
+    child: Option<Box<Inner>>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct Inner {
+    id: u64,
+    weight: f64,
+}
+
+umgad_rt::json_object!(Inner { id, weight });
+
+impl ToJson for Nested {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("tag".to_string(), self.tag.to_json()),
+            ("values".to_string(), self.values.to_json()),
+            ("flags".to_string(), self.flags.to_json()),
+            ("child".to_string(), self.child.as_deref().to_json()),
+        ])
+    }
+}
+
+impl FromJson for Nested {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Nested {
+            tag: umgad_rt::json::field(v, "tag")?,
+            values: umgad_rt::json::field(v, "values")?,
+            flags: umgad_rt::json::field(v, "flags")?,
+            child: umgad_rt::json::field::<Option<Inner>>(v, "child")?.map(Box::new),
+        })
+    }
+}
+
+#[test]
+fn nested_structures_roundtrip() {
+    let n = Nested {
+        tag: "root \"quoted\" / \\ \n unicode: ünïcødé".to_string(),
+        values: vec![5e-324, -0.0, f64::MAX, 0.1 + 0.2],
+        flags: [true, false, true],
+        child: Some(Box::new(Inner {
+            id: u64::MAX,
+            weight: -1e-308,
+        })),
+    };
+    let json = to_string(&n).unwrap();
+    let back: Nested = from_str(&json).unwrap();
+    assert_eq!(n.tag, back.tag);
+    assert_eq!(n.flags, back.flags);
+    assert_eq!(n.child, back.child);
+    for (a, b) in n.values.iter().zip(&back.values) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    // None path too.
+    let n2 = Nested { child: None, ..n };
+    let back2: Nested = from_str(&to_string(&n2).unwrap()).unwrap();
+    assert_eq!(back2.child, None);
+}
+
+#[test]
+fn serialisation_is_deterministic() {
+    // Obj preserves insertion order, so two serialisations of the same
+    // value are byte-identical — checkpoints can be diffed and hashed.
+    let n = Nested {
+        tag: "t".to_string(),
+        values: vec![1.0, 0.5, 1.0 / 3.0],
+        flags: [false, false, true],
+        child: Some(Box::new(Inner {
+            id: 9,
+            weight: 0.25,
+        })),
+    };
+    assert_eq!(to_string(&n).unwrap(), to_string(&n).unwrap());
+}

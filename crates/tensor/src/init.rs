@@ -1,6 +1,6 @@
 //! Weight initialisation schemes.
 
-use rand::Rng;
+use umgad_rt::rand::Rng;
 
 use crate::matrix::Matrix;
 
@@ -39,8 +39,8 @@ pub fn normal_scalar(rng: &mut impl Rng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use umgad_rt::rand::rngs::SmallRng;
+    use umgad_rt::rand::SeedableRng;
 
     #[test]
     fn xavier_within_bounds() {
@@ -56,7 +56,12 @@ mod tests {
         let m = normal(100, 100, 1.0, 2.0, &mut rng);
         let n = m.len() as f64;
         let mean = m.sum() / n;
-        let var = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var = m
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

@@ -20,7 +20,12 @@ pub struct Param {
 impl Param {
     /// Wrap an initial value.
     pub fn new(value: Matrix) -> Self {
-        Self { value, m: None, v: None, t: 0 }
+        Self {
+            value,
+            m: None,
+            v: None,
+            t: 0,
+        }
     }
 
     /// Shape of the underlying matrix.
@@ -53,24 +58,41 @@ pub struct Adam {
 
 impl Default for Adam {
     fn default() -> Self {
-        Self { lr: 1e-2, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+        Self {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
     }
 }
 
 impl Adam {
     /// Adam with the given learning rate and defaults otherwise.
     pub fn with_lr(lr: f64) -> Self {
-        Self { lr, ..Self::default() }
+        Self {
+            lr,
+            ..Self::default()
+        }
     }
 
     /// Paper setting: weight decay 0.01.
     pub fn paper_default() -> Self {
-        Self { lr: 5e-3, weight_decay: 0.01, ..Self::default() }
+        Self {
+            lr: 5e-3,
+            weight_decay: 0.01,
+            ..Self::default()
+        }
     }
 
     /// Apply one update to `param` given its gradient.
     pub fn step(&self, param: &mut Param, grad: &Matrix) {
-        assert_eq!(param.value.shape(), grad.shape(), "optimiser shape mismatch");
+        assert_eq!(
+            param.value.shape(),
+            grad.shape(),
+            "optimiser shape mismatch"
+        );
         let (r, c) = grad.shape();
         param.t += 1;
         let m = param.m.get_or_insert_with(|| Matrix::zeros(r, c));
@@ -125,7 +147,12 @@ impl LrSchedule {
     pub fn at(&self, epoch: usize) -> f64 {
         match *self {
             LrSchedule::Constant(lr) => lr,
-            LrSchedule::WarmupCosine { peak, floor, warmup, total } => {
+            LrSchedule::WarmupCosine {
+                peak,
+                floor,
+                warmup,
+                total,
+            } => {
                 if warmup > 0 && epoch < warmup {
                     peak * (epoch + 1) as f64 / warmup as f64
                 } else {
@@ -134,9 +161,11 @@ impl LrSchedule {
                     floor + 0.5 * (peak - floor) * (1.0 + (std::f64::consts::PI * t).cos())
                 }
             }
-            LrSchedule::Step { initial, gamma, every } => {
-                initial * gamma.powi((epoch / every.max(1)) as i32)
-            }
+            LrSchedule::Step {
+                initial,
+                gamma,
+                every,
+            } => initial * gamma.powi((epoch / every.max(1)) as i32),
         }
     }
 }
@@ -165,12 +194,19 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate and no decay.
     pub fn with_lr(lr: f64) -> Self {
-        Self { lr, weight_decay: 0.0 }
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 
     /// Apply one update.
     pub fn step(&self, param: &mut Param, grad: &Matrix) {
-        assert_eq!(param.value.shape(), grad.shape(), "optimiser shape mismatch");
+        assert_eq!(
+            param.value.shape(),
+            grad.shape(),
+            "optimiser shape mismatch"
+        );
         let pd = param.value.data_mut();
         for (p, g) in pd.iter_mut().zip(grad.data()) {
             *p -= self.lr * (g + self.weight_decay * *p);
@@ -210,7 +246,10 @@ mod tests {
     #[test]
     fn weight_decay_shrinks_params() {
         let mut p = Param::new(Matrix::from_vec(1, 1, vec![1.0]));
-        let opt = Sgd { lr: 0.1, weight_decay: 0.5 };
+        let opt = Sgd {
+            lr: 0.1,
+            weight_decay: 0.5,
+        };
         let zero_grad = Matrix::zeros(1, 1);
         opt.step(&mut p, &zero_grad);
         assert!((p.value.get(0, 0) - 0.95).abs() < 1e-12);
@@ -218,7 +257,12 @@ mod tests {
 
     #[test]
     fn warmup_cosine_shape() {
-        let s = LrSchedule::WarmupCosine { peak: 1.0, floor: 0.1, warmup: 5, total: 25 };
+        let s = LrSchedule::WarmupCosine {
+            peak: 1.0,
+            floor: 0.1,
+            warmup: 5,
+            total: 25,
+        };
         // Ramps up...
         assert!(s.at(0) < s.at(4));
         assert!((s.at(4) - 1.0).abs() < 1e-12);
@@ -231,7 +275,11 @@ mod tests {
 
     #[test]
     fn step_schedule_decays() {
-        let s = LrSchedule::Step { initial: 1.0, gamma: 0.5, every: 10 };
+        let s = LrSchedule::Step {
+            initial: 1.0,
+            gamma: 0.5,
+            every: 10,
+        };
         assert_eq!(s.at(0), 1.0);
         assert_eq!(s.at(9), 1.0);
         assert_eq!(s.at(10), 0.5);

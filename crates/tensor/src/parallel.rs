@@ -44,13 +44,19 @@ where
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("worker filled every slot")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
 }
 
 /// Number of worker threads to use by default: available parallelism capped
 /// at 8 (the workloads here are memory-bandwidth-bound beyond that).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 #[cfg(test)]

@@ -24,12 +24,18 @@ impl CsrMatrix {
     /// Triples may arrive in any order; duplicates are summed. Entries with
     /// value exactly `0.0` are kept out of the structure.
     pub fn from_coo(rows: usize, cols: usize, mut triples: Vec<(usize, usize, f64)>) -> Self {
-        assert!(cols <= u32::MAX as usize, "CsrMatrix supports at most 2^32 columns");
+        assert!(
+            cols <= u32::MAX as usize,
+            "CsrMatrix supports at most 2^32 columns"
+        );
         triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
         // Pass 1: merge duplicate (row, col) runs.
         let mut merged: Vec<(usize, u32, f64)> = Vec::with_capacity(triples.len());
         for (r, c, v) in triples {
-            assert!(r < rows && c < cols, "coo entry ({r},{c}) out of bounds {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "coo entry ({r},{c}) out of bounds {rows}x{cols}"
+            );
             match merged.last_mut() {
                 Some((lr, lc, lv)) if *lr == r && *lc == c as u32 => *lv += v,
                 _ => merged.push((r, c as u32, v)),
@@ -50,12 +56,22 @@ impl CsrMatrix {
         for r in 1..=rows {
             row_ptr[r] += row_ptr[r - 1];
         }
-        Self { rows, cols, row_ptr, col_idx, vals }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Build an unweighted CSR (all values 1.0) from an edge list.
     pub fn from_edges(rows: usize, cols: usize, edges: &[(usize, usize)]) -> Self {
-        Self::from_coo(rows, cols, edges.iter().map(|&(r, c)| (r, c, 1.0)).collect())
+        Self::from_coo(
+            rows,
+            cols,
+            edges.iter().map(|&(r, c)| (r, c, 1.0)).collect(),
+        )
     }
 
     /// Number of rows.
@@ -115,7 +131,15 @@ impl CsrMatrix {
 
     /// Sparse × dense product `self @ x`.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
-        assert_eq!(self.cols, x.rows(), "spmm: {}x{} @ {}x{}", self.rows, self.cols, x.rows(), x.cols());
+        assert_eq!(
+            self.cols,
+            x.rows(),
+            "spmm: {}x{} @ {}x{}",
+            self.rows,
+            self.cols,
+            x.rows(),
+            x.cols()
+        );
         let mut out = Matrix::zeros(self.rows, x.cols());
         for r in 0..self.rows {
             let orow = out.row_mut(r);
@@ -148,7 +172,13 @@ impl CsrMatrix {
             vals[k] = v;
             cursor[c] += 1;
         }
-        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, vals }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// True when the matrix equals its transpose.
@@ -156,7 +186,8 @@ impl CsrMatrix {
         if self.rows != self.cols {
             return false;
         }
-        self.iter().all(|(r, c, v)| (self.get(c, r) - v).abs() < 1e-12)
+        self.iter()
+            .all(|(r, c, v)| (self.get(c, r) - v).abs() < 1e-12)
     }
 
     /// Densify — for tests and very small graphs only.
@@ -186,8 +217,14 @@ pub struct SpPair {
 impl SpPair {
     /// Pair for a symmetric matrix: forward and backward share storage.
     pub fn symmetric(m: Arc<CsrMatrix>) -> Self {
-        debug_assert!(m.is_symmetric() || m.nnz() > 200_000, "SpPair::symmetric on asymmetric matrix");
-        Self { bwd: Arc::clone(&m), fwd: m }
+        debug_assert!(
+            m.is_symmetric() || m.nnz() > 200_000,
+            "SpPair::symmetric on asymmetric matrix"
+        );
+        Self {
+            bwd: Arc::clone(&m),
+            fwd: m,
+        }
     }
 
     /// Pair for a general matrix; computes the transpose once.
@@ -205,7 +242,11 @@ mod tests {
         // [[1, 0, 2],
         //  [0, 0, 0],
         //  [3, 4, 0]]
-        CsrMatrix::from_coo(3, 3, vec![(2, 1, 4.0), (0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0)])
+        CsrMatrix::from_coo(
+            3,
+            3,
+            vec![(2, 1, 4.0), (0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0)],
+        )
     }
 
     #[test]
@@ -245,7 +286,10 @@ mod tests {
     #[test]
     fn transpose_matches_dense() {
         let m = sample();
-        assert_eq!(m.transpose().to_dense().data(), m.to_dense().transpose().data());
+        assert_eq!(
+            m.transpose().to_dense().data(),
+            m.to_dense().transpose().data()
+        );
     }
 
     #[test]
@@ -259,7 +303,10 @@ mod tests {
     fn iter_covers_all_entries() {
         let m = sample();
         let triples: Vec<_> = m.iter().collect();
-        assert_eq!(triples, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
+        assert_eq!(
+            triples,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::rc::Rc;
 
-use rand::Rng;
+use umgad_rt::rand::Rng;
 
 use crate::matrix::{dot, Matrix};
 use crate::sparse::SpPair;
@@ -54,7 +54,11 @@ enum Op {
     Tanh(usize),
     GatherRows(usize, Rc<Vec<usize>>),
     /// Rows in `idx` of `x` replaced by the (learnable) `token` row.
-    ReplaceRows { x: usize, token: usize, idx: Rc<Vec<usize>> },
+    ReplaceRows {
+        x: usize,
+        token: usize,
+        idx: Rc<Vec<usize>>,
+    },
     /// Pre-sampled inverted-dropout mask (entries are `0` or `1/(1-p)`).
     Dropout(usize, Rc<Vec<f64>>),
     Sum(usize),
@@ -67,16 +71,36 @@ enum Op {
     /// Extract entry `(i, j)` as a `1x1`.
     Entry(usize, usize, usize),
     /// Mean over `idx` of `(1 - cos(x_i, t_i))^eta` — GraphMAE-style loss.
-    ScaledCosine { x: usize, target: Rc<Matrix>, idx: Rc<Vec<usize>>, eta: f64 },
+    ScaledCosine {
+        x: usize,
+        target: Rc<Matrix>,
+        idx: Rc<Vec<usize>>,
+        eta: f64,
+    },
     /// InfoNCE over masked edges with `q` sampled negatives per edge.
-    EdgeNce { z: usize, pos: Rc<Vec<(usize, usize)>>, negs: Rc<Vec<usize>>, q: usize },
+    EdgeNce {
+        z: usize,
+        pos: Rc<Vec<(usize, usize)>>,
+        negs: Rc<Vec<usize>>,
+        q: usize,
+    },
     /// Dual-view InfoNCE (Eq. 17) with `q` sampled contrast nodes per anchor.
-    InfoNce { a: usize, b: usize, negs: Rc<Vec<usize>>, q: usize, tau: f64 },
+    InfoNce {
+        a: usize,
+        b: usize,
+        negs: Rc<Vec<usize>>,
+        q: usize,
+        tau: f64,
+    },
     /// Mean squared error against a constant target.
     FrobMse(usize, Rc<Matrix>),
     /// Element-wise binary cross entropy on logits vs constant 0/1 target,
     /// with a positive-class weight (DOMINANT-style structure decoder).
-    BceLogits { x: usize, target: Rc<Matrix>, pos_weight: f64 },
+    BceLogits {
+        x: usize,
+        target: Rc<Matrix>,
+        pos_weight: f64,
+    },
 }
 
 /// A reverse-mode autodiff tape.
@@ -135,7 +159,9 @@ impl Tape {
     /// Gradient, or a zero matrix of the node's shape when none flowed.
     pub fn grad_or_zero(&self, v: Var) -> Matrix {
         let (r, c) = self.values[v.0].shape();
-        self.grads[v.0].clone().unwrap_or_else(|| Matrix::zeros(r, c))
+        self.grads[v.0]
+            .clone()
+            .unwrap_or_else(|| Matrix::zeros(r, c))
     }
 
     fn req(&self, a: usize) -> bool {
@@ -276,7 +302,15 @@ impl Tape {
             v.set_row(i, &trow);
         }
         let r = self.req(x.0) || self.req(token.0);
-        self.push(v, Op::ReplaceRows { x: x.0, token: token.0, idx }, r)
+        self.push(
+            v,
+            Op::ReplaceRows {
+                x: x.0,
+                token: token.0,
+                idx,
+            },
+            r,
+        )
     }
 
     /// Inverted dropout with keep-probability `1 - p`; identity when `p == 0`.
@@ -287,10 +321,16 @@ impl Tape {
         }
         let scale = 1.0 / (1.0 - p);
         let xm = &self.values[x.0];
-        let mask: Vec<f64> =
-            (0..xm.len()).map(|_| if rng.gen::<f64>() < p { 0.0 } else { scale }).collect();
+        let mask: Vec<f64> = (0..xm.len())
+            .map(|_| if rng.gen::<f64>() < p { 0.0 } else { scale })
+            .collect();
         let mask = Rc::new(mask);
-        let data = xm.data().iter().zip(mask.iter()).map(|(&v, &m)| v * m).collect();
+        let data = xm
+            .data()
+            .iter()
+            .zip(mask.iter())
+            .map(|(&v, &m)| v * m)
+            .collect();
         let v = Matrix::from_vec(xm.rows(), xm.cols(), data);
         let r = self.req(x.0);
         self.push(v, Op::Dropout(x.0, mask), r)
@@ -386,7 +426,16 @@ impl Tape {
         }
         let v = Matrix::from_vec(1, 1, vec![total / idx.len() as f64]);
         let r = self.req(x.0);
-        self.push(v, Op::ScaledCosine { x: x.0, target, idx, eta }, r)
+        self.push(
+            v,
+            Op::ScaledCosine {
+                x: x.0,
+                target,
+                idx,
+                eta,
+            },
+            r,
+        )
     }
 
     /// Negative-sampled edge cross-entropy (Eq. 7): for each masked edge
@@ -401,8 +450,15 @@ impl Tape {
         negs: Rc<Vec<usize>>,
         q: usize,
     ) -> Var {
-        assert!(!pos.is_empty(), "edge_nce_loss needs at least one positive edge");
-        assert_eq!(negs.len(), pos.len() * q, "need q negatives per positive edge");
+        assert!(
+            !pos.is_empty(),
+            "edge_nce_loss needs at least one positive edge"
+        );
+        assert_eq!(
+            negs.len(),
+            pos.len() * q,
+            "need q negatives per positive edge"
+        );
         let zm = &self.values[z.0];
         let mut total = 0.0;
         for (e, &(u, v)) in pos.iter().enumerate() {
@@ -421,14 +477,30 @@ impl Tape {
         }
         let v = Matrix::from_vec(1, 1, vec![total / pos.len() as f64]);
         let r = self.req(z.0);
-        self.push(v, Op::EdgeNce { z: z.0, pos, negs, q }, r)
+        self.push(
+            v,
+            Op::EdgeNce {
+                z: z.0,
+                pos,
+                negs,
+                q,
+            },
+            r,
+        )
     }
 
     /// Dual-view InfoNCE (Eq. 17): anchor `a_i` attracts `b_i` and repels
     /// `a_j`/`b_j` for `q` sampled `j` per anchor (`negs` is `N*q` ids).
     /// The positive term is included in the denominator for stability
     /// (standard InfoNCE; the paper's Eq. 17 omits it).
-    pub fn info_nce_loss(&mut self, a: Var, b: Var, negs: Rc<Vec<usize>>, q: usize, tau: f64) -> Var {
+    pub fn info_nce_loss(
+        &mut self,
+        a: Var,
+        b: Var,
+        negs: Rc<Vec<usize>>,
+        q: usize,
+        tau: f64,
+    ) -> Var {
         let am = &self.values[a.0];
         let bm = &self.values[b.0];
         assert_eq!(am.shape(), bm.shape());
@@ -454,7 +526,17 @@ impl Tape {
         }
         let v = Matrix::from_vec(1, 1, vec![total / n as f64]);
         let r = self.req(a.0) || self.req(b.0);
-        self.push(v, Op::InfoNce { a: a.0, b: b.0, negs, q, tau }, r)
+        self.push(
+            v,
+            Op::InfoNce {
+                a: a.0,
+                b: b.0,
+                negs,
+                q,
+                tau,
+            },
+            r,
+        )
     }
 
     /// Mean squared error against a constant target.
@@ -484,7 +566,15 @@ impl Tape {
         }
         let v = Matrix::from_vec(1, 1, vec![total / xm.len() as f64]);
         let r = self.req(x.0);
-        self.push(v, Op::BceLogits { x: x.0, target, pos_weight }, r)
+        self.push(
+            v,
+            Op::BceLogits {
+                x: x.0,
+                target,
+                pos_weight,
+            },
+            r,
+        )
     }
 
     // ---- backward -------------------------------------------------------
@@ -492,7 +582,11 @@ impl Tape {
     /// Back-propagate from a scalar (`1x1`) loss node, filling gradients for
     /// every differentiable ancestor.
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(self.values[loss.0].shape(), (1, 1), "backward expects a scalar loss");
+        assert_eq!(
+            self.values[loss.0].shape(),
+            (1, 1),
+            "backward expects a scalar loss"
+        );
         for g in &mut self.grads {
             *g = None;
         }
@@ -501,7 +595,9 @@ impl Tape {
             if !self.requires[id] {
                 continue;
             }
-            let Some(g) = self.grads[id].take() else { continue };
+            let Some(g) = self.grads[id].take() else {
+                continue;
+            };
             self.dispatch_backward(id, &g);
             self.grads[id] = Some(g);
         }
@@ -686,7 +782,12 @@ impl Tape {
                 }
             }
             Op::Dropout(x, mask) => {
-                let data = g.data().iter().zip(mask.iter()).map(|(&gg, &m)| gg * m).collect();
+                let data = g
+                    .data()
+                    .iter()
+                    .zip(mask.iter())
+                    .map(|(&gg, &m)| gg * m)
+                    .collect();
                 self.acc(*x, Matrix::from_vec(g.rows(), g.cols(), data));
             }
             Op::Sum(x) => {
@@ -743,7 +844,12 @@ impl Tape {
             Op::Entry(x, i, j) => {
                 self.acc_entry(*x, *i, *j, g.get(0, 0));
             }
-            Op::ScaledCosine { x, target, idx, eta } => {
+            Op::ScaledCosine {
+                x,
+                target,
+                idx,
+                eta,
+            } => {
                 if self.requires[*x] {
                     let scale = g.get(0, 0) / idx.len() as f64;
                     let xm = &self.values[*x];
@@ -778,8 +884,7 @@ impl Tape {
                         let mut cands = Vec::with_capacity(q + 1);
                         cands.push(v);
                         cands.extend_from_slice(&negs[e * q..(e + 1) * q]);
-                        let scores: Vec<f64> =
-                            cands.iter().map(|&c| dot(&zu, zm.row(c))).collect();
+                        let scores: Vec<f64> = cands.iter().map(|&c| dot(&zu, zm.row(c))).collect();
                         let mx = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                         let exps: Vec<f64> = scores.iter().map(|s| (s - mx).exp()).collect();
                         let zsum: f64 = exps.iter().sum();
@@ -824,14 +929,26 @@ impl Tape {
                         let mx = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                         let exps: Vec<f64> = scores.iter().map(|s| (s - mx).exp()).collect();
                         let zsum: f64 = exps.iter().sum();
-                        let apply = |from_a: bool, row: usize, k: usize, ga: &mut Matrix, gb: &mut Matrix| {
+                        let apply = |from_a: bool,
+                                     row: usize,
+                                     k: usize,
+                                     ga: &mut Matrix,
+                                     gb: &mut Matrix| {
                             let p = exps[k] / zsum - if k == 0 { 1.0 } else { 0.0 };
                             let coef = p * scale / tau;
-                            let other = if from_a { am.row(row).to_vec() } else { bm.row(row).to_vec() };
+                            let other = if from_a {
+                                am.row(row).to_vec()
+                            } else {
+                                bm.row(row).to_vec()
+                            };
                             for (d, &t) in ga.row_mut(i).iter_mut().zip(&other) {
                                 *d += coef * t;
                             }
-                            let dst = if from_a { ga.row_mut(row) } else { gb.row_mut(row) };
+                            let dst = if from_a {
+                                ga.row_mut(row)
+                            } else {
+                                gb.row_mut(row)
+                            };
                             for (d, &t) in dst.iter_mut().zip(&ai) {
                                 *d += coef * t;
                             }
@@ -863,7 +980,11 @@ impl Tape {
                     self.acc(*x, Matrix::from_vec(xm.rows(), xm.cols(), data));
                 }
             }
-            Op::BceLogits { x, target, pos_weight } => {
+            Op::BceLogits {
+                x,
+                target,
+                pos_weight,
+            } => {
                 if self.requires[*x] {
                     let xm = &self.values[*x];
                     let s = g.get(0, 0) / xm.len() as f64;
@@ -898,8 +1019,8 @@ pub fn sigmoid(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use umgad_rt::rand::rngs::SmallRng;
+    use umgad_rt::rand::SeedableRng;
 
     #[test]
     fn add_backward_distributes() {

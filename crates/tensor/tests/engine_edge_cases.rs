@@ -5,7 +5,7 @@
 use std::rc::Rc;
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use umgad_rt::proptest::prelude::*;
 use umgad_tensor::{Adam, CsrMatrix, Matrix, Param, Sgd, SpPair, Tape};
 
 #[test]
@@ -83,7 +83,10 @@ fn adam_is_scale_adaptive() {
 #[test]
 fn sgd_weight_decay_alone_decays_exponentially() {
     let mut p = Param::new(Matrix::from_vec(1, 1, vec![1.0]));
-    let opt = Sgd { lr: 0.1, weight_decay: 1.0 };
+    let opt = Sgd {
+        lr: 0.1,
+        weight_decay: 1.0,
+    };
     let zero = Matrix::zeros(1, 1);
     for _ in 0..20 {
         opt.step(&mut p, &zero);
@@ -115,7 +118,11 @@ fn tape_handles_long_chains() {
     let x = tape.leaf(Matrix::full(4, 4, 1.0));
     let mut h = x;
     for i in 0..500 {
-        h = if i % 2 == 0 { tape.scale(h, 1.001) } else { tape.tanh(h) };
+        h = if i % 2 == 0 {
+            tape.scale(h, 1.001)
+        } else {
+            tape.tanh(h)
+        };
     }
     let l = tape.mean(h);
     tape.backward(l);
@@ -130,7 +137,10 @@ fn losses_are_finite_on_extreme_inputs() {
     let l1 = tape.mse_loss(big, Rc::clone(&target));
     assert!(tape.value(l1).get(0, 0).is_finite());
     let l2 = tape.bce_logits_loss(big, Rc::new(Matrix::zeros(4, 3)), 1.0);
-    assert!(tape.value(l2).get(0, 0).is_finite(), "stable BCE must not overflow");
+    assert!(
+        tape.value(l2).get(0, 0).is_finite(),
+        "stable BCE must not overflow"
+    );
     let idx = Rc::new(vec![0usize, 1]);
     let l3 = tape.scaled_cosine_loss(big, Rc::new(Matrix::full(4, 3, 1.0)), idx, 3.0);
     assert!(tape.value(l3).get(0, 0).is_finite());
@@ -142,7 +152,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
-    fn csr_transpose_involution(entries in proptest::collection::vec((0usize..6, 0usize..6, -3.0f64..3.0), 0..20)) {
+    fn csr_transpose_involution(entries in umgad_rt::proptest::collection::vec((0usize..6, 0usize..6, -3.0f64..3.0), 0..20)) {
         let m = CsrMatrix::from_coo(6, 6, entries);
         let tt = m.transpose().transpose();
         let a = tt.to_dense();
@@ -151,7 +161,7 @@ proptest! {
     }
 
     #[test]
-    fn spmm_matches_dense_reference(entries in proptest::collection::vec((0usize..5, 0usize..7, -2.0f64..2.0), 0..25)) {
+    fn spmm_matches_dense_reference(entries in umgad_rt::proptest::collection::vec((0usize..5, 0usize..7, -2.0f64..2.0), 0..25)) {
         let m = CsrMatrix::from_coo(5, 7, entries);
         let x = Matrix::from_fn(7, 3, |i, j| (i as f64 - j as f64) / 3.0);
         let sparse = m.spmm(&x);
@@ -162,7 +172,7 @@ proptest! {
     }
 
     #[test]
-    fn matmul_associativity(a in proptest::collection::vec(-2.0f64..2.0, 6), b in proptest::collection::vec(-2.0f64..2.0, 6), c in proptest::collection::vec(-2.0f64..2.0, 4))
+    fn matmul_associativity(a in umgad_rt::proptest::collection::vec(-2.0f64..2.0, 6), b in umgad_rt::proptest::collection::vec(-2.0f64..2.0, 6), c in umgad_rt::proptest::collection::vec(-2.0f64..2.0, 4))
     {
         let ma = Matrix::from_vec(2, 3, a);
         let mb = Matrix::from_vec(3, 2, b);
@@ -175,7 +185,7 @@ proptest! {
     }
 
     #[test]
-    fn softmax_row_shift_invariance(v in proptest::collection::vec(-4.0f64..4.0, 5), shift in -10.0f64..10.0) {
+    fn softmax_row_shift_invariance(v in umgad_rt::proptest::collection::vec(-4.0f64..4.0, 5), shift in -10.0f64..10.0) {
         let mut t = Tape::new();
         let a = t.constant(Matrix::from_vec(1, 5, v.clone()));
         let s1 = t.softmax_row(a);

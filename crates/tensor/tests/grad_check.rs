@@ -7,9 +7,9 @@
 
 use std::rc::Rc;
 
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use umgad_rt::proptest::prelude::*;
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::SeedableRng;
 use umgad_tensor::{CsrMatrix, Matrix, SpPair, Tape, Var};
 
 const H: f64 = 1e-5;
@@ -50,7 +50,7 @@ fn grad_check(param: &Matrix, build: impl Fn(&mut Tape, Var) -> Var) {
 }
 
 fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-2.0f64..2.0, rows * cols)
+    umgad_rt::proptest::collection::vec(-2.0f64..2.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
 }
 

@@ -91,7 +91,12 @@ fn main() {
     model.train(&graph);
     let detection = model.detect(&graph);
 
-    println!("\nAUC {:.3}, flagged {} (true bots: {})", detection.auc, detection.flagged, bots.len());
+    println!(
+        "\nAUC {:.3}, flagged {} (true bots: {})",
+        detection.auc,
+        detection.flagged,
+        bots.len()
+    );
     println!(
         "learned relation weights a^r = {:?} (follows should dominate)",
         model
@@ -103,6 +108,14 @@ fn main() {
 
     let mut ranked: Vec<(usize, f64)> = detection.scores.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let hits = ranked.iter().take(bots.len()).filter(|(i, _)| bots.contains(i)).count();
-    println!("precision@{}: {:.2}", bots.len(), hits as f64 / bots.len() as f64);
+    let hits = ranked
+        .iter()
+        .take(bots.len())
+        .filter(|(i, _)| bots.contains(i))
+        .count();
+    println!(
+        "precision@{}: {:.2}",
+        bots.len(),
+        hits as f64 / bots.len() as f64
+    );
 }

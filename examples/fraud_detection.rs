@@ -24,7 +24,11 @@ fn main() {
     );
 
     let epochs = 15;
-    let bcfg = BaselineConfig { epochs, seed: 7, ..BaselineConfig::default() };
+    let bcfg = BaselineConfig {
+        epochs,
+        seed: 7,
+        ..BaselineConfig::default()
+    };
 
     // One representative per family.
     let mut contenders: Vec<Box<dyn Detector>> = vec![
@@ -35,7 +39,10 @@ fn main() {
         Box::new(baselines::AnomMan::new(bcfg)),
     ];
 
-    println!("\n{:<12} {:>7} {:>9} {:>9}", "method", "AUC", "Macro-F1", "flagged");
+    println!(
+        "\n{:<12} {:>7} {:>9} {:>9}",
+        "method", "AUC", "Macro-F1", "flagged"
+    );
     for det in &mut contenders {
         let scores = det.fit_scores(g);
         let decision = select_threshold(&scores);
@@ -71,9 +78,7 @@ fn main() {
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .map(|(i, _)| i)
         .unwrap();
-    println!(
-        "\nwhy was node {top} flagged? (z-scores per view; >0 = more anomalous than average)"
-    );
+    println!("\nwhy was node {top} flagged? (z-scores per view; >0 = more anomalous than average)");
     for ex in model.explain(g, top) {
         println!(
             "  view {:<6} attribute drift {:+.2}σ   structural implausibility {:+.2}σ",

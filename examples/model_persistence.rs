@@ -35,7 +35,10 @@ fn main() {
     // --- restore and verify ------------------------------------------------
     let restored = Umgad::load(&path, g).expect("load checkpoint");
     let scores_restored = restored.anomaly_scores(g);
-    assert_eq!(det.scores, scores_restored, "restored model must score identically");
+    assert_eq!(
+        det.scores, scores_restored,
+        "restored model must score identically"
+    );
     println!("restored model scores are bit-identical to the original");
 
     // --- resume training -----------------------------------------------------

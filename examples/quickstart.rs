@@ -21,7 +21,11 @@ fn main() {
         g.num_anomalies()
     );
     for layer in g.layers() {
-        println!("  relation {:<5} {:>7} edges", layer.name(), layer.num_edges());
+        println!(
+            "  relation {:<5} {:>7} edges",
+            layer.name(),
+            layer.num_edges()
+        );
     }
 
     // 2. Model: paper defaults for injected-anomaly datasets.
@@ -52,8 +56,7 @@ fn main() {
     );
 
     // 4. Top-10 most anomalous nodes.
-    let mut ranked: Vec<(usize, f64)> =
-        detection.scores.iter().copied().enumerate().collect();
+    let mut ranked: Vec<(usize, f64)> = detection.scores.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     let labels = g.labels().unwrap();
     println!("\n  top-10 scores:");

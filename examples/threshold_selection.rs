@@ -32,15 +32,21 @@ fn ascii_curve(sorted_desc: &[f64], knee: usize, width: usize, height: usize) ->
             row[kc] = '|';
         }
     }
-    rows.into_iter().map(|r| r.into_iter().collect::<String>()).collect::<Vec<_>>().join("\n")
+    rows.into_iter()
+        .map(|r| r.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn main() {
     for kind in DatasetKind::ALL {
         let data = Dataset::generate(kind, Scale::Custom(1.0 / 32.0), 3);
         let g = &data.graph;
-        let mut cfg =
-            if kind.injected() { UmgadConfig::paper_injected() } else { UmgadConfig::paper_real() };
+        let mut cfg = if kind.injected() {
+            UmgadConfig::paper_injected()
+        } else {
+            UmgadConfig::paper_real()
+        };
         cfg.epochs = 12;
         cfg.seed = 3;
         let mut model = Umgad::new(g, cfg);

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Pre-merge gate. Run before every merge; all three steps must pass.
+#
+# The workspace is hermetic — no crates.io dependencies — so this runs
+# offline on a bare Rust toolchain. The `umgad-rt` crate supplies the PRNG,
+# JSON, property-testing, and benchmark substrate everything else builds on.
+#
+#   1. tier-1: release build + full test suite (unit, property, integration,
+#      and the end-to-end determinism check in tests/determinism.rs)
+#   2. formatting: rustfmt in check mode
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "CI gate passed."

@@ -47,7 +47,10 @@ fn handmade() -> MultiplexGraph {
     }
     MultiplexGraph::new(
         attrs,
-        vec![RelationLayer::new("e1", n, e1), RelationLayer::new("e2", n, e2)],
+        vec![
+            RelationLayer::new("e1", n, e1),
+            RelationLayer::new("e2", n, e2),
+        ],
         Some(labels),
     )
 }
@@ -71,7 +74,10 @@ fn persistence_feeds_training_identically() {
 
     let d1 = Umgad::fit_detect(&g, UmgadConfig::fast_test());
     let d2 = Umgad::fit_detect(&loaded, UmgadConfig::fast_test());
-    assert_eq!(d1.scores, d2.scores, "training must be invariant to a JSON round-trip");
+    assert_eq!(
+        d1.scores, d2.scores,
+        "training must be invariant to a JSON round-trip"
+    );
 }
 
 #[test]
@@ -89,7 +95,12 @@ fn dto_conversion_preserves_layer_structure() {
 fn every_registered_baseline_handles_generated_data() {
     let data = Dataset::generate(DatasetKind::Alibaba, Scale::Custom(1.0 / 64.0), 31);
     let labels = data.graph.labels().unwrap().to_vec();
-    let cfg = BaselineConfig { epochs: 3, hidden: 8, seed: 1, ..BaselineConfig::default() };
+    let cfg = BaselineConfig {
+        epochs: 3,
+        hidden: 8,
+        seed: 1,
+        ..BaselineConfig::default()
+    };
     for mut det in registry(cfg) {
         let scores = det.fit_scores(&data.graph);
         assert_eq!(scores.len(), data.graph.num_nodes(), "{}", det.name());
@@ -109,7 +120,7 @@ fn every_registered_baseline_handles_generated_data() {
 fn rwr_sampler_integrates_with_generated_layers() {
     let data = Dataset::generate(DatasetKind::Retail, Scale::Custom(1.0 / 64.0), 37);
     let layer = data.graph.layer(0);
-    let mut rng: rand::rngs::SmallRng = rand::SeedableRng::seed_from_u64(1u64);
+    let mut rng: umgad_rt::rand::rngs::SmallRng = umgad_rt::rand::SeedableRng::seed_from_u64(1u64);
     for seed in [0usize, 7, 42] {
         let patch = rwr_sample(layer, seed % layer.num_nodes(), 8, 0.3, &mut rng);
         assert!(!patch.is_empty() && patch.len() <= 8);
@@ -137,5 +148,8 @@ fn stats_and_table_rows_compose() {
     let stats = DatasetStats::of(data.name(), false, &data.graph);
     assert_eq!(stats.relations.len(), 3);
     assert_eq!(stats.table_rows().len(), 3);
-    assert!(stats.anomaly_rate > 0.05, "YelpChi keeps a high anomaly rate");
+    assert!(
+        stats.anomaly_rate > 0.05,
+        "YelpChi keeps a high anomaly rate"
+    );
 }

@@ -39,8 +39,14 @@ fn umgad_beats_random_on_every_dataset() {
 fn injected_datasets_are_easier_than_yelpchi() {
     // The paper's headline dataset ordering: everything scores lower on
     // YelpChi than on the injected e-commerce datasets.
-    let retail = Umgad::fit_detect(&tiny(DatasetKind::Retail, 3).graph, umgad_cfg(DatasetKind::Retail));
-    let yelp = Umgad::fit_detect(&tiny(DatasetKind::YelpChi, 3).graph, umgad_cfg(DatasetKind::YelpChi));
+    let retail = Umgad::fit_detect(
+        &tiny(DatasetKind::Retail, 3).graph,
+        umgad_cfg(DatasetKind::Retail),
+    );
+    let yelp = Umgad::fit_detect(
+        &tiny(DatasetKind::YelpChi, 3).graph,
+        umgad_cfg(DatasetKind::YelpChi),
+    );
     assert!(
         retail.auc > yelp.auc,
         "Retail ({:.3}) should be easier than YelpChi ({:.3})",
@@ -71,7 +77,11 @@ fn umgad_tops_weak_baseline_families() {
     let data = Dataset::generate(DatasetKind::Alibaba, Scale::Custom(1.0 / 24.0), 17);
     let labels = data.graph.labels().unwrap().to_vec();
     let u = Umgad::fit_detect(&data.graph, umgad_cfg(DatasetKind::Alibaba));
-    let bcfg = BaselineConfig { epochs: 15, seed: 5, ..BaselineConfig::default() };
+    let bcfg = BaselineConfig {
+        epochs: 15,
+        seed: 5,
+        ..BaselineConfig::default()
+    };
     for mut det in [
         Box::new(umgad::baselines::traditional::Radar::new(bcfg)) as Box<dyn Detector>,
         Box::new(umgad::baselines::Cola::new(bcfg)),
