@@ -91,14 +91,14 @@ impl ContextContrast {
         let zw = z.matmul(&bilinear.value);
         for _ in 0..self.rounds {
             let ctx = context_of(&z);
-            for i in 0..n {
+            for (i, score) in scores.iter_mut().enumerate() {
                 let own = sigmoid(dot(zw.row(i), ctx.row(i)));
                 let mut j = rng.gen_range(0..n);
                 if j == i {
                     j = (j + 1) % n;
                 }
                 let neg = sigmoid(dot(zw.row(i), ctx.row(j)));
-                scores[i] += (neg - own) / self.rounds as f64;
+                *score += (neg - own) / self.rounds as f64;
             }
         }
         scores

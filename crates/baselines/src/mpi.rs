@@ -59,7 +59,7 @@ impl ComGa {
             .collect();
         for _ in 0..self.lp_rounds {
             let prev = label.clone();
-            for i in 0..n {
+            for (i, lab) in label.iter_mut().enumerate() {
                 let nbrs = layer.neighbors(i);
                 if nbrs.is_empty() {
                     continue;
@@ -69,7 +69,7 @@ impl ComGa {
                     counts[prev[c as usize]] += 1;
                 }
                 let best = counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0;
-                label[i] = best;
+                *lab = best;
             }
         }
         label
@@ -283,7 +283,7 @@ impl Detector for Tam {
             let truncated = RelationLayer::new("tam", n, edges.clone());
             // Mean local affinity on the truncated graph; isolated nodes get
             // affinity 0 (maximally suspicious).
-            for i in 0..n {
+            for (i, score) in scores.iter_mut().enumerate() {
                 let nbrs = truncated.neighbors(i);
                 let a = if nbrs.is_empty() {
                     0.0
@@ -293,7 +293,7 @@ impl Detector for Tam {
                         .sum::<f64>()
                         / nbrs.len() as f64
                 };
-                scores[i] += -a;
+                *score += -a;
             }
             rounds_done += 1.0;
             // Re-smooth on the truncated graph for the next round.
@@ -364,10 +364,10 @@ impl Detector for Gadam {
         }
         // Adaptive neighbourhood consensus in the learned embedding.
         let mut lim = vec![0.0; n];
-        for i in 0..n {
+        for (i, l) in lim.iter_mut().enumerate() {
             let nbrs = layer.neighbors(i);
             if nbrs.is_empty() {
-                lim[i] = 1.0;
+                *l = 1.0;
                 continue;
             }
             let mut mean = vec![0.0; recon.cols()];
@@ -384,7 +384,7 @@ impl Detector for Gadam {
                     *m /= wsum;
                 }
             }
-            lim[i] = 1.0 - cosine(recon.row(i), &mean);
+            *l = 1.0 - cosine(recon.row(i), &mean);
         }
         let attr_err = row_errors(&recon, graph.attrs());
         mix_errors(lim, attr_err, 0.5)

@@ -35,6 +35,53 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Kernel sizes that cross `PARALLEL_MIN_FLOPS`, benchmarked with the serial
+/// entry point against the pooled one so a regression in either path is
+/// visible on its own. Smoke mode (`cargo test` compiles benches in the dev
+/// profile and runs each body once) shrinks the shapes to keep tier-1 fast;
+/// real measurements use the full sizes.
+fn bench_matmul_parallel_path(c: &mut Criterion) {
+    let (n, k) = if c.measuring() {
+        (2048, 128)
+    } else {
+        (128, 16)
+    };
+    let a = Matrix::from_fn(n, k, |i, j| ((i * 3 + j) % 11) as f64 / 11.0);
+    let w = Matrix::from_fn(k, k, |i, j| ((i + 2 * j) % 5) as f64 / 5.0);
+    let threads = umgad_tensor::default_threads();
+    let mut group = c.benchmark_group("matmul_n2048");
+    group.bench_function("threads1", |b| b.iter(|| black_box(a.matmul_serial(&w))));
+    group.bench_function("threads_default", |b| {
+        b.iter(|| black_box(a.matmul_parallel(&w, threads)))
+    });
+    group.finish();
+}
+
+/// SpMM on the densest YelpChi relation (r-s-r) — the degree-skewed workload
+/// the nnz-balanced row partitioning exists for. `Scale::Small` keeps the
+/// hub structure of Table I at 1/4 wall-clock; smoke mode drops to `Tiny`.
+fn bench_spmm_parallel_path(c: &mut Criterion) {
+    let scale = if c.measuring() {
+        Scale::Small
+    } else {
+        Scale::Tiny
+    };
+    let data = Dataset::generate(DatasetKind::YelpChi, scale, 9);
+    let g = &data.graph;
+    let densest = (0..g.num_relations())
+        .max_by_key(|&r| g.layer(r).num_edges())
+        .unwrap();
+    let csr = g.layer(densest).normalized();
+    let x = Matrix::from_fn(g.num_nodes(), 32, |i, j| ((i + j) % 7) as f64 / 7.0);
+    let threads = umgad_tensor::default_threads();
+    let mut group = c.benchmark_group("spmm_yelpchi_small");
+    group.bench_function("threads1", |b| b.iter(|| black_box(csr.spmm_serial(&x))));
+    group.bench_function("threads_default", |b| {
+        b.iter(|| black_box(csr.spmm_parallel(&x, threads)))
+    });
+    group.finish();
+}
+
 fn bench_rwr(c: &mut Criterion) {
     let data = Dataset::generate(DatasetKind::Retail, Scale::Tiny, 2);
     let layer = data.graph.layer(0);
@@ -98,6 +145,8 @@ fn bench_gmae_step(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = bench_spmm, bench_matmul, bench_rwr, bench_threshold, bench_auc, bench_gmae_step
+    targets = bench_spmm, bench_matmul, bench_matmul_parallel_path,
+        bench_spmm_parallel_path, bench_rwr, bench_threshold, bench_auc,
+        bench_gmae_step
 }
 criterion_main!(micro);

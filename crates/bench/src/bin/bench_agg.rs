@@ -1,0 +1,148 @@
+//! Aggregate per-binary benchmark reports into `BENCH_kernels.json`.
+//!
+//! `umgad_rt::bench` writes one JSON report per bench binary into
+//! `target/rt-bench/<binary>-<hash>.json`. Cargo's hash suffix changes with
+//! every compilation, so raw reports can't be committed as a perf
+//! trajectory. This binary strips the hash, merges every report into a
+//! single deterministic document (entries sorted by source and name), and
+//! derives a serial-vs-parallel speedup row for each `threads1` /
+//! `threads_default` bench pair.
+//!
+//! ```sh
+//! cargo run --release -p umgad-bench --bin bench_agg \
+//!     [report-dir] [output-path]
+//! ```
+//!
+//! Defaults: `target/rt-bench` → `BENCH_kernels.json` (see scripts/bench.sh).
+
+use std::fs;
+use std::path::Path;
+
+use umgad_rt::json::{to_string, Value};
+
+/// `micro-fe09c74840148c29` → `micro`. Filenames without a cargo-style
+/// 16-hex-digit suffix pass through unchanged.
+fn strip_hash(stem: &str) -> &str {
+    match stem.rsplit_once('-') {
+        Some((base, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base
+        }
+        _ => stem,
+    }
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match *v {
+        Value::I64(i) => Some(i as f64),
+        Value::U64(u) => Some(u as f64),
+        Value::F64(f) => Some(f),
+        _ => None,
+    }
+}
+
+fn field<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report_dir = args.get(1).map(String::as_str).unwrap_or("target/rt-bench");
+    let out_path = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("BENCH_kernels.json");
+
+    // (source, name, entry-with-source-prepended)
+    let mut benches: Vec<(String, String, Value)> = Vec::new();
+    let dir = match fs::read_dir(report_dir) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_agg: cannot read {report_dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    for entry in dir.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        let source = strip_hash(stem).to_string();
+        let text =
+            fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let parsed =
+            Value::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+        let Value::Arr(entries) = parsed else {
+            panic!("{}: expected a top-level array", path.display());
+        };
+        for v in entries {
+            let Value::Obj(fields) = v else { continue };
+            let name = match field(&fields, "name") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => continue,
+            };
+            let mut merged = vec![("source".to_string(), Value::Str(source.clone()))];
+            merged.extend(fields);
+            benches.push((source.clone(), name, Value::Obj(merged)));
+        }
+    }
+    benches.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+
+    // Derive speedups from `<group>/threads1` vs `<group>/threads_default`
+    // pairs, using median_ns (robust to a stray slow sample).
+    let median_of = |suffix: &str, group: &str| -> Option<f64> {
+        benches.iter().find_map(|(_, name, v)| {
+            if name != &format!("{group}/{suffix}") {
+                return None;
+            }
+            let Value::Obj(fields) = v else { return None };
+            field(fields, "median_ns").and_then(num)
+        })
+    };
+    let groups: Vec<String> = {
+        let mut g: Vec<String> = benches
+            .iter()
+            .filter_map(|(_, name, _)| name.strip_suffix("/threads1"))
+            .map(str::to_string)
+            .collect();
+        g.sort();
+        g.dedup();
+        g
+    };
+    let mut speedups = Vec::new();
+    for group in groups {
+        let (Some(serial), Some(parallel)) = (
+            median_of("threads1", &group),
+            median_of("threads_default", &group),
+        ) else {
+            continue;
+        };
+        speedups.push(Value::Obj(vec![
+            ("bench".to_string(), Value::Str(group)),
+            ("serial_median_ns".to_string(), Value::F64(serial)),
+            ("parallel_median_ns".to_string(), Value::F64(parallel)),
+            ("speedup".to_string(), Value::F64(serial / parallel)),
+        ]));
+    }
+
+    let render = |vals: &[Value]| -> String {
+        vals.iter()
+            .map(|v| format!("    {}", to_string(v).expect("serialise entry")))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let bench_vals: Vec<Value> = benches.into_iter().map(|(_, _, v)| v).collect();
+    let doc = format!(
+        "{{\n  \"benches\": [\n{}\n  ],\n  \"speedups\": [\n{}\n  ]\n}}\n",
+        render(&bench_vals),
+        render(&speedups)
+    );
+    // Self-check: the hand-indented document must still be valid JSON.
+    Value::parse(&doc).expect("aggregated document round-trips");
+    fs::write(Path::new(out_path), &doc).expect("write output");
+    println!(
+        "bench_agg: wrote {out_path} ({} benches, {} speedup pairs)",
+        bench_vals.len(),
+        speedups.len()
+    );
+}

@@ -9,6 +9,7 @@ use umgad_data::{Dataset, DatasetKind, Scale};
 fn main() {
     let scale = match std::env::args().nth(1).as_deref() {
         Some("mini") => Scale::Mini,
+        Some("small") => Scale::Small,
         Some("full") => Scale::Full,
         _ => Scale::Tiny,
     };

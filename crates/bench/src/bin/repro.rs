@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the UMGAD paper.
 //!
 //! ```text
-//! repro <subcommand> [--scale tiny|mini|full|<factor>] [--seed N]
+//! repro <subcommand> [--scale tiny|mini|small|full|<factor>] [--seed N]
 //!                    [--runs N] [--epochs N] [--out DIR]
 //!
 //! subcommands:
@@ -37,6 +37,7 @@ fn parse_args() -> Result<(String, HarnessConfig), String> {
                 harness.scale = match v.as_str() {
                     "tiny" => Scale::Tiny,
                     "mini" => Scale::Mini,
+                    "small" => Scale::Small,
                     "full" => Scale::Full,
                     other => {
                         let f: f64 = other.parse().map_err(|_| format!("bad scale: {other}"))?;
@@ -58,7 +59,7 @@ fn parse_args() -> Result<(String, HarnessConfig), String> {
 
 fn usage() -> String {
     "usage: repro <table1|table2|table3|table4|fig2|fig3|fig4|fig5|fig6|report|all> \
-     [--scale tiny|mini|full|<factor>] [--seed N] [--runs N] [--epochs N] [--out DIR]"
+     [--scale tiny|mini|small|full|<factor>] [--seed N] [--runs N] [--epochs N] [--out DIR]"
         .to_string()
 }
 

@@ -351,7 +351,7 @@ impl Umgad {
 
             // Structure reconstruction (Eq. 5–8).
             let mut per_relation: Vec<Var> = Vec::with_capacity(rr);
-            for r in 0..rr {
+            for (r, pair) in pairs.iter().enumerate().take(rr) {
                 let layer = graph.layer(r);
                 let mut l_r: Option<Var> = None;
                 for k in 0..kk {
@@ -373,7 +373,7 @@ impl Umgad {
                         }
                         let sampled = sample_indices(e, self.cfg.mask_ratio, &mut self.rng);
                         let edges = sampled.iter().map(|&i| layer.edges()[i]).collect();
-                        (pairs[r].clone(), edges)
+                        (pair.clone(), edges)
                     };
                     let mut pos: Vec<(usize, usize)> = pos_edges
                         .iter()
@@ -655,7 +655,9 @@ impl Umgad {
         // held-out masking and once as a plain pass. The two catch different
         // anomaly types (context-unpredictable vs manifold-distant) and the
         // scorer averages their standardised errors. Units are independent
-        // pure inference — fan them out across worker threads.
+        // pure inference — fan them out over the persistent worker pool
+        // (each unit's kernels may themselves go parallel; nested batches
+        // are safe because pool submitters help drain their own jobs).
         let jobs: Vec<(usize, usize)> = (0..self.relations)
             .flat_map(|r| (0..kk).map(move |k| (r, k)))
             .collect();

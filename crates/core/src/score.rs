@@ -130,7 +130,9 @@ pub fn structure_errors_layer(
     let relation = salt as usize;
     if n <= opts.dense_limit {
         // Exact: full row of σ(z_i · z_j) against the 0/1 adjacency row.
-        // O(|V|²·f) — fanned out over worker threads per node chunk.
+        // O(|V|²·f) — fanned out per node chunk over the persistent worker
+        // pool (umgad_rt::pool); chunking is by row, so scores are bitwise
+        // independent of the thread count.
         let threads = umgad_tensor::default_threads();
         let chunk = n.div_ceil(threads.max(1)).max(1);
         let starts: Vec<usize> = (0..n).step_by(chunk).collect();

@@ -52,8 +52,8 @@ fn base_graph(seed: u64) -> MultiplexGraph {
 fn permute(g: &MultiplexGraph, perm: &[usize]) -> MultiplexGraph {
     let n = g.num_nodes();
     let mut attrs = Matrix::zeros(n, g.attr_dim());
-    for i in 0..n {
-        attrs.set_row(perm[i], g.attrs().row(i));
+    for (i, &p) in perm.iter().enumerate().take(n) {
+        attrs.set_row(p, g.attrs().row(i));
     }
     let layers = g
         .layers()

@@ -113,8 +113,8 @@ pub fn generate_base(spec: &ScaledSpec, seed: u64) -> BaseGraph {
     let means = normal(c, f, 0.0, 1.0, &mut rng);
     let noise = normal(n, f, 0.0, 0.5, &mut rng);
     let mut attrs = Matrix::zeros(n, f);
-    for i in 0..n {
-        let m = means.row(communities[i]);
+    for (i, &com) in communities.iter().enumerate() {
+        let m = means.row(com);
         let nz = noise.row(i);
         let dst = attrs.row_mut(i);
         for ((d, &mv), &nv) in dst.iter_mut().zip(m).zip(nz) {

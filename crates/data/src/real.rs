@@ -207,8 +207,8 @@ mod tests {
             .unwrap();
         let layer = g.layer(densest);
         let (mut fd, mut nd, mut fc, mut nc) = (0usize, 0usize, 0usize, 0usize);
-        for v in 0..g.num_nodes() {
-            if labels[v] {
+        for (v, &fraud) in labels.iter().enumerate() {
+            if fraud {
                 fd += layer.degree(v);
                 fc += 1;
             } else {
@@ -236,8 +236,8 @@ mod tests {
         let drift = |g: &MultiplexGraph| {
             let mut total = 0.0;
             let mut cnt = 0;
-            for i in 0..g.num_nodes() {
-                if labels[i] {
+            for (i, &fraud) in labels.iter().enumerate() {
+                if fraud {
                     total += umgad_tensor::l2_distance(g.attrs().row(i), base.attrs().row(i));
                     cnt += 1;
                 }

@@ -63,6 +63,9 @@ impl FromJson for DatasetKind {
 pub enum Scale {
     /// Table I sizes.
     Full,
+    /// ≈ 1/4 of Table I (kernel benchmarks that need realistic degree skew
+    /// without Full's wall-clock).
+    Small,
     /// ≈ 1/16 of Table I (default for the `repro` harness).
     Mini,
     /// ≈ 1/64 of Table I (unit/integration tests).
@@ -76,6 +79,7 @@ impl Scale {
     pub fn factor(self) -> f64 {
         match self {
             Scale::Full => 1.0,
+            Scale::Small => 1.0 / 4.0,
             Scale::Mini => 1.0 / 16.0,
             Scale::Tiny => 1.0 / 64.0,
             Scale::Custom(f) => {
@@ -95,6 +99,7 @@ impl ToJson for Scale {
     fn to_json(&self) -> Value {
         match self {
             Scale::Full => Value::Str("Full".to_string()),
+            Scale::Small => Value::Str("Small".to_string()),
             Scale::Mini => Value::Str("Mini".to_string()),
             Scale::Tiny => Value::Str("Tiny".to_string()),
             Scale::Custom(f) => Value::Obj(vec![("Custom".to_string(), f.to_json())]),
@@ -107,6 +112,7 @@ impl FromJson for Scale {
         match v {
             Value::Str(s) => match s.as_str() {
                 "Full" => Ok(Scale::Full),
+                "Small" => Ok(Scale::Small),
                 "Mini" => Ok(Scale::Mini),
                 "Tiny" => Ok(Scale::Tiny),
                 other => Err(JsonError::new(format!("unknown Scale variant: {other}"))),

@@ -94,6 +94,43 @@ proptest! {
     }
 }
 
+/// The dense kernels dispatch to the worker pool once a product exceeds
+/// `PARALLEL_MIN_FLOPS` multiply-adds. A GMAE/SGC layer multiplies the
+/// (n × d) feature matrix by a (d × h) weight, so with the paper's
+/// d = h = 32 even the smallest Table I dataset (Amazon, n = 11,944) runs
+/// parallel, while the ring fixtures in this file (n ≤ 6) stay serial.
+/// Either regime produces bitwise-identical results (see
+/// `umgad-tensor/tests/parallel_determinism.rs`); this test pins the shape
+/// arithmetic so a future threshold change that silently de-parallelises
+/// full-scale training fails loudly.
+#[test]
+fn paper_scale_layer_shapes_hit_the_parallel_kernel_path() {
+    const D: usize = 32; // paper attribute dim
+    const H: usize = 32; // paper embedding dim
+    const SMALLEST_TABLE1_N: usize = 11_944; // Amazon, the smallest dataset
+    const {
+        assert!(
+            SMALLEST_TABLE1_N * D * H >= umgad_tensor::PARALLEL_MIN_FLOPS,
+            "full-scale layer matmul must take the pooled path"
+        );
+        assert!(
+            6 * D * H < umgad_tensor::PARALLEL_MIN_FLOPS,
+            "tiny test fixtures must keep the serial path covered"
+        );
+    }
+
+    // Smoke the pooled path through a real layer: n chosen so n·d·h just
+    // clears the threshold, and two identical infers must agree bitwise.
+    let n = umgad_tensor::PARALLEL_MIN_FLOPS / (D * H) + 1;
+    let mut rng = SmallRng::seed_from_u64(17);
+    let stack = SgcStack::new(D, H, 1, Activation::Relu, &mut rng);
+    let pair = ring(n);
+    let x = Matrix::from_fn(n, D, |i, j| ((i * 31 + j * 7) % 13) as f64 / 13.0 - 0.4);
+    let a = stack.infer(&pair.fwd, &x);
+    let b = stack.infer(&pair.fwd, &x);
+    assert_eq!(a.data(), b.data());
+}
+
 // Helper to keep the closure-heavy proptest body readable.
 fn tape_value(
     stack: &SgcStack,

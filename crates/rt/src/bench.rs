@@ -132,6 +132,13 @@ impl Default for Criterion {
 }
 
 impl Criterion {
+    /// True under `cargo bench` (full measurement), false in the
+    /// `cargo test` smoke run. Benchmarks with expensive setups use this to
+    /// shrink their workload in smoke mode and keep the tier-1 gate fast.
+    pub fn measuring(&self) -> bool {
+        self.mode == Mode::Measure
+    }
+
     /// Set the number of timed samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n > 0, "sample_size must be positive");

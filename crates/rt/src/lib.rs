@@ -23,8 +23,12 @@
 //!   greedy shrinking, failure-seed reporting) behind a [`proptest!`] macro.
 //! - [`bench`] — a wall-clock benchmark harness (warmup + N samples,
 //!   median/p95, JSON report) with a criterion-compatible API subset.
+//! - [`pool`] — a persistent worker pool (lazily-started global handle,
+//!   `UMGAD_THREADS` override, panic containment) that every parallel
+//!   kernel in the workspace dispatches through.
 
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod proptest;
 pub mod rand;

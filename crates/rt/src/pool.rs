@@ -1,0 +1,346 @@
+//! Persistent worker pool — the workspace's single source of parallelism.
+//!
+//! Every parallel kernel in the workspace (dense matmul, CSR spmm, the
+//! `parallel_map` relation fan-out) dispatches through one long-lived pool
+//! instead of spawning OS threads per call. Design points:
+//!
+//! - **Long-lived workers.** [`global()`] lazily starts
+//!   [`configured_threads()`]` - 1` workers on first use; they live for the
+//!   rest of the process. Spawning cost is paid once, not per kernel call.
+//! - **Channel-free dispatch.** A `Mutex<VecDeque>` + `Condvar` pair is the
+//!   whole queue; jobs are `Box<dyn FnOnce>` tagged with their batch.
+//! - **Submitter work-helping.** [`Pool::run`] enqueues a batch and then
+//!   *drains its own batch's jobs itself* while waiting. A worker thread
+//!   that submits a nested batch therefore always makes progress even when
+//!   every other worker is busy — nested parallelism (a `parallel_map` job
+//!   calling a parallel matmul) cannot deadlock.
+//! - **Panic containment.** A panicking job never takes a worker down or
+//!   wedges the queue: the payload is caught, the batch completes, and the
+//!   panic resumes on the *submitting* thread once the batch is done.
+//! - **Cooperative shutdown.** Dropping a (non-global) pool flags shutdown,
+//!   wakes every worker, and joins them.
+//!
+//! Determinism contract: the pool runs whatever jobs it is given; callers
+//! guarantee bit-reproducibility by partitioning *output* rows so that every
+//! `f64` accumulation happens in the same order as the serial code. Thread
+//! count therefore never influences results — see `DESIGN.md` §5c.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work, tagged with the batch it belongs to.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Completion tracker shared by every job of one [`Pool::run`] call.
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    /// Jobs submitted but not yet finished (queued or running).
+    unfinished: usize,
+    /// First panic payload raised by a job of this batch, if any.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Batch {
+    fn new(jobs: usize) -> Arc<Self> {
+        Arc::new(Batch {
+            state: Mutex::new(BatchState {
+                unfinished: jobs,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Run one job of this batch, containing any panic it raises.
+    fn run_job(&self, job: Job) {
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        let mut st = self.state.lock().unwrap();
+        if let Err(payload) = outcome {
+            st.panic.get_or_insert(payload);
+        }
+        st.unfinished -= 1;
+        if st.unfinished == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A queued job paired with the batch tracker it reports completion to.
+type QueuedJob = (Arc<Batch>, Job);
+
+struct Queue {
+    jobs: VecDeque<QueuedJob>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    work: Condvar,
+}
+
+/// A persistent pool of worker threads executing batches of jobs.
+///
+/// Most code should use the process-wide [`global()`] pool; standalone
+/// pools exist for tests and for embedding scenarios that need an isolated
+/// thread budget.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Start a pool that executes jobs on `threads` lanes.
+    ///
+    /// Because the submitting thread participates in its own batches, a pool
+    /// of `threads` lanes spawns `threads - 1` OS workers; `threads <= 1`
+    /// spawns none and [`Pool::run`] degrades to an in-place serial loop.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("umgad-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of execution lanes (submitter + workers).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute a batch of jobs to completion.
+    ///
+    /// Jobs may borrow from the caller's stack frame: `run` does not return
+    /// until every job has finished (the borrow outlives all execution).
+    /// The calling thread helps drain its own batch, so `run` may be called
+    /// from inside a pool job without risk of deadlock. If any job panics,
+    /// the batch still runs to completion and the first panic payload is
+    /// re-raised here on the calling thread.
+    pub fn run<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        // The batch tracker guarantees every job finishes before `run`
+        // returns, so erasing the scope lifetime cannot let a job outlive
+        // the data it borrows.
+        let jobs: Vec<Job> = jobs
+            .into_iter()
+            .map(|job| unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job)
+            })
+            .collect();
+        let batch = Batch::new(jobs.len());
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            for job in jobs {
+                q.jobs.push_back((Arc::clone(&batch), job));
+            }
+        }
+        self.shared.work.notify_all();
+
+        // Work-helping: drain this batch's jobs on the submitting thread
+        // until none are queued, then wait for in-flight ones to finish.
+        loop {
+            let job = {
+                let mut q = self.shared.queue.lock().unwrap();
+                let idx = q.jobs.iter().position(|(b, _)| Arc::ptr_eq(b, &batch));
+                idx.and_then(|i| q.jobs.remove(i))
+            };
+            match job {
+                Some((b, job)) => b.run_job(job),
+                None => break,
+            }
+        }
+        let mut st = batch.state.lock().unwrap();
+        while st.unfinished > 0 {
+            st = batch.done.wait(st).unwrap();
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let next = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(entry) = q.jobs.pop_front() {
+                    break Some(entry);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.work.wait(q).unwrap();
+            }
+        };
+        match next {
+            Some((batch, job)) => batch.run_job(job),
+            None => return,
+        }
+    }
+}
+
+/// The process-wide pool, started on first use with
+/// [`configured_threads()`] lanes.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::new(configured_threads()))
+}
+
+/// The configured degree of parallelism for this process.
+///
+/// Honours the `UMGAD_THREADS` environment variable; `0`, unset, or
+/// unparsable values fall back to [`std::thread::available_parallelism`].
+/// The value is read once and cached — the global pool's size cannot change
+/// mid-process.
+pub fn configured_threads() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        parse_thread_override(std::env::var("UMGAD_THREADS").ok().as_deref())
+            .unwrap_or_else(available_threads)
+    })
+}
+
+/// Interpret a `UMGAD_THREADS` setting: `None`, empty, `"0"`, or garbage
+/// mean "no override" (`None`); a positive integer is the thread count.
+fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let pool = Pool::new(4);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn jobs_may_borrow_and_write_disjoint_slices() {
+        let pool = Pool::new(3);
+        let mut out = vec![0usize; 90];
+        {
+            let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            for (i, chunk) in out.chunks_mut(30).enumerate() {
+                jobs.push(Box::new(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = i * 30 + j;
+                    }
+                }));
+            }
+            pool.run(jobs);
+        }
+        assert_eq!(out, (0..90).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_lane_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let mut hits = 0;
+        pool.run(vec![Box::new(|| hits += 1) as Box<dyn FnOnce() + Send + '_>]);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn nested_submission_does_not_deadlock() {
+        // Outer jobs saturate every lane, then each submits an inner batch.
+        let pool = Pool::new(2);
+        let total = AtomicUsize::new(0);
+        let pref = &pool;
+        let tref = &total;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                        .map(|_| {
+                            Box::new(move || {
+                                tref.fetch_add(1, Ordering::SeqCst);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pref.run(inner);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(total.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn thread_override_parsing() {
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("")), None);
+        assert_eq!(parse_thread_override(Some("0")), None);
+        assert_eq!(parse_thread_override(Some("not-a-number")), None);
+        assert_eq!(parse_thread_override(Some("5")), Some(5));
+        assert_eq!(parse_thread_override(Some(" 12 ")), Some(12));
+    }
+
+    #[test]
+    fn configured_threads_is_positive_and_stable() {
+        let a = configured_threads();
+        let b = configured_threads();
+        assert!(a >= 1);
+        assert_eq!(a, b, "configured_threads is cached per process");
+    }
+}

@@ -106,10 +106,13 @@ pub trait Strategy {
     }
 }
 
+/// Shared mapping function from a strategy's value type to `U`.
+type MapFn<V, U> = Rc<dyn Fn(&V) -> U>;
+
 /// Strategy returned by [`Strategy::prop_map`].
 pub struct Map<S: Strategy, U> {
     inner: S,
-    f: Rc<dyn Fn(&S::Value) -> U>,
+    f: MapFn<S::Value, U>,
 }
 
 impl<S: Strategy, U: Clone + Debug + 'static> Strategy for Map<S, U> {

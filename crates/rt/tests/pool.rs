@@ -1,0 +1,100 @@
+//! Worker-pool behaviour under contention and failure: concurrent submits
+//! from many OS threads, panic-in-job containment (a poisoned job must not
+//! wedge the pool), and idempotent global initialization.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use umgad_rt::pool::{self, Pool};
+
+#[test]
+fn concurrent_submitters_share_one_pool() {
+    let pool = Pool::new(4);
+    let hits = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let pool = &pool;
+            let hits = &hits;
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+                        .map(|_| {
+                            Box::new(move || {
+                                hits.fetch_add(1, Ordering::SeqCst);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool.run(jobs);
+                }
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), 6 * 10 * 16);
+}
+
+#[test]
+fn panicking_job_resumes_on_submitter_and_pool_survives() {
+    let pool = Pool::new(3);
+
+    // A batch mixing healthy jobs with a poisoned one: the panic must reach
+    // the submitting thread, and the healthy jobs must all still run.
+    let survivors = AtomicUsize::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|i| {
+                let survivors = &survivors;
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("poisoned job");
+                    }
+                    survivors.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+    }));
+    let payload = result.expect_err("the job's panic must propagate to run()");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "poisoned job");
+    assert_eq!(survivors.load(Ordering::SeqCst), 7);
+
+    // The pool is not wedged: a follow-up batch completes normally.
+    let after = AtomicUsize::new(0);
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..12)
+        .map(|_| {
+            let after = &after;
+            Box::new(move || {
+                after.fetch_add(1, Ordering::SeqCst);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run(jobs);
+    assert_eq!(after.load(Ordering::SeqCst), 12);
+}
+
+#[test]
+fn global_pool_initializes_once_across_threads() {
+    // Hammer global() from many threads at once; every caller must observe
+    // the same pool instance, sized by configured_threads().
+    let ptrs: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| scope.spawn(|| pool::global() as *const Pool as usize))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(ptrs.windows(2).all(|w| w[0] == w[1]));
+    assert_eq!(pool::global().threads(), pool::configured_threads());
+    assert!(pool::configured_threads() >= 1);
+
+    // And the global pool actually executes work.
+    let hits = AtomicUsize::new(0);
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..5)
+        .map(|_| {
+            let hits = &hits;
+            Box::new(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::global().run(jobs);
+    assert_eq!(hits.load(Ordering::SeqCst), 5);
+}

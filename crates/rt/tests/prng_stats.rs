@@ -3,7 +3,7 @@
 //! normal to the tolerances the model code assumes.
 
 use umgad_rt::rand::rngs::SmallRng;
-use umgad_rt::rand::{Distribution, Normal, Rng, RngCore, SeedableRng, Uniform};
+use umgad_rt::rand::{Normal, Rng, RngCore, SeedableRng, Uniform};
 
 const N: usize = 200_000;
 

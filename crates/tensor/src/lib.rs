@@ -16,7 +16,11 @@
 //!   cross-entropy, dual-view InfoNCE);
 //! - [`Param`], [`Adam`], [`Sgd`]: parameters and optimisers;
 //! - [`init`]: Xavier/normal initialisers;
-//! - [`parallel_map`]: scoped-thread fork/join for per-subgraph autoencoders.
+//! - [`parallel_map`]: fork/join over the shared persistent worker pool
+//!   ([`umgad_rt::pool`]) for per-subgraph autoencoders; the dense and CSR
+//!   product kernels dispatch through the same pool above
+//!   [`matrix::PARALLEL_MIN_FLOPS`] multiply-adds, with results bitwise
+//!   independent of thread count.
 //!
 //! ## Example
 //!
@@ -52,7 +56,7 @@ pub mod parallel;
 pub mod sparse;
 pub mod tape;
 
-pub use matrix::{cosine, dot, l1_distance, l2_distance, Matrix};
+pub use matrix::{cosine, dot, l1_distance, l2_distance, Matrix, PARALLEL_MIN_FLOPS};
 pub use optim::{clip_grad_norm, Adam, LrSchedule, Param, Sgd};
 pub use parallel::{default_threads, parallel_map};
 pub use sparse::{CsrMatrix, SpPair};

@@ -9,6 +9,47 @@
 
 use std::fmt;
 
+/// Work threshold, in `f64` multiply-adds, below which the product kernels
+/// (`matmul`, `matmul_ta`, `matmul_tb`, CSR `spmm`) stay on the calling
+/// thread. Below this size the pool dispatch overhead exceeds the kernel
+/// itself; above it the kernels fan out over the shared worker pool. The
+/// cut keeps per-step weight-update products (width² ≤ 128² per node) serial
+/// at test scales while every paper-scale propagation (`|V|` ≥ 10k rows ×
+/// feature widths 16–128) takes the parallel path.
+pub const PARALLEL_MIN_FLOPS: usize = 1 << 18;
+
+/// Multiply-add count of an `a×b @ b×c` product, saturating on overflow.
+#[inline]
+pub(crate) fn madds(a: usize, b: usize, c: usize) -> usize {
+    a.saturating_mul(b).saturating_mul(c)
+}
+
+/// Split a `rows x cols` row-major buffer into at most `parts` contiguous
+/// row blocks of near-equal row count, each tagged with its starting row.
+/// Used by the parallel kernels to hand each pool job a disjoint `&mut`
+/// window of the output.
+pub(crate) fn row_blocks(
+    data: &mut [f64],
+    rows: usize,
+    cols: usize,
+    parts: usize,
+) -> Vec<(usize, &mut [f64])> {
+    let parts = parts.clamp(1, rows.max(1));
+    let base = rows / parts;
+    let extra = rows % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = data;
+    let mut row = 0;
+    for p in 0..parts {
+        let take = base + usize::from(p < extra);
+        let (block, tail) = rest.split_at_mut(take * cols);
+        out.push((row, block));
+        row += take;
+        rest = tail;
+    }
+    out
+}
+
 /// A dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
@@ -149,8 +190,13 @@ impl Matrix {
     }
 
     /// Iterator over rows as slices.
+    ///
+    /// Yields exactly [`Self::rows`] slices even when `cols == 0` (each row
+    /// is then the empty slice) — a plain `chunks_exact(cols.max(1))` would
+    /// yield zero rows for such degenerate matrices.
     pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
-        self.data.chunks_exact(self.cols.max(1))
+        let cols = self.cols;
+        (0..self.rows).map(move |i| &self.data[i * cols..(i + 1) * cols])
     }
 
     /// Copy `src` into row `i`.
@@ -160,7 +206,23 @@ impl Matrix {
     }
 
     /// `self @ other` — standard matrix product.
+    ///
+    /// Above [`PARALLEL_MIN_FLOPS`] multiply-adds the product is computed by
+    /// the row-partitioned tiled kernel on the shared worker pool; smaller
+    /// products stay on the calling thread. Both paths accumulate every
+    /// output element over `k` in ascending order, so the result is bitwise
+    /// identical regardless of path or thread count.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let threads = crate::parallel::default_threads();
+        if threads <= 1 || madds(self.rows, self.cols, other.cols) < PARALLEL_MIN_FLOPS {
+            self.matmul_serial(other)
+        } else {
+            self.matmul_parallel(other, threads)
+        }
+    }
+
+    /// Serial `self @ other` (`i-k-j` loop order, zero-skip on `a`).
+    pub fn matmul_serial(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}x{} @ {}x{}",
@@ -184,8 +246,81 @@ impl Matrix {
         out
     }
 
+    /// Parallel `self @ other` over `threads` row partitions of the output.
+    ///
+    /// Bitwise identical to [`Self::matmul_serial`] for every `threads`
+    /// value: partitioning the *output* rows leaves each element's `f64`
+    /// accumulation order untouched.
+    pub fn matmul_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        let blocks = row_blocks(&mut out.data, self.rows, n, threads);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = blocks
+            .into_iter()
+            .map(|(row0, block)| {
+                Box::new(move || self.matmul_block_into(other, row0, block))
+                    as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        umgad_rt::pool::global().run(jobs);
+        out
+    }
+
+    /// Tiled kernel for one output row block of `self @ other`.
+    ///
+    /// `k` is processed in panels of `K_TILE` so the touched rows of `other`
+    /// stay cache-resident while the block's rows stream through. Every
+    /// output element still accumulates over `k` in globally ascending
+    /// order (panels are visited in order, `k` ascends within a panel),
+    /// which keeps the result bitwise identical to the serial `i-k-j` loop.
+    fn matmul_block_into(&self, other: &Matrix, row0: usize, block: &mut [f64]) {
+        const K_TILE: usize = 64;
+        let n = other.cols;
+        if n == 0 {
+            return;
+        }
+        let rows = block.len() / n;
+        let mut k0 = 0;
+        while k0 < self.cols {
+            let k1 = (k0 + K_TILE).min(self.cols);
+            for i in 0..rows {
+                let arow = &self.row(row0 + i)[k0..k1];
+                let orow = &mut block[i * n..(i + 1) * n];
+                for (dk, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[(k0 + dk) * n..(k0 + dk + 1) * n];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            }
+            k0 = k1;
+        }
+    }
+
     /// `self @ other^T` — product with the transpose of `other`.
+    ///
+    /// Dispatches between [`Self::matmul_tb_serial`] and
+    /// [`Self::matmul_tb_parallel`]; both compute each output element as one
+    /// [`dot`] call, so results are bitwise identical on every path.
     pub fn matmul_tb(&self, other: &Matrix) -> Matrix {
+        let threads = crate::parallel::default_threads();
+        if threads <= 1 || madds(self.rows, self.cols, other.rows) < PARALLEL_MIN_FLOPS {
+            self.matmul_tb_serial(other)
+        } else {
+            self.matmul_tb_parallel(other, threads)
+        }
+    }
+
+    /// Serial `self @ other^T` (row-by-row dot products).
+    pub fn matmul_tb_serial(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_tb: {}x{} @ ({}x{})^T",
@@ -202,8 +337,54 @@ impl Matrix {
         out
     }
 
+    /// Parallel `self @ other^T` over `threads` row partitions of the
+    /// output. Bitwise identical to [`Self::matmul_tb_serial`].
+    pub fn matmul_tb_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_tb: {}x{} @ ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let n = other.rows;
+        let blocks = row_blocks(&mut out.data, self.rows, n, threads);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = blocks
+            .into_iter()
+            .map(|(row0, block)| {
+                Box::new(move || {
+                    if n == 0 {
+                        return;
+                    }
+                    for (i, orow) in block.chunks_exact_mut(n).enumerate() {
+                        let arow = self.row(row0 + i);
+                        for (j, brow) in other.rows_iter().enumerate() {
+                            orow[j] = dot(arow, brow);
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        umgad_rt::pool::global().run(jobs);
+        out
+    }
+
     /// `self^T @ other` — transpose-left product.
+    ///
+    /// Dispatches between [`Self::matmul_ta_serial`] and
+    /// [`Self::matmul_ta_parallel`]; results are bitwise identical on both
+    /// paths (each output element accumulates over `k` ascending, skipping
+    /// the same zeros).
     pub fn matmul_ta(&self, other: &Matrix) -> Matrix {
+        let threads = crate::parallel::default_threads();
+        if threads <= 1 || madds(self.cols, self.rows, other.cols) < PARALLEL_MIN_FLOPS {
+            self.matmul_ta_serial(other)
+        } else {
+            self.matmul_ta_parallel(other, threads)
+        }
+    }
+
+    /// Serial `self^T @ other` (`k`-outer loop, zero-skip on `a`).
+    pub fn matmul_ta_serial(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "matmul_ta: ({}x{})^T @ {}x{}",
@@ -225,6 +406,20 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Parallel `self^T @ other`: materialise `self^T` once, then run the
+    /// row-partitioned matmul kernel. The serial `k`-outer loop and the
+    /// transposed `i-k-j` loop add the exact same `f64`s to each output
+    /// element in the same (`k`-ascending) order, so this is bitwise
+    /// identical to [`Self::matmul_ta_serial`].
+    pub fn matmul_ta_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_ta: ({}x{})^T @ {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        self.transpose().matmul_parallel(other, threads)
     }
 
     /// Transposed copy.
@@ -455,6 +650,65 @@ mod tests {
         let a = Matrix::from_fn(4, 2, |i, _| i as f64);
         let g = a.gather_rows(&[3, 1]);
         assert_eq!(g.data(), &[3.0, 3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn rows_iter_yields_all_rows_even_with_zero_cols() {
+        // Regression: chunks_exact(cols.max(1)) yielded 0 rows for a
+        // rows x 0 matrix instead of `rows` empty slices.
+        let degenerate = Matrix::zeros(3, 0);
+        let rows: Vec<&[f64]> = degenerate.rows_iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.is_empty()));
+
+        let normal = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        let rows: Vec<&[f64]> = normal.rows_iter().collect();
+        assert_eq!(rows, vec![&[0.0, 1.0, 2.0][..], &[3.0, 4.0, 5.0][..]]);
+    }
+
+    #[test]
+    fn row_blocks_partition_evenly_and_tag_starts() {
+        let mut data = vec![0.0; 10 * 3];
+        let blocks = row_blocks(&mut data, 10, 3, 4);
+        assert_eq!(blocks.len(), 4);
+        let rows: Vec<usize> = blocks.iter().map(|(_, b)| b.len() / 3).collect();
+        assert_eq!(rows, vec![3, 3, 2, 2]);
+        let starts: Vec<usize> = blocks.iter().map(|(s, _)| *s).collect();
+        assert_eq!(starts, vec![0, 3, 6, 8]);
+
+        // More parts than rows: one block per row.
+        let mut data = vec![0.0; 2 * 5];
+        assert_eq!(row_blocks(&mut data, 2, 5, 8).len(), 2);
+        // Degenerate shapes don't panic.
+        assert_eq!(row_blocks(&mut [], 0, 3, 4).len(), 1);
+        let mut data = vec![];
+        assert_eq!(row_blocks(&mut data, 4, 0, 2).len(), 2);
+    }
+
+    #[test]
+    fn parallel_kernels_match_serial_on_small_known_shapes() {
+        let a = Matrix::from_fn(7, 5, |i, j| ((i * 5 + j) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(5, 9, |i, j| ((i * 9 + j) % 7) as f64 / 3.0);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                a.matmul_parallel(&b, threads).data(),
+                a.matmul_serial(&b).data()
+            );
+        }
+        let c = Matrix::from_fn(6, 5, |i, j| (i as f64 - j as f64) / 2.0);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                a.matmul_tb_parallel(&c, threads).data(),
+                a.matmul_tb_serial(&c).data()
+            );
+        }
+        let d = Matrix::from_fn(7, 4, |i, j| ((i + 2 * j) % 5) as f64 - 2.0);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                a.matmul_ta_parallel(&d, threads).data(),
+                a.matmul_ta_serial(&d).data()
+            );
+        }
     }
 
     #[test]

@@ -1,14 +1,21 @@
-//! Minimal scoped-thread fork/join helper.
+//! Fork/join helpers on the shared worker pool.
 //!
 //! UMGAD trains one graph-masked autoencoder per (relation, masking-repeat)
 //! pair; those units are independent within a step, so the trainer fans them
 //! out with [`parallel_map`]. Tapes are `!Send` by content choice (they hold
 //! `Rc`s), so each worker builds its *own* tape — only inputs and outputs
 //! cross threads.
+//!
+//! Work dispatches through [`umgad_rt::pool`]'s persistent global pool, so a
+//! training loop that calls `parallel_map` (or a parallel kernel) every step
+//! pays the thread-spawn cost once per process, not once per call.
+
+use umgad_rt::pool;
 
 /// Apply `f` to every item, distributing items over at most `threads`
-/// OS threads. Order of results matches input order. With `threads <= 1`
-/// (or a single item) this degrades to a plain serial map.
+/// lanes of the shared worker pool. Order of results matches input order.
+/// With `threads <= 1` (or a single item) this degrades to a plain serial
+/// map on the calling thread.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -19,44 +26,37 @@ where
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let workers = threads.min(n);
+    let chunk = n.div_ceil(threads.min(n));
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    // Pair each item with its slot and hand out chunks.
-    let tagged: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let chunk = n.div_ceil(workers);
-    let results = std::sync::Mutex::new(&mut slots);
-    std::thread::scope(|scope| {
-        let mut rest = tagged;
+    {
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let mut rest = items;
+        let mut slot_rest: &mut [Option<R>] = &mut slots;
         while !rest.is_empty() {
             let take = chunk.min(rest.len());
-            let batch: Vec<(usize, T)> = rest.drain(..take).collect();
+            let batch: Vec<T> = rest.drain(..take).collect();
+            let (slot_chunk, tail) = slot_rest.split_at_mut(take);
+            slot_rest = tail;
             let f = &f;
-            let results = &results;
-            scope.spawn(move || {
-                let mut local: Vec<(usize, R)> = Vec::with_capacity(batch.len());
-                for (i, item) in batch {
-                    local.push((i, f(item)));
+            jobs.push(Box::new(move || {
+                for (slot, item) in slot_chunk.iter_mut().zip(batch) {
+                    *slot = Some(f(item));
                 }
-                let mut guard = results.lock().unwrap();
-                for (i, r) in local {
-                    guard[i] = Some(r);
-                }
-            });
+            }));
         }
-    });
+        pool::global().run(jobs);
+    }
     slots
         .into_iter()
-        .map(|s| s.expect("worker filled every slot"))
+        .map(|s| s.expect("pool ran every job to completion"))
         .collect()
 }
 
-/// Number of worker threads to use by default: available parallelism capped
-/// at 8 (the workloads here are memory-bandwidth-bound beyond that).
+/// Number of worker lanes to use by default: the process-wide configured
+/// parallelism (`UMGAD_THREADS` override, else available parallelism). See
+/// [`umgad_rt::pool::configured_threads`].
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    pool::configured_threads()
 }
 
 #[cfg(test)]
@@ -85,5 +85,23 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(vec![5], 16, |x: i32| x * x);
         assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    fn nested_parallel_maps_complete() {
+        // A parallel_map whose jobs themselves call parallel_map must not
+        // deadlock the shared pool (submitters help drain their batches).
+        let out = parallel_map((0..6).collect(), 4, |i: usize| {
+            parallel_map((0..5).collect(), 4, move |j: usize| i * 10 + j)
+        });
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(inner, &(0..5).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn default_threads_matches_pool_configuration() {
+        assert_eq!(default_threads(), umgad_rt::pool::configured_threads());
+        assert!(default_threads() >= 1);
     }
 }

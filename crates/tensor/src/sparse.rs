@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, PARALLEL_MIN_FLOPS};
 
 /// An immutable sparse matrix in CSR format.
 #[derive(Clone, Debug, PartialEq)]
@@ -130,7 +130,24 @@ impl CsrMatrix {
     }
 
     /// Sparse × dense product `self @ x`.
+    ///
+    /// Above [`crate::matrix::PARALLEL_MIN_FLOPS`] multiply-adds
+    /// (`nnz × x.cols`) the product fans out over the shared worker pool
+    /// with an nnz-balanced row partition; smaller products stay on the
+    /// calling thread. Both paths accumulate each output row over that
+    /// row's stored entries in CSR order, so results are bitwise identical
+    /// regardless of path or thread count.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let threads = crate::parallel::default_threads();
+        if threads <= 1 || crate::matrix::madds(self.nnz(), x.cols(), 1) < PARALLEL_MIN_FLOPS {
+            self.spmm_serial(x)
+        } else {
+            self.spmm_parallel(x, threads)
+        }
+    }
+
+    /// Serial sparse × dense product.
+    pub fn spmm_serial(&self, x: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
             x.rows(),
@@ -143,14 +160,80 @@ impl CsrMatrix {
         let mut out = Matrix::zeros(self.rows, x.cols());
         for r in 0..self.rows {
             let orow = out.row_mut(r);
-            for (&c, &v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
-                let xrow = x.row(c as usize);
-                for (o, &xv) in orow.iter_mut().zip(xrow) {
-                    *o += v * xv;
-                }
-            }
+            self.spmm_row_into(x, r, orow);
         }
         out
+    }
+
+    /// Parallel sparse × dense product over `threads` nnz-balanced row
+    /// partitions. Bitwise identical to [`Self::spmm_serial`].
+    ///
+    /// Partitions are cut by cumulative `row_ptr` weight, not row count:
+    /// on degree-skewed graphs (YelpChi's similarity relations concentrate
+    /// most edges in a few hub rows) an even row split would leave most
+    /// workers idle while one grinds through the hubs.
+    pub fn spmm_parallel(&self, x: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(
+            self.cols,
+            x.rows(),
+            "spmm: {}x{} @ {}x{}",
+            self.rows,
+            self.cols,
+            x.rows(),
+            x.cols()
+        );
+        let n = x.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        let bounds = self.nnz_partitions(threads);
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bounds.len() - 1);
+        let mut rest: &mut [f64] = out.data_mut();
+        for w in bounds.windows(2) {
+            let (r0, r1) = (w[0], w[1]);
+            let (block, tail) = rest.split_at_mut((r1 - r0) * n);
+            rest = tail;
+            jobs.push(Box::new(move || {
+                if n == 0 {
+                    return;
+                }
+                for (i, orow) in block.chunks_exact_mut(n).enumerate() {
+                    self.spmm_row_into(x, r0 + i, orow);
+                }
+            }));
+        }
+        umgad_rt::pool::global().run(jobs);
+        out
+    }
+
+    /// Accumulate row `r` of `self @ x` into `orow` (entries in CSR order).
+    #[inline]
+    fn spmm_row_into(&self, x: &Matrix, r: usize, orow: &mut [f64]) {
+        for (&c, &v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
+            let xrow = x.row(c as usize);
+            for (o, &xv) in orow.iter_mut().zip(xrow) {
+                *o += v * xv;
+            }
+        }
+    }
+
+    /// Row boundaries (length `parts + 1`, from `0` to `rows`) cutting the
+    /// matrix into `parts` spans of near-equal stored-entry count. Boundary
+    /// `p` is the first row at which the cumulative nnz reaches
+    /// `total · p / parts`; spans may be empty when hub rows dominate.
+    pub fn nnz_partitions(&self, parts: usize) -> Vec<usize> {
+        let parts = parts.max(1);
+        let total = self.nnz();
+        let mut bounds = Vec::with_capacity(parts + 1);
+        bounds.push(0);
+        for p in 1..parts {
+            let target = total * p / parts;
+            let cut = self
+                .row_ptr
+                .partition_point(|&cum| cum < target)
+                .min(self.rows);
+            bounds.push(cut.max(*bounds.last().unwrap()));
+        }
+        bounds.push(self.rows);
+        bounds
     }
 
     /// Transposed copy (CSR of `self^T`).
@@ -281,6 +364,45 @@ mod tests {
         let sparse = m.spmm(&x);
         let dense = m.to_dense().matmul(&x);
         assert_eq!(sparse.data(), dense.data());
+    }
+
+    #[test]
+    fn spmm_parallel_matches_serial_bitwise() {
+        let m = sample();
+        let x = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 / 3.0 - 1.5);
+        let serial = m.spmm_serial(&x);
+        for threads in [1, 2, 5, 8] {
+            assert_eq!(m.spmm_parallel(&x, threads).data(), serial.data());
+        }
+    }
+
+    #[test]
+    fn nnz_partitions_balance_skewed_rows() {
+        // One hub row with 90 entries, then 30 rows with 1 entry each: an
+        // even row split would give the first part the whole hub plus its
+        // share of the tail; nnz cuts isolate the hub instead.
+        let mut triples = Vec::new();
+        for c in 0..90 {
+            triples.push((0, c, 1.0));
+        }
+        for r in 1..31 {
+            triples.push((r, r, 1.0));
+        }
+        let m = CsrMatrix::from_coo(31, 90, triples);
+        let bounds = m.nnz_partitions(4);
+        assert_eq!(bounds.len(), 5);
+        assert_eq!(*bounds.first().unwrap(), 0);
+        assert_eq!(*bounds.last().unwrap(), 31);
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        // The hub row (90 of 120 nnz = 3 quarters) must own the first three
+        // spans; the 30 single-entry rows all land in the last one.
+        assert_eq!(bounds, vec![0, 1, 1, 1, 31]);
+
+        // Partitioning stays sane on empty and dense-uniform matrices.
+        let empty = CsrMatrix::from_coo(5, 5, vec![]);
+        assert_eq!(empty.nnz_partitions(3), vec![0, 0, 0, 5]);
+        let uniform = CsrMatrix::from_coo(8, 2, (0..8).map(|r| (r, 0, 1.0)).collect());
+        assert_eq!(uniform.nnz_partitions(4), vec![0, 2, 4, 6, 8]);
     }
 
     #[test]

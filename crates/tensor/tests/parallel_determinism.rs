@@ -1,0 +1,123 @@
+//! Bit-determinism of the parallel kernel layer: for random shapes and
+//! every tested thread count, the pool-dispatched kernels must equal the
+//! serial kernels *bitwise*. The parallel code partitions output rows, so
+//! each `f64` accumulates in the same order as the serial loops — scores
+//! stay a pure function of `(graph, config, seed)` at any `UMGAD_THREADS`.
+
+use umgad_rt::proptest::prelude::*;
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::{Rng, SeedableRng};
+use umgad_tensor::{parallel_map, CsrMatrix, Matrix};
+
+/// Thread counts the kernels must be invariant under: serial degenerate,
+/// even, odd (uneven partitions), and more lanes than most test shapes
+/// have rows.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 5, 8];
+
+/// A dense matrix with exact zeros mixed in, so the kernels' zero-skip
+/// branches see traffic, and both signs represented.
+fn dense(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen::<f64>() < 0.2 {
+            0.0
+        } else {
+            rng.gen::<f64>() * 4.0 - 2.0
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_parallel_is_bitwise_serial(
+        (m, k, n, seed) in (0usize..24, 0usize..24, 0usize..24, 0u64..1_000_000)
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = dense(m, k, &mut rng);
+        let b = dense(k, n, &mut rng);
+        let serial = a.matmul_serial(&b);
+        for threads in THREAD_COUNTS {
+            let par = a.matmul_parallel(&b, threads);
+            prop_assert_eq!(par.data(), serial.data(), "threads={}", threads);
+        }
+        // The dispatching entry point picks one of the two proven paths.
+        let dispatched = a.matmul(&b);
+        prop_assert_eq!(dispatched.data(), serial.data());
+    }
+
+    #[test]
+    fn matmul_ta_parallel_is_bitwise_serial(
+        (m, k, n, seed) in (0usize..24, 0usize..24, 0usize..24, 0u64..1_000_000)
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = dense(m, k, &mut rng);
+        let b = dense(m, n, &mut rng);
+        let serial = a.matmul_ta_serial(&b);
+        for threads in THREAD_COUNTS {
+            let par = a.matmul_ta_parallel(&b, threads);
+            prop_assert_eq!(par.data(), serial.data(), "threads={}", threads);
+        }
+        let dispatched = a.matmul_ta(&b);
+        prop_assert_eq!(dispatched.data(), serial.data());
+    }
+
+    #[test]
+    fn matmul_tb_parallel_is_bitwise_serial(
+        (m, k, n, seed) in (0usize..24, 0usize..24, 0usize..24, 0u64..1_000_000)
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = dense(m, k, &mut rng);
+        let b = dense(n, k, &mut rng);
+        let serial = a.matmul_tb_serial(&b);
+        for threads in THREAD_COUNTS {
+            let par = a.matmul_tb_parallel(&b, threads);
+            prop_assert_eq!(par.data(), serial.data(), "threads={}", threads);
+        }
+        let dispatched = a.matmul_tb(&b);
+        prop_assert_eq!(dispatched.data(), serial.data());
+    }
+
+    #[test]
+    fn spmm_parallel_is_bitwise_serial(
+        (rows, cols, n, seed) in (1usize..48, 1usize..32, 0usize..8, 0u64..1_000_000)
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Skewed sparsity: a few hub rows plus a uniform tail, so the
+        // nnz-balanced partitions get genuinely uneven row spans.
+        let nnz = rng.gen_range(0..rows * 4);
+        let triples: Vec<(usize, usize, f64)> = (0..nnz)
+            .map(|_| {
+                let r = if rng.gen::<f64>() < 0.3 {
+                    rng.gen_range(0..rows.div_ceil(8))
+                } else {
+                    rng.gen_range(0..rows)
+                };
+                (r, rng.gen_range(0..cols), rng.gen::<f64>() * 2.0 - 1.0)
+            })
+            .collect();
+        let a = CsrMatrix::from_coo(rows, cols, triples);
+        let x = dense(cols, n, &mut rng);
+        let serial = a.spmm_serial(&x);
+        for threads in THREAD_COUNTS {
+            let par = a.spmm_parallel(&x, threads);
+            prop_assert_eq!(par.data(), serial.data(), "threads={}", threads);
+        }
+        let dispatched = a.spmm(&x);
+        prop_assert_eq!(dispatched.data(), serial.data());
+    }
+
+    #[test]
+    fn parallel_map_is_order_and_value_identical(
+        (len, seed) in (0usize..64, 0u64..1_000_000)
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let items: Vec<f64> = (0..len).map(|_| rng.gen::<f64>() * 10.0).collect();
+        let f = |x: f64| (x.sin() * 1e6).mul_add(x, 1.0 / (x + 0.5));
+        let serial: Vec<f64> = items.iter().map(|&x| f(x)).collect();
+        for threads in THREAD_COUNTS {
+            let par = parallel_map(items.clone(), threads, f);
+            prop_assert_eq!(&par, &serial, "threads={}", threads);
+        }
+    }
+}

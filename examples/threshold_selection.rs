@@ -19,10 +19,14 @@ fn ascii_curve(sorted_desc: &[f64], knee: usize, width: usize, height: usize) ->
     let min = sorted_desc.last().copied().unwrap_or(0.0);
     let span = (max - min).max(1e-12);
     let mut rows = vec![vec![' '; width]; height];
-    for c in 0..width {
-        let idx = c * (sorted_desc.len() - 1) / (width - 1).max(1);
-        let v = (sorted_desc[idx] - min) / span;
-        let r = ((1.0 - v) * (height - 1) as f64).round() as usize;
+    let marks: Vec<usize> = (0..width)
+        .map(|c| {
+            let idx = c * (sorted_desc.len() - 1) / (width - 1).max(1);
+            let v = (sorted_desc[idx] - min) / span;
+            ((1.0 - v) * (height - 1) as f64).round() as usize
+        })
+        .collect();
+    for (c, &r) in marks.iter().enumerate() {
         rows[r][c] = '*';
     }
     // Knee marker column.

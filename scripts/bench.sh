@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Perf trajectory: run every micro/runtime benchmark in measure mode and
+# aggregate the per-binary reports into BENCH_kernels.json at the repo root.
+#
+# The rt-bench harness writes target/rt-bench/<binary>-<hash>.json per bench
+# binary; the hash changes with every compilation, so the directory is
+# cleared first and the bench_agg binary folds the fresh reports into one
+# deterministic, hash-free document that can be committed and diffed across
+# PRs (serial-vs-parallel speedup pairs are derived per kernel).
+#
+# Thread count honours UMGAD_THREADS (0/unset = available parallelism), so
+#   UMGAD_THREADS=1 ./scripts/bench.sh
+# gives a serial baseline of the same document.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+rm -rf target/rt-bench
+
+echo "== cargo bench"
+cargo bench
+
+echo "== aggregate into BENCH_kernels.json"
+cargo run --release -q -p umgad-bench --bin bench_agg -- target/rt-bench BENCH_kernels.json

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Pre-merge gate. Run before every merge; all three steps must pass.
+# Pre-merge gate. Run before every merge; every step must pass.
 #
 # The workspace is hermetic — no crates.io dependencies — so this runs
 # offline on a bare Rust toolchain. The `umgad-rt` crate supplies the PRNG,
@@ -8,6 +8,7 @@
 #   1. tier-1: release build + full test suite (unit, property, integration,
 #      and the end-to-end determinism check in tests/determinism.rs)
 #   2. formatting: rustfmt in check mode
+#   3. lints: clippy over every target with warnings denied
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,5 +20,8 @@ cargo test -q
 
 echo "== cargo fmt --check"
 cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "CI gate passed."
