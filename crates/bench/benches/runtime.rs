@@ -95,9 +95,39 @@ fn scoring_paths(c: &mut Criterion) {
     group2.finish();
 }
 
+fn checkpoint_overhead(c: &mut Criterion) {
+    // Fault-tolerance tax at Scale::Small: capture + serialise + atomic
+    // write of a full-state TrainCheckpoint, and parse + restore, next to
+    // the per-epoch training cost a `--checkpoint-every 1` run amortises
+    // them against (EXPERIMENTS.md "Checkpoint overhead").
+    let data = Dataset::generate(DatasetKind::Amazon, Scale::Small, 15);
+    let mut cfg = UmgadConfig::fast_test();
+    cfg.epochs = 4;
+    let mut model = Umgad::new(&data.graph, cfg);
+    let dir = std::env::temp_dir().join("umgad-bench-ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ck.json");
+
+    let mut group = c.benchmark_group("checkpoint_small");
+    group.sample_size(10);
+    group.bench_function("epoch", |b| {
+        b.iter(|| black_box(model.train_epoch_guarded(&data.graph).unwrap().total))
+    });
+    group.bench_function("save", |b| {
+        b.iter(|| model.save_train_checkpoint(black_box(&path)).unwrap())
+    });
+    model.save_train_checkpoint(&path).unwrap();
+    group.bench_function("restore", |b| {
+        b.iter(|| black_box(Umgad::resume_from_file(&path, &data.graph).unwrap()))
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 criterion_group! {
     name = runtime;
     config = Criterion::default().sample_size(10);
-    targets = umgad_epoch, umgad_repeats_ablation, baseline_fit, scoring_paths
+    targets = umgad_epoch, umgad_repeats_ablation, baseline_fit, scoring_paths,
+        checkpoint_overhead
 }
 criterion_main!(runtime);

@@ -54,14 +54,20 @@ fn main() {
 
     // (source, name, entry-with-source-prepended)
     let mut benches: Vec<(String, String, Value)> = Vec::new();
-    let dir = match fs::read_dir(report_dir) {
-        Ok(d) => d,
+    // An absent report directory (filtered or interrupted bench run) is not
+    // an error: aggregate zero reports into a valid, empty document.
+    let dir_entries: Vec<fs::DirEntry> = match fs::read_dir(report_dir) {
+        Ok(d) => d.flatten().collect(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!("bench_agg: {report_dir} does not exist; writing an empty report");
+            Vec::new()
+        }
         Err(e) => {
             eprintln!("bench_agg: cannot read {report_dir}: {e}");
             std::process::exit(1);
         }
     };
-    for entry in dir.flatten() {
+    for entry in dir_entries {
         let path = entry.path();
         if path.extension().and_then(|e| e.to_str()) != Some("json") {
             continue;

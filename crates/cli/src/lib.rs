@@ -39,8 +39,9 @@ pub enum Command {
     Detect {
         /// Input JSON graph.
         input: PathBuf,
-        /// Training epochs.
-        epochs: usize,
+        /// Training epochs (`None` = preset default; on `--resume` it
+        /// extends the checkpoint's target).
+        epochs: Option<usize>,
         /// RNG seed.
         seed: u64,
         /// Use the real-anomaly (2-hop) preset instead of the injected one.
@@ -49,6 +50,12 @@ pub enum Command {
         scores: Option<PathBuf>,
         /// Save the trained model as a JSON checkpoint.
         save_model: Option<PathBuf>,
+        /// Write a full-state training checkpoint here (crash-safe).
+        checkpoint: Option<PathBuf>,
+        /// Checkpoint every N epochs (0 = only at the end of training).
+        checkpoint_every: usize,
+        /// Resume from a full-state checkpoint instead of starting fresh.
+        resume: Option<PathBuf>,
     },
     /// Score a graph with a previously saved model (no training).
     Score {
@@ -97,6 +104,7 @@ pub fn usage() -> &'static str {
     "usage: umgad <generate|detect|baseline|import|threshold|methods> [flags]\n\
      generate  --dataset retail|alibaba|amazon|yelpchi [--scale F] [--seed N] --out FILE\n\
      detect    --input FILE [--epochs N] [--seed N] [--real] [--scores FILE] [--save-model FILE]\n\
+    \u{20}          [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n\
      score     --input FILE --model FILE [--scores FILE]\n\
      baseline  --input FILE --method NAME [--epochs N] [--seed N] [--scores FILE]\n\
      threshold --scores FILE\n\
@@ -157,14 +165,26 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 out: get("out").ok_or("--out required")?.into(),
             })
         }
-        "detect" => Ok(Command::Detect {
-            input: get("input").ok_or("--input required")?.into(),
-            epochs: num("epochs", 20)? as usize,
-            seed: num("seed", 7)?,
-            real_preset: bools.contains("real"),
-            scores: get("scores").map(Into::into),
-            save_model: get("save-model").map(Into::into),
-        }),
+        "detect" => {
+            let checkpoint: Option<PathBuf> = get("checkpoint").map(Into::into);
+            let checkpoint_every = num("checkpoint-every", 0)? as usize;
+            if checkpoint_every > 0 && checkpoint.is_none() {
+                return Err("--checkpoint-every needs --checkpoint FILE".into());
+            }
+            Ok(Command::Detect {
+                input: get("input").ok_or("--input required")?.into(),
+                epochs: get("epochs")
+                    .map(|v| v.parse().map_err(|e| format!("--epochs: {e}")))
+                    .transpose()?,
+                seed: num("seed", 7)?,
+                real_preset: bools.contains("real"),
+                scores: get("scores").map(Into::into),
+                save_model: get("save-model").map(Into::into),
+                checkpoint,
+                checkpoint_every,
+                resume: get("resume").map(Into::into),
+            })
+        }
         "score" => Ok(Command::Score {
             input: get("input").ok_or("--input required")?.into(),
             model: get("model").ok_or("--model required")?.into(),
@@ -271,21 +291,49 @@ pub fn run(cmd: Command) -> Result<String, String> {
             real_preset,
             scores,
             save_model,
+            checkpoint,
+            checkpoint_every,
+            resume,
         } => {
             let graph = load_graph(&input).map_err(|e| e.to_string())?;
-            let mut cfg = if real_preset {
-                UmgadConfig::paper_real()
-            } else {
-                UmgadConfig::paper_injected()
-            };
-            cfg.epochs = epochs;
-            cfg.seed = seed;
-            let mut model = Umgad::new(&graph, cfg);
-            model.train(&graph);
             let mut extra = String::new();
+            let mut model = match &resume {
+                Some(r) => {
+                    // The checkpoint carries its own config (seed, preset,
+                    // epoch target); `--epochs` may extend the target.
+                    let mut m = Umgad::resume_from_file(r, &graph)?;
+                    if let Some(e) = epochs {
+                        m.set_epochs(e)?;
+                    }
+                    let _ = writeln!(
+                        extra,
+                        "resumed {} at epoch {}/{}",
+                        r.display(),
+                        m.history.len(),
+                        m.config().epochs
+                    );
+                    m
+                }
+                None => {
+                    let mut cfg = if real_preset {
+                        UmgadConfig::paper_real()
+                    } else {
+                        UmgadConfig::paper_injected()
+                    };
+                    cfg.epochs = epochs.unwrap_or(20);
+                    cfg.seed = seed;
+                    Umgad::new(&graph, cfg)
+                }
+            };
+            model
+                .train_with_checkpoints(&graph, checkpoint_every, checkpoint.as_deref())
+                .map_err(|e| e.to_string())?;
+            if let Some(p) = &checkpoint {
+                let _ = writeln!(extra, "checkpointed to {}", p.display());
+            }
             if let Some(p) = save_model {
                 model.save(&p).map_err(|e| e.to_string())?;
-                extra = format!("saved model to {}\n", p.display());
+                let _ = writeln!(extra, "saved model to {}", p.display());
             }
             let s = model.anomaly_scores(&graph);
             finish_scores(&graph, &s, scores).map(|out| extra + &out)
@@ -394,7 +442,7 @@ fn finish_scores(
     }
     match path {
         Some(p) => {
-            std::fs::write(&p, csv).map_err(|e| e.to_string())?;
+            umgad_rt::fs::atomic_write_string(&p, &csv).map_err(|e| e.to_string())?;
             let _ = writeln!(summary, "wrote {}", p.display());
             Ok(summary)
         }
@@ -443,14 +491,63 @@ mod tests {
                 real_preset,
                 epochs,
                 save_model,
+                checkpoint,
+                checkpoint_every,
+                resume,
                 ..
             } => {
                 assert!(real_preset);
-                assert_eq!(epochs, 20);
+                assert_eq!(epochs, None);
                 assert!(save_model.is_none());
+                assert!(checkpoint.is_none());
+                assert_eq!(checkpoint_every, 0);
+                assert!(resume.is_none());
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_detect_checkpoint_flags() {
+        let cmd = parse(&s(&[
+            "detect",
+            "--input",
+            "g.json",
+            "--checkpoint",
+            "ck.json",
+            "--checkpoint-every",
+            "2",
+            "--epochs",
+            "9",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Detect {
+                epochs,
+                checkpoint,
+                checkpoint_every,
+                ..
+            } => {
+                assert_eq!(epochs, Some(9));
+                assert_eq!(checkpoint, Some("ck.json".into()));
+                assert_eq!(checkpoint_every, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&s(&["detect", "--input", "g.json", "--resume", "ck.json"])).unwrap();
+        match cmd {
+            Command::Detect { resume, .. } => assert_eq!(resume, Some("ck.json".into())),
+            other => panic!("{other:?}"),
+        }
+        // --checkpoint-every is meaningless without a checkpoint path.
+        let err = parse(&s(&[
+            "detect",
+            "--input",
+            "g.json",
+            "--checkpoint-every",
+            "2",
+        ]));
+        assert!(err.unwrap_err().contains("--checkpoint"));
     }
 
     #[test]
@@ -517,6 +614,60 @@ mod tests {
     }
 
     #[test]
+    fn detect_resume_matches_uninterrupted() {
+        let dir = std::env::temp_dir().join("umgad-cli-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.json");
+        let ckpt_path = dir.join("ck.json");
+        let full_csv = dir.join("full.csv");
+        let resumed_csv = dir.join("resumed.csv");
+
+        run(Command::Generate {
+            dataset: DatasetKind::Alibaba,
+            scale: 0.01,
+            seed: 5,
+            out: graph_path.clone(),
+        })
+        .unwrap();
+
+        let detect = |epochs, scores, checkpoint, checkpoint_every, resume| Command::Detect {
+            input: graph_path.clone(),
+            epochs,
+            seed: 5,
+            real_preset: false,
+            scores,
+            save_model: None,
+            checkpoint,
+            checkpoint_every,
+            resume,
+        };
+
+        // Uninterrupted 4-epoch run.
+        run(detect(Some(4), Some(full_csv.clone()), None, 0, None)).unwrap();
+
+        // Stop after 2 epochs (checkpointing), then resume to 4.
+        let out = run(detect(Some(2), None, Some(ckpt_path.clone()), 1, None)).unwrap();
+        assert!(out.contains("checkpointed"), "{out}");
+        let out = run(detect(
+            Some(4),
+            Some(resumed_csv.clone()),
+            None,
+            0,
+            Some(ckpt_path.clone()),
+        ))
+        .unwrap();
+        assert!(
+            out.contains("resumed") && out.contains("epoch 2/4"),
+            "{out}"
+        );
+
+        let full = std::fs::read_to_string(&full_csv).unwrap();
+        let resumed = std::fs::read_to_string(&resumed_csv).unwrap();
+        assert_eq!(full, resumed, "resumed scores must be byte-identical");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn end_to_end_generate_detect_threshold() {
         let dir = std::env::temp_dir().join("umgad-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -535,11 +686,14 @@ mod tests {
         let model_path = dir.join("m.json");
         let out = run(Command::Detect {
             input: graph_path.clone(),
-            epochs: 3,
+            epochs: Some(3),
             seed: 4,
             real_preset: false,
             scores: Some(scores_path.clone()),
             save_model: Some(model_path.clone()),
+            checkpoint: None,
+            checkpoint_every: 0,
+            resume: None,
         })
         .unwrap();
         assert!(out.contains("AUC"), "labels present => summary: {out}");

@@ -41,8 +41,10 @@ pub use eval::{
     average_precision, macro_f1_at, oracle_threshold, precision_at_k, recall_at_k, roc_auc,
     Confusion,
 };
-pub use model::{Detection, EpochStats, ScoreExplanation, Umgad};
-pub use persist::Checkpoint;
+pub use model::{
+    Detection, EpochStats, ScoreExplanation, TrainError, Umgad, MAX_DIVERGENCE_RETRIES,
+};
+pub use persist::{Checkpoint, TrainCheckpoint};
 pub use score::{combine_views, structure_errors_layer, view_scores, ScoreOptions, ViewRecon};
 pub use threshold::{
     apply_threshold, default_window, moving_average, select_threshold,

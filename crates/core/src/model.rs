@@ -15,6 +15,7 @@
 //! `O(|V|·q·f)` for the contrast — matching the paper's
 //! `O(|V|·f·(L + d_h·R + f))` up to the masking-repeat constant `K`.
 
+use std::fmt;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -47,6 +48,66 @@ pub struct EpochStats {
     pub contrastive: f64,
     /// Wall-clock duration of the epoch.
     pub duration: Duration,
+}
+
+/// Bounded number of rollback-and-retry attempts a guarded epoch makes
+/// before surfacing [`TrainError::NonFinite`]. Each retry halves the
+/// learning rate, so the final attempt runs at `lr / 2^MAX`.
+pub const MAX_DIVERGENCE_RETRIES: usize = 3;
+
+/// Typed training failure, surfaced instead of a panic so callers can
+/// checkpoint what they have, report, and decide.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The loss or a parameter went non-finite and every
+    /// rollback-with-halved-LR retry diverged too. The model is left at the
+    /// last healthy (pre-epoch) state.
+    NonFinite {
+        /// Epoch that kept diverging (0-based; equals `history.len()`).
+        epoch: usize,
+        /// Retries attempted before giving up.
+        retries: usize,
+        /// Learning rate of the final failed attempt.
+        lr: f64,
+    },
+    /// Writing a checkpoint failed; training state in memory is intact.
+    Persist(std::io::Error),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NonFinite { epoch, retries, lr } => write!(
+                f,
+                "training diverged at epoch {epoch}: loss/params non-finite after \
+                 {retries} retries (final lr {lr:e})"
+            ),
+            TrainError::Persist(e) => write!(f, "checkpoint write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Persist(e) => Some(e),
+            TrainError::NonFinite { .. } => None,
+        }
+    }
+}
+
+/// In-memory copy of everything [`Umgad::train_epoch`] mutates, taken
+/// before a guarded epoch so a diverged attempt can be undone exactly.
+struct TrainSnapshot {
+    orig_attr: Vec<Gmae>,
+    orig_struct: Vec<Gmae>,
+    aug_attr: Vec<Gmae>,
+    sub: Vec<Gmae>,
+    a_weights: RelationWeights,
+    b_weights: RelationWeights,
+    opt: Adam,
+    rng: SmallRng,
+    history_len: usize,
 }
 
 /// Detection outcome on a labelled graph.
@@ -175,16 +236,64 @@ impl Umgad {
         )
     }
 
+    /// Borrow the relation-weight logit parameters `(a, b)` with their
+    /// optimiser state — used by full-state checkpointing.
+    pub fn relation_weight_params(&self) -> (&umgad_tensor::Param, &umgad_tensor::Param) {
+        (&self.a_weights.logits, &self.b_weights.logits)
+    }
+
+    /// Raw PRNG state — with [`Umgad::restore_rng_state`], the piece that
+    /// lets a resumed run re-draw exactly the masks an uninterrupted run
+    /// would have drawn.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restore the PRNG to a [`Umgad::rng_state`] export.
+    pub fn restore_rng_state(&mut self, state: [u64; 4]) -> Result<(), String> {
+        self.rng = SmallRng::from_state(state)?;
+        Ok(())
+    }
+
+    /// Current learning rate (may sit below `cfg.lr` after divergence
+    /// backoff — see [`Umgad::train_epoch_guarded`]).
+    pub fn current_lr(&self) -> f64 {
+        self.opt.lr
+    }
+
+    /// Override the learning rate (checkpoint restore / schedules).
+    pub fn set_lr(&mut self, lr: f64) -> Result<(), String> {
+        if !(lr.is_finite() && lr > 0.0) {
+            return Err(format!(
+                "learning rate must be positive and finite, got {lr}"
+            ));
+        }
+        self.opt.lr = lr;
+        Ok(())
+    }
+
+    /// Override the total-epoch target, e.g. to extend a resumed run past
+    /// the epoch count its checkpoint was created with.
+    pub fn set_epochs(&mut self, epochs: usize) -> Result<(), String> {
+        if epochs == 0 {
+            return Err("epoch target must be positive".into());
+        }
+        self.cfg.epochs = epochs;
+        Ok(())
+    }
+
     /// Replace all learned state (checkpoint restore). Unit counts and
-    /// shapes must match the model's architecture.
+    /// shapes must match the model's architecture. The logits arrive as
+    /// full [`umgad_tensor::Param`]s so a mid-training restore carries
+    /// optimiser moments; scoring-only restores pass `Param::new(matrix)`.
     pub fn replace_units(
         &mut self,
         orig_attr: Vec<Gmae>,
         orig_struct: Vec<Gmae>,
         aug_attr: Vec<Gmae>,
         sub: Vec<Gmae>,
-        a_logits: Matrix,
-        b_logits: Matrix,
+        a_logits: umgad_tensor::Param,
+        b_logits: umgad_tensor::Param,
     ) -> Result<(), String> {
         for (name, new, old) in [
             ("orig_attr", &orig_attr, &self.orig_attr),
@@ -214,8 +323,8 @@ impl Umgad {
         self.orig_struct = orig_struct;
         self.aug_attr = aug_attr;
         self.sub = sub;
-        self.a_weights.logits = umgad_tensor::Param::new(a_logits);
-        self.b_weights.logits = umgad_tensor::Param::new(b_logits);
+        self.a_weights.logits = a_logits;
+        self.b_weights.logits = b_logits;
         Ok(())
     }
 
@@ -240,6 +349,10 @@ impl Umgad {
     /// up to `cfg.epochs` at most. Returns the number of epochs run.
     /// Fig. 6c shows UMGAD converging well before the fixed epoch budget;
     /// this makes that observation actionable.
+    /// Resumable: on a model restored from a mid-training checkpoint the
+    /// stopping rule is replayed over the recorded loss history first, so a
+    /// resumed run stops at exactly the epoch an uninterrupted run would
+    /// have, and the return value counts only epochs run by *this* call.
     pub fn train_early_stopping(
         &mut self,
         graph: &MultiplexGraph,
@@ -249,21 +362,111 @@ impl Umgad {
         assert!(patience >= 1);
         let mut best = f64::INFINITY;
         let mut stale = 0usize;
-        let mut epochs = 0usize;
-        for _ in 0..self.cfg.epochs {
-            let stats = self.train_epoch(graph);
-            epochs += 1;
-            if stats.total < best * (1.0 - min_delta) {
+        let improved = |total: f64, best: f64| total < best * (1.0 - min_delta);
+        for stats in &self.history {
+            if improved(stats.total, best) {
                 best = stats.total;
                 stale = 0;
             } else {
                 stale += 1;
-                if stale >= patience {
-                    break;
-                }
+            }
+        }
+        let mut epochs = 0usize;
+        while stale < patience && self.history.len() < self.cfg.epochs {
+            let stats = self.train_epoch(graph);
+            epochs += 1;
+            if improved(stats.total, best) {
+                best = stats.total;
+                stale = 0;
+            } else {
+                stale += 1;
             }
         }
         epochs
+    }
+
+    /// Snapshot everything one epoch mutates (for divergence rollback).
+    fn snapshot(&self) -> TrainSnapshot {
+        TrainSnapshot {
+            orig_attr: self.orig_attr.clone(),
+            orig_struct: self.orig_struct.clone(),
+            aug_attr: self.aug_attr.clone(),
+            sub: self.sub.clone(),
+            a_weights: self.a_weights.clone(),
+            b_weights: self.b_weights.clone(),
+            opt: self.opt,
+            rng: self.rng.clone(),
+            history_len: self.history.len(),
+        }
+    }
+
+    /// Undo a diverged epoch: restore every learned tensor, the optimiser
+    /// (moments live inside the params), the PRNG, and the loss history.
+    fn rollback(&mut self, snap: &TrainSnapshot) {
+        self.orig_attr = snap.orig_attr.clone();
+        self.orig_struct = snap.orig_struct.clone();
+        self.aug_attr = snap.aug_attr.clone();
+        self.sub = snap.sub.clone();
+        self.a_weights = snap.a_weights.clone();
+        self.b_weights = snap.b_weights.clone();
+        self.opt = snap.opt;
+        self.rng = snap.rng.clone();
+        self.history.truncate(snap.history_len);
+    }
+
+    /// Whether every learned parameter is finite.
+    fn params_finite(&self) -> bool {
+        let unit_ok = |g: &Gmae| {
+            g.enc.w.value.is_finite()
+                && g.enc.b.value.is_finite()
+                && g.dec.w.value.is_finite()
+                && g.dec.b.value.is_finite()
+                && g.token.as_ref().is_none_or(|t| t.value.is_finite())
+        };
+        self.orig_attr.iter().all(unit_ok)
+            && self.orig_struct.iter().all(unit_ok)
+            && self.aug_attr.iter().all(unit_ok)
+            && self.sub.iter().all(unit_ok)
+            && self.a_weights.logits.value.is_finite()
+            && self.b_weights.logits.value.is_finite()
+    }
+
+    /// One epoch behind a divergence guard.
+    ///
+    /// Snapshots the model, runs [`Umgad::train_epoch`], and checks health:
+    /// the total loss and every parameter must be finite (tests can also
+    /// force a failure through the `train.diverge` fault point). On
+    /// divergence the epoch is rolled back — parameters, optimiser moments,
+    /// PRNG, and history all restored — and retried with the learning rate
+    /// halved, up to [`MAX_DIVERGENCE_RETRIES`] times. A retry that
+    /// succeeds keeps its reduced learning rate for subsequent epochs. When
+    /// retries are exhausted the model is left at the last healthy state
+    /// and a typed [`TrainError::NonFinite`] is returned — never a panic,
+    /// and never scores poisoned by NaN.
+    pub fn train_epoch_guarded(
+        &mut self,
+        graph: &MultiplexGraph,
+    ) -> Result<EpochStats, TrainError> {
+        let snap = self.snapshot();
+        let mut retries = 0usize;
+        loop {
+            let stats = self.train_epoch(graph);
+            let injected = umgad_rt::fault_point!("train.diverge").is_err();
+            if !injected && stats.total.is_finite() && self.params_finite() {
+                return Ok(stats);
+            }
+            self.rollback(&snap);
+            if retries >= MAX_DIVERGENCE_RETRIES {
+                return Err(TrainError::NonFinite {
+                    epoch: self.history.len(),
+                    retries,
+                    lr: self.opt.lr * 0.5f64.powi(retries as i32),
+                });
+            }
+            retries += 1;
+            // Rollback restored the snapshot's lr; back off exponentially.
+            self.opt.lr = snap.opt.lr * 0.5f64.powi(retries as i32);
+        }
     }
 
     /// Run one training epoch; returns (and records) the loss breakdown.
@@ -1029,6 +1232,137 @@ mod tests {
             last < first,
             "shared-repeat loss should decrease: {first} -> {last}"
         );
+    }
+
+    /// The fault registry is process-global; tests that arm it serialise
+    /// through this lock (shared with the persist tests in this binary).
+    pub(crate) fn fault_serial() -> std::sync::MutexGuard<'static, ()> {
+        use std::sync::{Mutex, OnceLock, PoisonError};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn guarded_epoch_rolls_back_and_halves_lr_on_injected_divergence() {
+        let _g = fault_serial();
+        umgad_rt::faults::reset();
+        let g = planted_graph(30);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 4;
+        let mut model = Umgad::new(&g, cfg);
+        let lr0 = model.current_lr();
+
+        // First attempt of the first epoch "diverges"; the retry succeeds.
+        umgad_rt::faults::arm("train.diverge", 1, umgad_rt::faults::FaultMode::Error);
+        let stats = model.train_epoch_guarded(&g).expect("retry should succeed");
+        assert!(stats.total.is_finite());
+        assert_eq!(
+            model.history.len(),
+            1,
+            "failed attempt must not be recorded"
+        );
+        assert_eq!(
+            model.current_lr(),
+            lr0 * 0.5,
+            "surviving retry keeps the halved lr"
+        );
+        umgad_rt::faults::reset();
+    }
+
+    #[test]
+    fn guarded_epoch_returns_typed_error_when_retries_exhausted() {
+        let _g = fault_serial();
+        umgad_rt::faults::reset();
+        let g = planted_graph(31);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 4;
+        let mut model = Umgad::new(&g, cfg);
+        let lr0 = model.current_lr();
+
+        // Fail the first attempt and every retry.
+        let attempts = (MAX_DIVERGENCE_RETRIES + 1) as u64;
+        umgad_rt::faults::arm_window(
+            "train.diverge",
+            0,
+            attempts,
+            umgad_rt::faults::FaultMode::Error,
+        );
+        let err = model.train_epoch_guarded(&g).unwrap_err();
+        match err {
+            TrainError::NonFinite { epoch, retries, lr } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(retries, MAX_DIVERGENCE_RETRIES);
+                assert!(lr < lr0);
+            }
+            other => panic!("expected NonFinite, got {other}"),
+        }
+        // Model left at the last healthy state: nothing recorded, lr
+        // restored, parameters usable.
+        assert_eq!(model.history.len(), 0);
+        assert_eq!(model.current_lr(), lr0);
+        assert!(model.train_epoch_guarded(&g).is_ok(), "model still usable");
+        umgad_rt::faults::reset();
+    }
+
+    #[test]
+    fn guarded_epoch_catches_real_non_finite_blowup() {
+        let _g = fault_serial();
+        umgad_rt::faults::reset();
+        let g = planted_graph(32);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 2;
+        let mut model = Umgad::new(&g, cfg);
+        // An absurd learning rate blows the parameters up; within an epoch
+        // or two the forward pass overflows and halving the rate cannot
+        // save it (the parameters themselves are already enormous).
+        model.set_lr(1e300).unwrap();
+        let mut ok_epochs = 0usize;
+        let mut saw_error = false;
+        for _ in 0..3 {
+            match model.train_epoch_guarded(&g) {
+                Ok(stats) => {
+                    assert!(stats.total.is_finite());
+                    ok_epochs += 1;
+                }
+                Err(e) => {
+                    assert!(matches!(e, TrainError::NonFinite { .. }), "{e}");
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "1e300 learning rate must eventually diverge");
+        assert_eq!(
+            model.history.len(),
+            ok_epochs,
+            "diverged epochs must not pollute history"
+        );
+    }
+
+    #[test]
+    fn set_lr_rejects_garbage() {
+        let g = planted_graph(33);
+        let mut model = Umgad::new(&g, UmgadConfig::fast_test());
+        assert!(model.set_lr(0.0).is_err());
+        assert!(model.set_lr(-1.0).is_err());
+        assert!(model.set_lr(f64::NAN).is_err());
+        assert!(model.set_lr(1e-3).is_ok());
+        assert_eq!(model.current_lr(), 1e-3);
+        assert!(model.set_epochs(0).is_err());
+        assert!(model.set_epochs(11).is_ok());
+        assert_eq!(model.config().epochs, 11);
+    }
+
+    #[test]
+    fn rng_state_roundtrips_through_model() {
+        let g = planted_graph(34);
+        let mut model = Umgad::new(&g, UmgadConfig::fast_test());
+        let s = model.rng_state();
+        model.restore_rng_state(s).unwrap();
+        assert_eq!(model.rng_state(), s);
+        assert!(model.restore_rng_state([0; 4]).is_err());
     }
 
     #[test]

@@ -1,18 +1,32 @@
-//! Model checkpointing: serialise a trained [`Umgad`] detector to JSON and
-//! restore it bit-for-bit (training once, scoring many graphs of the same
-//! schema, or resuming later).
+//! Model checkpointing, in two tiers:
 //!
-//! Only the *learned state* is persisted — parameter matrices, relation
-//! weights, configuration, and loss history. RNG state is re-seeded from
-//! the config, so a restored model scores identically but further training
-//! re-draws masks from the seed.
+//! - [`Checkpoint`] — the **scoring-only** snapshot: parameter values,
+//!   relation weights, and configuration. A restored model scores
+//!   bit-identically, but optimiser moments are reset and the RNG is
+//!   re-seeded from the config, so *continued training* re-draws masks from
+//!   the seed and diverges from an uninterrupted run. Use it to train once
+//!   and score many graphs of the same schema — not to resume.
+//! - [`TrainCheckpoint`] — the **full-state** mid-training snapshot: epoch
+//!   cursor, every parameter *with* its Adam moments and step counter, the
+//!   live (possibly backed-off) learning rate, the exact PRNG state, and
+//!   the loss history. [`Umgad::resume_from_checkpoint`] reconstructs a
+//!   model whose remaining epochs and final scores are **bitwise
+//!   identical** to a never-interrupted run — the recovery contract the
+//!   fault-injection suite enforces.
+//!
+//! All writes go through [`umgad_rt::fs::atomic_write_string`] (temp file +
+//! fsync + rename), so a crash mid-write never corrupts the last good file
+//! on disk.
+
+use std::path::Path;
+use std::time::Duration;
 
 use umgad_graph::MultiplexGraph;
 use umgad_nn::{Activation, Gmae};
-use umgad_tensor::{Matrix, Param};
+use umgad_tensor::{Matrix, Param, ParamState};
 
 use crate::config::{Ablation, UmgadConfig};
-use crate::model::Umgad;
+use crate::model::{EpochStats, TrainError, Umgad};
 
 /// Serialisable matrix.
 #[derive(Clone, Debug)]
@@ -293,7 +307,13 @@ impl ConfigData {
     }
 }
 
-/// Complete checkpoint of a trained detector.
+/// Scoring-only checkpoint of a trained detector (values, no optimiser
+/// moments, no RNG state).
+///
+/// **Lossy for training**: restoring and continuing to train will not match
+/// an uninterrupted run — moments reset and masks are re-drawn from the
+/// seed. For stop/resume use [`TrainCheckpoint`] via
+/// [`Umgad::save_train_checkpoint`] / [`Umgad::resume_from_checkpoint`].
 #[derive(Clone, Debug)]
 pub struct Checkpoint {
     /// Format version for forward compatibility.
@@ -346,10 +366,10 @@ impl Umgad {
         }
     }
 
-    /// Save the checkpoint as JSON.
+    /// Save the scoring-only checkpoint as JSON (crash-safe atomic write).
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         let json = umgad_rt::json::to_string(&self.checkpoint()).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+        umgad_rt::fs::atomic_write_string(path, &json)
     }
 
     /// Restore a detector from a checkpoint onto a graph with the same
@@ -375,8 +395,8 @@ impl Umgad {
             restore_all(ckpt.orig_struct)?,
             restore_all(ckpt.aug_attr)?,
             restore_all(ckpt.sub)?,
-            ckpt.a_logits.into(),
-            ckpt.b_logits.into(),
+            Param::new(ckpt.a_logits.into()),
+            Param::new(ckpt.b_logits.into()),
         )?;
         Ok(model)
     }
@@ -386,6 +406,346 @@ impl Umgad {
         let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
         let ckpt: Checkpoint = umgad_rt::json::from_str(&json).map_err(|e| e.to_string())?;
         Umgad::from_checkpoint(ckpt, graph)
+    }
+}
+
+/// Serialisable [`Param`]: value plus Adam moments and step counter.
+#[derive(Clone, Debug)]
+pub struct ParamData {
+    /// Parameter value.
+    pub value: MatrixData,
+    /// First-moment buffer (absent before the first optimiser step).
+    pub m: Option<MatrixData>,
+    /// Second-moment buffer.
+    pub v: Option<MatrixData>,
+    /// Adam step counter.
+    pub t: u64,
+}
+
+umgad_rt::json_object!(ParamData { value, m, v, t });
+
+impl ParamData {
+    /// Capture a parameter's complete state.
+    pub fn capture(p: &Param) -> Self {
+        let st = p.export_state();
+        Self {
+            value: (&st.value).into(),
+            m: st.m.as_ref().map(Into::into),
+            v: st.v.as_ref().map(Into::into),
+            t: st.t,
+        }
+    }
+
+    /// Rebuild the parameter (validates moment shapes/consistency).
+    pub fn restore(self) -> Result<Param, String> {
+        Param::from_state(ParamState {
+            value: self.value.into(),
+            m: self.m.map(Into::into),
+            v: self.v.map(Into::into),
+            t: self.t,
+        })
+    }
+}
+
+/// Serialisable GMAE unit with full optimiser state per parameter.
+#[derive(Clone, Debug)]
+pub struct GmaeState {
+    /// Encoder weight.
+    pub enc_w: ParamData,
+    /// Encoder bias.
+    pub enc_b: ParamData,
+    /// Encoder hops.
+    pub enc_hops: usize,
+    /// Decoder weight.
+    pub dec_w: ParamData,
+    /// Decoder bias.
+    pub dec_b: ParamData,
+    /// Decoder hops.
+    pub dec_hops: usize,
+    /// `[MASK]` token when present.
+    pub token: Option<ParamData>,
+    /// Hidden activation tag.
+    pub act: String,
+}
+
+umgad_rt::json_object!(GmaeState {
+    enc_w,
+    enc_b,
+    enc_hops,
+    dec_w,
+    dec_b,
+    dec_hops,
+    token,
+    act
+});
+
+impl GmaeState {
+    /// Capture a unit with optimiser state.
+    pub fn capture(g: &Gmae) -> Self {
+        Self {
+            enc_w: ParamData::capture(&g.enc.w),
+            enc_b: ParamData::capture(&g.enc.b),
+            enc_hops: g.enc.hops,
+            dec_w: ParamData::capture(&g.dec.w),
+            dec_b: ParamData::capture(&g.dec.b),
+            dec_hops: g.dec.hops,
+            token: g.token.as_ref().map(ParamData::capture),
+            act: act_tag(g.enc.act),
+        }
+    }
+
+    /// Restore into a GMAE unit, moments included.
+    pub fn restore(self) -> Result<Gmae, String> {
+        let act = act_from_tag(&self.act)?;
+        Ok(Gmae {
+            enc: umgad_nn::SgcStack {
+                w: self.enc_w.restore()?,
+                b: self.enc_b.restore()?,
+                hops: self.enc_hops,
+                act,
+            },
+            dec: umgad_nn::SgcStack {
+                w: self.dec_w.restore()?,
+                b: self.dec_b.restore()?,
+                hops: self.dec_hops,
+                act: Activation::None,
+            },
+            token: self.token.map(ParamData::restore).transpose()?,
+        })
+    }
+}
+
+/// Serialisable [`EpochStats`] (duration flattened to seconds).
+#[derive(Clone, Debug)]
+pub struct EpochStatsData {
+    /// Total Eq. 18 loss.
+    pub total: f64,
+    /// Original-view loss.
+    pub original: f64,
+    /// Attribute-augmented loss.
+    pub attr_aug: f64,
+    /// Subgraph-augmented loss.
+    pub subgraph_aug: f64,
+    /// Contrastive loss.
+    pub contrastive: f64,
+    /// Wall-clock seconds of the epoch.
+    pub duration_secs: f64,
+}
+
+umgad_rt::json_object!(EpochStatsData {
+    total,
+    original,
+    attr_aug,
+    subgraph_aug,
+    contrastive,
+    duration_secs
+});
+
+impl From<&EpochStats> for EpochStatsData {
+    fn from(s: &EpochStats) -> Self {
+        Self {
+            total: s.total,
+            original: s.original,
+            attr_aug: s.attr_aug,
+            subgraph_aug: s.subgraph_aug,
+            contrastive: s.contrastive,
+            duration_secs: s.duration.as_secs_f64(),
+        }
+    }
+}
+
+impl EpochStatsData {
+    /// Reconstruct the runtime stats record.
+    pub fn restore(&self) -> Result<EpochStats, String> {
+        if !(self.duration_secs.is_finite() && self.duration_secs >= 0.0) {
+            return Err(format!("invalid epoch duration {}", self.duration_secs));
+        }
+        Ok(EpochStats {
+            total: self.total,
+            original: self.original,
+            attr_aug: self.attr_aug,
+            subgraph_aug: self.subgraph_aug,
+            contrastive: self.contrastive,
+            duration: Duration::from_secs_f64(self.duration_secs),
+        })
+    }
+}
+
+/// Full-state mid-training checkpoint: everything needed to resume at
+/// epoch `epoch` and finish bitwise-identically to an uninterrupted run.
+#[derive(Clone, Debug)]
+pub struct TrainCheckpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Epochs completed (equals `history.len()`).
+    pub epoch: usize,
+    /// Live learning rate (may sit below `config.lr` after divergence
+    /// backoff).
+    pub lr: f64,
+    /// Configuration the model was built with.
+    pub config: ConfigData,
+    /// Number of relations the model was built for.
+    pub relations: usize,
+    /// Attribute units with optimiser state.
+    pub orig_attr: Vec<GmaeState>,
+    /// Structure units.
+    pub orig_struct: Vec<GmaeState>,
+    /// Attribute-augmented units.
+    pub aug_attr: Vec<GmaeState>,
+    /// Subgraph units.
+    pub sub: Vec<GmaeState>,
+    /// Relation weight logits `a^r` with optimiser state.
+    pub a_logits: ParamData,
+    /// Relation weight logits `b^r` with optimiser state.
+    pub b_logits: ParamData,
+    /// Xoshiro256++ state at the checkpoint boundary.
+    pub rng: [u64; 4],
+    /// Per-epoch loss history up to the checkpoint.
+    pub history: Vec<EpochStatsData>,
+}
+
+umgad_rt::json_object!(TrainCheckpoint {
+    version,
+    epoch,
+    lr,
+    config,
+    relations,
+    orig_attr,
+    orig_struct,
+    aug_attr,
+    sub,
+    a_logits,
+    b_logits,
+    rng,
+    history
+});
+
+impl Umgad {
+    /// Capture the complete training state at the current epoch boundary.
+    pub fn train_checkpoint(&self) -> TrainCheckpoint {
+        let cap = |units: &[Gmae]| units.iter().map(GmaeState::capture).collect();
+        let (orig_attr, orig_struct, aug_attr, sub) = self.unit_slices();
+        TrainCheckpoint {
+            version: 1,
+            epoch: self.history.len(),
+            lr: self.current_lr(),
+            config: self.config().into(),
+            relations: self.num_relations(),
+            orig_attr: cap(orig_attr),
+            orig_struct: cap(orig_struct),
+            aug_attr: cap(aug_attr),
+            sub: cap(sub),
+            a_logits: ParamData::capture(self.relation_weight_params().0),
+            b_logits: ParamData::capture(self.relation_weight_params().1),
+            rng: self.rng_state(),
+            history: self.history.iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Write the full training state to `path` atomically.
+    ///
+    /// The `persist.write` fault point fires after serialisation and before
+    /// the write, so the fault suite can kill the process at the exact
+    /// boundary between "epoch finished" and "checkpoint durable".
+    pub fn save_train_checkpoint(&self, path: &Path) -> std::io::Result<()> {
+        let json =
+            umgad_rt::json::to_string(&self.train_checkpoint()).map_err(std::io::Error::other)?;
+        umgad_rt::fault_point!("persist.write")?;
+        umgad_rt::fs::atomic_write_string(path, &json)
+    }
+
+    /// Read a [`TrainCheckpoint`] back from disk.
+    pub fn load_train_checkpoint(path: &Path) -> Result<TrainCheckpoint, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        umgad_rt::json::from_str(&json).map_err(|e| e.to_string())
+    }
+
+    /// Rebuild a mid-training model from a full-state checkpoint.
+    ///
+    /// The result continues training exactly where the checkpointed run
+    /// stopped: same parameters, same Adam moments and step counters, same
+    /// PRNG stream position, same (possibly backed-off) learning rate, same
+    /// loss history. Finishing it with [`Umgad::train_with_checkpoints`]
+    /// (or [`Umgad::train_early_stopping`]) yields scores bitwise identical
+    /// to a never-interrupted run.
+    pub fn resume_from_checkpoint(
+        ckpt: TrainCheckpoint,
+        graph: &MultiplexGraph,
+    ) -> Result<Umgad, String> {
+        if ckpt.version != 1 {
+            return Err(format!(
+                "unsupported train-checkpoint version {}",
+                ckpt.version
+            ));
+        }
+        if ckpt.relations != graph.num_relations() {
+            return Err(format!(
+                "checkpoint expects {} relations, graph has {}",
+                ckpt.relations,
+                graph.num_relations()
+            ));
+        }
+        if ckpt.epoch != ckpt.history.len() {
+            return Err(format!(
+                "corrupt checkpoint: epoch {} != history length {}",
+                ckpt.epoch,
+                ckpt.history.len()
+            ));
+        }
+        let cfg = ckpt.config.restore()?;
+        let mut model = Umgad::new(graph, cfg);
+        let restore_all = |data: Vec<GmaeState>| -> Result<Vec<Gmae>, String> {
+            data.into_iter().map(GmaeState::restore).collect()
+        };
+        model.replace_units(
+            restore_all(ckpt.orig_attr)?,
+            restore_all(ckpt.orig_struct)?,
+            restore_all(ckpt.aug_attr)?,
+            restore_all(ckpt.sub)?,
+            ckpt.a_logits.restore()?,
+            ckpt.b_logits.restore()?,
+        )?;
+        model.restore_rng_state(ckpt.rng)?;
+        model.set_lr(ckpt.lr)?;
+        model.history = ckpt
+            .history
+            .iter()
+            .map(EpochStatsData::restore)
+            .collect::<Result<_, _>>()?;
+        Ok(model)
+    }
+
+    /// Resume a model directly from a checkpoint file.
+    pub fn resume_from_file(path: &Path, graph: &MultiplexGraph) -> Result<Umgad, String> {
+        let ckpt = Umgad::load_train_checkpoint(path)?;
+        Umgad::resume_from_checkpoint(ckpt, graph)
+    }
+
+    /// Train up to `cfg.epochs` *total* epochs (the loss history is the
+    /// epoch cursor, so a resumed model only runs what remains), writing a
+    /// full-state checkpoint to `path` every `every` completed epochs and
+    /// at the end. Each epoch runs behind the divergence guard
+    /// ([`Umgad::train_epoch_guarded`]). Returns the number of epochs run
+    /// by this call.
+    pub fn train_with_checkpoints(
+        &mut self,
+        graph: &MultiplexGraph,
+        every: usize,
+        path: Option<&Path>,
+    ) -> Result<usize, TrainError> {
+        let total = self.config().epochs;
+        let mut ran = 0usize;
+        while self.history.len() < total {
+            self.train_epoch_guarded(graph)?;
+            ran += 1;
+            if let Some(p) = path {
+                let done = self.history.len() >= total;
+                if done || (every > 0 && self.history.len().is_multiple_of(every)) {
+                    self.save_train_checkpoint(p).map_err(TrainError::Persist)?;
+                }
+            }
+        }
+        Ok(ran)
     }
 }
 
@@ -461,6 +821,149 @@ mod tests {
         let mut restored = Umgad::from_checkpoint(ckpt, &g).unwrap();
         let stats = restored.train_epoch(&g);
         assert!(stats.total.is_finite());
+    }
+
+    #[test]
+    fn train_checkpoint_json_roundtrips_byte_identically() {
+        let g = graph();
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 3;
+        let mut model = Umgad::new(&g, cfg);
+        model.train_with_checkpoints(&g, 0, None).unwrap();
+        let json = umgad_rt::json::to_string(&model.train_checkpoint()).unwrap();
+        let back: TrainCheckpoint = umgad_rt::json::from_str(&json).unwrap();
+        let json2 = umgad_rt::json::to_string(&back).unwrap();
+        assert_eq!(json, json2, "TrainCheckpoint JSON must be byte-stable");
+    }
+
+    /// Checkpoint JSON with wall-clock durations zeroed: epoch timings are
+    /// diagnostic and legitimately differ between a resumed and an
+    /// uninterrupted run, everything else must match to the byte.
+    fn canonical_ckpt(mut ckpt: TrainCheckpoint) -> String {
+        for h in &mut ckpt.history {
+            h.duration_secs = 0.0;
+        }
+        umgad_rt::json::to_string(&ckpt).unwrap()
+    }
+
+    #[test]
+    fn resume_at_every_epoch_matches_uninterrupted_bitwise() {
+        let g = graph();
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 5;
+
+        let mut full = Umgad::new(&g, cfg.clone());
+        full.train_with_checkpoints(&g, 0, None).unwrap();
+        let full_scores = full.anomaly_scores(&g);
+        let full_ckpt = canonical_ckpt(full.train_checkpoint());
+
+        for k in 1..cfg.epochs {
+            let mut head = Umgad::new(&g, cfg.clone());
+            for _ in 0..k {
+                head.train_epoch_guarded(&g).unwrap();
+            }
+            // Round-trip the checkpoint through its JSON encoding, exactly
+            // as a crash-and-restart would.
+            let json = umgad_rt::json::to_string(&head.train_checkpoint()).unwrap();
+            let ckpt: TrainCheckpoint = umgad_rt::json::from_str(&json).unwrap();
+            let mut resumed = Umgad::resume_from_checkpoint(ckpt, &g).unwrap();
+            let ran = resumed.train_with_checkpoints(&g, 0, None).unwrap();
+            assert_eq!(ran, cfg.epochs - k, "resume must only run what remains");
+            assert_eq!(
+                canonical_ckpt(resumed.train_checkpoint()),
+                full_ckpt,
+                "k={k}: resumed final state must equal the uninterrupted one"
+            );
+            let scores = resumed.anomaly_scores(&g);
+            assert!(
+                scores
+                    .iter()
+                    .zip(&full_scores)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "k={k}: resumed scores must be bitwise identical"
+            );
+        }
+    }
+
+    #[test]
+    fn early_stopping_replay_matches_uninterrupted_run() {
+        let g = graph();
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 40;
+        let (patience, min_delta) = (3, 0.05);
+
+        let mut full = Umgad::new(&g, cfg.clone());
+        full.train_early_stopping(&g, patience, min_delta);
+
+        let mut head = Umgad::new(&g, cfg.clone());
+        for _ in 0..2 {
+            head.train_epoch_guarded(&g).unwrap();
+        }
+        let json = umgad_rt::json::to_string(&head.train_checkpoint()).unwrap();
+        let ckpt: TrainCheckpoint = umgad_rt::json::from_str(&json).unwrap();
+        let mut resumed = Umgad::resume_from_checkpoint(ckpt, &g).unwrap();
+        resumed.train_early_stopping(&g, patience, min_delta);
+
+        assert_eq!(
+            resumed.history.len(),
+            full.history.len(),
+            "replayed stopping rule must stop at the same epoch"
+        );
+        assert_eq!(
+            resumed.history.last().unwrap().total.to_bits(),
+            full.history.last().unwrap().total.to_bits()
+        );
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_checkpoints() {
+        let g = graph();
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 2;
+        let mut model = Umgad::new(&g, cfg);
+        model.train_epoch_guarded(&g).unwrap();
+        let good = model.train_checkpoint();
+
+        let mut bad = good.clone();
+        bad.version = 99;
+        assert!(Umgad::resume_from_checkpoint(bad, &g).is_err());
+
+        let mut bad = good.clone();
+        bad.epoch = 7; // != history.len()
+        assert!(Umgad::resume_from_checkpoint(bad, &g).is_err());
+
+        let mut bad = good.clone();
+        bad.rng = [0; 4];
+        assert!(Umgad::resume_from_checkpoint(bad, &g).is_err());
+
+        let mut bad = good.clone();
+        bad.lr = f64::NAN;
+        assert!(Umgad::resume_from_checkpoint(bad, &g).is_err());
+
+        let mut bad = good.clone();
+        bad.a_logits.v = None; // m present without v
+        assert!(Umgad::resume_from_checkpoint(bad, &g).is_err());
+
+        assert!(Umgad::resume_from_checkpoint(good, &g).is_ok());
+    }
+
+    #[test]
+    fn save_and_resume_from_file_roundtrip() {
+        let g = graph();
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.epochs = 4;
+        let mut model = Umgad::new(&g, cfg);
+        let dir = std::env::temp_dir().join(format!("umgad-trainckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ckpt.json");
+        model.train_with_checkpoints(&g, 2, Some(&path)).unwrap();
+        let resumed = Umgad::resume_from_file(&path, &g).unwrap();
+        assert_eq!(resumed.history.len(), 4, "final checkpoint is at epoch 4");
+        assert_eq!(
+            canonical_ckpt(resumed.train_checkpoint()),
+            canonical_ckpt(model.train_checkpoint())
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

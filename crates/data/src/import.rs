@@ -55,6 +55,13 @@ pub fn parse_attributes(path: &Path) -> Result<Matrix, ImportError> {
         }
         let row: Result<Vec<f64>, _> = split_fields(line).map(str::parse::<f64>).collect();
         let row = row.map_err(|e| err(path, lineno + 1, e))?;
+        if let Some(col) = row.iter().position(|v| !v.is_finite()) {
+            return Err(err(
+                path,
+                lineno + 1,
+                format!("non-finite attribute in column {col}"),
+            ));
+        }
         if let Some(first) = rows.first() {
             if first.len() != row.len() {
                 return Err(err(
@@ -185,6 +192,16 @@ mod tests {
         let msg = res.unwrap_err().message;
         assert!(msg.contains("exceeds node count"), "{msg}");
         assert!(msg.contains("e3.tsv:1"), "line-numbered: {msg}");
+    }
+
+    #[test]
+    fn rejects_non_finite_attributes() {
+        let attrs = tmp("a7.tsv", "1 2\n3 1e999\n");
+        let e = tmp("e8.tsv", "");
+        let res = import_graph(&attrs, &[("r", &e)], None);
+        let msg = res.unwrap_err().message;
+        assert!(msg.contains("non-finite attribute in column 1"), "{msg}");
+        assert!(msg.contains("a7.tsv:2"), "line-numbered: {msg}");
     }
 
     #[test]

@@ -6,18 +6,22 @@ use std::path::Path;
 
 use umgad_graph::{MultiplexGraph, MultiplexGraphData};
 
-/// Save a multiplex graph to a JSON file.
+/// Save a multiplex graph to a JSON file (crash-safe atomic write).
 pub fn save_graph(g: &MultiplexGraph, path: &Path) -> io::Result<()> {
     let dto = MultiplexGraphData::from(g);
     let json = umgad_rt::json::to_string(&dto).map_err(io::Error::other)?;
-    fs::write(path, json)
+    umgad_rt::fs::atomic_write_string(path, &json)
 }
 
 /// Load a multiplex graph from a JSON file written by [`save_graph`].
+///
+/// Untrusted input: the DTO is validated (finite attributes, in-range edge
+/// indices, consistent lengths), so a corrupt or hand-edited file yields an
+/// [`io::Error`], never a panic.
 pub fn load_graph(path: &Path) -> io::Result<MultiplexGraph> {
     let json = fs::read_to_string(path)?;
     let dto: MultiplexGraphData = umgad_rt::json::from_str(&json).map_err(io::Error::other)?;
-    Ok(dto.into())
+    MultiplexGraph::try_from(dto).map_err(io::Error::other)
 }
 
 #[cfg(test)]
@@ -46,5 +50,43 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(load_graph(Path::new("/nonexistent/umgad.json")).is_err());
+    }
+
+    #[test]
+    fn load_rejects_corrupt_graph_without_panicking() {
+        let dir = std::env::temp_dir().join("umgad-io-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.json");
+        let good = MultiplexGraphData {
+            n: 3,
+            attr_dim: 2,
+            attrs: vec![1234.5, 0.0, 1.0, 2.0, 3.0, 4.0],
+            relation_names: vec!["a".to_string()],
+            edges: vec![vec![(0, 1), (1, 2)]],
+            labels: None,
+        };
+        let json = umgad_rt::json::to_string(&good).unwrap();
+
+        // Non-finite attribute, as an external producer might write it.
+        // (Our own writer refuses non-finite floats, so splice the text.)
+        assert!(json.contains("1234.5"));
+        std::fs::write(&path, json.replacen("1234.5", "1e999", 1)).unwrap();
+        let err = load_graph(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("non-finite") || err.to_string().contains("parse"),
+            "{err}"
+        );
+
+        // Out-of-range edge index.
+        let mut bad = good.clone();
+        bad.edges[0].push((0, 9));
+        std::fs::write(&path, umgad_rt::json::to_string(&bad).unwrap()).unwrap();
+        let err = load_graph(&path).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        // The uncorrupted original still loads.
+        std::fs::write(&path, &json).unwrap();
+        assert!(load_graph(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

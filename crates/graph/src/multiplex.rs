@@ -272,8 +272,72 @@ impl From<&MultiplexGraph> for MultiplexGraphData {
     }
 }
 
-impl From<MultiplexGraphData> for MultiplexGraph {
-    fn from(d: MultiplexGraphData) -> Self {
+impl MultiplexGraphData {
+    /// Validate an untrusted DTO (loaded from disk or imported from text)
+    /// so bad input becomes an error at the boundary, not a panic — or
+    /// worse, NaN scores — deep inside training.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("graph has no nodes".to_string());
+        }
+        let expect = self
+            .n
+            .checked_mul(self.attr_dim)
+            .ok_or_else(|| "attribute size overflows".to_string())?;
+        if self.attrs.len() != expect {
+            return Err(format!(
+                "attribute data has {} values, expected n*attr_dim = {}*{} = {}",
+                self.attrs.len(),
+                self.n,
+                self.attr_dim,
+                expect
+            ));
+        }
+        if let Some(i) = self.attrs.iter().position(|a| !a.is_finite()) {
+            return Err(format!(
+                "non-finite attribute {} at node {}, dim {}",
+                self.attrs[i],
+                i / self.attr_dim.max(1),
+                i % self.attr_dim.max(1)
+            ));
+        }
+        if self.relation_names.is_empty() {
+            return Err("graph has no relations".to_string());
+        }
+        if self.relation_names.len() != self.edges.len() {
+            return Err(format!(
+                "{} relation names but {} edge lists",
+                self.relation_names.len(),
+                self.edges.len()
+            ));
+        }
+        for (name, edges) in self.relation_names.iter().zip(&self.edges) {
+            for &(u, v) in edges {
+                if u as usize >= self.n || v as usize >= self.n {
+                    return Err(format!(
+                        "relation {name:?}: edge ({u},{v}) out of range for {} nodes",
+                        self.n
+                    ));
+                }
+            }
+        }
+        if let Some(labels) = &self.labels {
+            if labels.len() != self.n {
+                return Err(format!("{} labels for {} nodes", labels.len(), self.n));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TryFrom<MultiplexGraphData> for MultiplexGraph {
+    type Error = String;
+
+    /// Validating conversion: the one path from untrusted serialized data
+    /// to a live graph. [`MultiplexGraphData::validate`] runs first, so
+    /// corrupt files surface as errors rather than assertion panics.
+    fn try_from(d: MultiplexGraphData) -> Result<Self, String> {
+        d.validate()?;
         let attrs = Matrix::from_vec(d.n, d.attr_dim, d.attrs);
         let layers = d
             .relation_names
@@ -281,7 +345,7 @@ impl From<MultiplexGraphData> for MultiplexGraph {
             .zip(d.edges)
             .map(|(name, edges)| RelationLayer::new(name, d.n, edges))
             .collect();
-        MultiplexGraph::new(attrs, layers, d.labels)
+        Ok(MultiplexGraph::new(attrs, layers, d.labels))
     }
 }
 
@@ -336,11 +400,45 @@ mod tests {
     fn dto_roundtrip() {
         let g = tiny();
         let dto = MultiplexGraphData::from(&g);
-        let back = MultiplexGraph::from(dto);
+        let back = MultiplexGraph::try_from(dto).unwrap();
         assert_eq!(back.num_nodes(), g.num_nodes());
         assert_eq!(back.layer(0).edges(), g.layer(0).edges());
         assert_eq!(back.attrs().data(), g.attrs().data());
         assert_eq!(back.labels(), g.labels());
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_dtos() {
+        let good = MultiplexGraphData::from(&tiny());
+        assert!(good.validate().is_ok());
+
+        let mut bad = good.clone();
+        bad.attrs[3] = f64::NAN;
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        assert!(MultiplexGraph::try_from(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.attrs.pop();
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.edges[1].push((0, 99)); // out of range for 4 nodes
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+
+        let mut bad = good.clone();
+        bad.relation_names.pop();
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.labels = Some(vec![false; 2]);
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.n = 0;
+        bad.attrs.clear();
+        assert!(bad.validate().is_err());
     }
 
     #[test]

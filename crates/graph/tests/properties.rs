@@ -138,7 +138,7 @@ proptest! {
         let dto = MultiplexGraphData::from(&g);
         let json = umgad_rt::json::to_string(&dto).unwrap();
         let back: MultiplexGraphData = umgad_rt::json::from_str(&json).unwrap();
-        let g2 = MultiplexGraph::from(back);
+        let g2 = MultiplexGraph::try_from(back).unwrap();
         prop_assert_eq!(g2.layer(0).edges(), g.layer(0).edges());
         prop_assert_eq!(g2.layer(1).edges(), g.layer(1).edges());
         prop_assert_eq!(g2.attrs().data(), g.attrs().data());

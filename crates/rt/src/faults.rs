@@ -1,0 +1,285 @@
+//! Named fault-injection points for crash-safety testing.
+//!
+//! Production code marks the places where a crash, OOM-kill, or I/O error
+//! could interrupt it with [`crate::fault_point!`]`("name")`. In a normal
+//! process every point is disarmed and the call is a cheap no-op returning
+//! `Ok(())`. Tests (or an operator, via the `UMGAD_FAULT` environment
+//! variable) *arm* a point so that its Nth hit either returns an
+//! [`std::io::Error`] or panics — simulating a torn write or a kill at an
+//! exact, reproducible boundary. Because the workspace is deterministic,
+//! "the Nth hit of `persist.write`" identifies one specific moment of a
+//! training run, which is what lets the integration suite prove
+//! kill-at-every-checkpoint-boundary → resume → byte-identical scores.
+//!
+//! Environment syntax (parsed once, on first hit):
+//!
+//! ```text
+//! UMGAD_FAULT=persist.write:3            # panic on the 3rd hit
+//! UMGAD_FAULT=fs.write_temp:1:error      # io::Error on the 1st hit
+//! UMGAD_FAULT=a:1,b:2:error              # several points, comma-separated
+//! ```
+//!
+//! A triggered fault disarms itself, so a process that catches the error
+//! (or a test that re-runs the operation) proceeds normally afterwards —
+//! matching the "crash once, then recover" scenario under test.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// What an armed fault does when it triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Panic on the triggering hit (simulates a kill / abort).
+    Panic,
+    /// Return an `io::Error` from the triggering hit (simulates an I/O
+    /// failure the caller may handle).
+    Error,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Armed {
+    /// Hits still allowed through before triggering starts.
+    skip: u64,
+    /// Consecutive triggering hits remaining once `skip` is exhausted.
+    count: u64,
+    mode: FaultMode,
+}
+
+#[derive(Default)]
+struct Registry {
+    armed: HashMap<String, Armed>,
+    hits: HashMap<String, u64>,
+}
+
+/// Poison-tolerant lock: a panic raised *by* an injected fault must never
+/// wedge the registry for the rest of the process.
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| {
+            let mut reg = Registry::default();
+            if let Ok(spec) = std::env::var("UMGAD_FAULT") {
+                if let Err(e) = arm_spec_into(&mut reg, &spec) {
+                    eprintln!("UMGAD_FAULT ignored: {e}");
+                }
+            }
+            Mutex::new(reg)
+        })
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn arm_spec_into(reg: &mut Registry, spec: &str) -> Result<(), String> {
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let mut it = part.trim().split(':');
+        let point = it
+            .next()
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| format!("empty fault point in {part:?}"))?;
+        let nth: u64 = it
+            .next()
+            .unwrap_or("1")
+            .parse()
+            .map_err(|e| format!("{part:?}: bad hit number: {e}"))?;
+        if nth == 0 {
+            return Err(format!("{part:?}: hit number must be >= 1"));
+        }
+        let mode = match it.next() {
+            None | Some("panic") => FaultMode::Panic,
+            Some("error") => FaultMode::Error,
+            Some(other) => return Err(format!("{part:?}: unknown mode {other:?}")),
+        };
+        if it.next().is_some() {
+            return Err(format!("{part:?}: trailing fields"));
+        }
+        reg.armed.insert(
+            point.to_string(),
+            Armed {
+                skip: nth - 1,
+                count: 1,
+                mode,
+            },
+        );
+    }
+    Ok(())
+}
+
+/// Arm `point` so its `nth` hit (1-based) triggers once with `mode`.
+pub fn arm(point: &str, nth: u64, mode: FaultMode) {
+    assert!(nth >= 1, "nth is 1-based");
+    arm_window(point, nth - 1, 1, mode);
+}
+
+/// Arm `point` so that after `skip` clean hits the next `count` hits all
+/// trigger with `mode` (then the point disarms itself).
+pub fn arm_window(point: &str, skip: u64, count: u64, mode: FaultMode) {
+    assert!(count >= 1, "a fault must trigger at least once");
+    registry()
+        .armed
+        .insert(point.to_string(), Armed { skip, count, mode });
+}
+
+/// Arm points from an `UMGAD_FAULT`-syntax spec string.
+pub fn arm_spec(spec: &str) -> Result<(), String> {
+    arm_spec_into(&mut registry(), spec)
+}
+
+/// Disarm one point (pending triggers are dropped).
+pub fn disarm(point: &str) {
+    registry().armed.remove(point);
+}
+
+/// Disarm every point and reset all hit counters.
+pub fn reset() {
+    let mut reg = registry();
+    reg.armed.clear();
+    reg.hits.clear();
+}
+
+/// How many times `point` has been hit since process start (or [`reset`]).
+pub fn hit_count(point: &str) -> u64 {
+    registry().hits.get(point).copied().unwrap_or(0)
+}
+
+/// Whether `point` currently has a pending trigger armed.
+pub fn is_armed(point: &str) -> bool {
+    registry().armed.contains_key(point)
+}
+
+/// Record a hit on `point`; trigger if armed.
+///
+/// Called through [`crate::fault_point!`]. Returns `Ok(())` unless the point
+/// is armed and this hit is a triggering one, in which case it panics
+/// ([`FaultMode::Panic`]) or returns an injected [`io::Error`]
+/// ([`FaultMode::Error`]). The panic is raised *after* the registry lock is
+/// released, so a caught injected panic leaves the registry usable.
+pub fn hit(point: &str) -> io::Result<()> {
+    let (n, fire) = {
+        let mut reg = registry();
+        let n = reg.hits.entry(point.to_string()).or_insert(0);
+        *n += 1;
+        let n = *n;
+        let fire = match reg.armed.get_mut(point) {
+            None => None,
+            Some(a) if a.skip > 0 => {
+                a.skip -= 1;
+                None
+            }
+            Some(a) => {
+                a.count -= 1;
+                let mode = a.mode;
+                if a.count == 0 {
+                    reg.armed.remove(point);
+                }
+                Some(mode)
+            }
+        };
+        (n, fire)
+    };
+    match fire {
+        None => Ok(()),
+        Some(FaultMode::Error) => Err(io::Error::other(format!(
+            "injected fault at {point} (hit {n})"
+        ))),
+        Some(FaultMode::Panic) => panic!("injected fault at {point} (hit {n})"),
+    }
+}
+
+/// Mark a named fault-injection point. Expands to
+/// [`faults::hit`](crate::faults::hit)`(name)`, returning
+/// `std::io::Result<()>` — propagate with `?` on fallible paths.
+#[macro_export]
+macro_rules! fault_point {
+    ($name:expr) => {
+        $crate::faults::hit($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, OnceLock};
+
+    /// The registry is process-global; serialise tests touching it.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_points_are_noops_and_counted() {
+        let _g = serial();
+        reset();
+        assert!(hit("test.noop").is_ok());
+        assert!(hit("test.noop").is_ok());
+        assert_eq!(hit_count("test.noop"), 2);
+    }
+
+    #[test]
+    fn error_fault_fires_on_nth_hit_then_disarms() {
+        let _g = serial();
+        reset();
+        arm("test.err", 3, FaultMode::Error);
+        assert!(hit("test.err").is_ok());
+        assert!(hit("test.err").is_ok());
+        let e = hit("test.err").unwrap_err();
+        assert!(e.to_string().contains("test.err"), "{e}");
+        assert!(hit("test.err").is_ok(), "fault is one-shot");
+        assert!(!is_armed("test.err"));
+    }
+
+    #[test]
+    fn panic_fault_panics_and_registry_survives() {
+        let _g = serial();
+        reset();
+        arm("test.panic", 1, FaultMode::Panic);
+        let r = std::panic::catch_unwind(|| {
+            let _ = hit("test.panic");
+        });
+        assert!(r.is_err(), "armed panic point must panic");
+        // Registry still usable and the point disarmed itself.
+        assert!(hit("test.panic").is_ok());
+        assert_eq!(hit_count("test.panic"), 2);
+    }
+
+    #[test]
+    fn window_fires_count_consecutive_hits() {
+        let _g = serial();
+        reset();
+        arm_window("test.win", 1, 2, FaultMode::Error);
+        assert!(hit("test.win").is_ok());
+        assert!(hit("test.win").is_err());
+        assert!(hit("test.win").is_err());
+        assert!(hit("test.win").is_ok());
+    }
+
+    #[test]
+    fn spec_parsing_arms_multiple_points() {
+        let _g = serial();
+        reset();
+        arm_spec("a.one:2,b.two:1:error").unwrap();
+        assert!(is_armed("a.one") && is_armed("b.two"));
+        assert!(hit("b.two").is_err());
+        // a.one fires (panic) on its second hit.
+        assert!(hit("a.one").is_ok());
+        assert!(std::panic::catch_unwind(|| {
+            let _ = hit("a.one");
+        })
+        .is_err());
+        reset();
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        let _g = serial();
+        assert!(arm_spec("nohits:0").is_err());
+        assert!(arm_spec("p:1:explode").is_err());
+        assert!(arm_spec("p:not_a_number").is_err());
+        assert!(arm_spec("p:1:error:extra").is_err());
+        assert!(arm_spec(":3").is_err());
+        assert!(arm_spec("").is_ok(), "empty spec arms nothing");
+    }
+}

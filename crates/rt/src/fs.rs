@@ -1,0 +1,201 @@
+//! Crash-safe file writes: temp file + fsync + atomic rename.
+//!
+//! Every checkpoint and score file in the workspace goes through
+//! [`atomic_write`] so that a crash — real or injected via [`crate::faults`]
+//! — at *any* point of a write leaves either the complete previous file or
+//! the complete new file on disk, never a torn mix.
+//!
+//! The sequence is the classic one:
+//!
+//! 1. write the payload to `.<name>.tmp` in the destination directory
+//!    (same filesystem, so the final rename is atomic),
+//! 2. `fsync` the temp file so the bytes are durable before they become
+//!    visible under the real name,
+//! 3. `rename` over the destination (atomic on POSIX),
+//! 4. best-effort `fsync` of the parent directory so the rename itself is
+//!    durable.
+//!
+//! Fault points: `fs.write_temp` fires mid-payload (between the two halves
+//! of the temp-file write, simulating a torn write) and `fs.rename` fires
+//! after the temp file is durable but before it replaces the destination
+//! (simulating a kill between steps 2 and 3). Stale temp files from a
+//! previous crash are removed before writing.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::fault_point;
+
+/// The deterministic temp-file path used for writes to `path`.
+///
+/// Exposed so crash-recovery tests can assert stale temps are cleaned up.
+pub fn temp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    path.with_file_name(format!(".{name}.tmp"))
+}
+
+/// Write `bytes` to `path` atomically (temp file + fsync + rename).
+///
+/// On success the destination holds exactly `bytes`. On any error (real or
+/// injected) the destination is untouched: either its previous content or
+/// its previous absence survives. A stale temp file left behind by an
+/// earlier crash is deleted first and never leaks into the destination.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = temp_path(path);
+    // A previous crash may have left a stale (possibly torn) temp behind.
+    match fs::remove_file(&tmp) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+
+    let mut file = OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+    // Two-half write with a fault point in between: an injected fault here
+    // leaves a *torn* temp file, which recovery must ignore.
+    let mid = bytes.len() / 2;
+    file.write_all(&bytes[..mid])?;
+    if let Err(e) = fault_point!("fs.write_temp") {
+        drop(file);
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    file.write_all(&bytes[mid..])?;
+    file.sync_all()?;
+    drop(file);
+
+    // Temp is durable; a kill injected here leaves the old destination
+    // intact with a complete temp alongside — still a correct crash state.
+    if let Err(e) = fault_point!("fs.rename") {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// [`atomic_write`] for string payloads.
+pub fn atomic_write_string(path: &Path, contents: &str) -> io::Result<()> {
+    atomic_write(path, contents.as_bytes())
+}
+
+/// Best-effort directory fsync so the rename is durable; ignored on
+/// platforms/filesystems where directories can't be opened or synced.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{self, FaultMode};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    /// Fault registry is process-global; serialise tests that arm it.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("umgad-rt-fs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites_content() {
+        let _g = serial();
+        faults::disarm("fs.write_temp");
+        faults::disarm("fs.rename");
+        let dir = scratch_dir("basic");
+        let p = dir.join("out.json");
+        atomic_write_string(&p, "first").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "first");
+        atomic_write_string(&p, "second, longer payload").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "second, longer payload");
+        assert!(!temp_path(&p).exists(), "temp must not linger");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_preserves_previous_content() {
+        let _g = serial();
+        let dir = scratch_dir("torn");
+        let p = dir.join("ck.json");
+        atomic_write_string(&p, "good checkpoint").unwrap();
+
+        faults::arm("fs.write_temp", 1, FaultMode::Error);
+        let err = atomic_write_string(&p, "newer but doomed").unwrap_err();
+        assert!(err.to_string().contains("fs.write_temp"), "{err}");
+        assert_eq!(
+            fs::read_to_string(&p).unwrap(),
+            "good checkpoint",
+            "destination untouched by torn write"
+        );
+        assert!(!temp_path(&p).exists());
+        // Retry after the (one-shot) fault succeeds.
+        atomic_write_string(&p, "newer but doomed").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "newer but doomed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_before_rename_preserves_previous_content() {
+        let _g = serial();
+        let dir = scratch_dir("rename");
+        let p = dir.join("ck.json");
+        atomic_write_string(&p, "v1").unwrap();
+        faults::arm("fs.rename", 1, FaultMode::Error);
+        assert!(atomic_write_string(&p, "v2").is_err());
+        assert_eq!(fs::read_to_string(&p).unwrap(), "v1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_temp_from_crash_is_cleaned_up() {
+        let _g = serial();
+        faults::disarm("fs.write_temp");
+        faults::disarm("fs.rename");
+        let dir = scratch_dir("stale");
+        let p = dir.join("ck.json");
+        fs::write(temp_path(&p), "torn garbage from a crash").unwrap();
+        atomic_write_string(&p, "fresh").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "fresh");
+        assert!(!temp_path(&p).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_panic_leaves_destination_intact() {
+        let _g = serial();
+        let dir = scratch_dir("panic");
+        let p = dir.join("ck.json");
+        atomic_write_string(&p, "v1").unwrap();
+        faults::arm("fs.write_temp", 1, FaultMode::Panic);
+        let r = std::panic::catch_unwind(|| atomic_write_string(&p, "v2"));
+        assert!(r.is_err(), "armed panic fires");
+        assert_eq!(fs::read_to_string(&p).unwrap(), "v1");
+        // The torn temp may linger after a panic; the next write heals it.
+        atomic_write_string(&p, "v3").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "v3");
+        assert!(!temp_path(&p).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -26,8 +26,15 @@
 //! - [`pool`] — a persistent worker pool (lazily-started global handle,
 //!   `UMGAD_THREADS` override, panic containment) that every parallel
 //!   kernel in the workspace dispatches through.
+//! - [`faults`] — named fault-injection points ([`fault_point!`]) armable
+//!   by tests or `UMGAD_FAULT` to panic or fail on the Nth hit, for
+//!   deterministic crash-safety testing.
+//! - [`fs`] — crash-safe atomic file writes (temp + fsync + rename with
+//!   stale-temp cleanup) used by every checkpoint/score write.
 
 pub mod bench;
+pub mod faults;
+pub mod fs;
 pub mod json;
 pub mod pool;
 pub mod proptest;

@@ -27,11 +27,20 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// A type-erased unit of work, tagged with the batch it belongs to.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lock a mutex, ignoring poison: all pool state (`BatchState`, `Queue`)
+/// stays consistent across panics because jobs run under `catch_unwind`
+/// and locks are only held for short field updates. Treating poison as
+/// fatal would let one panicking checkpoint-serialization job wedge the
+/// process-wide [`global()`] pool for every later caller.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Completion tracker shared by every job of one [`Pool::run`] call.
 struct Batch {
@@ -60,7 +69,7 @@ impl Batch {
     /// Run one job of this batch, containing any panic it raises.
     fn run_job(&self, job: Job) {
         let outcome = catch_unwind(AssertUnwindSafe(job));
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_ignore_poison(&self.state);
         if let Err(payload) = outcome {
             st.panic.get_or_insert(payload);
         }
@@ -155,7 +164,7 @@ impl Pool {
             .collect();
         let batch = Batch::new(jobs.len());
         {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lock_ignore_poison(&self.shared.queue);
             for job in jobs {
                 q.jobs.push_back((Arc::clone(&batch), job));
             }
@@ -166,7 +175,7 @@ impl Pool {
         // until none are queued, then wait for in-flight ones to finish.
         loop {
             let job = {
-                let mut q = self.shared.queue.lock().unwrap();
+                let mut q = lock_ignore_poison(&self.shared.queue);
                 let idx = q.jobs.iter().position(|(b, _)| Arc::ptr_eq(b, &batch));
                 idx.and_then(|i| q.jobs.remove(i))
             };
@@ -175,9 +184,9 @@ impl Pool {
                 None => break,
             }
         }
-        let mut st = batch.state.lock().unwrap();
+        let mut st = lock_ignore_poison(&batch.state);
         while st.unfinished > 0 {
-            st = batch.done.wait(st).unwrap();
+            st = batch.done.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         if let Some(payload) = st.panic.take() {
             drop(st);
@@ -189,7 +198,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lock_ignore_poison(&self.shared.queue);
             q.shutdown = true;
         }
         self.shared.work.notify_all();
@@ -202,7 +211,7 @@ impl Drop for Pool {
 fn worker_loop(shared: &Shared) {
     loop {
         let next = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = lock_ignore_poison(&shared.queue);
             loop {
                 if let Some(entry) = q.jobs.pop_front() {
                     break Some(entry);
@@ -210,7 +219,7 @@ fn worker_loop(shared: &Shared) {
                 if q.shutdown {
                     break None;
                 }
-                q = shared.work.wait(q).unwrap();
+                q = shared.work.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
         match next {

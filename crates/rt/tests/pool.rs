@@ -72,6 +72,55 @@ fn panicking_job_resumes_on_submitter_and_pool_survives() {
 }
 
 #[test]
+fn global_pool_survives_panicking_checkpoint_job() {
+    // Regression: a panic raised inside a job running on the *global* pool
+    // (e.g. checkpoint serialization hitting an armed fault) used to be able
+    // to poison the shared queue/batch mutexes, wedging every later caller
+    // of the process-wide pool. The pool must ignore poison and stay usable
+    // from any thread afterwards — repeatedly.
+    for round in 0..3 {
+        let result = std::panic::catch_unwind(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 1 {
+                            // Owned payload, like a formatted serialization error.
+                            panic!("injected fault during checkpoint write (round {round})");
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool::global().run(jobs);
+        });
+        let payload = result.expect_err("panic must reach the submitter");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("injected fault"), "{msg}");
+
+        // Global batch state is intact: concurrent submitters all succeed.
+        let hits = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let hits = &hits;
+                scope.spawn(move || {
+                    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                        .map(|_| {
+                            Box::new(move || {
+                                hits.fetch_add(1, Ordering::SeqCst);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool::global().run(jobs);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4 * 8);
+    }
+}
+
+#[test]
 fn global_pool_initializes_once_across_threads() {
     // Hammer global() from many threads at once; every caller must observe
     // the same pool instance, sized by configured_threads().

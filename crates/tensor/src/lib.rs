@@ -57,7 +57,7 @@ pub mod sparse;
 pub mod tape;
 
 pub use matrix::{cosine, dot, l1_distance, l2_distance, Matrix, PARALLEL_MIN_FLOPS};
-pub use optim::{clip_grad_norm, Adam, LrSchedule, Param, Sgd};
+pub use optim::{clip_grad_norm, Adam, LrSchedule, Param, ParamState, Sgd};
 pub use parallel::{default_threads, parallel_map};
 pub use sparse::{CsrMatrix, SpPair};
 pub use tape::{sigmoid, Tape, Var};

@@ -19,5 +19,11 @@ rm -rf target/rt-bench
 echo "== cargo bench"
 cargo bench
 
+# A filtered or interrupted bench run may leave no reports at all; the
+# aggregation step must still succeed (bench_agg also tolerates an absent
+# directory, but create it so the committed document is refreshed either
+# way).
+mkdir -p target/rt-bench
+
 echo "== aggregate into BENCH_kernels.json"
 cargo run --release -q -p umgad-bench --bin bench_agg -- target/rt-bench BENCH_kernels.json

@@ -5,17 +5,28 @@
 # offline on a bare Rust toolchain. The `umgad-rt` crate supplies the PRNG,
 # JSON, property-testing, and benchmark substrate everything else builds on.
 #
-#   1. tier-1: release build + full test suite (unit, property, integration,
-#      and the end-to-end determinism check in tests/determinism.rs)
-#   2. formatting: rustfmt in check mode
-#   3. lints: clippy over every target with warnings denied
+#   1. fault-injection smoke: the rt-level fault/atomic-write/pool tests
+#      (seconds; deterministic — faults are armed programmatically, never
+#      timing-based)
+#   2. tier-1: release build + full test suite (unit, property, integration,
+#      the end-to-end determinism check in tests/determinism.rs, and the
+#      kill-and-resume suite in tests/fault_tolerance.rs, which proves a
+#      run killed at any checkpoint boundary resumes to byte-identical
+#      scores)
+#   3. formatting: rustfmt in check mode
+#   4. lints: clippy over every target with warnings denied
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== fault-injection smoke: umgad-rt faults / fs / pool"
+cargo test -q -p umgad-rt --lib faults
+cargo test -q -p umgad-rt --lib fs
+cargo test -q -p umgad-rt --test pool
 
 echo "== tier-1: cargo build --release"
 cargo build --release
 
-echo "== tier-1: cargo test -q"
+echo "== tier-1: cargo test -q (includes tests/fault_tolerance.rs)"
 cargo test -q
 
 echo "== cargo fmt --check"

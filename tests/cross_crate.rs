@@ -85,7 +85,7 @@ fn dto_conversion_preserves_layer_structure() {
     let g = handmade();
     let dto = MultiplexGraphData::from(&g);
     assert_eq!(dto.relation_names, vec!["e1", "e2"]);
-    let back: MultiplexGraph = dto.into();
+    let back = MultiplexGraph::try_from(dto).expect("a well-formed DTO validates");
     for r in 0..2 {
         assert_eq!(back.layer(r).num_edges(), g.layer(r).num_edges());
     }
