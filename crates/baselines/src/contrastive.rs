@@ -9,7 +9,7 @@
 //! random node's. At inference, low discriminator confidence on the *own*
 //! pair = anomalous.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use umgad_graph::{rwr_sample, MultiplexGraph, RelationLayer};
 use umgad_nn::{Activation, Gcn};
@@ -72,7 +72,7 @@ impl ContextContrast {
             let zw = tape.matmul(z, bw);
             let zw_n = tape.row_normalize(zw);
             let ctx_n = tape.row_normalize(ctx_v);
-            let negs = Rc::new(umgad_graph::contrast_indices(n, 2, &mut rng));
+            let negs = Arc::new(umgad_graph::contrast_indices(n, 2, &mut rng));
             let loss = tape.info_nce_loss(zw_n, ctx_n, negs, 2, 0.5);
             tape.backward(loss);
             gcn.update(&tape, &bg, &opt);

@@ -4,7 +4,7 @@
 //! All are full-batch GCN autoencoders on the union graph, each keeping its
 //! paper's signature mechanism (see module docs per struct).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use umgad_graph::{negative_endpoints, sample_indices, MultiplexGraph, RelationLayer};
 use umgad_nn::{Activation, Gcn, Gmae, GmaeConfig};
@@ -25,7 +25,7 @@ pub(crate) fn train_attr_ae(
 ) -> Matrix {
     let mut rng = cfg.rng(salt);
     let mut ae = Gcn::new(dims, Activation::Relu, Activation::None, &mut rng);
-    let target = Rc::new(x.clone());
+    let target = Arc::new(x.clone());
     let opt = Adam {
         lr: cfg.lr,
         weight_decay: cfg.weight_decay,
@@ -37,7 +37,7 @@ pub(crate) fn train_attr_ae(
         let bound = ae.bind(&mut tape);
         let xv = tape.constant(x.clone());
         let y = ae.forward(&mut tape, &bound, pair, xv);
-        let loss = tape.mse_loss(y, Rc::clone(&target));
+        let loss = tape.mse_loss(y, Arc::clone(&target));
         tape.backward(loss);
         ae.update(&tape, &bound, &opt);
         recon = tape.value(y).clone();
@@ -101,7 +101,7 @@ impl Detector for Dominant {
             Activation::None,
             &mut rng,
         );
-        let target = Rc::new((**x).clone());
+        let target = Arc::new((**x).clone());
         let opt = Adam {
             lr: self.cfg.lr,
             weight_decay: self.cfg.weight_decay,
@@ -116,21 +116,21 @@ impl Detector for Dominant {
             let xv = tape.constant((**x).clone());
             let z = enc.forward(&mut tape, &be, &pair, xv);
             let xhat = dec.forward(&mut tape, &bd, &pair, z);
-            let attr_loss = tape.mse_loss(xhat, Rc::clone(&target));
+            let attr_loss = tape.mse_loss(xhat, Arc::clone(&target));
             // Structure loss: predict sampled observed edges against
             // sampled negatives.
             let pos = sample_edges(&layer, self.cfg.edge_samples, &mut rng);
             let loss = if pos.is_empty() {
                 attr_loss
             } else {
-                let negs = Rc::new(negative_endpoints(
+                let negs = Arc::new(negative_endpoints(
                     &layer,
                     &pos,
                     self.cfg.negatives,
                     &mut rng,
                 ));
                 let zn = tape.row_normalize(z);
-                let sl = tape.edge_nce_loss(zn, Rc::new(pos), negs, self.cfg.negatives);
+                let sl = tape.edge_nce_loss(zn, Arc::new(pos), negs, self.cfg.negatives);
                 let a = tape.scale(attr_loss, self.cfg.alpha);
                 let s = tape.scale(sl, 1.0 - self.cfg.alpha);
                 tape.add(a, s)
@@ -219,7 +219,7 @@ impl Detector for AnomalyDae {
         let mut rng = self.cfg.rng(0xa2);
         let mut enc = umgad_nn::SgcStack::new(f, self.cfg.hidden, 0, Activation::Relu, &mut rng);
         let mut dec = umgad_nn::SgcStack::new(self.cfg.hidden, f, 0, Activation::None, &mut rng);
-        let target = Rc::new((**graph.attrs()).clone());
+        let target = Arc::new((**graph.attrs()).clone());
         let opt = Adam {
             lr: self.cfg.lr,
             weight_decay: self.cfg.weight_decay,
@@ -233,7 +233,7 @@ impl Detector for AnomalyDae {
             let xv = tape.constant((**graph.attrs()).clone());
             let z = enc.forward(&mut tape, &be, &pair, xv);
             let y = dec.forward(&mut tape, &bd, &pair, z);
-            let loss = tape.mse_loss(y, Rc::clone(&target));
+            let loss = tape.mse_loss(y, Arc::clone(&target));
             tape.backward(loss);
             enc.update(&tape, &be, &opt);
             dec.update(&tape, &bd, &opt);
@@ -276,9 +276,9 @@ pub(crate) fn train_link_embedding(
             emb = tape.value(z).clone();
             break;
         }
-        let negs = Rc::new(negative_endpoints(layer, &pos, cfg.negatives, &mut rng));
+        let negs = Arc::new(negative_endpoints(layer, &pos, cfg.negatives, &mut rng));
         let zn = tape.row_normalize(z);
-        let loss = tape.edge_nce_loss(zn, Rc::new(pos), negs, cfg.negatives);
+        let loss = tape.edge_nce_loss(zn, Arc::new(pos), negs, cfg.negatives);
         tape.backward(loss);
         enc.update(&tape, &be, &opt);
         emb = tape.value(z).clone();
@@ -392,7 +392,7 @@ impl Detector for GadNr {
         );
         let mut dec =
             umgad_nn::SgcStack::new(self.cfg.hidden, 2 * f + 1, 0, Activation::None, &mut rng);
-        let target_rc = Rc::new(target.clone());
+        let target_rc = Arc::new(target.clone());
         let opt = Adam {
             lr: self.cfg.lr,
             weight_decay: self.cfg.weight_decay,
@@ -406,7 +406,7 @@ impl Detector for GadNr {
             let xv = tape.constant((**graph.attrs()).clone());
             let z = enc.forward(&mut tape, &be, &pair, xv);
             let y = dec.forward(&mut tape, &bd, &pair, z);
-            let loss = tape.mse_loss(y, Rc::clone(&target_rc));
+            let loss = tape.mse_loss(y, Arc::clone(&target_rc));
             tape.backward(loss);
             enc.update(&tape, &be, &opt);
             dec.update(&tape, &bd, &opt);
@@ -475,7 +475,7 @@ impl Detector for AdaGad {
             with_token: true,
         };
         let mut gmae = Gmae::new(&gmae_cfg, &mut rng);
-        let target = Rc::new((**x).clone());
+        let target = Arc::new((**x).clone());
         let opt = Adam {
             lr: self.cfg.lr,
             weight_decay: self.cfg.weight_decay,
@@ -485,9 +485,9 @@ impl Detector for AdaGad {
             let mut tape = Tape::new();
             let bound = gmae.bind(&mut tape);
             let xv = tape.constant((**x).clone());
-            let idx = Rc::new(sample_indices(n, 0.2, &mut rng));
-            let out = gmae.forward_attr_masked(&mut tape, &bound, &dn_pair, xv, Rc::clone(&idx));
-            let loss = tape.scaled_cosine_loss(out.recon, Rc::clone(&target), idx, 2.0);
+            let idx = Arc::new(sample_indices(n, 0.2, &mut rng));
+            let out = gmae.forward_attr_masked(&mut tape, &bound, &dn_pair, xv, Arc::clone(&idx));
+            let loss = tape.scaled_cosine_loss(out.recon, Arc::clone(&target), idx, 2.0);
             tape.backward(loss);
             gmae.update(&tape, &bound, &opt);
         }
@@ -498,7 +498,7 @@ impl Detector for AdaGad {
             let bound = gmae.bind(&mut tape);
             let xv = tape.constant((**x).clone());
             let out = gmae.forward(&mut tape, &bound, &pair, xv);
-            let loss = tape.mse_loss(out.recon, Rc::clone(&target));
+            let loss = tape.mse_loss(out.recon, Arc::clone(&target));
             tape.backward(loss);
             // Stage 2 freezes the pre-trained encoder: decoder-only update.
             gmae.update_decoder(&tape, &bound, &opt);

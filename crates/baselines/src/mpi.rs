@@ -3,7 +3,7 @@
 //! Each keeps the mechanism its paper is known for, simplified to the
 //! full-batch CPU setting (see DESIGN.md §3, substitution 4).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use umgad_graph::{MultiplexGraph, RelationLayer};
 use umgad_nn::{Activation, Gcn};
@@ -105,7 +105,7 @@ impl Detector for ComGa {
             Activation::None,
             &mut rng,
         );
-        let target = Rc::new(aug.clone());
+        let target = Arc::new(aug.clone());
         let opt = Adam {
             lr: self.cfg.lr,
             weight_decay: self.cfg.weight_decay,
@@ -117,7 +117,7 @@ impl Detector for ComGa {
             let bound = ae.bind(&mut tape);
             let xv = tape.constant(aug.clone());
             let y = ae.forward(&mut tape, &bound, &pair, xv);
-            let loss = tape.mse_loss(y, Rc::clone(&target));
+            let loss = tape.mse_loss(y, Arc::clone(&target));
             tape.backward(loss);
             ae.update(&tape, &bound, &opt);
             recon = tape.value(y).clone();
@@ -345,7 +345,7 @@ impl Detector for Gadam {
             Activation::None,
             &mut rng,
         );
-        let target = Rc::new((**graph.attrs()).clone());
+        let target = Arc::new((**graph.attrs()).clone());
         let opt = Adam {
             lr: self.cfg.lr,
             weight_decay: self.cfg.weight_decay,
@@ -357,7 +357,7 @@ impl Detector for Gadam {
             let bound = ae.bind(&mut tape);
             let xv = tape.constant((**graph.attrs()).clone());
             let y = ae.forward(&mut tape, &bound, &pair, xv);
-            let loss = tape.mse_loss(y, Rc::clone(&target));
+            let loss = tape.mse_loss(y, Arc::clone(&target));
             tape.backward(loss);
             ae.update(&tape, &bound, &opt);
             recon = tape.value(y).clone();

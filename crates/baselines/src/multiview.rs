@@ -1,7 +1,7 @@
 //! Multi-view (MV) baselines: AnomMAN and DualGAD — the only baselines
 //! that, like UMGAD, consume the multiplex structure directly.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use umgad_graph::MultiplexGraph;
 use umgad_nn::{Activation, Gcn, RelationWeights};
@@ -48,7 +48,7 @@ impl Detector for AnomMan {
             })
             .collect();
         let mut attn = RelationWeights::new(rr, &mut rng);
-        let target = Rc::new((**graph.attrs()).clone());
+        let target = Arc::new((**graph.attrs()).clone());
         let opt = Adam {
             lr: self.cfg.lr,
             weight_decay: self.cfg.weight_decay,
@@ -69,7 +69,7 @@ impl Detector for AnomMan {
                 .map(|((ae, b), p)| ae.forward(&mut tape, b, p, xv))
                 .collect();
             let fused = attn.fuse(&mut tape, &ba, &recons);
-            let loss = tape.mse_loss(fused, Rc::clone(&target));
+            let loss = tape.mse_loss(fused, Arc::clone(&target));
             tape.backward(loss);
             for (ae, b) in aes.iter_mut().zip(&bounds) {
                 ae.update(&tape, b, &opt);
@@ -147,7 +147,7 @@ impl Detector for DualGad {
                 )
             })
             .collect();
-        let target = Rc::new((**graph.attrs()).clone());
+        let target = Arc::new((**graph.attrs()).clone());
         let opt = Adam {
             lr: self.cfg.lr,
             weight_decay: self.cfg.weight_decay,
@@ -169,7 +169,7 @@ impl Detector for DualGad {
             // Generative losses plus pairwise cross-relation contrast.
             let mut loss = None;
             for &o in &outs {
-                let l = tape.mse_loss(o, Rc::clone(&target));
+                let l = tape.mse_loss(o, Arc::clone(&target));
                 loss = Some(match loss {
                     Some(acc) => tape.add(acc, l),
                     None => l,
@@ -180,7 +180,7 @@ impl Detector for DualGad {
                 for r in 1..rr {
                     let a = tape.row_normalize(outs[0]);
                     let b = tape.row_normalize(outs[r]);
-                    let negs = Rc::new(umgad_graph::contrast_indices(n, q, &mut rng));
+                    let negs = Arc::new(umgad_graph::contrast_indices(n, q, &mut rng));
                     let l = tape.info_nce_loss(a, b, negs, q, 1.0);
                     let l = tape.scale(l, 0.2);
                     loss = Some(match loss {

@@ -1,0 +1,66 @@
+//! End-to-end `train_epoch` benchmark — the first epoch-level entry in the
+//! perf trajectory (BENCH_epoch.json).
+//!
+//! Unlike the kernel micro-benches this measures the whole per-epoch loop:
+//! tape construction, all three masked views across `R × K` units, backward,
+//! and the optimiser step. Two entries per dataset:
+//!
+//! - `first` rebuilds the model every iteration, so each measured epoch is a
+//!   cold epoch (fresh tape, cold arena, invariants recomputed).
+//! - `steady_state` trains the same model across iterations, so epochs 3+
+//!   run on a warm arena with cached epoch invariants — the case the
+//!   zero-churn engine optimises.
+//!
+//! Smoke mode (`cargo test` runs each body once) drops to `Scale::Tiny`;
+//! real measurements use YelpChi at `Scale::Small` (1/4 of Table I).
+
+use umgad_core::{Umgad, UmgadConfig};
+use umgad_data::{Dataset, DatasetKind, Scale};
+use umgad_rt::bench::{black_box, Criterion};
+use umgad_rt::{criterion_group, criterion_main};
+
+fn epoch_config(seed: u64) -> UmgadConfig {
+    let mut cfg = UmgadConfig::paper_real();
+    cfg.seed = seed;
+    cfg
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let scale = if c.measuring() {
+        Scale::Small
+    } else {
+        Scale::Tiny
+    };
+    let data = Dataset::generate(DatasetKind::YelpChi, scale, 11);
+    let g = &data.graph;
+
+    let mut group = c.benchmark_group("train_epoch_yelpchi_small");
+
+    // Cold epoch: model (and therefore tape/arena/invariants) rebuilt per
+    // iteration. This is the pre-arena behaviour of every epoch.
+    group.bench_function("first", |b| {
+        b.iter(|| {
+            let mut model = Umgad::new(g, epoch_config(11));
+            black_box(model.train_epoch(g).total)
+        })
+    });
+
+    // Steady state: one long-lived model; after two warm-up epochs every
+    // measured epoch reuses the arena and the cached invariants.
+    let mut model = Umgad::new(g, epoch_config(11));
+    for _ in 0..2 {
+        model.train_epoch(g);
+    }
+    group.bench_function("steady_state", |b| {
+        b.iter(|| black_box(model.train_epoch(g).total))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = epoch;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train_epoch
+}
+criterion_main!(epoch);

@@ -2,7 +2,7 @@
 //! matmul, RWR sampling, threshold selection, AUC, and a full autograd
 //! GMAE step. These back the design notes in DESIGN.md §5.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use umgad_core::select_threshold;
 use umgad_data::{Dataset, DatasetKind, Scale};
 use umgad_nn::{Gmae, GmaeConfig};
@@ -125,16 +125,16 @@ fn bench_gmae_step(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(6);
     let mut gmae = Gmae::new(&GmaeConfig::paper_injected(g.attr_dim(), 32), &mut rng);
     let pair = g.layer(0).norm_pair();
-    let x = Rc::new((**g.attrs()).clone());
+    let x = Arc::new((**g.attrs()).clone());
     let opt = Adam::with_lr(1e-3);
     c.bench_function("gmae_train_step", |b| {
         b.iter(|| {
             let mut tape = Tape::new();
             let bound = gmae.bind(&mut tape);
             let xv = tape.constant((*x).clone());
-            let idx = Rc::new(umgad_graph::sample_indices(g.num_nodes(), 0.2, &mut rng));
-            let out = gmae.forward_attr_masked(&mut tape, &bound, &pair, xv, Rc::clone(&idx));
-            let loss = tape.scaled_cosine_loss(out.recon, Rc::clone(&x), idx, 2.0);
+            let idx = Arc::new(umgad_graph::sample_indices(g.num_nodes(), 0.2, &mut rng));
+            let out = gmae.forward_attr_masked(&mut tape, &bound, &pair, xv, Arc::clone(&idx));
+            let loss = tape.scaled_cosine_loss(out.recon, Arc::clone(&x), idx, 2.0);
             tape.backward(loss);
             gmae.update(&tape, &bound, &opt);
             black_box(tape.value(loss).get(0, 0))

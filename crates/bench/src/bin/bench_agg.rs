@@ -8,12 +8,18 @@
 //! derives a serial-vs-parallel speedup row for each `threads1` /
 //! `threads_default` bench pair.
 //!
+//! Reports from the end-to-end `epoch` bench binary are split into their
+//! own document (`BENCH_epoch.json` by default): epoch wall-clocks move
+//! with model-level changes and would drown the kernel-level diff noise
+//! budget if mixed into one file.
+//!
 //! ```sh
 //! cargo run --release -p umgad-bench --bin bench_agg \
-//!     [report-dir] [output-path]
+//!     [report-dir] [output-path] [epoch-output-path]
 //! ```
 //!
-//! Defaults: `target/rt-bench` → `BENCH_kernels.json` (see scripts/bench.sh).
+//! Defaults: `target/rt-bench` → `BENCH_kernels.json` + `BENCH_epoch.json`
+//! (see scripts/bench.sh).
 
 use std::fs;
 use std::path::Path;
@@ -51,6 +57,10 @@ fn main() {
         .get(2)
         .map(String::as_str)
         .unwrap_or("BENCH_kernels.json");
+    let epoch_out_path = args
+        .get(3)
+        .map(String::as_str)
+        .unwrap_or("BENCH_epoch.json");
 
     // (source, name, entry-with-source-prepended)
     let mut benches: Vec<(String, String, Value)> = Vec::new();
@@ -137,18 +147,29 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",\n")
     };
-    let bench_vals: Vec<Value> = benches.into_iter().map(|(_, _, v)| v).collect();
-    let doc = format!(
-        "{{\n  \"benches\": [\n{}\n  ],\n  \"speedups\": [\n{}\n  ]\n}}\n",
-        render(&bench_vals),
-        render(&speedups)
-    );
-    // Self-check: the hand-indented document must still be valid JSON.
-    Value::parse(&doc).expect("aggregated document round-trips");
-    fs::write(Path::new(out_path), &doc).expect("write output");
-    println!(
-        "bench_agg: wrote {out_path} ({} benches, {} speedup pairs)",
-        bench_vals.len(),
-        speedups.len()
-    );
+    let write_doc = |path: &str, benches: &[Value], speedups: &[Value], label: &str| {
+        let doc = format!(
+            "{{\n  \"benches\": [\n{}\n  ],\n  \"speedups\": [\n{}\n  ]\n}}\n",
+            render(benches),
+            render(speedups)
+        );
+        // Self-check: the hand-indented document must still be valid JSON.
+        Value::parse(&doc).expect("aggregated document round-trips");
+        fs::write(Path::new(path), &doc).expect("write output");
+        println!(
+            "bench_agg: wrote {path} ({} {label} benches, {} speedup pairs)",
+            benches.len(),
+            speedups.len()
+        );
+    };
+
+    // Epoch-level (end-to-end train_epoch) entries get their own document.
+    let (epoch_vals, kernel_vals): (Vec<_>, Vec<_>) = benches
+        .into_iter()
+        .partition(|(source, _, _)| source == "epoch");
+    let strip = |v: Vec<(String, String, Value)>| -> Vec<Value> {
+        v.into_iter().map(|(_, _, val)| val).collect()
+    };
+    write_doc(out_path, &strip(kernel_vals), &speedups, "kernel");
+    write_doc(epoch_out_path, &strip(epoch_vals), &[], "epoch");
 }

@@ -30,8 +30,10 @@ pub mod stats;
 pub use mask::{
     contrast_indices, negative_endpoints, sample_indices, sample_k, split_indices, swap_partners,
 };
-pub use multiplex::{MultiplexGraph, MultiplexGraphData, RelationLayer};
-pub use norm::{adjacency, gcn_norm_rc, gcn_normalize, rw_normalize};
+pub use multiplex::{MaskScratch, MultiplexGraph, MultiplexGraphData, RelationLayer};
+pub use norm::{
+    adjacency, gcn_norm_rc, gcn_normalize, gcn_normalize_reusing, rw_normalize, NormScratch,
+};
 pub use rwr::{induced_edge_indices, rwr_mask_sets, rwr_sample};
 pub use stats::{
     anomaly_isolation, clustering_coefficient, degree_stats, edge_homophily, label_homophily,

@@ -7,9 +7,50 @@
 
 use std::sync::Arc;
 
-use umgad_tensor::{CsrMatrix, Matrix, SpPair};
+use umgad_tensor::{CsrMatrix, CsrStorage, Matrix, SpPair};
 
-use crate::norm::{adjacency, gcn_normalize};
+use crate::norm::{adjacency, gcn_normalize, gcn_normalize_reusing, NormScratch};
+
+/// Reusable scratch for [`RelationLayer::without_edges_scratch`]: edge-index
+/// buffers, normalisation accumulators, and a pool of pruned-CSR storages
+/// recycled across masking rounds.
+///
+/// A masked view's CSR lives behind an [`Arc`] that the tape's `SpPair`s
+/// hold during an epoch; the scratch keeps its own clone in `retired` and
+/// [`MaskScratch::reclaim`] (called once the tape has released its
+/// references) unwraps the now-unique `Arc`s back into `storages` so the
+/// next epoch's pruned adjacencies reuse their allocations.
+#[derive(Debug, Default)]
+pub struct MaskScratch {
+    drop: Vec<bool>,
+    remaining: Vec<(u32, u32)>,
+    norm: NormScratch,
+    storages: Vec<CsrStorage>,
+    retired: Vec<Arc<CsrMatrix>>,
+}
+
+impl MaskScratch {
+    /// Empty scratch; buffers grow on first use and stay warm after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recover CSR storage from retired masked views that nothing else
+    /// references any more. Call at the start of an epoch, after the
+    /// previous tape (and its `SpPair` clones) have been dropped/recycled.
+    pub fn reclaim(&mut self) {
+        for arc in self.retired.drain(..) {
+            if let Ok(m) = Arc::try_unwrap(arc) {
+                self.storages.push(m.reclaim_storage());
+            }
+        }
+    }
+
+    /// Number of pooled CSR storages currently available for reuse.
+    pub fn pooled_storages(&self) -> usize {
+        self.storages.len()
+    }
+}
 
 /// One relational subgraph of a multiplex graph.
 #[derive(Clone, Debug)]
@@ -107,20 +148,43 @@ impl RelationLayer {
     /// removed, returning the remaining layer's GCN-normalised adjacency and
     /// the masked edge endpoints. Used by the structure-masking GMAE (Eq. 5).
     pub fn without_edges(&self, masked: &[usize]) -> (Arc<CsrMatrix>, Vec<(u32, u32)>) {
-        let mut drop = vec![false; self.edges.len()];
+        self.without_edges_scratch(masked, &mut MaskScratch::new())
+    }
+
+    /// [`Self::without_edges`] drawing all working memory — flag and edge
+    /// buffers, normalisation accumulators, and (when the scratch has been
+    /// [`MaskScratch::reclaim`]ed) the pruned CSR's storage — from `scratch`.
+    /// Bitwise identical to the allocating path.
+    pub fn without_edges_scratch(
+        &self,
+        masked: &[usize],
+        scratch: &mut MaskScratch,
+    ) -> (Arc<CsrMatrix>, Vec<(u32, u32)>) {
+        scratch.drop.clear();
+        scratch.drop.resize(self.edges.len(), false);
         let mut masked_edges = Vec::with_capacity(masked.len());
         for &e in masked {
-            drop[e] = true;
+            scratch.drop[e] = true;
             masked_edges.push(self.edges[e]);
         }
-        let remaining: Vec<(u32, u32)> = self
-            .edges
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !drop[*i])
-            .map(|(_, &e)| e)
-            .collect();
-        (Arc::new(gcn_normalize(self.n, &remaining)), masked_edges)
+        let drop = &scratch.drop;
+        scratch.remaining.clear();
+        scratch.remaining.extend(
+            self.edges
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !drop[*i])
+                .map(|(_, &e)| e),
+        );
+        let storage = scratch.storages.pop().unwrap_or_default();
+        let norm = Arc::new(gcn_normalize_reusing(
+            self.n,
+            &scratch.remaining,
+            &mut scratch.norm,
+            storage,
+        ));
+        scratch.retired.push(Arc::clone(&norm));
+        (norm, masked_edges)
     }
 }
 
@@ -376,6 +440,25 @@ mod tests {
         // Node 1 now only connects to 0 (plus its self loop).
         assert_eq!(norm.get(1, 2), 0.0);
         assert!(norm.get(1, 0) > 0.0);
+    }
+
+    #[test]
+    fn without_edges_scratch_is_bitwise_identical_and_reclaims() {
+        let l = RelationLayer::new("r", 6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]);
+        let mut scratch = MaskScratch::new();
+        for masked in [&[0usize, 3][..], &[2][..], &[][..]] {
+            let (fresh, fresh_edges) = l.without_edges(masked);
+            let (reused, reused_edges) = l.without_edges_scratch(masked, &mut scratch);
+            assert_eq!(fresh_edges, reused_edges);
+            let a: Vec<_> = fresh.iter().collect();
+            let b: Vec<_> = reused.iter().collect();
+            assert_eq!(a, b, "masked {masked:?}");
+            drop(reused);
+            // The tape released its reference (dropped above): the storage
+            // comes back to the pool and the next round reuses it.
+            scratch.reclaim();
+            assert_eq!(scratch.pooled_storages(), 1);
+        }
     }
 
     #[test]

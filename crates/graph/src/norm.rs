@@ -2,7 +2,16 @@
 
 use std::sync::Arc;
 
-use umgad_tensor::CsrMatrix;
+use umgad_tensor::{CsrMatrix, CsrStorage};
+
+/// Reusable buffers for [`gcn_normalize_reusing`]: the COO staging area and
+/// the degree accumulators, all kept at capacity across calls.
+#[derive(Debug, Default)]
+pub struct NormScratch {
+    triples: Vec<(usize, usize, f64)>,
+    degree: Vec<f64>,
+    inv_sqrt: Vec<f64>,
+}
 
 /// Symmetric GCN normalisation with self-loops:
 /// `Â = D̃^{-1/2} (A + I) D̃^{-1/2}` where `D̃` is the degree of `A + I`.
@@ -10,8 +19,24 @@ use umgad_tensor::CsrMatrix;
 /// `edges` are undirected pairs (each stored once, `u != v` not required —
 /// explicit self-loops are merged with the added identity).
 pub fn gcn_normalize(n: usize, edges: &[(u32, u32)]) -> CsrMatrix {
-    let mut triples = Vec::with_capacity(edges.len() * 2 + n);
-    let mut degree = vec![1.0f64; n]; // self-loop contributes 1
+    gcn_normalize_reusing(n, edges, &mut NormScratch::default(), CsrStorage::default())
+}
+
+/// [`gcn_normalize`] drawing every buffer it needs from `scratch` and
+/// `storage` — allocation-free when both are warm, bitwise identical to the
+/// allocating path (same triple order, same CSR build).
+pub fn gcn_normalize_reusing(
+    n: usize,
+    edges: &[(u32, u32)],
+    scratch: &mut NormScratch,
+    storage: CsrStorage,
+) -> CsrMatrix {
+    let triples = &mut scratch.triples;
+    triples.clear();
+    triples.reserve(edges.len() * 2 + n);
+    let degree = &mut scratch.degree;
+    degree.clear();
+    degree.resize(n, 1.0); // self-loop contributes 1
     for &(u, v) in edges {
         let (u, v) = (u as usize, v as usize);
         if u == v {
@@ -21,7 +46,9 @@ pub fn gcn_normalize(n: usize, edges: &[(u32, u32)]) -> CsrMatrix {
             degree[v] += 1.0;
         }
     }
-    let inv_sqrt: Vec<f64> = degree.iter().map(|&d| 1.0 / d.sqrt()).collect();
+    let inv_sqrt = &mut scratch.inv_sqrt;
+    inv_sqrt.clear();
+    inv_sqrt.extend(degree.iter().map(|&d| 1.0 / d.sqrt()));
     for &(u, v) in edges {
         let (u, v) = (u as usize, v as usize);
         let w = inv_sqrt[u] * inv_sqrt[v];
@@ -35,7 +62,7 @@ pub fn gcn_normalize(n: usize, edges: &[(u32, u32)]) -> CsrMatrix {
     for (i, &s) in inv_sqrt.iter().enumerate() {
         triples.push((i, i, s * s));
     }
-    CsrMatrix::from_coo(n, n, triples)
+    CsrMatrix::from_coo_reusing(n, n, triples, storage)
 }
 
 /// Row-stochastic normalisation `D^{-1} A` (no self-loops), used by

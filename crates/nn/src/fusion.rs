@@ -48,7 +48,7 @@ impl RelationWeights {
 
     /// Copy onto the tape and take the softmax.
     pub fn bind(&self, tape: &mut Tape) -> BoundWeights {
-        let logits = tape.leaf(self.logits.value.clone());
+        let logits = tape.leaf_from(&self.logits.value);
         let softmax = tape.softmax_row(logits);
         BoundWeights { logits, softmax }
     }
@@ -98,7 +98,7 @@ impl RelationWeights {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
     use umgad_rt::rand::rngs::SmallRng;
     use umgad_rt::rand::SeedableRng;
     use umgad_tensor::Matrix;
@@ -128,7 +128,7 @@ mod tests {
         // softmax weight of relation 0 should grow during training.
         let mut rng = SmallRng::seed_from_u64(2);
         let mut w = RelationWeights::new(2, &mut rng);
-        let target = Rc::new(Matrix::from_fn(4, 3, |i, j| (i + j) as f64 / 3.0 + 0.2));
+        let target = Arc::new(Matrix::from_fn(4, 3, |i, j| (i + j) as f64 / 3.0 + 0.2));
         let noise = Matrix::from_fn(4, 3, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
         let opt = Adam::with_lr(0.05);
         let before = w.current()[0];
@@ -138,7 +138,7 @@ mod tests {
             let good = tape.constant((*target).clone());
             let bad = tape.constant(noise.clone());
             let fused = w.fuse(&mut tape, &bound, &[good, bad]);
-            let loss = tape.mse_loss(fused, Rc::clone(&target));
+            let loss = tape.mse_loss(fused, Arc::clone(&target));
             tape.backward(loss);
             w.update(&tape, &bound, &opt);
         }

@@ -12,7 +12,7 @@
 //!   decoder-output dot products (Eq. 7);
 //! - **subgraph GMAE** (Eq. 14–15): both at once on RWR-sampled patches.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use umgad_rt::rand::Rng;
 
@@ -108,7 +108,7 @@ impl Gmae {
         BoundGmae {
             enc: self.enc.bind(tape),
             dec: self.dec.bind(tape),
-            token: self.token.as_ref().map(|t| tape.leaf(t.value.clone())),
+            token: self.token.as_ref().map(|t| tape.leaf_from(&t.value)),
         }
     }
 
@@ -120,7 +120,7 @@ impl Gmae {
         bound: &BoundGmae,
         adj: &SpPair,
         x: Var,
-        mask_idx: Rc<Vec<usize>>,
+        mask_idx: Arc<Vec<usize>>,
     ) -> GmaeOutput {
         let token = bound.token.expect("attribute masking needs a [MASK] token");
         let masked = tape.replace_rows(x, token, mask_idx);
@@ -182,7 +182,7 @@ mod tests {
         let mut tape = Tape::new();
         let bound = gmae.bind(&mut tape);
         let x = tape.constant(Matrix::from_fn(8, 6, |i, j| (i + j) as f64 / 4.0));
-        let out = gmae.forward_attr_masked(&mut tape, &bound, &pair(8), x, Rc::new(vec![0, 3, 5]));
+        let out = gmae.forward_attr_masked(&mut tape, &bound, &pair(8), x, Arc::new(vec![0, 3, 5]));
         assert_eq!(tape.value(out.hidden).shape(), (8, 4));
         assert_eq!(tape.value(out.recon).shape(), (8, 6));
     }
@@ -197,7 +197,7 @@ mod tests {
         // Smooth target: neighbouring nodes share attributes, so masked rows
         // are predictable from context.
         let x = Matrix::from_fn(n, f, |i, j| ((i / 4) * 2 + j) as f64 / 5.0 + 0.3);
-        let target = Rc::new(x.clone());
+        let target = Arc::new(x.clone());
         let opt = Adam::with_lr(0.02);
         let mut first = None;
         let mut last = 0.0;
@@ -205,9 +205,9 @@ mod tests {
             let mut tape = Tape::new();
             let bound = gmae.bind(&mut tape);
             let xv = tape.constant(x.clone());
-            let idx = Rc::new(vec![(step * 3) % n, (step * 5 + 1) % n]);
-            let out = gmae.forward_attr_masked(&mut tape, &bound, &adj, xv, Rc::clone(&idx));
-            let loss = tape.scaled_cosine_loss(out.recon, Rc::clone(&target), idx, 2.0);
+            let idx = Arc::new(vec![(step * 3) % n, (step * 5 + 1) % n]);
+            let out = gmae.forward_attr_masked(&mut tape, &bound, &adj, xv, Arc::clone(&idx));
+            let loss = tape.scaled_cosine_loss(out.recon, Arc::clone(&target), idx, 2.0);
             tape.backward(loss);
             gmae.update(&tape, &bound, &opt);
             last = tape.value(loss).get(0, 0);
@@ -229,8 +229,8 @@ mod tests {
         assert!(gmae.token.is_none());
         let adj = pair(n);
         let x = Matrix::from_fn(n, f, |i, j| ((i + j) % 4) as f64 / 2.0 + 0.2);
-        let pos = Rc::new(vec![(2usize, 3usize), (6, 7)]);
-        let negs = Rc::new(vec![8usize, 0, 1, 4]);
+        let pos = Arc::new(vec![(2usize, 3usize), (6, 7)]);
+        let negs = Arc::new(vec![8usize, 0, 1, 4]);
         let opt = Adam::with_lr(0.02);
         let mut first = None;
         let mut last = 0.0;
@@ -240,7 +240,7 @@ mod tests {
             let xv = tape.constant(x.clone());
             let out = gmae.forward(&mut tape, &bound, &adj, xv);
             let z = tape.row_normalize(out.recon);
-            let loss = tape.edge_nce_loss(z, Rc::clone(&pos), Rc::clone(&negs), 2);
+            let loss = tape.edge_nce_loss(z, Arc::clone(&pos), Arc::clone(&negs), 2);
             tape.backward(loss);
             gmae.update(&tape, &bound, &opt);
             last = tape.value(loss).get(0, 0);
@@ -264,6 +264,6 @@ mod tests {
         let mut tape = Tape::new();
         let bound = gmae.bind(&mut tape);
         let x = tape.constant(Matrix::zeros(4, 3));
-        let _ = gmae.forward_attr_masked(&mut tape, &bound, &pair(4), x, Rc::new(vec![0]));
+        let _ = gmae.forward_attr_masked(&mut tape, &bound, &pair(4), x, Arc::new(vec![0]));
     }
 }

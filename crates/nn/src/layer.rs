@@ -19,7 +19,7 @@
 use umgad_rt::rand::Rng;
 
 use umgad_tensor::init::xavier_uniform;
-use umgad_tensor::{Adam, Matrix, Param, SpPair, Tape, Var};
+use umgad_tensor::{Adam, FusedAct, Matrix, Param, SpPair, Tape, Var};
 
 /// Activation functions available to GNN layers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +56,17 @@ impl Activation {
             Activation::Elu => x.map_inplace(|v| if v > 0.0 { v } else { v.exp() - 1.0 }),
             Activation::LeakyRelu => x.map_inplace(|v| if v > 0.0 { v } else { 0.2 * v }),
             Activation::Tanh => x.map_inplace(f64::tanh),
+        }
+    }
+
+    /// The matching fused-kernel activation (same per-element expressions).
+    pub fn fused(self) -> FusedAct {
+        match self {
+            Activation::None => FusedAct::None,
+            Activation::Relu => FusedAct::Relu,
+            Activation::Elu => FusedAct::Elu(1.0),
+            Activation::LeakyRelu => FusedAct::LeakyRelu(0.2),
+            Activation::Tanh => FusedAct::Tanh,
         }
     }
 }
@@ -107,23 +118,25 @@ impl SgcStack {
         self.w.shape().1
     }
 
-    /// Copy parameters onto `tape`.
+    /// Copy parameters onto `tape` (arena-pooled, allocation-free when the
+    /// tape is warm).
     pub fn bind(&self, tape: &mut Tape) -> BoundSgc {
         BoundSgc {
-            w: tape.leaf(self.w.value.clone()),
-            b: tape.leaf(self.b.value.clone()),
+            w: tape.leaf_from(&self.w.value),
+            b: tape.leaf_from(&self.b.value),
         }
     }
 
-    /// Forward pass through the bound parameters.
+    /// Forward pass through the bound parameters. The last propagation hop,
+    /// linear map, bias, and activation run as one fused tape node
+    /// (bitwise identical to the unfused op chain).
     pub fn forward(&self, tape: &mut Tape, bound: &BoundSgc, adj: &SpPair, x: Var) -> Var {
         let mut h = x;
-        for _ in 0..self.hops {
+        for _ in 1..self.hops {
             h = tape.spmm(adj, h);
         }
-        let h = tape.matmul(h, bound.w);
-        let h = tape.add_row(h, bound.b);
-        self.act.apply(tape, h)
+        let last_hop = (self.hops > 0).then_some(adj);
+        tape.spmm_bias_act(last_hop, h, bound.w, bound.b, self.act.fused())
     }
 
     /// Apply optimiser updates from the tape's gradients.
@@ -136,25 +149,22 @@ impl SgcStack {
         }
     }
 
-    /// Tape-free forward for inference/scoring.
+    /// Tape-free forward for inference/scoring, via the fused kernel.
     pub fn infer(&self, adj: &umgad_tensor::CsrMatrix, x: &Matrix) -> Matrix {
-        let mut h = if self.hops == 0 {
-            x.clone()
-        } else {
-            adj.spmm(x)
-        };
-        for _ in 1..self.hops {
-            h = adj.spmm(&h);
+        let mut hops_done = 0;
+        let mut h = None;
+        while hops_done + 1 < self.hops {
+            let src = h.as_ref().unwrap_or(x);
+            h = Some(adj.spmm(src));
+            hops_done += 1;
         }
-        let mut out = h.matmul(&self.w.value);
-        let bias = self.b.value.row(0).to_vec();
-        for i in 0..out.rows() {
-            for (o, &bv) in out.row_mut(i).iter_mut().zip(&bias) {
-                *o += bv;
-            }
-        }
-        self.act.apply_matrix(&mut out);
-        out
+        umgad_tensor::spmm_bias_act(
+            (self.hops > 0).then_some(adj),
+            h.as_ref().unwrap_or(x),
+            &self.w.value,
+            self.b.value.row(0),
+            self.act.fused(),
+        )
     }
 }
 
@@ -186,20 +196,17 @@ impl GcnLayer {
         }
     }
 
-    /// Copy parameters onto `tape`.
+    /// Copy parameters onto `tape` (arena-pooled).
     pub fn bind(&self, tape: &mut Tape) -> BoundGcnLayer {
         BoundGcnLayer {
-            w: tape.leaf(self.w.value.clone()),
-            b: tape.leaf(self.b.value.clone()),
+            w: tape.leaf_from(&self.w.value),
+            b: tape.leaf_from(&self.b.value),
         }
     }
 
-    /// Forward pass.
+    /// Forward pass as one fused tape node.
     pub fn forward(&self, tape: &mut Tape, bound: &BoundGcnLayer, adj: &SpPair, x: Var) -> Var {
-        let h = tape.spmm(adj, x);
-        let h = tape.matmul(h, bound.w);
-        let h = tape.add_row(h, bound.b);
-        self.act.apply(tape, h)
+        tape.spmm_bias_act(Some(adj), x, bound.w, bound.b, self.act.fused())
     }
 
     /// Apply optimiser updates.
@@ -278,7 +285,7 @@ impl Gcn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
     use umgad_rt::rand::rngs::SmallRng;
     use umgad_rt::rand::SeedableRng;
 
@@ -317,7 +324,7 @@ mod tests {
         let mut stack = SgcStack::new(4, 4, 1, Activation::None, &mut rng);
         let pair = ring_pair(6);
         let x = Matrix::from_fn(6, 4, |i, j| ((i + j) % 3) as f64 / 2.0 + 0.1);
-        let target = Rc::new(x.clone());
+        let target = Arc::new(x.clone());
         let opt = Adam::with_lr(0.05);
         let mut losses = Vec::new();
         for _ in 0..60 {
@@ -325,7 +332,7 @@ mod tests {
             let bound = stack.bind(&mut tape);
             let xv = tape.constant(x.clone());
             let y = stack.forward(&mut tape, &bound, &pair, xv);
-            let loss = tape.mse_loss(y, Rc::clone(&target));
+            let loss = tape.mse_loss(y, Arc::clone(&target));
             tape.backward(loss);
             stack.update(&tape, &bound, &opt);
             losses.push(tape.value(loss).get(0, 0));

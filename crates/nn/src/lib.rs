@@ -7,7 +7,7 @@
 //! ## Example: one attribute-GMAE step
 //!
 //! ```
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //! use umgad_rt::rand::rngs::SmallRng;
 //! use umgad_rt::rand::SeedableRng;
 //! use umgad_graph::gcn_normalize;
@@ -22,9 +22,9 @@
 //! let mut tape = Tape::new();
 //! let bound = gmae.bind(&mut tape);
 //! let xv = tape.constant(x.clone());
-//! let idx = Rc::new(vec![1usize, 4]);
-//! let out = gmae.forward_attr_masked(&mut tape, &bound, &adj, xv, Rc::clone(&idx));
-//! let loss = tape.scaled_cosine_loss(out.recon, Rc::new(x), idx, 2.0);
+//! let idx = Arc::new(vec![1usize, 4]);
+//! let out = gmae.forward_attr_masked(&mut tape, &bound, &adj, xv, Arc::clone(&idx));
+//! let loss = tape.scaled_cosine_loss(out.recon, Arc::new(x), idx, 2.0);
 //! tape.backward(loss);
 //! gmae.update(&tape, &bound, &Adam::with_lr(0.01));
 //! ```

@@ -8,7 +8,6 @@
 //! ```
 //! use umgad_rt::rand::rngs::SmallRng;
 //! use umgad_rt::rand::SeedableRng;
-//! use std::rc::Rc;
 //! use std::sync::Arc;
 //! use umgad_graph::gcn_normalize;
 //! use umgad_nn::{Activation, Gcn};
@@ -18,7 +17,7 @@
 //! let mut gcn = Gcn::new(&[4, 8, 4], Activation::Relu, Activation::None, &mut rng);
 //! let adj = SpPair::symmetric(Arc::new(gcn_normalize(6, &[(0, 1), (1, 2), (3, 4), (4, 5)])));
 //! let x = Matrix::from_fn(6, 4, |i, j| ((i + j) % 3) as f64 / 2.0);
-//! let target = Rc::new(x.clone());
+//! let target = Arc::new(x.clone());
 //! let opt = Adam::with_lr(0.05);
 //!
 //! let mut first = None;
@@ -28,7 +27,7 @@
 //!     let bound = gcn.bind(&mut tape);
 //!     let xv = tape.constant(x.clone());
 //!     let y = gcn.forward(&mut tape, &bound, &adj, xv);
-//!     let loss = tape.mse_loss(y, Rc::clone(&target));
+//!     let loss = tape.mse_loss(y, Arc::clone(&target));
 //!     tape.backward(loss);
 //!     gcn.update(&tape, &bound, &opt);
 //!     last = tape.value(loss).get(0, 0);
@@ -42,13 +41,13 @@
 //! ```
 //! use umgad_rt::rand::rngs::SmallRng;
 //! use umgad_rt::rand::SeedableRng;
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //! use umgad_nn::RelationWeights;
 //! use umgad_tensor::{Adam, Matrix, Tape};
 //!
 //! let mut rng = SmallRng::seed_from_u64(1);
 //! let mut w = RelationWeights::new(2, &mut rng);
-//! let target = Rc::new(Matrix::full(2, 2, 1.0));
+//! let target = Arc::new(Matrix::full(2, 2, 1.0));
 //! let opt = Adam::with_lr(0.1);
 //! for _ in 0..60 {
 //!     let mut tape = Tape::new();
@@ -56,7 +55,7 @@
 //!     let good = tape.constant(Matrix::full(2, 2, 1.0));   // matches target
 //!     let bad = tape.constant(Matrix::full(2, 2, -3.0));   // noise
 //!     let fused = w.fuse(&mut tape, &bound, &[good, bad]);
-//!     let loss = tape.mse_loss(fused, Rc::clone(&target));
+//!     let loss = tape.mse_loss(fused, Arc::clone(&target));
 //!     tape.backward(loss);
 //!     w.update(&tape, &bound, &opt);
 //! }
@@ -69,7 +68,6 @@
 //! ```
 //! use umgad_rt::rand::rngs::SmallRng;
 //! use umgad_rt::rand::SeedableRng;
-//! use std::rc::Rc;
 //! use std::sync::Arc;
 //! use umgad_graph::gcn_normalize;
 //! use umgad_nn::{Gmae, GmaeConfig};
@@ -81,7 +79,7 @@
 //! let mut tape = Tape::new();
 //! let bound = gmae.bind(&mut tape);
 //! let x = tape.constant(Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64));
-//! let masked = Rc::new(vec![2usize]);
+//! let masked = Arc::new(vec![2usize]);
 //! let out = gmae.forward_attr_masked(&mut tape, &bound, &adj, x, masked);
 //! // The masked node's reconstruction comes from its context, not itself.
 //! assert_eq!(tape.value(out.recon).shape(), (4, 3));

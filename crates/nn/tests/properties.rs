@@ -1,7 +1,6 @@
 //! Property tests for the GNN building blocks: infer/tape agreement on
 //! random architectures, fusion convexity, and masking semantics.
 
-use std::rc::Rc;
 use std::sync::Arc;
 use umgad_graph::gcn_normalize;
 use umgad_nn::{Activation, Gmae, GmaeConfig, RelationWeights, SgcStack};
@@ -69,7 +68,7 @@ proptest! {
         let mut tape = Tape::new();
         let bound = zero_hop.bind(&mut tape);
         let xv = tape.constant(x.clone());
-        let out = zero_hop.forward_attr_masked(&mut tape, &bound, &pair, xv, Rc::new(mask.clone()));
+        let out = zero_hop.forward_attr_masked(&mut tape, &bound, &pair, xv, Arc::new(mask.clone()));
         let hidden_masked = tape.value(out.hidden).clone();
 
         let mut tape2 = Tape::new();

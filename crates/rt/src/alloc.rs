@@ -1,0 +1,102 @@
+//! Counting global allocator for allocation-regression tests.
+//!
+//! The zero-churn epoch engine promises that steady-state training epochs
+//! perform no matrix allocations. Arena hit/miss counters prove the arena's
+//! half of that claim; [`CountingAllocator`] proves the whole-process half
+//! by counting every heap request that reaches the global allocator, so a
+//! regression test can pin "epoch N+1 allocates at most K times" as a
+//! number rather than a hope.
+//!
+//! Usage (in a dedicated test binary, so the accounting never taxes
+//! production builds):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: umgad_rt::alloc::CountingAllocator = umgad_rt::alloc::CountingAllocator::new();
+//!
+//! let before = umgad_rt::alloc::allocation_count();
+//! run_epoch();
+//! let during = umgad_rt::alloc::allocation_count() - before;
+//! assert!(during <= BUDGET);
+//! ```
+//!
+//! Counters are process-global atomics (relaxed ordering — counts are exact
+//! because every allocation increments exactly once; only inter-thread
+//! *ordering* of increments is unspecified, which aggregate totals don't
+//! observe).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocations and allocated
+/// bytes. Install with `#[global_allocator]` in a test binary and read the
+/// counters via [`allocation_count`] / [`allocated_bytes`].
+#[derive(Debug, Default)]
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// A new counting allocator (stateless; counters are global).
+    pub const fn new() -> Self {
+        Self
+    }
+}
+
+// SAFETY: delegates verbatim to `System`, which upholds the `GlobalAlloc`
+// contract; the only addition is counter bookkeeping.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow/shrink is one allocator trip; count the fresh size only.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Total allocator trips (alloc + alloc_zeroed + realloc) since process
+/// start. Zero when [`CountingAllocator`] is not installed.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the allocator since process start. Zero when
+/// [`CountingAllocator`] is not installed.
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    // The allocator is exercised for real by the workspace-level
+    // `alloc_budget` test, which installs it with `#[global_allocator]`.
+    // Here we only check the passthrough contract compiles and counters
+    // start at zero without installation.
+    use super::*;
+
+    #[test]
+    fn counters_read_zero_when_not_installed() {
+        let a = allocation_count();
+        let b = allocated_bytes();
+        let _v: Vec<u8> = Vec::with_capacity(64);
+        assert_eq!(allocation_count(), a);
+        assert_eq!(allocated_bytes(), b);
+    }
+}

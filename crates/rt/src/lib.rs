@@ -31,7 +31,11 @@
 //!   deterministic crash-safety testing.
 //! - [`fs`] — crash-safe atomic file writes (temp + fsync + rename with
 //!   stale-temp cleanup) used by every checkpoint/score write.
+//! - [`alloc`] — a counting `GlobalAlloc` wrapper over the system allocator
+//!   so allocation-regression tests can pin steady-state epoch allocation
+//!   counts.
 
+pub mod alloc;
 pub mod bench;
 pub mod faults;
 pub mod fs;

@@ -1,0 +1,186 @@
+//! Shape-keyed buffer arena: the allocator behind zero-churn epochs.
+//!
+//! Training builds the same tape shape every epoch, so every op-output
+//! matrix a steady-state epoch needs has the exact size of one freed the
+//! epoch before. [`BufferArena`] keeps those freed `Vec<f64>` backing
+//! stores on a free-list keyed by element count; [`crate::Tape::recycle`]
+//! drains a finished tape into the arena and the next epoch's ops draw from
+//! it instead of the global allocator. After a warm-up epoch the happy path
+//! performs **zero** matrix allocations — a property pinned by the
+//! workspace allocation-regression test via [`BufferArena::stats`].
+//!
+//! The arena is deliberately dumb: no size classes, no trimming. Buffers
+//! are keyed by exact length, so a hit always returns a store of precisely
+//! the requested size and reuse never changes matrix shapes or contents
+//! semantics (every constructor here either zero-fills or fully
+//! overwrites).
+
+use std::collections::HashMap;
+
+use crate::matrix::Matrix;
+
+/// Arena hit/miss counters. `misses` counts buffers that had to come from
+/// the global allocator; a warm steady-state epoch keeps it flat.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers served from the free-list.
+    pub hits: u64,
+    /// Buffers that fell through to the global allocator.
+    pub misses: u64,
+}
+
+/// Length-keyed free-list of matrix backing stores.
+#[derive(Debug, Default)]
+pub struct BufferArena {
+    free: HashMap<usize, Vec<Vec<f64>>>,
+    stats: ArenaStats,
+}
+
+impl BufferArena {
+    /// Empty arena; every first request misses.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A backing store of exactly `len` elements with **unspecified
+    /// contents** (stale values from a previous tenant on a hit). Callers
+    /// must fully overwrite it.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        if let Some(buf) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.stats.hits += 1;
+            return buf;
+        }
+        self.stats.misses += 1;
+        vec![0.0; len]
+    }
+
+    /// Return a store to the free-list. Zero-length stores are dropped
+    /// (they never allocate in the first place).
+    pub fn put_buf(&mut self, buf: Vec<f64>) {
+        if !buf.is_empty() {
+            self.free.entry(buf.len()).or_default().push(buf);
+        }
+    }
+
+    /// Return a matrix's backing store to the free-list.
+    pub fn put(&mut self, m: Matrix) {
+        self.put_buf(m.into_data());
+    }
+
+    /// `rows × cols` zero matrix.
+    pub fn zeros(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut buf = self.take(rows * cols);
+        buf.fill(0.0);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// `rows × cols` matrix filled with `v`.
+    pub fn full(&mut self, rows: usize, cols: usize, v: f64) -> Matrix {
+        let mut buf = self.take(rows * cols);
+        buf.fill(v);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// `1 × 1` matrix holding `v`.
+    pub fn scalar(&mut self, v: f64) -> Matrix {
+        self.full(1, 1, v)
+    }
+
+    /// Copy of `src`.
+    pub fn copy_of(&mut self, src: &Matrix) -> Matrix {
+        let mut buf = self.take(src.len());
+        buf.copy_from_slice(src.data());
+        Matrix::from_vec(src.rows(), src.cols(), buf)
+    }
+
+    /// Elementwise `f` over `src`.
+    pub fn map_of(&mut self, src: &Matrix, f: impl Fn(f64) -> f64) -> Matrix {
+        let mut buf = self.take(src.len());
+        for (d, &s) in buf.iter_mut().zip(src.data()) {
+            *d = f(s);
+        }
+        Matrix::from_vec(src.rows(), src.cols(), buf)
+    }
+
+    /// Elementwise `f` over two equally-shaped value slices, producing a
+    /// `rows × cols` matrix.
+    pub fn map2(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        a: &[f64],
+        b: &[f64],
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Matrix {
+        assert_eq!(a.len(), rows * cols);
+        assert_eq!(b.len(), rows * cols);
+        let mut buf = self.take(rows * cols);
+        for ((d, &x), &y) in buf.iter_mut().zip(a).zip(b) {
+            *d = f(x, y);
+        }
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Hit/miss counters since construction (or the last
+    /// [`Self::reset_stats`]).
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Zero the hit/miss counters (the free-list is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = ArenaStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_is_keyed_by_exact_length() {
+        let mut arena = BufferArena::new();
+        let a = arena.zeros(2, 3);
+        let b = arena.zeros(3, 2); // same length, different shape: same pool
+        arena.put(a);
+        arena.put(b);
+        let c = arena.take(6);
+        let d = arena.take(6);
+        let e = arena.take(6);
+        assert_eq!(c.len(), 6);
+        assert_eq!(d.len(), 6);
+        assert_eq!(e.len(), 6);
+        assert_eq!(
+            arena.stats(),
+            ArenaStats { hits: 2, misses: 3 },
+            "two warm buffers, three allocator trips"
+        );
+    }
+
+    #[test]
+    fn constructors_fully_define_contents() {
+        let mut arena = BufferArena::new();
+        let mut m = arena.full(2, 2, 7.0);
+        m.data_mut().fill(42.0);
+        arena.put(m);
+        // A reused buffer must not leak its previous tenant's values.
+        assert_eq!(arena.zeros(2, 2).data(), &[0.0; 4]);
+        let src = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(arena.copy_of(&src).data(), src.data());
+        assert_eq!(
+            arena.map_of(&src, |v| v * 2.0).data(),
+            &[2.0, 4.0, 6.0, 8.0]
+        );
+        let out = arena.map2(2, 2, src.data(), src.data(), |a, b| a + b);
+        assert_eq!(out.data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn zero_length_buffers_are_not_pooled() {
+        let mut arena = BufferArena::new();
+        arena.put(Matrix::zeros(0, 4));
+        let m = arena.zeros(0, 4);
+        assert_eq!(m.shape(), (0, 4));
+        assert_eq!(arena.stats().hits, 0);
+    }
+}

@@ -1,0 +1,503 @@
+//! Fused SGC layer tail: `act((A @ x) @ w + bias)` in one pass over the
+//! output rows.
+//!
+//! The unfused chain materialises two full intermediates per layer (the
+//! propagated features `A @ x` and the pre-bias product `h @ w`) and then
+//! walks the output twice more for the bias add and the activation. The
+//! fused kernel computes each output row end to end while it is
+//! cache-resident: one CSR row accumulation, one `i-k-j` row product, then
+//! bias and activation in place.
+//!
+//! **Bitwise contract.** Every number here is produced by the exact
+//! arithmetic of the unfused kernels: the propagation row accumulates in
+//! CSR order ([`CsrMatrix`] `spmm_row_into`), the product row accumulates
+//! over `k` ascending with the same `a == 0.0` skip as
+//! [`Matrix::matmul_serial`], bias and activation are the same per-element
+//! expressions as `Tape::add_row` and the activation ops. Output rows are
+//! independent, so the parallel path partitions rows and stays bitwise
+//! identical at any thread count — the same argument as DESIGN.md §5c.
+
+use crate::matrix::{madds, Matrix, PARALLEL_MIN_FLOPS};
+use crate::sparse::CsrMatrix;
+
+/// Activation fused into the layer-tail kernel. The variants mirror the
+/// tape's activation ops exactly, element for element.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FusedAct {
+    /// Identity.
+    None,
+    /// `max(t, 0)`.
+    Relu,
+    /// `t > 0 ? t : alpha * t`.
+    LeakyRelu(f64),
+    /// `t > 0 ? t : alpha * (e^t - 1)`.
+    Elu(f64),
+    /// `tanh(t)`.
+    Tanh,
+}
+
+impl FusedAct {
+    /// Forward, per element. Expressions match the tape ops bit for bit.
+    #[inline]
+    pub fn apply(self, t: f64) -> f64 {
+        match self {
+            FusedAct::None => t,
+            FusedAct::Relu => t.max(0.0),
+            FusedAct::LeakyRelu(alpha) => {
+                if t > 0.0 {
+                    t
+                } else {
+                    alpha * t
+                }
+            }
+            FusedAct::Elu(alpha) => {
+                if t > 0.0 {
+                    t
+                } else {
+                    alpha * (t.exp() - 1.0)
+                }
+            }
+            FusedAct::Tanh => t.tanh(),
+        }
+    }
+
+    /// Whether the backward pass needs the pre-activation input stored:
+    /// Elu's negative branch cannot be recovered from the output, and a
+    /// LeakyRelu with `alpha <= 0` loses the input's sign.
+    pub fn needs_preactivation(self) -> bool {
+        match self {
+            FusedAct::Elu(_) => true,
+            FusedAct::LeakyRelu(alpha) => alpha <= 0.0,
+            _ => false,
+        }
+    }
+
+    /// Backward, per element: upstream gradient `g`, layer output `y`, and
+    /// pre-activation `z` (only read when [`Self::needs_preactivation`]).
+    /// Each arm reproduces the matching tape op's backward expression
+    /// exactly — including which branches multiply and which pass `g`
+    /// through untouched.
+    #[inline]
+    pub fn apply_grad(self, g: f64, y: f64, z: f64) -> f64 {
+        match self {
+            FusedAct::None => g,
+            FusedAct::Relu => {
+                // y > 0 ⟺ z > 0 for y = max(z, 0).
+                if y > 0.0 {
+                    g
+                } else {
+                    0.0
+                }
+            }
+            FusedAct::LeakyRelu(alpha) => {
+                let positive = if self.needs_preactivation() {
+                    z > 0.0
+                } else {
+                    // alpha > 0 keeps the sign, so y > 0 ⟺ z > 0.
+                    y > 0.0
+                };
+                if positive {
+                    g
+                } else {
+                    g * alpha
+                }
+            }
+            FusedAct::Elu(alpha) => {
+                if z > 0.0 {
+                    g
+                } else {
+                    g * alpha * z.exp()
+                }
+            }
+            FusedAct::Tanh => g * (1.0 - y * y),
+        }
+    }
+}
+
+/// Multiply-add count of the fused pass: the propagation (when present)
+/// plus the dense product.
+fn fused_madds(adj: Option<&CsrMatrix>, x: &Matrix, d: usize) -> usize {
+    let prop = adj.map_or(0, |a| madds(a.nnz(), x.cols(), 1));
+    prop.saturating_add(madds(x.rows(), x.cols(), d))
+}
+
+/// One row range `[r0, r0 + block_rows)` of the fused pass.
+///
+/// `h_block` (propagated features, present iff `adj` is) and `z_block`
+/// (pre-activation, present when the activation's backward needs it) are
+/// fully overwritten; `y_block` receives the activated output.
+#[allow(clippy::too_many_arguments)]
+fn fused_rows(
+    adj: Option<&CsrMatrix>,
+    x: &Matrix,
+    w: &Matrix,
+    bias: &[f64],
+    act: FusedAct,
+    r0: usize,
+    mut h_block: Option<&mut [f64]>,
+    mut z_block: Option<&mut [f64]>,
+    y_block: &mut [f64],
+) {
+    let f = x.cols();
+    let d = w.cols();
+    if d == 0 {
+        if let Some(h) = h_block.as_deref_mut() {
+            propagate_block(adj, x, r0, h);
+        }
+        return;
+    }
+    let rows = y_block.len() / d;
+    for i in 0..rows {
+        let r = r0 + i;
+        // Propagated features for this row: a CSR accumulation into the
+        // stored h row, or x's row directly when there is no propagation.
+        let hrow: &[f64] = match (adj, h_block.as_deref_mut()) {
+            (Some(adj), Some(h)) => {
+                let hrow = &mut h[i * f..(i + 1) * f];
+                hrow.fill(0.0);
+                adj.spmm_row_into(x, r, hrow);
+                hrow
+            }
+            _ => x.row(r),
+        };
+        // Product row: k ascending, zero-skip — matmul_serial's inner loop.
+        let yrow = &mut y_block[i * d..(i + 1) * d];
+        yrow.fill(0.0);
+        for (k, &a) in hrow.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let wrow = w.row(k);
+            for (o, &b) in yrow.iter_mut().zip(wrow) {
+                *o += a * b;
+            }
+        }
+        // Bias: one add per element, as add_row.
+        for (o, &b) in yrow.iter_mut().zip(bias) {
+            *o += b;
+        }
+        if let Some(z) = z_block.as_deref_mut() {
+            z[i * d..(i + 1) * d].copy_from_slice(yrow);
+        }
+        for o in yrow.iter_mut() {
+            *o = act.apply(*o);
+        }
+    }
+}
+
+/// Fill `h_block` with the propagated rows alone (the `d == 0` degenerate
+/// path, where no product rows exist to drive the main loop).
+fn propagate_block(adj: Option<&CsrMatrix>, x: &Matrix, r0: usize, h_block: &mut [f64]) {
+    let f = x.cols();
+    if f == 0 {
+        return;
+    }
+    let Some(adj) = adj else {
+        return;
+    };
+    for (i, hrow) in h_block.chunks_exact_mut(f).enumerate() {
+        hrow.fill(0.0);
+        adj.spmm_row_into(x, r0 + i, hrow);
+    }
+}
+
+/// Row boundaries (length `parts + 1`) balancing `row_nnz + w_cols` per
+/// row, so hub rows of a skewed `adj` don't serialise the pass the way an
+/// even row split would.
+fn fused_partitions(adj: Option<&CsrMatrix>, rows: usize, d: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0);
+    let cum = |r: usize| adj.map_or(0, |a| a.row_ptr()[r]) + r * d.max(1);
+    let total = cum(rows);
+    for p in 1..parts {
+        let target = total * p / parts;
+        // cum is monotone in r; find the first row reaching the target.
+        let (mut lo, mut hi) = (0usize, rows);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if cum(mid) < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        bounds.push(lo.max(*bounds.last().unwrap()));
+    }
+    bounds.push(rows);
+    bounds
+}
+
+/// Fused `act((adj @ x) @ w + bias)` into caller-provided storage.
+///
+/// - `h` must be `Some` with shape `rows(adj) × cols(x)` iff `adj` is
+///   `Some`; it receives the propagated features (stored for the backward's
+///   `dW = h^T @ dz`).
+/// - `z` (same shape as `y`) receives the pre-activation when provided —
+///   required when `act.needs_preactivation()`.
+/// - `y` (`n × cols(w)`) receives the activated output.
+///
+/// All provided buffers are fully overwritten; stale contents are fine.
+/// Dispatches to the row-partitioned pool path above
+/// [`PARALLEL_MIN_FLOPS`]; both paths are bitwise identical.
+#[allow(clippy::too_many_arguments)]
+pub fn spmm_bias_act_into(
+    adj: Option<&CsrMatrix>,
+    x: &Matrix,
+    w: &Matrix,
+    bias: &[f64],
+    act: FusedAct,
+    mut h: Option<&mut Matrix>,
+    mut z: Option<&mut Matrix>,
+    y: &mut Matrix,
+    threads: usize,
+) {
+    let (n, f) = x.shape();
+    let d = w.cols();
+    assert_eq!(w.rows(), f, "spmm_bias_act: x {n}x{f} @ w {}x{d}", w.rows());
+    assert_eq!(bias.len(), d, "spmm_bias_act: bias length");
+    assert_eq!(y.shape(), (n, d), "spmm_bias_act: output shape");
+    if let Some(adj) = adj {
+        assert_eq!(adj.rows(), n, "spmm_bias_act: adj rows");
+        assert_eq!(adj.cols(), n, "spmm_bias_act: adj cols");
+    }
+    assert_eq!(adj.is_some(), h.is_some(), "spmm_bias_act: h iff adj");
+    if let Some(h) = h.as_deref_mut() {
+        assert_eq!(h.shape(), (n, f), "spmm_bias_act: h shape");
+    }
+    if let Some(z) = z.as_deref_mut() {
+        assert_eq!(z.shape(), (n, d), "spmm_bias_act: z shape");
+    }
+    assert!(
+        !act.needs_preactivation() || z.is_some(),
+        "spmm_bias_act: {act:?} needs the pre-activation stored"
+    );
+
+    if threads <= 1 || fused_madds(adj, x, d) < PARALLEL_MIN_FLOPS {
+        fused_rows(
+            adj,
+            x,
+            w,
+            bias,
+            act,
+            0,
+            h.map(|m| &mut m.data_mut()[..]),
+            z.map(|m| &mut m.data_mut()[..]),
+            y.data_mut(),
+        );
+        return;
+    }
+
+    let bounds = fused_partitions(adj, n, d, threads);
+    let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bounds.len() - 1);
+    let mut h_rest = h.map(|m| &mut m.data_mut()[..]);
+    let mut z_rest = z.map(|m| &mut m.data_mut()[..]);
+    let mut y_rest: &mut [f64] = y.data_mut();
+    for wnd in bounds.windows(2) {
+        let (r0, r1) = (wnd[0], wnd[1]);
+        let rows = r1 - r0;
+        let h_block = h_rest.take().map(|rest| {
+            let (block, tail) = rest.split_at_mut(rows * f);
+            h_rest = Some(tail);
+            block
+        });
+        let z_block = z_rest.take().map(|rest| {
+            let (block, tail) = rest.split_at_mut(rows * d);
+            z_rest = Some(tail);
+            block
+        });
+        let (y_block, tail) = y_rest.split_at_mut(rows * d);
+        y_rest = tail;
+        jobs.push(Box::new(move || {
+            fused_rows(adj, x, w, bias, act, r0, h_block, z_block, y_block);
+        }));
+    }
+    umgad_rt::pool::global().run(jobs);
+}
+
+/// Allocating convenience wrapper for tape-free inference: returns the
+/// activated output, discarding the propagated features. Bitwise identical
+/// to the unfused `spmm → matmul → bias → act` chain.
+pub fn spmm_bias_act(
+    adj: Option<&CsrMatrix>,
+    x: &Matrix,
+    w: &Matrix,
+    bias: &[f64],
+    act: FusedAct,
+) -> Matrix {
+    let mut h = adj.map(|a| Matrix::zeros(a.rows(), x.cols()));
+    let mut y = Matrix::zeros(x.rows(), w.cols());
+    let mut z = act
+        .needs_preactivation()
+        .then(|| Matrix::zeros(x.rows(), w.cols()));
+    spmm_bias_act_into(
+        adj,
+        x,
+        w,
+        bias,
+        act,
+        h.as_mut(),
+        z.as_mut(),
+        &mut y,
+        crate::parallel::default_threads(),
+    );
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr_line(n: usize) -> CsrMatrix {
+        // Path graph with self-loops and varied weights.
+        let mut triples = Vec::new();
+        for i in 0..n {
+            triples.push((i, i, 0.5 + i as f64 * 0.01));
+            if i + 1 < n {
+                triples.push((i, i + 1, 0.25));
+                triples.push((i + 1, i, 0.3));
+            }
+        }
+        CsrMatrix::from_coo(n, n, triples)
+    }
+
+    fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            let t = ((i * 31 + j * 7 + seed as usize) % 13) as f64 / 13.0 - 0.4;
+            // Exact zeros exercise the zero-skip paths.
+            if (i + j + seed as usize).is_multiple_of(5) {
+                0.0
+            } else {
+                t
+            }
+        })
+    }
+
+    fn unfused(
+        adj: Option<&CsrMatrix>,
+        x: &Matrix,
+        w: &Matrix,
+        bias: &[f64],
+        act: FusedAct,
+    ) -> Matrix {
+        let h = match adj {
+            Some(a) => a.spmm(x),
+            None => x.clone(),
+        };
+        let mut y = h.matmul(w);
+        for i in 0..y.rows() {
+            let row = y.row_mut(i);
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        y.map_inplace(|t| act.apply(t));
+        y
+    }
+
+    #[test]
+    fn fused_matches_unfused_bitwise() {
+        let n = 23;
+        let adj = csr_line(n);
+        let x = dense(n, 9, 1);
+        let w = dense(9, 5, 2);
+        let bias: Vec<f64> = (0..5).map(|j| j as f64 * 0.1 - 0.2).collect();
+        for act in [
+            FusedAct::None,
+            FusedAct::Relu,
+            FusedAct::LeakyRelu(0.2),
+            FusedAct::Elu(1.0),
+            FusedAct::Tanh,
+        ] {
+            for use_adj in [true, false] {
+                let adj_ref = use_adj.then_some(&adj);
+                let expect = unfused(adj_ref, &x, &w, &bias, act);
+                let got = spmm_bias_act(adj_ref, &x, &w, &bias, act);
+                assert_eq!(
+                    got.data(),
+                    expect.data(),
+                    "act {act:?} use_adj {use_adj} diverged from the unfused chain"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_is_bitwise_identical() {
+        let n = 61;
+        let adj = csr_line(n);
+        let x = dense(n, 17, 3);
+        let w = dense(17, 11, 4);
+        let bias = vec![0.05; 11];
+        let act = FusedAct::Elu(1.0);
+        let mut serial = (
+            Matrix::zeros(n, 17),
+            Matrix::zeros(n, 11),
+            Matrix::zeros(n, 11),
+        );
+        spmm_bias_act_into(
+            Some(&adj),
+            &x,
+            &w,
+            &bias,
+            act,
+            Some(&mut serial.0),
+            Some(&mut serial.1),
+            &mut serial.2,
+            1,
+        );
+        for threads in [2, 5, 8] {
+            let mut h = Matrix::full(n, 17, f64::NAN); // stale contents must not leak
+            let mut z = Matrix::full(n, 11, f64::NAN);
+            let mut y = Matrix::full(n, 11, f64::NAN);
+            spmm_bias_act_into(
+                Some(&adj),
+                &x,
+                &w,
+                &bias,
+                act,
+                Some(&mut h),
+                Some(&mut z),
+                &mut y,
+                threads,
+            );
+            assert_eq!(h.data(), serial.0.data(), "h at {threads} threads");
+            assert_eq!(z.data(), serial.1.data(), "z at {threads} threads");
+            assert_eq!(y.data(), serial.2.data(), "y at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn grad_arms_match_unfused_expressions() {
+        let g = 0.7;
+        for t in [-1.3, -0.2, 0.0, 0.4, 2.1] {
+            let relu = FusedAct::Relu;
+            assert_eq!(
+                relu.apply_grad(g, relu.apply(t), t),
+                if t > 0.0 { g } else { 0.0 }
+            );
+            let lrelu = FusedAct::LeakyRelu(0.2);
+            assert_eq!(
+                lrelu.apply_grad(g, lrelu.apply(t), t),
+                if t > 0.0 { g } else { g * 0.2 }
+            );
+            let elu = FusedAct::Elu(1.0);
+            assert_eq!(
+                elu.apply_grad(g, elu.apply(t), t),
+                if t > 0.0 { g } else { g * 1.0 * t.exp() }
+            );
+            let tanh = FusedAct::Tanh;
+            let y = t.tanh();
+            assert_eq!(tanh.apply_grad(g, y, t), g * (1.0 - y * y));
+            assert_eq!(FusedAct::None.apply_grad(g, t, t), g);
+        }
+    }
+
+    #[test]
+    fn zero_hops_is_a_plain_linear_map() {
+        let x = dense(7, 4, 5);
+        let w = dense(4, 3, 6);
+        let y = spmm_bias_act(None, &x, &w, &[0.0; 3], FusedAct::None);
+        assert_eq!(y.data(), x.matmul(&w).data());
+    }
+}

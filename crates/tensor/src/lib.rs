@@ -14,6 +14,12 @@
 //! - [`Tape`] / [`Var`]: a define-by-run autodiff tape with primitive ops
 //!   and the paper's composite losses (scaled cosine, negative-sampled edge
 //!   cross-entropy, dual-view InfoNCE);
+//! - [`BufferArena`]: a length-keyed free-list of matrix backing stores;
+//!   tapes recycle every value/gradient buffer through it so steady-state
+//!   training epochs allocate no matrices at all;
+//! - [`FusedAct`] / [`spmm_bias_act`]: the fused SGC layer tail
+//!   `act((A @ x) @ w + bias)` computed in one pass over the output rows,
+//!   bitwise identical to the unfused op chain;
 //! - [`Param`], [`Adam`], [`Sgd`]: parameters and optimisers;
 //! - [`init`]: Xavier/normal initialisers;
 //! - [`parallel_map`]: fork/join over the shared persistent worker pool
@@ -26,20 +32,22 @@
 //!
 //! ```
 //! use umgad_tensor::{Adam, Matrix, Param, Tape};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
-//! // Fit y = x @ w to a target with Adam.
+//! // Fit y = x @ w to a target with Adam. `recycle()` returns each step's
+//! // buffers to the tape's arena, so steady-state steps allocate nothing.
 //! let x = Matrix::from_fn(8, 3, |i, j| (i * 3 + j) as f64 / 10.0);
-//! let target = Rc::new(Matrix::from_fn(8, 2, |i, j| (i + j) as f64 / 5.0));
+//! let target = Arc::new(Matrix::from_fn(8, 2, |i, j| (i + j) as f64 / 5.0));
 //! let mut w = Param::new(Matrix::zeros(3, 2));
 //! let opt = Adam::with_lr(0.05);
 //! let mut last = f64::INFINITY;
+//! let mut tape = Tape::new();
 //! for _ in 0..100 {
-//!     let mut tape = Tape::new();
-//!     let xv = tape.constant(x.clone());
-//!     let wv = tape.leaf(w.value.clone());
+//!     tape.recycle();
+//!     let xv = tape.constant_from(&x);
+//!     let wv = tape.leaf_from(&w.value);
 //!     let y = tape.matmul(xv, wv);
-//!     let loss = tape.mse_loss(y, Rc::clone(&target));
+//!     let loss = tape.mse_loss(y, Arc::clone(&target));
 //!     tape.backward(loss);
 //!     opt.step(&mut w, tape.grad(wv).unwrap());
 //!     last = tape.value(loss).get(0, 0);
@@ -49,6 +57,8 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod fused;
 pub mod init;
 pub mod matrix;
 pub mod optim;
@@ -56,8 +66,10 @@ pub mod parallel;
 pub mod sparse;
 pub mod tape;
 
+pub use arena::{ArenaStats, BufferArena};
+pub use fused::{spmm_bias_act, FusedAct};
 pub use matrix::{cosine, dot, l1_distance, l2_distance, Matrix, PARALLEL_MIN_FLOPS};
 pub use optim::{clip_grad_norm, Adam, LrSchedule, Param, ParamState, Sgd};
 pub use parallel::{default_threads, parallel_map};
-pub use sparse::{CsrMatrix, SpPair};
+pub use sparse::{CsrMatrix, CsrStorage, SpPair};
 pub use tape::{sigmoid, Tape, Var};

@@ -213,22 +213,39 @@ impl Matrix {
     /// output element over `k` in ascending order, so the result is bitwise
     /// identical regardless of path or thread count.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other` written into caller-provided storage (fully
+    /// overwritten; stale contents are fine). Same dispatch and bitwise
+    /// contract as [`Self::matmul`]; lets the tape arena reuse output
+    /// buffers across epochs.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         let threads = crate::parallel::default_threads();
         if threads <= 1 || madds(self.rows, self.cols, other.cols) < PARALLEL_MIN_FLOPS {
-            self.matmul_serial(other)
+            self.matmul_serial_into(other, out);
         } else {
-            self.matmul_parallel(other, threads)
+            self.matmul_parallel_into(other, out, threads);
         }
     }
 
     /// Serial `self @ other` (`i-k-j` loop order, zero-skip on `a`).
     pub fn matmul_serial(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_serial_into(other, &mut out);
+        out
+    }
+
+    fn matmul_serial_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul: output shape");
+        out.data.fill(0.0);
         let n = other.cols;
         for i in 0..self.rows {
             let arow = self.row(i);
@@ -243,7 +260,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Parallel `self @ other` over `threads` row partitions of the output.
@@ -252,12 +268,19 @@ impl Matrix {
     /// value: partitioning the *output* rows leaves each element's `f64`
     /// accumulation order untouched.
     pub fn matmul_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_parallel_into(other, &mut out, threads);
+        out
+    }
+
+    fn matmul_parallel_into(&self, other: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul: output shape");
+        out.data.fill(0.0);
         let n = other.cols;
         let blocks = row_blocks(&mut out.data, self.rows, n, threads);
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = blocks
@@ -268,7 +291,6 @@ impl Matrix {
             })
             .collect();
         umgad_rt::pool::global().run(jobs);
-        out
     }
 
     /// Tiled kernel for one output row block of `self @ other`.
@@ -311,22 +333,41 @@ impl Matrix {
     /// [`Self::matmul_tb_parallel`]; both compute each output element as one
     /// [`dot`] call, so results are bitwise identical on every path.
     pub fn matmul_tb(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_tb_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other^T` written into caller-provided storage (fully
+    /// overwritten). Same dispatch and bitwise contract as
+    /// [`Self::matmul_tb`].
+    pub fn matmul_tb_into(&self, other: &Matrix, out: &mut Matrix) {
         let threads = crate::parallel::default_threads();
         if threads <= 1 || madds(self.rows, self.cols, other.rows) < PARALLEL_MIN_FLOPS {
-            self.matmul_tb_serial(other)
+            self.matmul_tb_serial_into(other, out);
         } else {
-            self.matmul_tb_parallel(other, threads)
+            self.matmul_tb_parallel_into(other, out, threads);
         }
     }
 
     /// Serial `self @ other^T` (row-by-row dot products).
     pub fn matmul_tb_serial(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_tb_serial_into(other, &mut out);
+        out
+    }
+
+    fn matmul_tb_serial_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_tb: {}x{} @ ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_tb: output shape"
+        );
         for i in 0..self.rows {
             let arow = self.row(i);
             let orow = out.row_mut(i);
@@ -334,18 +375,27 @@ impl Matrix {
                 orow[j] = dot(arow, brow);
             }
         }
-        out
     }
 
     /// Parallel `self @ other^T` over `threads` row partitions of the
     /// output. Bitwise identical to [`Self::matmul_tb_serial`].
     pub fn matmul_tb_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_tb_parallel_into(other, &mut out, threads);
+        out
+    }
+
+    fn matmul_tb_parallel_into(&self, other: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_tb: {}x{} @ ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_tb: output shape"
+        );
         let n = other.rows;
         let blocks = row_blocks(&mut out.data, self.rows, n, threads);
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = blocks
@@ -365,7 +415,6 @@ impl Matrix {
             })
             .collect();
         umgad_rt::pool::global().run(jobs);
-        out
     }
 
     /// `self^T @ other` — transpose-left product.
@@ -375,22 +424,42 @@ impl Matrix {
     /// paths (each output element accumulates over `k` ascending, skipping
     /// the same zeros).
     pub fn matmul_ta(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_ta_into(other, &mut out);
+        out
+    }
+
+    /// `self^T @ other` written into caller-provided storage (fully
+    /// overwritten). Same dispatch and bitwise contract as
+    /// [`Self::matmul_ta`].
+    pub fn matmul_ta_into(&self, other: &Matrix, out: &mut Matrix) {
         let threads = crate::parallel::default_threads();
         if threads <= 1 || madds(self.cols, self.rows, other.cols) < PARALLEL_MIN_FLOPS {
-            self.matmul_ta_serial(other)
+            self.matmul_ta_serial_into(other, out);
         } else {
-            self.matmul_ta_parallel(other, threads)
+            self.matmul_ta_parallel_into(other, out, threads);
         }
     }
 
     /// Serial `self^T @ other` (`k`-outer loop, zero-skip on `a`).
     pub fn matmul_ta_serial(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_ta_serial_into(other, &mut out);
+        out
+    }
+
+    fn matmul_ta_serial_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_ta: ({}x{})^T @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "matmul_ta: output shape"
+        );
+        out.data.fill(0.0);
         let n = other.cols;
         for k in 0..self.rows {
             let arow = self.row(k);
@@ -405,21 +474,61 @@ impl Matrix {
                 }
             }
         }
+    }
+
+    /// Parallel `self^T @ other` over row partitions of the *output* (the
+    /// columns of `self`): each job keeps the serial `k`-outer loop but
+    /// touches only its own column span `[i0, i1)`, reading `self.row(k)
+    /// [i0..i1]` contiguously. No transposed copy is materialised, so the
+    /// kernel is allocation-free for arena-recycled outputs. Every output
+    /// element accumulates over `k` ascending with the same zero-skip as
+    /// the serial loop, so this is bitwise identical to
+    /// [`Self::matmul_ta_serial`].
+    pub fn matmul_ta_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_ta_parallel_into(other, &mut out, threads);
         out
     }
 
-    /// Parallel `self^T @ other`: materialise `self^T` once, then run the
-    /// row-partitioned matmul kernel. The serial `k`-outer loop and the
-    /// transposed `i-k-j` loop add the exact same `f64`s to each output
-    /// element in the same (`k`-ascending) order, so this is bitwise
-    /// identical to [`Self::matmul_ta_serial`].
-    pub fn matmul_ta_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+    fn matmul_ta_parallel_into(&self, other: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_ta: ({}x{})^T @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        self.transpose().matmul_parallel(other, threads)
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "matmul_ta: output shape"
+        );
+        out.data.fill(0.0);
+        let n = other.cols;
+        let blocks = row_blocks(&mut out.data, self.cols, n, threads);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = blocks
+            .into_iter()
+            .map(|(i0, block)| {
+                Box::new(move || {
+                    if n == 0 {
+                        return;
+                    }
+                    let span = block.len() / n;
+                    for k in 0..self.rows {
+                        let arow = &self.row(k)[i0..i0 + span];
+                        let brow = other.row(k);
+                        for (di, &a) in arow.iter().enumerate() {
+                            if a == 0.0 {
+                                continue;
+                            }
+                            let orow = &mut block[di * n..(di + 1) * n];
+                            for (o, &b) in orow.iter_mut().zip(brow) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        umgad_rt::pool::global().run(jobs);
     }
 
     /// Transposed copy.

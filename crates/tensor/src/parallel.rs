@@ -2,9 +2,9 @@
 //!
 //! UMGAD trains one graph-masked autoencoder per (relation, masking-repeat)
 //! pair; those units are independent within a step, so the trainer fans them
-//! out with [`parallel_map`]. Tapes are `!Send` by content choice (they hold
-//! `Rc`s), so each worker builds its *own* tape — only inputs and outputs
-//! cross threads.
+//! out with [`parallel_map`]. Tapes are `Send + Sync` (op metadata is held
+//! in `Arc`s), but workers still build their *own* tapes — a tape records
+//! sequentially, so only inputs and outputs cross threads.
 //!
 //! Work dispatches through [`umgad_rt::pool`]'s persistent global pool, so a
 //! training loop that calls `parallel_map` (or a parallel kernel) every step

@@ -18,41 +18,91 @@ pub struct CsrMatrix {
     vals: Vec<f64>,
 }
 
+/// Reusable CSR backing stores, reclaimed from a retired matrix via
+/// [`CsrMatrix::reclaim_storage`] and handed back to
+/// [`CsrMatrix::from_coo_reusing`]. The masked-view scratch in
+/// `umgad-graph` cycles pruned adjacency matrices through this so
+/// steady-state epochs rebuild CSR structures without touching the
+/// allocator.
+#[derive(Debug, Default)]
+pub struct CsrStorage {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
 impl CsrMatrix {
     /// Build from COO triples `(row, col, value)`.
     ///
     /// Triples may arrive in any order; duplicates are summed. Entries with
     /// value exactly `0.0` are kept out of the structure.
     pub fn from_coo(rows: usize, cols: usize, mut triples: Vec<(usize, usize, f64)>) -> Self {
+        Self::from_coo_reusing(rows, cols, &mut triples, CsrStorage::default())
+    }
+
+    /// [`Self::from_coo`] drawing its backing stores from `storage` (grown
+    /// only when capacity falls short). `triples` is sorted in place and
+    /// left intact for the caller to clear and refill. Results are
+    /// identical to `from_coo` for the same triples.
+    pub fn from_coo_reusing(
+        rows: usize,
+        cols: usize,
+        triples: &mut [(usize, usize, f64)],
+        storage: CsrStorage,
+    ) -> Self {
         assert!(
             cols <= u32::MAX as usize,
             "CsrMatrix supports at most 2^32 columns"
         );
+        let CsrStorage {
+            mut row_ptr,
+            mut col_idx,
+            mut vals,
+        } = storage;
         triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
-        // Pass 1: merge duplicate (row, col) runs.
-        let mut merged: Vec<(usize, u32, f64)> = Vec::with_capacity(triples.len());
-        for (r, c, v) in triples {
+        // Pass 1: merge duplicate (row, col) runs straight into the CSR
+        // arrays; row_ptr[r + 1] counts row r's entries for now.
+        row_ptr.clear();
+        row_ptr.resize(rows + 1, 0);
+        col_idx.clear();
+        vals.clear();
+        let mut last_row = usize::MAX;
+        for &(r, c, v) in triples.iter() {
             assert!(
                 r < rows && c < cols,
                 "coo entry ({r},{c}) out of bounds {rows}x{cols}"
             );
-            match merged.last_mut() {
-                Some((lr, lc, lv)) if *lr == r && *lc == c as u32 => *lv += v,
-                _ => merged.push((r, c as u32, v)),
+            let c = c as u32;
+            if last_row == r && col_idx.last() == Some(&c) {
+                *vals.last_mut().expect("entry exists for last_row") += v;
+            } else {
+                col_idx.push(c);
+                vals.push(v);
+                row_ptr[r + 1] += 1;
+                last_row = r;
             }
         }
-        // Pass 2: build CSR arrays, skipping entries that merged to zero.
-        let mut row_ptr = vec![0usize; rows + 1];
-        let mut col_idx = Vec::with_capacity(merged.len());
-        let mut vals = Vec::with_capacity(merged.len());
-        for (r, c, v) in merged {
-            if v == 0.0 {
-                continue;
+        // Pass 2: compact away runs that merged to exactly zero, then turn
+        // counts into offsets.
+        let mut kept_total = 0;
+        let mut idx = 0;
+        for r in 0..rows {
+            let count = row_ptr[r + 1];
+            let mut kept = 0;
+            for _ in 0..count {
+                let v = vals[idx];
+                if v != 0.0 {
+                    col_idx[kept_total] = col_idx[idx];
+                    vals[kept_total] = v;
+                    kept_total += 1;
+                    kept += 1;
+                }
+                idx += 1;
             }
-            col_idx.push(c);
-            vals.push(v);
-            row_ptr[r + 1] += 1;
+            row_ptr[r + 1] = kept;
         }
+        col_idx.truncate(kept_total);
+        vals.truncate(kept_total);
         for r in 1..=rows {
             row_ptr[r] += row_ptr[r - 1];
         }
@@ -62,6 +112,16 @@ impl CsrMatrix {
             row_ptr,
             col_idx,
             vals,
+        }
+    }
+
+    /// Tear down into reusable backing stores for
+    /// [`Self::from_coo_reusing`].
+    pub fn reclaim_storage(self) -> CsrStorage {
+        CsrStorage {
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            vals: self.vals,
         }
     }
 
@@ -110,6 +170,13 @@ impl CsrMatrix {
         self.row_ptr[r + 1] - self.row_ptr[r]
     }
 
+    /// Cumulative row offsets (length `rows + 1`), for weight-balanced row
+    /// partitioning in the fused kernels.
+    #[inline]
+    pub(crate) fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
     /// Iterate all `(row, col, value)` triples in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |r| {
@@ -138,16 +205,32 @@ impl CsrMatrix {
     /// row's stored entries in CSR order, so results are bitwise identical
     /// regardless of path or thread count.
     pub fn spmm(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        self.spmm_into(x, &mut out);
+        out
+    }
+
+    /// `self @ x` written into caller-provided storage (fully overwritten;
+    /// stale contents are fine). Same dispatch and bitwise contract as
+    /// [`Self::spmm`]; lets the tape arena reuse output buffers across
+    /// epochs.
+    pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) {
         let threads = crate::parallel::default_threads();
         if threads <= 1 || crate::matrix::madds(self.nnz(), x.cols(), 1) < PARALLEL_MIN_FLOPS {
-            self.spmm_serial(x)
+            self.spmm_serial_into(x, out);
         } else {
-            self.spmm_parallel(x, threads)
+            self.spmm_parallel_into(x, out, threads);
         }
     }
 
     /// Serial sparse × dense product.
     pub fn spmm_serial(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        self.spmm_serial_into(x, &mut out);
+        out
+    }
+
+    fn spmm_serial_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             x.rows(),
@@ -157,12 +240,12 @@ impl CsrMatrix {
             x.rows(),
             x.cols()
         );
-        let mut out = Matrix::zeros(self.rows, x.cols());
+        assert_eq!(out.shape(), (self.rows, x.cols()), "spmm: output shape");
+        out.data_mut().fill(0.0);
         for r in 0..self.rows {
             let orow = out.row_mut(r);
             self.spmm_row_into(x, r, orow);
         }
-        out
     }
 
     /// Parallel sparse × dense product over `threads` nnz-balanced row
@@ -173,6 +256,12 @@ impl CsrMatrix {
     /// most edges in a few hub rows) an even row split would leave most
     /// workers idle while one grinds through the hubs.
     pub fn spmm_parallel(&self, x: &Matrix, threads: usize) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        self.spmm_parallel_into(x, &mut out, threads);
+        out
+    }
+
+    fn spmm_parallel_into(&self, x: &Matrix, out: &mut Matrix, threads: usize) {
         assert_eq!(
             self.cols,
             x.rows(),
@@ -182,8 +271,9 @@ impl CsrMatrix {
             x.rows(),
             x.cols()
         );
+        assert_eq!(out.shape(), (self.rows, x.cols()), "spmm: output shape");
+        out.data_mut().fill(0.0);
         let n = x.cols();
-        let mut out = Matrix::zeros(self.rows, n);
         let bounds = self.nnz_partitions(threads);
         let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bounds.len() - 1);
         let mut rest: &mut [f64] = out.data_mut();
@@ -201,12 +291,11 @@ impl CsrMatrix {
             }));
         }
         umgad_rt::pool::global().run(jobs);
-        out
     }
 
     /// Accumulate row `r` of `self @ x` into `orow` (entries in CSR order).
     #[inline]
-    fn spmm_row_into(&self, x: &Matrix, r: usize, orow: &mut [f64]) {
+    pub(crate) fn spmm_row_into(&self, x: &Matrix, r: usize, orow: &mut [f64]) {
         for (&c, &v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
             let xrow = x.row(c as usize);
             for (o, &xv) in orow.iter_mut().zip(xrow) {

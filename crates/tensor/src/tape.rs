@@ -12,11 +12,24 @@
 //! negative-sampled edge cross-entropy (Eq. 7/15), and the dual-view
 //! InfoNCE contrast (Eq. 17). Composites compute their backward pass
 //! analytically, which keeps both tape length and memory bounded.
+//!
+//! ## Zero-churn epochs
+//!
+//! Every matrix a tape produces — forward values *and* gradients — is drawn
+//! from a [`BufferArena`] owned by the tape. [`Tape::recycle`] drains a
+//! finished step's buffers back into the arena while clearing the node
+//! lists; because training builds the same graph shape every epoch, the
+//! next step's requests all hit the free-list and the steady state performs
+//! no matrix allocations at all. Arena reuse is bitwise inert: every arena
+//! constructor fully overwrites the buffer it hands out, so a recycled tape
+//! computes exactly the same numbers as a fresh one.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use umgad_rt::rand::Rng;
 
+use crate::arena::{ArenaStats, BufferArena};
+use crate::fused::{self, FusedAct};
 use crate::matrix::{dot, Matrix};
 use crate::sparse::SpPair;
 
@@ -47,20 +60,32 @@ enum Op {
     /// `a @ b^T`.
     MatMulTb(usize, usize),
     SpMm(SpPair, usize),
+    /// Fused `act((adj @ x) @ w + bias)`; stores the propagated features
+    /// `h = adj @ x` (for `dW = h^T @ dz`) and, when the activation needs
+    /// it, the pre-activation `z`.
+    SpmmBiasAct {
+        adj: Option<SpPair>,
+        x: usize,
+        w: usize,
+        bias: usize,
+        act: FusedAct,
+        h: Option<Matrix>,
+        z: Option<Matrix>,
+    },
     Relu(usize),
     LeakyRelu(usize, f64),
     Elu(usize, f64),
     Sigmoid(usize),
     Tanh(usize),
-    GatherRows(usize, Rc<Vec<usize>>),
+    GatherRows(usize, Arc<Vec<usize>>),
     /// Rows in `idx` of `x` replaced by the (learnable) `token` row.
     ReplaceRows {
         x: usize,
         token: usize,
-        idx: Rc<Vec<usize>>,
+        idx: Arc<Vec<usize>>,
     },
     /// Pre-sampled inverted-dropout mask (entries are `0` or `1/(1-p)`).
-    Dropout(usize, Rc<Vec<f64>>),
+    Dropout(usize, Arc<Vec<f64>>),
     Sum(usize),
     Mean(usize),
     SqSum(usize),
@@ -73,32 +98,32 @@ enum Op {
     /// Mean over `idx` of `(1 - cos(x_i, t_i))^eta` — GraphMAE-style loss.
     ScaledCosine {
         x: usize,
-        target: Rc<Matrix>,
-        idx: Rc<Vec<usize>>,
+        target: Arc<Matrix>,
+        idx: Arc<Vec<usize>>,
         eta: f64,
     },
     /// InfoNCE over masked edges with `q` sampled negatives per edge.
     EdgeNce {
         z: usize,
-        pos: Rc<Vec<(usize, usize)>>,
-        negs: Rc<Vec<usize>>,
+        pos: Arc<Vec<(usize, usize)>>,
+        negs: Arc<Vec<usize>>,
         q: usize,
     },
     /// Dual-view InfoNCE (Eq. 17) with `q` sampled contrast nodes per anchor.
     InfoNce {
         a: usize,
         b: usize,
-        negs: Rc<Vec<usize>>,
+        negs: Arc<Vec<usize>>,
         q: usize,
         tau: f64,
     },
     /// Mean squared error against a constant target.
-    FrobMse(usize, Rc<Matrix>),
+    FrobMse(usize, Arc<Matrix>),
     /// Element-wise binary cross entropy on logits vs constant 0/1 target,
     /// with a positive-class weight (DOMINANT-style structure decoder).
     BceLogits {
         x: usize,
-        target: Rc<Matrix>,
+        target: Arc<Matrix>,
         pos_weight: f64,
     },
 }
@@ -110,12 +135,21 @@ pub struct Tape {
     ops: Vec<Op>,
     requires: Vec<bool>,
     grads: Vec<Option<Matrix>>,
+    arena: BufferArena,
 }
 
 impl Tape {
-    /// Empty tape.
+    /// Empty tape with an empty arena.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty tape reusing a previously warmed arena.
+    pub fn with_arena(arena: BufferArena) -> Self {
+        Self {
+            arena,
+            ..Self::default()
+        }
     }
 
     /// Number of recorded nodes.
@@ -126,6 +160,65 @@ impl Tape {
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// Drop every recorded node, returning all value/gradient/op-stored
+    /// matrix buffers to the arena for reuse by the next step. Node list
+    /// capacities are preserved, so a recycled tape re-records without
+    /// reallocating its spines either.
+    pub fn recycle(&mut self) {
+        let arena = &mut self.arena;
+        for m in self.values.drain(..) {
+            arena.put(m);
+        }
+        for m in self.grads.drain(..).flatten() {
+            arena.put(m);
+        }
+        for op in self.ops.drain(..) {
+            match op {
+                Op::SpmmBiasAct { h, z, .. } => {
+                    if let Some(m) = h {
+                        arena.put(m);
+                    }
+                    if let Some(m) = z {
+                        arena.put(m);
+                    }
+                }
+                Op::Dropout(_, mask) => {
+                    if let Ok(buf) = Arc::try_unwrap(mask) {
+                        arena.put_buf(buf);
+                    }
+                }
+                Op::ScaledCosine { target, .. }
+                | Op::FrobMse(_, target)
+                | Op::BceLogits { target, .. } => {
+                    // Only reclaimed when the tape held the last reference
+                    // (epoch-built targets); shared model state is untouched.
+                    if let Ok(m) = Arc::try_unwrap(target) {
+                        arena.put(m);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.requires.clear();
+    }
+
+    /// Arena hit/miss counters (see [`BufferArena::stats`]).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Zero the arena hit/miss counters.
+    pub fn reset_arena_stats(&mut self) {
+        self.arena.reset_stats();
+    }
+
+    /// Direct access to the tape's arena, for callers that build auxiliary
+    /// matrices (augmented attributes, scratch copies) they want pooled with
+    /// the tape's own buffers.
+    pub fn arena_mut(&mut self) -> &mut BufferArena {
+        &mut self.arena
     }
 
     fn push(&mut self, value: Matrix, op: Op, requires: bool) -> Var {
@@ -141,9 +234,22 @@ impl Tape {
         self.push(value, Op::Leaf, false)
     }
 
+    /// Record a non-differentiable input copied into an arena buffer.
+    pub fn constant_from(&mut self, value: &Matrix) -> Var {
+        let v = self.arena.copy_of(value);
+        self.push(v, Op::Leaf, false)
+    }
+
     /// Record a differentiable leaf (a parameter).
     pub fn leaf(&mut self, value: Matrix) -> Var {
         self.push(value, Op::Leaf, true)
+    }
+
+    /// Record a differentiable leaf copied into an arena buffer — the
+    /// allocation-free way to bind a parameter each step.
+    pub fn leaf_from(&mut self, value: &Matrix) -> Var {
+        let v = self.arena.copy_of(value);
+        self.push(v, Op::Leaf, true)
     }
 
     /// Forward value of a node.
@@ -172,21 +278,33 @@ impl Tape {
 
     /// Element-wise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].add(&self.values[b.0]);
+        let (am, bm) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(am.shape(), bm.shape());
+        let v = self
+            .arena
+            .map2(am.rows(), am.cols(), am.data(), bm.data(), |x, y| x + y);
         let r = self.req(a.0) || self.req(b.0);
         self.push(v, Op::Add(a.0, b.0), r)
     }
 
     /// Element-wise difference `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].sub(&self.values[b.0]);
+        let (am, bm) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(am.shape(), bm.shape());
+        let v = self
+            .arena
+            .map2(am.rows(), am.cols(), am.data(), bm.data(), |x, y| x - y);
         let r = self.req(a.0) || self.req(b.0);
         self.push(v, Op::Sub(a.0, b.0), r)
     }
 
     /// Element-wise product.
     pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].hadamard(&self.values[b.0]);
+        let (am, bm) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(am.shape(), bm.shape());
+        let v = self
+            .arena
+            .map2(am.rows(), am.cols(), am.data(), bm.data(), |x, y| x * y);
         let r = self.req(a.0) || self.req(b.0);
         self.push(v, Op::Hadamard(a.0, b.0), r)
     }
@@ -197,7 +315,7 @@ impl Tape {
         let rm = &self.values[row.0];
         assert_eq!(rm.rows(), 1);
         assert_eq!(rm.cols(), xm.cols());
-        let mut v = xm.clone();
+        let mut v = self.arena.copy_of(xm);
         for i in 0..v.rows() {
             let dst = v.row_mut(i);
             for (d, &s) in dst.iter_mut().zip(rm.row(0)) {
@@ -210,7 +328,7 @@ impl Tape {
 
     /// Multiply by a compile-time constant.
     pub fn scale(&mut self, x: Var, alpha: f64) -> Var {
-        let v = self.values[x.0].scaled(alpha);
+        let v = self.arena.map_of(&self.values[x.0], |t| t * alpha);
         let r = self.req(x.0);
         self.push(v, Op::Scale(x.0, alpha), r)
     }
@@ -220,70 +338,146 @@ impl Tape {
         let sm = &self.values[scalar.0];
         assert_eq!(sm.shape(), (1, 1), "scalar_mul expects a 1x1 scalar node");
         let s = sm.get(0, 0);
-        let v = self.values[x.0].scaled(s);
+        let v = self.arena.map_of(&self.values[x.0], |t| t * s);
         let r = self.req(scalar.0) || self.req(x.0);
         self.push(v, Op::ScalarMul(scalar.0, x.0), r)
     }
 
     /// Dense matrix product `a @ b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].matmul(&self.values[b.0]);
+        let (am, bm) = (&self.values[a.0], &self.values[b.0]);
+        let mut v = Matrix::from_vec(am.rows(), bm.cols(), self.arena.take(am.rows() * bm.cols()));
+        am.matmul_into(bm, &mut v);
         let r = self.req(a.0) || self.req(b.0);
         self.push(v, Op::MatMul(a.0, b.0), r)
     }
 
     /// Dense product with transposed right operand `a @ b^T`.
     pub fn matmul_tb(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].matmul_tb(&self.values[b.0]);
+        let (am, bm) = (&self.values[a.0], &self.values[b.0]);
+        let mut v = Matrix::from_vec(am.rows(), bm.rows(), self.arena.take(am.rows() * bm.rows()));
+        am.matmul_tb_into(bm, &mut v);
         let r = self.req(a.0) || self.req(b.0);
         self.push(v, Op::MatMulTb(a.0, b.0), r)
     }
 
     /// Sparse × dense product `pair.fwd @ x`.
     pub fn spmm(&mut self, pair: &SpPair, x: Var) -> Var {
-        let v = pair.fwd.spmm(&self.values[x.0]);
+        let xm = &self.values[x.0];
+        let mut v = Matrix::from_vec(
+            pair.fwd.rows(),
+            xm.cols(),
+            self.arena.take(pair.fwd.rows() * xm.cols()),
+        );
+        pair.fwd.spmm_into(xm, &mut v);
         let r = self.req(x.0);
         self.push(v, Op::SpMm(pair.clone(), x.0), r)
     }
 
+    /// Fused SGC layer tail `act((adj @ x) @ w + bias)` — one tape node in
+    /// place of the `spmm → matmul → add_row → activation` chain, bitwise
+    /// identical to it (see [`crate::fused`]). `adj: None` skips the
+    /// propagation (a plain dense layer). `bias` must be a `1 x cols(w)`
+    /// node.
+    pub fn spmm_bias_act(
+        &mut self,
+        adj: Option<&SpPair>,
+        x: Var,
+        w: Var,
+        bias: Var,
+        act: FusedAct,
+    ) -> Var {
+        let (n, f) = self.values[x.0].shape();
+        let d = self.values[w.0].cols();
+        assert_eq!(
+            self.values[bias.0].shape(),
+            (1, d),
+            "spmm_bias_act expects a 1x{d} bias node"
+        );
+        let mut h = adj.map(|_| Matrix::from_vec(n, f, self.arena.take(n * f)));
+        let mut z = act
+            .needs_preactivation()
+            .then(|| Matrix::from_vec(n, d, self.arena.take(n * d)));
+        let mut y = Matrix::from_vec(n, d, self.arena.take(n * d));
+        fused::spmm_bias_act_into(
+            adj.map(|p| p.fwd.as_ref()),
+            &self.values[x.0],
+            &self.values[w.0],
+            self.values[bias.0].row(0),
+            act,
+            h.as_mut(),
+            z.as_mut(),
+            &mut y,
+            crate::parallel::default_threads(),
+        );
+        let r = self.req(x.0) || self.req(w.0) || self.req(bias.0);
+        self.push(
+            y,
+            Op::SpmmBiasAct {
+                adj: adj.cloned(),
+                x: x.0,
+                w: w.0,
+                bias: bias.0,
+                act,
+                h,
+                z,
+            },
+            r,
+        )
+    }
+
     /// Rectified linear unit.
     pub fn relu(&mut self, x: Var) -> Var {
-        let v = self.values[x.0].map(|t| t.max(0.0));
+        let v = self.arena.map_of(&self.values[x.0], |t| t.max(0.0));
         let r = self.req(x.0);
         self.push(v, Op::Relu(x.0), r)
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, x: Var, alpha: f64) -> Var {
-        let v = self.values[x.0].map(|t| if t > 0.0 { t } else { alpha * t });
+        let v = self
+            .arena
+            .map_of(&self.values[x.0], |t| if t > 0.0 { t } else { alpha * t });
         let r = self.req(x.0);
         self.push(v, Op::LeakyRelu(x.0, alpha), r)
     }
 
     /// Exponential linear unit.
     pub fn elu(&mut self, x: Var, alpha: f64) -> Var {
-        let v = self.values[x.0].map(|t| if t > 0.0 { t } else { alpha * (t.exp() - 1.0) });
+        let v = self.arena.map_of(&self.values[x.0], |t| {
+            if t > 0.0 {
+                t
+            } else {
+                alpha * (t.exp() - 1.0)
+            }
+        });
         let r = self.req(x.0);
         self.push(v, Op::Elu(x.0, alpha), r)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let v = self.values[x.0].map(sigmoid);
+        let v = self.arena.map_of(&self.values[x.0], sigmoid);
         let r = self.req(x.0);
         self.push(v, Op::Sigmoid(x.0), r)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = self.values[x.0].map(f64::tanh);
+        let v = self.arena.map_of(&self.values[x.0], f64::tanh);
         let r = self.req(x.0);
         self.push(v, Op::Tanh(x.0), r)
     }
 
     /// Gather rows of `x` by index (duplicates allowed).
-    pub fn gather_rows(&mut self, x: Var, idx: Rc<Vec<usize>>) -> Var {
-        let v = self.values[x.0].gather_rows(&idx);
+    pub fn gather_rows(&mut self, x: Var, idx: Arc<Vec<usize>>) -> Var {
+        let xm = &self.values[x.0];
+        let c = xm.cols();
+        let mut buf = self.arena.take(idx.len() * c);
+        for (o, &i) in idx.iter().enumerate() {
+            buf[o * c..(o + 1) * c].copy_from_slice(xm.row(i));
+        }
+        let v = Matrix::from_vec(idx.len(), c, buf);
         let r = self.req(x.0);
         self.push(v, Op::GatherRows(x.0, idx), r)
     }
@@ -292,14 +486,13 @@ impl Tape {
     ///
     /// This is the `[MASK]` token mechanism of Eq. 1: masked node attributes
     /// are substituted by a shared learnable vector.
-    pub fn replace_rows(&mut self, x: Var, token: Var, idx: Rc<Vec<usize>>) -> Var {
+    pub fn replace_rows(&mut self, x: Var, token: Var, idx: Arc<Vec<usize>>) -> Var {
         let tm = &self.values[token.0];
         assert_eq!(tm.rows(), 1);
         assert_eq!(tm.cols(), self.values[x.0].cols());
-        let mut v = self.values[x.0].clone();
-        let trow = tm.row(0).to_vec();
+        let mut v = self.arena.copy_of(&self.values[x.0]);
         for &i in idx.iter() {
-            v.set_row(i, &trow);
+            v.set_row(i, self.values[token.0].row(0));
         }
         let r = self.req(x.0) || self.req(token.0);
         self.push(
@@ -321,24 +514,20 @@ impl Tape {
         }
         let scale = 1.0 / (1.0 - p);
         let xm = &self.values[x.0];
-        let mask: Vec<f64> = (0..xm.len())
-            .map(|_| if rng.gen::<f64>() < p { 0.0 } else { scale })
-            .collect();
-        let mask = Rc::new(mask);
-        let data = xm
-            .data()
-            .iter()
-            .zip(mask.iter())
-            .map(|(&v, &m)| v * m)
-            .collect();
-        let v = Matrix::from_vec(xm.rows(), xm.cols(), data);
+        let mut mask = self.arena.take(xm.len());
+        for m in mask.iter_mut() {
+            *m = if rng.gen::<f64>() < p { 0.0 } else { scale };
+        }
+        let v = self
+            .arena
+            .map2(xm.rows(), xm.cols(), xm.data(), &mask, |v, m| v * m);
         let r = self.req(x.0);
-        self.push(v, Op::Dropout(x.0, mask), r)
+        self.push(v, Op::Dropout(x.0, Arc::new(mask)), r)
     }
 
     /// Sum of all entries, as a `1x1`.
     pub fn sum(&mut self, x: Var) -> Var {
-        let v = Matrix::from_vec(1, 1, vec![self.values[x.0].sum()]);
+        let v = self.arena.scalar(self.values[x.0].sum());
         let r = self.req(x.0);
         self.push(v, Op::Sum(x.0), r)
     }
@@ -346,22 +535,21 @@ impl Tape {
     /// Mean of all entries, as a `1x1`.
     pub fn mean(&mut self, x: Var) -> Var {
         let m = &self.values[x.0];
-        let v = Matrix::from_vec(1, 1, vec![m.sum() / m.len() as f64]);
+        let v = self.arena.scalar(m.sum() / m.len() as f64);
         let r = self.req(x.0);
         self.push(v, Op::Mean(x.0), r)
     }
 
     /// Sum of squared entries, as a `1x1` (for L2 penalties).
     pub fn sq_sum(&mut self, x: Var) -> Var {
-        let v = Matrix::from_vec(1, 1, vec![self.values[x.0].sq_sum()]);
+        let v = self.arena.scalar(self.values[x.0].sq_sum());
         let r = self.req(x.0);
         self.push(v, Op::SqSum(x.0), r)
     }
 
     /// L2-normalise every row (zero rows stay zero).
     pub fn row_normalize(&mut self, x: Var) -> Var {
-        let xm = &self.values[x.0];
-        let mut v = xm.clone();
+        let mut v = self.arena.copy_of(&self.values[x.0]);
         for i in 0..v.rows() {
             let n = v.row_norm(i);
             if n > 1e-12 {
@@ -376,8 +564,7 @@ impl Tape {
 
     /// Row-wise softmax (used on the `1 x R` relation-weight vectors).
     pub fn softmax_row(&mut self, x: Var) -> Var {
-        let xm = &self.values[x.0];
-        let mut v = xm.clone();
+        let mut v = self.arena.copy_of(&self.values[x.0]);
         for i in 0..v.rows() {
             let row = v.row_mut(i);
             let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -396,7 +583,7 @@ impl Tape {
 
     /// Extract entry `(i, j)` as a `1x1` node.
     pub fn entry(&mut self, x: Var, i: usize, j: usize) -> Var {
-        let v = Matrix::from_vec(1, 1, vec![self.values[x.0].get(i, j)]);
+        let v = self.arena.scalar(self.values[x.0].get(i, j));
         let r = self.req(x.0);
         self.push(v, Op::Entry(x.0, i, j), r)
     }
@@ -411,8 +598,8 @@ impl Tape {
     pub fn scaled_cosine_loss(
         &mut self,
         x: Var,
-        target: Rc<Matrix>,
-        idx: Rc<Vec<usize>>,
+        target: Arc<Matrix>,
+        idx: Arc<Vec<usize>>,
         eta: f64,
     ) -> Var {
         assert!(eta >= 1.0, "eta must be >= 1 (paper constraint)");
@@ -424,7 +611,7 @@ impl Tape {
             let c = crate::matrix::cosine(xm.row(i), target.row(i));
             total += (1.0 - c).max(0.0).powf(eta);
         }
-        let v = Matrix::from_vec(1, 1, vec![total / idx.len() as f64]);
+        let v = self.arena.scalar(total / idx.len() as f64);
         let r = self.req(x.0);
         self.push(
             v,
@@ -446,8 +633,8 @@ impl Tape {
     pub fn edge_nce_loss(
         &mut self,
         z: Var,
-        pos: Rc<Vec<(usize, usize)>>,
-        negs: Rc<Vec<usize>>,
+        pos: Arc<Vec<(usize, usize)>>,
+        negs: Arc<Vec<usize>>,
         q: usize,
     ) -> Var {
         assert!(
@@ -461,11 +648,12 @@ impl Tape {
         );
         let zm = &self.values[z.0];
         let mut total = 0.0;
+        let mut scores = Vec::with_capacity(q + 1);
         for (e, &(u, v)) in pos.iter().enumerate() {
             let zu = zm.row(u);
             let s0 = dot(zu, zm.row(v));
             let mut lse_max = s0;
-            let mut scores = Vec::with_capacity(q + 1);
+            scores.clear();
             scores.push(s0);
             for &n in &negs[e * q..(e + 1) * q] {
                 let s = dot(zu, zm.row(n));
@@ -475,7 +663,7 @@ impl Tape {
             let lse = lse_max + scores.iter().map(|s| (s - lse_max).exp()).sum::<f64>().ln();
             total += lse - s0;
         }
-        let v = Matrix::from_vec(1, 1, vec![total / pos.len() as f64]);
+        let v = self.arena.scalar(total / pos.len() as f64);
         let r = self.req(z.0);
         self.push(
             v,
@@ -497,7 +685,7 @@ impl Tape {
         &mut self,
         a: Var,
         b: Var,
-        negs: Rc<Vec<usize>>,
+        negs: Arc<Vec<usize>>,
         q: usize,
         tau: f64,
     ) -> Var {
@@ -508,11 +696,12 @@ impl Tape {
         let n = am.rows();
         assert_eq!(negs.len(), n * q, "need q contrast nodes per anchor");
         let mut total = 0.0;
+        let mut scores = Vec::with_capacity(1 + 2 * q);
         for i in 0..n {
             let ai = am.row(i);
             let pos = dot(ai, bm.row(i)) / tau;
             let mut mx = pos;
-            let mut scores = Vec::with_capacity(1 + 2 * q);
+            scores.clear();
             scores.push(pos);
             for &j in &negs[i * q..(i + 1) * q] {
                 let s1 = dot(ai, am.row(j)) / tau;
@@ -524,7 +713,7 @@ impl Tape {
             let lse = mx + scores.iter().map(|s| (s - mx).exp()).sum::<f64>().ln();
             total += lse - pos;
         }
-        let v = Matrix::from_vec(1, 1, vec![total / n as f64]);
+        let v = self.arena.scalar(total / n as f64);
         let r = self.req(a.0) || self.req(b.0);
         self.push(
             v,
@@ -540,7 +729,7 @@ impl Tape {
     }
 
     /// Mean squared error against a constant target.
-    pub fn mse_loss(&mut self, x: Var, target: Rc<Matrix>) -> Var {
+    pub fn mse_loss(&mut self, x: Var, target: Arc<Matrix>) -> Var {
         let xm = &self.values[x.0];
         assert_eq!(xm.shape(), target.shape());
         let mut total = 0.0;
@@ -548,14 +737,14 @@ impl Tape {
             let d = a - b;
             total += d * d;
         }
-        let v = Matrix::from_vec(1, 1, vec![total / xm.len() as f64]);
+        let v = self.arena.scalar(total / xm.len() as f64);
         let r = self.req(x.0);
         self.push(v, Op::FrobMse(x.0, target), r)
     }
 
     /// Element-wise binary cross-entropy on logits against a constant 0/1
     /// target, with positive entries weighted by `pos_weight`.
-    pub fn bce_logits_loss(&mut self, x: Var, target: Rc<Matrix>, pos_weight: f64) -> Var {
+    pub fn bce_logits_loss(&mut self, x: Var, target: Arc<Matrix>, pos_weight: f64) -> Var {
         let xm = &self.values[x.0];
         assert_eq!(xm.shape(), target.shape());
         let mut total = 0.0;
@@ -564,7 +753,7 @@ impl Tape {
             let w = if t > 0.5 { pos_weight } else { 1.0 };
             total += w * (l.max(0.0) - l * t + (-l.abs()).exp().ln_1p());
         }
-        let v = Matrix::from_vec(1, 1, vec![total / xm.len() as f64]);
+        let v = self.arena.scalar(total / xm.len() as f64);
         let r = self.req(x.0);
         self.push(
             v,
@@ -587,10 +776,13 @@ impl Tape {
             (1, 1),
             "backward expects a scalar loss"
         );
+        let arena = &mut self.arena;
         for g in &mut self.grads {
-            *g = None;
+            if let Some(m) = g.take() {
+                arena.put(m);
+            }
         }
-        self.grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        self.grads[loss.0] = Some(self.arena.scalar(1.0));
         for id in (0..=loss.0).rev() {
             if !self.requires[id] {
                 continue;
@@ -605,10 +797,14 @@ impl Tape {
 
     fn acc(&mut self, id: usize, delta: Matrix) {
         if !self.requires[id] {
+            self.arena.put(delta);
             return;
         }
         match &mut self.grads[id] {
-            Some(g) => g.add_scaled(&delta, 1.0),
+            Some(g) => {
+                g.add_scaled(&delta, 1.0);
+                self.arena.put(delta);
+            }
             slot @ None => *slot = Some(delta),
         }
     }
@@ -618,35 +814,46 @@ impl Tape {
             return;
         }
         let (r, c) = self.values[id].shape();
-        let g = self.grads[id].get_or_insert_with(|| Matrix::zeros(r, c));
+        let arena = &mut self.arena;
+        let g = self.grads[id].get_or_insert_with(|| arena.zeros(r, c));
         g.set(i, j, g.get(i, j) + delta);
     }
 
     #[allow(clippy::too_many_lines)]
     fn dispatch_backward(&mut self, id: usize, g: &Matrix) {
         // `ops[id]` is moved out temporarily to appease the borrow checker;
-        // ops are cheap to move (indices + Rc's).
+        // ops are cheap to move (indices + Arc's).
         let op = std::mem::replace(&mut self.ops[id], Op::Leaf);
         match &op {
             Op::Leaf => {}
             Op::Add(a, b) => {
-                self.acc(*a, g.clone());
-                self.acc(*b, g.clone());
+                let ga = self.arena.copy_of(g);
+                self.acc(*a, ga);
+                let gb = self.arena.copy_of(g);
+                self.acc(*b, gb);
             }
             Op::Sub(a, b) => {
-                self.acc(*a, g.clone());
-                self.acc(*b, g.scaled(-1.0));
+                let ga = self.arena.copy_of(g);
+                self.acc(*a, ga);
+                let gb = self.arena.map_of(g, |t| -t);
+                self.acc(*b, gb);
             }
             Op::Hadamard(a, b) => {
-                let ga = g.hadamard(&self.values[*b]);
-                let gb = g.hadamard(&self.values[*a]);
+                let (r, c) = g.shape();
+                let ga = self
+                    .arena
+                    .map2(r, c, g.data(), self.values[*b].data(), |x, y| x * y);
+                let gb = self
+                    .arena
+                    .map2(r, c, g.data(), self.values[*a].data(), |x, y| x * y);
                 self.acc(*a, ga);
                 self.acc(*b, gb);
             }
             Op::AddRow(x, row) => {
-                self.acc(*x, g.clone());
+                let gx = self.arena.copy_of(g);
+                self.acc(*x, gx);
                 if self.requires[*row] {
-                    let mut gr = Matrix::zeros(1, g.cols());
+                    let mut gr = self.arena.zeros(1, g.cols());
                     for i in 0..g.rows() {
                         let src = g.row(i);
                         for (d, &s) in gr.row_mut(0).iter_mut().zip(src) {
@@ -656,10 +863,14 @@ impl Tape {
                     self.acc(*row, gr);
                 }
             }
-            Op::Scale(x, alpha) => self.acc(*x, g.scaled(*alpha)),
+            Op::Scale(x, alpha) => {
+                let gx = self.arena.map_of(g, |t| t * alpha);
+                self.acc(*x, gx);
+            }
             Op::ScalarMul(s, x) => {
                 let sv = self.values[*s].get(0, 0);
-                self.acc(*x, g.scaled(sv));
+                let gx = self.arena.map_of(g, |t| t * sv);
+                self.acc(*x, gx);
                 if self.requires[*s] {
                     let gs = g
                         .data()
@@ -667,89 +878,198 @@ impl Tape {
                         .zip(self.values[*x].data())
                         .map(|(&gg, &xx)| gg * xx)
                         .sum();
-                    self.acc(*s, Matrix::from_vec(1, 1, vec![gs]));
+                    let gs = self.arena.scalar(gs);
+                    self.acc(*s, gs);
                 }
             }
             Op::MatMul(a, b) => {
                 if self.requires[*a] {
-                    let ga = g.matmul_tb(&self.values[*b]);
+                    let bm = &self.values[*b];
+                    let mut ga = Matrix::from_vec(
+                        g.rows(),
+                        bm.rows(),
+                        self.arena.take(g.rows() * bm.rows()),
+                    );
+                    g.matmul_tb_into(bm, &mut ga);
                     self.acc(*a, ga);
                 }
                 if self.requires[*b] {
-                    let gb = self.values[*a].matmul_ta(g);
+                    let am = &self.values[*a];
+                    let mut gb = Matrix::from_vec(
+                        am.cols(),
+                        g.cols(),
+                        self.arena.take(am.cols() * g.cols()),
+                    );
+                    am.matmul_ta_into(g, &mut gb);
                     self.acc(*b, gb);
                 }
             }
             Op::MatMulTb(a, b) => {
                 if self.requires[*a] {
-                    let ga = g.matmul(&self.values[*b]);
+                    let bm = &self.values[*b];
+                    let mut ga = Matrix::from_vec(
+                        g.rows(),
+                        bm.cols(),
+                        self.arena.take(g.rows() * bm.cols()),
+                    );
+                    g.matmul_into(bm, &mut ga);
                     self.acc(*a, ga);
                 }
                 if self.requires[*b] {
-                    let gb = g.matmul_ta(&self.values[*a]);
+                    let am = &self.values[*a];
+                    let mut gb = Matrix::from_vec(
+                        g.cols(),
+                        am.cols(),
+                        self.arena.take(g.cols() * am.cols()),
+                    );
+                    g.matmul_ta_into(am, &mut gb);
                     self.acc(*b, gb);
                 }
             }
             Op::SpMm(pair, x) => {
                 if self.requires[*x] {
-                    let gx = pair.bwd.spmm(g);
+                    let mut gx = Matrix::from_vec(
+                        pair.bwd.rows(),
+                        g.cols(),
+                        self.arena.take(pair.bwd.rows() * g.cols()),
+                    );
+                    pair.bwd.spmm_into(g, &mut gx);
                     self.acc(*x, gx);
                 }
             }
+            Op::SpmmBiasAct {
+                adj,
+                x,
+                w,
+                bias,
+                act,
+                h,
+                z,
+            } => {
+                // The node's `requires` is the OR of its inputs', so at
+                // least one of these holds whenever dispatch reaches here.
+                let need_x = self.requires[*x];
+                let need_w = self.requires[*w];
+                let need_b = self.requires[*bias];
+                let (n, d) = g.shape();
+                // dz: activation backward, element for element identical to
+                // the matching tape activation op.
+                let y = &self.values[id];
+                let mut dz_buf = self.arena.take(n * d);
+                match z {
+                    Some(zm) => {
+                        for (((o, &gg), &yy), &zz) in
+                            dz_buf.iter_mut().zip(g.data()).zip(y.data()).zip(zm.data())
+                        {
+                            *o = act.apply_grad(gg, yy, zz);
+                        }
+                    }
+                    None => {
+                        for ((o, &gg), &yy) in dz_buf.iter_mut().zip(g.data()).zip(y.data()) {
+                            *o = act.apply_grad(gg, yy, 0.0);
+                        }
+                    }
+                }
+                let dz = Matrix::from_vec(n, d, dz_buf);
+                // db: row-ascending column sums (AddRow backward).
+                if need_b {
+                    let mut db = self.arena.zeros(1, d);
+                    for i in 0..n {
+                        let src = dz.row(i);
+                        for (o, &s) in db.row_mut(0).iter_mut().zip(src) {
+                            *o += s;
+                        }
+                    }
+                    self.acc(*bias, db);
+                }
+                // dW = h^T @ dz, with h the propagated features (or the
+                // input itself when there was no propagation).
+                if need_w {
+                    let h_eff = h.as_ref().unwrap_or(&self.values[*x]);
+                    let f = h_eff.cols();
+                    let mut dw = Matrix::from_vec(f, d, self.arena.take(f * d));
+                    h_eff.matmul_ta_into(&dz, &mut dw);
+                    self.acc(*w, dw);
+                }
+                // dx = adj^T @ (dz @ w^T) — MatMul then SpMm backward.
+                if need_x {
+                    let wm = &self.values[*w];
+                    let f = wm.rows();
+                    let mut dh = Matrix::from_vec(n, f, self.arena.take(n * f));
+                    dz.matmul_tb_into(wm, &mut dh);
+                    match adj {
+                        Some(pair) => {
+                            let mut dx = Matrix::from_vec(n, f, self.arena.take(n * f));
+                            pair.bwd.spmm_into(&dh, &mut dx);
+                            self.arena.put(dh);
+                            self.acc(*x, dx);
+                        }
+                        None => self.acc(*x, dh),
+                    }
+                }
+                self.arena.put(dz);
+            }
             Op::Relu(x) => {
-                let mask = &self.values[*x];
-                let data = g
-                    .data()
-                    .iter()
-                    .zip(mask.data())
-                    .map(|(&gg, &xx)| if xx > 0.0 { gg } else { 0.0 })
-                    .collect();
-                self.acc(*x, Matrix::from_vec(g.rows(), g.cols(), data));
+                let (r, c) = g.shape();
+                let gx = self
+                    .arena
+                    .map2(r, c, g.data(), self.values[*x].data(), |gg, xx| {
+                        if xx > 0.0 {
+                            gg
+                        } else {
+                            0.0
+                        }
+                    });
+                self.acc(*x, gx);
             }
             Op::LeakyRelu(x, alpha) => {
-                let mask = &self.values[*x];
-                let data = g
-                    .data()
-                    .iter()
-                    .zip(mask.data())
-                    .map(|(&gg, &xx)| if xx > 0.0 { gg } else { alpha * gg })
-                    .collect();
-                self.acc(*x, Matrix::from_vec(g.rows(), g.cols(), data));
+                let (r, c) = g.shape();
+                let gx = self
+                    .arena
+                    .map2(r, c, g.data(), self.values[*x].data(), |gg, xx| {
+                        if xx > 0.0 {
+                            gg
+                        } else {
+                            alpha * gg
+                        }
+                    });
+                self.acc(*x, gx);
             }
             Op::Elu(x, alpha) => {
-                let xin = &self.values[*x];
-                let data = g
-                    .data()
-                    .iter()
-                    .zip(xin.data())
-                    .map(|(&gg, &xx)| if xx > 0.0 { gg } else { gg * alpha * xx.exp() })
-                    .collect();
-                self.acc(*x, Matrix::from_vec(g.rows(), g.cols(), data));
+                let (r, c) = g.shape();
+                let gx = self
+                    .arena
+                    .map2(r, c, g.data(), self.values[*x].data(), |gg, xx| {
+                        if xx > 0.0 {
+                            gg
+                        } else {
+                            gg * alpha * xx.exp()
+                        }
+                    });
+                self.acc(*x, gx);
             }
             Op::Sigmoid(x) => {
-                let y = &self.values[id];
-                let data = g
-                    .data()
-                    .iter()
-                    .zip(y.data())
-                    .map(|(&gg, &yy)| gg * yy * (1.0 - yy))
-                    .collect();
-                self.acc(*x, Matrix::from_vec(g.rows(), g.cols(), data));
+                let (r, c) = g.shape();
+                let gx = self
+                    .arena
+                    .map2(r, c, g.data(), self.values[id].data(), |gg, yy| {
+                        gg * yy * (1.0 - yy)
+                    });
+                self.acc(*x, gx);
             }
             Op::Tanh(x) => {
-                let y = &self.values[id];
-                let data = g
-                    .data()
-                    .iter()
-                    .zip(y.data())
-                    .map(|(&gg, &yy)| gg * (1.0 - yy * yy))
-                    .collect();
-                self.acc(*x, Matrix::from_vec(g.rows(), g.cols(), data));
+                let (r, c) = g.shape();
+                let gx = self
+                    .arena
+                    .map2(r, c, g.data(), self.values[id].data(), |gg, yy| {
+                        gg * (1.0 - yy * yy)
+                    });
+                self.acc(*x, gx);
             }
             Op::GatherRows(x, idx) => {
                 if self.requires[*x] {
                     let (r, c) = self.values[*x].shape();
-                    let mut gx = Matrix::zeros(r, c);
+                    let mut gx = self.arena.zeros(r, c);
                     for (o, &i) in idx.iter().enumerate() {
                         let src = g.row(o);
                         let dst = gx.row_mut(i);
@@ -762,7 +1082,7 @@ impl Tape {
             }
             Op::ReplaceRows { x, token, idx } => {
                 if self.requires[*x] {
-                    let mut gx = g.clone();
+                    let mut gx = self.arena.copy_of(g);
                     for &i in idx.iter() {
                         for t in gx.row_mut(i) {
                             *t = 0.0;
@@ -771,7 +1091,7 @@ impl Tape {
                     self.acc(*x, gx);
                 }
                 if self.requires[*token] {
-                    let mut gt = Matrix::zeros(1, g.cols());
+                    let mut gt = self.arena.zeros(1, g.cols());
                     for &i in idx.iter() {
                         let src = g.row(i);
                         for (d, &s) in gt.row_mut(0).iter_mut().zip(src) {
@@ -782,33 +1102,33 @@ impl Tape {
                 }
             }
             Op::Dropout(x, mask) => {
-                let data = g
-                    .data()
-                    .iter()
-                    .zip(mask.iter())
-                    .map(|(&gg, &m)| gg * m)
-                    .collect();
-                self.acc(*x, Matrix::from_vec(g.rows(), g.cols(), data));
+                let (r, c) = g.shape();
+                let gx = self.arena.map2(r, c, g.data(), mask, |gg, m| gg * m);
+                self.acc(*x, gx);
             }
             Op::Sum(x) => {
                 let s = g.get(0, 0);
                 let (r, c) = self.values[*x].shape();
-                self.acc(*x, Matrix::full(r, c, s));
+                let gx = self.arena.full(r, c, s);
+                self.acc(*x, gx);
             }
             Op::Mean(x) => {
                 let (r, c) = self.values[*x].shape();
                 let s = g.get(0, 0) / (r * c) as f64;
-                self.acc(*x, Matrix::full(r, c, s));
+                let gx = self.arena.full(r, c, s);
+                self.acc(*x, gx);
             }
             Op::SqSum(x) => {
                 let s = g.get(0, 0);
-                self.acc(*x, self.values[*x].scaled(2.0 * s));
+                let alpha = 2.0 * s;
+                let gx = self.arena.map_of(&self.values[*x], |t| t * alpha);
+                self.acc(*x, gx);
             }
             Op::RowNormalize(x) => {
                 if self.requires[*x] {
                     let xin = &self.values[*x];
                     let y = &self.values[id];
-                    let mut gx = Matrix::zeros(xin.rows(), xin.cols());
+                    let mut gx = self.arena.zeros(xin.rows(), xin.cols());
                     for i in 0..xin.rows() {
                         let n = xin.row_norm(i);
                         if n <= 1e-12 {
@@ -828,7 +1148,7 @@ impl Tape {
             Op::SoftmaxRow(x) => {
                 if self.requires[*x] {
                     let y = &self.values[id];
-                    let mut gx = Matrix::zeros(y.rows(), y.cols());
+                    let mut gx = self.arena.zeros(y.rows(), y.cols());
                     for i in 0..y.rows() {
                         let yi = y.row(i);
                         let gi = g.row(i);
@@ -853,7 +1173,7 @@ impl Tape {
                 if self.requires[*x] {
                     let scale = g.get(0, 0) / idx.len() as f64;
                     let xm = &self.values[*x];
-                    let mut gx = Matrix::zeros(xm.rows(), xm.cols());
+                    let mut gx = self.arena.zeros(xm.rows(), xm.cols());
                     for &i in idx.iter() {
                         let a = xm.row(i);
                         let b = target.row(i);
@@ -878,26 +1198,29 @@ impl Tape {
                 if self.requires[*z] {
                     let zm = &self.values[*z];
                     let scale = g.get(0, 0) / pos.len() as f64;
-                    let mut gz = Matrix::zeros(zm.rows(), zm.cols());
+                    let mut gz = self.arena.zeros(zm.rows(), zm.cols());
+                    let mut cands = Vec::with_capacity(q + 1);
+                    let mut scores = Vec::with_capacity(q + 1);
+                    let mut exps = Vec::with_capacity(q + 1);
                     for (e, &(u, v)) in pos.iter().enumerate() {
-                        let zu = zm.row(u).to_vec();
-                        let mut cands = Vec::with_capacity(q + 1);
+                        cands.clear();
                         cands.push(v);
                         cands.extend_from_slice(&negs[e * q..(e + 1) * q]);
-                        let scores: Vec<f64> = cands.iter().map(|&c| dot(&zu, zm.row(c))).collect();
+                        scores.clear();
+                        scores.extend(cands.iter().map(|&c| dot(zm.row(u), zm.row(c))));
                         let mx = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                        let exps: Vec<f64> = scores.iter().map(|s| (s - mx).exp()).collect();
+                        exps.clear();
+                        exps.extend(scores.iter().map(|s| (s - mx).exp()));
                         let zsum: f64 = exps.iter().sum();
                         for (k, &c) in cands.iter().enumerate() {
                             // dL/ds_k = p_k - [k == 0]
                             let p = exps[k] / zsum - if k == 0 { 1.0 } else { 0.0 };
                             let coef = p * scale;
                             // s_k = z_u . z_c  => grads to both rows.
-                            let zc = zm.row(c).to_vec();
-                            for (d, &t) in gz.row_mut(u).iter_mut().zip(&zc) {
+                            for (d, &t) in gz.row_mut(u).iter_mut().zip(zm.row(c)) {
                                 *d += coef * t;
                             }
-                            for (d, &t) in gz.row_mut(c).iter_mut().zip(&zu) {
+                            for (d, &t) in gz.row_mut(c).iter_mut().zip(zm.row(u)) {
                                 *d += coef * t;
                             }
                         }
@@ -913,21 +1236,24 @@ impl Tape {
                     let bm = &self.values[*b];
                     let n = am.rows();
                     let scale = g.get(0, 0) / n as f64;
-                    let mut ga = Matrix::zeros(am.rows(), am.cols());
-                    let mut gb = Matrix::zeros(bm.rows(), bm.cols());
+                    let mut ga = self.arena.zeros(am.rows(), am.cols());
+                    let mut gb = self.arena.zeros(bm.rows(), bm.cols());
+                    let mut scores = Vec::with_capacity(1 + 2 * q);
+                    let mut exps = Vec::with_capacity(1 + 2 * q);
                     for i in 0..n {
-                        let ai = am.row(i).to_vec();
+                        let ai = am.row(i);
                         // candidates: (row-source, index, weight sign)
                         // k = 0: positive (b, i); then per j: (a, j), (b, j)
                         let js = &negs[i * q..(i + 1) * q];
-                        let mut scores = Vec::with_capacity(1 + 2 * q);
-                        scores.push(dot(&ai, bm.row(i)) / tau);
+                        scores.clear();
+                        scores.push(dot(ai, bm.row(i)) / tau);
                         for &j in js {
-                            scores.push(dot(&ai, am.row(j)) / tau);
-                            scores.push(dot(&ai, bm.row(j)) / tau);
+                            scores.push(dot(ai, am.row(j)) / tau);
+                            scores.push(dot(ai, bm.row(j)) / tau);
                         }
                         let mx = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                        let exps: Vec<f64> = scores.iter().map(|s| (s - mx).exp()).collect();
+                        exps.clear();
+                        exps.extend(scores.iter().map(|s| (s - mx).exp()));
                         let zsum: f64 = exps.iter().sum();
                         let apply = |from_a: bool,
                                      row: usize,
@@ -936,12 +1262,8 @@ impl Tape {
                                      gb: &mut Matrix| {
                             let p = exps[k] / zsum - if k == 0 { 1.0 } else { 0.0 };
                             let coef = p * scale / tau;
-                            let other = if from_a {
-                                am.row(row).to_vec()
-                            } else {
-                                bm.row(row).to_vec()
-                            };
-                            for (d, &t) in ga.row_mut(i).iter_mut().zip(&other) {
+                            let other = if from_a { am.row(row) } else { bm.row(row) };
+                            for (d, &t) in ga.row_mut(i).iter_mut().zip(other) {
                                 *d += coef * t;
                             }
                             let dst = if from_a {
@@ -949,7 +1271,7 @@ impl Tape {
                             } else {
                                 gb.row_mut(row)
                             };
-                            for (d, &t) in dst.iter_mut().zip(&ai) {
+                            for (d, &t) in dst.iter_mut().zip(ai) {
                                 *d += coef * t;
                             }
                         };
@@ -961,9 +1283,13 @@ impl Tape {
                     }
                     if need_a {
                         self.acc(*a, ga);
+                    } else {
+                        self.arena.put(ga);
                     }
                     if need_b {
                         self.acc(*b, gb);
+                    } else {
+                        self.arena.put(gb);
                     }
                 }
             }
@@ -971,13 +1297,11 @@ impl Tape {
                 if self.requires[*x] {
                     let xm = &self.values[*x];
                     let s = 2.0 * g.get(0, 0) / xm.len() as f64;
-                    let data = xm
-                        .data()
-                        .iter()
-                        .zip(target.data())
-                        .map(|(&a, &b)| s * (a - b))
-                        .collect();
-                    self.acc(*x, Matrix::from_vec(xm.rows(), xm.cols(), data));
+                    let (r, c) = xm.shape();
+                    let gx = self
+                        .arena
+                        .map2(r, c, xm.data(), target.data(), |a, b| s * (a - b));
+                    self.acc(*x, gx);
                 }
             }
             Op::BceLogits {
@@ -988,16 +1312,12 @@ impl Tape {
                 if self.requires[*x] {
                     let xm = &self.values[*x];
                     let s = g.get(0, 0) / xm.len() as f64;
-                    let data = xm
-                        .data()
-                        .iter()
-                        .zip(target.data())
-                        .map(|(&l, &t)| {
-                            let w = if t > 0.5 { *pos_weight } else { 1.0 };
-                            s * w * (sigmoid(l) - t)
-                        })
-                        .collect();
-                    self.acc(*x, Matrix::from_vec(xm.rows(), xm.cols(), data));
+                    let (r, c) = xm.shape();
+                    let gx = self.arena.map2(r, c, xm.data(), target.data(), |l, t| {
+                        let w = if t > 0.5 { *pos_weight } else { 1.0 };
+                        s * w * (sigmoid(l) - t)
+                    });
+                    self.acc(*x, gx);
                 }
             }
         }
@@ -1073,7 +1393,7 @@ mod tests {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::from_fn(3, 2, |i, _| i as f64 + 1.0));
         let tok = t.leaf(Matrix::from_vec(1, 2, vec![9.0, 9.0]));
-        let idx = Rc::new(vec![1usize]);
+        let idx = Arc::new(vec![1usize]);
         let y = t.replace_rows(x, tok, idx);
         assert_eq!(t.value(y).row(1), &[9.0, 9.0]);
         let l = t.sum(y);
@@ -1106,9 +1426,9 @@ mod tests {
     #[test]
     fn scaled_cosine_zero_for_perfect_reconstruction() {
         let mut t = Tape::new();
-        let target = Rc::new(Matrix::from_fn(4, 3, |i, j| (i + j) as f64 + 1.0));
+        let target = Arc::new(Matrix::from_fn(4, 3, |i, j| (i + j) as f64 + 1.0));
         let x = t.leaf((*target).clone());
-        let idx = Rc::new(vec![0usize, 2]);
+        let idx = Arc::new(vec![0usize, 2]);
         let l = t.scaled_cosine_loss(x, target, idx, 2.0);
         assert!(t.value(l).get(0, 0).abs() < 1e-12);
     }
@@ -1117,7 +1437,7 @@ mod tests {
     fn bce_logits_matches_manual() {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::from_vec(1, 2, vec![0.0, 0.0]));
-        let target = Rc::new(Matrix::from_vec(1, 2, vec![1.0, 0.0]));
+        let target = Arc::new(Matrix::from_vec(1, 2, vec![1.0, 0.0]));
         let l = t.bce_logits_loss(x, target, 1.0);
         // BCE at logit 0 is ln 2 for both classes.
         assert!((t.value(l).get(0, 0) - std::f64::consts::LN_2).abs() < 1e-12);
@@ -1135,5 +1455,110 @@ mod tests {
         let g2 = t.grad(a).unwrap().get(0, 0);
         assert_eq!(g1, g2);
         assert_eq!(g1, 4.0);
+    }
+
+    #[test]
+    fn tape_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Tape>();
+    }
+
+    #[test]
+    fn fused_node_matches_unfused_chain() {
+        use crate::sparse::CsrMatrix;
+        let adj = Arc::new(CsrMatrix::from_coo(
+            3,
+            3,
+            vec![
+                (0, 0, 0.5),
+                (0, 1, 0.25),
+                (1, 1, 1.0),
+                (2, 0, 0.75),
+                (2, 2, 0.3),
+            ],
+        ));
+        let pair = SpPair::new(Arc::clone(&adj));
+        let x0 = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64 / 3.0 - 0.4);
+        let w0 = Matrix::from_fn(2, 2, |i, j| ((i + 2 * j) as f64 / 5.0) - 0.3);
+        let b0 = Matrix::from_vec(1, 2, vec![0.1, -0.2]);
+
+        let mut t1 = Tape::new();
+        let (x, w, b) = (
+            t1.leaf(x0.clone()),
+            t1.leaf(w0.clone()),
+            t1.leaf(b0.clone()),
+        );
+        let p = t1.spmm(&pair, x);
+        let m = t1.matmul(p, w);
+        let a = t1.add_row(m, b);
+        let y = t1.elu(a, 1.0);
+        let l = t1.sum(y);
+        t1.backward(l);
+
+        let mut t2 = Tape::new();
+        let (x2, w2, b2) = (t2.leaf(x0), t2.leaf(w0), t2.leaf(b0));
+        let y2 = t2.spmm_bias_act(Some(&pair), x2, w2, b2, FusedAct::Elu(1.0));
+        let l2 = t2.sum(y2);
+        t2.backward(l2);
+
+        assert_eq!(t1.value(y).data(), t2.value(y2).data());
+        assert_eq!(t1.grad(x).unwrap().data(), t2.grad(x2).unwrap().data());
+        assert_eq!(t1.grad(w).unwrap().data(), t2.grad(w2).unwrap().data());
+        assert_eq!(t1.grad(b).unwrap().data(), t2.grad(b2).unwrap().data());
+    }
+
+    #[test]
+    fn recycled_tape_reproduces_fresh_results_bitwise() {
+        let x0 = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f64).sin());
+        let w0 = Matrix::from_fn(3, 2, |i, j| ((i + j) as f64).cos() / 2.0);
+
+        let run = |t: &mut Tape| -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+            let x = t.leaf_from(&x0);
+            let w = t.leaf_from(&w0);
+            let m = t.matmul(x, w);
+            let y = t.tanh(m);
+            let l = t.sq_sum(y);
+            t.backward(l);
+            (
+                t.value(y).data().to_vec(),
+                t.grad(x).unwrap().data().to_vec(),
+                t.grad(w).unwrap().data().to_vec(),
+            )
+        };
+
+        let mut fresh = Tape::new();
+        let expect = run(&mut fresh);
+
+        let mut t = Tape::new();
+        let first = run(&mut t);
+        assert_eq!(first, expect);
+        for _ in 0..3 {
+            t.recycle();
+            let again = run(&mut t);
+            assert_eq!(again, expect);
+        }
+        let stats = t.arena_stats();
+        assert!(stats.hits > 0, "recycled runs must hit the free-list");
+    }
+
+    #[test]
+    fn warm_tape_steady_state_has_zero_arena_misses() {
+        let x0 = Matrix::from_fn(4, 4, |i, j| (i as f64 - j as f64) / 3.0);
+        let run = |t: &mut Tape| {
+            let x = t.leaf_from(&x0);
+            let w = t.leaf_from(&x0);
+            let m = t.matmul(x, w);
+            let y = t.relu(m);
+            let l = t.mean(y);
+            t.backward(l);
+        };
+        let mut t = Tape::new();
+        run(&mut t); // warm-up: populates the free-list
+        t.recycle();
+        t.reset_arena_stats();
+        run(&mut t);
+        let stats = t.arena_stats();
+        assert_eq!(stats.misses, 0, "steady state must be allocation-free");
+        assert!(stats.hits > 0);
     }
 }

@@ -2,7 +2,6 @@
 //! finite-difference suite: optimiser behaviour, parallel map under load,
 //! sparse corner cases, and numerical-robustness checks.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use umgad_rt::proptest::prelude::*;
@@ -133,16 +132,16 @@ fn tape_handles_long_chains() {
 fn losses_are_finite_on_extreme_inputs() {
     let mut tape = Tape::new();
     let big = tape.leaf(Matrix::full(4, 3, 1e6));
-    let target = Rc::new(Matrix::full(4, 3, -1e6));
-    let l1 = tape.mse_loss(big, Rc::clone(&target));
+    let target = Arc::new(Matrix::full(4, 3, -1e6));
+    let l1 = tape.mse_loss(big, Arc::clone(&target));
     assert!(tape.value(l1).get(0, 0).is_finite());
-    let l2 = tape.bce_logits_loss(big, Rc::new(Matrix::zeros(4, 3)), 1.0);
+    let l2 = tape.bce_logits_loss(big, Arc::new(Matrix::zeros(4, 3)), 1.0);
     assert!(
         tape.value(l2).get(0, 0).is_finite(),
         "stable BCE must not overflow"
     );
-    let idx = Rc::new(vec![0usize, 1]);
-    let l3 = tape.scaled_cosine_loss(big, Rc::new(Matrix::full(4, 3, 1.0)), idx, 3.0);
+    let idx = Arc::new(vec![0usize, 1]);
+    let l3 = tape.scaled_cosine_loss(big, Arc::new(Matrix::full(4, 3, 1.0)), idx, 3.0);
     assert!(tape.value(l3).get(0, 0).is_finite());
     tape.backward(l2);
     assert!(tape.grad(big).unwrap().is_finite());

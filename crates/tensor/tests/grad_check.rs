@@ -5,12 +5,12 @@
 //! compares the central difference. Property tests draw random shapes and
 //! values to cover the op space broadly.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use umgad_rt::proptest::prelude::*;
 use umgad_rt::rand::rngs::SmallRng;
 use umgad_rt::rand::SeedableRng;
-use umgad_tensor::{CsrMatrix, Matrix, SpPair, Tape, Var};
+use umgad_tensor::{CsrMatrix, FusedAct, Matrix, SpPair, Tape, Var};
 
 const H: f64 = 1e-5;
 const TOL: f64 = 1e-4;
@@ -177,9 +177,9 @@ proptest! {
 
     #[test]
     fn grad_gather_rows(p in small_matrix(4, 2)) {
-        let idx = Rc::new(vec![2usize, 0, 2]); // duplicate index exercises accumulation
+        let idx = Arc::new(vec![2usize, 0, 2]); // duplicate index exercises accumulation
         grad_check(&p, move |t, x| {
-            let y = t.gather_rows(x, Rc::clone(&idx));
+            let y = t.gather_rows(x, Arc::clone(&idx));
             let z = t.hadamard(y, y);
             t.sum(z)
         });
@@ -188,10 +188,10 @@ proptest! {
     #[test]
     fn grad_replace_rows_token(p in small_matrix(1, 3)) {
         let x = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 / 2.0);
-        let idx = Rc::new(vec![1usize, 3]);
+        let idx = Arc::new(vec![1usize, 3]);
         grad_check(&p, move |t, token| {
             let xv = t.constant(x.clone());
-            let y = t.replace_rows(xv, token, Rc::clone(&idx));
+            let y = t.replace_rows(xv, token, Arc::clone(&idx));
             let z = t.hadamard(y, y);
             t.sum(z)
         });
@@ -199,10 +199,10 @@ proptest! {
 
     #[test]
     fn grad_replace_rows_carrier(p in small_matrix(4, 3)) {
-        let idx = Rc::new(vec![0usize, 2]);
+        let idx = Arc::new(vec![0usize, 2]);
         grad_check(&p, move |t, x| {
             let token = t.constant(Matrix::full(1, 3, 0.5));
-            let y = t.replace_rows(x, token, Rc::clone(&idx));
+            let y = t.replace_rows(x, token, Arc::clone(&idx));
             let z = t.hadamard(y, y);
             t.sum(z)
         });
@@ -252,58 +252,58 @@ proptest! {
 
     #[test]
     fn grad_scaled_cosine(p in nonzero_rows_matrix(4, 3)) {
-        let target = Rc::new(Matrix::from_fn(4, 3, |i, j| ((i * 2 + j) % 4) as f64 + 0.5));
-        let idx = Rc::new(vec![0usize, 1, 3]);
+        let target = Arc::new(Matrix::from_fn(4, 3, |i, j| ((i * 2 + j) % 4) as f64 + 0.5));
+        let idx = Arc::new(vec![0usize, 1, 3]);
         for eta in [1.0, 2.0, 3.0] {
             grad_check(&p, |t, x| {
-                t.scaled_cosine_loss(x, Rc::clone(&target), Rc::clone(&idx), eta)
+                t.scaled_cosine_loss(x, Arc::clone(&target), Arc::clone(&idx), eta)
             });
         }
     }
 
     #[test]
     fn grad_edge_nce(p in small_matrix(5, 3)) {
-        let pos = Rc::new(vec![(0usize, 1usize), (2, 3)]);
-        let negs = Rc::new(vec![4usize, 2, 0, 4]); // q = 2 per edge
+        let pos = Arc::new(vec![(0usize, 1usize), (2, 3)]);
+        let negs = Arc::new(vec![4usize, 2, 0, 4]); // q = 2 per edge
         grad_check(&p, move |t, z| {
-            t.edge_nce_loss(z, Rc::clone(&pos), Rc::clone(&negs), 2)
+            t.edge_nce_loss(z, Arc::clone(&pos), Arc::clone(&negs), 2)
         });
     }
 
     #[test]
     fn grad_info_nce(p in small_matrix(4, 3)) {
         let b = Matrix::from_fn(4, 3, |i, j| ((i + j) % 3) as f64 / 2.0 + 0.1);
-        let negs = Rc::new(vec![1usize, 2, 0, 3, 0, 1, 2, 0]); // q = 2 per anchor
+        let negs = Arc::new(vec![1usize, 2, 0, 3, 0, 1, 2, 0]); // q = 2 per anchor
         grad_check(&p, move |t, a| {
             let bv = t.constant(b.clone());
-            t.info_nce_loss(a, bv, Rc::clone(&negs), 2, 0.7)
+            t.info_nce_loss(a, bv, Arc::clone(&negs), 2, 0.7)
         });
     }
 
     #[test]
     fn grad_info_nce_second_view(p in small_matrix(4, 2)) {
         let a = Matrix::from_fn(4, 2, |i, j| (i as f64 - j as f64) / 3.0 + 0.2);
-        let negs = Rc::new(vec![3usize, 2, 1, 0]); // q = 1 per anchor
+        let negs = Arc::new(vec![3usize, 2, 1, 0]); // q = 1 per anchor
         grad_check(&p, move |t, b| {
             let av = t.constant(a.clone());
-            t.info_nce_loss(av, b, Rc::clone(&negs), 1, 1.0)
+            t.info_nce_loss(av, b, Arc::clone(&negs), 1, 1.0)
         });
     }
 
     #[test]
     fn grad_mse(p in small_matrix(3, 3)) {
-        let target = Rc::new(Matrix::from_fn(3, 3, |i, j| (i * j) as f64 / 4.0));
+        let target = Arc::new(Matrix::from_fn(3, 3, |i, j| (i * j) as f64 / 4.0));
         grad_check(&p, move |t, x| {
-            t.mse_loss(x, Rc::clone(&target))
+            t.mse_loss(x, Arc::clone(&target))
         });
     }
 
     #[test]
     fn grad_bce_logits(p in small_matrix(2, 4)) {
-        let target = Rc::new(Matrix::from_fn(2, 4, |i, j| ((i + j) % 2) as f64));
+        let target = Arc::new(Matrix::from_fn(2, 4, |i, j| ((i + j) % 2) as f64));
         for pw in [1.0, 5.0] {
             grad_check(&p, |t, x| {
-                t.bce_logits_loss(x, Rc::clone(&target), pw)
+                t.bce_logits_loss(x, Arc::clone(&target), pw)
             });
         }
     }
@@ -318,17 +318,114 @@ proptest! {
         ]);
         let pair = SpPair::new(std::sync::Arc::new(a));
         let x = Matrix::from_fn(4, 3, |i, j| ((i + j) % 3) as f64 / 2.0 + 0.2);
-        let target = Rc::new(x.clone());
-        let idx = Rc::new(vec![0usize, 2]);
+        let target = Arc::new(x.clone());
+        let idx = Arc::new(vec![0usize, 2]);
         grad_check(&p, move |t, w| {
             let xv = t.constant(x.clone());
             let ax = t.spmm(&pair, xv);
             let h = t.matmul(ax, w); // 4x3 @ 3x3
             let h = t.elu(h, 1.0); // smooth activation keeps the check well-posed
             let h2 = t.spmm(&pair, h);
-            t.scaled_cosine_loss(h2, Rc::clone(&target), Rc::clone(&idx), 2.0)
+            t.scaled_cosine_loss(h2, Arc::clone(&target), Arc::clone(&idx), 2.0)
         });
     }
+}
+
+/// Fixture for the fused `spmm_bias_act` checks: a 4-node sparse adjacency,
+/// a 4x3 input, a 3x2 weight, and a 1x2 bias.
+fn fused_fixture() -> (SpPair, Matrix, Matrix, Matrix) {
+    let a = CsrMatrix::from_coo(
+        4,
+        4,
+        vec![
+            (0, 0, 0.5),
+            (0, 1, 0.5),
+            (1, 0, 0.4),
+            (1, 2, 0.6),
+            (2, 3, 1.0),
+            (3, 2, 0.3),
+            (3, 3, 0.7),
+        ],
+    );
+    let pair = SpPair::new(Arc::new(a));
+    let x = Matrix::from_fn(4, 3, |i, j| ((i * 3 + j) % 5) as f64 / 2.0 - 0.8);
+    let w = Matrix::from_fn(3, 2, |i, j| (i as f64 - j as f64) / 2.0 + 0.3);
+    let bias = Matrix::from_vec(1, 2, vec![0.21, -0.37]);
+    (pair, x, w, bias)
+}
+
+const ALL_FUSED_ACTS: [FusedAct; 5] = [
+    FusedAct::None,
+    FusedAct::Relu,
+    FusedAct::LeakyRelu(0.2),
+    FusedAct::Elu(1.0),
+    FusedAct::Tanh,
+];
+
+/// Analytic-vs-numeric check for the fused kernel's backward, for every
+/// activation, with and without an adjacency, for each of the three
+/// differentiable inputs. Deterministic values keep the pre-activation away
+/// from the ReLU/LeakyReLU kink so the finite-difference check is
+/// well-posed.
+#[test]
+fn grad_fused_spmm_bias_act_all_inputs() {
+    let (pair, x, w, bias) = fused_fixture();
+    for use_adj in [true, false] {
+        // The check perturbs entries by ±1e-5; a pre-activation at least
+        // 1e-2 from zero cannot cross the kink.
+        let z = umgad_tensor::spmm_bias_act(
+            use_adj.then(|| pair.fwd.as_ref()),
+            &x,
+            &w,
+            bias.row(0),
+            FusedAct::None,
+        );
+        assert!(
+            z.data().iter().all(|v| v.abs() > 1e-2),
+            "fixture pre-activation too close to an activation kink"
+        );
+        for act in ALL_FUSED_ACTS {
+            let adj = use_adj.then_some(&pair);
+            // d/dx
+            grad_check(&x, |t, xv| {
+                let wv = t.constant(w.clone());
+                let bv = t.constant(bias.clone());
+                let y = t.spmm_bias_act(adj, xv, wv, bv, act);
+                t.sum(y)
+            });
+            // d/dw
+            grad_check(&w, |t, wv| {
+                let xv = t.constant(x.clone());
+                let bv = t.constant(bias.clone());
+                let y = t.spmm_bias_act(adj, xv, wv, bv, act);
+                t.sum(y)
+            });
+            // d/dbias
+            grad_check(&bias, |t, bv| {
+                let xv = t.constant(x.clone());
+                let wv = t.constant(w.clone());
+                let y = t.spmm_bias_act(adj, xv, wv, bv, act);
+                t.sum(y)
+            });
+        }
+    }
+}
+
+/// The fused node composes downstream: gradients flow through a further
+/// matmul + loss exactly like the unfused chain's would.
+#[test]
+fn grad_fused_spmm_bias_act_composed() {
+    let (pair, x, _, bias) = fused_fixture();
+    let w = Matrix::from_fn(3, 3, |i, j| ((i + 2 * j) % 4) as f64 / 3.0 + 0.1);
+    let bias3 = Matrix::from_vec(1, 3, vec![0.2, -0.1, 0.15]);
+    let _ = bias;
+    grad_check(&w, move |t, wv| {
+        let xv = t.constant(x.clone());
+        let bv = t.constant(bias3.clone());
+        let h = t.spmm_bias_act(Some(&pair), xv, wv, bv, FusedAct::Elu(1.0));
+        let g = t.matmul_tb(h, h);
+        t.mean(g)
+    });
 }
 
 #[test]

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Perf trajectory: run every micro/runtime benchmark in measure mode and
-# aggregate the per-binary reports into BENCH_kernels.json at the repo root.
+# aggregate the per-binary reports into BENCH_kernels.json at the repo root,
+# with the end-to-end train_epoch entries split into BENCH_epoch.json.
 #
 # The rt-bench harness writes target/rt-bench/<binary>-<hash>.json per bench
 # binary; the hash changes with every compilation, so the directory is
@@ -25,5 +26,6 @@ cargo bench
 # way).
 mkdir -p target/rt-bench
 
-echo "== aggregate into BENCH_kernels.json"
-cargo run --release -q -p umgad-bench --bin bench_agg -- target/rt-bench BENCH_kernels.json
+echo "== aggregate into BENCH_kernels.json + BENCH_epoch.json"
+cargo run --release -q -p umgad-bench --bin bench_agg -- \
+    target/rt-bench BENCH_kernels.json BENCH_epoch.json

@@ -29,6 +29,9 @@ cargo build --release
 echo "== tier-1: cargo test -q (includes tests/fault_tolerance.rs)"
 cargo test -q
 
+echo "== allocation regression: steady-state epochs stay matrix-allocation-free"
+cargo test -q -p umgad --test alloc_budget
+
 echo "== cargo fmt --check"
 cargo fmt --check
 

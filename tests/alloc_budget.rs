@@ -1,0 +1,71 @@
+//! Allocation-regression gate for the zero-churn epoch engine.
+//!
+//! Installs the counting global allocator from `umgad_rt::alloc` and pins
+//! the steady-state training-epoch allocation profile: after two warm-up
+//! epochs on a Scale::Small graph, a further epoch must add **zero** buffer
+//! arena misses (every matrix the autograd tape materialises comes from the
+//! recycled free-list) and stay under a pinned total-allocation budget for
+//! the small per-epoch bookkeeping (index vectors, `Arc` headers, CSR
+//! staging) that legitimately remains.
+//!
+//! Runs single-threaded (`UMGAD_THREADS=1`, set before the worker pool
+//! first reads it) so pool job boxing doesn't blur the count.
+
+use umgad::prelude::*;
+
+#[global_allocator]
+static ALLOC: umgad_rt::alloc::CountingAllocator = umgad_rt::alloc::CountingAllocator::new();
+
+/// Ceiling for non-matrix allocations in one steady-state epoch. Measured
+/// 109 on the Scale::Small YelpChi fixture (per-call edge lists and `Arc`
+/// headers); the ~10x headroom absorbs platform variance while still
+/// flagging any reintroduced per-op churn, which shows up as hundreds of
+/// allocations per epoch.
+const STEADY_EPOCH_ALLOC_BUDGET: u64 = 1_000;
+
+#[test]
+fn steady_state_epoch_is_matrix_allocation_free() {
+    // Must happen before anything touches the worker pool: the thread count
+    // is read once per process.
+    std::env::set_var("UMGAD_THREADS", "1");
+
+    let data = Dataset::generate(DatasetKind::YelpChi, Scale::Small, 7);
+    let mut cfg = UmgadConfig::fast_test();
+    cfg.epochs = 4;
+    cfg.seed = 7;
+    let mut model = Umgad::new(&data.graph, cfg);
+
+    // Warm-up: epoch 1 populates the arena, epoch 2 settles Vec capacities
+    // (op tape, score scratch) at their high-water marks.
+    model.train_epoch(&data.graph);
+    model.train_epoch(&data.graph);
+    let warm = model.epoch_arena_stats();
+
+    let allocs_before = umgad_rt::alloc::allocation_count();
+    let bytes_before = umgad_rt::alloc::allocated_bytes();
+    model.train_epoch(&data.graph);
+    let allocs = umgad_rt::alloc::allocation_count() - allocs_before;
+    let bytes = umgad_rt::alloc::allocated_bytes() - bytes_before;
+
+    let steady = model.epoch_arena_stats();
+    eprintln!(
+        "steady-state epoch: {allocs} allocations, {bytes} bytes, arena {:?}",
+        steady
+    );
+    assert_eq!(
+        steady.misses,
+        warm.misses,
+        "steady-state epoch fell through the arena: {} new misses",
+        steady.misses - warm.misses
+    );
+    assert!(
+        steady.hits > warm.hits,
+        "steady-state epoch reported no arena traffic — instrumentation broken?"
+    );
+    assert!(
+        allocs <= STEADY_EPOCH_ALLOC_BUDGET,
+        "steady-state epoch performed {allocs} allocations ({bytes} bytes), \
+         budget is {STEADY_EPOCH_ALLOC_BUDGET} — a per-epoch matrix \
+         allocation has likely crept back in"
+    );
+}
