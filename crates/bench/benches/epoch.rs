@@ -13,10 +13,16 @@
 //!
 //! Smoke mode (`cargo test` runs each body once) drops to `Scale::Tiny`;
 //! real measurements use YelpChi at `Scale::Small` (1/4 of Table I).
+//!
+//! In measuring mode the steady-state run additionally emits a per-phase
+//! breakdown (recon / contrastive / backward / optimizer nanoseconds from
+//! [`umgad_core::EpochStats`]) as `rt-bench/epoch_phases.json`, which
+//! `bench_agg` folds into `BENCH_epoch.json` alongside the wall-clocks.
 
-use umgad_core::{Umgad, UmgadConfig};
+use umgad_core::{EpochStats, Umgad, UmgadConfig};
 use umgad_data::{Dataset, DatasetKind, Scale};
 use umgad_rt::bench::{black_box, Criterion};
+use umgad_rt::json::{to_string, Value};
 use umgad_rt::{criterion_group, criterion_main};
 
 fn epoch_config(seed: u64) -> UmgadConfig {
@@ -56,6 +62,61 @@ fn bench_train_epoch(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // The steady-state model's history now holds phase timings for every
+    // measured epoch — fold them into a bench-shaped phase report.
+    if c.measuring() {
+        write_phase_report("train_epoch_yelpchi_small", &model.history[2..]);
+    }
+}
+
+/// Aggregate per-phase nanoseconds over `epochs` into bench-report entries
+/// (`<group>/phase_<name>` with samples/mean/median/p95) and write them as
+/// `epoch_phases.json` next to the harness's own report, where `bench_agg`
+/// picks them up for `BENCH_epoch.json`.
+fn write_phase_report(group: &str, epochs: &[EpochStats]) {
+    if epochs.is_empty() {
+        return;
+    }
+    type PhaseNs = fn(&EpochStats) -> u64;
+    let phases: [(&str, PhaseNs); 4] = [
+        ("phase_recon", |s| s.recon_ns),
+        ("phase_contrastive", |s| s.contrastive_ns),
+        ("phase_backward", |s| s.backward_ns),
+        ("phase_optimizer", |s| s.optimizer_ns),
+    ];
+    let entries: Vec<Value> = phases
+        .iter()
+        .map(|&(name, get)| {
+            let mut ns: Vec<f64> = epochs.iter().map(|s| get(s) as f64).collect();
+            ns.sort_by(f64::total_cmp);
+            let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+            let at = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+            Value::Obj(vec![
+                ("name".into(), Value::Str(format!("{group}/{name}"))),
+                ("samples".into(), Value::U64(ns.len() as u64)),
+                ("mean_ns".into(), Value::F64(mean)),
+                ("median_ns".into(), Value::F64(at(0.5))),
+                ("p95_ns".into(), Value::F64(at(0.95))),
+            ])
+        })
+        .collect();
+    let path = match std::env::var("RT_BENCH_OUT") {
+        Ok(p) => std::path::Path::new(&p).with_file_name("epoch_phases.json"),
+        Err(_) => std::env::current_exe()
+            .ok()
+            .and_then(|p| p.ancestors().nth(3).map(|d| d.to_path_buf()))
+            .unwrap_or_else(|| std::path::PathBuf::from("target"))
+            .join("rt-bench")
+            .join("epoch_phases.json"),
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match to_string(&Value::Arr(entries)).map(|s| std::fs::write(&path, s)) {
+        Ok(Ok(())) => println!("epoch phase report written to {}", path.display()),
+        other => eprintln!("epoch phase report failed: {other:?}"),
+    }
 }
 
 criterion_group! {

@@ -163,10 +163,11 @@ fn main() {
         );
     };
 
-    // Epoch-level (end-to-end train_epoch) entries get their own document.
+    // Epoch-level entries — the end-to-end `epoch` bench binary plus its
+    // `epoch_phases` breakdown report — get their own document.
     let (epoch_vals, kernel_vals): (Vec<_>, Vec<_>) = benches
         .into_iter()
-        .partition(|(source, _, _)| source == "epoch");
+        .partition(|(source, _, _)| source.starts_with("epoch"));
     let strip = |v: Vec<(String, String, Value)>| -> Vec<Value> {
         v.into_iter().map(|(_, _, val)| val).collect()
     };

@@ -56,6 +56,9 @@ pub enum Command {
         checkpoint_every: usize,
         /// Resume from a full-state checkpoint instead of starting fresh.
         resume: Option<PathBuf>,
+        /// Write a telemetry + per-epoch metrics JSON report here (implies
+        /// enabling telemetry for the run).
+        metrics: Option<PathBuf>,
     },
     /// Score a graph with a previously saved model (no training).
     Score {
@@ -104,7 +107,7 @@ pub fn usage() -> &'static str {
     "usage: umgad <generate|detect|baseline|import|threshold|methods> [flags]\n\
      generate  --dataset retail|alibaba|amazon|yelpchi [--scale F] [--seed N] --out FILE\n\
      detect    --input FILE [--epochs N] [--seed N] [--real] [--scores FILE] [--save-model FILE]\n\
-    \u{20}          [--checkpoint FILE [--checkpoint-every N]] [--resume FILE]\n\
+    \u{20}          [--checkpoint FILE [--checkpoint-every N]] [--resume FILE] [--metrics FILE]\n\
      score     --input FILE --model FILE [--scores FILE]\n\
      baseline  --input FILE --method NAME [--epochs N] [--seed N] [--scores FILE]\n\
      threshold --scores FILE\n\
@@ -183,6 +186,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 checkpoint,
                 checkpoint_every,
                 resume: get("resume").map(Into::into),
+                metrics: get("metrics").map(Into::into),
             })
         }
         "score" => Ok(Command::Score {
@@ -294,7 +298,13 @@ pub fn run(cmd: Command) -> Result<String, String> {
             checkpoint,
             checkpoint_every,
             resume,
+            metrics,
         } => {
+            if metrics.is_some() {
+                // Enable before any instrumented work so kernel spans from
+                // training and scoring are all captured.
+                umgad_rt::telemetry::set_enabled(true);
+            }
             let graph = load_graph(&input).map_err(|e| e.to_string())?;
             let mut extra = String::new();
             let mut model = match &resume {
@@ -336,6 +346,10 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 let _ = writeln!(extra, "saved model to {}", p.display());
             }
             let s = model.anomaly_scores(&graph);
+            if let Some(p) = &metrics {
+                write_metrics_report(&model, p)?;
+                let _ = writeln!(extra, "wrote metrics to {}", p.display());
+            }
             finish_scores(&graph, &s, scores).map(|out| extra + &out)
         }
         Command::Score {
@@ -420,6 +434,30 @@ pub fn run(cmd: Command) -> Result<String, String> {
             Ok(out)
         }
     }
+}
+
+/// Shape of the `--metrics` JSON report: the process-wide telemetry
+/// snapshot (kernel spans, pool/arena counters, loss gauges) plus the
+/// per-epoch stats history with phase timings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsReport {
+    /// Global registry snapshot at the end of the run.
+    pub telemetry: umgad_rt::telemetry::TelemetryReport,
+    /// One entry per completed epoch (restored history included when the
+    /// run was resumed from a checkpoint).
+    pub epochs: Vec<umgad_core::persist::EpochStatsData>,
+}
+
+umgad_rt::json_object!(MetricsReport { telemetry, epochs });
+
+/// Snapshot telemetry + epoch history and write the report atomically.
+fn write_metrics_report(model: &Umgad, path: &std::path::Path) -> Result<(), String> {
+    let report = MetricsReport {
+        telemetry: umgad_rt::telemetry::report(),
+        epochs: model.history.iter().map(Into::into).collect(),
+    };
+    let json = umgad_rt::json::to_string(&report).map_err(|e| e.to_string())?;
+    umgad_rt::fs::atomic_write_string(path, &json).map_err(|e| e.to_string())
 }
 
 /// Shared tail of detect/baseline: evaluate when labels exist, write or
@@ -640,6 +678,7 @@ mod tests {
             checkpoint,
             checkpoint_every,
             resume,
+            metrics: None,
         };
 
         // Uninterrupted 4-epoch run.
@@ -694,6 +733,7 @@ mod tests {
             checkpoint: None,
             checkpoint_every: 0,
             resume: None,
+            metrics: None,
         })
         .unwrap();
         assert!(out.contains("AUC"), "labels present => summary: {out}");

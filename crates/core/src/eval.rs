@@ -292,4 +292,112 @@ mod tests {
         let labels = [true, true, false, false];
         assert_eq!(macro_f1_at(&scores, &labels, 0.5), 1.0);
     }
+
+    mod properties {
+        use super::super::*;
+        use umgad_rt::proptest::collection::vec;
+        use umgad_rt::proptest::prelude::*;
+
+        /// O(n²) ROC-AUC: fraction of (positive, negative) pairs the
+        /// positive outranks, ties counting half — the Mann–Whitney
+        /// definition the rank implementation must reproduce.
+        fn brute_force_auc(scores: &[f64], labels: &[bool]) -> f64 {
+            let pos: Vec<f64> = scores
+                .iter()
+                .zip(labels)
+                .filter(|(_, &l)| l)
+                .map(|(&s, _)| s)
+                .collect();
+            let neg: Vec<f64> = scores
+                .iter()
+                .zip(labels)
+                .filter(|(_, &l)| !l)
+                .map(|(&s, _)| s)
+                .collect();
+            if pos.is_empty() || neg.is_empty() {
+                return 0.5;
+            }
+            let mut won = 0.0;
+            for &p in &pos {
+                for &n in &neg {
+                    if p > n {
+                        won += 1.0;
+                    } else if p == n {
+                        won += 0.5;
+                    }
+                }
+            }
+            won / (pos.len() * neg.len()) as f64
+        }
+
+        /// Macro-F1 from first principles: per-class precision/recall with
+        /// explicit zero-denominator conventions, harmonically averaged.
+        fn naive_macro_f1(scores: &[f64], labels: &[bool], threshold: f64) -> f64 {
+            let (mut tp, mut fp, mut tn, mut fn_) = (0.0f64, 0.0, 0.0, 0.0);
+            for (&s, &l) in scores.iter().zip(labels) {
+                match (s >= threshold, l) {
+                    (true, true) => tp += 1.0,
+                    (true, false) => fp += 1.0,
+                    (false, false) => tn += 1.0,
+                    (false, true) => fn_ += 1.0,
+                }
+            }
+            let f1 = |tp: f64, fp: f64, fn_: f64| {
+                let prec = if tp + fp == 0.0 { 0.0 } else { tp / (tp + fp) };
+                let rec = if tp + fn_ == 0.0 {
+                    0.0
+                } else {
+                    tp / (tp + fn_)
+                };
+                if prec + rec == 0.0 {
+                    0.0
+                } else {
+                    2.0 * prec * rec / (prec + rec)
+                }
+            };
+            // The negative class swaps the roles of fp and fn.
+            (f1(tp, fp, fn_) + f1(tn, fn_, fp)) / 2.0
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn auc_matches_pairwise_brute_force_with_ties(
+                data in vec((0u32..8, umgad_rt::proptest::bool::weighted(0.35)), 1..60)
+            ) {
+                // Quantised scores guarantee tie blocks, the hard case for
+                // the average-rank correction.
+                let scores: Vec<f64> = data.iter().map(|&(q, _)| q as f64 / 4.0).collect();
+                let labels: Vec<bool> = data.iter().map(|&(_, l)| l).collect();
+                let fast = roc_auc(&scores, &labels);
+                let brute = brute_force_auc(&scores, &labels);
+                prop_assert!((fast - brute).abs() < 1e-9, "rank {fast} vs pairwise {brute}");
+            }
+
+            #[test]
+            fn auc_matches_pairwise_brute_force_continuous(
+                data in vec((-1.0f64..1.0, umgad_rt::proptest::bool::weighted(0.5)), 2..40)
+            ) {
+                let scores: Vec<f64> = data.iter().map(|&(s, _)| s).collect();
+                let labels: Vec<bool> = data.iter().map(|&(_, l)| l).collect();
+                let fast = roc_auc(&scores, &labels);
+                let brute = brute_force_auc(&scores, &labels);
+                prop_assert!((fast - brute).abs() < 1e-9, "rank {fast} vs pairwise {brute}");
+            }
+
+            #[test]
+            fn macro_f1_matches_naive_confusion(
+                data in vec((0u32..6, umgad_rt::proptest::bool::weighted(0.4)), 1..50),
+                t in 0u32..7
+            ) {
+                let scores: Vec<f64> = data.iter().map(|&(q, _)| q as f64).collect();
+                let labels: Vec<bool> = data.iter().map(|&(_, l)| l).collect();
+                let threshold = t as f64;
+                let ours = macro_f1_at(&scores, &labels, threshold);
+                let naive = naive_macro_f1(&scores, &labels, threshold);
+                prop_assert!((ours - naive).abs() < 1e-9, "impl {ours} vs naive {naive}");
+            }
+        }
+    }
 }

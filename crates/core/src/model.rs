@@ -48,6 +48,47 @@ pub struct EpochStats {
     pub contrastive: f64,
     /// Wall-clock duration of the epoch.
     pub duration: Duration,
+    /// Nanoseconds in the reconstruction forward passes (original view plus
+    /// both augmented views, sections 1–2b of the epoch).
+    pub recon_ns: u64,
+    /// Nanoseconds in dual-view contrastive loss construction.
+    pub contrastive_ns: u64,
+    /// Nanoseconds in the reverse-mode sweep (`tape.backward`).
+    pub backward_ns: u64,
+    /// Nanoseconds applying Adam updates to every module.
+    pub optimizer_ns: u64,
+    /// Buffer-arena hits this epoch (allocations served from recycled
+    /// storage).
+    pub arena_hits: u64,
+    /// Buffer-arena misses this epoch (fresh heap allocations).
+    pub arena_misses: u64,
+}
+
+impl EpochStats {
+    /// Feed this epoch's phase timings, loss components, and arena traffic
+    /// into the global telemetry registry. Every call below is a no-op
+    /// (single atomic load) while telemetry is disabled.
+    fn emit_telemetry(&self) {
+        use umgad_rt::telemetry as tm;
+        tm::record_span_ns("epoch.recon", self.recon_ns);
+        tm::record_span_ns("epoch.contrastive", self.contrastive_ns);
+        tm::record_span_ns("epoch.backward", self.backward_ns);
+        tm::record_span_ns("epoch.optimizer", self.optimizer_ns);
+        tm::counter_add("epoch.count", 1);
+        tm::counter_add("arena.hits", self.arena_hits);
+        tm::counter_add("arena.misses", self.arena_misses);
+        tm::gauge_set("loss.total", self.total);
+        tm::gauge_set("loss.original", self.original);
+        tm::gauge_set("loss.attr_aug", self.attr_aug);
+        tm::gauge_set("loss.subgraph_aug", self.subgraph_aug);
+        tm::gauge_set("loss.contrastive", self.contrastive);
+    }
+}
+
+/// Saturating nanosecond clock delta for phase timing.
+#[inline]
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Bounded number of rollback-and-retry attempts a guarded epoch makes
@@ -279,6 +320,15 @@ impl Umgad {
             .as_ref()
             .map(|s| s.tape.arena_stats())
             .unwrap_or_default()
+    }
+
+    /// Stats of the most recent training epoch, without walking `history`
+    /// by hand. `None` before the first epoch (including right after a
+    /// checkpoint restore onto a fresh process — history is restored, so
+    /// this returns the restored tail, but the telemetry registry restarts
+    /// from zero; see `DESIGN.md` §5f).
+    pub fn last_epoch_stats(&self) -> Option<&EpochStats> {
+        self.history.last()
     }
 
     /// Configuration in use.
@@ -569,6 +619,7 @@ impl Umgad {
         let x_rc: Arc<Matrix> = Arc::clone(&scratch.attrs);
         let pairs = std::mem::take(&mut scratch.pairs);
         let mut tape = std::mem::take(&mut scratch.tape);
+        let arena_before = tape.arena_stats();
 
         let x_const = tape.constant_from(&x_rc);
         let x_in = if self.cfg.dropout > 0.0 {
@@ -595,6 +646,11 @@ impl Umgad {
         let mut fused_orig: Vec<Var> = Vec::new();
         let mut fused_aa: Vec<Var> = Vec::new();
         let mut fused_sa: Vec<Var> = Vec::new();
+
+        // Phase timers cost one clock read each and feed both `EpochStats`
+        // and (when enabled) the telemetry registry; they never touch the
+        // computation, so determinism is unaffected.
+        let t_recon = Instant::now();
 
         // ---- (1) original view -----------------------------------------
         if ab.original_view {
@@ -836,6 +892,9 @@ impl Umgad {
             }
         }
 
+        stats.recon_ns = elapsed_ns(t_recon);
+        let t_contrastive = Instant::now();
+
         // ---- (3) dual-view contrastive learning (Eq. 17) ----------------
         if ab.contrastive
             && !fused_orig.is_empty()
@@ -872,6 +931,9 @@ impl Umgad {
             }
         }
 
+        stats.contrastive_ns = elapsed_ns(t_contrastive);
+        let t_backward = Instant::now();
+
         // ---- (4) combine, backprop, update ------------------------------
         assert!(
             !loss_terms.is_empty(),
@@ -883,6 +945,8 @@ impl Umgad {
         }
         stats.total = tape.value(total).get(0, 0);
         tape.backward(total);
+        stats.backward_ns = elapsed_ns(t_backward);
+        let t_optimizer = Instant::now();
 
         for (m, b) in self.orig_attr.iter_mut().zip(&b_orig_attr) {
             m.update(&tape, b, &self.opt);
@@ -898,6 +962,11 @@ impl Umgad {
         }
         self.a_weights.update(&tape, &aw, &self.opt);
         self.b_weights.update(&tape, &bw, &self.opt);
+        stats.optimizer_ns = elapsed_ns(t_optimizer);
+
+        let arena_after = tape.arena_stats();
+        stats.arena_hits = arena_after.hits - arena_before.hits;
+        stats.arena_misses = arena_after.misses - arena_before.misses;
 
         // Park the tape (arena + this epoch's buffers) and invariants for
         // the next epoch.
@@ -907,6 +976,7 @@ impl Umgad {
 
         stats.duration = start.elapsed();
         self.history.push(stats);
+        stats.emit_telemetry();
         stats
     }
 

@@ -516,7 +516,7 @@ impl GmaeState {
 }
 
 /// Serialisable [`EpochStats`] (duration flattened to seconds).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EpochStatsData {
     /// Total Eq. 18 loss.
     pub total: f64,
@@ -530,6 +530,18 @@ pub struct EpochStatsData {
     pub contrastive: f64,
     /// Wall-clock seconds of the epoch.
     pub duration_secs: f64,
+    /// Nanoseconds in the reconstruction forward passes.
+    pub recon_ns: u64,
+    /// Nanoseconds in contrastive loss construction.
+    pub contrastive_ns: u64,
+    /// Nanoseconds in the backward sweep.
+    pub backward_ns: u64,
+    /// Nanoseconds applying optimiser updates.
+    pub optimizer_ns: u64,
+    /// Buffer-arena hits during the epoch.
+    pub arena_hits: u64,
+    /// Buffer-arena misses during the epoch.
+    pub arena_misses: u64,
 }
 
 umgad_rt::json_object!(EpochStatsData {
@@ -538,7 +550,13 @@ umgad_rt::json_object!(EpochStatsData {
     attr_aug,
     subgraph_aug,
     contrastive,
-    duration_secs
+    duration_secs,
+    recon_ns,
+    contrastive_ns,
+    backward_ns,
+    optimizer_ns,
+    arena_hits,
+    arena_misses
 });
 
 impl From<&EpochStats> for EpochStatsData {
@@ -550,11 +568,33 @@ impl From<&EpochStats> for EpochStatsData {
             subgraph_aug: s.subgraph_aug,
             contrastive: s.contrastive,
             duration_secs: s.duration.as_secs_f64(),
+            recon_ns: s.recon_ns,
+            contrastive_ns: s.contrastive_ns,
+            backward_ns: s.backward_ns,
+            optimizer_ns: s.optimizer_ns,
+            arena_hits: s.arena_hits,
+            arena_misses: s.arena_misses,
         }
     }
 }
 
 impl EpochStatsData {
+    /// Zero every wall-clock / process-scoped diagnostic field (epoch
+    /// duration, phase timings, arena traffic), keeping only the
+    /// deterministic loss components. Checkpoint-equality tests that
+    /// compare a resumed run against an uninterrupted one go through
+    /// this: timings legitimately differ between runs, and a resumed
+    /// process starts with a cold buffer arena.
+    pub fn clear_diagnostics(&mut self) {
+        self.duration_secs = 0.0;
+        self.recon_ns = 0;
+        self.contrastive_ns = 0;
+        self.backward_ns = 0;
+        self.optimizer_ns = 0;
+        self.arena_hits = 0;
+        self.arena_misses = 0;
+    }
+
     /// Reconstruct the runtime stats record.
     pub fn restore(&self) -> Result<EpochStats, String> {
         if !(self.duration_secs.is_finite() && self.duration_secs >= 0.0) {
@@ -567,6 +607,12 @@ impl EpochStatsData {
             subgraph_aug: self.subgraph_aug,
             contrastive: self.contrastive,
             duration: Duration::from_secs_f64(self.duration_secs),
+            recon_ns: self.recon_ns,
+            contrastive_ns: self.contrastive_ns,
+            backward_ns: self.backward_ns,
+            optimizer_ns: self.optimizer_ns,
+            arena_hits: self.arena_hits,
+            arena_misses: self.arena_misses,
         })
     }
 }
@@ -648,14 +694,21 @@ impl Umgad {
     /// the write, so the fault suite can kill the process at the exact
     /// boundary between "epoch finished" and "checkpoint durable".
     pub fn save_train_checkpoint(&self, path: &Path) -> std::io::Result<()> {
+        let _span = umgad_rt::telemetry::span("persist.checkpoint_write");
         let json =
             umgad_rt::json::to_string(&self.train_checkpoint()).map_err(std::io::Error::other)?;
         umgad_rt::fault_point!("persist.write")?;
-        umgad_rt::fs::atomic_write_string(path, &json)
+        let res = umgad_rt::fs::atomic_write_string(path, &json);
+        if res.is_ok() {
+            umgad_rt::telemetry::counter_add("persist.checkpoints", 1);
+            umgad_rt::telemetry::counter_add("persist.bytes_written", json.len() as u64);
+        }
+        res
     }
 
     /// Read a [`TrainCheckpoint`] back from disk.
     pub fn load_train_checkpoint(path: &Path) -> Result<TrainCheckpoint, String> {
+        let _span = umgad_rt::telemetry::span("persist.checkpoint_read");
         let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
         umgad_rt::json::from_str(&json).map_err(|e| e.to_string())
     }
@@ -836,12 +889,13 @@ mod tests {
         assert_eq!(json, json2, "TrainCheckpoint JSON must be byte-stable");
     }
 
-    /// Checkpoint JSON with wall-clock durations zeroed: epoch timings are
-    /// diagnostic and legitimately differ between a resumed and an
-    /// uninterrupted run, everything else must match to the byte.
+    /// Checkpoint JSON with wall-clock / process-scoped diagnostics zeroed:
+    /// epoch timings and arena traffic legitimately differ between a
+    /// resumed and an uninterrupted run, everything else must match to the
+    /// byte.
     fn canonical_ckpt(mut ckpt: TrainCheckpoint) -> String {
         for h in &mut ckpt.history {
-            h.duration_secs = 0.0;
+            h.clear_diagnostics();
         }
         umgad_rt::json::to_string(&ckpt).unwrap()
     }

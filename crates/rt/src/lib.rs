@@ -34,6 +34,10 @@
 //! - [`alloc`] — a counting `GlobalAlloc` wrapper over the system allocator
 //!   so allocation-regression tests can pin steady-state epoch allocation
 //!   counts.
+//! - [`telemetry`] — span timers, counters, and gauges behind a
+//!   process-global registry, disabled by default (single relaxed atomic
+//!   load on the fast path) and enabled via `UMGAD_TELEMETRY=1` or API;
+//!   snapshots export as round-trip-exact JSON.
 
 pub mod alloc;
 pub mod bench;
@@ -43,3 +47,4 @@ pub mod json;
 pub mod pool;
 pub mod proptest;
 pub mod rand;
+pub mod telemetry;

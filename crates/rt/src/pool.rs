@@ -19,6 +19,11 @@
 //!   panic resumes on the *submitting* thread once the batch is done.
 //! - **Cooperative shutdown.** Dropping a (non-global) pool flags shutdown,
 //!   wakes every worker, and joins them.
+//! - **Dispatch accounting.** When [`crate::telemetry`] is enabled, every
+//!   batch and job increments the `pool.batches` / `pool.jobs` counters,
+//!   split into `pool.jobs_helped` (drained by the submitting thread) and
+//!   `pool.jobs_stolen` (executed by a worker) — the live steal ratio the
+//!   bench sweep can otherwise only infer.
 //!
 //! Determinism contract: the pool runs whatever jobs it is given; callers
 //! guarantee bit-reproducibility by partitioning *output* rows so that every
@@ -162,6 +167,8 @@ impl Pool {
                 std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job)
             })
             .collect();
+        crate::telemetry::counter_add("pool.batches", 1);
+        crate::telemetry::counter_add("pool.jobs", jobs.len() as u64);
         let batch = Batch::new(jobs.len());
         {
             let mut q = lock_ignore_poison(&self.shared.queue);
@@ -180,7 +187,10 @@ impl Pool {
                 idx.and_then(|i| q.jobs.remove(i))
             };
             match job {
-                Some((b, job)) => b.run_job(job),
+                Some((b, job)) => {
+                    crate::telemetry::counter_add("pool.jobs_helped", 1);
+                    b.run_job(job);
+                }
                 None => break,
             }
         }
@@ -223,7 +233,10 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match next {
-            Some((batch, job)) => batch.run_job(job),
+            Some((batch, job)) => {
+                crate::telemetry::counter_add("pool.jobs_stolen", 1);
+                batch.run_job(job);
+            }
             None => return,
         }
     }
@@ -233,7 +246,11 @@ fn worker_loop(shared: &Shared) {
 /// [`configured_threads()`] lanes.
 pub fn global() -> &'static Pool {
     static GLOBAL: OnceLock<Pool> = OnceLock::new();
-    GLOBAL.get_or_init(|| Pool::new(configured_threads()))
+    GLOBAL.get_or_init(|| {
+        let threads = configured_threads();
+        crate::telemetry::gauge_set("pool.threads", threads as f64);
+        Pool::new(threads)
+    })
 }
 
 /// The configured degree of parallelism for this process.

@@ -1,0 +1,443 @@
+//! In-process telemetry: span timers, monotonic counters, and gauges behind
+//! a process-global registry that is **disabled by default**.
+//!
+//! The observability layer exists to answer "where do time and loss go at
+//! runtime" without a bench sweep — per-kernel span aggregates, pool
+//! dispatch counters, and per-epoch phase timings all land here — while
+//! never disturbing the workspace's two hard guarantees:
+//!
+//! - **Bitwise determinism.** Telemetry only *observes*: nothing read from
+//!   the registry feeds computation, so scores are identical with the layer
+//!   on or off (pinned by `tests/telemetry_invariance.rs`).
+//! - **Zero-churn epochs.** When disabled, every entry point is a single
+//!   relaxed atomic load and [`span`] hands back a guard holding no
+//!   timestamp — no allocation, no clock read, no lock. The steady-state
+//!   allocation budget in `tests/alloc_budget.rs` therefore holds verbatim.
+//!
+//! Enable with the `UMGAD_TELEMETRY=1` environment variable (read once, on
+//! first use) or programmatically via [`set_enabled`]. The registry is
+//! process-scoped: counters reset when the process does (a run resumed from
+//! a checkpoint starts its telemetry from zero — see `DESIGN.md` §5f).
+//!
+//! ## Span taxonomy
+//!
+//! Dotted lower-case labels, coarse-to-fine: `kernel.*` for tensor kernels
+//! (`kernel.matmul`, `kernel.spmm`, `kernel.fused`), `epoch.*` for training
+//! phases (`epoch.recon`, `epoch.contrastive`, `epoch.backward`,
+//! `epoch.optimizer`), `persist.*` for checkpoint I/O, `pool.*` counters
+//! for dispatch accounting, `arena.*` counters for buffer-arena traffic.
+//!
+//! ```
+//! umgad_rt::telemetry::set_enabled(true);
+//! {
+//!     let _guard = umgad_rt::telemetry::span("kernel.matmul");
+//!     // ... timed work ...
+//! }
+//! umgad_rt::telemetry::counter_add("pool.jobs", 3);
+//! let report = umgad_rt::telemetry::report();
+//! assert_eq!(report.spans[0].label, "kernel.matmul");
+//! assert_eq!(report.counters[0].value, 3);
+//! # umgad_rt::telemetry::reset();
+//! # umgad_rt::telemetry::set_enabled(false);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Master switch. Relaxed ordering is sufficient: the flag only gates
+/// observation, never computation, and a racy read at worst drops or adds
+/// one sample around an enable/disable edge.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// One-time environment probe (`UMGAD_TELEMETRY=1`). `Once` completes to a
+/// single atomic load on every later call, keeping the disabled fast path
+/// allocation- and syscall-free.
+static ENV_INIT: Once = Once::new();
+
+/// Whether telemetry is currently recording.
+///
+/// The first call reads `UMGAD_TELEMETRY` (the value `1` enables, anything
+/// else leaves the programmatic state untouched); afterwards this is a
+/// single relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENV_INIT.call_once(|| {
+        if std::env::var("UMGAD_TELEMETRY").as_deref() == Ok("1") {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    });
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on or off programmatically (the CLI's `--metrics` flag
+/// does this). Already-recorded aggregates are kept; call [`reset`] to
+/// discard them.
+pub fn set_enabled(on: bool) {
+    // Make sure the env probe cannot later override an explicit choice.
+    ENV_INIT.call_once(|| {});
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Aggregate of every completed span with one label.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl SpanAgg {
+    fn record(&mut self, ns: u64) {
+        self.min_ns = if self.count == 0 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
+        self.max_ns = self.max_ns.max(ns);
+        self.count += 1;
+        self.total_ns += ns;
+    }
+}
+
+/// The global registry. Labels are `&'static str` so recording never clones
+/// a string; a `Mutex` (not sharded) is fine because spans wrap chunky
+/// work — a kernel call, an epoch phase, a checkpoint write — never inner
+/// loops.
+#[derive(Default)]
+struct Registry {
+    spans: HashMap<&'static str, SpanAgg>,
+    counters: HashMap<&'static str, u64>,
+    gauges: HashMap<&'static str, f64>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Registry::default()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// RAII span timer: measures from [`span`] to drop and folds the elapsed
+/// nanoseconds into the label's aggregate. When telemetry is disabled the
+/// guard holds no timestamp and drop is a no-op.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard {
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            registry().spans.entry(self.label).or_default().record(ns);
+        }
+    }
+}
+
+/// Start a span timer for `label`. Thread-aware: guards dropped on pool
+/// workers and on the main thread aggregate into the same per-label entry.
+#[inline]
+pub fn span(label: &'static str) -> SpanGuard {
+    SpanGuard {
+        label,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Record an externally measured duration against `label`'s span aggregate
+/// (for phases timed independently of telemetry, e.g. `EpochStats`).
+#[inline]
+pub fn record_span_ns(label: &'static str, ns: u64) {
+    if enabled() {
+        registry().spans.entry(label).or_default().record(ns);
+    }
+}
+
+/// Add `n` to the monotonic counter `label`, creating it at zero first.
+/// `counter_add(label, 0)` therefore registers a counter so it appears in
+/// the report even when nothing incremented it.
+#[inline]
+pub fn counter_add(label: &'static str, n: u64) {
+    if enabled() {
+        *registry().counters.entry(label).or_insert(0) += n;
+    }
+}
+
+/// Set the gauge `label` to `v` (last write wins).
+#[inline]
+pub fn gauge_set(label: &'static str, v: f64) {
+    if enabled() {
+        registry().gauges.insert(label, v);
+    }
+}
+
+/// Discard every recorded aggregate, counter, and gauge. The enabled flag
+/// is untouched.
+pub fn reset() {
+    let mut r = registry();
+    r.spans.clear();
+    r.counters.clear();
+    r.gauges.clear();
+}
+
+/// Snapshot of one span label's aggregate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanReport {
+    /// Span label (see the module-level taxonomy).
+    pub label: String,
+    /// Completed spans.
+    pub count: u64,
+    /// Sum of elapsed nanoseconds.
+    pub total_ns: u64,
+    /// Fastest span.
+    pub min_ns: u64,
+    /// Slowest span.
+    pub max_ns: u64,
+}
+
+crate::json_object!(SpanReport {
+    label,
+    count,
+    total_ns,
+    min_ns,
+    max_ns
+});
+
+/// Snapshot of one counter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterReport {
+    /// Counter label.
+    pub label: String,
+    /// Monotonic value since process start (or the last [`reset`]).
+    pub value: u64,
+}
+
+crate::json_object!(CounterReport { label, value });
+
+/// Snapshot of one gauge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaugeReport {
+    /// Gauge label.
+    pub label: String,
+    /// Last value written.
+    pub value: f64,
+}
+
+crate::json_object!(GaugeReport { label, value });
+
+/// A point-in-time snapshot of the whole registry, sorted by label so the
+/// JSON layout (not the timings) is deterministic. Round-trips exactly
+/// through [`crate::json`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Span aggregates, label-sorted.
+    pub spans: Vec<SpanReport>,
+    /// Counters, label-sorted.
+    pub counters: Vec<CounterReport>,
+    /// Gauges, label-sorted.
+    pub gauges: Vec<GaugeReport>,
+}
+
+crate::json_object!(TelemetryReport {
+    spans,
+    counters,
+    gauges
+});
+
+/// Snapshot the registry. Cheap enough to call repeatedly; recording
+/// continues unaffected.
+pub fn report() -> TelemetryReport {
+    let r = registry();
+    let mut spans: Vec<SpanReport> = r
+        .spans
+        .iter()
+        .map(|(&label, agg)| SpanReport {
+            label: label.to_string(),
+            count: agg.count,
+            total_ns: agg.total_ns,
+            min_ns: agg.min_ns,
+            max_ns: agg.max_ns,
+        })
+        .collect();
+    spans.sort_by(|a, b| a.label.cmp(&b.label));
+    let mut counters: Vec<CounterReport> = r
+        .counters
+        .iter()
+        .map(|(&label, &value)| CounterReport {
+            label: label.to_string(),
+            value,
+        })
+        .collect();
+    counters.sort_by(|a, b| a.label.cmp(&b.label));
+    let mut gauges: Vec<GaugeReport> = r
+        .gauges
+        .iter()
+        .map(|(&label, &value)| GaugeReport {
+            label: label.to_string(),
+            value,
+        })
+        .collect();
+    gauges.sort_by(|a, b| a.label.cmp(&b.label));
+    TelemetryReport {
+        spans,
+        counters,
+        gauges,
+    }
+}
+
+impl TelemetryReport {
+    /// Look up a span aggregate by label.
+    pub fn span(&self, label: &str) -> Option<&SpanReport> {
+        self.spans.iter().find(|s| s.label == label)
+    }
+
+    /// Look up a counter value by label.
+    pub fn counter(&self, label: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.label == label)
+            .map(|c| c.value)
+    }
+
+    /// Look up a gauge value by label.
+    pub fn gauge(&self, label: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.label == label)
+            .map(|g| g.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry and flag are process-global; tests serialise through
+    /// this lock so parallel test threads can't interleave enable/reset.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = serial();
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("t.disabled");
+        }
+        counter_add("t.disabled", 5);
+        gauge_set("t.disabled", 1.0);
+        let r = report();
+        assert!(r.span("t.disabled").is_none());
+        assert!(r.counter("t.disabled").is_none());
+        assert!(r.gauge("t.disabled").is_none());
+    }
+
+    #[test]
+    fn spans_aggregate_count_total_min_max() {
+        let _g = serial();
+        set_enabled(true);
+        reset();
+        for _ in 0..3 {
+            let _s = span("t.spin");
+        }
+        record_span_ns("t.fixed", 10);
+        record_span_ns("t.fixed", 30);
+        let r = report();
+        let spin = r.span("t.spin").expect("recorded");
+        assert_eq!(spin.count, 3);
+        assert!(spin.total_ns >= spin.min_ns + spin.max_ns);
+        assert!(spin.min_ns <= spin.max_ns);
+        let fixed = r.span("t.fixed").expect("recorded");
+        assert_eq!(
+            (fixed.count, fixed.total_ns, fixed.min_ns, fixed.max_ns),
+            (2, 40, 10, 30)
+        );
+        reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let _g = serial();
+        set_enabled(true);
+        reset();
+        counter_add("t.jobs", 0); // registration only
+        counter_add("t.hits", 2);
+        counter_add("t.hits", 3);
+        gauge_set("t.level", 1.5);
+        gauge_set("t.level", 2.5); // last write wins
+        let r = report();
+        assert_eq!(r.counter("t.jobs"), Some(0));
+        assert_eq!(r.counter("t.hits"), Some(5));
+        assert_eq!(r.gauge("t.level"), Some(2.5));
+        reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn report_is_label_sorted_and_roundtrips_json() {
+        let _g = serial();
+        set_enabled(true);
+        reset();
+        record_span_ns("t.z", 7);
+        record_span_ns("t.a", 9);
+        counter_add("t.z", 1);
+        counter_add("t.a", 2);
+        gauge_set("t.z", 0.25);
+        gauge_set("t.a", -0.5);
+        let r = report();
+        // Relative order only: other tests in this binary may record their
+        // own labels while telemetry is enabled here.
+        let pos = |labels: Vec<&str>, want: &str| {
+            labels
+                .iter()
+                .position(|&l| l == want)
+                .unwrap_or_else(|| panic!("{want} missing"))
+        };
+        let span_labels: Vec<&str> = r.spans.iter().map(|s| s.label.as_str()).collect();
+        assert!(pos(span_labels.clone(), "t.a") < pos(span_labels, "t.z"));
+        let counter_labels: Vec<&str> = r.counters.iter().map(|c| c.label.as_str()).collect();
+        assert!(pos(counter_labels.clone(), "t.a") < pos(counter_labels, "t.z"));
+        let gauge_labels: Vec<&str> = r.gauges.iter().map(|g| g.label.as_str()).collect();
+        assert!(pos(gauge_labels.clone(), "t.a") < pos(gauge_labels, "t.z"));
+        let json = crate::json::to_string(&r).unwrap();
+        let back: TelemetryReport = crate::json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // Byte-deterministic re-serialisation.
+        assert_eq!(crate::json::to_string(&back).unwrap(), json);
+        reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn threaded_recording_aggregates_into_one_entry() {
+        let _g = serial();
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        record_span_ns("t.mt", 1);
+                        counter_add("t.mt", 1);
+                    }
+                });
+            }
+        });
+        let r = report();
+        assert_eq!(r.span("t.mt").map(|s| s.count), Some(100));
+        assert_eq!(r.counter("t.mt"), Some(100));
+        reset();
+        set_enabled(false);
+    }
+}

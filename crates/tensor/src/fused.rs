@@ -252,6 +252,7 @@ pub fn spmm_bias_act_into(
     y: &mut Matrix,
     threads: usize,
 ) {
+    let _span = umgad_rt::telemetry::span("kernel.fused");
     let (n, f) = x.shape();
     let d = w.cols();
     assert_eq!(w.rows(), f, "spmm_bias_act: x {n}x{f} @ w {}x{d}", w.rows());

@@ -223,6 +223,7 @@ impl Matrix {
     /// contract as [`Self::matmul`]; lets the tape arena reuse output
     /// buffers across epochs.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        let _span = umgad_rt::telemetry::span("kernel.matmul");
         let threads = crate::parallel::default_threads();
         if threads <= 1 || madds(self.rows, self.cols, other.cols) < PARALLEL_MIN_FLOPS {
             self.matmul_serial_into(other, out);
@@ -342,6 +343,7 @@ impl Matrix {
     /// overwritten). Same dispatch and bitwise contract as
     /// [`Self::matmul_tb`].
     pub fn matmul_tb_into(&self, other: &Matrix, out: &mut Matrix) {
+        let _span = umgad_rt::telemetry::span("kernel.matmul_tb");
         let threads = crate::parallel::default_threads();
         if threads <= 1 || madds(self.rows, self.cols, other.rows) < PARALLEL_MIN_FLOPS {
             self.matmul_tb_serial_into(other, out);
@@ -433,6 +435,7 @@ impl Matrix {
     /// overwritten). Same dispatch and bitwise contract as
     /// [`Self::matmul_ta`].
     pub fn matmul_ta_into(&self, other: &Matrix, out: &mut Matrix) {
+        let _span = umgad_rt::telemetry::span("kernel.matmul_ta");
         let threads = crate::parallel::default_threads();
         if threads <= 1 || madds(self.cols, self.rows, other.cols) < PARALLEL_MIN_FLOPS {
             self.matmul_ta_serial_into(other, out);

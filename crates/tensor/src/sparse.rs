@@ -215,6 +215,7 @@ impl CsrMatrix {
     /// [`Self::spmm`]; lets the tape arena reuse output buffers across
     /// epochs.
     pub fn spmm_into(&self, x: &Matrix, out: &mut Matrix) {
+        let _span = umgad_rt::telemetry::span("kernel.spmm");
         let threads = crate::parallel::default_threads();
         if threads <= 1 || crate::matrix::madds(self.nnz(), x.cols(), 1) < PARALLEL_MIN_FLOPS {
             self.spmm_serial_into(x, out);

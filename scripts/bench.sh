@@ -3,6 +3,12 @@
 # aggregate the per-binary reports into BENCH_kernels.json at the repo root,
 # with the end-to-end train_epoch entries split into BENCH_epoch.json.
 #
+# The epoch bench additionally emits a per-phase breakdown (recon /
+# contrastive / backward / optimizer, from EpochStats timings) as
+# target/rt-bench/epoch_phases.json; bench_agg routes every `epoch*` source
+# into BENCH_epoch.json, so old reports without the breakdown still
+# aggregate cleanly.
+#
 # The rt-bench harness writes target/rt-bench/<binary>-<hash>.json per bench
 # binary; the hash changes with every compilation, so the directory is
 # cleared first and the bench_agg binary folds the fresh reports into one

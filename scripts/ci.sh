@@ -32,6 +32,12 @@ cargo test -q
 echo "== allocation regression: steady-state epochs stay matrix-allocation-free"
 cargo test -q -p umgad --test alloc_budget
 
+echo "== golden pipeline: pinned-seed scores match tests/golden/ byte-for-byte"
+cargo test -q -p umgad --test golden_pipeline
+
+echo "== telemetry invariance: scores identical with telemetry on/off at 1 and 4 threads"
+cargo test -q -p umgad --test telemetry_invariance
+
 echo "== cargo fmt --check"
 cargo fmt --check
 

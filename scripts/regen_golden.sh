@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate the golden-pipeline regression file after an intentional
+# behaviour change. Runs the #[ignore]d writer test in
+# tests/golden_pipeline.rs, then re-runs the checker against the fresh file.
+#
+#   scripts/regen_golden.sh
+#
+# Commit the resulting tests/golden/pipeline_yelpchi_small.json diff together
+# with the change that caused it, and say why in the commit message.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== regenerating tests/golden/pipeline_yelpchi_small.json =="
+cargo test -q -p umgad --test golden_pipeline -- --ignored --exact regenerate_golden_file
+
+echo "== verifying the fresh golden file =="
+cargo test -q -p umgad --test golden_pipeline
+
+echo "golden file regenerated; review and commit tests/golden/"

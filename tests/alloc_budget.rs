@@ -68,4 +68,23 @@ fn steady_state_epoch_is_matrix_allocation_free() {
          budget is {STEADY_EPOCH_ALLOC_BUDGET} — a per-epoch matrix \
          allocation has likely crept back in"
     );
+
+    // The telemetry layer is woven through every kernel that epoch ran;
+    // with the registry disabled (the default this test runs under) its
+    // fast path must be exactly allocation-free, or the budget above would
+    // silently absorb observability overhead.
+    if !umgad_rt::telemetry::enabled() {
+        let before = umgad_rt::alloc::allocation_count();
+        for _ in 0..1_000 {
+            let _guard = umgad_rt::telemetry::span("kernel.spmm");
+            umgad_rt::telemetry::counter_add("pool.jobs", 1);
+            umgad_rt::telemetry::gauge_set("pool.threads", 1.0);
+        }
+        let telemetry_allocs = umgad_rt::alloc::allocation_count() - before;
+        assert_eq!(
+            telemetry_allocs, 0,
+            "disabled telemetry allocated {telemetry_allocs} times in 1000 \
+             span/counter/gauge calls — the fast path must stay free"
+        );
+    }
 }

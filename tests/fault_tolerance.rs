@@ -43,11 +43,13 @@ fn scores_json(model: &Umgad, graph: &MultiplexGraph) -> String {
     umgad_rt::json::to_string(&model.anomaly_scores(graph)).expect("scores are finite")
 }
 
-/// Checkpoint serialisation with wall-clock epoch durations zeroed: timing
-/// is diagnostic, everything else must be bitwise reproducible.
+/// Checkpoint serialisation with wall-clock / process-scoped diagnostics
+/// (epoch duration, phase timings, arena traffic) zeroed: those are
+/// diagnostic and legitimately differ between a resumed and an
+/// uninterrupted run, everything else must be bitwise reproducible.
 fn canonical(mut ckpt: TrainCheckpoint) -> String {
     for h in &mut ckpt.history {
-        h.duration_secs = 0.0;
+        h.clear_diagnostics();
     }
     umgad_rt::json::to_string(&ckpt).unwrap()
 }

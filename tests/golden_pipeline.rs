@@ -1,0 +1,113 @@
+//! Golden-file regression for the full detect pipeline.
+//!
+//! One pinned-seed run on the Scale::Small YelpChi twin is serialised to
+//! canonical JSON (seed, AUC, flagged set, every score bit-exact) and
+//! compared byte-for-byte against `tests/golden/pipeline_yelpchi_small.json`.
+//! Because scores are a pure function of `(graph, config, seed)` and the
+//! JSON formatting is round-trip exact, any diff here is a behaviour change
+//! in the model, the kernels, or the serialiser — not noise.
+//!
+//! When a change is *intentional*, regenerate the golden file with
+//! `scripts/regen_golden.sh` (which runs the `#[ignore]`d writer test below)
+//! and commit the diff alongside the change that caused it.
+
+use std::path::PathBuf;
+
+use umgad::prelude::*;
+use umgad_rt::json::{from_str, to_string, ToJson, Value};
+
+/// Location of the checked-in golden file, anchored on this package's
+/// manifest so the test works from any working directory.
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/pipeline_yelpchi_small.json")
+}
+
+/// The pinned pipeline: YelpChi twin at Scale::Small, fast-test config,
+/// four epochs, seed 7 — the same shape the allocation-budget test trains,
+/// so the golden run stays representative of the hot path.
+fn run_pipeline() -> String {
+    let data = Dataset::generate(DatasetKind::YelpChi, Scale::Small, 7);
+    let mut cfg = UmgadConfig::fast_test();
+    cfg.epochs = 4;
+    cfg.seed = 7;
+    let det = Umgad::fit_detect(&data.graph, cfg);
+    let report = Value::Obj(vec![
+        ("dataset".to_string(), "yelpchi_small".to_json()),
+        ("seed".to_string(), 7u64.to_json()),
+        ("auc".to_string(), det.auc.to_json()),
+        ("flagged".to_string(), det.flagged.to_json()),
+        ("scores".to_string(), det.scores.to_json()),
+    ]);
+    to_string(&report).expect("scores are finite")
+}
+
+#[test]
+fn pipeline_matches_golden_file() {
+    let path = golden_path();
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden file {} unreadable ({e}); regenerate with scripts/regen_golden.sh",
+            path.display()
+        )
+    });
+    let got = run_pipeline();
+    assert_eq!(
+        got,
+        want.trim_end(),
+        "pipeline output diverged from the golden file; if intentional, \
+         regenerate with scripts/regen_golden.sh and commit the diff"
+    );
+
+    // The golden AUC must also be self-consistent: recomputing it from the
+    // stored scores and the dataset's labels reproduces the stored value,
+    // guarding against a stale file edited by hand.
+    let parsed: Value = from_str(&got).expect("canonical JSON parses");
+    let Value::Obj(fields) = parsed else {
+        panic!("golden report must be an object")
+    };
+    let field = |k: &str| {
+        fields
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("golden report missing {k}"))
+    };
+    let Value::F64(auc) = *field("auc") else {
+        panic!("auc must be a float")
+    };
+    let scores: Vec<f64> = match field("scores") {
+        Value::Arr(vals) => vals
+            .iter()
+            .map(|v| match *v {
+                Value::F64(f) => f,
+                Value::I64(i) => i as f64,
+                Value::U64(u) => u as f64,
+                _ => panic!("score entries must be numeric"),
+            })
+            .collect(),
+        _ => panic!("scores must be an array"),
+    };
+    let data = Dataset::generate(DatasetKind::YelpChi, Scale::Small, 7);
+    let labels = data.graph.labels().expect("twin has labels");
+    let recomputed = roc_auc(&scores, labels);
+    assert_eq!(
+        recomputed.to_bits(),
+        auc.to_bits(),
+        "stored AUC {auc} does not match AUC recomputed from stored scores {recomputed}"
+    );
+}
+
+/// Writer half of the golden contract; excluded from normal runs and
+/// invoked by `scripts/regen_golden.sh` via `--ignored`.
+#[test]
+#[ignore = "rewrites the golden file; run via scripts/regen_golden.sh"]
+fn regenerate_golden_file() {
+    let path = golden_path();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create tests/golden");
+    }
+    let mut json = run_pipeline();
+    json.push('\n');
+    std::fs::write(&path, json).expect("write golden file");
+    println!("regenerated {}", path.display());
+}

@@ -1,0 +1,164 @@
+//! Telemetry must observe, never perturb.
+//!
+//! Two contracts pinned here:
+//!
+//! 1. **Invariance** — the anomaly-score JSON of a pinned-seed run is
+//!    byte-identical across `UMGAD_TELEMETRY` ∈ {off, on} and
+//!    `UMGAD_THREADS` ∈ {1, 4}. Each combination runs in a subprocess
+//!    because both the worker pool's thread count and the telemetry env
+//!    probe are cached per process.
+//! 2. **Reset-on-resume** — the telemetry registry is process-scoped, so a
+//!    run resumed from a checkpoint restores its loss `history` but starts
+//!    its counters from zero (documented in DESIGN.md §5f).
+
+use std::process::Command;
+
+use umgad::prelude::*;
+use umgad_rt::json::{to_string, ToJson, Value};
+use umgad_rt::telemetry;
+
+/// When set, this test binary is the child: run the pipeline once and write
+/// the canonical score JSON to the path in the variable.
+const CHILD_OUT: &str = "UMGAD_TELEMETRY_CHILD_OUT";
+
+/// One pinned pipeline run serialised to canonical JSON.
+fn run_once() -> String {
+    let data = Dataset::generate(DatasetKind::Retail, Scale::Custom(1.0 / 48.0), 13);
+    let mut cfg = UmgadConfig::fast_test();
+    cfg.epochs = 4;
+    cfg.seed = 13;
+    let det = Umgad::fit_detect(&data.graph, cfg);
+    let report = Value::Obj(vec![
+        ("auc".to_string(), det.auc.to_json()),
+        ("scores".to_string(), det.scores.to_json()),
+    ]);
+    to_string(&report).expect("scores are finite")
+}
+
+fn run_child_body(out_path: &str) {
+    let json = run_once();
+    if telemetry::enabled() {
+        // The telemetry-on leg must not pass vacuously: the run above has
+        // to have actually recorded kernel spans and epoch counters.
+        let r = telemetry::report();
+        assert!(
+            r.span("kernel.spmm").is_some() || r.span("kernel.fused").is_some(),
+            "telemetry enabled but no kernel spans recorded"
+        );
+        assert_eq!(
+            r.counter("epoch.count"),
+            Some(4),
+            "telemetry enabled but epoch counter missing"
+        );
+        assert!(
+            r.span("epoch.backward").is_some(),
+            "telemetry enabled but phase spans missing"
+        );
+    }
+    std::fs::write(out_path, json).expect("child writes its score JSON");
+}
+
+#[test]
+fn scores_byte_identical_with_telemetry_on_or_off() {
+    if let Ok(out) = std::env::var(CHILD_OUT) {
+        run_child_body(&out);
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = std::env::temp_dir().join("umgad-telemetry-invariance");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    for threads in ["1", "4"] {
+        for telem in ["0", "1"] {
+            let label = format!("threads={threads} telemetry={telem}");
+            let path = dir.join(format!("scores_t{threads}_m{telem}.json"));
+            let out = Command::new(&exe)
+                .args([
+                    "scores_byte_identical_with_telemetry_on_or_off",
+                    "--exact",
+                    "--nocapture",
+                ])
+                .env(CHILD_OUT, &path)
+                .env("UMGAD_THREADS", threads)
+                .env("UMGAD_TELEMETRY", telem)
+                .output()
+                .expect("spawn child test process");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                out.status.success(),
+                "{label} child failed:\n{stdout}\n{stderr}"
+            );
+            assert!(
+                stdout.contains("1 passed"),
+                "{label} child ran nothing:\n{stdout}"
+            );
+            let json = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{label} left no output: {e}"));
+            outputs.push((label, json));
+        }
+    }
+    let (base_label, base) = &outputs[0];
+    for (label, json) in &outputs[1..] {
+        assert_eq!(
+            json, base,
+            "score JSON differs between {base_label} and {label}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_restores_history_but_telemetry_starts_fresh() {
+    let dir = std::env::temp_dir().join("umgad-telemetry-resume");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ckpt = dir.join("ck.json");
+
+    let data = Dataset::generate(DatasetKind::Retail, Scale::Custom(1.0 / 48.0), 11);
+    let mut cfg = UmgadConfig::fast_test();
+    cfg.epochs = 4;
+    cfg.seed = 11;
+
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let mut model = Umgad::new(&data.graph, cfg);
+    let ran = model
+        .train_with_checkpoints(&data.graph, 2, Some(&ckpt))
+        .expect("training succeeds");
+    assert_eq!(ran, 4);
+    let first = telemetry::report();
+    // 4 epochs counted; checkpoints written at epochs 2 and 4.
+    assert_eq!(first.counter("epoch.count"), Some(4));
+    assert_eq!(first.counter("persist.checkpoints"), Some(2));
+    let last = model.last_epoch_stats().expect("history populated");
+    assert_eq!(last.total.to_bits(), model.history[3].total.to_bits());
+
+    // "New process": the registry is process-scoped, so a resume starts its
+    // telemetry from zero while the model's history is fully restored.
+    telemetry::reset();
+    let mut resumed = Umgad::resume_from_file(&ckpt, &data.graph).expect("resume");
+    assert_eq!(resumed.history.len(), 4, "history restored from checkpoint");
+    assert_eq!(
+        resumed.last_epoch_stats().map(|s| s.total.to_bits()),
+        model.last_epoch_stats().map(|s| s.total.to_bits()),
+        "last_epoch_stats follows the restored history"
+    );
+    resumed.set_epochs(6).expect("extend epoch target");
+    let ran = resumed
+        .train_with_checkpoints(&data.graph, 2, Some(&ckpt))
+        .expect("resumed training succeeds");
+    assert_eq!(ran, 2);
+    let second = telemetry::report();
+    // Only post-resume work is visible: 2 epochs, 1 final checkpoint, plus
+    // the checkpoint read that restored the model.
+    assert_eq!(second.counter("epoch.count"), Some(2));
+    assert_eq!(second.counter("persist.checkpoints"), Some(1));
+    assert!(
+        second.span("persist.checkpoint_read").is_some(),
+        "resume records its checkpoint read"
+    );
+
+    telemetry::reset();
+    telemetry::set_enabled(false);
+    std::fs::remove_dir_all(&dir).ok();
+}
