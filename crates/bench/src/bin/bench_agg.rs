@@ -13,9 +13,17 @@
 //! with model-level changes and would drown the kernel-level diff noise
 //! budget if mixed into one file.
 //!
+//! The epoch document also carries its own `speedups` rows: a
+//! `steady_vs_first` pair per bench group (how much the warm-arena engine
+//! saves over a cold epoch, from this run alone), and — when a previous
+//! report is supplied as the fourth argument — a `vs_baseline` row per
+//! steady-state entry comparing this run against the last committed
+//! trajectory point (`scripts/bench.sh` carries the prior `BENCH_epoch.json`
+//! forward automatically).
+//!
 //! ```sh
 //! cargo run --release -p umgad-bench --bin bench_agg \
-//!     [report-dir] [output-path] [epoch-output-path]
+//!     [report-dir] [output-path] [epoch-output-path] [epoch-baseline-path]
 //! ```
 //!
 //! Defaults: `target/rt-bench` → `BENCH_kernels.json` + `BENCH_epoch.json`
@@ -61,6 +69,7 @@ fn main() {
         .get(3)
         .map(String::as_str)
         .unwrap_or("BENCH_epoch.json");
+    let epoch_baseline_path = args.get(4).map(String::as_str);
 
     // (source, name, entry-with-source-prepended)
     let mut benches: Vec<(String, String, Value)> = Vec::new();
@@ -168,9 +177,94 @@ fn main() {
     let (epoch_vals, kernel_vals): (Vec<_>, Vec<_>) = benches
         .into_iter()
         .partition(|(source, _, _)| source.starts_with("epoch"));
+
+    // Epoch speedups: how much the warm steady-state engine saves over a
+    // cold first epoch (within this run), and how this run's steady state
+    // compares to the previous committed report (across runs).
+    let epoch_median = |name: &str| -> Option<f64> {
+        epoch_vals.iter().find_map(|(_, n, v)| {
+            if n != name {
+                return None;
+            }
+            let Value::Obj(fields) = v else { return None };
+            field(fields, "median_ns").and_then(num)
+        })
+    };
+    let epoch_groups: Vec<String> = {
+        let mut g: Vec<String> = epoch_vals
+            .iter()
+            .filter_map(|(_, name, _)| name.strip_suffix("/steady_state"))
+            .map(str::to_string)
+            .collect();
+        g.sort();
+        g.dedup();
+        g
+    };
+    let mut epoch_speedups = Vec::new();
+    for group in &epoch_groups {
+        let (Some(first), Some(steady)) = (
+            epoch_median(&format!("{group}/first")),
+            epoch_median(&format!("{group}/steady_state")),
+        ) else {
+            continue;
+        };
+        epoch_speedups.push(Value::Obj(vec![
+            ("bench".to_string(), Value::Str(group.clone())),
+            (
+                "kind".to_string(),
+                Value::Str("steady_vs_first".to_string()),
+            ),
+            ("first_median_ns".to_string(), Value::F64(first)),
+            ("steady_median_ns".to_string(), Value::F64(steady)),
+            ("speedup".to_string(), Value::F64(first / steady)),
+        ]));
+    }
+    if let Some(bp) = epoch_baseline_path {
+        match fs::read_to_string(bp) {
+            Ok(text) => {
+                let parsed =
+                    Value::parse(&text).unwrap_or_else(|e| panic!("parse baseline {bp}: {e}"));
+                let baseline_median = |name: &str| -> Option<f64> {
+                    let Value::Obj(ref doc) = parsed else {
+                        return None;
+                    };
+                    let Some(Value::Arr(entries)) = field(doc, "benches") else {
+                        return None;
+                    };
+                    entries.iter().find_map(|v| {
+                        let Value::Obj(fields) = v else { return None };
+                        match field(fields, "name") {
+                            Some(Value::Str(s)) if s == name => {
+                                field(fields, "median_ns").and_then(num)
+                            }
+                            _ => None,
+                        }
+                    })
+                };
+                for group in &epoch_groups {
+                    let name = format!("{group}/steady_state");
+                    let (Some(base), Some(cur)) = (baseline_median(&name), epoch_median(&name))
+                    else {
+                        continue;
+                    };
+                    epoch_speedups.push(Value::Obj(vec![
+                        ("bench".to_string(), Value::Str(name)),
+                        ("kind".to_string(), Value::Str("vs_baseline".to_string())),
+                        ("baseline_median_ns".to_string(), Value::F64(base)),
+                        ("current_median_ns".to_string(), Value::F64(cur)),
+                        ("speedup".to_string(), Value::F64(base / cur)),
+                    ]));
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_agg: no epoch baseline at {bp} ({e}); skipping vs_baseline rows");
+            }
+        }
+    }
+
     let strip = |v: Vec<(String, String, Value)>| -> Vec<Value> {
         v.into_iter().map(|(_, _, val)| val).collect()
     };
     write_doc(out_path, &strip(kernel_vals), &speedups, "kernel");
-    write_doc(epoch_out_path, &strip(epoch_vals), &[], "epoch");
+    write_doc(epoch_out_path, &strip(epoch_vals), &epoch_speedups, "epoch");
 }

@@ -1,0 +1,101 @@
+//! CI perf smoke: fail the gate when the steady-state epoch regresses.
+//!
+//! The full bench run (`scripts/bench.sh`) takes minutes; this binary is
+//! the time-bounded stand-in `scripts/ci.sh` runs on every merge. It
+//! replays the committed epoch bench's exact configuration — YelpChi at
+//! `Scale::Small`, seed 11, paper-real hyper-parameters — warms the
+//! zero-churn engine for two epochs, measures two steady-state epochs, and
+//! compares the *fastest* of the two against the checked-in
+//! `BENCH_epoch.json` steady-state median. Taking the minimum keeps a
+//! loaded CI box from failing the gate on scheduler noise; a real
+//! regression slows every epoch, including the best one.
+//!
+//! The budget is [`TOLERANCE`]: the measured epoch may be at most 25%
+//! slower than the committed median. A genuine improvement simply passes
+//! (and should be accompanied by a `scripts/bench.sh` refresh of the
+//! trajectory document).
+//!
+//! ```sh
+//! cargo run --release -p umgad-bench --bin perf_smoke [baseline-path]
+//! ```
+
+use std::time::Instant;
+
+use umgad_core::{Umgad, UmgadConfig};
+use umgad_data::{Dataset, DatasetKind, Scale};
+use umgad_rt::json::Value;
+
+/// Maximum allowed `measured / baseline` ratio.
+const TOLERANCE: f64 = 1.25;
+/// Warm-up epochs before measuring (arena fill + invariant caching).
+const WARMUP: usize = 2;
+/// Steady-state epochs measured; the fastest one is compared.
+const MEASURED: usize = 2;
+/// The committed bench entry this smoke reproduces.
+const BENCH_NAME: &str = "train_epoch_yelpchi_small/steady_state";
+
+fn baseline_median_ns(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let Value::Obj(doc) = Value::parse(&text).ok()? else {
+        return None;
+    };
+    let (_, Value::Arr(entries)) = doc.iter().find(|(k, _)| k == "benches")? else {
+        return None;
+    };
+    entries.iter().find_map(|v| {
+        let Value::Obj(fields) = v else { return None };
+        let name = fields.iter().find(|(k, _)| k == "name")?;
+        if !matches!(&name.1, Value::Str(s) if s == BENCH_NAME) {
+            return None;
+        }
+        match fields.iter().find(|(k, _)| k == "median_ns")?.1 {
+            Value::F64(f) => Some(f),
+            Value::U64(u) => Some(u as f64),
+            Value::I64(i) => Some(i as f64),
+            _ => None,
+        }
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_epoch.json");
+    let Some(baseline) = baseline_median_ns(baseline_path) else {
+        // A fresh checkout without a committed trajectory has nothing to
+        // regress against; that is not a CI failure.
+        println!("perf_smoke: no `{BENCH_NAME}` entry in {baseline_path}; skipping");
+        return;
+    };
+
+    let data = Dataset::generate(DatasetKind::YelpChi, Scale::Small, 11);
+    let mut cfg = UmgadConfig::paper_real();
+    cfg.seed = 11;
+    let mut model = Umgad::new(&data.graph, cfg);
+    for _ in 0..WARMUP {
+        model.train_epoch(&data.graph);
+    }
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..MEASURED {
+        let t = Instant::now();
+        model.train_epoch(&data.graph);
+        best_ns = best_ns.min(t.elapsed().as_nanos() as f64);
+    }
+
+    let ratio = best_ns / baseline;
+    println!(
+        "perf_smoke: steady epoch best {:.3}s vs committed median {:.3}s (ratio {:.3}, budget {TOLERANCE})",
+        best_ns / 1e9,
+        baseline / 1e9,
+        ratio
+    );
+    if ratio > TOLERANCE {
+        eprintln!(
+            "perf_smoke: steady-state epoch regressed beyond the {:.0}% budget",
+            (TOLERANCE - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Ad-hoc epoch profiler: trains a few steady-state epochs with telemetry
+//! enabled and prints the span/counter report plus per-phase nanoseconds.
+//!
+//! ```sh
+//! cargo run --release -p umgad-bench --bin profile_epoch [epochs]
+//! ```
+
+use umgad_core::{Umgad, UmgadConfig};
+use umgad_data::{Dataset, DatasetKind, Scale};
+use umgad_rt::json::to_string;
+
+fn main() {
+    let epochs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let data = Dataset::generate(DatasetKind::YelpChi, Scale::Small, 11);
+    let mut cfg = UmgadConfig::paper_real();
+    cfg.seed = 11;
+    let mut model = Umgad::new(&data.graph, cfg);
+    // Warm-up: populate arena + cached invariants.
+    model.train_epoch(&data.graph);
+    model.train_epoch(&data.graph);
+    umgad_rt::telemetry::set_enabled(true);
+    umgad_rt::telemetry::reset();
+    let t0 = std::time::Instant::now();
+    for _ in 0..epochs {
+        let stats = model.train_epoch(&data.graph);
+        eprintln!(
+            "epoch: total={:.3} recon={:.3}s contrast={:.3}s backward={:.3}s opt={:.3}s wall={:.3}s",
+            stats.total,
+            stats.recon_ns as f64 / 1e9,
+            stats.contrastive_ns as f64 / 1e9,
+            stats.backward_ns as f64 / 1e9,
+            stats.optimizer_ns as f64 / 1e9,
+            stats.duration.as_secs_f64(),
+        );
+    }
+    eprintln!(
+        "{} steady epochs in {:.3}s",
+        epochs,
+        t0.elapsed().as_secs_f64()
+    );
+    let report = umgad_rt::telemetry::report();
+    println!("{}", to_string(&report).expect("report serialises"));
+}

@@ -33,6 +33,7 @@ pub mod config;
 pub mod eval;
 pub mod model;
 pub mod persist;
+mod sched;
 pub mod score;
 pub mod threshold;
 

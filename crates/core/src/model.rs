@@ -21,15 +21,16 @@ use std::time::{Duration, Instant};
 
 use umgad_graph::{
     contrast_indices, induced_edge_indices, negative_endpoints, rwr_mask_sets, sample_indices,
-    swap_partners, MaskScratch, MultiplexGraph, RelationLayer,
+    swap_partners, MaskScratch, MultiplexGraph, NormTemplate, RelationLayer,
 };
-use umgad_nn::{BoundGmae, Gmae, GmaeConfig, RelationWeights};
+use umgad_nn::{Gmae, GmaeConfig, RelationWeights};
 use umgad_rt::rand::rngs::SmallRng;
 use umgad_rt::rand::SeedableRng;
-use umgad_tensor::{Adam, ArenaStats, CsrMatrix, Matrix, SpPair, Tape, Var};
+use umgad_tensor::{Adam, ArenaStats, CsrMatrix, Matrix, SpPair, Tape, TransposeCache, Var};
 
 use crate::config::UmgadConfig;
 use crate::eval::{macro_f1_at, oracle_threshold, roc_auc, Confusion};
+use crate::sched::{self, EdgeLossSpec, Family, TaskInput, TaskSpec};
 use crate::score::{combine_views, view_scores, ScoreOptions, ViewRecon};
 use crate::threshold::{select_threshold, ThresholdDecision};
 
@@ -89,6 +90,18 @@ impl EpochStats {
 #[inline]
 fn elapsed_ns(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Sum arena hit/miss counters over the coupling tape and the scheduler
+/// slot tapes (epoch-stat deltas must see allocations on any of them).
+fn arena_sum(main: &Tape, tasks: &[Tape]) -> ArenaStats {
+    let mut total = main.arena_stats();
+    for t in tasks {
+        let s = t.arena_stats();
+        total.hits += s.hits;
+        total.misses += s.misses;
+    }
+    total
 }
 
 /// Bounded number of rollback-and-retry attempts a guarded epoch makes
@@ -170,17 +183,41 @@ struct EpochScratch {
     attrs: Arc<Matrix>,
     /// Per-relation normalised adjacencies (identity check).
     norms: Vec<Arc<CsrMatrix>>,
-    /// Per-relation autograd spmm pairs (Eq. 1's `Â_r`), built once.
+    /// Per-relation autograd spmm pairs (Eq. 1's `Â_r`), built once
+    /// through [`TransposeCache`].
     pairs: Vec<SpPair>,
-    /// The recycled tape; its arena feeds every epoch after the first.
+    /// The recycled coupling tape; its arena feeds every epoch after the
+    /// first.
     tape: Tape,
     /// Masked-view scratch: flag/edge buffers and pruned-CSR storage
     /// reused across `without_edges` calls.
     mask: MaskScratch,
+    /// One recycled tape per scheduler slot (`4 · K · R`); each
+    /// (view × relation × repeat) task records onto its own slot every
+    /// epoch, so per-slot buffer shapes are stable and the arenas stay
+    /// miss-free in steady state.
+    task_tapes: Vec<Tape>,
+    /// Slots whose optional edge-loss path has already run once. A slot's
+    /// first edge loss (RNG-dependent for subgraph tasks — an RWR patch
+    /// may induce no edges for several epochs) triggers a one-time
+    /// [`grow`](umgad_tensor::BufferArena::grow) of that slot's arena with
+    /// the path's buffer shapes, so the activation itself never misses
+    /// mid-epoch.
+    edge_warmed: Vec<bool>,
+    /// Per-relation transpose cache, keyed by `Arc` identity. Symmetric
+    /// norms share forward/backward storage; an asymmetric norm would get
+    /// a real CSC transpose, built exactly once per graph.
+    transposes: TransposeCache,
+    /// Per-relation normalisation templates: the sorted skeleton of each
+    /// layer's `A + I`, so the per-epoch masked re-normalisations (edge
+    /// masking, RWR subgraph masking) run sort-free. Like `pairs`, valid
+    /// exactly as long as `matches` holds.
+    norm_templates: Vec<NormTemplate>,
 }
 
 impl EpochScratch {
-    fn build(graph: &MultiplexGraph) -> Self {
+    fn build(graph: &MultiplexGraph, slots: usize) -> Self {
+        let mut transposes = TransposeCache::new();
         Self {
             attrs: Arc::clone(graph.attrs()),
             norms: graph
@@ -191,23 +228,65 @@ impl EpochScratch {
             pairs: graph
                 .layers()
                 .iter()
-                .map(RelationLayer::norm_pair)
+                .map(|l| transposes.pair_for(l.normalized()))
                 .collect(),
             tape: Tape::new(),
             mask: MaskScratch::new(),
+            task_tapes: (0..slots).map(|_| Tape::new()).collect(),
+            edge_warmed: vec![false; slots],
+            transposes,
+            norm_templates: graph.layers().iter().map(|l| l.norm_template()).collect(),
         }
     }
 
-    /// Whether the cached invariants still describe `graph`.
+    /// Whether the cached invariants still describe `graph`. The
+    /// transpose cache is keyed by the same `Arc`s as `norms`, so the
+    /// pointer checks below also guarantee every cached pair still belongs
+    /// to this graph; the length check keeps the coverage invariant
+    /// (exactly one cached pair per relation) honest.
     fn matches(&self, graph: &MultiplexGraph) -> bool {
         Arc::ptr_eq(&self.attrs, graph.attrs())
             && self.norms.len() == graph.num_relations()
+            && self.transposes.len() == graph.num_relations()
             && self
                 .norms
                 .iter()
                 .zip(graph.layers())
                 .all(|(norm, layer)| Arc::ptr_eq(norm, layer.normalized()))
     }
+
+    /// Aggregate arena hit/miss counters across the coupling tape and
+    /// every scheduler slot tape.
+    fn arena_totals(&self) -> ArenaStats {
+        let mut total = self.tape.arena_stats();
+        for t in &self.task_tapes {
+            let s = t.arena_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+        }
+        total
+    }
+}
+
+/// Per-repeat coupling plan for the original attribute view: the sampled
+/// mask indices and the view's task ids in relation order.
+struct AttrViewPlan {
+    idx: Arc<Vec<usize>>,
+    tasks: Vec<usize>,
+}
+
+/// Per-repeat coupling plan for the attribute-swap augmented view; also
+/// carries the main-tape node holding the swapped attribute matrix.
+struct AugViewPlan {
+    sel: Arc<Vec<usize>>,
+    tasks: Vec<usize>,
+    x_node: Var,
+}
+
+/// Per-repeat coupling plan for the RWR-subgraph augmented view.
+struct SubViewPlan {
+    nodes: Arc<Vec<usize>>,
+    tasks: Vec<usize>,
 }
 
 /// Detection outcome on a labelled graph.
@@ -312,13 +391,15 @@ impl Umgad {
         self.scratch = None;
     }
 
-    /// Buffer-arena hit/miss counters of the training tape (zeros until
-    /// the first epoch). After one warm-up epoch, steady-state epochs add
-    /// zero misses — the allocation-regression test pins this.
+    /// Buffer-arena hit/miss counters of the training tapes — the coupling
+    /// tape plus every scheduler slot tape — summed (zeros until the first
+    /// epoch). After one warm-up epoch, steady-state epochs add zero
+    /// misses on any of them — the allocation-regression test pins this
+    /// through the scheduler path.
     pub fn epoch_arena_stats(&self) -> ArenaStats {
         self.scratch
             .as_ref()
-            .map(|s| s.tape.arena_stats())
+            .map(EpochScratch::arena_totals)
             .unwrap_or_default()
     }
 
@@ -607,19 +688,26 @@ impl Umgad {
         let rr = self.relations;
         let ab = self.cfg.ablation;
 
+        use umgad_rt::telemetry as tm;
+        let slots = sched::FAMILIES * kk * rr;
+
         // Epoch invariants + recycled buffers (the zero-churn engine).
-        // Recycle the tape first so it releases last epoch's pruned-CSR
+        // Recycle the tapes first so they release last epoch's pruned-CSR
         // `Arc`s; only then can the mask scratch reclaim their storage.
         let mut scratch = match self.scratch.take() {
-            Some(s) if s.matches(graph) => s,
-            _ => EpochScratch::build(graph),
+            Some(s) if s.matches(graph) && s.task_tapes.len() == slots => s,
+            _ => EpochScratch::build(graph, slots),
         };
         scratch.tape.recycle();
+        for t in &mut scratch.task_tapes {
+            t.recycle();
+        }
         scratch.mask.reclaim();
         let x_rc: Arc<Matrix> = Arc::clone(&scratch.attrs);
         let pairs = std::mem::take(&mut scratch.pairs);
         let mut tape = std::mem::take(&mut scratch.tape);
-        let arena_before = tape.arena_stats();
+        let mut task_tapes = std::mem::take(&mut scratch.task_tapes);
+        let arena_before = arena_sum(&tape, &task_tapes);
 
         let x_const = tape.constant_from(&x_rc);
         let x_in = if self.cfg.dropout > 0.0 {
@@ -630,14 +718,10 @@ impl Umgad {
         let aw = self.a_weights.bind(&mut tape);
         let bw = self.b_weights.bind(&mut tape);
 
-        // Bind every module that may participate this epoch.
-        let bind_all = |modules: &[Gmae], tape: &mut Tape| -> Vec<BoundGmae> {
-            modules.iter().map(|m| m.bind(tape)).collect()
-        };
-        let b_orig_attr = bind_all(&self.orig_attr, &mut tape);
-        let b_orig_struct = bind_all(&self.orig_struct, &mut tape);
-        let b_aug_attr = bind_all(&self.aug_attr, &mut tape);
-        let b_sub = bind_all(&self.sub, &mut tape);
+        // Scheduler slot for a (family, repeat, relation) pass — stable
+        // across epochs, so each slot tape sees the same buffer shapes
+        // every epoch and its arena stays miss-free in steady state.
+        let slot_of = |family: Family, k: usize, r: usize| (family.index() * kk + k) * rr + r;
 
         let mut loss_terms: Vec<Var> = Vec::new();
         let mut stats = EpochStats::default();
@@ -652,70 +736,62 @@ impl Umgad {
         // computation, so determinism is unaffected.
         let t_recon = Instant::now();
 
-        // ---- (1) original view -----------------------------------------
+        // ==== Phase A: serial task-graph construction ====================
+        //
+        // Every random draw of the epoch happens here, on `self.rng`, in
+        // exactly the order the single-tape epoch drew them — a task spec
+        // is just those draws plus the operands its pass needs. Nothing in
+        // the parallel phases touches the PRNG.
+        let mut specs: Vec<TaskSpec> = Vec::new();
+        let mut plan_orig: Vec<AttrViewPlan> = Vec::new();
+        let mut plan_struct: Vec<Vec<usize>> = vec![Vec::new(); rr];
+        let mut plan_aug: Vec<AugViewPlan> = Vec::new();
+        let mut plan_sub: Vec<SubViewPlan> = Vec::new();
+
         if ab.original_view {
-            // Attribute reconstruction (Eq. 1–4).
-            let mut l_a: Option<Var> = None;
+            // Attribute reconstruction (Eq. 1–4): one task per (k, r).
             for k in 0..kk {
                 let idx = if ab.masking {
                     Arc::new(sample_indices(n, self.cfg.mask_ratio, &mut self.rng))
                 } else {
-                    Arc::new((0..n).collect::<Vec<_>>())
+                    Arc::new((0..n).collect::<Vec<usize>>())
                 };
-                let recons: Vec<Var> = (0..rr)
-                    .map(|r| {
-                        let u = self.unit(r, k);
-                        let module = &self.orig_attr[u];
-                        if ab.masking {
-                            module
-                                .forward_attr_masked(
-                                    &mut tape,
-                                    &b_orig_attr[u],
-                                    &pairs[r],
-                                    x_in,
-                                    Arc::clone(&idx),
-                                )
-                                .recon
-                        } else {
-                            module
-                                .forward(&mut tape, &b_orig_attr[u], &pairs[r], x_in)
-                                .recon
-                        }
-                    })
-                    .collect();
-                let fused = self.a_weights.fuse(&mut tape, &aw, &recons);
-                fused_orig.push(fused);
-                let lk = tape.scaled_cosine_loss(fused, Arc::clone(&x_rc), idx, self.cfg.eta);
-                l_a = Some(match l_a {
-                    Some(acc) => tape.add(acc, lk),
-                    None => lk,
-                });
+                let mut tasks = Vec::with_capacity(rr);
+                for (r, pair) in pairs.iter().enumerate() {
+                    tasks.push(specs.len());
+                    specs.push(TaskSpec {
+                        slot: slot_of(Family::OrigAttr, k, r),
+                        family: Family::OrigAttr,
+                        unit: self.unit(r, k),
+                        adj: pair.clone(),
+                        mask_idx: ab.masking.then(|| Arc::clone(&idx)),
+                        input: TaskInput::Original,
+                        edge_loss: None,
+                    });
+                }
+                plan_orig.push(AttrViewPlan { idx, tasks });
             }
-            let l_a = l_a.expect("K >= 1");
 
-            // Structure reconstruction (Eq. 5–8).
-            let mut per_relation: Vec<Var> = Vec::with_capacity(rr);
+            // Structure reconstruction (Eq. 5–8): one task per (r, k) with
+            // a non-empty positive-edge sample.
             for (r, pair) in pairs.iter().enumerate().take(rr) {
                 let layer = graph.layer(r);
-                let mut l_r: Option<Var> = None;
                 for k in 0..kk {
-                    let u = self.unit(r, k);
+                    let e = layer.num_edges();
+                    if e == 0 {
+                        continue;
+                    }
                     let (adj, pos_edges) = if ab.masking {
-                        let e = layer.num_edges();
-                        if e == 0 {
-                            continue;
-                        }
                         let masked = sample_indices(e, self.cfg.mask_ratio, &mut self.rng);
-                        let (pruned, masked_edges) =
-                            layer.without_edges_scratch(&masked, &mut scratch.mask);
+                        let (pruned, masked_edges) = layer.without_edges_templated(
+                            &scratch.norm_templates[r],
+                            &masked,
+                            &mut scratch.mask,
+                        );
                         (SpPair::symmetric(pruned), masked_edges)
                     } else {
                         // Plain GAE: predict a random subset of observed
                         // edges from the full-graph encoding.
-                        let e = layer.num_edges();
-                        if e == 0 {
-                            continue;
-                        }
                         let sampled = sample_indices(e, self.cfg.mask_ratio, &mut self.rng);
                         let edges = sampled.iter().map(|&i| layer.edges()[i]).collect();
                         (pair.clone(), edges)
@@ -735,12 +811,226 @@ impl Umgad {
                     }
                     let q = self.cfg.edge_negatives;
                     let negs = Arc::new(negative_endpoints(layer, &pos, q, &mut self.rng));
-                    let out = self.orig_struct[u].forward(&mut tape, &b_orig_struct[u], &adj, x_in);
-                    let z = tape.row_normalize(out.recon);
-                    let lrk = tape.edge_nce_loss(z, Arc::new(pos), negs, q);
+                    plan_struct[r].push(specs.len());
+                    specs.push(TaskSpec {
+                        slot: slot_of(Family::OrigStruct, k, r),
+                        family: Family::OrigStruct,
+                        unit: self.unit(r, k),
+                        adj,
+                        mask_idx: None,
+                        input: TaskInput::Original,
+                        edge_loss: Some(EdgeLossSpec {
+                            pos: Arc::new(pos),
+                            negs,
+                            q,
+                        }),
+                    });
+                }
+            }
+        }
+
+        if ab.attr_aug_active() {
+            // Attribute-swap augmentation (Eq. 10–13). The swapped matrix
+            // is built once per repeat on the coupling tape's arena; its
+            // tasks read the value at dispatch.
+            for k in 0..kk {
+                let sel = Arc::new(sample_indices(n, self.cfg.mask_ratio, &mut self.rng));
+                let partners = swap_partners(n, &sel, &mut self.rng);
+                let mut x_aa = tape.arena_mut().copy_of(&x_rc);
+                for (&i, &j) in sel.iter().zip(&partners) {
+                    x_aa.set_row(i, x_rc.row(j));
+                }
+                let x_node = tape.constant(x_aa);
+                let mut tasks = Vec::with_capacity(rr);
+                for (r, pair) in pairs.iter().enumerate() {
+                    tasks.push(specs.len());
+                    specs.push(TaskSpec {
+                        slot: slot_of(Family::AugAttr, k, r),
+                        family: Family::AugAttr,
+                        unit: self.unit(r, k),
+                        adj: pair.clone(),
+                        mask_idx: ab.masking.then(|| Arc::clone(&sel)),
+                        input: TaskInput::Augmented(plan_aug.len()),
+                        edge_loss: None,
+                    });
+                }
+                plan_aug.push(AugViewPlan { sel, tasks, x_node });
+            }
+        }
+
+        if ab.subgraph_aug_active() {
+            // RWR subgraph masking (Eq. 14–16). Patches are sampled on the
+            // union graph so the masked node set V_s^k is shared across
+            // relations (Eq. 15 indexes it by k).
+            for k in 0..kk {
+                let (nodes, _) = rwr_mask_sets(
+                    &self.union_layer,
+                    self.cfg.subgraph_patches,
+                    self.cfg.subgraph_size,
+                    self.cfg.restart_p,
+                    &mut self.rng,
+                );
+                if nodes.is_empty() {
+                    continue;
+                }
+                let nodes_rc = Arc::new(nodes);
+                let mut tasks = Vec::with_capacity(rr);
+                for (r, pair) in pairs.iter().enumerate() {
+                    let layer = graph.layer(r);
+                    let edge_idx = induced_edge_indices(layer, &nodes_rc);
+                    let (adj, masked_edges) = if ab.masking && !edge_idx.is_empty() {
+                        let (pruned, me) = layer.without_edges_templated(
+                            &scratch.norm_templates[r],
+                            &edge_idx,
+                            &mut scratch.mask,
+                        );
+                        (SpPair::symmetric(pruned), me)
+                    } else {
+                        (pair.clone(), Vec::new())
+                    };
+                    let edge_loss = if masked_edges.is_empty() {
+                        None
+                    } else {
+                        let pos: Vec<(usize, usize)> = masked_edges
+                            .iter()
+                            .map(|&(a, b)| (a as usize, b as usize))
+                            .collect();
+                        let q = self.cfg.edge_negatives;
+                        let negs = Arc::new(negative_endpoints(layer, &pos, q, &mut self.rng));
+                        Some(EdgeLossSpec {
+                            pos: Arc::new(pos),
+                            negs,
+                            q,
+                        })
+                    };
+                    tasks.push(specs.len());
+                    specs.push(TaskSpec {
+                        slot: slot_of(Family::Sub, k, r),
+                        family: Family::Sub,
+                        unit: self.unit(r, k),
+                        adj,
+                        mask_idx: ab.masking.then(|| Arc::clone(&nodes_rc)),
+                        input: TaskInput::Original,
+                        edge_loss,
+                    });
+                }
+                plan_sub.push(SubViewPlan {
+                    nodes: nodes_rc,
+                    tasks,
+                });
+            }
+        }
+
+        // ==== Phase B: parallel task forwards ============================
+        //
+        // Each task records onto its own slot tape; forwards are pure (no
+        // RNG, no shared mutable state), so completion order is free.
+        let mut runs: Vec<Option<sched::TaskRun>> = (0..slots).map(|_| None).collect();
+        let mut spec_by_slot: Vec<Option<usize>> = vec![None; slots];
+        for (si, spec) in specs.iter().enumerate() {
+            spec_by_slot[spec.slot] = Some(si);
+            // First time this slot carries an edge loss, pre-provision its
+            // arena with the path's extra working set (the row-normalised
+            // reconstruction, its gradient and the NCE delta — all |V|·f —
+            // plus the scalar loss value and seed). Subgraph slots may
+            // activate the path many epochs in (RWR draws are per-epoch),
+            // and per-slot arenas only ever warm the shapes they have
+            // actually served, so without this the activation would fall
+            // through to the allocator mid-training.
+            if spec.edge_loss.is_some() && !scratch.edge_warmed[spec.slot] {
+                scratch.edge_warmed[spec.slot] = true;
+                let arena = task_tapes[spec.slot].arena_mut();
+                arena.grow(n * x_rc.cols(), 3);
+                arena.grow(1, 2);
+            }
+        }
+        let ran_tasks = specs.len() as u64;
+        tm::record_span_ns("sched.build", elapsed_ns(t_recon));
+        let t_forward = Instant::now();
+        {
+            let x_in_val = tape.value(x_in);
+            let aug_vals: Vec<&Matrix> = plan_aug.iter().map(|p| tape.value(p.x_node)).collect();
+            let orig_attr_m = &self.orig_attr;
+            let orig_struct_m = &self.orig_struct;
+            let aug_attr_m = &self.aug_attr;
+            let sub_m = &self.sub;
+            umgad_rt::pool::scope(|sc| {
+                for ((slot, task_tape), run_slot) in
+                    task_tapes.iter_mut().enumerate().zip(runs.iter_mut())
+                {
+                    let Some(si) = spec_by_slot[slot] else {
+                        continue;
+                    };
+                    let spec = &specs[si];
+                    let module = match spec.family {
+                        Family::OrigAttr => &orig_attr_m[spec.unit],
+                        Family::OrigStruct => &orig_struct_m[spec.unit],
+                        Family::AugAttr => &aug_attr_m[spec.unit],
+                        Family::Sub => &sub_m[spec.unit],
+                    };
+                    let x_val: &Matrix = match spec.input {
+                        TaskInput::Original => x_in_val,
+                        TaskInput::Augmented(i) => aug_vals[i],
+                    };
+                    sc.spawn(move || {
+                        *run_slot = Some(sched::run_forward(spec, module, task_tape, x_val));
+                    });
+                }
+            });
+        }
+        let forward_wall_ns = elapsed_ns(t_forward);
+        tm::record_span_ns("sched.forward", forward_wall_ns);
+        let t_couple = Instant::now();
+
+        // ==== Phase C: serial coupling on the main tape ==================
+        //
+        // Task outputs are imported as leaves in the order the single-tape
+        // epoch recorded them, so every shared node (softmaxed relation
+        // weights, fused views) accumulates its gradient contributions in
+        // the same order and the epoch stays bitwise identical.
+
+        // ---- (1) original view -----------------------------------------
+        if ab.original_view {
+            let mut l_a: Option<Var> = None;
+            for plan in &plan_orig {
+                let recons: Vec<Var> = plan
+                    .tasks
+                    .iter()
+                    .map(|&si| {
+                        let slot = specs[si].slot;
+                        let run = runs[slot].as_mut().expect("attr task ran");
+                        let leaf = tape.leaf_from(task_tapes[slot].value(run.recon));
+                        run.recon_leaf = Some(leaf);
+                        leaf
+                    })
+                    .collect();
+                let fused = self.a_weights.fuse(&mut tape, &aw, &recons);
+                fused_orig.push(fused);
+                let lk = tape.scaled_cosine_loss(
+                    fused,
+                    Arc::clone(&x_rc),
+                    Arc::clone(&plan.idx),
+                    self.cfg.eta,
+                );
+                l_a = Some(match l_a {
+                    Some(acc) => tape.add(acc, lk),
+                    None => lk,
+                });
+            }
+            let l_a = l_a.expect("K >= 1");
+
+            let mut per_relation: Vec<Var> = Vec::with_capacity(rr);
+            for tasks in &plan_struct {
+                let mut l_r: Option<Var> = None;
+                for &si in tasks {
+                    let slot = specs[si].slot;
+                    let run = runs[slot].as_mut().expect("struct task ran");
+                    let loss = run.loss.expect("struct task records an edge loss");
+                    let leaf = tape.leaf_from(task_tapes[slot].value(loss));
+                    run.loss_leaf = Some(leaf);
                     l_r = Some(match l_r {
-                        Some(acc) => tape.add(acc, lrk),
-                        None => lrk,
+                        Some(acc) => tape.add(acc, leaf),
+                        None => leaf,
                     });
                 }
                 per_relation.push(match l_r {
@@ -763,38 +1053,27 @@ impl Umgad {
         // ---- (2a) attribute-level augmented view (Eq. 10–13) ------------
         if ab.attr_aug_active() {
             let mut l_aa: Option<Var> = None;
-            for _k in 0..kk {
-                let sel = Arc::new(sample_indices(n, self.cfg.mask_ratio, &mut self.rng));
-                let partners = swap_partners(n, &sel, &mut self.rng);
-                let mut x_aa = tape.arena_mut().copy_of(&x_rc);
-                for (&i, &j) in sel.iter().zip(&partners) {
-                    x_aa.set_row(i, x_rc.row(j));
-                }
-                let x_aa_const = tape.constant(x_aa);
-                let recons: Vec<Var> = (0..rr)
-                    .map(|r| {
-                        let u = self.unit(r, _k);
-                        if ab.masking {
-                            self.aug_attr[u]
-                                .forward_attr_masked(
-                                    &mut tape,
-                                    &b_aug_attr[u],
-                                    &pairs[r],
-                                    x_aa_const,
-                                    Arc::clone(&sel),
-                                )
-                                .recon
-                        } else {
-                            self.aug_attr[u]
-                                .forward(&mut tape, &b_aug_attr[u], &pairs[r], x_aa_const)
-                                .recon
-                        }
+            for plan in &plan_aug {
+                let recons: Vec<Var> = plan
+                    .tasks
+                    .iter()
+                    .map(|&si| {
+                        let slot = specs[si].slot;
+                        let run = runs[slot].as_mut().expect("aug task ran");
+                        let leaf = tape.leaf_from(task_tapes[slot].value(run.recon));
+                        run.recon_leaf = Some(leaf);
+                        leaf
                     })
                     .collect();
                 let fused = self.a_weights.fuse(&mut tape, &aw, &recons);
                 fused_aa.push(fused);
                 // Eq. 13 reconstructs toward the ORIGINAL attributes.
-                let lk = tape.scaled_cosine_loss(fused, Arc::clone(&x_rc), sel, self.cfg.eta);
+                let lk = tape.scaled_cosine_loss(
+                    fused,
+                    Arc::clone(&x_rc),
+                    Arc::clone(&plan.sel),
+                    self.cfg.eta,
+                );
                 l_aa = Some(match l_aa {
                     Some(acc) => tape.add(acc, lk),
                     None => lk,
@@ -810,62 +1089,31 @@ impl Umgad {
         if ab.subgraph_aug_active() {
             let mut l_sa: Option<Var> = None;
             let mut l_ss_per_rel: Vec<Option<Var>> = vec![None; rr];
-            for k in 0..kk {
-                // Patches sampled on the union graph so the masked node set
-                // V_s^k is shared across relations (Eq. 15 indexes it by k).
-                let (nodes, _) = rwr_mask_sets(
-                    &self.union_layer,
-                    self.cfg.subgraph_patches,
-                    self.cfg.subgraph_size,
-                    self.cfg.restart_p,
-                    &mut self.rng,
-                );
-                if nodes.is_empty() {
-                    continue;
-                }
-                let nodes_rc = Arc::new(nodes);
+            for plan in &plan_sub {
                 let mut recons = Vec::with_capacity(rr);
-                for r in 0..rr {
-                    let layer = graph.layer(r);
-                    let u = self.unit(r, k);
-                    let edge_idx = induced_edge_indices(layer, &nodes_rc);
-                    let (adj, masked_edges) = if ab.masking && !edge_idx.is_empty() {
-                        let (pruned, me) =
-                            layer.without_edges_scratch(&edge_idx, &mut scratch.mask);
-                        (SpPair::symmetric(pruned), me)
-                    } else {
-                        (pairs[r].clone(), Vec::new())
-                    };
-                    let out = if ab.masking {
-                        self.sub[u].forward_attr_masked(
-                            &mut tape,
-                            &b_sub[u],
-                            &adj,
-                            x_in,
-                            Arc::clone(&nodes_rc),
-                        )
-                    } else {
-                        self.sub[u].forward(&mut tape, &b_sub[u], &adj, x_in)
-                    };
-                    recons.push(out.recon);
-                    if !masked_edges.is_empty() {
-                        let pos: Vec<(usize, usize)> = masked_edges
-                            .iter()
-                            .map(|&(a, b)| (a as usize, b as usize))
-                            .collect();
-                        let q = self.cfg.edge_negatives;
-                        let negs = Arc::new(negative_endpoints(layer, &pos, q, &mut self.rng));
-                        let z = tape.row_normalize(out.recon);
-                        let l = tape.edge_nce_loss(z, Arc::new(pos), negs, q);
+                for (r, &si) in plan.tasks.iter().enumerate() {
+                    let slot = specs[si].slot;
+                    let run = runs[slot].as_mut().expect("sub task ran");
+                    let leaf = tape.leaf_from(task_tapes[slot].value(run.recon));
+                    run.recon_leaf = Some(leaf);
+                    recons.push(leaf);
+                    if let Some(loss) = run.loss {
+                        let lleaf = tape.leaf_from(task_tapes[slot].value(loss));
+                        run.loss_leaf = Some(lleaf);
                         l_ss_per_rel[r] = Some(match l_ss_per_rel[r] {
-                            Some(acc) => tape.add(acc, l),
-                            None => l,
+                            Some(acc) => tape.add(acc, lleaf),
+                            None => lleaf,
                         });
                     }
                 }
                 let fused = self.a_weights.fuse(&mut tape, &aw, &recons);
                 fused_sa.push(fused);
-                let lk = tape.scaled_cosine_loss(fused, Arc::clone(&x_rc), nodes_rc, self.cfg.eta);
+                let lk = tape.scaled_cosine_loss(
+                    fused,
+                    Arc::clone(&x_rc),
+                    Arc::clone(&plan.nodes),
+                    self.cfg.eta,
+                );
                 l_sa = Some(match l_sa {
                     Some(acc) => tape.add(acc, lk),
                     None => lk,
@@ -945,33 +1193,102 @@ impl Umgad {
         }
         stats.total = tape.value(total).get(0, 0);
         tape.backward(total);
+
+        // ==== Phase D: parallel seeded task backwards ====================
+        //
+        // Each ran task replays its own tape from the gradients of the
+        // leaves its outputs were imported as. Tasks are independent —
+        // their only shared consumers are the parameters, reduced below in
+        // fixed order — so completion order is free here too.
+        tm::record_span_ns("sched.couple", elapsed_ns(t_couple));
+        let t_task_backward = Instant::now();
+        {
+            let main = &tape;
+            umgad_rt::pool::scope(|sc| {
+                for (task_tape, run_slot) in task_tapes.iter_mut().zip(runs.iter_mut()) {
+                    let Some(run) = run_slot.as_mut() else {
+                        continue;
+                    };
+                    sc.spawn(move || sched::run_backward(run, task_tape, main));
+                }
+            });
+        }
+        let backward_wall_ns = elapsed_ns(t_task_backward);
+        tm::record_span_ns("sched.backward", backward_wall_ns);
         stats.backward_ns = elapsed_ns(t_backward);
         let t_optimizer = Instant::now();
 
-        for (m, b) in self.orig_attr.iter_mut().zip(&b_orig_attr) {
-            m.update(&tape, b, &self.opt);
+        // ==== Phase E: fixed-order gradient reduction + optimiser ========
+        //
+        // Units update in the same family-major order the single-tape
+        // epoch used; within a unit shared by several tasks, gradients
+        // fold in descending recording order (see
+        // `sched::merge_and_update`) — never completion order.
+        let t_merge = Instant::now();
+        let units = self.orig_attr.len();
+        let mut unit_tasks: Vec<Vec<usize>> = vec![Vec::new(); sched::FAMILIES * units];
+        for (si, spec) in specs.iter().enumerate() {
+            if runs[spec.slot].is_some() {
+                unit_tasks[spec.family.index() * units + spec.unit].push(si);
+            }
         }
-        for (m, b) in self.orig_struct.iter_mut().zip(&b_orig_struct) {
-            m.update(&tape, b, &self.opt);
-        }
-        for (m, b) in self.aug_attr.iter_mut().zip(&b_aug_attr) {
-            m.update(&tape, b, &self.opt);
-        }
-        for (m, b) in self.sub.iter_mut().zip(&b_sub) {
-            m.update(&tape, b, &self.opt);
-        }
+        sched::merge_and_update(
+            &mut self.orig_attr,
+            &unit_tasks[..units],
+            &specs,
+            &runs,
+            &mut task_tapes,
+            &self.opt,
+        );
+        sched::merge_and_update(
+            &mut self.orig_struct,
+            &unit_tasks[units..2 * units],
+            &specs,
+            &runs,
+            &mut task_tapes,
+            &self.opt,
+        );
+        sched::merge_and_update(
+            &mut self.aug_attr,
+            &unit_tasks[2 * units..3 * units],
+            &specs,
+            &runs,
+            &mut task_tapes,
+            &self.opt,
+        );
+        sched::merge_and_update(
+            &mut self.sub,
+            &unit_tasks[3 * units..],
+            &specs,
+            &runs,
+            &mut task_tapes,
+            &self.opt,
+        );
+        tm::record_span_ns("sched.merge", elapsed_ns(t_merge));
         self.a_weights.update(&tape, &aw, &self.opt);
         self.b_weights.update(&tape, &bw, &self.opt);
         stats.optimizer_ns = elapsed_ns(t_optimizer);
 
-        let arena_after = tape.arena_stats();
+        // Scheduler telemetry: task count and the fraction of available
+        // worker-lane time the parallel phases spent idle.
+        tm::counter_add("sched.tasks", ran_tasks);
+        let busy_ns: u64 = runs.iter().flatten().map(|r| r.busy_ns).sum();
+        let lane_ns = (forward_wall_ns + backward_wall_ns)
+            .saturating_mul(umgad_rt::pool::configured_threads().max(1) as u64);
+        if lane_ns > 0 {
+            let idle = 1.0 - busy_ns as f64 / lane_ns as f64;
+            tm::gauge_set("sched.idle_frac", idle.clamp(0.0, 1.0));
+        }
+
+        let arena_after = arena_sum(&tape, &task_tapes);
         stats.arena_hits = arena_after.hits - arena_before.hits;
         stats.arena_misses = arena_after.misses - arena_before.misses;
 
-        // Park the tape (arena + this epoch's buffers) and invariants for
-        // the next epoch.
+        // Park the tapes (arenas + this epoch's buffers) and invariants
+        // for the next epoch.
         scratch.tape = tape;
         scratch.pairs = pairs;
+        scratch.task_tapes = task_tapes;
         self.scratch = Some(scratch);
 
         stats.duration = start.elapsed();
@@ -1287,6 +1604,68 @@ mod tests {
             ],
             Some(labels),
         )
+    }
+
+    /// Graph swap revalidation: the parked `EpochScratch` — including the
+    /// `Arc`-identity-keyed transpose cache — must be rebuilt for a graph
+    /// with new allocations, even when the values are identical.
+    #[test]
+    fn epoch_scratch_rebuilds_transpose_cache_on_graph_swap() {
+        let g1 = planted_graph(5);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.seed = 5;
+        let mut model = Umgad::new(&g1, cfg);
+        model.train_epoch(&g1);
+        {
+            let s1 = model.scratch.as_ref().expect("scratch parked after epoch");
+            assert!(s1.matches(&g1));
+            assert_eq!(s1.transposes.len(), g1.num_relations());
+            assert_eq!(s1.pairs.len(), g1.num_relations());
+        }
+
+        // Same generator, fresh allocations: every identity check fails.
+        let g2 = planted_graph(5);
+        assert!(!model.scratch.as_ref().unwrap().matches(&g2));
+        let old_fwd: Vec<*const CsrMatrix> = model
+            .scratch
+            .as_ref()
+            .unwrap()
+            .pairs
+            .iter()
+            .map(|p| Arc::as_ptr(&p.fwd))
+            .collect();
+        model.train_epoch(&g2);
+        let s2 = model.scratch.as_ref().expect("scratch parked after swap");
+        assert!(
+            s2.matches(&g2),
+            "rebuilt scratch must describe the new graph"
+        );
+        assert_eq!(s2.transposes.len(), g2.num_relations());
+        for (pair, old) in s2.pairs.iter().zip(&old_fwd) {
+            assert!(
+                !std::ptr::eq(Arc::as_ptr(&pair.fwd), *old),
+                "cached pair still points at the old graph's adjacency"
+            );
+        }
+    }
+
+    /// An `EpochScratch` whose transpose cache lost its entries no longer
+    /// `matches` its graph: the coverage invariant (one cached pair per
+    /// relation) is part of revalidation, not just the `Arc` identities.
+    #[test]
+    fn epoch_scratch_transpose_coverage_is_revalidated() {
+        let g = planted_graph(6);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.seed = 6;
+        let mut model = Umgad::new(&g, cfg);
+        model.train_epoch(&g);
+        let scratch = model.scratch.as_mut().expect("scratch parked");
+        assert!(scratch.matches(&g));
+        scratch.transposes.clear();
+        assert!(
+            !scratch.matches(&g),
+            "empty transpose cache must force a rebuild"
+        );
     }
 
     #[test]

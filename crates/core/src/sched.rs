@@ -1,0 +1,199 @@
+//! Deterministic intra-epoch task graph (DESIGN.md §5g).
+//!
+//! One training epoch decomposes into independent *(view × relation ×
+//! repeat)* passes: each pass's encoder/decoder forward — and, after the
+//! coupling tape's backward, its seeded reverse sweep — touches only its
+//! own tape. The epoch engine assembles a [`TaskSpec`] per pass serially
+//! (all RNG draws happen there, in the exact order the single-tape epoch
+//! used), runs the forwards and backwards as scoped tasks on the
+//! persistent worker pool, and merges gradients back into the shared
+//! parameters in **fixed task order** — never completion order — so
+//! scores are bitwise identical at any `UMGAD_THREADS`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use umgad_nn::Gmae;
+use umgad_rt::telemetry as tm;
+use umgad_tensor::{Adam, Matrix, SpPair, Tape, Var};
+
+/// Number of unit families (slot-layout major axis).
+pub(crate) const FAMILIES: usize = 4;
+
+/// Which unit family a task belongs to. The discriminant is the family's
+/// slot-layout index and its fixed merge order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Family {
+    /// Original-view attribute GMAE (Eq. 2).
+    OrigAttr = 0,
+    /// Original-view structure GMAE (Eq. 6).
+    OrigStruct = 1,
+    /// Attribute-level augmented GMAE (Eq. 11).
+    AugAttr = 2,
+    /// Subgraph-level augmented GMAE (Eq. 14).
+    Sub = 3,
+}
+
+impl Family {
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Which attribute matrix a task forwards from. Values live on the main
+/// tape; tasks copy them into their own arenas at dispatch.
+#[derive(Clone, Copy)]
+pub(crate) enum TaskInput {
+    /// The (possibly dropped-out) original attributes.
+    Original,
+    /// The `i`-th attribute-swap augmentation of this epoch.
+    Augmented(usize),
+}
+
+/// Negative-sampled edge-reconstruction loss attached to a
+/// structure-bearing task (Eq. 7). Sampled at spec-build time so the
+/// parallel phase draws no randomness.
+pub(crate) struct EdgeLossSpec {
+    /// Masked (positive) edges to reconstruct.
+    pub pos: Arc<Vec<(usize, usize)>>,
+    /// `q` negative endpoints per positive.
+    pub negs: Arc<Vec<usize>>,
+    /// Negatives per positive edge.
+    pub q: usize,
+}
+
+/// Everything one (view × relation × repeat) pass needs, assembled
+/// serially before the parallel phase.
+pub(crate) struct TaskSpec {
+    /// Stable tape-slot index (`(family · K + k) · R + r`).
+    pub slot: usize,
+    /// Unit family (module table + merge order).
+    pub family: Family,
+    /// Module index within the family (`unit(r, k)`).
+    pub unit: usize,
+    /// Normalised adjacency operands — the epoch's cached pair, or this
+    /// task's pruned (edge-masked) pair.
+    pub adj: SpPair,
+    /// `[MASK]`-token row substitution; `None` runs the unmasked forward.
+    pub mask_idx: Option<Arc<Vec<usize>>>,
+    /// Which attribute matrix to encode.
+    pub input: TaskInput,
+    /// Optional edge-NCE loss recorded on the task tape.
+    pub edge_loss: Option<EdgeLossSpec>,
+}
+
+/// What a completed task leaves on its slot tape, plus the main-tape
+/// leaves its outputs were imported as (filled in by the coupling phase).
+pub(crate) struct TaskRun {
+    /// The module's parameter bindings on the task tape.
+    pub bound: umgad_nn::BoundGmae,
+    /// Attribute reconstruction on the task tape.
+    pub recon: Var,
+    /// Edge-NCE loss on the task tape, when the spec carried one.
+    pub loss: Option<Var>,
+    /// Main-tape leaf holding `recon`'s value (attr/sub tasks only) —
+    /// its gradient seeds this task's backward.
+    pub recon_leaf: Option<Var>,
+    /// Main-tape leaf holding `loss`'s value, likewise.
+    pub loss_leaf: Option<Var>,
+    /// Nanoseconds this task spent on a worker (forward + backward),
+    /// feeding the `sched.idle_frac` gauge.
+    pub busy_ns: u64,
+}
+
+/// Saturating nanosecond clock delta.
+#[inline]
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Run one task's forward pass on its own tape. Pure per task — no RNG,
+/// no shared mutable state — so tasks may complete in any order.
+pub(crate) fn run_forward(spec: &TaskSpec, module: &Gmae, tape: &mut Tape, x: &Matrix) -> TaskRun {
+    let t0 = Instant::now();
+    let bound = module.bind(tape);
+    let xv = tape.constant_from(x);
+    let out = match &spec.mask_idx {
+        Some(idx) => module.forward_attr_masked(tape, &bound, &spec.adj, xv, Arc::clone(idx)),
+        None => module.forward(tape, &bound, &spec.adj, xv),
+    };
+    let loss = spec.edge_loss.as_ref().map(|el| {
+        let z = tape.row_normalize(out.recon);
+        tape.edge_nce_loss(z, Arc::clone(&el.pos), Arc::clone(&el.negs), el.q)
+    });
+    let busy_ns = elapsed_ns(t0);
+    tm::record_span_ns("sched.task", busy_ns);
+    TaskRun {
+        bound,
+        recon: out.recon,
+        loss,
+        recon_leaf: None,
+        loss_leaf: None,
+        busy_ns,
+    }
+}
+
+/// Run one task's seeded reverse sweep: each output the coupling tape
+/// imported as a leaf hands its gradient back as a seed. Seeds are set
+/// before the sweep, so in-task consumers of `recon` (the structure loss's
+/// row-normalise) accumulate *after* the imported fusion gradient —
+/// exactly the order the single-tape reverse sweep produced.
+pub(crate) fn run_backward(run: &mut TaskRun, tape: &mut Tape, main: &Tape) {
+    let t0 = Instant::now();
+    let mut seeds: Vec<(Var, &Matrix)> = Vec::with_capacity(2);
+    if let Some(leaf) = run.recon_leaf {
+        if let Some(g) = main.grad(leaf) {
+            seeds.push((run.recon, g));
+        }
+    }
+    if let (Some(loss), Some(leaf)) = (run.loss, run.loss_leaf) {
+        if let Some(g) = main.grad(leaf) {
+            seeds.push((loss, g));
+        }
+    }
+    tape.backward_seeded(&seeds);
+    let ns = elapsed_ns(t0);
+    tm::record_span_ns("sched.task", ns);
+    run.busy_ns += ns;
+}
+
+/// Fixed-order gradient reduction and optimiser step for one unit family.
+///
+/// `unit_tasks[u]` lists the family's ran tasks for module `u` in
+/// recording order. The single-tape sweep accumulated a shared module's
+/// gradients in *reverse* recording order (each pass contributes exactly
+/// one delta per parameter leaf), so the last-recorded task's tape is the
+/// primary and earlier tasks fold in descending order — bitwise identical
+/// to the serial accumulation, and independent of completion order.
+pub(crate) fn merge_and_update(
+    modules: &mut [Gmae],
+    unit_tasks: &[Vec<usize>],
+    specs: &[TaskSpec],
+    runs: &[Option<TaskRun>],
+    task_tapes: &mut [Tape],
+    opt: &Adam,
+) {
+    for (u, module) in modules.iter_mut().enumerate() {
+        let Some((&last, earlier)) = unit_tasks[u].split_last() else {
+            // No pass ran for this unit this epoch (empty relation /
+            // empty patch): no gradient, no update — as in the serial
+            // epoch, where the bound leaf simply received no gradient.
+            continue;
+        };
+        let p_slot = specs[last].slot;
+        let p_bound = runs[p_slot].as_ref().expect("ran task has a run").bound;
+        if earlier.is_empty() {
+            module.update(&task_tapes[p_slot], &p_bound, opt);
+            continue;
+        }
+        let mut primary = std::mem::take(&mut task_tapes[p_slot]);
+        for &si in earlier.iter().rev() {
+            let s_slot = specs[si].slot;
+            let s_run = runs[s_slot].as_ref().expect("ran task has a run");
+            Gmae::merge_bound_grads(&mut primary, &p_bound, &task_tapes[s_slot], &s_run.bound);
+        }
+        module.update(&primary, &p_bound, opt);
+        task_tapes[p_slot] = primary;
+    }
+}

@@ -33,6 +33,7 @@ pub use mask::{
 pub use multiplex::{MaskScratch, MultiplexGraph, MultiplexGraphData, RelationLayer};
 pub use norm::{
     adjacency, gcn_norm_rc, gcn_normalize, gcn_normalize_reusing, rw_normalize, NormScratch,
+    NormTemplate,
 };
 pub use rwr::{induced_edge_indices, rwr_mask_sets, rwr_sample};
 pub use stats::{

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use umgad_tensor::{CsrMatrix, CsrStorage, Matrix, SpPair};
 
-use crate::norm::{adjacency, gcn_normalize, gcn_normalize_reusing, NormScratch};
+use crate::norm::{adjacency, gcn_normalize, gcn_normalize_reusing, NormScratch, NormTemplate};
 
 /// Reusable scratch for [`RelationLayer::without_edges_scratch`]: edge-index
 /// buffers, normalisation accumulators, and a pool of pruned-CSR storages
@@ -179,6 +179,50 @@ impl RelationLayer {
         let storage = scratch.storages.pop().unwrap_or_default();
         let norm = Arc::new(gcn_normalize_reusing(
             self.n,
+            &scratch.remaining,
+            &mut scratch.norm,
+            storage,
+        ));
+        scratch.retired.push(Arc::clone(&norm));
+        (norm, masked_edges)
+    }
+
+    /// Build this layer's [`NormTemplate`] — the sorted skeleton of its
+    /// `A + I` normalisation. One global sort at build time buys every
+    /// subsequent [`Self::without_edges_templated`] a sort-free pass.
+    pub fn norm_template(&self) -> NormTemplate {
+        NormTemplate::build(self.n, &self.edges)
+    }
+
+    /// [`Self::without_edges_scratch`] through a prebuilt [`NormTemplate`]:
+    /// bitwise-identical output, but the pruned normalisation is a single
+    /// sequential pass over the template instead of a COO rebuild (no
+    /// sort), which is what makes per-epoch edge masking cheap on
+    /// high-degree relations. `template` must come from
+    /// [`Self::norm_template`] on this exact layer.
+    pub fn without_edges_templated(
+        &self,
+        template: &NormTemplate,
+        masked: &[usize],
+        scratch: &mut MaskScratch,
+    ) -> (Arc<CsrMatrix>, Vec<(u32, u32)>) {
+        scratch.drop.clear();
+        scratch.drop.resize(self.edges.len(), false);
+        // `remaining` doubles as the deduplicated removed-endpoint list
+        // (masked indices are distinct in practice; the guard keeps the
+        // degree adjustment exact even if a caller repeats one).
+        scratch.remaining.clear();
+        let mut masked_edges = Vec::with_capacity(masked.len());
+        for &e in masked {
+            if !scratch.drop[e] {
+                scratch.drop[e] = true;
+                scratch.remaining.push(self.edges[e]);
+            }
+            masked_edges.push(self.edges[e]);
+        }
+        let storage = scratch.storages.pop().unwrap_or_default();
+        let norm = Arc::new(template.normalize_without(
+            &scratch.drop,
             &scratch.remaining,
             &mut scratch.norm,
             storage,
@@ -459,6 +503,61 @@ mod tests {
             scratch.reclaim();
             assert_eq!(scratch.pooled_storages(), 1);
         }
+    }
+
+    #[test]
+    fn without_edges_templated_is_bitwise_identical() {
+        // Random-ish graph with hubs and leaves; compare every stored
+        // entry's bits against the legacy COO rebuild across several masks.
+        use umgad_rt::rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 40;
+        let mut edges = Vec::new();
+        for _ in 0..120 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            edges.push((u, v)); // RelationLayer canonicalises/dedups
+        }
+        let l = RelationLayer::new("r", n, edges);
+        let template = l.norm_template();
+        let mut s_legacy = MaskScratch::new();
+        let mut s_templ = MaskScratch::new();
+        let e = l.num_edges();
+        for round in 0..8 {
+            let masked: Vec<usize> = (0..e).filter(|_| rng.gen::<f64>() < 0.4).collect();
+            let (a, a_edges) = l.without_edges_scratch(&masked, &mut s_legacy);
+            let (b, b_edges) = l.without_edges_templated(&template, &masked, &mut s_templ);
+            assert_eq!(a_edges, b_edges, "round {round}");
+            let av: Vec<(usize, usize, u64)> =
+                a.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+            let bv: Vec<(usize, usize, u64)> =
+                b.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+            assert_eq!(av, bv, "round {round} masked {masked:?}");
+        }
+        // Degenerate masks: nothing removed / everything removed.
+        for masked in [vec![], (0..e).collect::<Vec<_>>()] {
+            let (a, _) = l.without_edges_scratch(&masked, &mut s_legacy);
+            let (b, _) = l.without_edges_templated(&template, &masked, &mut s_templ);
+            let av: Vec<(usize, usize, u64)> =
+                a.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+            let bv: Vec<(usize, usize, u64)> =
+                b.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+            assert_eq!(av, bv);
+        }
+    }
+
+    #[test]
+    fn without_edges_templated_tolerates_repeated_indices() {
+        // A repeated masked index must remove the edge once and adjust
+        // degrees once, exactly like the flag-based legacy path.
+        let l = RelationLayer::new("r", 4, vec![(0, 1), (1, 2), (2, 3)]);
+        let template = l.norm_template();
+        let (a, a_edges) = l.without_edges(&[1, 1]);
+        let (b, b_edges) = l.without_edges_templated(&template, &[1, 1], &mut MaskScratch::new());
+        assert_eq!(a_edges, b_edges);
+        let av: Vec<_> = a.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+        let bv: Vec<_> = b.iter().map(|(r, c, v)| (r, c, v.to_bits())).collect();
+        assert_eq!(av, bv);
     }
 
     #[test]

@@ -65,6 +65,135 @@ pub fn gcn_normalize_reusing(
     CsrMatrix::from_coo_reusing(n, n, triples, storage)
 }
 
+/// Precomputed structure of a layer's GCN-normalised adjacency `Â(A + I)`,
+/// built once per graph so that *masked* re-normalisations — the per-epoch
+/// work of edge-masked reconstruction and RWR subgraph masking — skip the
+/// COO sort entirely.
+///
+/// The template stores the CSR skeleton of the **full** `A + I` (rows,
+/// sorted columns) plus, per stored entry, the undirected edge index it
+/// came from (`u32::MAX` for the diagonal), and the full-graph degrees.
+/// [`NormTemplate::normalize_without`] then materialises the normalisation
+/// of any edge subset in one sequential pass: degrees are adjusted by the
+/// removed endpoints (exact integer f64 arithmetic, so they equal the
+/// recounted degrees bit for bit), dropped entries are skipped by edge id,
+/// and every surviving entry's value is the same `1/√d̃_u · 1/√d̃_v`
+/// product [`gcn_normalize`] computes — so the result is **bitwise
+/// identical** to re-normalising the surviving edge list from scratch,
+/// at a fraction of the cost (no sort, no duplicate merge).
+///
+/// Requires the canonical edge form [`crate::RelationLayer`] guarantees:
+/// `u < v`, deduplicated — so no triple collisions can occur and entry ↔
+/// edge is one-to-one.
+#[derive(Debug)]
+pub struct NormTemplate {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    /// Edge index behind each stored entry; `u32::MAX` marks the diagonal.
+    src: Vec<u32>,
+    /// Degrees of `A + I` (≥ 1.0, exact integers).
+    full_degree: Vec<f64>,
+}
+
+impl NormTemplate {
+    /// Build the template for `n` nodes over canonical undirected edges
+    /// (`u < v`, deduplicated, no self-loops — asserted).
+    pub fn build(n: usize, edges: &[(u32, u32)]) -> Self {
+        assert!(
+            edges.len() < u32::MAX as usize,
+            "NormTemplate: too many edges"
+        );
+        let mut full_degree = vec![1.0f64; n]; // self-loop contributes 1
+        let mut tri: Vec<(u32, u32, u32)> = Vec::with_capacity(edges.len() * 2 + n);
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            assert!(u < v, "NormTemplate: edges must be canonical (u < v)");
+            full_degree[u as usize] += 1.0;
+            full_degree[v as usize] += 1.0;
+            tri.push((u, v, i as u32));
+            tri.push((v, u, i as u32));
+        }
+        for i in 0..n as u32 {
+            tri.push((i, i, u32::MAX));
+        }
+        tri.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        debug_assert!(
+            tri.windows(2).all(|w| (w[0].0, w[0].1) != (w[1].0, w[1].1)),
+            "NormTemplate: duplicate edge"
+        );
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(r, _, _) in &tri {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            row_ptr[i] += row_ptr[i - 1];
+        }
+        let col_idx = tri.iter().map(|&(_, c, _)| c).collect();
+        let src = tri.iter().map(|&(_, _, s)| s).collect();
+        Self {
+            n,
+            row_ptr,
+            col_idx,
+            src,
+            full_degree,
+        }
+    }
+
+    /// Materialise the GCN normalisation of the template's graph with the
+    /// flagged edges removed. `dropped` is indexed by edge id;
+    /// `removed` lists each removed edge's endpoints exactly once.
+    /// Bitwise identical to
+    /// `gcn_normalize_reusing(n, &surviving_edges, …)` for the same
+    /// surviving set.
+    pub fn normalize_without(
+        &self,
+        dropped: &[bool],
+        removed: &[(u32, u32)],
+        scratch: &mut NormScratch,
+        storage: CsrStorage,
+    ) -> CsrMatrix {
+        let n = self.n;
+        let degree = &mut scratch.degree;
+        degree.clear();
+        degree.extend_from_slice(&self.full_degree);
+        for &(u, v) in removed {
+            degree[u as usize] -= 1.0;
+            degree[v as usize] -= 1.0;
+        }
+        let inv_sqrt = &mut scratch.inv_sqrt;
+        inv_sqrt.clear();
+        inv_sqrt.extend(degree.iter().map(|&d| 1.0 / d.sqrt()));
+        let (mut row_ptr, mut col_idx, mut vals) = storage.into_parts();
+        row_ptr.clear();
+        row_ptr.reserve(n + 1);
+        row_ptr.push(0);
+        col_idx.clear();
+        col_idx.reserve(self.col_idx.len());
+        vals.clear();
+        vals.reserve(self.col_idx.len());
+        for r in 0..n {
+            let ir = inv_sqrt[r];
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let src = self.src[k];
+                if src != u32::MAX && dropped[src as usize] {
+                    continue;
+                }
+                let c = self.col_idx[k];
+                let w = ir * inv_sqrt[c as usize];
+                // `from_coo` keeps exact zeros out of the structure; mirror
+                // that (unreachable for finite positive degrees, but the
+                // bitwise contract is "same structure, same bits").
+                if w != 0.0 {
+                    col_idx.push(c);
+                    vals.push(w);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_sorted_parts(n, n, row_ptr, col_idx, vals)
+    }
+}
+
 /// Row-stochastic normalisation `D^{-1} A` (no self-loops), used by
 /// random-walk-style propagation. Rows with no edges stay empty.
 pub fn rw_normalize(n: usize, edges: &[(u32, u32)]) -> CsrMatrix {

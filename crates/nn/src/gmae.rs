@@ -151,6 +151,25 @@ impl Gmae {
         self.dec.update(tape, &bound.dec, opt);
     }
 
+    /// Fixed-order cross-tape gradient reduction for a module bound on
+    /// several task tapes: fold the gradients `src` accumulated for
+    /// `src_bound` into `dst`'s slots for `dst_bound`. Merging every
+    /// secondary tape into one primary in a fixed order, then calling
+    /// [`Gmae::update`] on the primary, reproduces a single shared tape's
+    /// accumulation bitwise.
+    pub fn merge_bound_grads(
+        dst: &mut Tape,
+        dst_bound: &BoundGmae,
+        src: &Tape,
+        src_bound: &BoundGmae,
+    ) {
+        SgcStack::merge_bound_grads(dst, &dst_bound.enc, src, &src_bound.enc);
+        SgcStack::merge_bound_grads(dst, &dst_bound.dec, src, &src_bound.dec);
+        if let (Some(d), Some(s)) = (dst_bound.token, src_bound.token) {
+            dst.add_grad_from(d, src, s);
+        }
+    }
+
     /// Apply optimiser updates from the tape.
     pub fn update(&mut self, tape: &Tape, bound: &BoundGmae, opt: &Adam) {
         self.enc.update(tape, &bound.enc, opt);

@@ -149,6 +149,20 @@ impl SgcStack {
         }
     }
 
+    /// Fixed-order cross-tape gradient reduction: accumulate the gradients
+    /// `src` holds for `src_bound` into `dst`'s slots for `dst_bound`.
+    /// Used by the task-graph scheduler to merge per-task tapes that bound
+    /// the *same* stack before a single optimiser step.
+    pub fn merge_bound_grads(
+        dst: &mut Tape,
+        dst_bound: &BoundSgc,
+        src: &Tape,
+        src_bound: &BoundSgc,
+    ) {
+        dst.add_grad_from(dst_bound.w, src, src_bound.w);
+        dst.add_grad_from(dst_bound.b, src, src_bound.b);
+    }
+
     /// Tape-free forward for inference/scoring, via the fused kernel.
     pub fn infer(&self, adj: &umgad_tensor::CsrMatrix, x: &Matrix) -> Matrix {
         let mut hops_done = 0;

@@ -205,6 +205,50 @@ impl Pool {
     }
 }
 
+/// A batch of borrowing tasks under construction — see [`scope`].
+///
+/// Tasks queued with [`Scope::spawn`] may borrow from the enclosing stack
+/// frame (`'scope`); they are submitted to the global pool as one batch
+/// when the `scope` call closes and are all joined before it returns.
+pub struct Scope<'scope> {
+    jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue one task. Nothing runs until the enclosing [`scope`] closes;
+    /// queuing order is preserved in the submission order (though tasks may
+    /// *complete* in any order — callers needing determinism must make
+    /// tasks independent and reduce their results in a fixed order).
+    pub fn spawn<F: FnOnce() + Send + 'scope>(&mut self, f: F) {
+        self.jobs.push(Box::new(f));
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Scoped task submission and join on the [`global()`] pool.
+///
+/// Runs `f` to collect a batch of tasks that may borrow locals, executes
+/// the batch with [`Pool::run`] semantics (submitter work-helping, panic
+/// containment, nested submission safe), and joins every task before
+/// returning — so borrows handed to [`Scope::spawn`] never outlive the
+/// call. With one configured lane the tasks run inline on the submitting
+/// thread in spawn order.
+pub fn scope<'scope, R>(f: impl FnOnce(&mut Scope<'scope>) -> R) -> R {
+    let mut s = Scope { jobs: Vec::new() };
+    let out = f(&mut s);
+    global().run(s.jobs);
+    out
+}
+
 impl Drop for Pool {
     fn drop(&mut self) {
         {

@@ -121,6 +121,25 @@ impl BufferArena {
         Matrix::from_vec(rows, cols, buf)
     }
 
+    /// Pre-provision `count` additional free stores of length `len`.
+    ///
+    /// This is a *warm-up* API: it extends the arena's capacity for a code
+    /// path that is about to run for the first time, so the path's own
+    /// requests hit the free-list instead of falling through to the
+    /// allocator mid-epoch. The stores are allocated here, deliberately
+    /// outside the hit/miss accounting — `misses` keeps meaning "a demand
+    /// the warm working set failed to anticipate".
+    pub fn grow(&mut self, len: usize, count: usize) {
+        if len == 0 {
+            return;
+        }
+        let pool = self.free.entry(len).or_default();
+        pool.reserve(count);
+        for _ in 0..count {
+            pool.push(vec![0.0; len]);
+        }
+    }
+
     /// Hit/miss counters since construction (or the last
     /// [`Self::reset_stats`]).
     pub fn stats(&self) -> ArenaStats {

@@ -160,14 +160,33 @@ fn fused_rows(
             }
             _ => x.row(r),
         };
-        // Product row: k ascending, zero-skip — matmul_serial's inner loop.
+        // Product row: k ascending, two `k` panels folded per pass over the
+        // output row (half the store traffic; each element still accumulates
+        // one `+=` at a time in ascending-`k` order). Folding an exact-zero
+        // `a` is a bitwise no-op here — the accumulator can never be `-0.0`
+        // (it starts at `+0.0` and `+0.0 + ±0.0 = +0.0`), so this matches
+        // `matmul_serial`'s zero-skip output bit for bit on finite inputs.
         let yrow = &mut y_block[i * d..(i + 1) * d];
         yrow.fill(0.0);
-        for (k, &a) in hrow.iter().enumerate() {
-            if a == 0.0 {
+        let paired = f & !1;
+        let mut k = 0;
+        while k < paired {
+            let (a0, a1) = (hrow[k], hrow[k + 1]);
+            if a0 == 0.0 && a1 == 0.0 {
+                k += 2;
                 continue;
             }
+            let w0 = w.row(k);
+            let w1 = w.row(k + 1);
+            for ((o, &b0), &b1) in yrow.iter_mut().zip(w0).zip(w1) {
+                let t = *o + a0 * b0;
+                *o = t + a1 * b1;
+            }
+            k += 2;
+        }
+        if k < f && hrow[k] != 0.0 {
             let wrow = w.row(k);
+            let a = hrow[k];
             for (o, &b) in yrow.iter_mut().zip(wrow) {
                 *o += a * b;
             }

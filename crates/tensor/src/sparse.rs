@@ -31,13 +31,69 @@ pub struct CsrStorage {
     vals: Vec<f64>,
 }
 
+impl CsrStorage {
+    /// Decompose into the backing `(row_ptr, col_idx, vals)` vectors, for
+    /// producers that fill CSR arrays directly and finish with
+    /// [`CsrMatrix::from_sorted_parts`]. Capacities survive the round trip.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+        (self.row_ptr, self.col_idx, self.vals)
+    }
+}
+
 impl CsrMatrix {
+    /// Widest dense operand (feature) row that [`Self::spmm_row_into`]
+    /// stages in a stack accumulator. Covers every hidden size UMGAD uses
+    /// (attr dims and hidden dims are ≤ 64 at all scales).
+    const ACC_WIDTH: usize = 64;
+
     /// Build from COO triples `(row, col, value)`.
     ///
     /// Triples may arrive in any order; duplicates are summed. Entries with
     /// value exactly `0.0` are kept out of the structure.
     pub fn from_coo(rows: usize, cols: usize, mut triples: Vec<(usize, usize, f64)>) -> Self {
         Self::from_coo_reusing(rows, cols, &mut triples, CsrStorage::default())
+    }
+
+    /// Build directly from CSR arrays that are already in canonical form:
+    /// `row_ptr` monotone with `row_ptr[0] == 0` and
+    /// `row_ptr[rows] == col_idx.len()`, every row's columns strictly
+    /// increasing and in bounds, and no stored zeros. This is the fast path
+    /// for producers that emit entries row-major/column-sorted by
+    /// construction (e.g. masked re-normalisation from a sorted template)
+    /// — it skips `from_coo`'s sort and merge entirely. Invariants are
+    /// checked in debug builds.
+    pub fn from_sorted_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "from_sorted_parts: row_ptr length");
+        assert_eq!(row_ptr[0], 0, "from_sorted_parts: row_ptr[0]");
+        assert_eq!(
+            *row_ptr.last().expect("non-empty row_ptr"),
+            col_idx.len(),
+            "from_sorted_parts: row_ptr[rows]"
+        );
+        assert_eq!(
+            col_idx.len(),
+            vals.len(),
+            "from_sorted_parts: col/val length"
+        );
+        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!((0..rows).all(|r| {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            row.windows(2).all(|w| w[0] < w[1]) && row.iter().all(|&c| (c as usize) < cols)
+        }));
+        debug_assert!(vals.iter().all(|&v| v != 0.0));
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// [`Self::from_coo`] drawing its backing stores from `storage` (grown
@@ -295,10 +351,67 @@ impl CsrMatrix {
     }
 
     /// Accumulate row `r` of `self @ x` into `orow` (entries in CSR order).
+    ///
+    /// For feature widths up to [`Self::ACC_WIDTH`] (every UMGAD hidden
+    /// size) the output row is staged in a stack accumulator: the whole
+    /// stored-entry loop runs against registers/L1 with a four-wide entry
+    /// unroll (four independent `x`-row gathers in flight per pass), and
+    /// `orow` is written exactly once at the end. Wider rows fall back to a
+    /// paired in-place loop. Every output element still receives its
+    /// contributions one `+=` at a time in CSR entry order, so both paths
+    /// are bitwise identical to the straightforward one-entry-per-pass
+    /// loop.
     #[inline]
     pub(crate) fn spmm_row_into(&self, x: &Matrix, r: usize, orow: &mut [f64]) {
-        for (&c, &v) in self.row_cols(r).iter().zip(self.row_vals(r)) {
-            let xrow = x.row(c as usize);
+        let cols = self.row_cols(r);
+        let vals = self.row_vals(r);
+        let n = orow.len();
+        if n <= Self::ACC_WIDTH {
+            let mut buf = [0.0f64; Self::ACC_WIDTH];
+            let acc = &mut buf[..n];
+            acc.copy_from_slice(orow);
+            let quads = cols.len() & !3;
+            let mut k = 0;
+            while k < quads {
+                let x0 = &x.row(cols[k] as usize)[..n];
+                let x1 = &x.row(cols[k + 1] as usize)[..n];
+                let x2 = &x.row(cols[k + 2] as usize)[..n];
+                let x3 = &x.row(cols[k + 3] as usize)[..n];
+                let (v0, v1, v2, v3) = (vals[k], vals[k + 1], vals[k + 2], vals[k + 3]);
+                for j in 0..n {
+                    let t = acc[j] + v0 * x0[j];
+                    let t = t + v1 * x1[j];
+                    let t = t + v2 * x2[j];
+                    acc[j] = t + v3 * x3[j];
+                }
+                k += 4;
+            }
+            while k < cols.len() {
+                let xrow = &x.row(cols[k] as usize)[..n];
+                let v = vals[k];
+                for j in 0..n {
+                    acc[j] += v * xrow[j];
+                }
+                k += 1;
+            }
+            orow.copy_from_slice(acc);
+            return;
+        }
+        let paired = cols.len() & !1;
+        let mut k = 0;
+        while k < paired {
+            let x0 = x.row(cols[k] as usize);
+            let x1 = x.row(cols[k + 1] as usize);
+            let (v0, v1) = (vals[k], vals[k + 1]);
+            for ((o, &a), &b) in orow.iter_mut().zip(x0).zip(x1) {
+                let t = *o + v0 * a;
+                *o = t + v1 * b;
+            }
+            k += 2;
+        }
+        if k < cols.len() {
+            let xrow = x.row(cols[k] as usize);
+            let v = vals[k];
             for (o, &xv) in orow.iter_mut().zip(xrow) {
                 *o += v * xv;
             }
@@ -404,6 +517,64 @@ impl SpPair {
     pub fn new(m: Arc<CsrMatrix>) -> Self {
         let t = Arc::new(m.transpose());
         Self { fwd: m, bwd: t }
+    }
+}
+
+/// `Arc`-identity-keyed cache of autograd [`SpPair`]s.
+///
+/// Builds each matrix's backward operand (the CSC view of `A`, i.e. `Aᵀ`
+/// in CSR form) at most once per distinct `Arc` and hands out
+/// storage-sharing clones afterwards. Symmetric matrices are detected on
+/// the first miss and share forward/backward storage outright, so the
+/// common GCN-normalised case costs no extra memory.
+///
+/// Lookup is by pointer identity, not value: a freshly normalised
+/// adjacency (different allocation, even with equal entries) misses and
+/// rebuilds. Holders that cache across graph swaps must [`clear`] or drop
+/// the cache when the owning graph changes — `EpochScratch` in
+/// `umgad-core` revalidates exactly this way.
+///
+/// [`clear`]: TransposeCache::clear
+#[derive(Default)]
+pub struct TransposeCache {
+    entries: Vec<(Arc<CsrMatrix>, SpPair)>,
+}
+
+impl TransposeCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Autograd pair for `m`, building the transpose at most once per
+    /// distinct `Arc`. Hits are a linear pointer scan — caches hold a
+    /// handful of relations, so this stays cheaper than hashing.
+    pub fn pair_for(&mut self, m: &Arc<CsrMatrix>) -> SpPair {
+        if let Some((_, pair)) = self.entries.iter().find(|(key, _)| Arc::ptr_eq(key, m)) {
+            return pair.clone();
+        }
+        let pair = if m.is_symmetric() {
+            SpPair::symmetric(Arc::clone(m))
+        } else {
+            SpPair::new(Arc::clone(m))
+        };
+        self.entries.push((Arc::clone(m), pair.clone()));
+        pair
+    }
+
+    /// Number of distinct matrices cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no pair has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every entry (call on graph swap).
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -528,5 +699,43 @@ mod tests {
         assert_eq!(m.row_nnz(1), 0);
         assert_eq!(m.row_nnz(2), 0);
         assert_eq!(m.row_nnz(3), 1);
+    }
+
+    #[test]
+    fn transpose_cache_hits_by_arc_identity() {
+        let mut cache = TransposeCache::new();
+        assert!(cache.is_empty());
+        let m = Arc::new(sample());
+        let p1 = cache.pair_for(&m);
+        let p2 = cache.pair_for(&m);
+        // Same Arc: the cached transpose is handed out, not rebuilt.
+        assert!(Arc::ptr_eq(&p1.bwd, &p2.bwd));
+        assert_eq!(cache.len(), 1);
+        // Equal values, different allocation: identity lookup must miss
+        // and build a fresh pair.
+        let twin = Arc::new(sample());
+        let p3 = cache.pair_for(&twin);
+        assert!(!Arc::ptr_eq(&p1.bwd, &p3.bwd));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn transpose_cache_shares_storage_for_symmetric() {
+        let sym = Arc::new(CsrMatrix::from_coo(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]));
+        let pair = TransposeCache::new().pair_for(&sym);
+        // Symmetric: forward and backward are the same allocation.
+        assert!(Arc::ptr_eq(&pair.fwd, &pair.bwd));
+        assert!(Arc::ptr_eq(&pair.fwd, &sym));
+    }
+
+    #[test]
+    fn transpose_cache_builds_true_transpose_for_asymmetric() {
+        let m = Arc::new(sample());
+        let pair = TransposeCache::new().pair_for(&m);
+        assert!(Arc::ptr_eq(&pair.fwd, &m));
+        assert!(!Arc::ptr_eq(&pair.fwd, &pair.bwd));
+        assert_eq!(pair.bwd.to_dense().data(), m.to_dense().transpose().data());
     }
 }

@@ -795,6 +795,77 @@ impl Tape {
         }
     }
 
+    /// Reverse sweep from externally supplied gradient seeds.
+    ///
+    /// The task-graph scheduler records each (view × relation) pass on its
+    /// own tape; the coupling tape imports the pass outputs as leaves, runs
+    /// its own [`Tape::backward`], and hands each task the gradients of its
+    /// imported leaves. This entry point replays the task tape from those
+    /// seeds: all gradients are cleared, every `(node, gradient)` seed is
+    /// accumulated (duplicate nodes add in seed order), and then one
+    /// reverse sweep runs from the highest seeded node downward — the exact
+    /// loop `backward` uses, so a single `(loss, [[1.0]])` seed reproduces
+    /// it bitwise. With no seeds the tape's gradients are simply cleared.
+    pub fn backward_seeded(&mut self, seeds: &[(Var, &Matrix)]) {
+        let arena = &mut self.arena;
+        for g in &mut self.grads {
+            if let Some(m) = g.take() {
+                arena.put(m);
+            }
+        }
+        let mut top = 0usize;
+        for (v, seed) in seeds {
+            assert_eq!(
+                self.values[v.0].shape(),
+                seed.shape(),
+                "gradient seed shape mismatch"
+            );
+            let delta = self.arena.copy_of(seed);
+            match &mut self.grads[v.0] {
+                Some(g) => {
+                    g.add_scaled(&delta, 1.0);
+                    self.arena.put(delta);
+                }
+                slot @ None => *slot = Some(delta),
+            }
+            top = top.max(v.0);
+        }
+        if seeds.is_empty() {
+            return;
+        }
+        for id in (0..=top).rev() {
+            if !self.requires[id] {
+                continue;
+            }
+            let Some(g) = self.grads[id].take() else {
+                continue;
+            };
+            self.dispatch_backward(id, &g);
+            self.grads[id] = Some(g);
+        }
+    }
+
+    /// Accumulate the gradient `src` holds for `src_var` into this tape's
+    /// slot for `var` — the primitive behind fixed-order cross-tape
+    /// gradient reduction. A missing source gradient is a no-op; a missing
+    /// destination slot is initialised from an arena copy, so repeated
+    /// merges in a fixed order reproduce a single tape's accumulation
+    /// bitwise.
+    pub fn add_grad_from(&mut self, var: Var, src: &Tape, src_var: Var) {
+        let Some(sg) = src.grads[src_var.0].as_ref() else {
+            return;
+        };
+        assert_eq!(
+            self.values[var.0].shape(),
+            sg.shape(),
+            "cross-tape gradient shape mismatch"
+        );
+        match &mut self.grads[var.0] {
+            Some(g) => g.add_scaled(sg, 1.0),
+            slot @ None => *slot = Some(self.arena.copy_of(sg)),
+        }
+    }
+
     fn acc(&mut self, id: usize, delta: Matrix) {
         if !self.requires[id] {
             self.arena.put(delta);

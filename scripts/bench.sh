@@ -21,6 +21,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Carry the previous committed epoch report forward as this run's baseline:
+# bench_agg derives a `vs_baseline` speedup row per steady-state entry from
+# it, so every refresh of BENCH_epoch.json records how it moved relative to
+# the last one. First runs (no committed report yet) simply skip the rows.
+BASELINE=""
+if [[ -f BENCH_epoch.json ]]; then
+    mkdir -p target
+    cp BENCH_epoch.json target/BENCH_epoch.baseline.json
+    BASELINE=target/BENCH_epoch.baseline.json
+fi
+
 rm -rf target/rt-bench
 
 echo "== cargo bench"
@@ -34,4 +45,4 @@ mkdir -p target/rt-bench
 
 echo "== aggregate into BENCH_kernels.json + BENCH_epoch.json"
 cargo run --release -q -p umgad-bench --bin bench_agg -- \
-    target/rt-bench BENCH_kernels.json BENCH_epoch.json
+    target/rt-bench BENCH_kernels.json BENCH_epoch.json ${BASELINE:+"$BASELINE"}

@@ -38,6 +38,9 @@ cargo test -q -p umgad --test golden_pipeline
 echo "== telemetry invariance: scores identical with telemetry on/off at 1 and 4 threads"
 cargo test -q -p umgad --test telemetry_invariance
 
+echo "== perf smoke: steady-state epoch within 25% of the committed baseline"
+cargo run --release -q -p umgad-bench --bin perf_smoke
+
 echo "== cargo fmt --check"
 cargo fmt --check
 

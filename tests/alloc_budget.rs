@@ -8,6 +8,15 @@
 //! the small per-epoch bookkeeping (index vectors, `Arc` headers, CSR
 //! staging) that legitimately remains.
 //!
+//! The miss counters aggregate the coupling tape **and every scheduler
+//! slot tape** (`Umgad::epoch_arena_stats` sums all of them), so the gate
+//! covers the task-graph path too: per-slot arenas must stay warm even
+//! when a subgraph slot's optional edge-loss branch activates for the
+//! first time epochs into the run (an RNG-dependent event the epoch engine
+//! pre-provisions for — see `EpochScratch`). The second measured epoch
+//! below exists precisely to catch that class of late first-activation
+//! miss.
+//!
 //! Runs single-threaded (`UMGAD_THREADS=1`, set before the worker pool
 //! first reads it) so pool job boxing doesn't blur the count.
 
@@ -67,6 +76,21 @@ fn steady_state_epoch_is_matrix_allocation_free() {
         "steady-state epoch performed {allocs} allocations ({bytes} bytes), \
          budget is {STEADY_EPOCH_ALLOC_BUDGET} — a per-epoch matrix \
          allocation has likely crept back in"
+    );
+
+    // One more epoch with a *different* RNG stream position: scheduler
+    // slot arenas are per-task, so a task variant that first appears now
+    // (e.g. an RWR patch inducing edges where earlier epochs had none)
+    // must be served by the engine's pre-provisioned buffers, not the
+    // allocator.
+    model.train_epoch(&data.graph);
+    let later = model.epoch_arena_stats();
+    assert_eq!(
+        later.misses,
+        steady.misses,
+        "a later steady-state epoch fell through a scheduler slot arena: \
+         {} new misses",
+        later.misses - steady.misses
     );
 
     // The telemetry layer is woven through every kernel that epoch ran;

@@ -1,0 +1,204 @@
+//! Determinism of the intra-epoch task graph (DESIGN.md §5g).
+//!
+//! Two guarantees, proven separately:
+//!
+//! 1. **End to end**: the full pipeline's score JSON is *byte-identical*
+//!    across `UMGAD_THREADS` ∈ {1, 2, 5, 8}. The worker pool caches its
+//!    thread count per process, so each count runs in a subprocess that
+//!    serialises its scores to a file; the parent compares raw bytes.
+//! 2. **Mechanism**: the fixed-order gradient reduction the scheduler uses
+//!    (per-task tapes + seeded backwards + descending-task-order merge)
+//!    reproduces a single shared tape's gradient accumulation bitwise, for
+//!    random shapes, task counts, and seeds — regardless of the order the
+//!    per-task backwards themselves ran in.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+use umgad::prelude::*;
+use umgad_rt::json::{to_string, ToJson, Value};
+use umgad_rt::proptest::prelude::*;
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::{Rng, SeedableRng};
+use umgad_tensor::{Matrix, Tape};
+
+/// Marker env var: when set, this binary is a child of the matrix test and
+/// writes its score JSON to the named file instead of spawning children.
+const CHILD_MARK: &str = "UMGAD_SCHED_DET_CHILD";
+/// Where the child writes its serialised scores.
+const OUT_VAR: &str = "UMGAD_SCHED_DET_OUT";
+
+/// Thread counts the epoch must be invariant under: serial degenerate,
+/// even, odd (uneven task partitions), and more lanes than this machine
+/// has cores.
+const THREAD_COUNTS: [&str; 4] = ["1", "2", "5", "8"];
+
+/// One pinned pipeline run serialised to canonical JSON — scores bit-exact.
+fn run_pipeline_json() -> String {
+    let data = Dataset::generate(DatasetKind::Retail, Scale::Custom(1.0 / 48.0), 13);
+    let mut cfg = UmgadConfig::fast_test();
+    cfg.epochs = 4;
+    cfg.seed = 13;
+    let det = Umgad::fit_detect(&data.graph, cfg);
+    let report = Value::Obj(vec![
+        ("seed".to_string(), 13u64.to_json()),
+        ("auc".to_string(), det.auc.to_json()),
+        ("scores".to_string(), det.scores.to_json()),
+    ]);
+    to_string(&report).expect("scores are finite")
+}
+
+#[test]
+fn scores_are_byte_identical_across_thread_counts() {
+    if std::env::var(CHILD_MARK).is_ok() {
+        let out = std::env::var(OUT_VAR).expect("child needs an output path");
+        std::fs::write(out, run_pipeline_json()).expect("write child scores");
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = std::env::temp_dir();
+    let mut outputs: Vec<(String, Vec<u8>)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let out_path: PathBuf = dir.join(format!(
+            "umgad_sched_det_{}_t{threads}.json",
+            std::process::id()
+        ));
+        let out = Command::new(&exe)
+            .args([
+                "scores_are_byte_identical_across_thread_counts",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(CHILD_MARK, "1")
+            .env(OUT_VAR, &out_path)
+            .env("UMGAD_THREADS", threads)
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "UMGAD_THREADS={threads} child failed:\n{}\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let bytes = std::fs::read(&out_path).expect("child wrote scores");
+        let _ = std::fs::remove_file(&out_path);
+        assert!(!bytes.is_empty(), "UMGAD_THREADS={threads} wrote no scores");
+        outputs.push((threads.to_string(), bytes));
+    }
+    let (ref_threads, ref_bytes) = &outputs[0];
+    for (threads, bytes) in &outputs[1..] {
+        assert!(
+            bytes == ref_bytes,
+            "score JSON differs between UMGAD_THREADS={ref_threads} and {threads}"
+        );
+    }
+}
+
+/// A dense matrix with mixed magnitudes and exact zeros, so gradient sums
+/// are sensitive to floating-point association order — any merge-order bug
+/// changes low bits.
+fn dense(rows: usize, cols: usize, rng: &mut SmallRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let v = rng.gen::<f64>() * 4.0 - 2.0;
+        match rng.gen::<f64>() {
+            p if p < 0.1 => 0.0,
+            p if p < 0.3 => v * 1e6,
+            p if p < 0.5 => v * 1e-6,
+            _ => v,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fixed-order reduction == serial accumulation, bitwise.
+    ///
+    /// Serial reference: ONE tape, ONE shared leaf consumed by every
+    /// task's forward; `backward` accumulates each task's delta into the
+    /// leaf in reverse recording order. Scheduler path: one tape per task
+    /// with its own leaf copy, per-task seeded backwards run in a
+    /// *scrambled* order, then the last-recorded task's tape is primary
+    /// and earlier tasks fold in descending recording order — exactly
+    /// [`Tape::add_grad_from`]'s contract in the epoch's merge phase.
+    #[test]
+    fn fixed_order_reduction_matches_serial_accumulation(
+        ((tasks, rows), (cols, out), seed) in
+            ((2usize..6, 1usize..10), (1usize..8, 1usize..6), 0u64..1_000_000)
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let w = dense(cols, out, &mut rng);
+        let xs: Vec<Matrix> = (0..tasks).map(|_| dense(rows, cols, &mut rng)).collect();
+        let targets: Vec<Arc<Matrix>> =
+            (0..tasks).map(|_| Arc::new(dense(rows, out, &mut rng))).collect();
+
+        // Serial reference: shared leaf, one backward.
+        let mut serial = Tape::new();
+        let wv = serial.leaf_from(&w);
+        let mut total = None;
+        for (x, t) in xs.iter().zip(&targets) {
+            let xv = serial.constant_from(x);
+            let y = serial.matmul(xv, wv);
+            let l = serial.mse_loss(y, Arc::clone(t));
+            total = Some(match total {
+                None => l,
+                Some(acc) => serial.add(acc, l),
+            });
+        }
+        serial.backward(total.expect("at least two tasks"));
+        let want = serial.grad(wv).expect("shared leaf got a gradient");
+
+        // Scheduler path: per-task tapes, coupling tape, seeded backwards.
+        let mut task_tapes: Vec<Tape> = (0..tasks).map(|_| Tape::new()).collect();
+        let mut task_w = Vec::with_capacity(tasks);
+        let mut task_loss = Vec::with_capacity(tasks);
+        for ((tape, x), t) in task_tapes.iter_mut().zip(&xs).zip(&targets) {
+            let twv = tape.leaf_from(&w);
+            let xv = tape.constant_from(x);
+            let y = tape.matmul(xv, twv);
+            task_loss.push(tape.mse_loss(y, Arc::clone(t)));
+            task_w.push(twv);
+        }
+        let mut main = Tape::new();
+        let leaves: Vec<_> = task_tapes
+            .iter()
+            .zip(&task_loss)
+            .map(|(tape, &l)| main.leaf_from(tape.value(l)))
+            .collect();
+        let mut total = None;
+        for &leaf in &leaves {
+            total = Some(match total {
+                None => leaf,
+                Some(acc) => main.add(acc, leaf),
+            });
+        }
+        main.backward(total.expect("at least two tasks"));
+        // Per-task backwards in a scrambled order: completion order must
+        // not matter, only the merge order below.
+        let mut order: Vec<usize> = (0..tasks).collect();
+        for i in (1..tasks).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        for &i in &order {
+            let g = main.grad(leaves[i]).expect("loss leaf got a gradient");
+            task_tapes[i].backward_seeded(&[(task_loss[i], g)]);
+        }
+        // Fixed-order merge: last task primary, earlier folded descending.
+        let (primary, earlier) = task_tapes.split_last_mut().expect("tasks >= 2");
+        for i in (0..earlier.len()).rev() {
+            primary.add_grad_from(task_w[tasks - 1], &earlier[i], task_w[i]);
+        }
+        let got = primary.grad(task_w[tasks - 1]).expect("merged gradient");
+
+        prop_assert_eq!(got.shape(), want.shape());
+        for (i, (a, b)) in got.data().iter().zip(want.data()).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "gradient entry {} differs: merged {} vs serial {}",
+                i, a, b
+            );
+        }
+    }
+}
