@@ -120,6 +120,15 @@ fn checkpoint_overhead(c: &mut Criterion) {
     group.bench_function("restore", |b| {
         b.iter(|| black_box(Umgad::resume_from_file(&path, &data.graph).unwrap()))
     });
+    // Lineage save: same serialised payload plus the CRC-32 seal, rotation
+    // bookkeeping, and the sealed MANIFEST.json rewrite — the true cost of
+    // `--checkpoint-dir` per boundary (EXPERIMENTS.md "Checkpoint
+    // overhead").
+    let lin_dir = dir.join("lineage");
+    let mut lineage = umgad_core::Lineage::open(&lin_dir, 3).unwrap();
+    group.bench_function("lineage_save", |b| {
+        b.iter(|| lineage.record(black_box(&model)).unwrap())
+    });
     group.finish();
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -17,9 +17,11 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use umgad_baselines::{registry, BaselineConfig, Detector};
+use umgad_core::ops::{CheckpointSink, Lineage, StopConditions, DEFAULT_KEEP};
 use umgad_core::{roc_auc, select_threshold, Umgad, UmgadConfig};
 use umgad_data::{load_graph, save_graph, Dataset, DatasetKind, Scale};
 use umgad_graph::MultiplexGraph;
+use umgad_rt::retry::{io_retry, RetryPolicy};
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,9 +58,26 @@ pub enum Command {
         checkpoint_every: usize,
         /// Resume from a full-state checkpoint instead of starting fresh.
         resume: Option<PathBuf>,
+        /// Maintain a rotating checkpoint lineage (keep-last-N + manifest)
+        /// in this directory; auto-resumes from the newest valid entry.
+        checkpoint_dir: Option<PathBuf>,
+        /// Rotation depth for `--checkpoint-dir`.
+        keep: usize,
+        /// Stop gracefully (checkpoint + exit 0) when this file appears.
+        stop_file: Option<PathBuf>,
+        /// Stop gracefully after this many seconds of wall clock.
+        deadline_secs: Option<u64>,
+        /// Supervise the run: re-exec the training child on crash, up to
+        /// this many restarts, resuming from the lineage each time.
+        supervise: Option<u32>,
         /// Write a telemetry + per-epoch metrics JSON report here (implies
         /// enabling telemetry for the run).
         metrics: Option<PathBuf>,
+    },
+    /// Validate checkpoint integrity offline (file or lineage directory).
+    Fsck {
+        /// A checkpoint file or a `--checkpoint-dir` lineage directory.
+        target: PathBuf,
     },
     /// Score a graph with a previously saved model (no training).
     Score {
@@ -104,10 +123,13 @@ pub enum Command {
 
 /// Top-level usage string.
 pub fn usage() -> &'static str {
-    "usage: umgad <generate|detect|baseline|import|threshold|methods> [flags]\n\
+    "usage: umgad <generate|detect|fsck|baseline|import|threshold|methods> [flags]\n\
      generate  --dataset retail|alibaba|amazon|yelpchi [--scale F] [--seed N] --out FILE\n\
      detect    --input FILE [--epochs N] [--seed N] [--real] [--scores FILE] [--save-model FILE]\n\
     \u{20}          [--checkpoint FILE [--checkpoint-every N]] [--resume FILE] [--metrics FILE]\n\
+    \u{20}          [--checkpoint-dir DIR [--keep N] [--supervise N]]\n\
+    \u{20}          [--stop-file FILE] [--deadline-secs N]\n\
+     fsck      FILE|DIR\n\
      score     --input FILE --model FILE [--scores FILE]\n\
      baseline  --input FILE --method NAME [--epochs N] [--seed N] [--scores FILE]\n\
      threshold --scores FILE\n\
@@ -119,6 +141,16 @@ pub fn usage() -> &'static str {
 pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter();
     let sub = it.next().ok_or_else(|| usage().to_string())?;
+    if sub == "fsck" {
+        // The one positional subcommand: `umgad fsck FILE|DIR`.
+        let target = it.next().ok_or("fsck needs a FILE or DIR argument")?;
+        if it.next().is_some() {
+            return Err("fsck takes exactly one argument".into());
+        }
+        return Ok(Command::Fsck {
+            target: target.into(),
+        });
+    }
     let mut flags = std::collections::HashMap::new();
     let mut bools = std::collections::HashSet::new();
     let mut relations: Vec<(String, PathBuf)> = Vec::new();
@@ -170,9 +202,32 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         "detect" => {
             let checkpoint: Option<PathBuf> = get("checkpoint").map(Into::into);
+            let checkpoint_dir: Option<PathBuf> = get("checkpoint-dir").map(Into::into);
             let checkpoint_every = num("checkpoint-every", 0)? as usize;
-            if checkpoint_every > 0 && checkpoint.is_none() {
-                return Err("--checkpoint-every needs --checkpoint FILE".into());
+            let resume: Option<PathBuf> = get("resume").map(Into::into);
+            if checkpoint_every > 0 && checkpoint.is_none() && checkpoint_dir.is_none() {
+                return Err(
+                    "--checkpoint-every needs --checkpoint FILE or --checkpoint-dir DIR".into(),
+                );
+            }
+            if checkpoint.is_some() && checkpoint_dir.is_some() {
+                return Err("--checkpoint and --checkpoint-dir are mutually exclusive".into());
+            }
+            if resume.is_some() && checkpoint_dir.is_some() {
+                return Err("--checkpoint-dir auto-resumes; drop --resume".into());
+            }
+            if flags.contains_key("keep") && checkpoint_dir.is_none() {
+                return Err("--keep needs --checkpoint-dir DIR".into());
+            }
+            let keep = num("keep", DEFAULT_KEEP as u64)? as usize;
+            if keep == 0 {
+                return Err("--keep must be at least 1".into());
+            }
+            let supervise = get("supervise")
+                .map(|v| v.parse::<u32>().map_err(|e| format!("--supervise: {e}")))
+                .transpose()?;
+            if supervise.is_some() && checkpoint_dir.is_none() {
+                return Err("--supervise needs --checkpoint-dir DIR to resume from".into());
             }
             Ok(Command::Detect {
                 input: get("input").ok_or("--input required")?.into(),
@@ -185,7 +240,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 save_model: get("save-model").map(Into::into),
                 checkpoint,
                 checkpoint_every,
-                resume: get("resume").map(Into::into),
+                resume,
+                checkpoint_dir,
+                keep,
+                stop_file: get("stop-file").map(Into::into),
+                deadline_secs: get("deadline-secs")
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|e| format!("--deadline-secs: {e}"))
+                    })
+                    .transpose()?,
+                supervise,
                 metrics: get("metrics").map(Into::into),
             })
         }
@@ -298,6 +363,11 @@ pub fn run(cmd: Command) -> Result<String, String> {
             checkpoint,
             checkpoint_every,
             resume,
+            checkpoint_dir,
+            keep,
+            stop_file,
+            deadline_secs,
+            supervise: _, // handled by `run_supervised` before this point
             metrics,
         } => {
             if metrics.is_some() {
@@ -307,18 +377,36 @@ pub fn run(cmd: Command) -> Result<String, String> {
             }
             let graph = load_graph(&input).map_err(|e| e.to_string())?;
             let mut extra = String::new();
-            let mut model = match &resume {
-                Some(r) => {
-                    // The checkpoint carries its own config (seed, preset,
-                    // epoch target); `--epochs` may extend the target.
-                    let mut m = Umgad::resume_from_file(r, &graph)?;
+            let mut lineage = match &checkpoint_dir {
+                Some(d) => Some(Lineage::open(d, keep).map_err(|e| e.to_string())?),
+                None => None,
+            };
+            // Resuming: `--checkpoint-dir` rolls back to the newest valid
+            // lineage entry; `--resume FILE` loads one explicit checkpoint.
+            // Either way the checkpoint carries its own config (seed,
+            // preset, epoch target); `--epochs` may extend the target.
+            let resumed = match (&lineage, &resume) {
+                (Some(lin), _) => {
+                    let (found, skips) = lin.resume_newest_valid(&graph);
+                    for s in &skips {
+                        let _ = writeln!(extra, "skipped corrupt checkpoint: {s}");
+                    }
+                    found.map(|(m, entry)| (m, entry.file))
+                }
+                (None, Some(r)) => Some((
+                    Umgad::resume_from_file(r, &graph).map_err(|e| e.to_string())?,
+                    r.display().to_string(),
+                )),
+                (None, None) => None,
+            };
+            let mut model = match resumed {
+                Some((mut m, from)) => {
                     if let Some(e) = epochs {
                         m.set_epochs(e)?;
                     }
                     let _ = writeln!(
                         extra,
-                        "resumed {} at epoch {}/{}",
-                        r.display(),
+                        "resumed {from} at epoch {}/{}",
                         m.history.len(),
                         m.config().epochs
                     );
@@ -335,11 +423,54 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     Umgad::new(&graph, cfg)
                 }
             };
-            model
-                .train_with_checkpoints(&graph, checkpoint_every, checkpoint.as_deref())
-                .map_err(|e| e.to_string())?;
+            let stops = StopConditions {
+                stop_file: stop_file.clone(),
+                deadline: deadline_secs
+                    .map(|s| std::time::Instant::now() + std::time::Duration::from_secs(s)),
+            };
+            // Scoped so the sink's borrow of the lineage ends before the
+            // lineage is read back for the status line.
+            let outcome = {
+                let mut sink = match (&checkpoint, &mut lineage) {
+                    (Some(p), _) => CheckpointSink::File {
+                        path: p,
+                        every: checkpoint_every,
+                    },
+                    (None, Some(lin)) => CheckpointSink::Lineage {
+                        lineage: lin,
+                        every: checkpoint_every,
+                    },
+                    (None, None) => CheckpointSink::None,
+                };
+                model
+                    .train_run(&graph, &mut sink, &stops)
+                    .map_err(|e| e.to_string())?
+            };
             if let Some(p) = &checkpoint {
                 let _ = writeln!(extra, "checkpointed to {}", p.display());
+            }
+            if let Some(lin) = &lineage {
+                if let Some(newest) = lin.newest() {
+                    let _ = writeln!(
+                        extra,
+                        "lineage {} at epoch {} (keep {})",
+                        lin.dir().display(),
+                        newest.epoch,
+                        lin.keep()
+                    );
+                }
+            }
+            if outcome.reason.resumable() {
+                // Graceful stop: state is checkpointed and the exit is
+                // clean (a supervisor must not treat this as a crash).
+                let _ = writeln!(
+                    extra,
+                    "stopped ({}) at epoch {}/{}; rerun with the same flags to resume",
+                    outcome.reason,
+                    model.history.len(),
+                    model.config().epochs
+                );
+                return Ok(extra);
             }
             if let Some(p) = save_model {
                 model.save(&p).map_err(|e| e.to_string())?;
@@ -351,6 +482,15 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 let _ = writeln!(extra, "wrote metrics to {}", p.display());
             }
             finish_scores(&graph, &s, scores).map(|out| extra + &out)
+        }
+        Command::Fsck { target } => {
+            let report = umgad_core::ops::fsck(&target).map_err(|e| e.to_string())?;
+            let rendered = report.render();
+            if report.clean() {
+                Ok(rendered)
+            } else {
+                Err(rendered)
+            }
         }
         Command::Score {
             input,
@@ -480,11 +620,58 @@ fn finish_scores(
     }
     match path {
         Some(p) => {
-            umgad_rt::fs::atomic_write_string(&p, &csv).map_err(|e| e.to_string())?;
+            // Bounded deterministic retry: a transient I/O hiccup must not
+            // discard a finished training run's scores.
+            io_retry("score write", RetryPolicy::default(), || {
+                umgad_rt::fs::atomic_write_string(&p, &csv)
+            })
+            .map_err(|e| e.to_string())?;
             let _ = writeln!(summary, "wrote {}", p.display());
             Ok(summary)
         }
         None => Ok(summary + &csv),
+    }
+}
+
+/// Crash-recovery supervisor: re-exec this binary's `detect` child with
+/// `--supervise` stripped, restarting it after crashes (non-zero exits)
+/// up to `max_restarts` times. Each restart auto-resumes from the
+/// `--checkpoint-dir` lineage (rolling back past any checkpoint the crash
+/// corrupted), so the supervised run converges to the same scores an
+/// uninterrupted run produces. Clean exits — completion *or* a graceful
+/// stop via `--stop-file` / `--deadline-secs` — end supervision.
+pub fn run_supervised(args: &[String], max_restarts: u32) -> Result<String, String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let child_args: Vec<&String> = {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--supervise" {
+                it.next(); // drop its value too
+                continue;
+            }
+            out.push(a);
+        }
+        out
+    };
+    let mut restarts = 0u32;
+    loop {
+        let status = std::process::Command::new(&exe)
+            .args(&child_args)
+            .status()
+            .map_err(|e| format!("supervisor: spawn failed: {e}"))?;
+        if status.success() {
+            return Ok(format!(
+                "supervisor: run finished after {restarts} restart(s)\n"
+            ));
+        }
+        if restarts >= max_restarts {
+            return Err(format!(
+                "supervisor: child kept failing ({status}); gave up after {restarts} restart(s)"
+            ));
+        }
+        restarts += 1;
+        eprintln!("supervisor: child exited with {status}; restart {restarts}/{max_restarts}");
     }
 }
 
@@ -589,6 +776,72 @@ mod tests {
     }
 
     #[test]
+    fn parse_detect_lineage_flags() {
+        let cmd = parse(&s(&[
+            "detect",
+            "--input",
+            "g.json",
+            "--checkpoint-dir",
+            "ckpts",
+            "--keep",
+            "5",
+            "--checkpoint-every",
+            "2",
+            "--stop-file",
+            "stop",
+            "--deadline-secs",
+            "90",
+            "--supervise",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Detect {
+                checkpoint_dir,
+                keep,
+                stop_file,
+                deadline_secs,
+                supervise,
+                checkpoint_every,
+                ..
+            } => {
+                assert_eq!(checkpoint_dir, Some("ckpts".into()));
+                assert_eq!(keep, 5);
+                assert_eq!(stop_file, Some("stop".into()));
+                assert_eq!(deadline_secs, Some(90));
+                assert_eq!(supervise, Some(4));
+                assert_eq!(checkpoint_every, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Flag interactions that make no sense are rejected.
+        let base = ["detect", "--input", "g.json"];
+        for bad in [
+            vec!["--keep", "2"],
+            vec!["--supervise", "3"],
+            vec!["--checkpoint", "c.json", "--checkpoint-dir", "d"],
+            vec!["--resume", "c.json", "--checkpoint-dir", "d"],
+            vec!["--checkpoint-dir", "d", "--keep", "0"],
+        ] {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(bad.iter());
+            assert!(parse(&s(&args)).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_fsck() {
+        assert_eq!(
+            parse(&s(&["fsck", "ckpts"])).unwrap(),
+            Command::Fsck {
+                target: "ckpts".into()
+            }
+        );
+        assert!(parse(&s(&["fsck"])).is_err());
+        assert!(parse(&s(&["fsck", "a", "b"])).is_err());
+    }
+
+    #[test]
     fn parse_rejects_unknown() {
         assert!(parse(&s(&["explode"])).is_err());
         assert!(parse(&s(&["generate", "--dataset", "nope", "--out", "x"])).is_err());
@@ -678,6 +931,11 @@ mod tests {
             checkpoint,
             checkpoint_every,
             resume,
+            checkpoint_dir: None,
+            keep: DEFAULT_KEEP,
+            stop_file: None,
+            deadline_secs: None,
+            supervise: None,
             metrics: None,
         };
 
@@ -733,6 +991,11 @@ mod tests {
             checkpoint: None,
             checkpoint_every: 0,
             resume: None,
+            checkpoint_dir: None,
+            keep: DEFAULT_KEEP,
+            stop_file: None,
+            deadline_secs: None,
+            supervise: None,
             metrics: None,
         })
         .unwrap();

@@ -11,6 +11,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let umgad_cli::Command::Detect {
+        supervise: Some(max),
+        ..
+    } = &cmd
+    {
+        return match umgad_cli::run_supervised(&args, *max) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match umgad_cli::run(cmd) {
         Ok(out) => {
             print!("{out}");

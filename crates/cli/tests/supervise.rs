@@ -1,0 +1,366 @@
+//! End-to-end operations tests against the built `umgad` binary:
+//! checkpoint lineage, graceful stop, offline fsck, and the crash-recovery
+//! supervisor.
+//!
+//! The quick tests here run on a tiny graph and are part of the normal
+//! suite. The full crash-and-corruption matrix — kill at every epoch
+//! boundary, corrupt the newest checkpoint before each restart, at
+//! `UMGAD_THREADS` ∈ {1, 4}, on an Amazon twin at `Scale::Small` — is
+//! `#[ignore]`d for wall-clock and run from `scripts/ci.sh` in release
+//! mode (`cargo test --release -p umgad-cli --test supervise -- --ignored`).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn umgad() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_umgad"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("umgad-sup-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ok(out: Output, what: &str) -> String {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Generate the tiny graph the quick tests train on.
+fn tiny_graph(dir: &Path) -> PathBuf {
+    let g = dir.join("g.json");
+    ok(
+        umgad()
+            .args(["generate", "--dataset", "alibaba", "--scale", "0.01"])
+            .args(["--seed", "5", "--out"])
+            .arg(&g)
+            .output()
+            .unwrap(),
+        "generate",
+    );
+    g
+}
+
+/// The newest `ckpt-*.json` in a lineage directory, by name order.
+fn newest_ckpt(dir: &Path) -> Option<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files.pop()
+}
+
+/// Flip one byte a third of the way into a file.
+fn corrupt(path: &Path) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let mid = bytes.len() / 3;
+    bytes[mid] ^= 0xA5;
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn fsck_smoke_clean_then_corrupt() {
+    let dir = scratch("fsck");
+    let g = tiny_graph(&dir);
+    let ckpts = dir.join("ckpts");
+    let out = ok(
+        umgad()
+            .args(["detect", "--epochs", "3", "--seed", "5", "--input"])
+            .arg(&g)
+            .arg("--checkpoint-dir")
+            .arg(&ckpts)
+            .args(["--checkpoint-every", "1"])
+            .output()
+            .unwrap(),
+        "detect with lineage",
+    );
+    assert!(out.contains("lineage"), "{out}");
+
+    // Clean directory: exit 0, report says clean, newest entry is epoch 3.
+    let fsck = umgad().arg("fsck").arg(&ckpts).output().unwrap();
+    let report = ok(fsck, "fsck clean");
+    assert!(report.contains("status: clean"), "{report}");
+    assert!(
+        report.contains("newest valid: ckpt-000003.json (epoch 3)"),
+        "{report}"
+    );
+
+    // Damage the newest checkpoint: exit 1, report names the failure and
+    // falls back to the previous epoch as newest-valid.
+    corrupt(&newest_ckpt(&ckpts).expect("lineage wrote checkpoints"));
+    let fsck = umgad().arg("fsck").arg(&ckpts).output().unwrap();
+    assert!(
+        !fsck.status.success(),
+        "fsck must exit non-zero on corruption"
+    );
+    let report = String::from_utf8_lossy(&fsck.stderr);
+    assert!(report.contains("FAIL"), "{report}");
+    assert!(report.contains("status: CORRUPT"), "{report}");
+    assert!(
+        report.contains("newest valid: ckpt-000002.json (epoch 2)"),
+        "{report}"
+    );
+
+    // A single-file target works too.
+    let one = ok(
+        umgad()
+            .arg("fsck")
+            .arg(ckpts.join("ckpt-000002.json"))
+            .output()
+            .unwrap(),
+        "fsck single file",
+    );
+    assert!(one.contains("status: clean"), "{one}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stop_file_stops_cleanly_and_resume_matches_uninterrupted() {
+    let dir = scratch("stop");
+    let g = tiny_graph(&dir);
+
+    // Uninterrupted reference.
+    let ref_csv = dir.join("ref.csv");
+    ok(
+        umgad()
+            .args(["detect", "--epochs", "3", "--seed", "5", "--input"])
+            .arg(&g)
+            .arg("--scores")
+            .arg(&ref_csv)
+            .output()
+            .unwrap(),
+        "reference detect",
+    );
+
+    // A pre-existing stop file halts at the first boundary — cleanly
+    // (exit 0), with the state checkpointed into the lineage.
+    let ckpts = dir.join("ckpts");
+    let stop = dir.join("STOP");
+    std::fs::write(&stop, "").unwrap();
+    let out = ok(
+        umgad()
+            .args(["detect", "--epochs", "3", "--seed", "5", "--input"])
+            .arg(&g)
+            .arg("--checkpoint-dir")
+            .arg(&ckpts)
+            .args(["--checkpoint-every", "1", "--stop-file"])
+            .arg(&stop)
+            .output()
+            .unwrap(),
+        "stopped detect",
+    );
+    assert!(out.contains("stopped (stop-file)"), "{out}");
+    assert!(
+        newest_ckpt(&ckpts).is_some(),
+        "graceful stop must checkpoint"
+    );
+
+    // Clearing the sentinel and rerunning auto-resumes and finishes with
+    // byte-identical scores.
+    std::fs::remove_file(&stop).unwrap();
+    let resumed_csv = dir.join("resumed.csv");
+    let out = ok(
+        umgad()
+            .args(["detect", "--epochs", "3", "--seed", "5", "--input"])
+            .arg(&g)
+            .arg("--checkpoint-dir")
+            .arg(&ckpts)
+            .args(["--checkpoint-every", "1", "--stop-file"])
+            .arg(&stop)
+            .arg("--scores")
+            .arg(&resumed_csv)
+            .output()
+            .unwrap(),
+        "resumed detect",
+    );
+    assert!(out.contains("resumed"), "{out}");
+    assert_eq!(
+        std::fs::read(&ref_csv).unwrap(),
+        std::fs::read(&resumed_csv).unwrap(),
+        "stop + resume must not change the scores"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_zero_stops_at_first_boundary() {
+    let dir = scratch("deadline");
+    let g = tiny_graph(&dir);
+    let ckpts = dir.join("ckpts");
+    let out = ok(
+        umgad()
+            .args(["detect", "--epochs", "3", "--seed", "5", "--input"])
+            .arg(&g)
+            .arg("--checkpoint-dir")
+            .arg(&ckpts)
+            .args(["--deadline-secs", "0"])
+            .output()
+            .unwrap(),
+        "deadline detect",
+    );
+    assert!(out.contains("stopped (deadline)"), "{out}");
+    assert!(
+        newest_ckpt(&ckpts).is_some(),
+        "deadline stop must checkpoint"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervisor_recovers_from_repeated_crashes() {
+    let dir = scratch("supervise");
+    let g = tiny_graph(&dir);
+
+    let ref_csv = dir.join("ref.csv");
+    ok(
+        umgad()
+            .args(["detect", "--epochs", "3", "--seed", "5", "--input"])
+            .arg(&g)
+            .arg("--scores")
+            .arg(&ref_csv)
+            .output()
+            .unwrap(),
+        "reference detect",
+    );
+
+    // Every child incarnation dies (injected panic) at its second
+    // checkpoint write, so it makes exactly one epoch of durable progress
+    // before crashing. The supervisor restarts it until the run converges.
+    let ckpts = dir.join("ckpts");
+    let sup_csv = dir.join("sup.csv");
+    let out = umgad()
+        .args(["detect", "--epochs", "3", "--seed", "5", "--input"])
+        .arg(&g)
+        .arg("--checkpoint-dir")
+        .arg(&ckpts)
+        .args(["--checkpoint-every", "1", "--supervise", "6"])
+        .arg("--scores")
+        .arg(&sup_csv)
+        .env("UMGAD_FAULT", "persist.write:2:panic")
+        .output()
+        .unwrap();
+    let stdout = ok(out, "supervised detect");
+    assert!(stdout.contains("restart"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&ref_csv).unwrap(),
+        std::fs::read(&sup_csv).unwrap(),
+        "supervised run must converge to the uninterrupted scores"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The full crash-recovery matrix (ci.sh, release mode): at every epoch
+/// boundary `k`, a run is killed mid-checkpoint-write by an injected
+/// panic; the newest surviving checkpoint is then bit-flipped (so the
+/// supervisor's resume must roll back to the last *good* one); a
+/// supervised rerun finishes the run. Final scores must be byte-identical
+/// to the uninterrupted reference, at 1 and 4 scheduler threads, on an
+/// Amazon twin at `Scale::Small` (factor 0.25).
+#[test]
+#[ignore = "multi-minute matrix; run from scripts/ci.sh in release mode"]
+fn supervised_crash_and_corruption_matrix_is_deterministic() {
+    const EPOCHS: usize = 4;
+    let dir = scratch("matrix");
+    let g = dir.join("g.json");
+    ok(
+        umgad()
+            .args(["generate", "--dataset", "amazon", "--scale", "0.25"])
+            .args(["--seed", "9", "--out"])
+            .arg(&g)
+            .output()
+            .unwrap(),
+        "generate Scale::Small twin",
+    );
+
+    for threads in ["1", "4"] {
+        let ref_csv = dir.join(format!("ref-t{threads}.csv"));
+        ok(
+            umgad()
+                .args(["detect", "--epochs", "4", "--seed", "9", "--input"])
+                .arg(&g)
+                .arg("--scores")
+                .arg(&ref_csv)
+                .env("UMGAD_THREADS", threads)
+                .output()
+                .unwrap(),
+            "reference detect",
+        );
+        let want = std::fs::read(&ref_csv).unwrap();
+
+        for kill_at in 1..=EPOCHS {
+            let ckpts = dir.join(format!("ckpts-t{threads}-k{kill_at}"));
+
+            // Phase 1: crash at the kill_at-th checkpoint boundary.
+            let crashed = umgad()
+                .args(["detect", "--epochs", "4", "--seed", "9", "--input"])
+                .arg(&g)
+                .arg("--checkpoint-dir")
+                .arg(&ckpts)
+                .args(["--checkpoint-every", "1"])
+                .env("UMGAD_THREADS", threads)
+                .env("UMGAD_FAULT", format!("persist.write:{kill_at}:panic"))
+                .output()
+                .unwrap();
+            assert!(
+                !crashed.status.success(),
+                "t{threads} k{kill_at}: the injected kill must crash the run"
+            );
+
+            // Phase 2: corrupt the newest surviving checkpoint (when one
+            // exists — a kill at the first write leaves none).
+            let corrupted = newest_ckpt(&ckpts);
+            if let Some(p) = &corrupted {
+                corrupt(p);
+            } else {
+                assert_eq!(kill_at, 1, "only the first write can leave no file");
+            }
+
+            // Phase 3: supervised recovery — rolls back past the damage,
+            // replays the lost epochs, finishes, scores.
+            let sup_csv = dir.join(format!("sup-t{threads}-k{kill_at}.csv"));
+            let out = umgad()
+                .args(["detect", "--epochs", "4", "--seed", "9", "--input"])
+                .arg(&g)
+                .arg("--checkpoint-dir")
+                .arg(&ckpts)
+                .args(["--checkpoint-every", "1", "--supervise", "2"])
+                .arg("--scores")
+                .arg(&sup_csv)
+                .env("UMGAD_THREADS", threads)
+                .output()
+                .unwrap();
+            let stdout = ok(out, &format!("t{threads} k{kill_at} supervised rerun"));
+            if corrupted.is_some() {
+                assert!(
+                    stdout.contains("skipped corrupt checkpoint") || kill_at == 1,
+                    "t{threads} k{kill_at}: rollback must be reported: {stdout}"
+                );
+            }
+            assert_eq!(
+                std::fs::read(&sup_csv).unwrap(),
+                want,
+                "t{threads} k{kill_at}: supervised scores must be byte-identical"
+            );
+
+            // The healed lineage passes fsck.
+            let fsck = umgad().arg("fsck").arg(&ckpts).output().unwrap();
+            let report = ok(fsck, &format!("t{threads} k{kill_at} fsck"));
+            assert!(report.contains("status: clean"), "{report}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

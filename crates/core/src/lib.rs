@@ -32,6 +32,7 @@
 pub mod config;
 pub mod eval;
 pub mod model;
+pub mod ops;
 pub mod persist;
 mod sched;
 pub mod score;
@@ -45,7 +46,11 @@ pub use eval::{
 pub use model::{
     Detection, EpochStats, ScoreExplanation, TrainError, Umgad, MAX_DIVERGENCE_RETRIES,
 };
-pub use persist::{Checkpoint, TrainCheckpoint};
+pub use ops::{
+    fsck, CheckpointSink, FsckReport, Lineage, Manifest, ManifestEntry, StopConditions, StopReason,
+    TrainOutcome,
+};
+pub use persist::{Checkpoint, PersistError, TrainCheckpoint};
 pub use score::{combine_views, structure_errors_layer, view_scores, ScoreOptions, ViewRecon};
 pub use threshold::{
     apply_threshold, default_window, moving_average, select_threshold,

@@ -125,7 +125,7 @@ pub enum TrainError {
         lr: f64,
     },
     /// Writing a checkpoint failed; training state in memory is intact.
-    Persist(std::io::Error),
+    Persist(crate::persist::PersistError),
 }
 
 impl fmt::Display for TrainError {
@@ -1535,7 +1535,7 @@ impl Umgad {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::config::Ablation;
     use umgad_graph::RelationLayer;

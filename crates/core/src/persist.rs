@@ -16,17 +16,151 @@
 //!
 //! All writes go through [`umgad_rt::fs::atomic_write_string`] (temp file +
 //! fsync + rename), so a crash mid-write never corrupts the last good file
-//! on disk.
+//! on disk. Atomicity alone cannot catch *silent* damage, though — bit rot,
+//! a torn-but-renamed write, a filesystem that lied about durability — so
+//! every checkpoint this module writes is **sealed** with a CRC-32 trailer
+//! ([`seal_payload`]) that loads verify before parsing a single byte of
+//! JSON. Failures surface as a typed [`PersistError`] so the recovery
+//! layer (`crate::ops`) can tell "corrupt, roll back to the previous
+//! checkpoint" apart from "disk is gone, give up".
 
-use std::path::Path;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use umgad_graph::MultiplexGraph;
 use umgad_nn::{Activation, Gmae};
+use umgad_rt::checksum::crc32;
 use umgad_tensor::{Matrix, Param, ParamState};
 
 use crate::config::{Ablation, UmgadConfig};
 use crate::model::{EpochStats, TrainError, Umgad};
+
+/// Why loading or restoring persisted state failed, split by what the
+/// caller can do about it: retry ([`PersistError::Io`]), roll back to an
+/// older checkpoint ([`PersistError::Checksum`] / [`PersistError::Parse`]),
+/// or neither ([`PersistError::Version`] / [`PersistError::Invalid`]).
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file could not be read or written at all.
+    Io(io::Error),
+    /// The bytes were intact (checksum passed or absent) but are not the
+    /// JSON shape expected — half a format migration, or not our file.
+    Parse(String),
+    /// The payload does not match its CRC-32 seal: the file was corrupted
+    /// after it was written. Rollback-eligible.
+    Checksum {
+        /// File that failed verification.
+        path: PathBuf,
+        /// Checksum recorded in the trailer.
+        expected: u32,
+        /// Checksum of the bytes actually on disk.
+        actual: u32,
+    },
+    /// A checkpoint from an incompatible format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The data parsed but violates a semantic invariant (relation-count
+    /// mismatch, epoch/history disagreement, non-finite state, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o: {e}"),
+            PersistError::Parse(e) => write!(f, "parse: {e}"),
+            PersistError::Checksum {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {}: recorded {expected:08x}, on-disk {actual:08x}",
+                path.display()
+            ),
+            PersistError::Version { found, supported } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (supported: {supported})"
+                )
+            }
+            PersistError::Invalid(e) => write!(f, "invalid state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl PersistError {
+    /// Whether rolling back to an older checkpoint could help: true for
+    /// damage local to one file (corruption, truncation, bad JSON),
+    /// false for environment-level failures ([`PersistError::Io`]) and
+    /// permanent incompatibilities ([`PersistError::Version`]).
+    pub fn rollback_eligible(&self) -> bool {
+        matches!(
+            self,
+            PersistError::Checksum { .. } | PersistError::Parse(_) | PersistError::Invalid(_)
+        )
+    }
+}
+
+/// Marker introducing the CRC-32 trailer appended to every sealed
+/// checkpoint file. It begins with a raw newline, which cannot occur
+/// inside the single-line JSON payload, so `rfind` locates it
+/// unambiguously.
+const CRC_TRAILER_MARK: &str = "\n#umgad:crc32:";
+
+/// Append the integrity trailer to a serialised payload:
+/// `<json>\n#umgad:crc32:<8 hex digits>\n`.
+pub fn seal_payload(json: &str) -> String {
+    format!("{json}{CRC_TRAILER_MARK}{:08x}\n", crc32(json.as_bytes()))
+}
+
+/// Verify and strip the integrity trailer, returning the payload slice.
+///
+/// Files without a trailer (pre-lineage checkpoints) are returned as-is:
+/// absence of a seal is legal, a *broken* seal is not.
+pub fn open_payload<'a>(text: &'a str, path: &Path) -> Result<&'a str, PersistError> {
+    let Some(at) = text.rfind(CRC_TRAILER_MARK) else {
+        return Ok(text);
+    };
+    let payload = &text[..at];
+    let hex = text[at + CRC_TRAILER_MARK.len()..].trim_end();
+    let expected = u32::from_str_radix(hex, 16).map_err(|e| {
+        PersistError::Parse(format!(
+            "{}: bad checksum trailer {hex:?}: {e}",
+            path.display()
+        ))
+    })?;
+    let actual = crc32(payload.as_bytes());
+    if actual != expected {
+        return Err(PersistError::Checksum {
+            path: path.to_path_buf(),
+            expected,
+            actual,
+        });
+    }
+    Ok(payload)
+}
 
 /// Serialisable matrix.
 #[derive(Clone, Debug)]
@@ -366,10 +500,11 @@ impl Umgad {
         }
     }
 
-    /// Save the scoring-only checkpoint as JSON (crash-safe atomic write).
+    /// Save the scoring-only checkpoint as JSON (crash-safe atomic write,
+    /// sealed with a CRC-32 trailer).
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         let json = umgad_rt::json::to_string(&self.checkpoint()).map_err(std::io::Error::other)?;
-        umgad_rt::fs::atomic_write_string(path, &json)
+        umgad_rt::fs::atomic_write_string(path, &seal_payload(&json))
     }
 
     /// Restore a detector from a checkpoint onto a graph with the same
@@ -401,10 +536,11 @@ impl Umgad {
         Ok(model)
     }
 
-    /// Load a checkpoint from a JSON file.
+    /// Load a checkpoint from a JSON file (CRC-verified when sealed).
     pub fn load(path: &std::path::Path, graph: &MultiplexGraph) -> Result<Umgad, String> {
-        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        let ckpt: Checkpoint = umgad_rt::json::from_str(&json).map_err(|e| e.to_string())?;
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let json = open_payload(&text, path).map_err(|e| e.to_string())?;
+        let ckpt: Checkpoint = umgad_rt::json::from_str(json).map_err(|e| e.to_string())?;
         Umgad::from_checkpoint(ckpt, graph)
     }
 }
@@ -688,7 +824,9 @@ impl Umgad {
         }
     }
 
-    /// Write the full training state to `path` atomically.
+    /// Write the full training state to `path` atomically, sealed with a
+    /// CRC-32 trailer ([`seal_payload`]) so later loads can detect
+    /// corruption.
     ///
     /// The `persist.write` fault point fires after serialisation and before
     /// the write, so the fault suite can kill the process at the exact
@@ -698,19 +836,25 @@ impl Umgad {
         let json =
             umgad_rt::json::to_string(&self.train_checkpoint()).map_err(std::io::Error::other)?;
         umgad_rt::fault_point!("persist.write")?;
-        let res = umgad_rt::fs::atomic_write_string(path, &json);
+        let sealed = seal_payload(&json);
+        let res = umgad_rt::fs::atomic_write_string(path, &sealed);
         if res.is_ok() {
             umgad_rt::telemetry::counter_add("persist.checkpoints", 1);
-            umgad_rt::telemetry::counter_add("persist.bytes_written", json.len() as u64);
+            umgad_rt::telemetry::counter_add("persist.bytes_written", sealed.len() as u64);
         }
         res
     }
 
-    /// Read a [`TrainCheckpoint`] back from disk.
-    pub fn load_train_checkpoint(path: &Path) -> Result<TrainCheckpoint, String> {
+    /// Read a [`TrainCheckpoint`] back from disk, verifying its CRC-32
+    /// seal first (a sealed-but-damaged file is a typed
+    /// [`PersistError::Checksum`], never a confusing parse error deep in
+    /// the JSON).
+    pub fn load_train_checkpoint(path: &Path) -> Result<TrainCheckpoint, PersistError> {
         let _span = umgad_rt::telemetry::span("persist.checkpoint_read");
-        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        umgad_rt::json::from_str(&json).map_err(|e| e.to_string())
+        let text = std::fs::read_to_string(path)?;
+        let json = open_payload(&text, path)?;
+        umgad_rt::json::from_str(json)
+            .map_err(|e| PersistError::Parse(format!("{}: {e}", path.display())))
     }
 
     /// Rebuild a mid-training model from a full-state checkpoint.
@@ -724,52 +868,57 @@ impl Umgad {
     pub fn resume_from_checkpoint(
         ckpt: TrainCheckpoint,
         graph: &MultiplexGraph,
-    ) -> Result<Umgad, String> {
+    ) -> Result<Umgad, PersistError> {
         if ckpt.version != 1 {
-            return Err(format!(
-                "unsupported train-checkpoint version {}",
-                ckpt.version
-            ));
+            return Err(PersistError::Version {
+                found: ckpt.version,
+                supported: 1,
+            });
         }
         if ckpt.relations != graph.num_relations() {
-            return Err(format!(
+            return Err(PersistError::Invalid(format!(
                 "checkpoint expects {} relations, graph has {}",
                 ckpt.relations,
                 graph.num_relations()
-            ));
+            )));
         }
         if ckpt.epoch != ckpt.history.len() {
-            return Err(format!(
+            return Err(PersistError::Invalid(format!(
                 "corrupt checkpoint: epoch {} != history length {}",
                 ckpt.epoch,
                 ckpt.history.len()
-            ));
+            )));
         }
-        let cfg = ckpt.config.restore()?;
+        let cfg = ckpt.config.restore().map_err(PersistError::Invalid)?;
         let mut model = Umgad::new(graph, cfg);
         let restore_all = |data: Vec<GmaeState>| -> Result<Vec<Gmae>, String> {
             data.into_iter().map(GmaeState::restore).collect()
         };
-        model.replace_units(
-            restore_all(ckpt.orig_attr)?,
-            restore_all(ckpt.orig_struct)?,
-            restore_all(ckpt.aug_attr)?,
-            restore_all(ckpt.sub)?,
-            ckpt.a_logits.restore()?,
-            ckpt.b_logits.restore()?,
-        )?;
-        model.restore_rng_state(ckpt.rng)?;
-        model.set_lr(ckpt.lr)?;
+        model
+            .replace_units(
+                restore_all(ckpt.orig_attr).map_err(PersistError::Invalid)?,
+                restore_all(ckpt.orig_struct).map_err(PersistError::Invalid)?,
+                restore_all(ckpt.aug_attr).map_err(PersistError::Invalid)?,
+                restore_all(ckpt.sub).map_err(PersistError::Invalid)?,
+                ckpt.a_logits.restore().map_err(PersistError::Invalid)?,
+                ckpt.b_logits.restore().map_err(PersistError::Invalid)?,
+            )
+            .map_err(PersistError::Invalid)?;
+        model
+            .restore_rng_state(ckpt.rng)
+            .map_err(PersistError::Invalid)?;
+        model.set_lr(ckpt.lr).map_err(PersistError::Invalid)?;
         model.history = ckpt
             .history
             .iter()
             .map(EpochStatsData::restore)
-            .collect::<Result<_, _>>()?;
+            .collect::<Result<_, _>>()
+            .map_err(PersistError::Invalid)?;
         Ok(model)
     }
 
     /// Resume a model directly from a checkpoint file.
-    pub fn resume_from_file(path: &Path, graph: &MultiplexGraph) -> Result<Umgad, String> {
+    pub fn resume_from_file(path: &Path, graph: &MultiplexGraph) -> Result<Umgad, PersistError> {
         let ckpt = Umgad::load_train_checkpoint(path)?;
         Umgad::resume_from_checkpoint(ckpt, graph)
     }
@@ -786,19 +935,12 @@ impl Umgad {
         every: usize,
         path: Option<&Path>,
     ) -> Result<usize, TrainError> {
-        let total = self.config().epochs;
-        let mut ran = 0usize;
-        while self.history.len() < total {
-            self.train_epoch_guarded(graph)?;
-            ran += 1;
-            if let Some(p) = path {
-                let done = self.history.len() >= total;
-                if done || (every > 0 && self.history.len().is_multiple_of(every)) {
-                    self.save_train_checkpoint(p).map_err(TrainError::Persist)?;
-                }
-            }
-        }
-        Ok(ran)
+        let mut sink = match path {
+            Some(p) => crate::ops::CheckpointSink::File { path: p, every },
+            None => crate::ops::CheckpointSink::None,
+        };
+        let out = self.train_run(graph, &mut sink, &crate::ops::StopConditions::none())?;
+        Ok(out.ran)
     }
 }
 

@@ -1,9 +1,13 @@
 //! Property tests for full-state training checkpoints: the JSON encoding
 //! must round-trip bit-for-bit at any epoch boundary, and a model resumed
 //! from a checkpoint must re-export the identical bytes — the foundation of
-//! the kill-and-resume determinism contract.
+//! the kill-and-resume determinism contract. The lineage manifest gets the
+//! same treatment: JSON round-trip, seal/open round-trip, and tamper
+//! detection.
 
-use umgad_core::{TrainCheckpoint, Umgad, UmgadConfig};
+use umgad_core::ops::{checkpoint_file_name, Manifest, ManifestEntry, MANIFEST_VERSION};
+use umgad_core::persist::{open_payload, seal_payload};
+use umgad_core::{PersistError, TrainCheckpoint, Umgad, UmgadConfig};
 use umgad_graph::{MultiplexGraph, RelationLayer};
 use umgad_rt::proptest::prelude::*;
 use umgad_rt::rand::rngs::SmallRng;
@@ -67,5 +71,58 @@ proptest! {
         let resumed = Umgad::resume_from_checkpoint(back, &g).unwrap();
         let again = umgad_rt::json::to_string(&resumed.train_checkpoint()).unwrap();
         prop_assert_eq!(&again, &json, "resume must preserve every field");
+    }
+
+    /// The lineage manifest round-trips byte-for-bit through JSON and the
+    /// CRC trailer, and any single-byte tamper of the sealed form is
+    /// caught as a typed checksum (or parse) error — never a silent
+    /// misread.
+    #[test]
+    fn manifest_json_roundtrips_and_tampering_is_detected(
+        keep in 1usize..6,
+        raw in umgad_rt::proptest::collection::vec((0usize..1000, 0u64..1_000_000_000), 0..6),
+        tamper_salt in 1u8..255,
+    ) {
+        let entries: Vec<ManifestEntry> = raw
+            .iter()
+            .map(|&(epoch, seed)| ManifestEntry {
+                file: checkpoint_file_name(epoch),
+                epoch,
+                seed,
+                config_crc: umgad_rt::checksum::crc32(&seed.to_le_bytes()),
+                payload_crc: umgad_rt::checksum::crc32(&epoch.to_le_bytes()),
+                bytes: seed % 100_000,
+            })
+            .collect();
+        let manifest = Manifest { version: MANIFEST_VERSION, keep, entries };
+
+        let json = umgad_rt::json::to_string(&manifest).unwrap();
+        let back: Manifest = umgad_rt::json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &manifest, "manifest JSON must round-trip");
+        let rejson = umgad_rt::json::to_string(&back).unwrap();
+        prop_assert_eq!(&rejson, &json, "parse -> serialize must be the identity");
+
+        // Seal/open round-trip recovers the exact payload...
+        let sealed = seal_payload(&json);
+        let path = std::path::Path::new("MANIFEST.json");
+        let opened = open_payload(&sealed, path).unwrap();
+        prop_assert_eq!(opened, json.as_str());
+
+        // ...and flipping any single payload byte is caught.
+        let mut bytes = sealed.clone().into_bytes();
+        let idx = (keep * 7 + raw.len()) % json.len().max(1);
+        bytes[idx] ^= tamper_salt;
+        if let Ok(tampered) = String::from_utf8(bytes) {
+            match open_payload(&tampered, path) {
+                Err(PersistError::Checksum { .. }) | Err(PersistError::Parse(_)) => {}
+                other => {
+                    return Err(umgad_rt::proptest::TestCaseError::fail(format!(
+                        "tampered payload must fail checksum, got {other:?}"
+                    )));
+                }
+            }
+        }
+        // (Non-UTF-8 after the flip is fine: the file layer reports that
+        // as corruption before open_payload even runs.)
     }
 }

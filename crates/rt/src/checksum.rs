@@ -1,0 +1,125 @@
+//! In-tree payload checksums for checkpoint/manifest integrity.
+//!
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/PNG/gzip variant) implemented
+//! over a compile-time lookup table — zero dependencies, like the rest of
+//! the runtime substrate. The checkpoint lineage layer (`umgad-core`)
+//! stamps every checkpoint file and manifest entry with this checksum so
+//! that a bit-flipped or torn-but-renamed file is *detected* at load time
+//! and rollback can walk back to the newest intact checkpoint instead of
+//! resuming from garbage.
+//!
+//! CRC-32 is an error-*detection* code, not a cryptographic hash: it
+//! guards against corruption (bit rot, torn writes, truncation), not
+//! against an adversary crafting collisions — exactly the threat model of
+//! a training checkpoint directory.
+
+/// CRC-32 lookup table for the reflected IEEE polynomial `0xEDB88320`,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// One-shot CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// Streaming CRC-32 state, for checksumming payloads that are produced in
+/// pieces. `Crc32::new().update(a).update(b).finish()` equals
+/// [`crc32`]`(a ++ b)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state (no bytes consumed yet).
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+        self
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proptest::collection::vec;
+    use crate::proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let payload = b"{\"epoch\":4,\"seed\":7}".to_vec();
+        let want = crc32(&payload);
+        for i in 0..payload.len() {
+            for bit in 0..8 {
+                let mut flipped = payload.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), want, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    proptest! {
+        /// Streaming over an arbitrary split equals the one-shot checksum.
+        #[test]
+        fn streaming_matches_one_shot(
+            (bytes, cut) in (vec(0u8..255, 0..200), 0usize..200)
+        ) {
+            let cut = cut.min(bytes.len());
+            let mut s = Crc32::new();
+            s.update(&bytes[..cut]);
+            s.update(&bytes[cut..]);
+            prop_assert_eq!(s.finish(), crc32(&bytes));
+        }
+    }
+}

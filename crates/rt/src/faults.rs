@@ -14,14 +14,23 @@
 //! Environment syntax (parsed once, on first hit):
 //!
 //! ```text
-//! UMGAD_FAULT=persist.write:3            # panic on the 3rd hit
-//! UMGAD_FAULT=fs.write_temp:1:error      # io::Error on the 1st hit
-//! UMGAD_FAULT=a:1,b:2:error              # several points, comma-separated
+//! UMGAD_FAULT=persist.write:3              # panic on the 3rd hit
+//! UMGAD_FAULT=fs.write_temp:1:error        # io::Error on the 1st hit
+//! UMGAD_FAULT=a:1,b:2:error                # several points, comma-separated
+//! UMGAD_FAULT=fs.write_temp:1:transient:2  # hits 1-2 fail, hit 3 succeeds
+//! UMGAD_FAULT=fs.corrupt_payload:1:corrupt # corrupt the 1st written payload
 //! ```
 //!
-//! A triggered fault disarms itself, so a process that catches the error
-//! (or a test that re-runs the operation) proceeds normally afterwards —
-//! matching the "crash once, then recover" scenario under test.
+//! The full grammar is `point[:nth][:mode][:count]` — `nth` is the 1-based
+//! first triggering hit (default 1), `mode` is one of
+//! `panic|error|transient|corrupt` (default `panic`), and `count` is the
+//! number of consecutive triggering hits (default 1). [`spec_string`]
+//! renders the armed registry back into this syntax, so specs round-trip.
+//!
+//! A triggered fault disarms itself once its window is exhausted, so a
+//! process that catches the error (or a test that re-runs the operation)
+//! proceeds normally afterwards — matching the "crash once, then recover"
+//! scenario under test.
 
 use std::collections::HashMap;
 use std::io;
@@ -35,6 +44,29 @@ pub enum FaultMode {
     /// Return an `io::Error` from the triggering hit (simulates an I/O
     /// failure the caller may handle).
     Error,
+    /// Return an `io::Error` of kind [`io::ErrorKind::Interrupted`]
+    /// (simulates a *transient* failure that clears on retry — pair with
+    /// a `count` window to fail the first k hits then succeed, the
+    /// scenario `umgad_rt::retry` absorbs).
+    Transient,
+    /// Silently corrupt the payload being written instead of failing
+    /// (simulates bit rot / a torn-but-renamed write). Only
+    /// corruption-capable points honour this mode — currently
+    /// `fs.corrupt_payload` inside [`crate::fs::atomic_write`], which
+    /// flips a byte in the temp file so the *renamed destination* ends up
+    /// corrupt. At plain [`crate::fault_point!`] sites it is a no-op.
+    CorruptPayload,
+}
+
+impl FaultMode {
+    fn tag(self) -> &'static str {
+        match self {
+            FaultMode::Panic => "panic",
+            FaultMode::Error => "error",
+            FaultMode::Transient => "transient",
+            FaultMode::CorruptPayload => "corrupt",
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -88,8 +120,18 @@ fn arm_spec_into(reg: &mut Registry, spec: &str) -> Result<(), String> {
         let mode = match it.next() {
             None | Some("panic") => FaultMode::Panic,
             Some("error") => FaultMode::Error,
+            Some("transient") => FaultMode::Transient,
+            Some("corrupt") => FaultMode::CorruptPayload,
             Some(other) => return Err(format!("{part:?}: unknown mode {other:?}")),
         };
+        let count: u64 = it
+            .next()
+            .unwrap_or("1")
+            .parse()
+            .map_err(|e| format!("{part:?}: bad trigger count: {e}"))?;
+        if count == 0 {
+            return Err(format!("{part:?}: trigger count must be >= 1"));
+        }
         if it.next().is_some() {
             return Err(format!("{part:?}: trailing fields"));
         }
@@ -97,12 +139,27 @@ fn arm_spec_into(reg: &mut Registry, spec: &str) -> Result<(), String> {
             point.to_string(),
             Armed {
                 skip: nth - 1,
-                count: 1,
+                count,
                 mode,
             },
         );
     }
     Ok(())
+}
+
+/// Render the currently-armed registry back into `UMGAD_FAULT` syntax
+/// (points sorted by name, full `point:nth:mode:count` form). Parsing the
+/// result re-arms an identical registry — the round-trip the fault suite
+/// pins.
+pub fn spec_string() -> String {
+    let reg = registry();
+    let mut points: Vec<(&String, &Armed)> = reg.armed.iter().collect();
+    points.sort_by_key(|(name, _)| name.as_str());
+    points
+        .iter()
+        .map(|(name, a)| format!("{name}:{}:{}:{}", a.skip + 1, a.mode.tag(), a.count))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Arm `point` so its `nth` hit (1-based) triggers once with `mode`.
@@ -118,6 +175,13 @@ pub fn arm_window(point: &str, skip: u64, count: u64, mode: FaultMode) {
     registry()
         .armed
         .insert(point.to_string(), Armed { skip, count, mode });
+}
+
+/// Arm `point` so its first `k` hits fail with
+/// [`FaultMode::Transient`] and every later hit succeeds — the
+/// fail-then-recover shape `umgad_rt::retry` is built to absorb.
+pub fn arm_transient(point: &str, k: u64) {
+    arm_window(point, 0, k, FaultMode::Transient);
 }
 
 /// Arm points from an `UMGAD_FAULT`-syntax spec string.
@@ -147,41 +211,57 @@ pub fn is_armed(point: &str) -> bool {
     registry().armed.contains_key(point)
 }
 
+/// Record a hit on `point` and report which mode (if any) triggered,
+/// without acting on it. The building block under [`hit`]; corruption-
+/// capable sites (e.g. the `fs.corrupt_payload` point inside
+/// [`crate::fs::atomic_write`]) call this directly so they can honour
+/// [`FaultMode::CorruptPayload`] in kind rather than as an error.
+///
+/// Never panics itself — a returned [`FaultMode::Panic`] is the *caller's*
+/// instruction to panic, raised after the registry lock is released so a
+/// caught injected panic leaves the registry usable.
+pub fn fire(point: &str) -> (u64, Option<FaultMode>) {
+    let mut reg = registry();
+    let n = reg.hits.entry(point.to_string()).or_insert(0);
+    *n += 1;
+    let n = *n;
+    let fired = match reg.armed.get_mut(point) {
+        None => None,
+        Some(a) if a.skip > 0 => {
+            a.skip -= 1;
+            None
+        }
+        Some(a) => {
+            a.count -= 1;
+            let mode = a.mode;
+            if a.count == 0 {
+                reg.armed.remove(point);
+            }
+            Some(mode)
+        }
+    };
+    (n, fired)
+}
+
 /// Record a hit on `point`; trigger if armed.
 ///
 /// Called through [`crate::fault_point!`]. Returns `Ok(())` unless the point
 /// is armed and this hit is a triggering one, in which case it panics
 /// ([`FaultMode::Panic`]) or returns an injected [`io::Error`]
-/// ([`FaultMode::Error`]). The panic is raised *after* the registry lock is
-/// released, so a caught injected panic leaves the registry usable.
+/// ([`FaultMode::Error`] / [`FaultMode::Transient`]).
+/// [`FaultMode::CorruptPayload`] is a no-op at plain fault points — only
+/// corruption-capable sites (which call [`fire`] directly) honour it.
 pub fn hit(point: &str) -> io::Result<()> {
-    let (n, fire) = {
-        let mut reg = registry();
-        let n = reg.hits.entry(point.to_string()).or_insert(0);
-        *n += 1;
-        let n = *n;
-        let fire = match reg.armed.get_mut(point) {
-            None => None,
-            Some(a) if a.skip > 0 => {
-                a.skip -= 1;
-                None
-            }
-            Some(a) => {
-                a.count -= 1;
-                let mode = a.mode;
-                if a.count == 0 {
-                    reg.armed.remove(point);
-                }
-                Some(mode)
-            }
-        };
-        (n, fire)
-    };
-    match fire {
-        None => Ok(()),
+    let (n, fired) = fire(point);
+    match fired {
+        None | Some(FaultMode::CorruptPayload) => Ok(()),
         Some(FaultMode::Error) => Err(io::Error::other(format!(
             "injected fault at {point} (hit {n})"
         ))),
+        Some(FaultMode::Transient) => Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!("injected transient fault at {point} (hit {n})"),
+        )),
         Some(FaultMode::Panic) => panic!("injected fault at {point} (hit {n})"),
     }
 }
@@ -278,8 +358,70 @@ mod tests {
         assert!(arm_spec("nohits:0").is_err());
         assert!(arm_spec("p:1:explode").is_err());
         assert!(arm_spec("p:not_a_number").is_err());
-        assert!(arm_spec("p:1:error:extra").is_err());
+        assert!(arm_spec("p:1:error:0").is_err());
+        assert!(arm_spec("p:1:error:nan").is_err());
+        assert!(arm_spec("p:1:error:2:extra").is_err());
         assert!(arm_spec(":3").is_err());
         assert!(arm_spec("").is_ok(), "empty spec arms nothing");
+    }
+
+    #[test]
+    fn transient_fails_first_k_hits_then_succeeds() {
+        let _g = serial();
+        reset();
+        arm_transient("test.transient", 2);
+        let e = hit("test.transient").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+        assert!(e.to_string().contains("transient"), "{e}");
+        assert!(hit("test.transient").is_err());
+        assert!(hit("test.transient").is_ok(), "window exhausted");
+        assert!(!is_armed("test.transient"));
+        // Same shape via the env-spec grammar.
+        arm_spec("test.transient:1:transient:2").unwrap();
+        assert!(hit("test.transient").is_err());
+        assert!(hit("test.transient").is_err());
+        assert!(hit("test.transient").is_ok());
+        reset();
+    }
+
+    #[test]
+    fn corrupt_mode_is_noop_at_plain_points_but_reported_by_fire() {
+        let _g = serial();
+        reset();
+        arm("test.corrupt", 1, FaultMode::CorruptPayload);
+        // `hit` (plain fault point) passes it through as Ok...
+        assert!(hit("test.corrupt").is_ok());
+        assert!(!is_armed("test.corrupt"), "window consumed");
+        // ...while `fire` reports it to corruption-capable callers.
+        arm("test.corrupt", 1, FaultMode::CorruptPayload);
+        let (n, fired) = fire("test.corrupt");
+        assert_eq!(n, 2);
+        assert_eq!(fired, Some(FaultMode::CorruptPayload));
+        reset();
+    }
+
+    #[test]
+    fn spec_string_round_trips_the_armed_registry() {
+        let _g = serial();
+        reset();
+        arm_spec("b.two:1:error,a.one:3,c.tri:1:transient:4,d.cor:2:corrupt").unwrap();
+        let rendered = spec_string();
+        assert_eq!(
+            rendered,
+            "a.one:3:panic:1,b.two:1:error:1,c.tri:1:transient:4,d.cor:2:corrupt:1"
+        );
+        // Re-arming from the rendered spec reproduces it byte-for-byte.
+        reset();
+        arm_spec(&rendered).unwrap();
+        assert_eq!(spec_string(), rendered);
+        // Programmatic windows render and round-trip too.
+        reset();
+        arm_window("w.err", 4, 3, FaultMode::Error);
+        let rendered = spec_string();
+        assert_eq!(rendered, "w.err:5:error:3");
+        reset();
+        arm_spec(&rendered).unwrap();
+        assert_eq!(spec_string(), rendered);
+        reset();
     }
 }

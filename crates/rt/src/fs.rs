@@ -18,14 +18,20 @@
 //! Fault points: `fs.write_temp` fires mid-payload (between the two halves
 //! of the temp-file write, simulating a torn write) and `fs.rename` fires
 //! after the temp file is durable but before it replaces the destination
-//! (simulating a kill between steps 2 and 3). Stale temp files from a
-//! previous crash are removed before writing.
+//! (simulating a kill between steps 2 and 3). `fs.corrupt_payload` is the
+//! *silent* one: armed with [`FaultMode::CorruptPayload`], it flips a byte
+//! in the fully-written temp file so the rename still happens and the
+//! **destination** ends up corrupt — the bit-rot / torn-but-renamed
+//! scenario that only a payload checksum ([`crate::checksum`]) can catch
+//! downstream. Stale temp files from a previous crash are removed before
+//! writing.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use crate::fault_point;
+use crate::faults::{self, FaultMode};
 
 /// The deterministic temp-file path used for writes to `path`.
 ///
@@ -64,6 +70,24 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         return Err(e);
     }
     file.write_all(&bytes[mid..])?;
+    // Payload is complete; a CorruptPayload fault armed here damages it
+    // *silently* — the write "succeeds" and the corrupt bytes get renamed
+    // into place, exactly like bit rot between write and next read.
+    match faults::fire("fs.corrupt_payload") {
+        (_, Some(FaultMode::CorruptPayload)) if !bytes.is_empty() => {
+            file.seek(SeekFrom::Start(mid as u64))?;
+            file.write_all(&[bytes[mid.min(bytes.len() - 1)] ^ 0xA5])?;
+        }
+        (n, Some(FaultMode::Panic)) => panic!("injected fault at fs.corrupt_payload (hit {n})"),
+        (n, Some(FaultMode::Error | FaultMode::Transient)) => {
+            drop(file);
+            let _ = fs::remove_file(&tmp);
+            return Err(io::Error::other(format!(
+                "injected fault at fs.corrupt_payload (hit {n})"
+            )));
+        }
+        _ => {}
+    }
     file.sync_all()?;
     drop(file);
 
@@ -179,6 +203,47 @@ mod tests {
         atomic_write_string(&p, "fresh").unwrap();
         assert_eq!(fs::read_to_string(&p).unwrap(), "fresh");
         assert!(!temp_path(&p).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_payload_fault_renames_damaged_bytes_into_place() {
+        let _g = serial();
+        let dir = scratch_dir("corrupt");
+        let p = dir.join("ck.json");
+        let payload = "a perfectly good checkpoint payload";
+        faults::arm("fs.corrupt_payload", 1, FaultMode::CorruptPayload);
+        // The write *reports success* — that is the point of this mode.
+        atomic_write_string(&p, payload).unwrap();
+        let got = fs::read(&p).unwrap();
+        assert_ne!(
+            got,
+            payload.as_bytes(),
+            "destination must hold corrupted bytes"
+        );
+        assert_eq!(got.len(), payload.len(), "corruption flips, not truncates");
+        assert_ne!(
+            crate::checksum::crc32(&got),
+            crate::checksum::crc32(payload.as_bytes()),
+            "checksum must catch the flip"
+        );
+        // Disarmed afterwards: the next write is clean.
+        atomic_write_string(&p, payload).unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), payload);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_fault_on_write_temp_clears_after_k_hits() {
+        let _g = serial();
+        let dir = scratch_dir("transient");
+        let p = dir.join("ck.json");
+        faults::arm_transient("fs.write_temp", 2);
+        let e = atomic_write_string(&p, "v1").unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::Interrupted);
+        assert!(atomic_write_string(&p, "v1").is_err());
+        atomic_write_string(&p, "v1").unwrap();
+        assert_eq!(fs::read_to_string(&p).unwrap(), "v1");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -26,11 +26,18 @@
 //! - [`pool`] — a persistent worker pool (lazily-started global handle,
 //!   `UMGAD_THREADS` override, panic containment) that every parallel
 //!   kernel in the workspace dispatches through.
+//! - [`checksum`] — in-tree CRC-32 (IEEE) for checkpoint/manifest payload
+//!   integrity: bit rot and torn-but-renamed writes are detected at load
+//!   time instead of resumed from.
 //! - [`faults`] — named fault-injection points ([`fault_point!`]) armable
-//!   by tests or `UMGAD_FAULT` to panic or fail on the Nth hit, for
+//!   by tests or `UMGAD_FAULT` to panic, fail (persistently or
+//!   transiently), or silently corrupt a payload on the Nth hit, for
 //!   deterministic crash-safety testing.
 //! - [`fs`] — crash-safe atomic file writes (temp + fsync + rename with
 //!   stale-temp cleanup) used by every checkpoint/score write.
+//! - [`retry`] — deterministic bounded I/O retry (fixed attempt budget, no
+//!   randomised backoff, PRNG never consulted) wrapped around checkpoint
+//!   and score writes so transient failures don't kill a run.
 //! - [`alloc`] — a counting `GlobalAlloc` wrapper over the system allocator
 //!   so allocation-regression tests can pin steady-state epoch allocation
 //!   counts.
@@ -41,10 +48,12 @@
 
 pub mod alloc;
 pub mod bench;
+pub mod checksum;
 pub mod faults;
 pub mod fs;
 pub mod json;
 pub mod pool;
 pub mod proptest;
 pub mod rand;
+pub mod retry;
 pub mod telemetry;

@@ -1,0 +1,186 @@
+//! Deterministic bounded retry for I/O operations.
+//!
+//! Long trainings die to *transient* I/O failures — an NFS hiccup, a
+//! momentary `ENOSPC`, an interrupted syscall — far more often than to
+//! permanent ones. The checkpoint/score write paths wrap their
+//! [`crate::fs::atomic_write`] calls in [`io_retry`], so a failure that
+//! clears within a few attempts never surfaces to the training loop at
+//! all.
+//!
+//! Determinism is the design constraint: retries use a **fixed attempt
+//! budget and no randomised backoff**, and the retried operations are
+//! pure I/O — the PRNG stream that drives masking and augmentation is
+//! never consulted, so a run that needed two write attempts produces
+//! byte-identical scores to one that needed one. There is deliberately no
+//! sleeping either: the workspace's failure model (fault-injection points,
+//! crash-and-restart) is event-shaped, not time-shaped, and sleeps would
+//! put wall-clock variance into test suites that prove bitwise equality.
+//!
+//! Telemetry (when enabled): `retry.attempts` counts every failed attempt
+//! that was retried, `retry.recovered` counts operations that ultimately
+//! succeeded after at least one failure.
+
+use std::io;
+
+use crate::telemetry;
+
+/// Fixed retry budget for an I/O operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`>= 1`).
+    pub attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts: survives `UMGAD_FAULT=<point>:1:transient:2`-class
+    /// double transients without masking genuinely persistent failures.
+    fn default() -> Self {
+        Self { attempts: 3 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        Self { attempts: 1 }
+    }
+
+    /// A policy with `attempts` total attempts (clamped to at least 1).
+    pub fn with_attempts(attempts: u32) -> Self {
+        Self {
+            attempts: attempts.max(1),
+        }
+    }
+}
+
+/// Run `op` up to `policy.attempts` times, returning the first success or
+/// the *last* error. No sleeping, no jitter: deterministic by
+/// construction.
+///
+/// `label` names the operation in the error context (`"<label>: <cause>
+/// (N attempts)"`) so a surfaced failure says which write exhausted its
+/// budget.
+pub fn io_retry<T>(
+    label: &str,
+    policy: RetryPolicy,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<T> {
+    let attempts = policy.attempts.max(1);
+    let mut last_err = None;
+    for attempt in 1..=attempts {
+        match op() {
+            Ok(v) => {
+                if attempt > 1 {
+                    telemetry::counter_add("retry.recovered", 1);
+                }
+                return Ok(v);
+            }
+            Err(e) => {
+                if attempt < attempts {
+                    telemetry::counter_add("retry.attempts", 1);
+                }
+                last_err = Some(e);
+            }
+        }
+    }
+    let e = last_err.expect("attempts >= 1 implies at least one error");
+    Err(io::Error::new(
+        e.kind(),
+        format!("{label}: {e} ({attempts} attempts)"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_success_calls_once() {
+        let mut calls = 0;
+        let r = io_retry("t", RetryPolicy::default(), || {
+            calls += 1;
+            Ok::<_, io::Error>(41 + 1)
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn transient_failure_recovers_within_budget() {
+        let mut calls = 0;
+        let r = io_retry("t", RetryPolicy::default(), || {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::other("flaky"))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r.unwrap(), 3);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn persistent_failure_surfaces_last_error_with_context() {
+        let mut calls = 0;
+        let r: io::Result<()> = io_retry("ckpt.write", RetryPolicy::with_attempts(4), || {
+            calls += 1;
+            Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!("denied #{calls}"),
+            ))
+        });
+        assert_eq!(calls, 4);
+        let e = r.unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::PermissionDenied);
+        let msg = e.to_string();
+        assert!(
+            msg.contains("ckpt.write") && msg.contains("denied #4"),
+            "{msg}"
+        );
+        assert!(msg.contains("4 attempts"), "{msg}");
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let mut calls = 0;
+        let r: io::Result<()> = io_retry("t", RetryPolicy::none(), || {
+            calls += 1;
+            Err(io::Error::other("nope"))
+        });
+        assert!(r.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn zero_attempts_clamps_to_one() {
+        assert_eq!(RetryPolicy::with_attempts(0).attempts, 1);
+        let mut calls = 0;
+        let r = io_retry("t", RetryPolicy { attempts: 0 }, || {
+            calls += 1;
+            Ok::<_, io::Error>(())
+        });
+        assert!(r.is_ok());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_integrate_with_fault_injection() {
+        // Only touch a point name private to this test: the fault registry
+        // is process-global and other tests run concurrently.
+        // A transient fault window narrower than the budget is absorbed...
+        crate::faults::arm_transient("retry.test.point", 2);
+        let r = io_retry("t", RetryPolicy::default(), || {
+            crate::fault_point!("retry.test.point")
+        });
+        assert!(r.is_ok(), "{r:?}");
+        // ...and one wider than the budget surfaces the injected error.
+        crate::faults::arm_transient("retry.test.point", 5);
+        let r = io_retry("t", RetryPolicy::default(), || {
+            crate::fault_point!("retry.test.point")
+        });
+        let e = r.unwrap_err();
+        assert!(e.to_string().contains("injected"), "{e}");
+        crate::faults::disarm("retry.test.point");
+    }
+}

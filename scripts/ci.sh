@@ -13,8 +13,11 @@
 #      kill-and-resume suite in tests/fault_tolerance.rs, which proves a
 #      run killed at any checkpoint boundary resumes to byte-identical
 #      scores)
-#   3. formatting: rustfmt in check mode
-#   4. lints: clippy over every target with warnings denied
+#   3. operations gate: the release-mode supervisor crash-recovery matrix
+#      (kill at every epoch boundary, corrupt the newest checkpoint, recover
+#      to byte-identical scores at 1 and 4 threads) plus an fsck smoke
+#   4. formatting: rustfmt in check mode
+#   5. lints: clippy over every target with warnings denied
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +43,13 @@ cargo test -q -p umgad --test telemetry_invariance
 
 echo "== perf smoke: steady-state epoch within 25% of the committed baseline"
 cargo run --release -q -p umgad-bench --bin perf_smoke
+
+echo "== supervisor matrix: kill at every epoch boundary + corrupt newest checkpoint,"
+echo "   supervised recovery to byte-identical scores at UMGAD_THREADS in {1,4}"
+cargo test --release -q -p umgad-cli --test supervise -- --ignored
+
+echo "== fsck smoke: offline lineage validation (clean + corrupt exit codes)"
+cargo test --release -q -p umgad-cli --test supervise fsck_smoke
 
 echo "== cargo fmt --check"
 cargo fmt --check

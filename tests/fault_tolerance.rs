@@ -54,6 +54,103 @@ fn canonical(mut ckpt: TrainCheckpoint) -> String {
     umgad_rt::json::to_string(&ckpt).unwrap()
 }
 
+/// Marker env var for the cross-thread-count resume matrix: when set, this
+/// binary is a child and plays the named role instead of spawning children.
+const XT_CHILD: &str = "UMGAD_FT_XTHREAD_CHILD";
+/// Where a child writes its score JSON.
+const XT_OUT: &str = "UMGAD_FT_XTHREAD_OUT";
+/// The checkpoint file shared between the halves of a split run.
+const XT_CKPT: &str = "UMGAD_FT_XTHREAD_CKPT";
+
+const XT_SEED: u64 = 37;
+const XT_EPOCHS: usize = 4;
+const XT_SPLIT: usize = 2;
+
+fn xthread_child(role: &str) {
+    let data = tiny_data(XT_SEED);
+    match role {
+        // Uninterrupted reference run.
+        "full" => {
+            let mut m = Umgad::new(&data.graph, cfg(XT_SEED, XT_EPOCHS));
+            m.train_with_checkpoints(&data.graph, 0, None).unwrap();
+            std::fs::write(std::env::var(XT_OUT).unwrap(), scores_json(&m, &data.graph)).unwrap();
+        }
+        // First half: train to the split point and checkpoint.
+        "half" => {
+            let mut m = Umgad::new(&data.graph, cfg(XT_SEED, XT_EPOCHS));
+            for _ in 0..XT_SPLIT {
+                m.train_epoch_guarded(&data.graph).unwrap();
+            }
+            let ckpt: PathBuf = std::env::var(XT_CKPT).unwrap().into();
+            m.save_train_checkpoint(&ckpt).unwrap();
+        }
+        // Second half: resume the checkpoint and finish.
+        "finish" => {
+            let ckpt: PathBuf = std::env::var(XT_CKPT).unwrap().into();
+            let mut m = Umgad::resume_from_file(&ckpt, &data.graph).unwrap();
+            assert_eq!(m.history.len(), XT_SPLIT);
+            m.train_with_checkpoints(&data.graph, 0, None).unwrap();
+            std::fs::write(std::env::var(XT_OUT).unwrap(), scores_json(&m, &data.graph)).unwrap();
+        }
+        other => panic!("unknown child role {other}"),
+    }
+}
+
+/// Checkpoint-resume × scheduler: a checkpoint written under one
+/// `UMGAD_THREADS` must resume under another with byte-identical final
+/// scores. The worker pool caches its thread count per process, so every
+/// (write, resume) combination runs in subprocesses.
+#[test]
+fn checkpoint_resume_crosses_thread_counts() {
+    if let Ok(role) = std::env::var(XT_CHILD) {
+        xthread_child(&role);
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = tmp_dir("umgad-ft-xthread");
+    let run_child = |role: &str, threads: &str, ckpt: &PathBuf, out: &PathBuf| {
+        let o = std::process::Command::new(&exe)
+            .args([
+                "checkpoint_resume_crosses_thread_counts",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(XT_CHILD, role)
+            .env(XT_OUT, out)
+            .env(XT_CKPT, ckpt)
+            .env("UMGAD_THREADS", threads)
+            .output()
+            .expect("spawn child");
+        assert!(
+            o.status.success(),
+            "{role}@{threads} child failed:\n{}\n{}",
+            String::from_utf8_lossy(&o.stdout),
+            String::from_utf8_lossy(&o.stderr)
+        );
+    };
+
+    let ref_out = dir.join("ref.json");
+    let unused = dir.join("unused.json");
+    run_child("full", "1", &unused, &ref_out);
+    let want = std::fs::read(&ref_out).expect("reference scores");
+    assert!(!want.is_empty());
+
+    for (write_threads, resume_threads) in [("1", "4"), ("4", "1")] {
+        let ckpt = dir.join(format!("ck-{write_threads}-{resume_threads}.json"));
+        let out = dir.join(format!("scores-{write_threads}-{resume_threads}.json"));
+        run_child("half", write_threads, &ckpt, &unused);
+        let mid = Umgad::load_train_checkpoint(&ckpt).unwrap();
+        assert_eq!(mid.epoch, XT_SPLIT);
+        run_child("finish", resume_threads, &ckpt, &out);
+        let got = std::fs::read(&out).expect("resumed scores");
+        assert_eq!(
+            got, want,
+            "scores differ for checkpoint@{write_threads} -> resume@{resume_threads} threads"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn kill_at_every_checkpoint_boundary_resumes_byte_identical() {
     let _guard = serial();
