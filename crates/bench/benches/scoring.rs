@@ -1,0 +1,157 @@
+//! Serving benchmark — the parked scoring engine vs repeated one-shot
+//! scoring (BENCH_scoring.json, DESIGN.md §5i).
+//!
+//! The serving workload: the whole node set, split into [`REQUESTS`]
+//! requests, scored against one trained model. Two entries per dataset:
+//!
+//! - `cold` answers each request the pre-engine way — a full
+//!   [`Umgad::anomaly_scores`] call per request, paying the encoder forward
+//!   passes and view reconstructions every time (the one-shot API has no
+//!   subset path, so a request costs a whole pass).
+//! - `parked_batched` parks the model once *outside* the timed loop —
+//!   forward passes, per-node error vectors, and z-standardisation
+//!   statistics frozen into a [`ScoreCache`] — and answers the same
+//!   requests as one [`ScoreBatch`] fan-out per iteration.
+//!
+//! Scoring cost is weight-independent (the forward passes and error kernels
+//! do the same arithmetic whatever the parameters hold), so the model is
+//! benchmarked untrained; the determinism suite, not this bench, checks
+//! value agreement.
+//!
+//! Smoke mode (`cargo test` runs each body once) drops to `Scale::Tiny`;
+//! real measurements use YelpChi at `Scale::Small`, matching the epoch
+//! bench fixture. In measuring mode a nodes/s side report
+//! (`scoring_throughput.json`) is also written with the batched serve
+//! fan-out measured at 1 thread and at the default pool width; `bench_agg`
+//! routes every `scoring*` source into `BENCH_scoring.json`.
+
+use std::time::Instant;
+
+use umgad_core::{ParkedModel, ScoreBatch, Umgad, UmgadConfig};
+use umgad_data::{Dataset, DatasetKind, Scale};
+use umgad_rt::bench::{black_box, Criterion};
+use umgad_rt::json::{to_string, Value};
+use umgad_rt::{criterion_group, criterion_main};
+
+/// How many requests the node set is split into (contiguous quarters).
+const REQUESTS: usize = 4;
+
+fn split_requests(n: usize) -> Vec<Vec<usize>> {
+    let all: Vec<usize> = (0..n).collect();
+    all.chunks(n.div_ceil(REQUESTS).max(1))
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let scale = if c.measuring() {
+        Scale::Small
+    } else {
+        Scale::Tiny
+    };
+    let data = Dataset::generate(DatasetKind::YelpChi, scale, 11);
+    let g = data.graph;
+    let n = g.num_nodes();
+    let requests = split_requests(n);
+    let mut cfg = UmgadConfig::paper_real();
+    cfg.seed = 11;
+    let model = Umgad::new(&g, cfg);
+
+    let mut group = c.benchmark_group("scoring_yelpchi_small");
+
+    // Cold serving: every request re-runs the full one-shot scoring path.
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for req in &requests {
+                let scores = model.anomaly_scores(&g);
+                acc += scores[req[0]];
+            }
+            black_box(acc)
+        })
+    });
+
+    // Parked serving: the expensive part ran once at park time; a measured
+    // iteration is one batched fan-out over the frozen invariants.
+    let parked = ParkedModel::park(model, g);
+    group.bench_function("parked_batched", |b| {
+        b.iter(|| {
+            let mut batch = ScoreBatch::new(&parked);
+            for req in &requests {
+                batch.push(req.clone());
+            }
+            black_box(batch.run().len())
+        })
+    });
+
+    group.finish();
+
+    if c.measuring() {
+        write_throughput_report("scoring_yelpchi_small", &parked);
+    }
+}
+
+/// Measure the batched serve fan-out at an explicit thread count and at the
+/// default pool width, and write bench-shaped entries (plus `nodes_per_s`
+/// and `threads` fields) as `scoring_throughput.json` next to the
+/// harness's own report, where `bench_agg` folds them into
+/// `BENCH_scoring.json`.
+fn write_throughput_report(group: &str, parked: &ParkedModel) {
+    const SAMPLES: usize = 10;
+    let n = parked.num_nodes();
+    let widths = [
+        ("serve_threads1", 1),
+        ("serve_threads_default", umgad_tensor::default_threads()),
+    ];
+    let entries: Vec<Value> = widths
+        .iter()
+        .map(|&(name, threads)| {
+            let mut ns: Vec<f64> = (0..SAMPLES)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let cache = parked.cache();
+                    black_box(umgad_tensor::parallel_rows(n, threads, |i| {
+                        cache.node_score(i)
+                    }));
+                    t0.elapsed().as_nanos() as f64
+                })
+                .collect();
+            ns.sort_by(f64::total_cmp);
+            let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+            let at = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+            let median = at(0.5);
+            Value::Obj(vec![
+                ("name".into(), Value::Str(format!("{group}/{name}"))),
+                ("samples".into(), Value::U64(ns.len() as u64)),
+                ("mean_ns".into(), Value::F64(mean)),
+                ("median_ns".into(), Value::F64(median)),
+                ("p95_ns".into(), Value::F64(at(0.95))),
+                ("threads".into(), Value::U64(threads as u64)),
+                ("nodes_per_s".into(), Value::F64(n as f64 / (median / 1e9))),
+            ])
+        })
+        .collect();
+    let path = match std::env::var("RT_BENCH_OUT") {
+        Ok(p) => std::path::Path::new(&p).with_file_name("scoring_throughput.json"),
+        Err(_) => std::env::current_exe()
+            .ok()
+            .and_then(|p| p.ancestors().nth(3).map(|d| d.to_path_buf()))
+            .unwrap_or_else(|| std::path::PathBuf::from("target"))
+            .join("rt-bench")
+            .join("scoring_throughput.json"),
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match to_string(&Value::Arr(entries)).map(|s| std::fs::write(&path, s)) {
+        Ok(Ok(())) => println!("scoring throughput report written to {}", path.display()),
+        other => eprintln!("scoring throughput report failed: {other:?}"),
+    }
+}
+
+criterion_group! {
+    name = scoring;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scoring
+}
+criterion_main!(scoring);

@@ -11,23 +11,29 @@
 //! Reports from the end-to-end `epoch` bench binary are split into their
 //! own document (`BENCH_epoch.json` by default): epoch wall-clocks move
 //! with model-level changes and would drown the kernel-level diff noise
-//! budget if mixed into one file.
+//! budget if mixed into one file. Reports from the serving bench (every
+//! `scoring*` source, including its `scoring_throughput` nodes/s side
+//! report) are likewise split into `BENCH_scoring.json`.
 //!
-//! The epoch document also carries its own `speedups` rows: a
-//! `steady_vs_first` pair per bench group (how much the warm-arena engine
-//! saves over a cold epoch, from this run alone), and — when a previous
-//! report is supplied as the fourth argument — a `vs_baseline` row per
-//! steady-state entry comparing this run against the last committed
-//! trajectory point (`scripts/bench.sh` carries the prior `BENCH_epoch.json`
-//! forward automatically).
+//! The epoch document carries its own `speedups` rows: a `steady_vs_first`
+//! pair per bench group (how much the warm-arena engine saves over a cold
+//! epoch, from this run alone), and — when a previous report is supplied —
+//! a `vs_baseline` row per steady-state entry comparing this run against
+//! the last committed trajectory point. The scoring document mirrors that:
+//! a `parked_vs_cold` pair per serving group (how much a parked batch saves
+//! over repeated one-shot scoring) plus `vs_baseline` rows for the
+//! `parked_batched` entries (`scripts/bench.sh` carries both prior
+//! documents forward automatically).
 //!
 //! ```sh
 //! cargo run --release -p umgad-bench --bin bench_agg \
-//!     [report-dir] [output-path] [epoch-output-path] [epoch-baseline-path]
+//!     [report-dir] [output-path] [epoch-output-path] [scoring-output-path] \
+//!     [epoch-baseline-path] [scoring-baseline-path]
 //! ```
 //!
-//! Defaults: `target/rt-bench` → `BENCH_kernels.json` + `BENCH_epoch.json`
-//! (see scripts/bench.sh).
+//! Empty-string baseline paths mean "no baseline". Defaults:
+//! `target/rt-bench` → `BENCH_kernels.json` + `BENCH_epoch.json` +
+//! `BENCH_scoring.json` (see scripts/bench.sh).
 
 use std::fs;
 use std::path::Path;
@@ -69,7 +75,14 @@ fn main() {
         .get(3)
         .map(String::as_str)
         .unwrap_or("BENCH_epoch.json");
-    let epoch_baseline_path = args.get(4).map(String::as_str);
+    let scoring_out_path = args
+        .get(4)
+        .map(String::as_str)
+        .unwrap_or("BENCH_scoring.json");
+    // Empty strings mean "no baseline" so callers can pass the paths
+    // positionally without conditionals.
+    let epoch_baseline_path = args.get(5).map(String::as_str).filter(|p| !p.is_empty());
+    let scoring_baseline_path = args.get(6).map(String::as_str).filter(|p| !p.is_empty());
 
     // (source, name, entry-with-source-prepended)
     let mut benches: Vec<(String, String, Value)> = Vec::new();
@@ -113,32 +126,44 @@ fn main() {
     }
     benches.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
 
-    // Derive speedups from `<group>/threads1` vs `<group>/threads_default`
-    // pairs, using median_ns (robust to a stray slow sample).
-    let median_of = |suffix: &str, group: &str| -> Option<f64> {
-        benches.iter().find_map(|(_, name, v)| {
-            if name != &format!("{group}/{suffix}") {
+    // Split the merged entries into the three trajectory documents first so
+    // each document's speedup rows are derived from its own entries only.
+    let (epoch_vals, rest): (Vec<_>, Vec<_>) = benches
+        .into_iter()
+        .partition(|(source, _, _)| source.starts_with("epoch"));
+    let (scoring_vals, kernel_vals): (Vec<_>, Vec<_>) = rest
+        .into_iter()
+        .partition(|(source, _, _)| source.starts_with("scoring"));
+
+    // median_ns lookup over one partition (robust to a stray slow sample).
+    let median_in = |vals: &[(String, String, Value)], name: &str| -> Option<f64> {
+        vals.iter().find_map(|(_, n, v)| {
+            if n != name {
                 return None;
             }
             let Value::Obj(fields) = v else { return None };
             field(fields, "median_ns").and_then(num)
         })
     };
-    let groups: Vec<String> = {
-        let mut g: Vec<String> = benches
+    // Bench groups in one partition whose entry names end in `/<suffix>`.
+    let groups_in = |vals: &[(String, String, Value)], suffix: &str| -> Vec<String> {
+        let mut g: Vec<String> = vals
             .iter()
-            .filter_map(|(_, name, _)| name.strip_suffix("/threads1"))
+            .filter_map(|(_, name, _)| name.strip_suffix(suffix))
             .map(str::to_string)
             .collect();
         g.sort();
         g.dedup();
         g
     };
+
+    // Kernel speedups: `<group>/threads1` vs `<group>/threads_default`
+    // pairs.
     let mut speedups = Vec::new();
-    for group in groups {
+    for group in groups_in(&kernel_vals, "/threads1") {
         let (Some(serial), Some(parallel)) = (
-            median_of("threads1", &group),
-            median_of("threads_default", &group),
+            median_in(&kernel_vals, &format!("{group}/threads1")),
+            median_in(&kernel_vals, &format!("{group}/threads_default")),
         ) else {
             continue;
         };
@@ -149,6 +174,53 @@ fn main() {
             ("speedup".to_string(), Value::F64(serial / parallel)),
         ]));
     }
+
+    // `vs_baseline` rows: for each `<group>/<suffix>` entry present in both
+    // the given baseline document and the current partition, how this run
+    // moved relative to the last committed trajectory point.
+    let baseline_rows = |baseline_path: Option<&str>,
+                         vals: &[(String, String, Value)],
+                         groups: &[String],
+                         suffix: &str,
+                         out: &mut Vec<Value>| {
+        let Some(bp) = baseline_path else { return };
+        let text = match fs::read_to_string(bp) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_agg: no baseline at {bp} ({e}); skipping vs_baseline rows");
+                return;
+            }
+        };
+        let parsed = Value::parse(&text).unwrap_or_else(|e| panic!("parse baseline {bp}: {e}"));
+        let baseline_median = |name: &str| -> Option<f64> {
+            let Value::Obj(ref doc) = parsed else {
+                return None;
+            };
+            let Some(Value::Arr(entries)) = field(doc, "benches") else {
+                return None;
+            };
+            entries.iter().find_map(|v| {
+                let Value::Obj(fields) = v else { return None };
+                match field(fields, "name") {
+                    Some(Value::Str(s)) if s == name => field(fields, "median_ns").and_then(num),
+                    _ => None,
+                }
+            })
+        };
+        for group in groups {
+            let name = format!("{group}{suffix}");
+            let (Some(base), Some(cur)) = (baseline_median(&name), median_in(vals, &name)) else {
+                continue;
+            };
+            out.push(Value::Obj(vec![
+                ("bench".to_string(), Value::Str(name)),
+                ("kind".to_string(), Value::Str("vs_baseline".to_string())),
+                ("baseline_median_ns".to_string(), Value::F64(base)),
+                ("current_median_ns".to_string(), Value::F64(cur)),
+                ("speedup".to_string(), Value::F64(base / cur)),
+            ]));
+        }
+    };
 
     let render = |vals: &[Value]| -> String {
         vals.iter()
@@ -172,39 +244,15 @@ fn main() {
         );
     };
 
-    // Epoch-level entries — the end-to-end `epoch` bench binary plus its
-    // `epoch_phases` breakdown report — get their own document.
-    let (epoch_vals, kernel_vals): (Vec<_>, Vec<_>) = benches
-        .into_iter()
-        .partition(|(source, _, _)| source.starts_with("epoch"));
-
     // Epoch speedups: how much the warm steady-state engine saves over a
     // cold first epoch (within this run), and how this run's steady state
     // compares to the previous committed report (across runs).
-    let epoch_median = |name: &str| -> Option<f64> {
-        epoch_vals.iter().find_map(|(_, n, v)| {
-            if n != name {
-                return None;
-            }
-            let Value::Obj(fields) = v else { return None };
-            field(fields, "median_ns").and_then(num)
-        })
-    };
-    let epoch_groups: Vec<String> = {
-        let mut g: Vec<String> = epoch_vals
-            .iter()
-            .filter_map(|(_, name, _)| name.strip_suffix("/steady_state"))
-            .map(str::to_string)
-            .collect();
-        g.sort();
-        g.dedup();
-        g
-    };
+    let epoch_groups = groups_in(&epoch_vals, "/steady_state");
     let mut epoch_speedups = Vec::new();
     for group in &epoch_groups {
         let (Some(first), Some(steady)) = (
-            epoch_median(&format!("{group}/first")),
-            epoch_median(&format!("{group}/steady_state")),
+            median_in(&epoch_vals, &format!("{group}/first")),
+            median_in(&epoch_vals, &format!("{group}/steady_state")),
         ) else {
             continue;
         };
@@ -219,52 +267,51 @@ fn main() {
             ("speedup".to_string(), Value::F64(first / steady)),
         ]));
     }
-    if let Some(bp) = epoch_baseline_path {
-        match fs::read_to_string(bp) {
-            Ok(text) => {
-                let parsed =
-                    Value::parse(&text).unwrap_or_else(|e| panic!("parse baseline {bp}: {e}"));
-                let baseline_median = |name: &str| -> Option<f64> {
-                    let Value::Obj(ref doc) = parsed else {
-                        return None;
-                    };
-                    let Some(Value::Arr(entries)) = field(doc, "benches") else {
-                        return None;
-                    };
-                    entries.iter().find_map(|v| {
-                        let Value::Obj(fields) = v else { return None };
-                        match field(fields, "name") {
-                            Some(Value::Str(s)) if s == name => {
-                                field(fields, "median_ns").and_then(num)
-                            }
-                            _ => None,
-                        }
-                    })
-                };
-                for group in &epoch_groups {
-                    let name = format!("{group}/steady_state");
-                    let (Some(base), Some(cur)) = (baseline_median(&name), epoch_median(&name))
-                    else {
-                        continue;
-                    };
-                    epoch_speedups.push(Value::Obj(vec![
-                        ("bench".to_string(), Value::Str(name)),
-                        ("kind".to_string(), Value::Str("vs_baseline".to_string())),
-                        ("baseline_median_ns".to_string(), Value::F64(base)),
-                        ("current_median_ns".to_string(), Value::F64(cur)),
-                        ("speedup".to_string(), Value::F64(base / cur)),
-                    ]));
-                }
-            }
-            Err(e) => {
-                eprintln!("bench_agg: no epoch baseline at {bp} ({e}); skipping vs_baseline rows");
-            }
-        }
+    baseline_rows(
+        epoch_baseline_path,
+        &epoch_vals,
+        &epoch_groups,
+        "/steady_state",
+        &mut epoch_speedups,
+    );
+
+    // Scoring speedups: how much a parked batched serve saves over the
+    // cold repeated one-shot path (within this run), and how this run's
+    // parked serving compares to the previous committed report.
+    let scoring_groups = groups_in(&scoring_vals, "/parked_batched");
+    let mut scoring_speedups = Vec::new();
+    for group in &scoring_groups {
+        let (Some(cold), Some(parked)) = (
+            median_in(&scoring_vals, &format!("{group}/cold")),
+            median_in(&scoring_vals, &format!("{group}/parked_batched")),
+        ) else {
+            continue;
+        };
+        scoring_speedups.push(Value::Obj(vec![
+            ("bench".to_string(), Value::Str(group.clone())),
+            ("kind".to_string(), Value::Str("parked_vs_cold".to_string())),
+            ("cold_median_ns".to_string(), Value::F64(cold)),
+            ("parked_median_ns".to_string(), Value::F64(parked)),
+            ("speedup".to_string(), Value::F64(cold / parked)),
+        ]));
     }
+    baseline_rows(
+        scoring_baseline_path,
+        &scoring_vals,
+        &scoring_groups,
+        "/parked_batched",
+        &mut scoring_speedups,
+    );
 
     let strip = |v: Vec<(String, String, Value)>| -> Vec<Value> {
         v.into_iter().map(|(_, _, val)| val).collect()
     };
     write_doc(out_path, &strip(kernel_vals), &speedups, "kernel");
     write_doc(epoch_out_path, &strip(epoch_vals), &epoch_speedups, "epoch");
+    write_doc(
+        scoring_out_path,
+        &strip(scoring_vals),
+        &scoring_speedups,
+        "scoring",
+    );
 }

@@ -1,27 +1,36 @@
-//! CI perf smoke: fail the gate when the steady-state epoch regresses.
+//! CI perf smoke: fail the gate when the steady-state epoch or the parked
+//! scoring engine regresses.
 //!
 //! The full bench run (`scripts/bench.sh`) takes minutes; this binary is
-//! the time-bounded stand-in `scripts/ci.sh` runs on every merge. It
-//! replays the committed epoch bench's exact configuration — YelpChi at
-//! `Scale::Small`, seed 11, paper-real hyper-parameters — warms the
-//! zero-churn engine for two epochs, measures two steady-state epochs, and
-//! compares the *fastest* of the two against the checked-in
-//! `BENCH_epoch.json` steady-state median. Taking the minimum keeps a
-//! loaded CI box from failing the gate on scheduler noise; a real
-//! regression slows every epoch, including the best one.
+//! the time-bounded stand-in `scripts/ci.sh` runs on every merge. Two
+//! gates, each replaying its committed bench's exact configuration —
+//! YelpChi at `Scale::Small`, seed 11, paper-real hyper-parameters:
 //!
-//! The budget is [`TOLERANCE`]: the measured epoch may be at most 25%
-//! slower than the committed median. A genuine improvement simply passes
-//! (and should be accompanied by a `scripts/bench.sh` refresh of the
-//! trajectory document).
+//! 1. **Epoch**: warm the zero-churn engine for two epochs, measure two
+//!    steady-state epochs, and compare the *fastest* of the two against
+//!    the checked-in `BENCH_epoch.json` steady-state median.
+//! 2. **Scoring**: park an (untrained — scoring cost is weight-independent)
+//!    model, answer the committed serving workload (the node set split into
+//!    four requests, one `ScoreBatch` fan-out) twice, and compare the
+//!    fastest batch against the `BENCH_scoring.json` parked median.
+//!
+//! Taking the minimum keeps a loaded CI box from failing the gate on
+//! scheduler noise; a real regression slows every repetition, including
+//! the best one.
+//!
+//! The budget is [`TOLERANCE`]: the measured run may be at most 25% slower
+//! than the committed median. A genuine improvement simply passes (and
+//! should be accompanied by a `scripts/bench.sh` refresh of the trajectory
+//! documents).
 //!
 //! ```sh
-//! cargo run --release -p umgad-bench --bin perf_smoke [baseline-path]
+//! cargo run --release -p umgad-bench --bin perf_smoke \
+//!     [epoch-baseline-path] [scoring-baseline-path]
 //! ```
 
 use std::time::Instant;
 
-use umgad_core::{Umgad, UmgadConfig};
+use umgad_core::{ParkedModel, ScoreBatch, Umgad, UmgadConfig};
 use umgad_data::{Dataset, DatasetKind, Scale};
 use umgad_rt::json::Value;
 
@@ -29,12 +38,16 @@ use umgad_rt::json::Value;
 const TOLERANCE: f64 = 1.25;
 /// Warm-up epochs before measuring (arena fill + invariant caching).
 const WARMUP: usize = 2;
-/// Steady-state epochs measured; the fastest one is compared.
+/// Repetitions measured per gate; the fastest one is compared.
 const MEASURED: usize = 2;
-/// The committed bench entry this smoke reproduces.
-const BENCH_NAME: &str = "train_epoch_yelpchi_small/steady_state";
+/// The committed epoch bench entry the first gate reproduces.
+const EPOCH_BENCH: &str = "train_epoch_yelpchi_small/steady_state";
+/// The committed scoring bench entry the second gate reproduces.
+const SCORING_BENCH: &str = "scoring_yelpchi_small/parked_batched";
+/// Requests per serving batch — must match `benches/scoring.rs`.
+const REQUESTS: usize = 4;
 
-fn baseline_median_ns(path: &str) -> Option<f64> {
+fn baseline_median_ns(path: &str, bench_name: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     let Value::Obj(doc) = Value::parse(&text).ok()? else {
         return None;
@@ -45,7 +58,7 @@ fn baseline_median_ns(path: &str) -> Option<f64> {
     entries.iter().find_map(|v| {
         let Value::Obj(fields) = v else { return None };
         let name = fields.iter().find(|(k, _)| k == "name")?;
-        if !matches!(&name.1, Value::Str(s) if s == BENCH_NAME) {
+        if !matches!(&name.1, Value::Str(s) if s == bench_name) {
             return None;
         }
         match fields.iter().find(|(k, _)| k == "median_ns")?.1 {
@@ -57,19 +70,43 @@ fn baseline_median_ns(path: &str) -> Option<f64> {
     })
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let baseline_path = args
-        .get(1)
-        .map(String::as_str)
-        .unwrap_or("BENCH_epoch.json");
-    let Some(baseline) = baseline_median_ns(baseline_path) else {
+fn fmt_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else {
+        format!("{:.1}us", ns / 1e3)
+    }
+}
+
+/// Compare `best_ns` against the committed median; returns whether the
+/// gate passed.
+fn check(gate: &str, best_ns: f64, baseline: f64) -> bool {
+    let ratio = best_ns / baseline;
+    println!(
+        "perf_smoke: {gate} best {} vs committed median {} (ratio {:.3}, budget {TOLERANCE})",
+        fmt_time(best_ns),
+        fmt_time(baseline),
+        ratio
+    );
+    if ratio > TOLERANCE {
+        eprintln!(
+            "perf_smoke: {gate} regressed beyond the {:.0}% budget",
+            (TOLERANCE - 1.0) * 100.0
+        );
+        return false;
+    }
+    true
+}
+
+fn epoch_gate(baseline_path: &str) -> bool {
+    let Some(baseline) = baseline_median_ns(baseline_path, EPOCH_BENCH) else {
         // A fresh checkout without a committed trajectory has nothing to
         // regress against; that is not a CI failure.
-        println!("perf_smoke: no `{BENCH_NAME}` entry in {baseline_path}; skipping");
-        return;
+        println!("perf_smoke: no `{EPOCH_BENCH}` entry in {baseline_path}; skipping");
+        return true;
     };
-
     let data = Dataset::generate(DatasetKind::YelpChi, Scale::Small, 11);
     let mut cfg = UmgadConfig::paper_real();
     cfg.seed = 11;
@@ -83,19 +120,49 @@ fn main() {
         model.train_epoch(&data.graph);
         best_ns = best_ns.min(t.elapsed().as_nanos() as f64);
     }
+    check("steady epoch", best_ns, baseline)
+}
 
-    let ratio = best_ns / baseline;
-    println!(
-        "perf_smoke: steady epoch best {:.3}s vs committed median {:.3}s (ratio {:.3}, budget {TOLERANCE})",
-        best_ns / 1e9,
-        baseline / 1e9,
-        ratio
-    );
-    if ratio > TOLERANCE {
-        eprintln!(
-            "perf_smoke: steady-state epoch regressed beyond the {:.0}% budget",
-            (TOLERANCE - 1.0) * 100.0
-        );
+fn scoring_gate(baseline_path: &str) -> bool {
+    let Some(baseline) = baseline_median_ns(baseline_path, SCORING_BENCH) else {
+        println!("perf_smoke: no `{SCORING_BENCH}` entry in {baseline_path}; skipping");
+        return true;
+    };
+    let data = Dataset::generate(DatasetKind::YelpChi, Scale::Small, 11);
+    let mut cfg = UmgadConfig::paper_real();
+    cfg.seed = 11;
+    let model = Umgad::new(&data.graph, cfg);
+    let n = data.graph.num_nodes();
+    let parked = ParkedModel::park(model, data.graph);
+    let all: Vec<usize> = (0..n).collect();
+    let requests: Vec<&[usize]> = all.chunks(n.div_ceil(REQUESTS).max(1)).collect();
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..MEASURED {
+        let t = Instant::now();
+        let mut batch = ScoreBatch::new(&parked);
+        for req in &requests {
+            batch.push(req.to_vec());
+        }
+        let answered = batch.run();
+        assert_eq!(answered.len(), requests.len());
+        best_ns = best_ns.min(t.elapsed().as_nanos() as f64);
+    }
+    check("parked scoring batch", best_ns, baseline)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let epoch_baseline = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_epoch.json");
+    let scoring_baseline = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("BENCH_scoring.json");
+    let mut ok = epoch_gate(epoch_baseline);
+    ok &= scoring_gate(scoring_baseline);
+    if !ok {
         std::process::exit(1);
     }
 }

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 
 use umgad_baselines::{registry, BaselineConfig, Detector};
 use umgad_core::ops::{CheckpointSink, Lineage, StopConditions, DEFAULT_KEEP};
-use umgad_core::{roc_auc, select_threshold, Umgad, UmgadConfig};
+use umgad_core::{roc_auc, select_threshold, ParkedModel, ScoreBatch, Umgad, UmgadConfig};
 use umgad_data::{load_graph, save_graph, Dataset, DatasetKind, Scale};
 use umgad_graph::MultiplexGraph;
 use umgad_rt::retry::{io_retry, RetryPolicy};
@@ -79,14 +79,30 @@ pub enum Command {
         /// A checkpoint file or a `--checkpoint-dir` lineage directory.
         target: PathBuf,
     },
-    /// Score a graph with a previously saved model (no training).
+    /// Score a graph with a previously saved model (no training). The model
+    /// is parked once (forward passes + scoring invariants frozen) and every
+    /// request is served from the cache.
     Score {
         /// Input JSON graph.
         input: PathBuf,
-        /// Model checkpoint from `detect --save-model`.
+        /// Model checkpoint (`detect --save-model`), full training
+        /// checkpoint, or a `--checkpoint-dir` lineage directory (newest
+        /// valid entry wins).
         model: PathBuf,
         /// Where to write the score CSV (stdout when absent).
         scores: Option<PathBuf>,
+        /// Score only the node ids listed in this file (one per line,
+        /// `#` comments allowed).
+        nodes: Option<PathBuf>,
+        /// Score every node (the default; spelled out for scripts).
+        all: bool,
+        /// Split the node set into batched requests of this many nodes.
+        batch: Option<usize>,
+        /// Print per-view attribute/structure z-explanations per node.
+        explain: bool,
+        /// Write a telemetry metrics JSON report here (`serve.*` spans,
+        /// `rss_peak`; implies enabling telemetry for the run).
+        metrics: Option<PathBuf>,
     },
     /// Run one named baseline instead of UMGAD.
     Baseline {
@@ -130,7 +146,8 @@ pub fn usage() -> &'static str {
     \u{20}          [--checkpoint-dir DIR [--keep N] [--supervise N]]\n\
     \u{20}          [--stop-file FILE] [--deadline-secs N]\n\
      fsck      FILE|DIR\n\
-     score     --input FILE --model FILE [--scores FILE]\n\
+     score     --input FILE --model FILE|DIR [--nodes FILE | --all] [--batch N] [--explain]\n\
+    \u{20}          [--scores FILE] [--metrics FILE]\n\
      baseline  --input FILE --method NAME [--epochs N] [--seed N] [--scores FILE]\n\
      threshold --scores FILE\n\
      import    --attrs FILE --relation NAME=FILE [--relation ...] [--labels FILE] --out FILE\n\
@@ -157,6 +174,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     while let Some(flag) = it.next() {
         if flag == "--real" {
             bools.insert("real");
+            continue;
+        }
+        if flag == "--all" {
+            bools.insert("all");
+            continue;
+        }
+        if flag == "--explain" {
+            bools.insert("explain");
             continue;
         }
         if flag == "--relation" {
@@ -254,11 +279,29 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 metrics: get("metrics").map(Into::into),
             })
         }
-        "score" => Ok(Command::Score {
-            input: get("input").ok_or("--input required")?.into(),
-            model: get("model").ok_or("--model required")?.into(),
-            scores: get("scores").map(Into::into),
-        }),
+        "score" => {
+            let nodes: Option<PathBuf> = get("nodes").map(Into::into);
+            let all = bools.contains("all");
+            if all && nodes.is_some() {
+                return Err("--nodes and --all are mutually exclusive".into());
+            }
+            let batch = get("batch")
+                .map(|v| v.parse::<usize>().map_err(|e| format!("--batch: {e}")))
+                .transpose()?;
+            if batch == Some(0) {
+                return Err("--batch must be at least 1".into());
+            }
+            Ok(Command::Score {
+                input: get("input").ok_or("--input required")?.into(),
+                model: get("model").ok_or("--model required")?.into(),
+                scores: get("scores").map(Into::into),
+                nodes,
+                all,
+                batch,
+                explain: bools.contains("explain"),
+                metrics: get("metrics").map(Into::into),
+            })
+        }
         "baseline" => Ok(Command::Baseline {
             input: get("input").ok_or("--input required")?.into(),
             method: get("method").ok_or("--method required")?,
@@ -317,6 +360,41 @@ pub fn parse_scores_csv(text: &str) -> Result<Vec<f64>, String> {
         return Err("no scores found".into());
     }
     Ok(out)
+}
+
+/// Parse a node-list file (`score --nodes`): one node id per line, blank
+/// lines and `#` comments skipped; every id must be within the graph.
+pub fn parse_node_list(text: &str, num_nodes: usize) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let id: usize = t
+            .parse()
+            .map_err(|e| format!("nodes line {}: {e}", lineno + 1))?;
+        if id >= num_nodes {
+            return Err(format!(
+                "nodes line {}: node {id} out of range (graph has {num_nodes} nodes)",
+                lineno + 1
+            ));
+        }
+        out.push(id);
+    }
+    if out.is_empty() {
+        return Err("no node ids found".into());
+    }
+    Ok(out)
+}
+
+/// Render a scored node subset as CSV, keyed by the original node ids.
+pub fn subset_scores_csv(nodes: &[usize], scores: &[f64]) -> String {
+    let mut out = String::from("node,score\n");
+    for (i, s) in nodes.iter().zip(scores) {
+        let _ = writeln!(out, "{i},{s:.6}");
+    }
+    out
 }
 
 /// Build a baseline by (case-insensitive) Table II name.
@@ -496,11 +574,75 @@ pub fn run(cmd: Command) -> Result<String, String> {
             input,
             model,
             scores,
+            nodes,
+            all: _,
+            batch,
+            explain,
+            metrics,
         } => {
+            if metrics.is_some() {
+                umgad_rt::telemetry::set_enabled(true);
+            }
             let graph = load_graph(&input).map_err(|e| e.to_string())?;
-            let model = Umgad::load(&model, &graph)?;
-            let s = model.anomaly_scores(&graph);
-            finish_scores(&graph, &s, scores)
+            let parked = ParkedModel::load(&model, graph)?;
+            let node_set: Option<Vec<usize>> = match &nodes {
+                Some(p) => {
+                    let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
+                    Some(parse_node_list(&text, parked.num_nodes())?)
+                }
+                None => None,
+            };
+            let targets: Vec<usize> = node_set
+                .clone()
+                .unwrap_or_else(|| (0..parked.num_nodes()).collect());
+            let s: Vec<f64> = match batch {
+                Some(b) => {
+                    let mut queue = ScoreBatch::new(&parked);
+                    for chunk in targets.chunks(b) {
+                        queue.push(chunk.to_vec());
+                    }
+                    queue.run().into_iter().flatten().collect()
+                }
+                None => parked.score_nodes(&targets),
+            };
+            let mut extra = String::new();
+            if explain {
+                for (&i, sc) in targets.iter().zip(&s) {
+                    let mut line = format!("# node {i} score {sc:.6}:");
+                    for e in parked.explain_node(i) {
+                        let _ = write!(
+                            line,
+                            " {} attr_z={:.4} struct_z={:.4}",
+                            e.view, e.attribute_z, e.structure_z
+                        );
+                    }
+                    let _ = writeln!(extra, "{line}");
+                }
+            }
+            if let Some(p) = &metrics {
+                write_metrics_report(parked.model(), p)?;
+                let _ = writeln!(extra, "wrote metrics to {}", p.display());
+            }
+            match node_set {
+                // Full graph in node order: same CSV + AUC summary as before.
+                None => finish_scores(parked.graph(), &s, scores).map(|out| extra + &out),
+                // Subset: CSV keyed by the original node ids, no AUC (the
+                // labels cover the whole graph, not the request).
+                Some(ids) => {
+                    let csv = subset_scores_csv(&ids, &s);
+                    match scores {
+                        Some(p) => {
+                            io_retry("score write", RetryPolicy::default(), || {
+                                umgad_rt::fs::atomic_write_string(&p, &csv)
+                            })
+                            .map_err(|e| e.to_string())?;
+                            let _ = writeln!(extra, "wrote {}", p.display());
+                            Ok(extra)
+                        }
+                        None => Ok(extra + &csv),
+                    }
+                }
+            }
         }
         Command::Baseline {
             input,
@@ -590,8 +732,10 @@ pub struct MetricsReport {
 
 umgad_rt::json_object!(MetricsReport { telemetry, epochs });
 
-/// Snapshot telemetry + epoch history and write the report atomically.
+/// Snapshot telemetry + epoch history and write the report atomically. The
+/// process's peak RSS lands in the snapshot as the `rss_peak` gauge.
 fn write_metrics_report(model: &Umgad, path: &std::path::Path) -> Result<(), String> {
+    umgad_rt::telemetry::record_rss_peak();
     let report = MetricsReport {
         telemetry: umgad_rt::telemetry::report(),
         epochs: model.history.iter().map(Into::into).collect(),
@@ -830,6 +974,147 @@ mod tests {
     }
 
     #[test]
+    fn parse_score_serving_flags() {
+        let cmd = parse(&s(&[
+            "score",
+            "--input",
+            "g.json",
+            "--model",
+            "ckpts",
+            "--nodes",
+            "ids.txt",
+            "--batch",
+            "64",
+            "--explain",
+            "--metrics",
+            "m.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Score {
+                input: "g.json".into(),
+                model: "ckpts".into(),
+                scores: None,
+                nodes: Some("ids.txt".into()),
+                all: false,
+                batch: Some(64),
+                explain: true,
+                metrics: Some("m.json".into()),
+            }
+        );
+        let cmd = parse(&s(&[
+            "score", "--input", "g.json", "--model", "m.json", "--all",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Score {
+                all, nodes, batch, ..
+            } => {
+                assert!(all && nodes.is_none() && batch.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let base = ["score", "--input", "g.json", "--model", "m.json"];
+        for bad in [vec!["--nodes", "ids.txt", "--all"], vec!["--batch", "0"]] {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(bad.iter());
+            assert!(parse(&s(&args)).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn parse_node_list_validates() {
+        let ids = parse_node_list("# header\n3\n\n0\n7\n", 10).unwrap();
+        assert_eq!(ids, vec![3, 0, 7]);
+        assert!(parse_node_list("12\n", 10).unwrap_err().contains("range"));
+        assert!(parse_node_list("abc\n", 10).is_err());
+        assert!(parse_node_list("# only comments\n", 10).is_err());
+    }
+
+    #[test]
+    fn score_serves_subsets_batches_and_explanations() {
+        let dir = std::env::temp_dir().join("umgad-cli-serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.json");
+        let model_path = dir.join("m.json");
+        run(Command::Generate {
+            dataset: DatasetKind::Alibaba,
+            scale: 0.01,
+            seed: 9,
+            out: graph_path.clone(),
+        })
+        .unwrap();
+        run(Command::Detect {
+            input: graph_path.clone(),
+            epochs: Some(2),
+            seed: 9,
+            real_preset: false,
+            scores: None,
+            save_model: Some(model_path.clone()),
+            checkpoint: None,
+            checkpoint_every: 0,
+            resume: None,
+            checkpoint_dir: None,
+            keep: DEFAULT_KEEP,
+            stop_file: None,
+            deadline_secs: None,
+            supervise: None,
+            metrics: None,
+        })
+        .unwrap();
+
+        let score = |nodes, batch, explain, metrics| Command::Score {
+            input: graph_path.clone(),
+            model: model_path.clone(),
+            scores: None,
+            nodes,
+            all: false,
+            batch,
+            explain,
+            metrics,
+        };
+
+        // Full-set scoring, batched vs unbatched: identical output.
+        let whole = run(score(None, None, false, None)).unwrap();
+        let batched = run(score(None, Some(5), false, None)).unwrap();
+        assert_eq!(whole, batched, "batch size must never change a score");
+
+        // Subset scoring reports the original node ids.
+        let nodes_path = dir.join("ids.txt");
+        std::fs::write(&nodes_path, "4\n1\n4\n").unwrap();
+        let out = run(score(Some(nodes_path.clone()), Some(2), false, None)).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "node,score");
+        assert!(lines[1].starts_with("4,") && lines[2].starts_with("1,"));
+        assert_eq!(lines[3], lines[1], "duplicate request rows match");
+        // Subset rows carry the same values as the full run.
+        assert!(whole.contains(lines[1]), "{out}\nvs\n{whole}");
+
+        // Explanations mention every active view.
+        let out = run(score(Some(nodes_path), None, true, None)).unwrap();
+        assert!(out.contains("# node 4 score"), "{out}");
+        assert!(
+            out.contains("attr_z=") && out.contains("struct_z="),
+            "{out}"
+        );
+
+        // A metrics report captures serve spans and the rss_peak gauge.
+        let metrics_path = dir.join("serve-metrics.json");
+        let out = run(score(None, Some(7), false, Some(metrics_path.clone()))).unwrap();
+        assert!(out.contains("wrote metrics"), "{out}");
+        let report: MetricsReport =
+            umgad_rt::json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert!(report.telemetry.span("serve.park").is_some());
+        assert!(report.telemetry.span("serve.batch").is_some());
+        assert!(report.telemetry.counter("serve.nodes").unwrap_or(0) > 0);
+        assert!(report.telemetry.gauge("rss_peak").is_some());
+        umgad_rt::telemetry::set_enabled(false);
+        umgad_rt::telemetry::reset();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn parse_fsck() {
         assert_eq!(
             parse(&s(&["fsck", "ckpts"])).unwrap(),
@@ -1008,6 +1293,11 @@ mod tests {
             input: graph_path.clone(),
             model: model_path.clone(),
             scores: None,
+            nodes: None,
+            all: false,
+            batch: None,
+            explain: false,
+            metrics: None,
         })
         .unwrap();
         let body = out

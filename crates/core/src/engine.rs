@@ -1,0 +1,425 @@
+//! Parked-model scoring engine: batched, parallel serving over precomputed
+//! inference invariants (DESIGN.md §5i).
+//!
+//! A deployed detector scores nodes millions of times against one trained
+//! model; the one-shot [`Umgad::anomaly_scores`] path pays the full encoder
+//! forward passes and view reconstructions on every call. Parking a model
+//! runs that expensive part once — the reconstruction bundles, the per-node
+//! error vectors, the relation reliability weights, and every
+//! z-standardisation statistic are frozen into an immutable [`ScoreCache`] —
+//! so each subsequent request only pays the per-node score assembly, fanned
+//! out over the persistent worker pool with deterministic row partitioning.
+//!
+//! The serving contract is the same bitwise one the trainer honours (PRs
+//! 2/7): a parked score for node `i` is byte-identical to
+//! `anomaly_scores(graph)[i]`, at any `UMGAD_THREADS`, for any request
+//! batching. `tests/scoring_determinism.rs` enforces it with
+//! subprocess-isolated thread counts.
+
+use std::path::Path;
+use std::time::Instant;
+
+use umgad_graph::MultiplexGraph;
+use umgad_rt::telemetry as tm;
+
+use crate::model::{ScoreExplanation, Umgad};
+use crate::ops::{Lineage, DEFAULT_KEEP};
+use crate::score::{ViewCache, ViewRecon};
+
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One view's parked state: the reconstruction bundle the encoders produced
+/// and the frozen scoring invariants derived from it.
+struct ParkedView {
+    name: &'static str,
+    recon: ViewRecon,
+    cache: ViewCache,
+}
+
+/// Immutable inference invariants of one `(model, graph)` pair: everything
+/// scoring needs that does not depend on which nodes a request asks about.
+///
+/// Per active view this holds the attribute readouts and per-relation
+/// embeddings `Z` (the encoder forward passes), plus the [`ViewCache`] of
+/// per-node error components and frozen z-standardisation statistics. Once
+/// built it is only ever read, so request threads share it without
+/// synchronisation.
+pub struct ScoreCache {
+    views: Vec<ParkedView>,
+    num_nodes: usize,
+}
+
+impl ScoreCache {
+    /// Run the forward passes and freeze every scoring invariant.
+    pub fn build(model: &Umgad, graph: &MultiplexGraph) -> Self {
+        let opts = model.score_options();
+        let views: Vec<ParkedView> = model
+            .debug_views(graph)
+            .into_iter()
+            .map(|(name, recon)| {
+                let cache = ViewCache::build(&recon, graph, &opts);
+                ParkedView { name, recon, cache }
+            })
+            .collect();
+        assert!(
+            !views.is_empty(),
+            "cannot park a model whose ablation disables every view"
+        );
+        Self {
+            views,
+            num_nodes: graph.num_nodes(),
+        }
+    }
+
+    /// Number of nodes the cache covers.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Names of the active views, in scoring order.
+    pub fn view_names(&self) -> Vec<&'static str> {
+        self.views.iter().map(|v| v.name).collect()
+    }
+
+    /// Final Eq. 19 score for node `i` — bitwise what
+    /// `Umgad::anomaly_scores(graph)[i]` computes (same per-view values,
+    /// same accumulation order as `combine_views`).
+    #[inline]
+    pub fn node_score(&self, i: usize) -> f64 {
+        let mut out = 0.0;
+        for v in &self.views {
+            out += v.cache.node_score(i) / self.views.len() as f64;
+        }
+        out
+    }
+
+    /// Per-view explanation for node `i` — bitwise what `Umgad::explain`
+    /// reports, served from the cache without re-running the encoders.
+    pub fn explain_node(&self, i: usize) -> Vec<ScoreExplanation> {
+        assert!(i < self.num_nodes, "node {i} out of range");
+        self.views
+            .iter()
+            .map(|v| ScoreExplanation {
+                view: v.name,
+                attribute_z: v.cache.explain_attr(i),
+                structure_z: v.cache.explain_struct(i),
+            })
+            .collect()
+    }
+
+    /// Approximate resident bytes of the parked state (reconstruction
+    /// matrices + frozen vectors), for the `serve.cache_bytes` gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let f64s = std::mem::size_of::<f64>();
+        self.views
+            .iter()
+            .map(|v| {
+                let mats = v
+                    .recon
+                    .attrs
+                    .iter()
+                    .chain(&v.recon.structure)
+                    .map(|m| m.rows() * m.cols() * f64s)
+                    .sum::<usize>();
+                mats + v.cache.approx_bytes()
+            })
+            .sum()
+    }
+}
+
+/// A model parked for serving: the trained [`Umgad`], the graph it scores,
+/// and the [`ScoreCache`] of precomputed inference invariants.
+pub struct ParkedModel {
+    model: Umgad,
+    graph: MultiplexGraph,
+    cache: ScoreCache,
+}
+
+impl ParkedModel {
+    /// Park a trained model: run the forward passes once and freeze the
+    /// scoring invariants. Records a `serve.park` span and the
+    /// `serve.cache_bytes` gauge.
+    pub fn park(model: Umgad, graph: MultiplexGraph) -> Self {
+        let t0 = Instant::now();
+        let cache = ScoreCache::build(&model, &graph);
+        tm::record_span_ns("serve.park", elapsed_ns(t0));
+        tm::gauge_set("serve.cache_bytes", cache.approx_bytes() as f64);
+        Self {
+            model,
+            graph,
+            cache,
+        }
+    }
+
+    /// Load a model from `path` and park it against `graph`.
+    ///
+    /// `path` may be a single checkpoint file — a scoring [`Checkpoint`]
+    /// (`Umgad::save`) or a full [`TrainCheckpoint`] — or a checkpoint
+    /// lineage directory (PR 8), in which case the newest manifest entry
+    /// whose seal verifies is used.
+    ///
+    /// [`Checkpoint`]: crate::persist::Checkpoint
+    /// [`TrainCheckpoint`]: crate::persist::TrainCheckpoint
+    pub fn load(path: &Path, graph: MultiplexGraph) -> Result<Self, String> {
+        let model = Self::resolve_model(path, &graph)?;
+        Ok(Self::park(model, graph))
+    }
+
+    fn resolve_model(path: &Path, graph: &MultiplexGraph) -> Result<Umgad, String> {
+        if path.is_dir() {
+            let lineage = Lineage::load_readonly(path, DEFAULT_KEEP)
+                .map_err(|e| format!("open lineage {}: {e}", path.display()))?;
+            let (resumed, warnings) = lineage.resume_newest_valid(graph);
+            match resumed {
+                Some((model, _entry)) => Ok(model),
+                None => Err(format!(
+                    "no loadable checkpoint in lineage {}{}",
+                    path.display(),
+                    if warnings.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" ({})", warnings.join("; "))
+                    }
+                )),
+            }
+        } else {
+            match Umgad::load(path, graph) {
+                Ok(model) => Ok(model),
+                Err(score_err) => Umgad::resume_from_file(path, graph).map_err(|train_err| {
+                    format!(
+                        "load {}: not a scoring checkpoint ({score_err}) nor a training \
+                         checkpoint ({train_err})",
+                        path.display()
+                    )
+                }),
+            }
+        }
+    }
+
+    /// The graph the model is parked against.
+    pub fn graph(&self) -> &MultiplexGraph {
+        &self.graph
+    }
+
+    /// The parked model.
+    pub fn model(&self) -> &Umgad {
+        &self.model
+    }
+
+    /// The frozen scoring invariants.
+    pub fn cache(&self) -> &ScoreCache {
+        &self.cache
+    }
+
+    /// Number of scorable nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.cache.num_nodes()
+    }
+
+    /// Score one node.
+    #[inline]
+    pub fn score_node(&self, node: usize) -> f64 {
+        assert!(node < self.num_nodes(), "node {node} out of range");
+        self.cache.node_score(node)
+    }
+
+    /// Score one request (a node subset), fanned out over the worker pool.
+    /// Records a `serve.request` span and the `serve.nodes` counter.
+    pub fn score_nodes(&self, nodes: &[usize]) -> Vec<f64> {
+        let t0 = Instant::now();
+        for &i in nodes {
+            assert!(i < self.num_nodes(), "node {i} out of range");
+        }
+        let threads = umgad_tensor::default_threads();
+        let out =
+            umgad_tensor::parallel_rows(nodes.len(), threads, |k| self.cache.node_score(nodes[k]));
+        tm::record_span_ns("serve.request", elapsed_ns(t0));
+        tm::counter_add("serve.requests", 1);
+        tm::counter_add("serve.nodes", nodes.len() as u64);
+        out
+    }
+
+    /// Score every node, in node order.
+    pub fn score_all(&self) -> Vec<f64> {
+        let all: Vec<usize> = (0..self.num_nodes()).collect();
+        self.score_nodes(&all)
+    }
+
+    /// Explain one node (bitwise `Umgad::explain`, served from the cache).
+    pub fn explain_node(&self, node: usize) -> Vec<ScoreExplanation> {
+        self.cache.explain_node(node)
+    }
+}
+
+/// Many scoring requests against one parked model, answered in one parallel
+/// fan-out.
+///
+/// All requests' rows are flattened into a single work list and partitioned
+/// contiguously over the worker pool, so a large batch saturates the pool
+/// even when individual requests are small. Results come back per request,
+/// in push order; every score is bitwise-identical to the one-shot path
+/// regardless of thread count or how the node set was split into requests
+/// (each row is produced independently by the same pure function).
+pub struct ScoreBatch<'a> {
+    parked: &'a ParkedModel,
+    requests: Vec<Vec<usize>>,
+}
+
+impl<'a> ScoreBatch<'a> {
+    /// Start an empty batch against `parked`.
+    pub fn new(parked: &'a ParkedModel) -> Self {
+        Self {
+            parked,
+            requests: Vec::new(),
+        }
+    }
+
+    /// Queue one request; returns its index into [`ScoreBatch::run`]'s
+    /// result.
+    pub fn push(&mut self, nodes: Vec<usize>) -> usize {
+        for &i in &nodes {
+            assert!(i < self.parked.num_nodes(), "node {i} out of range");
+        }
+        self.requests.push(nodes);
+        self.requests.len() - 1
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Answer every queued request. Records a `serve.batch` span plus the
+    /// `serve.requests` / `serve.nodes` counters.
+    pub fn run(&self) -> Vec<Vec<f64>> {
+        let t0 = Instant::now();
+        let total: usize = self.requests.iter().map(|r| r.len()).sum();
+        let flat: Vec<usize> = self
+            .requests
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect();
+        let threads = umgad_tensor::default_threads();
+        let scores =
+            umgad_tensor::parallel_rows(total, threads, |k| self.parked.cache.node_score(flat[k]));
+        let mut out = Vec::with_capacity(self.requests.len());
+        let mut off = 0;
+        for r in &self.requests {
+            out.push(scores[off..off + r.len()].to_vec());
+            off += r.len();
+        }
+        tm::record_span_ns("serve.batch", elapsed_ns(t0));
+        tm::counter_add("serve.requests", self.requests.len() as u64);
+        tm::counter_add("serve.nodes", total as u64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UmgadConfig;
+
+    fn trained_pair() -> (Umgad, MultiplexGraph) {
+        let graph = crate::model::tests::planted_graph(7);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.seed = 5;
+        let mut model = Umgad::new(&graph, cfg);
+        model.train(&graph);
+        (model, graph)
+    }
+
+    #[test]
+    fn parked_scores_match_one_shot_bitwise() {
+        let (model, graph) = trained_pair();
+        let oneshot = model.anomaly_scores(&graph);
+        let parked = ParkedModel::park(model, graph);
+        let served = parked.score_all();
+        assert_eq!(served.len(), oneshot.len());
+        for (i, (a, b)) in served.iter().zip(&oneshot).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "node {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batch_split_invariant() {
+        let (model, graph) = trained_pair();
+        let parked = ParkedModel::park(model, graph);
+        let n = parked.num_nodes();
+        let all: Vec<usize> = (0..n).collect();
+        let whole = parked.score_nodes(&all);
+        // Any partition of the same node set yields the same bytes.
+        for batch_size in [1usize, 7, 64, n] {
+            let mut batch = ScoreBatch::new(&parked);
+            for chunk in all.chunks(batch_size) {
+                batch.push(chunk.to_vec());
+            }
+            let per_request = batch.run();
+            let stitched: Vec<f64> = per_request.into_iter().flatten().collect();
+            assert_eq!(stitched.len(), whole.len());
+            for (a, b) in stitched.iter().zip(&whole) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Requests may also overlap or reorder nodes freely.
+        let mut batch = ScoreBatch::new(&parked);
+        batch.push(vec![5, 3, 5]);
+        let out = batch.run();
+        assert_eq!(out[0][0].to_bits(), whole[5].to_bits());
+        assert_eq!(out[0][1].to_bits(), whole[3].to_bits());
+        assert_eq!(out[0][2].to_bits(), whole[5].to_bits());
+    }
+
+    #[test]
+    fn parked_explain_matches_one_shot() {
+        let (model, graph) = trained_pair();
+        let want = model.explain(&graph, 3);
+        let parked = ParkedModel::park(model, graph);
+        let got = parked.explain_node(3);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.view, w.view);
+            assert_eq!(g.attribute_z.to_bits(), w.attribute_z.to_bits());
+            assert_eq!(g.structure_z.to_bits(), w.structure_z.to_bits());
+        }
+    }
+
+    #[test]
+    fn load_parks_from_scoring_checkpoint_and_lineage_dir() {
+        let (model, graph) = trained_pair();
+        let want = model.anomaly_scores(&graph);
+        let dir = std::env::temp_dir().join(format!("umgad-engine-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Scoring checkpoint file.
+        let ckpt = dir.join("model.ckpt");
+        model.save(&ckpt).unwrap();
+        let parked = ParkedModel::load(&ckpt, graph.clone()).unwrap();
+        let got = parked.score_all();
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Lineage directory: newest valid manifest entry is parked.
+        let lineage_dir = dir.join("lineage");
+        let mut lineage = Lineage::open(&lineage_dir, DEFAULT_KEEP).unwrap();
+        lineage.record(&model).unwrap();
+        let parked = ParkedModel::load(&lineage_dir, graph.clone()).unwrap();
+        let got = parked.score_all();
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Missing file: a readable error, not a panic.
+        let err = match ParkedModel::load(&dir.join("nope.ckpt"), graph) {
+            Err(e) => e,
+            Ok(_) => panic!("loading a missing checkpoint must fail"),
+        };
+        assert!(err.contains("nope.ckpt"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod eval;
 pub mod model;
 pub mod ops;
@@ -39,6 +40,7 @@ pub mod score;
 pub mod threshold;
 
 pub use config::{Ablation, UmgadConfig};
+pub use engine::{ParkedModel, ScoreBatch, ScoreCache};
 pub use eval::{
     average_precision, macro_f1_at, oracle_threshold, precision_at_k, recall_at_k, roc_auc,
     Confusion,
@@ -51,7 +53,10 @@ pub use ops::{
     TrainOutcome,
 };
 pub use persist::{Checkpoint, PersistError, TrainCheckpoint};
-pub use score::{combine_views, structure_errors_layer, view_scores, ScoreOptions, ViewRecon};
+pub use score::{
+    combine_views, structure_errors_layer, view_scores, ScoreOptions, StdStats, ViewCache,
+    ViewRecon,
+};
 pub use threshold::{
     apply_threshold, default_window, moving_average, select_threshold,
     select_threshold_with_window, ThresholdDecision,

@@ -1427,17 +1427,24 @@ impl Umgad {
         out
     }
 
-    /// Compute per-node anomaly scores `S(i)` (Eq. 19), averaging the active
-    /// views.
-    pub fn anomaly_scores(&self, graph: &MultiplexGraph) -> Vec<f64> {
-        let opts = ScoreOptions {
+    /// The `ScoreOptions` slice of this model's config — the single source
+    /// of truth for every scoring entry point (`anomaly_scores`, `explain`,
+    /// `detect`, and the parked-model serving engine).
+    pub fn score_options(&self) -> ScoreOptions {
+        ScoreOptions {
             epsilon: self.cfg.epsilon,
             dense_limit: self.cfg.dense_score_limit,
             negatives: self.cfg.score_negatives,
             standardize: true,
             seed: self.cfg.seed,
             ..ScoreOptions::default()
-        };
+        }
+    }
+
+    /// Compute per-node anomaly scores `S(i)` (Eq. 19), averaging the active
+    /// views.
+    pub fn anomaly_scores(&self, graph: &MultiplexGraph) -> Vec<f64> {
+        let opts = self.score_options();
         let ab = self.cfg.ablation;
         let mut views = Vec::new();
         if ab.original_view {
@@ -1462,39 +1469,18 @@ impl Umgad {
     /// implausibility — and in which view.
     pub fn explain(&self, graph: &MultiplexGraph, node: usize) -> Vec<ScoreExplanation> {
         assert!(node < graph.num_nodes(), "node {node} out of range");
-        let opts = ScoreOptions {
-            epsilon: self.cfg.epsilon,
-            dense_limit: self.cfg.dense_score_limit,
-            negatives: self.cfg.score_negatives,
-            standardize: true,
-            seed: self.cfg.seed,
-            ..ScoreOptions::default()
-        };
+        let opts = self.score_options();
         self.debug_views(graph)
             .into_iter()
             .map(|(view, recon)| {
-                // Average the standardised error over the view's readouts.
-                let n = graph.num_nodes();
-                let mut attr = vec![0.0; n];
-                for readout in &recon.attrs {
-                    let mut e = crate::score::attribute_errors(readout, graph.attrs());
-                    crate::score::standardize(&mut e);
-                    for (a, v) in attr.iter_mut().zip(e) {
-                        *a += v / recon.attrs.len() as f64;
-                    }
-                }
-                let mut structure = vec![0.0; n];
-                for (r, z) in recon.structure.iter().enumerate() {
-                    let mut e = crate::score::structure_errors(z, graph, r, &opts);
-                    crate::score::standardize(&mut e);
-                    for (s, v) in structure.iter_mut().zip(e) {
-                        *s += v / recon.structure.len() as f64;
-                    }
-                }
+                // The cache carries the uniform-weighted standardised error
+                // components explain reports; building it here keeps this
+                // path and the parked-model `explain` one code path.
+                let cache = crate::score::ViewCache::build(&recon, graph, &opts);
                 ScoreExplanation {
                     view,
-                    attribute_z: attr[node],
-                    structure_z: structure[node],
+                    attribute_z: cache.explain_attr(node),
+                    structure_z: cache.explain_struct(node),
                 }
             })
             .collect()
@@ -1543,7 +1529,7 @@ pub(crate) mod tests {
 
     /// A small two-relation graph with planted attribute + clique anomalies
     /// that UMGAD should separate comfortably.
-    fn planted_graph(seed: u64) -> MultiplexGraph {
+    pub(crate) fn planted_graph(seed: u64) -> MultiplexGraph {
         let mut rng = SmallRng::seed_from_u64(seed);
         let n = 160;
         let f = 8;

@@ -86,11 +86,23 @@ impl Default for ScoreOptions {
     }
 }
 
+/// Per-node attribute error `‖x̃(i) − x(i)‖₁` for one node.
+#[inline]
+pub fn attribute_error_node(recon: &Matrix, original: &Matrix, i: usize) -> f64 {
+    l1_distance(recon.row(i), original.row(i))
+}
+
+/// Per-node angular attribute error `1 − cos(x̃(i), x(i))` for one node.
+#[inline]
+pub fn attribute_cosine_error_node(recon: &Matrix, original: &Matrix, i: usize) -> f64 {
+    1.0 - umgad_tensor::cosine(recon.row(i), original.row(i))
+}
+
 /// Per-node attribute error `‖x̃(i) − x(i)‖₁`.
 pub fn attribute_errors(recon: &Matrix, original: &Matrix) -> Vec<f64> {
     assert_eq!(recon.shape(), original.shape());
     (0..recon.rows())
-        .map(|i| l1_distance(recon.row(i), original.row(i)))
+        .map(|i| attribute_error_node(recon, original, i))
         .collect()
 }
 
@@ -99,7 +111,7 @@ pub fn attribute_errors(recon: &Matrix, original: &Matrix) -> Vec<f64> {
 pub fn attribute_cosine_errors(recon: &Matrix, original: &Matrix) -> Vec<f64> {
     assert_eq!(recon.shape(), original.shape());
     (0..recon.rows())
-        .map(|i| 1.0 - umgad_tensor::cosine(recon.row(i), original.row(i)))
+        .map(|i| attribute_cosine_error_node(recon, original, i))
         .collect()
 }
 
@@ -127,91 +139,130 @@ pub fn structure_errors_layer(
 ) -> Vec<f64> {
     let n = layer.num_nodes();
     assert_eq!(z.rows(), n);
-    let relation = salt as usize;
+    let threads = umgad_tensor::default_threads();
     if n <= opts.dense_limit {
         // Exact: full row of σ(z_i · z_j) against the 0/1 adjacency row.
         // O(|V|²·f) — fanned out per node chunk over the persistent worker
         // pool (umgad_rt::pool); chunking is by row, so scores are bitwise
         // independent of the thread count.
-        let threads = umgad_tensor::default_threads();
-        let chunk = n.div_ceil(threads.max(1)).max(1);
-        let starts: Vec<usize> = (0..n).step_by(chunk).collect();
-        let per_chunk = umgad_tensor::parallel_map(starts, threads, |start| {
-            let end = (start + chunk).min(n);
-            (start..end)
-                .map(|i| {
-                    let zi = z.row(i);
-                    let mut acc = 0.0;
-                    let mut nbrs = layer.neighbors(i).iter().peekable();
-                    for j in 0..n {
-                        let a = match nbrs.peek() {
-                            Some(&&c) if c as usize == j => {
-                                nbrs.next();
-                                1.0
-                            }
-                            _ => 0.0,
-                        };
-                        let p = sigmoid(opts.logit_scale * dot(zi, z.row(j)));
-                        let d = p - a;
-                        acc += d * d;
-                    }
-                    let norm = if opts.degree_normalize {
-                        ((layer.degree(i) + 1) as f64).sqrt()
-                    } else {
-                        1.0
-                    };
-                    acc.sqrt() / norm
-                })
-                .collect::<Vec<f64>>()
-        });
-        per_chunk.into_iter().flatten().collect()
+        umgad_tensor::parallel_rows(n, threads, |i| {
+            structure_error_node_dense(z, layer, i, opts)
+        })
     } else {
         // Sampled: all neighbours (capped) + `negatives` random columns,
-        // rescaled so the estimate is comparable to the dense norm.
-        let mut rng = SmallRng::seed_from_u64(opts.seed ^ (relation as u64).wrapping_mul(0x9e37));
-        const NEIGHBOR_CAP: usize = 64;
-        (0..n)
-            .map(|i| {
-                let zi = z.row(i);
-                let nbrs = layer.neighbors(i);
-                let take = nbrs.len().min(NEIGHBOR_CAP);
-                // Positive part: Σ over neighbours of (σ(z_i·z_j) − 1)²,
-                // estimated from a capped sample of neighbours.
-                let mut pos = 0.0;
-                for &c in nbrs.iter().take(take) {
-                    let p = sigmoid(opts.logit_scale * dot(zi, z.row(c as usize)));
-                    let d = p - 1.0;
-                    pos += d * d;
-                }
-                if take > 0 && nbrs.len() > take {
-                    pos *= nbrs.len() as f64 / take as f64;
-                }
-                // Negative part: Σ over non-neighbours of σ(z_i·z_j)²,
-                // estimated from sampled columns scaled to the population.
-                let non_nbrs = n.saturating_sub(1 + nbrs.len());
-                let mut neg = 0.0;
-                let mut sampled = 0usize;
-                for _ in 0..opts.negatives {
-                    let j = rng.gen_range(0..n);
-                    if j == i || nbrs.binary_search(&(j as u32)).is_ok() {
-                        continue;
-                    }
-                    let p = sigmoid(opts.logit_scale * dot(zi, z.row(j)));
-                    neg += p * p;
-                    sampled += 1;
-                }
-                if sampled > 0 {
-                    neg *= non_nbrs as f64 / sampled as f64;
-                }
-                let norm = if opts.degree_normalize {
-                    ((nbrs.len() + 1) as f64).sqrt()
-                } else {
-                    1.0
-                };
-                (pos + neg).sqrt() / norm
-            })
-            .collect()
+        // rescaled so the estimate is comparable to the dense norm. The
+        // column draws are hoisted out of the per-node loop into one
+        // sequential table, leaving an RNG-free per-node body that fans out
+        // like the dense branch.
+        let cols = sampled_columns(n, salt, opts);
+        umgad_tensor::parallel_rows(n, threads, |i| {
+            let node_cols = &cols[i * opts.negatives..(i + 1) * opts.negatives];
+            structure_error_node_sampled(z, layer, i, node_cols, opts)
+        })
     }
+}
+
+/// Cap on per-node neighbour terms in the sampled structure estimate.
+const NEIGHBOR_CAP: usize = 64;
+
+/// Exact structure error of one node: full σ(scale·z_i·z_j) row against the
+/// 0/1 adjacency row. Shared by the one-shot scorer and the serving engine
+/// so the two paths cannot drift.
+pub fn structure_error_node_dense(
+    z: &Matrix,
+    layer: &umgad_graph::RelationLayer,
+    i: usize,
+    opts: &ScoreOptions,
+) -> f64 {
+    let n = layer.num_nodes();
+    let zi = z.row(i);
+    let mut acc = 0.0;
+    let mut nbrs = layer.neighbors(i).iter().peekable();
+    for j in 0..n {
+        let a = match nbrs.peek() {
+            Some(&&c) if c as usize == j => {
+                nbrs.next();
+                1.0
+            }
+            _ => 0.0,
+        };
+        let p = sigmoid(opts.logit_scale * dot(zi, z.row(j)));
+        let d = p - a;
+        acc += d * d;
+    }
+    let norm = if opts.degree_normalize {
+        ((layer.degree(i) + 1) as f64).sqrt()
+    } else {
+        1.0
+    };
+    acc.sqrt() / norm
+}
+
+/// Sampled structure error of one node, given its `negatives` pre-drawn
+/// candidate columns (see [`sampled_columns`]).
+pub fn structure_error_node_sampled(
+    z: &Matrix,
+    layer: &umgad_graph::RelationLayer,
+    i: usize,
+    node_cols: &[u32],
+    opts: &ScoreOptions,
+) -> f64 {
+    let n = layer.num_nodes();
+    let zi = z.row(i);
+    let nbrs = layer.neighbors(i);
+    let take = nbrs.len().min(NEIGHBOR_CAP);
+    // Positive part: Σ over neighbours of (σ(z_i·z_j) − 1)², estimated from
+    // a capped sample of neighbours.
+    let mut pos = 0.0;
+    for &c in nbrs.iter().take(take) {
+        let p = sigmoid(opts.logit_scale * dot(zi, z.row(c as usize)));
+        let d = p - 1.0;
+        pos += d * d;
+    }
+    if take > 0 && nbrs.len() > take {
+        pos *= nbrs.len() as f64 / take as f64;
+    }
+    // Negative part: Σ over non-neighbours of σ(z_i·z_j)², estimated from
+    // the sampled columns scaled to the population.
+    let non_nbrs = n.saturating_sub(1 + nbrs.len());
+    let mut neg = 0.0;
+    let mut sampled = 0usize;
+    for &j in node_cols {
+        let j = j as usize;
+        if j == i || nbrs.binary_search(&(j as u32)).is_ok() {
+            continue;
+        }
+        let p = sigmoid(opts.logit_scale * dot(zi, z.row(j)));
+        neg += p * p;
+        sampled += 1;
+    }
+    if sampled > 0 {
+        neg *= non_nbrs as f64 / sampled as f64;
+    }
+    let norm = if opts.degree_normalize {
+        ((nbrs.len() + 1) as f64).sqrt()
+    } else {
+        1.0
+    };
+    (pos + neg).sqrt() / norm
+}
+
+/// The candidate-column table for sampled-mode structure errors: row `i`
+/// holds the `negatives` columns node `i` tests against.
+///
+/// The table is drawn from one sequential `SmallRng` stream, exactly as the
+/// pre-hoist code drew them interleaved with the per-node evaluation: each
+/// node consumes exactly `negatives` `gen_range` calls regardless of the
+/// graph (rejected columns are skipped at *evaluation* time, not re-drawn),
+/// so pre-drawing the whole table reproduces the historical stream bitwise
+/// while leaving the hot per-node body RNG-free — which is what lets the
+/// sampled branch fan out over the worker pool and lets a parked model
+/// reuse one table across views (`seed` and `salt` do not vary by view).
+pub fn sampled_columns(n: usize, salt: u64, opts: &ScoreOptions) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ salt.wrapping_mul(0x9e37));
+    (0..n * opts.negatives)
+        .map(|_| rng.gen_range(0..n) as u32)
+        .collect()
 }
 
 /// Unsupervised reliability of one relation's structure reconstruction:
@@ -254,86 +305,253 @@ pub fn relation_reliability(
     (pos / samples as f64 - neg / neg_n as f64).max(0.0)
 }
 
+/// Frozen z-standardisation statistics: capture once from a population with
+/// [`StdStats::from_slice`], replay on any value with [`StdStats::apply`].
+///
+/// `standardize(v)` ≡ `StdStats::from_slice(v).apply_in_place(v)` by
+/// construction (same mean/variance expressions, same `(x − mean) / sd`
+/// transform, same degenerate-population guards), so a cached `StdStats`
+/// reproduces the historical in-place transform bitwise — the property the
+/// parked-model serving path depends on (DESIGN.md §5i).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StdStats {
+    /// Population mean.
+    pub mean: f64,
+    /// Population standard deviation (biased, `/n` — matching the in-place
+    /// transform this replays).
+    pub sd: f64,
+    /// `false` when the transform is a no-op: fewer than two samples, or
+    /// spread below `1e-12`.
+    pub active: bool,
+}
+
+impl StdStats {
+    /// Stats that apply as the identity (used when `standardize` is off).
+    pub const INACTIVE: StdStats = StdStats {
+        mean: 0.0,
+        sd: 1.0,
+        active: false,
+    };
+
+    /// Capture the standardisation a call to [`standardize`] would perform
+    /// on `v`.
+    pub fn from_slice(v: &[f64]) -> Self {
+        let n = v.len() as f64;
+        if n < 2.0 {
+            return Self::INACTIVE;
+        }
+        let mean = v.iter().sum::<f64>() / n;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let sd = var.sqrt();
+        if sd < 1e-12 {
+            return Self::INACTIVE;
+        }
+        Self {
+            mean,
+            sd,
+            active: true,
+        }
+    }
+
+    /// Replay the captured transform on one value.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        if self.active {
+            (x - self.mean) / self.sd
+        } else {
+            x
+        }
+    }
+
+    /// Replay the captured transform in place.
+    pub fn apply_in_place(&self, v: &mut [f64]) {
+        if !self.active {
+            return;
+        }
+        for x in v.iter_mut() {
+            *x = (*x - self.mean) / self.sd;
+        }
+    }
+}
+
 /// z-standardise in place (no-op when the spread is ~0).
 pub fn standardize(v: &mut [f64]) {
-    let n = v.len() as f64;
-    if n < 2.0 {
-        return;
+    StdStats::from_slice(v).apply_in_place(v);
+}
+
+/// Frozen per-view scoring invariants. Everything in here is a pure function
+/// of `(view reconstruction, graph, opts)` — nothing depends on which nodes
+/// a request later asks about — so it is computed once (when a model is
+/// parked, or at the top of a one-shot `view_scores` call) and then read
+/// concurrently by every scoring thread:
+///
+/// - the per-node attribute and structure *components* (per-readout and
+///   per-relation errors, standardised at their own level and accumulated
+///   with the historical expressions and ordering),
+/// - the final-level z-standardisation statistics over those components,
+/// - the relation reliability weights,
+/// - the uniform-weighted diagnostic components `explain` reports.
+///
+/// [`ViewCache::node_score`] replays exactly the arithmetic the in-place
+/// pipeline applied — [`view_scores`] itself is build-then-evaluate, so the
+/// one-shot and parked paths are one code path and cannot drift.
+#[derive(Clone, Debug)]
+pub struct ViewCache {
+    /// Per-node attribute component (post per-readout standardisation,
+    /// averaged over readouts; pre final standardisation).
+    attr: Vec<f64>,
+    /// Per-node structure component (post per-relation standardisation,
+    /// reliability-weighted; pre final standardisation).
+    structure: Vec<f64>,
+    /// Final-level stats frozen over `attr` / `structure`.
+    attr_stats: StdStats,
+    struct_stats: StdStats,
+    /// Attribute/structure mix `ε` the cache was built with.
+    epsilon: f64,
+    /// Blended relation reliability weights.
+    pub rel_w: Vec<f64>,
+    /// Diagnostic components matching `Umgad::explain`: standardised L1
+    /// attribute error and uniform-weighted standardised structure error.
+    explain_attr: Vec<f64>,
+    explain_struct: Vec<f64>,
+}
+
+impl ViewCache {
+    /// Compute one view's scoring invariants (Eq. 19 for a fixed `*`).
+    pub fn build(view: &ViewRecon, graph: &MultiplexGraph, opts: &ScoreOptions) -> Self {
+        let n = graph.num_nodes();
+        // Attribute term: blend of the magnitude-sensitive L1 error (Eq.
+        // 19's ‖·‖₁) and the angular error matching the Eq. 4 training
+        // objective; each is z-standardised so the blend is scale-free, then
+        // averaged over the view's readouts (held-out and plain
+        // reconstruction).
+        assert!(
+            !view.attrs.is_empty(),
+            "a view needs at least one attribute readout"
+        );
+        let mut attr = vec![0.0; n];
+        let mut explain_attr = vec![0.0; n];
+        for readout in &view.attrs {
+            let mut l1 = attribute_errors(readout, graph.attrs());
+            let mut cos = attribute_cosine_errors(readout, graph.attrs());
+            let mut diag = l1.clone();
+            standardize(&mut diag);
+            for (a, v) in explain_attr.iter_mut().zip(diag) {
+                *a += v / view.attrs.len() as f64;
+            }
+            if opts.standardize {
+                standardize(&mut l1);
+                standardize(&mut cos);
+            }
+            for ((a, l), c) in attr.iter_mut().zip(&l1).zip(&cos) {
+                *a += (0.5 * l + 0.5 * c) / view.attrs.len() as f64;
+            }
+        }
+        let mut structure = vec![0.0; n];
+        let mut explain_struct = vec![0.0; n];
+        // Relation weights: unsupervised reliability (edge separation) of
+        // each relation's reconstruction; uniform 1/R when nothing
+        // separates.
+        let mut rel_w: Vec<f64> = view
+            .structure
+            .iter()
+            .enumerate()
+            .map(|(rel, z)| relation_reliability(z, graph.layer(rel), opts))
+            .collect();
+        let total_w: f64 = rel_w.iter().sum();
+        let uniform = 1.0 / rel_w.len().max(1) as f64;
+        if total_w < 1e-9 {
+            rel_w.iter_mut().for_each(|w| *w = uniform);
+        } else {
+            // Blend with uniform so a single separable relation cannot
+            // silence the others entirely.
+            rel_w
+                .iter_mut()
+                .for_each(|w| *w = 0.5 * *w / total_w + 0.5 * uniform);
+        }
+        for (rel, z) in view.structure.iter().enumerate() {
+            let mut errs = structure_errors(z, graph, rel, opts);
+            let mut diag = errs.clone();
+            standardize(&mut diag);
+            for (s, v) in explain_struct.iter_mut().zip(diag) {
+                *s += v / view.structure.len() as f64;
+            }
+            if opts.standardize {
+                // Standardise per relation before averaging: the dense
+                // similarity relations otherwise drown the sparse ones whose
+                // reconstruction actually separates anomalies.
+                standardize(&mut errs);
+            }
+            for (s, e) in structure.iter_mut().zip(errs) {
+                *s += rel_w[rel] * e;
+            }
+        }
+        let (attr_stats, struct_stats) = if opts.standardize {
+            (
+                StdStats::from_slice(&attr),
+                StdStats::from_slice(&structure),
+            )
+        } else {
+            (StdStats::INACTIVE, StdStats::INACTIVE)
+        };
+        Self {
+            attr,
+            structure,
+            attr_stats,
+            struct_stats,
+            epsilon: opts.epsilon,
+            rel_w,
+            explain_attr,
+            explain_struct,
+        }
     }
-    let mean = v.iter().sum::<f64>() / n;
-    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-    let sd = var.sqrt();
-    if sd < 1e-12 {
-        return;
+
+    /// Number of nodes the cache covers.
+    pub fn num_nodes(&self) -> usize {
+        self.attr.len()
     }
-    for x in v.iter_mut() {
-        *x = (*x - mean) / sd;
+
+    /// This view's Eq. 19 score for node `i` — bitwise what [`view_scores`]
+    /// puts at index `i`.
+    #[inline]
+    pub fn node_score(&self, i: usize) -> f64 {
+        self.epsilon * self.attr_stats.apply(self.attr[i])
+            + (1.0 - self.epsilon) * self.struct_stats.apply(self.structure[i])
+    }
+
+    /// All node scores, in node order.
+    pub fn scores(&self) -> Vec<f64> {
+        (0..self.num_nodes()).map(|i| self.node_score(i)).collect()
+    }
+
+    /// Diagnostic standardised attribute error (the `attribute_z` an
+    /// `explain` call reports for this view).
+    #[inline]
+    pub fn explain_attr(&self, i: usize) -> f64 {
+        self.explain_attr[i]
+    }
+
+    /// Diagnostic standardised structure error (the `structure_z` an
+    /// `explain` call reports for this view).
+    #[inline]
+    pub fn explain_struct(&self, i: usize) -> f64 {
+        self.explain_struct[i]
+    }
+
+    /// Approximate resident size of the cached vectors, for telemetry.
+    pub fn approx_bytes(&self) -> usize {
+        (self.attr.len()
+            + self.structure.len()
+            + self.explain_attr.len()
+            + self.explain_struct.len()
+            + self.rel_w.len())
+            * std::mem::size_of::<f64>()
     }
 }
 
 /// Score one view (Eq. 19 for a fixed `*`).
 pub fn view_scores(view: &ViewRecon, graph: &MultiplexGraph, opts: &ScoreOptions) -> Vec<f64> {
-    let n = graph.num_nodes();
-    // Attribute term: blend of the magnitude-sensitive L1 error (Eq. 19's
-    // ‖·‖₁) and the angular error matching the Eq. 4 training objective;
-    // each is z-standardised so the blend is scale-free, then averaged over
-    // the view's readouts (held-out and plain reconstruction).
-    assert!(
-        !view.attrs.is_empty(),
-        "a view needs at least one attribute readout"
-    );
-    let mut attr = vec![0.0; n];
-    for readout in &view.attrs {
-        let mut l1 = attribute_errors(readout, graph.attrs());
-        let mut cos = attribute_cosine_errors(readout, graph.attrs());
-        if opts.standardize {
-            standardize(&mut l1);
-            standardize(&mut cos);
-        }
-        for ((a, l), c) in attr.iter_mut().zip(&l1).zip(&cos) {
-            *a += (0.5 * l + 0.5 * c) / view.attrs.len() as f64;
-        }
-    }
-    let mut structure = vec![0.0; n];
-    // Relation weights: unsupervised reliability (edge separation) of each
-    // relation's reconstruction; uniform 1/R when nothing separates.
-    let mut rel_w: Vec<f64> = view
-        .structure
-        .iter()
-        .enumerate()
-        .map(|(rel, z)| relation_reliability(z, graph.layer(rel), opts))
-        .collect();
-    let total_w: f64 = rel_w.iter().sum();
-    let uniform = 1.0 / rel_w.len().max(1) as f64;
-    if total_w < 1e-9 {
-        rel_w.iter_mut().for_each(|w| *w = uniform);
-    } else {
-        // Blend with uniform so a single separable relation cannot silence
-        // the others entirely.
-        rel_w
-            .iter_mut()
-            .for_each(|w| *w = 0.5 * *w / total_w + 0.5 * uniform);
-    }
-    for (rel, z) in view.structure.iter().enumerate() {
-        let mut errs = structure_errors(z, graph, rel, opts);
-        if opts.standardize {
-            // Standardise per relation before averaging: the dense
-            // similarity relations otherwise drown the sparse ones whose
-            // reconstruction actually separates anomalies.
-            standardize(&mut errs);
-        }
-        for (s, e) in structure.iter_mut().zip(errs) {
-            *s += rel_w[rel] * e;
-        }
-    }
-    if opts.standardize {
-        standardize(&mut attr);
-        standardize(&mut structure);
-    }
-    attr.iter()
-        .zip(&structure)
-        .map(|(a, s)| opts.epsilon * a + (1.0 - opts.epsilon) * s)
-        .collect()
+    ViewCache::build(view, graph, opts).scores()
 }
 
 /// Final anomaly score: arithmetic mean over the per-view scores.
@@ -408,6 +626,131 @@ mod tests {
         let mut v = vec![3.0; 5];
         standardize(&mut v);
         assert_eq!(v, vec![3.0; 5]);
+    }
+
+    /// Pre-hoist sampled-mode algorithm, kept verbatim as a reference: one
+    /// serial loop with the column RNG interleaved into the per-node
+    /// evaluation. The refactored path (pre-drawn column table + RNG-free
+    /// parallel body) must reproduce it bitwise.
+    fn sampled_reference(
+        z: &Matrix,
+        layer: &RelationLayer,
+        salt: u64,
+        opts: &ScoreOptions,
+    ) -> Vec<f64> {
+        let n = layer.num_nodes();
+        let relation = salt as usize;
+        let mut rng = SmallRng::seed_from_u64(opts.seed ^ (relation as u64).wrapping_mul(0x9e37));
+        const NEIGHBOR_CAP: usize = 64;
+        (0..n)
+            .map(|i| {
+                let zi = z.row(i);
+                let nbrs = layer.neighbors(i);
+                let take = nbrs.len().min(NEIGHBOR_CAP);
+                let mut pos = 0.0;
+                for &c in nbrs.iter().take(take) {
+                    let p = sigmoid(opts.logit_scale * dot(zi, z.row(c as usize)));
+                    let d = p - 1.0;
+                    pos += d * d;
+                }
+                if take > 0 && nbrs.len() > take {
+                    pos *= nbrs.len() as f64 / take as f64;
+                }
+                let non_nbrs = n.saturating_sub(1 + nbrs.len());
+                let mut neg = 0.0;
+                let mut sampled = 0usize;
+                for _ in 0..opts.negatives {
+                    let j = rng.gen_range(0..n);
+                    if j == i || nbrs.binary_search(&(j as u32)).is_ok() {
+                        continue;
+                    }
+                    let p = sigmoid(opts.logit_scale * dot(zi, z.row(j)));
+                    neg += p * p;
+                    sampled += 1;
+                }
+                if sampled > 0 {
+                    neg *= non_nbrs as f64 / sampled as f64;
+                }
+                let norm = if opts.degree_normalize {
+                    ((nbrs.len() + 1) as f64).sqrt()
+                } else {
+                    1.0
+                };
+                (pos + neg).sqrt() / norm
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sampled_structure_errors_bitwise_unchanged_by_rng_hoist() {
+        // Node 0 gets degree > NEIGHBOR_CAP so the capped-positive rescale
+        // branch is exercised too.
+        let n = 80usize;
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        for j in 2..n as u32 {
+            edges.push((0, j));
+        }
+        let layer = RelationLayer::new("r", n, edges);
+        let z = Matrix::from_fn(n, 4, |i, j| ((i * 7 + j * 3) % 11) as f64 / 11.0 - 0.5);
+        for (salt, degree_normalize) in [(0u64, false), (3, false), (1, true)] {
+            let opts = ScoreOptions {
+                dense_limit: 10, // force sampled mode
+                negatives: 8,
+                seed: 42,
+                degree_normalize,
+                ..ScoreOptions::default()
+            };
+            let got = structure_errors_layer(&z, &layer, salt, &opts);
+            let want = sampled_reference(&z, &layer, salt, &opts);
+            assert_eq!(got.len(), want.len());
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "node {i} diverged (salt {salt}): {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn std_stats_replay_matches_in_place_standardize() {
+        let cases: Vec<Vec<f64>> = vec![
+            (0..50)
+                .map(|i| ((i * 37) % 13) as f64 * 0.73 - 3.0)
+                .collect(),
+            vec![3.0; 5], // zero spread: inactive
+            vec![1.0],    // single sample: inactive
+            vec![],       // empty: inactive
+            vec![-1.0, 1.0],
+        ];
+        for v in cases {
+            let stats = StdStats::from_slice(&v);
+            let mut in_place = v.clone();
+            standardize(&mut in_place);
+            for (x, y) in v.iter().zip(&in_place) {
+                assert_eq!(stats.apply(*x).to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn view_cache_node_scores_match_view_scores() {
+        let g = graph(12);
+        let attrs = Matrix::from_fn(12, 3, |i, j| ((i * 5 + j) % 7) as f64 / 3.0);
+        let view = ViewRecon::single(attrs, vec![Matrix::from_fn(12, 3, |i, _| i as f64 / 12.0)]);
+        for standardize in [true, false] {
+            let opts = ScoreOptions {
+                standardize,
+                epsilon: 0.75,
+                ..ScoreOptions::default()
+            };
+            let cache = ViewCache::build(&view, &g, &opts);
+            let oneshot = view_scores(&view, &g, &opts);
+            for (i, s) in oneshot.iter().enumerate() {
+                assert_eq!(cache.node_score(i).to_bits(), s.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -176,6 +176,47 @@ pub fn gauge_set(label: &'static str, v: f64) {
     }
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where that interface does not exist. This is
+/// the high-water mark the kernel tracked for the whole process lifetime —
+/// exactly the number the ROADMAP "Scale::Full memory budget" item needs —
+/// so callers record it as a gauge at report time rather than sampling it.
+pub fn rss_peak_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| parse_vm_hwm(&s))
+            .unwrap_or(0)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// Extract `VmHWM` (kibibytes, per procfs(5)) from a `/proc/<pid>/status`
+/// body and convert to bytes.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kib * 1024)
+}
+
+/// Record the current [`rss_peak_bytes`] as the `rss_peak` gauge (no-op
+/// when telemetry is disabled, like every other recording entry point).
+pub fn record_rss_peak() {
+    if enabled() {
+        gauge_set("rss_peak", rss_peak_bytes() as f64);
+    }
+}
+
 /// Discard every recorded aggregate, counter, and gauge. The enabled flag
 /// is untouched.
 pub fn reset() {
@@ -415,6 +456,35 @@ mod tests {
         assert_eq!(back, r);
         // Byte-deterministic re-serialisation.
         assert_eq!(crate::json::to_string(&back).unwrap(), json);
+        reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn parse_vm_hwm_reads_procfs_format() {
+        let status =
+            "Name:\tumgad\nVmPeak:\t  123456 kB\nVmHWM:\t   20480 kB\nVmRSS:\t   10240 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(20480 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tumgad\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn rss_peak_nonzero_on_linux_and_recorded_as_gauge() {
+        let _g = serial();
+        if cfg!(target_os = "linux") {
+            assert!(rss_peak_bytes() > 0);
+        }
+        set_enabled(true);
+        reset();
+        record_rss_peak();
+        let r = report();
+        let gauge = r.gauge("rss_peak").expect("gauge recorded");
+        if cfg!(target_os = "linux") {
+            assert!(gauge > 0.0);
+        } else {
+            assert_eq!(gauge, 0.0);
+        }
         reset();
         set_enabled(false);
     }

@@ -70,6 +70,6 @@ pub use arena::{ArenaStats, BufferArena};
 pub use fused::{spmm_bias_act, FusedAct};
 pub use matrix::{cosine, dot, l1_distance, l2_distance, Matrix, PARALLEL_MIN_FLOPS};
 pub use optim::{clip_grad_norm, Adam, LrSchedule, Param, ParamState, Sgd};
-pub use parallel::{default_threads, parallel_map};
+pub use parallel::{default_threads, parallel_map, parallel_rows};
 pub use sparse::{CsrMatrix, CsrStorage, SpPair, TransposeCache};
 pub use tape::{sigmoid, Tape, Var};

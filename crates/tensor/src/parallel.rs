@@ -52,6 +52,27 @@ where
         .collect()
 }
 
+/// Apply `f` to every row index in `0..n`, partitioning rows into contiguous
+/// chunks over the shared worker pool. Results come back in row order, and
+/// because each row is produced independently by a pure `f`, the output is
+/// bitwise independent of `threads` — the same deterministic-partitioning
+/// contract the scoring and serving paths rely on (DESIGN.md §5i).
+pub fn parallel_rows<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let starts: Vec<usize> = (0..n).step_by(chunk).collect();
+    parallel_map(starts, threads, |start| {
+        let end = (start + chunk).min(n);
+        (start..end).map(&f).collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Number of worker lanes to use by default: the process-wide configured
 /// parallelism (`UMGAD_THREADS` override, else available parallelism). See
 /// [`umgad_rt::pool::configured_threads`].
@@ -97,6 +118,15 @@ mod tests {
         for (i, inner) in out.iter().enumerate() {
             assert_eq!(inner, &(0..5).map(|j| i * 10 + j).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn parallel_rows_matches_serial_at_any_thread_count() {
+        let serial: Vec<usize> = (0..23).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 16, 64] {
+            assert_eq!(parallel_rows(23, threads, |i| i * i), serial);
+        }
+        assert!(parallel_rows(0, 4, |i| i).is_empty());
     }
 
     #[test]

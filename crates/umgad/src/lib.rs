@@ -47,7 +47,8 @@ pub mod prelude {
     pub use umgad_baselines::{registry, BaselineConfig, Category, Detector};
     pub use umgad_core::{
         average_precision, precision_at_k, recall_at_k, roc_auc, select_threshold, Ablation,
-        Detection, ScoreExplanation, ThresholdDecision, Umgad, UmgadConfig,
+        Detection, ParkedModel, ScoreBatch, ScoreExplanation, ThresholdDecision, Umgad,
+        UmgadConfig,
     };
     pub use umgad_data::{Dataset, DatasetKind, DatasetStats, Scale};
     pub use umgad_graph::{MultiplexGraph, RelationLayer};

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Perf trajectory: run every micro/runtime benchmark in measure mode and
 # aggregate the per-binary reports into BENCH_kernels.json at the repo root,
-# with the end-to-end train_epoch entries split into BENCH_epoch.json.
+# with the end-to-end train_epoch entries split into BENCH_epoch.json and
+# the serving-engine entries split into BENCH_scoring.json.
 #
 # The epoch bench additionally emits a per-phase breakdown (recon /
 # contrastive / backward / optimizer, from EpochStats timings) as
-# target/rt-bench/epoch_phases.json; bench_agg routes every `epoch*` source
-# into BENCH_epoch.json, so old reports without the breakdown still
-# aggregate cleanly.
+# target/rt-bench/epoch_phases.json, and the scoring bench a nodes/s
+# throughput report as target/rt-bench/scoring_throughput.json; bench_agg
+# routes every `epoch*` source into BENCH_epoch.json and every `scoring*`
+# source into BENCH_scoring.json, so old reports without the side files
+# still aggregate cleanly.
 #
 # The rt-bench harness writes target/rt-bench/<binary>-<hash>.json per bench
 # binary; the hash changes with every compilation, so the directory is
@@ -21,15 +24,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Carry the previous committed epoch report forward as this run's baseline:
-# bench_agg derives a `vs_baseline` speedup row per steady-state entry from
-# it, so every refresh of BENCH_epoch.json records how it moved relative to
-# the last one. First runs (no committed report yet) simply skip the rows.
-BASELINE=""
+# Carry the previous committed epoch and scoring reports forward as this
+# run's baselines: bench_agg derives a `vs_baseline` speedup row per
+# steady-state / parked-serving entry from them, so every refresh of
+# BENCH_epoch.json and BENCH_scoring.json records how it moved relative to
+# the last one. First runs (no committed report yet) simply skip the rows
+# (an empty baseline argument means "none").
+EPOCH_BASELINE=""
 if [[ -f BENCH_epoch.json ]]; then
     mkdir -p target
     cp BENCH_epoch.json target/BENCH_epoch.baseline.json
-    BASELINE=target/BENCH_epoch.baseline.json
+    EPOCH_BASELINE=target/BENCH_epoch.baseline.json
+fi
+SCORING_BASELINE=""
+if [[ -f BENCH_scoring.json ]]; then
+    mkdir -p target
+    cp BENCH_scoring.json target/BENCH_scoring.baseline.json
+    SCORING_BASELINE=target/BENCH_scoring.baseline.json
 fi
 
 rm -rf target/rt-bench
@@ -43,6 +54,7 @@ cargo bench
 # way).
 mkdir -p target/rt-bench
 
-echo "== aggregate into BENCH_kernels.json + BENCH_epoch.json"
+echo "== aggregate into BENCH_kernels.json + BENCH_epoch.json + BENCH_scoring.json"
 cargo run --release -q -p umgad-bench --bin bench_agg -- \
-    target/rt-bench BENCH_kernels.json BENCH_epoch.json ${BASELINE:+"$BASELINE"}
+    target/rt-bench BENCH_kernels.json BENCH_epoch.json BENCH_scoring.json \
+    "$EPOCH_BASELINE" "$SCORING_BASELINE"

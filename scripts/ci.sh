@@ -41,7 +41,12 @@ cargo test -q -p umgad --test golden_pipeline
 echo "== telemetry invariance: scores identical with telemetry on/off at 1 and 4 threads"
 cargo test -q -p umgad --test telemetry_invariance
 
-echo "== perf smoke: steady-state epoch within 25% of the committed baseline"
+echo "== scoring determinism: parked batched scores byte-identical to one-shot"
+echo "   at UMGAD_THREADS in {1,4} and any request batching"
+cargo test --release -q -p umgad --test scoring_determinism
+
+echo "== perf smoke: steady-state epoch and parked scoring batch within 25%"
+echo "   of the committed baselines (BENCH_epoch.json / BENCH_scoring.json)"
 cargo run --release -q -p umgad-bench --bin perf_smoke
 
 echo "== supervisor matrix: kill at every epoch boundary + corrupt newest checkpoint,"

@@ -1,0 +1,116 @@
+//! Determinism of the parked-model scoring engine (DESIGN.md §5i).
+//!
+//! The serving contract: a parked score is a pure function of
+//! `(graph, config, seed)` — independent of the worker-pool width and of
+//! how the node set is split into requests. Three guarantees, proven here:
+//!
+//! 1. **Parked == one-shot, bitwise.** Batched `ScoreBatch` scores equal
+//!    `Umgad::anomaly_scores` byte for byte (checked inside each child,
+//!    with the dense limit forced low so the *sampled* structure path —
+//!    the one the RNG hoist parallelised — is the one exercised).
+//! 2. **Batch-size invariance.** Splitting the same node set into requests
+//!    of size 1, 17, or n never changes a byte.
+//! 3. **Thread invariance.** The worker pool caches its thread count per
+//!    process, so `UMGAD_THREADS` ∈ {1, 4} each run in a subprocess that
+//!    serialises the served scores to a file; the parent compares raw
+//!    bytes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use umgad::prelude::*;
+use umgad_rt::json::{to_string, ToJson, Value};
+
+/// Marker env var: when set, this binary is a child of the matrix test and
+/// writes its score JSON to the named file instead of spawning children.
+const CHILD_MARK: &str = "UMGAD_SCORING_DET_CHILD";
+/// Where the child writes its serialised scores.
+const OUT_VAR: &str = "UMGAD_SCORING_DET_OUT";
+
+/// The ISSUE-pinned matrix: serial degenerate and a wider pool.
+const THREAD_COUNTS: [&str; 2] = ["1", "4"];
+
+/// Train once, then serve the same node set one-shot and parked (at several
+/// batchings), asserting bitwise agreement; returns canonical score JSON.
+fn run_serving_json() -> String {
+    let data = Dataset::generate(DatasetKind::Retail, Scale::Custom(1.0 / 64.0), 19);
+    let mut cfg = UmgadConfig::fast_test();
+    cfg.epochs = 3;
+    cfg.seed = 19;
+    // Force the sampled structure path (the parallelised, RNG-hoisted one):
+    // the graph is far bigger than 24 nodes.
+    cfg.dense_score_limit = 24;
+    let mut model = Umgad::new(&data.graph, cfg);
+    model.train(&data.graph);
+    let oneshot = model.anomaly_scores(&data.graph);
+    let parked = ParkedModel::park(model, data.graph);
+    let n = parked.num_nodes();
+    assert!(n > 24, "fixture must exercise the sampled path (n = {n})");
+    let all: Vec<usize> = (0..n).collect();
+    for batch_size in [1usize, 17, n] {
+        let mut batch = ScoreBatch::new(&parked);
+        for chunk in all.chunks(batch_size) {
+            batch.push(chunk.to_vec());
+        }
+        let served: Vec<f64> = batch.run().into_iter().flatten().collect();
+        assert_eq!(served.len(), oneshot.len());
+        for (i, (s, o)) in served.iter().zip(&oneshot).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                o.to_bits(),
+                "batch={batch_size} node {i}: parked {s} != one-shot {o}"
+            );
+        }
+    }
+    let report = Value::Obj(vec![
+        ("seed".to_string(), 19u64.to_json()),
+        ("scores".to_string(), parked.score_all().to_json()),
+    ]);
+    to_string(&report).expect("scores are finite")
+}
+
+#[test]
+fn parked_scores_byte_identical_across_thread_counts_and_batchings() {
+    if std::env::var(CHILD_MARK).is_ok() {
+        let out = std::env::var(OUT_VAR).expect("child needs an output path");
+        std::fs::write(out, run_serving_json()).expect("write child scores");
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let dir = std::env::temp_dir();
+    let mut outputs: Vec<(String, Vec<u8>)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let out_path: PathBuf = dir.join(format!(
+            "umgad_scoring_det_{}_t{threads}.json",
+            std::process::id()
+        ));
+        let out = Command::new(&exe)
+            .args([
+                "parked_scores_byte_identical_across_thread_counts_and_batchings",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(CHILD_MARK, "1")
+            .env(OUT_VAR, &out_path)
+            .env("UMGAD_THREADS", threads)
+            .output()
+            .expect("spawn child test process");
+        assert!(
+            out.status.success(),
+            "UMGAD_THREADS={threads} child failed:\n{}\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let bytes = std::fs::read(&out_path).expect("child wrote scores");
+        let _ = std::fs::remove_file(&out_path);
+        assert!(!bytes.is_empty(), "UMGAD_THREADS={threads} wrote no scores");
+        outputs.push((threads.to_string(), bytes));
+    }
+    let (ref_threads, ref_bytes) = &outputs[0];
+    for (threads, bytes) in &outputs[1..] {
+        assert!(
+            bytes == ref_bytes,
+            "served score JSON differs between UMGAD_THREADS={ref_threads} and {threads}"
+        );
+    }
+}
