@@ -1,0 +1,224 @@
+//! Serving-layer benchmark — the request/response service over its two
+//! transports (BENCH_serving.json, DESIGN.md §5j).
+//!
+//! The workload is the committed serving fixture (YelpChi at
+//! `Scale::Small`, seed 11, untrained paper-real model — scoring cost is
+//! weight-independent): the node set split into [`REQUESTS`] subset
+//! requests, pre-encoded as protocol frames. Two entries per group, so the
+//! trajectory records what the wire costs on top of the engine:
+//!
+//! - `inprocess` answers every frame through [`ScoreService::handle_frame`]
+//!   directly — parse, admission, batched fan-out, response encode, no
+//!   transport.
+//! - `socket` answers the same frames over a Unix domain socket served by
+//!   [`umgad_rt::net::serve_unix`] from a second thread, on one persistent
+//!   client connection — the daemon data path minus process isolation.
+//!
+//! Byte-identity of the two paths is the e2e suite's job
+//! (`crates/cli/tests/serve.rs`); this bench only times them. Smoke mode
+//! (`cargo test` runs each body once) drops to `Scale::Tiny`. In measuring
+//! mode a per-request latency side report (`serving_throughput.json`) is
+//! also written with the request fan-out measured at 1 thread and at the
+//! default pool width; `bench_agg` routes every `serving*` source into
+//! `BENCH_serving.json`.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use umgad_core::{
+    ModelRegistry, ParkedModel, ScoreRequest, ScoreResponse, ScoreService, ServiceLimits, Umgad,
+    UmgadConfig,
+};
+use umgad_data::{Dataset, DatasetKind, Scale};
+use umgad_rt::bench::{black_box, Criterion};
+use umgad_rt::json::{to_string, Value};
+use umgad_rt::{criterion_group, criterion_main};
+
+/// How many requests the node set is split into (contiguous quarters) —
+/// matches the scoring bench's serving workload.
+const REQUESTS: usize = 4;
+
+fn request_frames(n: usize) -> (Vec<Vec<usize>>, Vec<String>) {
+    let all: Vec<usize> = (0..n).collect();
+    let subsets: Vec<Vec<usize>> = all
+        .chunks(n.div_ceil(REQUESTS).max(1))
+        .map(|c| c.to_vec())
+        .collect();
+    let frames = subsets
+        .iter()
+        .map(|nodes| {
+            to_string(&ScoreRequest::Nodes {
+                model: None,
+                nodes: nodes.clone(),
+            })
+            .expect("requests serialise")
+        })
+        .collect();
+    (subsets, frames)
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let scale = if c.measuring() {
+        Scale::Small
+    } else {
+        Scale::Tiny
+    };
+    let data = Dataset::generate(DatasetKind::YelpChi, scale, 11);
+    let g = data.graph;
+    let n = g.num_nodes();
+    let (subsets, frames) = request_frames(n);
+    let mut cfg = UmgadConfig::paper_real();
+    cfg.seed = 11;
+    let model = Umgad::new(&g, cfg);
+
+    let mut registry = ModelRegistry::new();
+    registry.insert("bench", ParkedModel::park(model, g));
+    let svc = Arc::new(ScoreService::new(registry, ServiceLimits::default()));
+
+    let mut group = c.benchmark_group("serving_yelpchi_small");
+
+    // In-process: the full service data path with no transport.
+    {
+        let svc = svc.clone();
+        group.bench_function("inprocess", move |b| {
+            b.iter(|| {
+                let mut bytes = 0usize;
+                for f in &frames {
+                    bytes += svc.handle_frame(f).len();
+                }
+                black_box(bytes)
+            })
+        });
+    }
+
+    // Socket: the same frames over a Unix domain socket on one persistent
+    // connection; the server thread and connection are set up outside the
+    // timed loop (a daemon is long-lived — connection setup is not the
+    // steady-state cost).
+    #[cfg(unix)]
+    {
+        let sock =
+            std::env::temp_dir().join(format!("umgad-bench-serve-{}.sock", std::process::id()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let server = {
+            let svc = svc.clone();
+            let stop = stop.clone();
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let handler: umgad_rt::net::Handler =
+                    Arc::new(move |frame: &str| svc.handle_frame(frame));
+                umgad_rt::net::serve_unix(&sock, handler, &|| stop.load(Ordering::Relaxed))
+                    .expect("bench server")
+            })
+        };
+        let stream = loop {
+            match std::os::unix::net::UnixStream::connect(&sock) {
+                Ok(s) => break s,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        };
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        let (_, frames) = request_frames(n);
+        group.bench_function("socket", move |b| {
+            b.iter(|| {
+                let mut bytes = 0usize;
+                let mut line = String::new();
+                for f in &frames {
+                    writer.write_all(f.as_bytes()).unwrap();
+                    writer.write_all(b"\n").unwrap();
+                    writer.flush().unwrap();
+                    line.clear();
+                    reader.read_line(&mut line).unwrap();
+                    bytes += line.len();
+                }
+                black_box(bytes)
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        let stats = server.join().expect("server thread");
+        assert_eq!(stats.dropped, 0, "bench connections must not tear");
+    }
+
+    group.finish();
+
+    if c.measuring() {
+        write_latency_report("serving_yelpchi_small", &svc, &subsets);
+    }
+}
+
+/// Measure per-request latency (subset fan-out + response encode) at an
+/// explicit thread count and at the default pool width, and write
+/// bench-shaped entries (plus `requests_per_s` and `threads` fields) as
+/// `serving_throughput.json` next to the harness's own report, where
+/// `bench_agg` folds them into `BENCH_serving.json`.
+fn write_latency_report(group: &str, svc: &ScoreService, subsets: &[Vec<usize>]) {
+    const SAMPLES: usize = 10;
+    let parked = svc.registry().parked(None).expect("default model");
+    let digest = svc.registry().resolve_digest(None).expect("default model");
+    let cache = parked.cache();
+    let widths = [
+        ("request_threads1", 1),
+        ("request_threads_default", umgad_tensor::default_threads()),
+    ];
+    let entries: Vec<Value> = widths
+        .iter()
+        .map(|&(name, threads)| {
+            let mut ns: Vec<f64> = (0..SAMPLES)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    for req in subsets {
+                        let scores = umgad_tensor::parallel_rows(req.len(), threads, |k| {
+                            cache.node_score(req[k])
+                        });
+                        let resp = ScoreResponse::Scores {
+                            model: digest.clone(),
+                            scores,
+                        };
+                        black_box(to_string(&resp).expect("responses serialise").len());
+                    }
+                    // Per-request latency, not per-sweep.
+                    t0.elapsed().as_nanos() as f64 / subsets.len() as f64
+                })
+                .collect();
+            ns.sort_by(f64::total_cmp);
+            let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+            let at = |q: f64| ns[((ns.len() - 1) as f64 * q).round() as usize];
+            let median = at(0.5);
+            Value::Obj(vec![
+                ("name".into(), Value::Str(format!("{group}/{name}"))),
+                ("samples".into(), Value::U64(ns.len() as u64)),
+                ("mean_ns".into(), Value::F64(mean)),
+                ("median_ns".into(), Value::F64(median)),
+                ("p95_ns".into(), Value::F64(at(0.95))),
+                ("threads".into(), Value::U64(threads as u64)),
+                ("requests_per_s".into(), Value::F64(1e9 / median)),
+            ])
+        })
+        .collect();
+    let path = match std::env::var("RT_BENCH_OUT") {
+        Ok(p) => std::path::Path::new(&p).with_file_name("serving_throughput.json"),
+        Err(_) => std::env::current_exe()
+            .ok()
+            .and_then(|p| p.ancestors().nth(3).map(|d| d.to_path_buf()))
+            .unwrap_or_else(|| std::path::PathBuf::from("target"))
+            .join("rt-bench")
+            .join("serving_throughput.json"),
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match to_string(&Value::Arr(entries)).map(|s| std::fs::write(&path, s)) {
+        Ok(Ok(())) => println!("serving latency report written to {}", path.display()),
+        other => eprintln!("serving latency report failed: {other:?}"),
+    }
+}
+
+criterion_group! {
+    name = serving;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving
+}
+criterion_main!(serving);

@@ -11,9 +11,11 @@
 //! Reports from the end-to-end `epoch` bench binary are split into their
 //! own document (`BENCH_epoch.json` by default): epoch wall-clocks move
 //! with model-level changes and would drown the kernel-level diff noise
-//! budget if mixed into one file. Reports from the serving bench (every
-//! `scoring*` source, including its `scoring_throughput` nodes/s side
-//! report) are likewise split into `BENCH_scoring.json`.
+//! budget if mixed into one file. Reports from the scoring-engine bench
+//! (every `scoring*` source, including its `scoring_throughput` nodes/s
+//! side report) are likewise split into `BENCH_scoring.json`, and reports
+//! from the service-layer bench (every `serving*` source, including its
+//! `serving_throughput` latency side report) into `BENCH_serving.json`.
 //!
 //! The epoch document carries its own `speedups` rows: a `steady_vs_first`
 //! pair per bench group (how much the warm-arena engine saves over a cold
@@ -22,18 +24,23 @@
 //! the last committed trajectory point. The scoring document mirrors that:
 //! a `parked_vs_cold` pair per serving group (how much a parked batch saves
 //! over repeated one-shot scoring) plus `vs_baseline` rows for the
-//! `parked_batched` entries (`scripts/bench.sh` carries both prior
-//! documents forward automatically).
+//! `parked_batched` entries, and the serving document a
+//! `socket_vs_inprocess` pair per group (what the wire costs on top of the
+//! in-process service path) plus `vs_baseline` rows for the `inprocess`
+//! entries (`scripts/bench.sh` carries all three prior documents forward
+//! automatically).
 //!
 //! ```sh
 //! cargo run --release -p umgad-bench --bin bench_agg \
 //!     [report-dir] [output-path] [epoch-output-path] [scoring-output-path] \
-//!     [epoch-baseline-path] [scoring-baseline-path]
+//!     [epoch-baseline-path] [scoring-baseline-path] \
+//!     [serving-output-path] [serving-baseline-path]
 //! ```
 //!
 //! Empty-string baseline paths mean "no baseline". Defaults:
 //! `target/rt-bench` → `BENCH_kernels.json` + `BENCH_epoch.json` +
-//! `BENCH_scoring.json` (see scripts/bench.sh).
+//! `BENCH_scoring.json` + `BENCH_serving.json` (see scripts/bench.sh; the
+//! serving arguments trail positionally so older invocations keep working).
 
 use std::fs;
 use std::path::Path;
@@ -83,6 +90,11 @@ fn main() {
     // positionally without conditionals.
     let epoch_baseline_path = args.get(5).map(String::as_str).filter(|p| !p.is_empty());
     let scoring_baseline_path = args.get(6).map(String::as_str).filter(|p| !p.is_empty());
+    let serving_out_path = args
+        .get(7)
+        .map(String::as_str)
+        .unwrap_or("BENCH_serving.json");
+    let serving_baseline_path = args.get(8).map(String::as_str).filter(|p| !p.is_empty());
 
     // (source, name, entry-with-source-prepended)
     let mut benches: Vec<(String, String, Value)> = Vec::new();
@@ -131,9 +143,12 @@ fn main() {
     let (epoch_vals, rest): (Vec<_>, Vec<_>) = benches
         .into_iter()
         .partition(|(source, _, _)| source.starts_with("epoch"));
-    let (scoring_vals, kernel_vals): (Vec<_>, Vec<_>) = rest
+    let (scoring_vals, rest): (Vec<_>, Vec<_>) = rest
         .into_iter()
         .partition(|(source, _, _)| source.starts_with("scoring"));
+    let (serving_vals, kernel_vals): (Vec<_>, Vec<_>) = rest
+        .into_iter()
+        .partition(|(source, _, _)| source.starts_with("serving"));
 
     // median_ns lookup over one partition (robust to a stray slow sample).
     let median_in = |vals: &[(String, String, Value)], name: &str| -> Option<f64> {
@@ -303,6 +318,37 @@ fn main() {
         &mut scoring_speedups,
     );
 
+    // Serving speedups: what the socket transport costs on top of the
+    // in-process service path (within this run), and how this run's
+    // in-process serving compares to the previous committed report.
+    let serving_groups = groups_in(&serving_vals, "/inprocess");
+    let mut serving_speedups = Vec::new();
+    for group in &serving_groups {
+        let (Some(inproc), Some(socket)) = (
+            median_in(&serving_vals, &format!("{group}/inprocess")),
+            median_in(&serving_vals, &format!("{group}/socket")),
+        ) else {
+            continue;
+        };
+        serving_speedups.push(Value::Obj(vec![
+            ("bench".to_string(), Value::Str(group.clone())),
+            (
+                "kind".to_string(),
+                Value::Str("socket_vs_inprocess".to_string()),
+            ),
+            ("inprocess_median_ns".to_string(), Value::F64(inproc)),
+            ("socket_median_ns".to_string(), Value::F64(socket)),
+            ("overhead_ratio".to_string(), Value::F64(socket / inproc)),
+        ]));
+    }
+    baseline_rows(
+        serving_baseline_path,
+        &serving_vals,
+        &serving_groups,
+        "/inprocess",
+        &mut serving_speedups,
+    );
+
     let strip = |v: Vec<(String, String, Value)>| -> Vec<Value> {
         v.into_iter().map(|(_, _, val)| val).collect()
     };
@@ -313,5 +359,11 @@ fn main() {
         &strip(scoring_vals),
         &scoring_speedups,
         "scoring",
+    );
+    write_doc(
+        serving_out_path,
+        &strip(serving_vals),
+        &serving_speedups,
+        "serving",
     );
 }

@@ -1,8 +1,8 @@
-//! CI perf smoke: fail the gate when the steady-state epoch or the parked
-//! scoring engine regresses.
+//! CI perf smoke: fail the gate when the steady-state epoch, the parked
+//! scoring engine, or the serving layer regresses.
 //!
 //! The full bench run (`scripts/bench.sh`) takes minutes; this binary is
-//! the time-bounded stand-in `scripts/ci.sh` runs on every merge. Two
+//! the time-bounded stand-in `scripts/ci.sh` runs on every merge. Three
 //! gates, each replaying its committed bench's exact configuration —
 //! YelpChi at `Scale::Small`, seed 11, paper-real hyper-parameters:
 //!
@@ -13,6 +13,11 @@
 //!    model, answer the committed serving workload (the node set split into
 //!    four requests, one `ScoreBatch` fan-out) twice, and compare the
 //!    fastest batch against the `BENCH_scoring.json` parked median.
+//! 3. **Serving**: park the same model in a [`ScoreService`] registry and
+//!    answer the workload's four pre-encoded protocol frames through
+//!    `handle_frame` (parse, admission, fan-out, response encode) twice,
+//!    comparing the fastest sweep against the `BENCH_serving.json`
+//!    in-process median.
 //!
 //! Taking the minimum keeps a loaded CI box from failing the gate on
 //! scheduler noise; a real regression slows every repetition, including
@@ -25,12 +30,15 @@
 //!
 //! ```sh
 //! cargo run --release -p umgad-bench --bin perf_smoke \
-//!     [epoch-baseline-path] [scoring-baseline-path]
+//!     [epoch-baseline-path] [scoring-baseline-path] [serving-baseline-path]
 //! ```
 
 use std::time::Instant;
 
-use umgad_core::{ParkedModel, ScoreBatch, Umgad, UmgadConfig};
+use umgad_core::{
+    ModelRegistry, ParkedModel, ScoreBatch, ScoreRequest, ScoreService, ServiceLimits, Umgad,
+    UmgadConfig,
+};
 use umgad_data::{Dataset, DatasetKind, Scale};
 use umgad_rt::json::Value;
 
@@ -44,6 +52,8 @@ const MEASURED: usize = 2;
 const EPOCH_BENCH: &str = "train_epoch_yelpchi_small/steady_state";
 /// The committed scoring bench entry the second gate reproduces.
 const SCORING_BENCH: &str = "scoring_yelpchi_small/parked_batched";
+/// The committed serving bench entry the third gate reproduces.
+const SERVING_BENCH: &str = "serving_yelpchi_small/inprocess";
 /// Requests per serving batch — must match `benches/scoring.rs`.
 const REQUESTS: usize = 4;
 
@@ -150,6 +160,43 @@ fn scoring_gate(baseline_path: &str) -> bool {
     check("parked scoring batch", best_ns, baseline)
 }
 
+fn serving_gate(baseline_path: &str) -> bool {
+    let Some(baseline) = baseline_median_ns(baseline_path, SERVING_BENCH) else {
+        println!("perf_smoke: no `{SERVING_BENCH}` entry in {baseline_path}; skipping");
+        return true;
+    };
+    let data = Dataset::generate(DatasetKind::YelpChi, Scale::Small, 11);
+    let mut cfg = UmgadConfig::paper_real();
+    cfg.seed = 11;
+    let model = Umgad::new(&data.graph, cfg);
+    let n = data.graph.num_nodes();
+    let mut registry = ModelRegistry::new();
+    registry.insert("perf_smoke", ParkedModel::park(model, data.graph));
+    let svc = ScoreService::new(registry, ServiceLimits::default());
+    let all: Vec<usize> = (0..n).collect();
+    let frames: Vec<String> = all
+        .chunks(n.div_ceil(REQUESTS).max(1))
+        .map(|nodes| {
+            umgad_rt::json::to_string(&ScoreRequest::Nodes {
+                model: None,
+                nodes: nodes.to_vec(),
+            })
+            .expect("requests serialise")
+        })
+        .collect();
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..MEASURED {
+        let t = Instant::now();
+        let mut bytes = 0usize;
+        for f in &frames {
+            bytes += svc.handle_frame(f).len();
+        }
+        assert!(bytes > 0);
+        best_ns = best_ns.min(t.elapsed().as_nanos() as f64);
+    }
+    check("in-process serving sweep", best_ns, baseline)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let epoch_baseline = args
@@ -160,8 +207,13 @@ fn main() {
         .get(2)
         .map(String::as_str)
         .unwrap_or("BENCH_scoring.json");
+    let serving_baseline = args
+        .get(3)
+        .map(String::as_str)
+        .unwrap_or("BENCH_serving.json");
     let mut ok = epoch_gate(epoch_baseline);
     ok &= scoring_gate(scoring_baseline);
+    ok &= serving_gate(serving_baseline);
     if !ok {
         std::process::exit(1);
     }

@@ -18,7 +18,10 @@ use std::path::PathBuf;
 
 use umgad_baselines::{registry, BaselineConfig, Detector};
 use umgad_core::ops::{CheckpointSink, Lineage, StopConditions, DEFAULT_KEEP};
-use umgad_core::{roc_auc, select_threshold, ParkedModel, ScoreBatch, Umgad, UmgadConfig};
+use umgad_core::{
+    roc_auc, select_threshold, ModelRegistry, ParkedModel, ScoreRequest, ScoreResponse,
+    ScoreService, ServiceLimits, Umgad, UmgadConfig,
+};
 use umgad_data::{load_graph, save_graph, Dataset, DatasetKind, Scale};
 use umgad_graph::MultiplexGraph;
 use umgad_rt::retry::{io_retry, RetryPolicy};
@@ -104,6 +107,34 @@ pub enum Command {
         /// `rss_peak`; implies enabling telemetry for the run).
         metrics: Option<PathBuf>,
     },
+    /// Long-lived scoring daemon: park one or more models and answer
+    /// line-delimited JSON [`ScoreRequest`]s over a Unix domain socket or
+    /// stdin/stdout, through the same [`ScoreService`] the `score`
+    /// subcommand uses in-process.
+    Serve {
+        /// Input JSON graph every model is parked against.
+        input: PathBuf,
+        /// Model sources (repeatable): checkpoint file, lineage directory
+        /// (newest valid entry), or a directory of checkpoint files (all
+        /// parked). The first loaded model is the default.
+        models: Vec<PathBuf>,
+        /// Listen on a Unix domain socket at this path.
+        socket: Option<PathBuf>,
+        /// Serve a single connection on stdin/stdout instead (frames on
+        /// stdout; status lines go to stderr).
+        stdio: bool,
+        /// Reject requests past this many in flight (0 = unlimited).
+        max_inflight: usize,
+        /// Reject requests asking for more nodes than this (0 = unlimited).
+        max_nodes: usize,
+        /// Write a telemetry metrics JSON report here at shutdown (implies
+        /// enabling telemetry for the run).
+        metrics: Option<PathBuf>,
+        /// Shut down gracefully when this file appears (socket mode).
+        stop_file: Option<PathBuf>,
+        /// Shut down gracefully after this many seconds (socket mode).
+        deadline_secs: Option<u64>,
+    },
     /// Run one named baseline instead of UMGAD.
     Baseline {
         /// Input JSON graph.
@@ -139,7 +170,7 @@ pub enum Command {
 
 /// Top-level usage string.
 pub fn usage() -> &'static str {
-    "usage: umgad <generate|detect|fsck|baseline|import|threshold|methods> [flags]\n\
+    "usage: umgad <generate|detect|fsck|score|serve|baseline|import|threshold|methods> [flags]\n\
      generate  --dataset retail|alibaba|amazon|yelpchi [--scale F] [--seed N] --out FILE\n\
      detect    --input FILE [--epochs N] [--seed N] [--real] [--scores FILE] [--save-model FILE]\n\
     \u{20}          [--checkpoint FILE [--checkpoint-every N]] [--resume FILE] [--metrics FILE]\n\
@@ -148,6 +179,9 @@ pub fn usage() -> &'static str {
      fsck      FILE|DIR\n\
      score     --input FILE --model FILE|DIR [--nodes FILE | --all] [--batch N] [--explain]\n\
     \u{20}          [--scores FILE] [--metrics FILE]\n\
+     serve     --input FILE --model FILE|DIR [--model ...] (--socket PATH | --stdio)\n\
+    \u{20}          [--max-inflight N] [--max-nodes N] [--metrics FILE]\n\
+    \u{20}          [--stop-file FILE] [--deadline-secs N]\n\
      baseline  --input FILE --method NAME [--epochs N] [--seed N] [--scores FILE]\n\
      threshold --scores FILE\n\
      import    --attrs FILE --relation NAME=FILE [--relation ...] [--labels FILE] --out FILE\n\
@@ -171,6 +205,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut flags = std::collections::HashMap::new();
     let mut bools = std::collections::HashSet::new();
     let mut relations: Vec<(String, PathBuf)> = Vec::new();
+    let mut models: Vec<PathBuf> = Vec::new();
     while let Some(flag) = it.next() {
         if flag == "--real" {
             bools.insert("real");
@@ -182,6 +217,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         if flag == "--explain" {
             bools.insert("explain");
+            continue;
+        }
+        if flag == "--stdio" {
+            bools.insert("stdio");
+            continue;
+        }
+        if flag == "--model" {
+            // Repeatable: `serve` parks every named model; `score` takes
+            // exactly one.
+            let v = it.next().ok_or("--model needs a value")?;
+            models.push(PathBuf::from(v));
             continue;
         }
         if flag == "--relation" {
@@ -291,15 +337,44 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if batch == Some(0) {
                 return Err("--batch must be at least 1".into());
             }
+            if models.len() > 1 {
+                return Err("score takes exactly one --model (serve parks several)".into());
+            }
             Ok(Command::Score {
                 input: get("input").ok_or("--input required")?.into(),
-                model: get("model").ok_or("--model required")?.into(),
+                model: models.pop().ok_or("--model required")?,
                 scores: get("scores").map(Into::into),
                 nodes,
                 all,
                 batch,
                 explain: bools.contains("explain"),
                 metrics: get("metrics").map(Into::into),
+            })
+        }
+        "serve" => {
+            if models.is_empty() {
+                return Err("serve needs at least one --model FILE|DIR".into());
+            }
+            let socket: Option<PathBuf> = get("socket").map(Into::into);
+            let stdio = bools.contains("stdio");
+            if socket.is_some() == stdio {
+                return Err("serve needs exactly one of --socket PATH or --stdio".into());
+            }
+            Ok(Command::Serve {
+                input: get("input").ok_or("--input required")?.into(),
+                models,
+                socket,
+                stdio,
+                max_inflight: num("max-inflight", 0)? as usize,
+                max_nodes: num("max-nodes", 0)? as usize,
+                metrics: get("metrics").map(Into::into),
+                stop_file: get("stop-file").map(Into::into),
+                deadline_secs: get("deadline-secs")
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|e| format!("--deadline-secs: {e}"))
+                    })
+                    .transpose()?,
             })
         }
         "baseline" => Ok(Command::Baseline {
@@ -584,41 +659,55 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 umgad_rt::telemetry::set_enabled(true);
             }
             let graph = load_graph(&input).map_err(|e| e.to_string())?;
+            // One-shot scoring is a thin in-process client of the same
+            // service the `serve` daemon exposes: park the model in a
+            // registry and go through `ScoreService`, so the two paths
+            // cannot drift.
             let parked = ParkedModel::load(&model, graph)?;
+            let mut registry = ModelRegistry::new();
+            registry.insert(model.display().to_string(), parked);
+            let svc = ScoreService::new(registry, ServiceLimits::default());
+            let num_nodes = svc
+                .registry()
+                .parked(None)
+                .map_err(|e| e.to_string())?
+                .num_nodes();
             let node_set: Option<Vec<usize>> = match &nodes {
                 Some(p) => {
                     let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
-                    Some(parse_node_list(&text, parked.num_nodes())?)
+                    Some(parse_node_list(&text, num_nodes)?)
                 }
                 None => None,
             };
-            let targets: Vec<usize> = node_set
-                .clone()
-                .unwrap_or_else(|| (0..parked.num_nodes()).collect());
-            let s: Vec<f64> = match batch {
-                Some(b) => {
-                    let mut queue = ScoreBatch::new(&parked);
-                    for chunk in targets.chunks(b) {
-                        queue.push(chunk.to_vec());
-                    }
-                    queue.run().into_iter().flatten().collect()
-                }
-                None => parked.score_nodes(&targets),
-            };
+            let targets: Vec<usize> = node_set.clone().unwrap_or_else(|| (0..num_nodes).collect());
+            let s: Vec<f64> = svc
+                .score_batched(None, &targets, batch)
+                .map_err(|e| e.to_string())?;
             let mut extra = String::new();
             if explain {
                 for (&i, sc) in targets.iter().zip(&s) {
                     let mut line = format!("# node {i} score {sc:.6}:");
-                    for e in parked.explain_node(i) {
-                        let _ = write!(
-                            line,
-                            " {} attr_z={:.4} struct_z={:.4}",
-                            e.view, e.attribute_z, e.structure_z
-                        );
+                    let resp = svc.handle(&ScoreRequest::Explain {
+                        model: None,
+                        node: i,
+                    });
+                    match resp {
+                        ScoreResponse::Explanation { views, .. } => {
+                            for e in views {
+                                let _ = write!(
+                                    line,
+                                    " {} attr_z={:.4} struct_z={:.4}",
+                                    e.view, e.attribute_z, e.structure_z
+                                );
+                            }
+                        }
+                        ScoreResponse::Error(e) => return Err(e.to_string()),
+                        other => return Err(format!("unexpected explain response: {other:?}")),
                     }
                     let _ = writeln!(extra, "{line}");
                 }
             }
+            let parked = svc.registry().parked(None).map_err(|e| e.to_string())?;
             if let Some(p) = &metrics {
                 write_metrics_report(parked.model(), p)?;
                 let _ = writeln!(extra, "wrote metrics to {}", p.display());
@@ -643,6 +732,81 @@ pub fn run(cmd: Command) -> Result<String, String> {
                     }
                 }
             }
+        }
+        Command::Serve {
+            input,
+            models,
+            socket,
+            stdio,
+            max_inflight,
+            max_nodes,
+            metrics,
+            stop_file,
+            deadline_secs,
+        } => {
+            if metrics.is_some() {
+                umgad_rt::telemetry::set_enabled(true);
+            }
+            let graph = load_graph(&input).map_err(|e| e.to_string())?;
+            let mut registry = ModelRegistry::new();
+            for m in &models {
+                registry.load(m, &graph)?;
+            }
+            let svc = std::sync::Arc::new(ScoreService::new(
+                registry,
+                ServiceLimits {
+                    max_inflight,
+                    max_nodes,
+                },
+            ));
+            // Banner on stderr before serving: stdout stays clean for
+            // stdio-mode frames, and socket clients can key readiness off
+            // the socket file itself.
+            for info in svc.registry().infos() {
+                eprintln!(
+                    "serving model {} ({} nodes, {} views, from {})",
+                    info.digest,
+                    info.nodes,
+                    info.views.len(),
+                    info.source
+                );
+            }
+            let mut extra = String::new();
+            if stdio {
+                // Single-connection pipe mode: frames on stdout, so the
+                // summary goes to stderr and run() returns nothing.
+                let served = {
+                    let svc = svc.clone();
+                    umgad_rt::net::serve_stdio(&move |frame| svc.handle_frame(frame))
+                        .map_err(|e| e.to_string())?
+                };
+                eprintln!("served {served} request(s) on stdio");
+            } else {
+                let sock = socket.expect("parse enforces --socket in non-stdio mode");
+                let stops = StopConditions {
+                    stop_file,
+                    deadline: deadline_secs
+                        .map(|s| std::time::Instant::now() + std::time::Duration::from_secs(s)),
+                };
+                eprintln!("listening on {}", sock.display());
+                let handler: umgad_rt::net::Handler = {
+                    let svc = svc.clone();
+                    std::sync::Arc::new(move |frame: &str| svc.handle_frame(frame))
+                };
+                let stats = umgad_rt::net::serve_unix(&sock, handler, &|| stops.check().is_some())
+                    .map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    extra,
+                    "served {} connection(s), {} request(s), {} dropped",
+                    stats.connections, stats.frames, stats.dropped
+                );
+            }
+            if let Some(p) = &metrics {
+                let parked = svc.registry().parked(None).map_err(|e| e.to_string())?;
+                write_metrics_report(parked.model(), p)?;
+                let _ = writeln!(extra, "wrote metrics to {}", p.display());
+            }
+            Ok(extra)
         }
         Command::Baseline {
             input,

@@ -1,0 +1,361 @@
+//! End-to-end tests for the `umgad serve` daemon against the built binary:
+//! concurrent clients with interleaved subset/all/explain/info requests
+//! must receive frames **byte-identical** to what the in-process
+//! [`ScoreService`] answers (which in turn scores bitwise like
+//! `score_nodes`), at `UMGAD_THREADS` ∈ {1, 4}; plus stdio pipe mode,
+//! admission-limit rejections, the multi-model registry, and net-fault
+//! containment (a torn connection must not take the daemon down).
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use umgad_core::{ModelRegistry, ScoreService, ServiceLimits};
+use umgad_data::load_graph;
+
+fn umgad() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_umgad"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("umgad-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ok(out: std::process::Output, what: &str) -> String {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Generate the tiny graph and train a scoring model on it.
+fn graph_and_model(dir: &Path, seed: &str, name: &str) -> (PathBuf, PathBuf) {
+    let g = dir.join("g.json");
+    if !g.exists() {
+        ok(
+            umgad()
+                .args(["generate", "--dataset", "alibaba", "--scale", "0.01"])
+                .args(["--seed", "5", "--out"])
+                .arg(&g)
+                .output()
+                .unwrap(),
+            "generate",
+        );
+    }
+    let m = dir.join(name);
+    ok(
+        umgad()
+            .args(["detect", "--input"])
+            .arg(&g)
+            .args(["--epochs", "2", "--seed", seed, "--save-model"])
+            .arg(&m)
+            .output()
+            .unwrap(),
+        "detect",
+    );
+    (g, m)
+}
+
+/// The in-process service the daemon's frames are byte-compared against.
+fn inprocess(g: &Path, models: &[&Path], limits: ServiceLimits) -> ScoreService {
+    let graph = load_graph(g).unwrap();
+    let mut registry = ModelRegistry::new();
+    for m in models {
+        registry.load(m, &graph).unwrap();
+    }
+    ScoreService::new(registry, limits)
+}
+
+struct Daemon {
+    child: Child,
+    sock: PathBuf,
+    stop: PathBuf,
+}
+
+/// Start `umgad serve` on a socket and wait until it accepts connections.
+///
+/// The child outlives this function by design: every test ends with
+/// [`stop_daemon`], which reaps it via `wait_with_output`, and the
+/// readiness-timeout path kills and reaps before panicking.
+#[allow(clippy::zombie_processes)]
+fn start_daemon(
+    dir: &Path,
+    tag: &str,
+    g: &Path,
+    models: &[&Path],
+    envs: &[(&str, &str)],
+    extra: &[&str],
+) -> Daemon {
+    let sock = dir.join(format!("{tag}.sock"));
+    let stop = dir.join(format!("{tag}.stop"));
+    let mut cmd = umgad();
+    cmd.args(["serve", "--input"]).arg(g);
+    for m in models {
+        cmd.arg("--model").arg(m);
+    }
+    cmd.arg("--socket").arg(&sock);
+    cmd.arg("--stop-file").arg(&stop);
+    cmd.args(extra);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if UnixStream::connect(&sock).is_ok() {
+            return Daemon { child, sock, stop };
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("daemon never came up on {tag}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Touch the stop file and collect the daemon's clean-exit stdout.
+fn stop_daemon(d: Daemon) -> String {
+    std::fs::write(&d.stop, "stop").unwrap();
+    let out = d.child.wait_with_output().unwrap();
+    assert!(!d.sock.exists(), "socket file must be removed on shutdown");
+    ok(out, "serve shutdown")
+}
+
+/// One client connection: send each frame, read each response line.
+fn roundtrip(sock: &Path, requests: &[String]) -> Vec<String> {
+    let stream = UnixStream::connect(sock).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut out = Vec::with_capacity(requests.len());
+    for req in requests {
+        writer.write_all(req.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "connection closed before answering {req}");
+        out.push(line.trim_end_matches('\n').to_string());
+    }
+    out
+}
+
+#[test]
+fn daemon_frames_match_inprocess_service_at_thread_widths() {
+    let dir = scratch("matrix");
+    let (g, m) = graph_and_model(&dir, "9", "m.json");
+    let svc = inprocess(&g, &[&m], ServiceLimits::default());
+    let n = svc.registry().parked(None).unwrap().num_nodes();
+    assert!(n >= 8, "tiny graph still needs a few nodes, got {n}");
+
+    // Three clients with interleaved subset/all/explain/info traffic.
+    let clients: Vec<Vec<String>> = vec![
+        vec![
+            r#"{"op":"nodes","nodes":[0,1,2]}"#.into(),
+            r#"{"op":"all"}"#.into(),
+            format!(r#"{{"op":"explain","node":{}}}"#, n / 2),
+        ],
+        vec![
+            format!(r#"{{"op":"explain","node":{}}}"#, n - 1),
+            format!(r#"{{"op":"nodes","nodes":[{},0,{}]}}"#, n - 1, n / 3),
+            r#"{"op":"info"}"#.into(),
+        ],
+        vec![
+            r#"{"op":"all"}"#.into(),
+            r#"{"op":"nodes","nodes":[3,3,1]}"#.into(),
+            r#"{"op":"all"}"#.into(),
+        ],
+    ];
+    let expected: Vec<Vec<String>> = clients
+        .iter()
+        .map(|reqs| reqs.iter().map(|r| svc.handle_frame(r)).collect())
+        .collect();
+
+    for threads in ["1", "4"] {
+        let d = start_daemon(
+            &dir,
+            &format!("t{threads}"),
+            &g,
+            &[&m],
+            &[("UMGAD_THREADS", threads)],
+            &[],
+        );
+        let got: Vec<Vec<String>> = std::thread::scope(|s| {
+            let handles: Vec<_> = clients
+                .iter()
+                .map(|reqs| s.spawn(|| roundtrip(&d.sock, reqs)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (client, (got, want)) in got.iter().zip(&expected).enumerate() {
+            for (req, (g_line, w_line)) in got.iter().zip(want).enumerate() {
+                assert_eq!(
+                    g_line, w_line,
+                    "threads={threads} client={client} request={req}: daemon frame \
+                     differs from in-process service"
+                );
+            }
+        }
+        let summary = stop_daemon(d);
+        assert!(summary.contains("connection(s)"), "{summary}");
+    }
+}
+
+#[test]
+fn stdio_mode_answers_frames_on_stdout() {
+    let dir = scratch("stdio");
+    let (g, m) = graph_and_model(&dir, "9", "m.json");
+    let svc = inprocess(&g, &[&m], ServiceLimits::default());
+
+    let requests = [
+        r#"{"op":"nodes","nodes":[1,2]}"#,
+        r#"{"op":"info"}"#,
+        r#"{"op":"explain","node":0}"#,
+        "this is not json",
+    ];
+    let mut child = umgad()
+        .args(["serve", "--input"])
+        .arg(&g)
+        .arg("--model")
+        .arg(&m)
+        .arg("--stdio")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for r in &requests {
+            writeln!(stdin, "{r}").unwrap();
+        }
+        // Dropping stdin sends EOF: the daemon drains and exits cleanly.
+    }
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "stdio serve failed: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let got: Vec<&str> = stdout.lines().collect();
+    assert_eq!(got.len(), requests.len(), "stdout: {stdout}");
+    for (req, line) in requests.iter().zip(&got) {
+        assert_eq!(*line, svc.handle_frame(req), "request {req}");
+    }
+    assert!(
+        stderr.contains("served 4 request(s) on stdio"),
+        "status lines belong on stderr: {stderr}"
+    );
+}
+
+#[test]
+fn admission_limits_and_unknown_models_reject_typed_frames() {
+    let dir = scratch("limits");
+    let (g, m) = graph_and_model(&dir, "9", "m.json");
+    let svc = inprocess(
+        &g,
+        &[&m],
+        ServiceLimits {
+            max_inflight: 0,
+            max_nodes: 2,
+        },
+    );
+
+    let requests = [
+        r#"{"op":"nodes","nodes":[0,1,2]}"#.to_string(), // over max-nodes
+        r#"{"op":"all"}"#.to_string(),                   // whole graph > max-nodes
+        r#"{"op":"nodes","model":"ffffffff","nodes":[0]}"#.to_string(),
+        r#"{"op":"nodes","nodes":[0,1]}"#.to_string(), // at the limit: served
+    ];
+    let expected: Vec<String> = requests.iter().map(|r| svc.handle_frame(r)).collect();
+    assert!(expected[0].contains("too_many_nodes"), "{}", expected[0]);
+    assert!(expected[2].contains("unknown_model"), "{}", expected[2]);
+    assert!(
+        expected[3].contains("\"kind\":\"scores\""),
+        "{}",
+        expected[3]
+    );
+
+    let d = start_daemon(&dir, "limits", &g, &[&m], &[], &["--max-nodes", "2"]);
+    assert_eq!(roundtrip(&d.sock, &requests), expected);
+    stop_daemon(d);
+}
+
+#[test]
+fn multi_model_registry_serves_by_digest() {
+    let dir = scratch("multi");
+    let (g, m1) = graph_and_model(&dir, "9", "m1.json");
+    let (_, m2) = graph_and_model(&dir, "11", "m2.json");
+    let svc = inprocess(&g, &[&m1, &m2], ServiceLimits::default());
+    let infos = svc.registry().infos();
+    assert_eq!(infos.len(), 2, "two distinct models registered");
+    let second = infos[1].digest.clone();
+
+    let requests = [
+        r#"{"op":"info"}"#.to_string(),
+        format!(r#"{{"op":"nodes","model":"{second}","nodes":[0,1]}}"#),
+        r#"{"op":"nodes","nodes":[0,1]}"#.to_string(), // default = first model
+    ];
+    let expected: Vec<String> = requests.iter().map(|r| svc.handle_frame(r)).collect();
+    assert_ne!(
+        expected[1], expected[2],
+        "the two models must answer differently"
+    );
+
+    let d = start_daemon(&dir, "multi", &g, &[&m1, &m2], &[], &[]);
+    assert_eq!(roundtrip(&d.sock, &requests), expected);
+    stop_daemon(d);
+}
+
+#[test]
+fn torn_connection_is_contained_and_daemon_stays_serviceable() {
+    let dir = scratch("fault");
+    let (g, m) = graph_and_model(&dir, "9", "m.json");
+    let svc = inprocess(&g, &[&m], ServiceLimits::default());
+    let req = r#"{"op":"nodes","nodes":[0,1]}"#.to_string();
+    let want = svc.handle_frame(&req);
+
+    // The daemon's first response write fails (torn connection). The
+    // readiness probe in start_daemon opens connection #1 without writing,
+    // so the first *frame* write happens on our victim client.
+    let d = start_daemon(
+        &dir,
+        "fault",
+        &g,
+        &[&m],
+        &[("UMGAD_FAULT", "net.write:1:error")],
+        &[],
+    );
+
+    let victim = UnixStream::connect(&d.sock).unwrap();
+    victim
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(victim.try_clone().unwrap());
+    let mut writer = victim;
+    writer.write_all(req.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).unwrap();
+    assert_eq!(n, 0, "torn connection must close, not answer: {line:?}");
+
+    // The registry is untouched: a fresh client gets the exact frame.
+    assert_eq!(roundtrip(&d.sock, std::slice::from_ref(&req)), vec![want]);
+
+    let summary = stop_daemon(d);
+    assert!(summary.contains("1 dropped"), "{summary}");
+}

@@ -37,6 +37,7 @@ pub mod ops;
 pub mod persist;
 mod sched;
 pub mod score;
+pub mod service;
 pub mod threshold;
 
 pub use config::{Ablation, UmgadConfig};
@@ -52,7 +53,12 @@ pub use ops::{
     fsck, CheckpointSink, FsckReport, Lineage, Manifest, ManifestEntry, StopConditions, StopReason,
     TrainOutcome,
 };
-pub use persist::{Checkpoint, PersistError, TrainCheckpoint};
+pub use persist::{digest_hex, model_digest, Checkpoint, PersistError, TrainCheckpoint};
+pub use service::{
+    ExplainEntry, ModelInfo, ModelRegistry, ScoreRequest, ScoreResponse, ScoreService,
+    ServiceError, ServiceLimits,
+};
+
 pub use score::{
     combine_views, structure_errors_layer, view_scores, ScoreOptions, StdStats, ViewCache,
     ViewRecon,

@@ -461,6 +461,10 @@ pub struct FsckEntry {
     pub file: String,
     /// Epoch, when the file parsed far enough to know it.
     pub epoch: Option<usize>,
+    /// Canonical model digest for a scoring-only checkpoint — the key the
+    /// serving [`crate::service::ModelRegistry`] parks it under. `None`
+    /// for full-state train checkpoints and for files that failed.
+    pub digest: Option<String>,
     /// `None` when the file verified end to end.
     pub error: Option<String>,
 }
@@ -491,9 +495,14 @@ impl FsckReport {
                 (None, Some(ep)) => {
                     let _ = writeln!(out, "  ok    {} (epoch {ep})", e.file);
                 }
-                (None, None) => {
-                    let _ = writeln!(out, "  ok    {}", e.file);
-                }
+                (None, None) => match &e.digest {
+                    Some(d) => {
+                        let _ = writeln!(out, "  ok    {} (model digest {d})", e.file);
+                    }
+                    None => {
+                        let _ = writeln!(out, "  ok    {}", e.file);
+                    }
+                },
                 (Some(err), _) => {
                     let _ = writeln!(out, "  FAIL  {}: {err}", e.file);
                 }
@@ -539,19 +548,21 @@ pub fn fsck(target: &Path) -> Result<FsckReport, PersistError> {
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| target.display().to_string());
     let entry = match fsck_single_file(target) {
-        Ok(epoch) => {
+        Ok((epoch, digest)) => {
             // A scoring-only checkpoint has no epoch cursor; it still
             // counts as the newest valid artefact of a one-file target.
             report.newest_valid = Some((file.clone(), epoch.unwrap_or(0)));
             FsckEntry {
                 file,
                 epoch,
+                digest,
                 error: None,
             }
         }
         Err(e) => FsckEntry {
             file,
             epoch: None,
+            digest: None,
             error: Some(e.to_string()),
         },
     };
@@ -559,7 +570,7 @@ pub fn fsck(target: &Path) -> Result<FsckReport, PersistError> {
     Ok(report)
 }
 
-fn fsck_single_file(path: &Path) -> Result<Option<usize>, PersistError> {
+fn fsck_single_file(path: &Path) -> Result<(Option<usize>, Option<String>), PersistError> {
     let text = read_sealed(path)?;
     let json = open_payload(&text, path)?;
     if let Ok(ckpt) = umgad_rt::json::from_str::<TrainCheckpoint>(json) {
@@ -571,12 +582,19 @@ fn fsck_single_file(path: &Path) -> Result<Option<usize>, PersistError> {
             )));
         }
         ckpt.config.restore().map_err(PersistError::Invalid)?;
-        return Ok(Some(ckpt.epoch));
+        return Ok((Some(ckpt.epoch), None));
     }
     match umgad_rt::json::from_str::<crate::persist::Checkpoint>(json) {
         Ok(ckpt) => {
             ckpt.config.restore().map_err(PersistError::Invalid)?;
-            Ok(None)
+            // Report the canonical model digest — the key `umgad serve`'s
+            // registry parks this checkpoint under — so operators can
+            // match fsck output against `info` responses.
+            let canonical = umgad_rt::json::to_string(&ckpt)
+                .map_err(|e| PersistError::Invalid(format!("re-serialise: {e}")))?;
+            let digest =
+                crate::persist::digest_hex(umgad_rt::checksum::crc32(canonical.as_bytes()));
+            Ok((None, Some(digest)))
         }
         Err(e) => Err(PersistError::Parse(format!("{}: {e}", path.display()))),
     }
@@ -597,6 +615,7 @@ fn fsck_dir(dir: &Path) -> Result<FsckReport, PersistError> {
                 report.entries.push(FsckEntry {
                     file: entry.file.clone(),
                     epoch: Some(entry.epoch),
+                    digest: None,
                     error: None,
                 });
                 // Entries are sorted oldest..newest; keep the last ok one.
@@ -605,6 +624,7 @@ fn fsck_dir(dir: &Path) -> Result<FsckReport, PersistError> {
             Err(e) => report.entries.push(FsckEntry {
                 file: entry.file.clone(),
                 epoch: Some(entry.epoch),
+                digest: None,
                 error: Some(e.to_string()),
             }),
         }
@@ -620,12 +640,14 @@ fn fsck_dir(dir: &Path) -> Result<FsckReport, PersistError> {
                 report.entries.push(FsckEntry {
                     file: file.clone(),
                     epoch: Some(entry.epoch),
+                    digest: None,
                     error: None,
                 });
             }
             Err(e) => report.entries.push(FsckEntry {
                 file: file.clone(),
                 epoch: None,
+                digest: None,
                 error: Some(e.to_string()),
             }),
         }
@@ -1071,6 +1093,37 @@ mod tests {
         assert!(ok.clean());
         let bad = fsck(&dir.join(checkpoint_file_name(3))).unwrap();
         assert!(!bad.clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_audits_scoring_checkpoints_with_model_digest() {
+        let g = graph();
+        let dir = scratch("fsck-model");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut model = Umgad::new(&g, cfg(2));
+        model.train(&g);
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+
+        // A scoring-only checkpoint verifies and reports the digest the
+        // serving registry would park it under.
+        let report = fsck(&path).unwrap();
+        assert!(report.clean(), "{}", report.render());
+        let expect = crate::persist::digest_hex(crate::persist::model_digest(&model));
+        assert_eq!(report.entries[0].digest.as_deref(), Some(expect.as_str()));
+        assert_eq!(report.entries[0].epoch, None, "no epoch cursor");
+        assert!(
+            report.render().contains(&format!("model digest {expect}")),
+            "{}",
+            report.render()
+        );
+
+        // Damage is still caught, and no digest is reported for it.
+        corrupt(&path);
+        let report = fsck(&path).unwrap();
+        assert!(!report.clean(), "{}", report.render());
+        assert_eq!(report.entries[0].digest, None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

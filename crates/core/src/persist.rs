@@ -545,6 +545,25 @@ impl Umgad {
     }
 }
 
+/// CRC-32 of a model's canonical scoring-checkpoint JSON — the identity
+/// the serving [`ModelRegistry`] keys parked models by. Serialisation is
+/// byte-deterministic, so the digest is a pure function of the learned
+/// state (plus config), independent of where the model was loaded from;
+/// for a file written by [`Umgad::save`] it equals the CRC of the file's
+/// sealed payload, so `umgad fsck` and the registry agree on the identity.
+///
+/// [`ModelRegistry`]: crate::service::ModelRegistry
+pub fn model_digest(model: &Umgad) -> u32 {
+    let json = umgad_rt::json::to_string(&model.checkpoint()).expect("checkpoint serialises");
+    umgad_rt::checksum::crc32(json.as_bytes())
+}
+
+/// Render a digest the way the service and fsck surfaces print it
+/// (8 lowercase hex digits).
+pub fn digest_hex(digest: u32) -> String {
+    format!("{digest:08x}")
+}
+
 /// Serialisable [`Param`]: value plus Adam moments and step counter.
 #[derive(Clone, Debug)]
 pub struct ParamData {

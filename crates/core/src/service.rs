@@ -1,0 +1,1050 @@
+//! Transport-agnostic scoring service: typed request/response protocol,
+//! digest-keyed multi-model registry, and admission control (DESIGN.md §5j).
+//!
+//! Every consumer of the scoring engine — the one-shot CLI `score` command,
+//! batch scoring, and remote clients of the `umgad serve` daemon — goes
+//! through this one API, so the paths cannot drift: a [`ScoreService`]
+//! answers [`ScoreRequest`]s with [`ScoreResponse`]s whose scores are
+//! bitwise what [`ParkedModel::score_nodes`] computes, at any
+//! `UMGAD_THREADS`, for any client interleaving (each score is a pure
+//! function of `(model, graph, node)`).
+//!
+//! The protocol is line-oriented JSON, round-trip exact in both directions:
+//! serialising a parsed request (or response) reproduces its canonical
+//! bytes. Transports ([`umgad_rt::net`]) only move frames; the service
+//! layer owns parsing, validation, and every typed failure
+//! ([`ServiceError`]) — a malformed or over-limit request is answered with
+//! an error *frame*, never a dropped connection.
+//!
+//! A [`ModelRegistry`] parks any number of models against one graph, keyed
+//! by [`model_digest`] — the CRC-32 of each model's canonical scoring
+//! checkpoint — with the aggregate frozen-cache footprint reported on the
+//! `serve.cache_bytes` gauge. Requests name a model by digest or omit it
+//! to use the default (first-loaded) model.
+//!
+//! Admission control is two explicit limits, both off (0) by default:
+//! `max_inflight` concurrent scoring requests (the `serve.inflight` gauge
+//! tracks occupancy) and `max_nodes` per request. Past either limit the
+//! request is rejected with a typed error ([`ServiceError::Overloaded`] /
+//! [`ServiceError::TooManyNodes`]) and counted on `serve.rejected`.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use umgad_graph::MultiplexGraph;
+use umgad_rt::json::{self, FromJson, JsonError, ToJson, Value};
+use umgad_rt::telemetry as tm;
+
+use crate::engine::{ParkedModel, ScoreBatch};
+use crate::persist::{digest_hex, model_digest};
+
+// ---------------------------------------------------------------------------
+// Protocol types
+// ---------------------------------------------------------------------------
+
+/// One scoring request, tagged by its `op` field on the wire.
+///
+/// `model` is the digest of a registered model; `None` (or an omitted
+/// field) selects the registry's default model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScoreRequest {
+    /// Score a node subset: `{"op":"nodes","nodes":[...]}`.
+    Nodes {
+        /// Target model digest (`None` = default model).
+        model: Option<String>,
+        /// Node ids to score, answered in request order.
+        nodes: Vec<usize>,
+    },
+    /// Score every node in node order: `{"op":"all"}`.
+    All {
+        /// Target model digest (`None` = default model).
+        model: Option<String>,
+    },
+    /// Per-view explanation of one node: `{"op":"explain","node":N}`.
+    Explain {
+        /// Target model digest (`None` = default model).
+        model: Option<String>,
+        /// Node id to explain.
+        node: usize,
+    },
+    /// Registry listing: `{"op":"info"}`.
+    Info,
+}
+
+/// One view's contribution to a node's score, in the response protocol
+/// (mirrors [`crate::ScoreExplanation`] with an owned view name).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExplainEntry {
+    /// View name (`original`, `augmented`, `subgraph`).
+    pub view: String,
+    /// Z-standardised attribute reconstruction error.
+    pub attribute_z: f64,
+    /// Z-standardised structure reconstruction error.
+    pub structure_z: f64,
+}
+
+umgad_rt::json_object!(ExplainEntry {
+    view,
+    attribute_z,
+    structure_z
+});
+
+/// One registered model, as reported by an `info` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelInfo {
+    /// [`model_digest`] of the parked model, in hex — the key requests
+    /// address it by.
+    pub digest: String,
+    /// Where the model was loaded from.
+    pub source: String,
+    /// Nodes of the graph it is parked against.
+    pub nodes: usize,
+    /// Active views, in scoring order.
+    pub views: Vec<String>,
+    /// Approximate resident bytes of its frozen scoring invariants.
+    pub cache_bytes: usize,
+}
+
+umgad_rt::json_object!(ModelInfo {
+    digest,
+    source,
+    nodes,
+    views,
+    cache_bytes
+});
+
+/// Typed rejection, tagged by its `code` field on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The requested model digest is not in the registry.
+    UnknownModel {
+        /// The digest the request asked for.
+        digest: String,
+    },
+    /// A requested node id is outside the parked graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of scorable nodes.
+        nodes: usize,
+    },
+    /// The request asked for more nodes than the per-request limit.
+    TooManyNodes {
+        /// Nodes the request asked for.
+        requested: usize,
+        /// The configured `max_nodes` limit.
+        limit: usize,
+    },
+    /// The service is at its concurrent-request limit.
+    Overloaded {
+        /// In-flight requests at rejection time (including this one).
+        inflight: usize,
+        /// The configured `max_inflight` limit.
+        limit: usize,
+    },
+    /// The request frame did not parse as a known request.
+    BadRequest {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The service failed internally (e.g. a response that cannot be
+    /// serialised).
+    Internal {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownModel { digest } => write!(f, "unknown model {digest}"),
+            ServiceError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range (graph has {nodes} nodes)")
+            }
+            ServiceError::TooManyNodes { requested, limit } => {
+                write!(f, "request asks for {requested} nodes, limit is {limit}")
+            }
+            ServiceError::Overloaded { inflight, limit } => {
+                write!(
+                    f,
+                    "overloaded: {inflight} requests in flight, limit is {limit}"
+                )
+            }
+            ServiceError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServiceError::Internal { detail } => write!(f, "internal error: {detail}"),
+        }
+    }
+}
+
+/// One response frame, tagged by its `kind` field on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScoreResponse {
+    /// Scores for a `nodes` / `all` request, in request order.
+    Scores {
+        /// Digest of the model that answered.
+        model: String,
+        /// Eq. 19 anomaly scores, bitwise the in-process values.
+        scores: Vec<f64>,
+    },
+    /// Answer to an `explain` request.
+    Explanation {
+        /// Digest of the model that answered.
+        model: String,
+        /// The explained node.
+        node: usize,
+        /// Its final score.
+        score: f64,
+        /// Per-view attribute/structure z-components.
+        views: Vec<ExplainEntry>,
+    },
+    /// Answer to an `info` request: every registered model.
+    Info {
+        /// Registered models, default model first.
+        models: Vec<ModelInfo>,
+    },
+    /// Typed rejection.
+    Error(ServiceError),
+}
+
+/// Read `name` as an optional field: an absent key or JSON `null` both
+/// mean `None`, so handwritten requests can omit `"model"` entirely.
+fn opt_field<T: FromJson>(v: &Value, name: &str) -> Result<Option<T>, JsonError> {
+    match v {
+        Value::Obj(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, fv)) => Option::<T>::from_json(fv)
+                .map_err(|e| JsonError::new(format!("field '{name}': {e}"))),
+            None => Ok(None),
+        },
+        _ => Err(JsonError::new(format!(
+            "expected object while reading field '{name}'"
+        ))),
+    }
+}
+
+/// Build a tagged object: the tag pair first (canonical field order), then
+/// an optional `model` (omitted when `None`), then the rest.
+fn tagged(
+    tag_key: &str,
+    tag: &str,
+    model: Option<&Option<String>>,
+    rest: Vec<(String, Value)>,
+) -> Value {
+    let mut entries = vec![(tag_key.to_string(), Value::Str(tag.to_string()))];
+    if let Some(Some(m)) = model {
+        entries.push(("model".to_string(), Value::Str(m.clone())));
+    }
+    entries.extend(rest);
+    Value::Obj(entries)
+}
+
+impl ToJson for ScoreRequest {
+    fn to_json(&self) -> Value {
+        match self {
+            ScoreRequest::Nodes { model, nodes } => tagged(
+                "op",
+                "nodes",
+                Some(model),
+                vec![("nodes".to_string(), nodes.to_json())],
+            ),
+            ScoreRequest::All { model } => tagged("op", "all", Some(model), vec![]),
+            ScoreRequest::Explain { model, node } => tagged(
+                "op",
+                "explain",
+                Some(model),
+                vec![("node".to_string(), node.to_json())],
+            ),
+            ScoreRequest::Info => tagged("op", "info", None, vec![]),
+        }
+    }
+}
+
+impl FromJson for ScoreRequest {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let op: String = json::field(v, "op")?;
+        match op.as_str() {
+            "nodes" => Ok(ScoreRequest::Nodes {
+                model: opt_field(v, "model")?,
+                nodes: json::field(v, "nodes")?,
+            }),
+            "all" => Ok(ScoreRequest::All {
+                model: opt_field(v, "model")?,
+            }),
+            "explain" => Ok(ScoreRequest::Explain {
+                model: opt_field(v, "model")?,
+                node: json::field(v, "node")?,
+            }),
+            "info" => Ok(ScoreRequest::Info),
+            other => Err(JsonError::new(format!(
+                "unknown op {other:?} (expected nodes|all|explain|info)"
+            ))),
+        }
+    }
+}
+
+impl ToJson for ServiceError {
+    fn to_json(&self) -> Value {
+        let obj = |code: &str, rest: Vec<(String, Value)>| tagged("code", code, None, rest);
+        match self {
+            ServiceError::UnknownModel { digest } => obj(
+                "unknown_model",
+                vec![("digest".to_string(), digest.to_json())],
+            ),
+            ServiceError::NodeOutOfRange { node, nodes } => obj(
+                "node_out_of_range",
+                vec![
+                    ("node".to_string(), node.to_json()),
+                    ("nodes".to_string(), nodes.to_json()),
+                ],
+            ),
+            ServiceError::TooManyNodes { requested, limit } => obj(
+                "too_many_nodes",
+                vec![
+                    ("requested".to_string(), requested.to_json()),
+                    ("limit".to_string(), limit.to_json()),
+                ],
+            ),
+            ServiceError::Overloaded { inflight, limit } => obj(
+                "overloaded",
+                vec![
+                    ("inflight".to_string(), inflight.to_json()),
+                    ("limit".to_string(), limit.to_json()),
+                ],
+            ),
+            ServiceError::BadRequest { detail } => obj(
+                "bad_request",
+                vec![("detail".to_string(), detail.to_json())],
+            ),
+            ServiceError::Internal { detail } => {
+                obj("internal", vec![("detail".to_string(), detail.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for ServiceError {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let code: String = json::field(v, "code")?;
+        match code.as_str() {
+            "unknown_model" => Ok(ServiceError::UnknownModel {
+                digest: json::field(v, "digest")?,
+            }),
+            "node_out_of_range" => Ok(ServiceError::NodeOutOfRange {
+                node: json::field(v, "node")?,
+                nodes: json::field(v, "nodes")?,
+            }),
+            "too_many_nodes" => Ok(ServiceError::TooManyNodes {
+                requested: json::field(v, "requested")?,
+                limit: json::field(v, "limit")?,
+            }),
+            "overloaded" => Ok(ServiceError::Overloaded {
+                inflight: json::field(v, "inflight")?,
+                limit: json::field(v, "limit")?,
+            }),
+            "bad_request" => Ok(ServiceError::BadRequest {
+                detail: json::field(v, "detail")?,
+            }),
+            "internal" => Ok(ServiceError::Internal {
+                detail: json::field(v, "detail")?,
+            }),
+            other => Err(JsonError::new(format!("unknown error code {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for ScoreResponse {
+    fn to_json(&self) -> Value {
+        match self {
+            ScoreResponse::Scores { model, scores } => tagged(
+                "kind",
+                "scores",
+                None,
+                vec![
+                    ("model".to_string(), model.to_json()),
+                    ("scores".to_string(), scores.to_json()),
+                ],
+            ),
+            ScoreResponse::Explanation {
+                model,
+                node,
+                score,
+                views,
+            } => tagged(
+                "kind",
+                "explain",
+                None,
+                vec![
+                    ("model".to_string(), model.to_json()),
+                    ("node".to_string(), node.to_json()),
+                    ("score".to_string(), score.to_json()),
+                    ("views".to_string(), views.to_json()),
+                ],
+            ),
+            ScoreResponse::Info { models } => tagged(
+                "kind",
+                "info",
+                None,
+                vec![("models".to_string(), models.to_json())],
+            ),
+            ScoreResponse::Error(e) => tagged(
+                "kind",
+                "error",
+                None,
+                vec![("error".to_string(), e.to_json())],
+            ),
+        }
+    }
+}
+
+impl FromJson for ScoreResponse {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let kind: String = json::field(v, "kind")?;
+        match kind.as_str() {
+            "scores" => Ok(ScoreResponse::Scores {
+                model: json::field(v, "model")?,
+                scores: json::field(v, "scores")?,
+            }),
+            "explain" => Ok(ScoreResponse::Explanation {
+                model: json::field(v, "model")?,
+                node: json::field(v, "node")?,
+                score: json::field(v, "score")?,
+                views: json::field(v, "views")?,
+            }),
+            "info" => Ok(ScoreResponse::Info {
+                models: json::field(v, "models")?,
+            }),
+            "error" => Ok(ScoreResponse::Error(json::field(v, "error")?)),
+            other => Err(JsonError::new(format!("unknown response kind {other:?}"))),
+        }
+    }
+}
+
+/// Serialise a response frame. Responses must always make it onto the
+/// wire: a serialisation failure (a non-finite score would be one) falls
+/// back to a typed [`ServiceError::Internal`] frame.
+pub fn encode_response(resp: &ScoreResponse) -> String {
+    json::to_string(resp).unwrap_or_else(|e| {
+        let fallback = ScoreResponse::Error(ServiceError::Internal {
+            detail: e.to_string(),
+        });
+        json::to_string(&fallback).expect("error responses always serialise")
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Model registry
+// ---------------------------------------------------------------------------
+
+struct Registered {
+    digest: String,
+    source: String,
+    parked: ParkedModel,
+}
+
+/// Any number of [`ParkedModel`]s against one graph, keyed by
+/// [`model_digest`]. The first inserted model is the *default* — what a
+/// request without a `model` field scores against. Re-inserting a model
+/// with an already-registered digest replaces that entry (same learned
+/// state, same answers), keeping the registry's keys unique.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: Vec<Registered>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Register a parked model; returns the digest it is keyed by.
+    /// Updates the aggregate `serve.cache_bytes` gauge.
+    pub fn insert(&mut self, source: impl Into<String>, parked: ParkedModel) -> String {
+        let digest = digest_hex(model_digest(parked.model()));
+        let entry = Registered {
+            digest: digest.clone(),
+            source: source.into(),
+            parked,
+        };
+        match self.models.iter_mut().find(|m| m.digest == digest) {
+            Some(existing) => *existing = entry,
+            None => self.models.push(entry),
+        }
+        tm::gauge_set("serve.cache_bytes", self.cache_bytes() as f64);
+        digest
+    }
+
+    /// Load and park every model at `path` against `graph`; returns the
+    /// digests registered, in insertion order.
+    ///
+    /// `path` may be a checkpoint file (scoring or full training state), a
+    /// checkpoint lineage directory (the newest valid entry is parked), or
+    /// a plain directory of checkpoint files (every `*.json` / `*.ckpt`
+    /// file is parked — the multi-model case).
+    pub fn load(&mut self, path: &Path, graph: &MultiplexGraph) -> Result<Vec<String>, String> {
+        let files = model_files(path)?;
+        let mut digests = Vec::with_capacity(files.len());
+        for file in files {
+            let parked = ParkedModel::load(&file, graph.clone())?;
+            digests.push(self.insert(file.display().to_string(), parked));
+        }
+        Ok(digests)
+    }
+
+    fn entry(&self, digest: Option<&str>) -> Result<&Registered, ServiceError> {
+        match digest {
+            None => self.models.first().ok_or_else(|| ServiceError::Internal {
+                detail: "no model registered".to_string(),
+            }),
+            Some(d) => self.models.iter().find(|m| m.digest == d).ok_or_else(|| {
+                ServiceError::UnknownModel {
+                    digest: d.to_string(),
+                }
+            }),
+        }
+    }
+
+    /// Resolve a request's model digest (`None` = default model).
+    pub fn parked(&self, digest: Option<&str>) -> Result<&ParkedModel, ServiceError> {
+        self.entry(digest).map(|m| &m.parked)
+    }
+
+    /// Digest of the model `digest` resolves to.
+    pub fn resolve_digest(&self, digest: Option<&str>) -> Result<String, ServiceError> {
+        self.entry(digest).map(|m| m.digest.clone())
+    }
+
+    /// Aggregate frozen-cache footprint across every registered model.
+    pub fn cache_bytes(&self) -> usize {
+        self.models
+            .iter()
+            .map(|m| m.parked.cache().approx_bytes())
+            .sum()
+    }
+
+    /// `info` listing: every registered model, default first.
+    pub fn infos(&self) -> Vec<ModelInfo> {
+        self.models
+            .iter()
+            .map(|m| ModelInfo {
+                digest: m.digest.clone(),
+                source: m.source.clone(),
+                nodes: m.parked.num_nodes(),
+                views: m
+                    .parked
+                    .cache()
+                    .view_names()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect(),
+                cache_bytes: m.parked.cache().approx_bytes(),
+            })
+            .collect()
+    }
+}
+
+/// Resolve a `--model` path into the list of loadable model sources: the
+/// path itself for a file or a lineage directory, else every checkpoint
+/// file inside a plain directory (sorted by name for determinism).
+fn model_files(path: &Path) -> Result<Vec<std::path::PathBuf>, String> {
+    if !path.is_dir() {
+        return Ok(vec![path.to_path_buf()]);
+    }
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    let mut is_lineage = path.join(crate::ops::MANIFEST_NAME).exists();
+    let rd = std::fs::read_dir(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("read {}: {e}", path.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("ckpt-") && name.ends_with(".json") {
+            is_lineage = true;
+        }
+        let is_model = std::path::Path::new(&name)
+            .extension()
+            .is_some_and(|e| e == "json" || e == "ckpt");
+        if is_model && entry.path().is_file() && name != crate::ops::MANIFEST_NAME {
+            files.push(entry.path());
+        }
+    }
+    if is_lineage {
+        // A lineage directory is one model: the newest valid entry
+        // (ParkedModel::load resolves it through the manifest).
+        return Ok(vec![path.to_path_buf()]);
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "{}: no checkpoint files (*.json / *.ckpt) to serve",
+            path.display()
+        ));
+    }
+    files.sort();
+    Ok(files)
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// Admission limits. `0` means "no limit".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceLimits {
+    /// Maximum concurrent scoring requests (`info` is exempt — it does no
+    /// scoring work).
+    pub max_inflight: usize,
+    /// Maximum nodes one request may ask for (`all` counts the whole
+    /// graph).
+    pub max_nodes: usize,
+}
+
+/// The transport-agnostic scoring service: a [`ModelRegistry`] behind
+/// admission control. Shared immutably across connection threads — every
+/// method takes `&self`.
+pub struct ScoreService {
+    registry: ModelRegistry,
+    limits: ServiceLimits,
+    inflight: AtomicUsize,
+}
+
+/// RAII occupancy token: holds one `inflight` slot, releases it (and
+/// updates the `serve.inflight` gauge) on drop — including the early drop
+/// on an over-limit rejection.
+struct InflightGuard<'a> {
+    svc: &'a ScoreService,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let now = self.svc.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        tm::gauge_set("serve.inflight", now as f64);
+    }
+}
+
+impl ScoreService {
+    /// Wrap a registry in a service with the given limits.
+    pub fn new(registry: ModelRegistry, limits: ServiceLimits) -> Self {
+        Self {
+            registry,
+            limits,
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The model registry.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The configured admission limits.
+    pub fn limits(&self) -> ServiceLimits {
+        self.limits
+    }
+
+    /// Take an in-flight slot or reject with [`ServiceError::Overloaded`].
+    fn admit(&self) -> Result<InflightGuard<'_>, ServiceError> {
+        let now = self.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        tm::gauge_set("serve.inflight", now as f64);
+        let guard = InflightGuard { svc: self };
+        if self.limits.max_inflight > 0 && now > self.limits.max_inflight {
+            return Err(ServiceError::Overloaded {
+                inflight: now,
+                limit: self.limits.max_inflight,
+            });
+        }
+        Ok(guard)
+    }
+
+    fn check_targets(&self, parked: &ParkedModel, targets: &[usize]) -> Result<(), ServiceError> {
+        if self.limits.max_nodes > 0 && targets.len() > self.limits.max_nodes {
+            return Err(ServiceError::TooManyNodes {
+                requested: targets.len(),
+                limit: self.limits.max_nodes,
+            });
+        }
+        let nodes = parked.num_nodes();
+        for &i in targets {
+            if i >= nodes {
+                return Err(ServiceError::NodeOutOfRange { node: i, nodes });
+            }
+        }
+        Ok(())
+    }
+
+    /// Score `targets` against a registered model, optionally split into
+    /// batched requests of `batch` nodes answered in one pooled
+    /// [`ScoreBatch`] fan-out (`None` = a single request).
+    ///
+    /// This is the one node-set → fan-out path every consumer shares (the
+    /// CLI `score` command and the daemon both call it), so one-shot and
+    /// served scores cannot drift; either way each score is bitwise the
+    /// in-process [`ParkedModel::score_nodes`] value.
+    pub fn score_batched(
+        &self,
+        model: Option<&str>,
+        targets: &[usize],
+        batch: Option<usize>,
+    ) -> Result<Vec<f64>, ServiceError> {
+        let _slot = self.admit()?;
+        let parked = self.registry.parked(model)?;
+        self.check_targets(parked, targets)?;
+        Ok(match batch {
+            Some(b) if b > 0 => {
+                let mut queue = ScoreBatch::new(parked);
+                for chunk in targets.chunks(b) {
+                    queue.push(chunk.to_vec());
+                }
+                queue.run().into_iter().flatten().collect()
+            }
+            _ => parked.score_nodes(targets),
+        })
+    }
+
+    fn try_handle(&self, req: &ScoreRequest) -> Result<ScoreResponse, ServiceError> {
+        match req {
+            ScoreRequest::Nodes { model, nodes } => {
+                let digest = self.registry.resolve_digest(model.as_deref())?;
+                let scores = self.score_batched(model.as_deref(), nodes, None)?;
+                Ok(ScoreResponse::Scores {
+                    model: digest,
+                    scores,
+                })
+            }
+            ScoreRequest::All { model } => {
+                let digest = self.registry.resolve_digest(model.as_deref())?;
+                let all: Vec<usize> =
+                    (0..self.registry.parked(model.as_deref())?.num_nodes()).collect();
+                let scores = self.score_batched(model.as_deref(), &all, None)?;
+                Ok(ScoreResponse::Scores {
+                    model: digest,
+                    scores,
+                })
+            }
+            ScoreRequest::Explain { model, node } => {
+                let _slot = self.admit()?;
+                let entry = self.registry.entry(model.as_deref())?;
+                self.check_targets(&entry.parked, &[*node])?;
+                let views = entry
+                    .parked
+                    .explain_node(*node)
+                    .into_iter()
+                    .map(|e| ExplainEntry {
+                        view: e.view.to_string(),
+                        attribute_z: e.attribute_z,
+                        structure_z: e.structure_z,
+                    })
+                    .collect();
+                Ok(ScoreResponse::Explanation {
+                    model: entry.digest.clone(),
+                    node: *node,
+                    score: entry.parked.score_node(*node),
+                    views,
+                })
+            }
+            ScoreRequest::Info => Ok(ScoreResponse::Info {
+                models: self.registry.infos(),
+            }),
+        }
+    }
+
+    /// Answer one request. Never panics and never drops a request: every
+    /// failure comes back as [`ScoreResponse::Error`] (counted on
+    /// `serve.rejected`).
+    pub fn handle(&self, req: &ScoreRequest) -> ScoreResponse {
+        match self.try_handle(req) {
+            Ok(resp) => resp,
+            Err(e) => {
+                tm::counter_add("serve.rejected", 1);
+                ScoreResponse::Error(e)
+            }
+        }
+    }
+
+    /// Answer one protocol frame: parse, [`handle`](Self::handle),
+    /// serialise. The transport layer calls this and nothing else.
+    pub fn handle_frame(&self, frame: &str) -> String {
+        let resp = match json::from_str::<ScoreRequest>(frame) {
+            Ok(req) => self.handle(&req),
+            Err(e) => {
+                tm::counter_add("serve.rejected", 1);
+                ScoreResponse::Error(ServiceError::BadRequest {
+                    detail: e.to_string(),
+                })
+            }
+        };
+        encode_response(&resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UmgadConfig;
+    use crate::model::Umgad;
+
+    fn trained(seed: u64) -> (Umgad, MultiplexGraph) {
+        let graph = crate::model::tests::planted_graph(7);
+        let mut cfg = UmgadConfig::fast_test();
+        cfg.seed = seed;
+        let mut model = Umgad::new(&graph, cfg);
+        model.train(&graph);
+        (model, graph)
+    }
+
+    fn service(limits: ServiceLimits) -> (ScoreService, Vec<f64>) {
+        let (model, graph) = trained(5);
+        let oneshot = model.anomaly_scores(&graph);
+        let mut registry = ModelRegistry::new();
+        registry.insert("test", ParkedModel::park(model, graph));
+        (ScoreService::new(registry, limits), oneshot)
+    }
+
+    #[test]
+    fn registry_keys_models_by_digest_and_defaults_to_first() {
+        let (m1, g) = trained(5);
+        let (m2, _) = trained(6);
+        let d1 = digest_hex(model_digest(&m1));
+        let d2 = digest_hex(model_digest(&m2));
+        assert_ne!(d1, d2, "different seeds, different digests");
+
+        let mut reg = ModelRegistry::new();
+        assert_eq!(reg.insert("a", ParkedModel::park(m1, g.clone())), d1);
+        assert_eq!(reg.insert("b", ParkedModel::park(m2, g.clone())), d2);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.resolve_digest(None).unwrap(), d1, "default = first");
+        assert!(reg.parked(Some(&d2)).is_ok());
+        assert_eq!(
+            reg.resolve_digest(Some("ffffffff")).unwrap_err(),
+            ServiceError::UnknownModel {
+                digest: "ffffffff".to_string()
+            }
+        );
+        let infos = reg.infos();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].digest, d1);
+        assert_eq!(infos[0].nodes, g.num_nodes());
+        assert!(!infos[0].views.is_empty());
+        assert_eq!(
+            reg.cache_bytes(),
+            infos.iter().map(|i| i.cache_bytes).sum::<usize>()
+        );
+
+        // Same model again: replaced, not duplicated.
+        let (m1b, _) = trained(5);
+        assert_eq!(reg.insert("a2", ParkedModel::park(m1b, g)), d1);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn digest_matches_saved_checkpoint_payload() {
+        let (model, _) = trained(5);
+        let dir = std::env::temp_dir().join(format!("umgad-svc-digest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.json");
+        model.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let payload = crate::persist::open_payload(&text, &path).unwrap();
+        assert_eq!(
+            umgad_rt::checksum::crc32(payload.as_bytes()),
+            model_digest(&model),
+            "registry digest == saved payload CRC"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn handled_scores_are_bitwise_the_oneshot_values() {
+        let (svc, oneshot) = service(ServiceLimits::default());
+        let digest = svc.registry().resolve_digest(None).unwrap();
+
+        match svc.handle(&ScoreRequest::All { model: None }) {
+            ScoreResponse::Scores { model, scores } => {
+                assert_eq!(model, digest);
+                assert_eq!(scores.len(), oneshot.len());
+                for (a, b) in scores.iter().zip(&oneshot) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let subset = vec![5usize, 3, 5, 0];
+        match svc.handle(&ScoreRequest::Nodes {
+            model: Some(digest.clone()),
+            nodes: subset.clone(),
+        }) {
+            ScoreResponse::Scores { scores, .. } => {
+                for (k, &i) in subset.iter().enumerate() {
+                    assert_eq!(scores[k].to_bits(), oneshot[i].to_bits());
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+
+        match svc.handle(&ScoreRequest::Explain {
+            model: None,
+            node: 3,
+        }) {
+            ScoreResponse::Explanation {
+                node, score, views, ..
+            } => {
+                assert_eq!(node, 3);
+                assert_eq!(score.to_bits(), oneshot[3].to_bits());
+                assert!(!views.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+
+        match svc.handle(&ScoreRequest::Info) {
+            ScoreResponse::Info { models } => assert_eq!(models[0].digest, digest),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn score_batched_is_split_invariant() {
+        let (svc, oneshot) = service(ServiceLimits::default());
+        let targets: Vec<usize> = (0..oneshot.len()).collect();
+        let whole = svc.score_batched(None, &targets, None).unwrap();
+        for b in [1usize, 3, 64] {
+            let split = svc.score_batched(None, &targets, Some(b)).unwrap();
+            assert_eq!(split.len(), whole.len());
+            for (a, c) in split.iter().zip(&whole) {
+                assert_eq!(a.to_bits(), c.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn admission_limits_reject_with_typed_errors() {
+        let (svc, oneshot) = service(ServiceLimits {
+            max_inflight: 2,
+            max_nodes: 3,
+        });
+        let n = oneshot.len();
+
+        // Per-request node cap, on subsets and on `all`.
+        match svc.handle(&ScoreRequest::Nodes {
+            model: None,
+            nodes: vec![0, 1, 2, 3],
+        }) {
+            ScoreResponse::Error(ServiceError::TooManyNodes { requested, limit }) => {
+                assert_eq!((requested, limit), (4, 3));
+            }
+            other => panic!("{other:?}"),
+        }
+        match svc.handle(&ScoreRequest::All { model: None }) {
+            ScoreResponse::Error(ServiceError::TooManyNodes { requested, .. }) => {
+                assert_eq!(requested, n);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Out-of-range node.
+        match svc.handle(&ScoreRequest::Explain {
+            model: None,
+            node: n + 7,
+        }) {
+            ScoreResponse::Error(ServiceError::NodeOutOfRange { node, nodes }) => {
+                assert_eq!((node, nodes), (n + 7, n));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // In-flight cap: hold both slots, the third request is rejected;
+        // releasing a slot restores service.
+        let s1 = svc.admit().unwrap();
+        let _s2 = svc.admit().unwrap();
+        match svc.handle(&ScoreRequest::Nodes {
+            model: None,
+            nodes: vec![0],
+        }) {
+            ScoreResponse::Error(ServiceError::Overloaded { inflight, limit }) => {
+                assert_eq!((inflight, limit), (3, 2));
+            }
+            other => panic!("{other:?}"),
+        }
+        drop(s1);
+        match svc.handle(&ScoreRequest::Nodes {
+            model: None,
+            nodes: vec![0],
+        }) {
+            ScoreResponse::Scores { scores, .. } => {
+                assert_eq!(scores[0].to_bits(), oneshot[0].to_bits());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_parse_validate_and_answer() {
+        let (svc, oneshot) = service(ServiceLimits::default());
+        let line = svc.handle_frame(r#"{"op":"nodes","nodes":[2,0]}"#);
+        let resp: ScoreResponse = json::from_str(&line).unwrap();
+        match resp {
+            ScoreResponse::Scores { scores, .. } => {
+                assert_eq!(scores[0].to_bits(), oneshot[2].to_bits());
+                assert_eq!(scores[1].to_bits(), oneshot[0].to_bits());
+            }
+            other => panic!("{other:?}"),
+        }
+
+        for bad in [
+            "not json",
+            r#"{"nodes":[1]}"#,
+            r#"{"op":"detonate"}"#,
+            r#"{"op":"nodes","nodes":"zero"}"#,
+        ] {
+            let line = svc.handle_frame(bad);
+            match json::from_str::<ScoreResponse>(&line).unwrap() {
+                ScoreResponse::Error(ServiceError::BadRequest { .. }) => {}
+                other => panic!("{bad}: {other:?}"),
+            }
+        }
+
+        // Unknown model digest comes back typed, not dropped.
+        let line = svc.handle_frame(r#"{"op":"all","model":"deadbeef"}"#);
+        match json::from_str::<ScoreResponse>(&line).unwrap() {
+            ScoreResponse::Error(ServiceError::UnknownModel { digest }) => {
+                assert_eq!(digest, "deadbeef");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_load_parks_a_directory_of_models() {
+        let (m1, g) = trained(5);
+        let (m2, _) = trained(6);
+        let dir = std::env::temp_dir().join(format!("umgad-svc-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        m1.save(&dir.join("a.json")).unwrap();
+        m2.save(&dir.join("b.ckpt")).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let mut reg = ModelRegistry::new();
+        let digests = reg.load(&dir, &g).unwrap();
+        assert_eq!(digests.len(), 2);
+        assert_eq!(reg.len(), 2);
+        // Sorted by file name: a.json first → default model is m1.
+        assert_eq!(
+            reg.resolve_digest(None).unwrap(),
+            digest_hex(model_digest(&m1))
+        );
+
+        // An empty directory is a typed error.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(reg.load(&empty, &g).unwrap_err().contains("no checkpoint"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

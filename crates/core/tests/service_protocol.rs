@@ -1,0 +1,251 @@
+//! Property tests for the serving protocol: every [`ScoreRequest`],
+//! [`ScoreResponse`], and [`ServiceError`] variant must round-trip through
+//! its line-frame JSON *exactly* — parse(serialise(x)) == x and
+//! serialise(parse(s)) == s — because the daemon e2e contract byte-compares
+//! response frames against in-process serialisation.
+
+use umgad_core::{ExplainEntry, ModelInfo, ScoreRequest, ScoreResponse, ServiceError};
+use umgad_rt::json;
+use umgad_rt::proptest::prelude::*;
+use umgad_rt::rand::rngs::SmallRng;
+use umgad_rt::rand::{Rng, SeedableRng};
+
+/// A string that stresses JSON escaping: quotes, backslashes, control
+/// characters, and multi-byte code points.
+fn wild_string(rng: &mut SmallRng) -> String {
+    const ALPHABET: &[&str] = &[
+        "a", "Z", "0", "\"", "\\", "/", "\n", "\t", "\u{1}", "é", "猫", "🦀", " ", "{", "}",
+    ];
+    let len = rng.gen_range(0..8usize);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+        .collect()
+}
+
+fn maybe_model(rng: &mut SmallRng) -> Option<String> {
+    if rng.gen_range(0..2u32) == 0 {
+        None
+    } else {
+        Some(format!("{:08x}", rng.gen_range(0..u32::MAX as u64)))
+    }
+}
+
+fn any_error(rng: &mut SmallRng) -> ServiceError {
+    match rng.gen_range(0..6u32) {
+        0 => ServiceError::UnknownModel {
+            digest: wild_string(rng),
+        },
+        1 => ServiceError::NodeOutOfRange {
+            node: rng.gen_range(0..1_000_000usize),
+            nodes: rng.gen_range(0..1_000_000usize),
+        },
+        2 => ServiceError::TooManyNodes {
+            requested: rng.gen_range(0..1_000_000usize),
+            limit: rng.gen_range(0..1_000_000usize),
+        },
+        3 => ServiceError::Overloaded {
+            inflight: rng.gen_range(0..10_000usize),
+            limit: rng.gen_range(0..10_000usize),
+        },
+        4 => ServiceError::BadRequest {
+            detail: wild_string(rng),
+        },
+        _ => ServiceError::Internal {
+            detail: wild_string(rng),
+        },
+    }
+}
+
+fn any_request(rng: &mut SmallRng) -> ScoreRequest {
+    match rng.gen_range(0..4u32) {
+        0 => ScoreRequest::Nodes {
+            model: maybe_model(rng),
+            nodes: (0..rng.gen_range(0..10usize))
+                .map(|_| rng.gen_range(0..1_000_000usize))
+                .collect(),
+        },
+        1 => ScoreRequest::All {
+            model: maybe_model(rng),
+        },
+        2 => ScoreRequest::Explain {
+            model: maybe_model(rng),
+            node: rng.gen_range(0..1_000_000usize),
+        },
+        _ => ScoreRequest::Info,
+    }
+}
+
+/// A finite score value with interesting bit patterns (negatives,
+/// subnormals, extremes) — non-finite values are a serialisation error by
+/// design, not protocol traffic.
+fn any_score(rng: &mut SmallRng) -> f64 {
+    match rng.gen_range(0..5u32) {
+        0 => 0.0,
+        1 => -f64::from_bits(rng.gen_range(0..1u64 << 52)),
+        2 => f64::MIN_POSITIVE / 2.0,
+        3 => rng.gen_range(-1.0e300..1.0e300),
+        _ => rng.gen_range(-10.0..10.0),
+    }
+}
+
+fn any_response(rng: &mut SmallRng) -> ScoreResponse {
+    match rng.gen_range(0..4u32) {
+        0 => ScoreResponse::Scores {
+            model: wild_string(rng),
+            scores: (0..rng.gen_range(0..10usize))
+                .map(|_| any_score(rng))
+                .collect(),
+        },
+        1 => ScoreResponse::Explanation {
+            model: wild_string(rng),
+            node: rng.gen_range(0..1_000_000usize),
+            score: any_score(rng),
+            views: (0..rng.gen_range(0..4usize))
+                .map(|_| ExplainEntry {
+                    view: wild_string(rng),
+                    attribute_z: any_score(rng),
+                    structure_z: any_score(rng),
+                })
+                .collect(),
+        },
+        2 => ScoreResponse::Info {
+            models: (0..rng.gen_range(0..3usize))
+                .map(|_| ModelInfo {
+                    digest: wild_string(rng),
+                    source: wild_string(rng),
+                    nodes: rng.gen_range(0..1_000_000usize),
+                    views: (0..rng.gen_range(0..4usize))
+                        .map(|_| wild_string(rng))
+                        .collect(),
+                    cache_bytes: rng.gen_range(0..usize::MAX >> 12),
+                })
+                .collect(),
+        },
+        _ => ScoreResponse::Error(any_error(rng)),
+    }
+}
+
+/// value -> JSON -> value -> JSON: the parsed value must equal the
+/// original and the re-serialised bytes must equal the first pass.
+fn assert_exact<T>(v: &T) -> TestCaseResult
+where
+    T: json::ToJson + json::FromJson + PartialEq + std::fmt::Debug,
+{
+    let s = json::to_string(v).expect("protocol values serialise");
+    let back: T = json::from_str(&s).expect("protocol frames parse");
+    prop_assert_eq!(&back, v);
+    let s2 = json::to_string(&back).expect("protocol values serialise");
+    prop_assert_eq!(s2, s);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_roundtrip_exactly(seed in 0u64..1_000_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        assert_exact(&any_request(&mut rng))?;
+    }
+
+    #[test]
+    fn responses_roundtrip_exactly(seed in 0u64..1_000_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        assert_exact(&any_response(&mut rng))?;
+    }
+
+    #[test]
+    fn errors_roundtrip_exactly(seed in 0u64..1_000_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        assert_exact(&any_error(&mut rng))?;
+    }
+}
+
+/// Deterministic sweep over every variant (the property tests above hit
+/// them probabilistically; this pins the full matrix).
+#[test]
+fn every_variant_roundtrips() {
+    let requests = [
+        ScoreRequest::Nodes {
+            model: None,
+            nodes: vec![0, 7, 7],
+        },
+        ScoreRequest::Nodes {
+            model: Some("00c0ffee".into()),
+            nodes: vec![],
+        },
+        ScoreRequest::All { model: None },
+        ScoreRequest::All {
+            model: Some("deadbeef".into()),
+        },
+        ScoreRequest::Explain {
+            model: None,
+            node: 3,
+        },
+        ScoreRequest::Info,
+    ];
+    for r in &requests {
+        assert_exact(r).unwrap();
+    }
+    let errors = [
+        ServiceError::UnknownModel {
+            digest: "0\"\\".into(),
+        },
+        ServiceError::NodeOutOfRange { node: 9, nodes: 4 },
+        ServiceError::TooManyNodes {
+            requested: 100,
+            limit: 10,
+        },
+        ServiceError::Overloaded {
+            inflight: 5,
+            limit: 4,
+        },
+        ServiceError::BadRequest {
+            detail: "expected number at byte 12".into(),
+        },
+        ServiceError::Internal { detail: "".into() },
+    ];
+    for e in errors {
+        assert_exact(&e).unwrap();
+        assert_exact(&ScoreResponse::Error(e)).unwrap();
+    }
+    assert_exact(&ScoreResponse::Scores {
+        model: "ab".into(),
+        scores: vec![0.1, -0.0, 2.5e-308],
+    })
+    .unwrap();
+    assert_exact(&ScoreResponse::Explanation {
+        model: "cd".into(),
+        node: 1,
+        score: 1.75,
+        views: vec![ExplainEntry {
+            view: "original".into(),
+            attribute_z: -1.5,
+            structure_z: 0.25,
+        }],
+    })
+    .unwrap();
+    assert_exact(&ScoreResponse::Info { models: vec![] }).unwrap();
+}
+
+/// The `model` field is omitted (not `null`) when unset, and both an
+/// absent key and an explicit `null` parse back to `None`.
+#[test]
+fn optional_model_field_is_omitted_and_tolerant() {
+    let all = ScoreRequest::All { model: None };
+    let s = json::to_string(&all).unwrap();
+    assert_eq!(s, r#"{"op":"all"}"#);
+    assert_eq!(json::from_str::<ScoreRequest>(&s).unwrap(), all);
+    assert_eq!(
+        json::from_str::<ScoreRequest>(r#"{"op":"all","model":null}"#).unwrap(),
+        all
+    );
+
+    let named = ScoreRequest::All {
+        model: Some("0badf00d".into()),
+    };
+    assert_eq!(
+        json::to_string(&named).unwrap(),
+        r#"{"op":"all","model":"0badf00d"}"#
+    );
+}

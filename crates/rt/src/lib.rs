@@ -38,6 +38,10 @@
 //! - [`retry`] — deterministic bounded I/O retry (fixed attempt budget, no
 //!   randomised backoff, PRNG never consulted) wrapped around checkpoint
 //!   and score writes so transient failures don't kill a run.
+//! - [`net`] — a minimal blocking transport (line-delimited frames over a
+//!   Unix domain socket or stdin/stdout) with per-connection worker
+//!   threads, stop-closure polling for graceful shutdown, and `net.read` /
+//!   `net.write` fault points, backing the `umgad serve` daemon.
 //! - [`alloc`] — a counting `GlobalAlloc` wrapper over the system allocator
 //!   so allocation-regression tests can pin steady-state epoch allocation
 //!   counts.
@@ -52,6 +56,7 @@ pub mod checksum;
 pub mod faults;
 pub mod fs;
 pub mod json;
+pub mod net;
 pub mod pool;
 pub mod proptest;
 pub mod rand;

@@ -1,0 +1,394 @@
+//! Minimal blocking transport for request/response services: line-delimited
+//! frames over a Unix domain socket or a stdin/stdout pipe.
+//!
+//! The workspace is hermetic, so this is hand-rolled on `std` alone — no
+//! async runtime, no protocol crates. A *frame* is one `\n`-terminated line
+//! (the service layer puts one JSON document per line; JSON string escaping
+//! guarantees a serialised document never contains a raw newline, so the
+//! framing is unambiguous). The transport knows nothing about what the
+//! frames mean: servers are handed an opaque `Fn(&str) -> String` handler
+//! and apply it to every frame in connection order.
+//!
+//! Two servers are provided:
+//!
+//! - [`serve_stdio`] answers frames on stdin until EOF — the pipe mode used
+//!   by `umgad serve --stdio` and by tests that want a transport without a
+//!   filesystem socket.
+//! - [`serve_unix`] binds a Unix domain socket and serves each accepted
+//!   connection on its own worker thread (named `umgad-net-N`, matching the
+//!   pool's `umgad-pool-N` convention). The accept loop is non-blocking and
+//!   polls a caller-supplied stop closure, so graceful shutdown reuses the
+//!   same stop-file/deadline machinery as the training loop: stop accepting,
+//!   drain live connections, remove the socket file.
+//!
+//! Fault injection: every frame read passes `net.read` and every frame
+//! write passes `net.write` ([`crate::fault_point!`]), so tests can tear a
+//! connection at an exact frame boundary and prove the failure is contained
+//! to that connection — the server keeps accepting and other in-flight
+//! connections finish unaffected.
+//!
+//! Telemetry: `net.connections`, `net.frames`, `net.dropped` counters and
+//! `net.bytes_read` / `net.bytes_written` byte counters.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::telemetry as tm;
+
+/// A shared frame handler: applied to every received frame, its return
+/// value is written back as the response frame.
+pub type Handler = Arc<dyn Fn(&str) -> String + Send + Sync>;
+
+/// How often the accept loop checks the stop closure while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Read one frame (a `\n`-terminated line, terminator stripped). Returns
+/// `Ok(None)` at EOF. Counts `net.bytes_read`; fault point `net.read`.
+pub fn read_frame<R: BufRead>(r: &mut R) -> io::Result<Option<String>> {
+    crate::fault_point!("net.read")?;
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    tm::counter_add("net.bytes_read", n as u64);
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Write one frame and flush. The frame must not contain a newline — that
+/// would be two frames. Counts `net.bytes_written`; fault point `net.write`.
+pub fn write_frame<W: Write>(w: &mut W, frame: &str) -> io::Result<()> {
+    if frame.contains('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame contains a newline",
+        ));
+    }
+    crate::fault_point!("net.write")?;
+    w.write_all(frame.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()?;
+    tm::counter_add("net.bytes_written", frame.len() as u64 + 1);
+    Ok(())
+}
+
+/// Serve one framed stream to EOF: read a frame, apply `handler`, write the
+/// response. Empty frames (blank lines) are skipped so interactive `echo`
+/// pipelines behave. Returns the number of frames answered.
+pub fn serve_stream<R: BufRead, W: Write>(
+    r: &mut R,
+    w: &mut W,
+    handler: &dyn Fn(&str) -> String,
+) -> io::Result<u64> {
+    let mut served = 0u64;
+    while let Some(frame) = read_frame(r)? {
+        if frame.trim().is_empty() {
+            continue;
+        }
+        write_frame(w, &handler(&frame))?;
+        served += 1;
+        tm::counter_add("net.frames", 1);
+    }
+    Ok(served)
+}
+
+/// Serve frames on stdin/stdout until EOF (the `--stdio` pipe mode).
+/// Returns the number of frames answered.
+pub fn serve_stdio(handler: &dyn Fn(&str) -> String) -> io::Result<u64> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_stream(&mut stdin.lock(), &mut stdout.lock(), handler)
+}
+
+/// What a completed [`serve_unix`] loop did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames answered across all connections.
+    pub frames: u64,
+    /// Connections that ended with an I/O error (torn read or failed
+    /// write) instead of a clean EOF.
+    pub dropped: u64,
+}
+
+/// Serve a Unix domain socket until `should_stop` returns true.
+///
+/// Each accepted connection runs on its own `umgad-net-N` thread; a
+/// connection-level I/O error drops that connection only (counted in
+/// [`ServeStats::dropped`] and the `net.dropped` counter) — the listener
+/// keeps accepting and other connections are untouched. On stop the
+/// listener closes first, live connections drain to completion, and the
+/// socket file is removed.
+///
+/// A stale socket file at `socket` (a previous unclean shutdown) is
+/// removed before binding.
+#[cfg(unix)]
+pub fn serve_unix(
+    socket: &Path,
+    handler: Handler,
+    should_stop: &dyn Fn() -> bool,
+) -> io::Result<ServeStats> {
+    use std::os::unix::net::UnixListener;
+
+    if socket.exists() {
+        std::fs::remove_file(socket)?;
+    }
+    let listener = UnixListener::bind(socket)?;
+    listener.set_nonblocking(true)?;
+
+    let frames = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let mut connections = 0u64;
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+    while !should_stop() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                stream.set_nonblocking(false)?;
+                connections += 1;
+                tm::counter_add("net.connections", 1);
+                let handler = Arc::clone(&handler);
+                let frames = Arc::clone(&frames);
+                let dropped = Arc::clone(&dropped);
+                let worker = std::thread::Builder::new()
+                    .name(format!("umgad-net-{connections}"))
+                    .spawn(move || {
+                        let write_half = stream.try_clone();
+                        let outcome = write_half.and_then(|mut w| {
+                            let mut r = BufReader::new(stream);
+                            serve_stream(&mut r, &mut w, handler.as_ref())
+                        });
+                        match outcome {
+                            Ok(n) => {
+                                frames.fetch_add(n, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                // Contained: this connection dies, the
+                                // server (and every other connection)
+                                // lives on.
+                                dropped.fetch_add(1, Ordering::Relaxed);
+                                tm::counter_add("net.dropped", 1);
+                            }
+                        }
+                    })?;
+                workers.push(worker);
+                // Reap finished workers so a long-lived daemon's handle
+                // list stays bounded by its live connections.
+                workers.retain(|w| !w.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                for w in workers {
+                    let _ = w.join();
+                }
+                let _ = std::fs::remove_file(socket);
+                return Err(e);
+            }
+        }
+    }
+
+    // Graceful shutdown: the listener stops accepting (dropped below),
+    // live connections drain to completion, the socket file goes away.
+    drop(listener);
+    for w in workers {
+        let _ = w.join();
+    }
+    let _ = std::fs::remove_file(socket);
+    Ok(ServeStats {
+        connections,
+        frames: frames.load(Ordering::Relaxed),
+        dropped: dropped.load(Ordering::Relaxed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    /// The fault registry is process-global; serialise tests that arm
+    /// `net.*` points.
+    fn fault_serial() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"op":"info"}"#).unwrap();
+        write_frame(&mut buf, "second").unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(r#"{"op":"info"}"#)
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("second"));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "EOF is None");
+    }
+
+    #[test]
+    fn embedded_newline_is_rejected() {
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, "two\nframes").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "nothing written on rejection");
+    }
+
+    #[test]
+    fn serve_stream_answers_every_frame_and_skips_blanks() {
+        let input = b"alpha\n\n  \nbeta\n";
+        let mut out = Vec::new();
+        let served = serve_stream(&mut io::BufReader::new(&input[..]), &mut out, &|f: &str| {
+            format!("<{f}>")
+        })
+        .unwrap();
+        assert_eq!(served, 2);
+        assert_eq!(String::from_utf8(out).unwrap(), "<alpha>\n<beta>\n");
+    }
+
+    #[test]
+    fn armed_net_faults_tear_read_and_write() {
+        let _g = fault_serial();
+        crate::faults::reset();
+        crate::faults::arm("net.read", 1, crate::faults::FaultMode::Error);
+        let mut r = io::BufReader::new(&b"x\n"[..]);
+        assert!(read_frame(&mut r).is_err());
+        // One-shot: the next read succeeds.
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("x"));
+
+        crate::faults::arm("net.write", 1, crate::faults::FaultMode::Error);
+        let mut buf = Vec::new();
+        assert!(write_frame(&mut buf, "y").is_err());
+        assert!(buf.is_empty());
+        assert!(write_frame(&mut buf, "y").is_ok());
+        crate::faults::reset();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_server_echoes_concurrent_clients_and_stops_gracefully() {
+        use std::io::{BufRead as _, Write as _};
+        use std::os::unix::net::UnixStream;
+        use std::sync::atomic::AtomicBool;
+
+        let _g = fault_serial();
+        crate::faults::reset();
+        let socket =
+            std::env::temp_dir().join(format!("umgad-net-echo-{}.sock", std::process::id()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handler: Handler = Arc::new(|f: &str| f.chars().rev().collect());
+        let server = {
+            let socket = socket.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                serve_unix(&socket, handler, &|| stop.load(Ordering::Relaxed)).unwrap()
+            })
+        };
+        // Wait for the socket to appear.
+        let mut tries = 0;
+        while !socket.exists() {
+            std::thread::sleep(Duration::from_millis(5));
+            tries += 1;
+            assert!(tries < 1000, "socket never appeared");
+        }
+        let clients: Vec<_> = (0..3)
+            .map(|k| {
+                let socket = socket.clone();
+                std::thread::spawn(move || {
+                    let mut s = UnixStream::connect(&socket).unwrap();
+                    for i in 0..5 {
+                        let msg = format!("client{k}-msg{i}");
+                        s.write_all(msg.as_bytes()).unwrap();
+                        s.write_all(b"\n").unwrap();
+                        let mut r = io::BufReader::new(s.try_clone().unwrap());
+                        let mut line = String::new();
+                        r.read_line(&mut line).unwrap();
+                        assert_eq!(line.trim_end(), msg.chars().rev().collect::<String>());
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let stats = server.join().unwrap();
+        assert_eq!(stats.connections, 3);
+        assert_eq!(stats.frames, 15);
+        assert_eq!(stats.dropped, 0);
+        assert!(!socket.exists(), "socket file removed on shutdown");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn torn_connection_is_contained_to_its_own_client() {
+        use std::io::{BufRead as _, Write as _};
+        use std::os::unix::net::UnixStream;
+        use std::sync::atomic::AtomicBool;
+
+        let _g = fault_serial();
+        crate::faults::reset();
+        let socket =
+            std::env::temp_dir().join(format!("umgad-net-torn-{}.sock", std::process::id()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handler: Handler = Arc::new(|f: &str| f.to_uppercase());
+        let server = {
+            let socket = socket.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                serve_unix(&socket, handler, &|| stop.load(Ordering::Relaxed)).unwrap()
+            })
+        };
+        let mut tries = 0;
+        while !socket.exists() {
+            std::thread::sleep(Duration::from_millis(5));
+            tries += 1;
+            assert!(tries < 1000, "socket never appeared");
+        }
+
+        // First connection: its response write is torn by an armed fault.
+        crate::faults::arm("net.write", 1, crate::faults::FaultMode::Error);
+        {
+            let mut s = UnixStream::connect(&socket).unwrap();
+            s.write_all(b"doomed\n").unwrap();
+            let mut r = io::BufReader::new(s.try_clone().unwrap());
+            let mut line = String::new();
+            // The server drops the connection without answering: EOF.
+            assert_eq!(
+                r.read_line(&mut line).unwrap(),
+                0,
+                "torn connection yields EOF"
+            );
+        }
+
+        // Second connection on the same server: unaffected.
+        {
+            let mut s = UnixStream::connect(&socket).unwrap();
+            s.write_all(b"alive\n").unwrap();
+            let mut r = io::BufReader::new(s.try_clone().unwrap());
+            let mut line = String::new();
+            r.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), "ALIVE");
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        let stats = server.join().unwrap();
+        assert_eq!(stats.connections, 2);
+        assert_eq!(stats.dropped, 1, "exactly the torn connection dropped");
+        assert_eq!(stats.frames, 1);
+        crate::faults::reset();
+    }
+}

@@ -2,7 +2,8 @@
 # Perf trajectory: run every micro/runtime benchmark in measure mode and
 # aggregate the per-binary reports into BENCH_kernels.json at the repo root,
 # with the end-to-end train_epoch entries split into BENCH_epoch.json and
-# the serving-engine entries split into BENCH_scoring.json.
+# the serving-engine entries split into BENCH_scoring.json and the
+# service-layer (socket vs in-process) entries into BENCH_serving.json.
 #
 # The epoch bench additionally emits a per-phase breakdown (recon /
 # contrastive / backward / optimizer, from EpochStats timings) as
@@ -42,6 +43,12 @@ if [[ -f BENCH_scoring.json ]]; then
     cp BENCH_scoring.json target/BENCH_scoring.baseline.json
     SCORING_BASELINE=target/BENCH_scoring.baseline.json
 fi
+SERVING_BASELINE=""
+if [[ -f BENCH_serving.json ]]; then
+    mkdir -p target
+    cp BENCH_serving.json target/BENCH_serving.baseline.json
+    SERVING_BASELINE=target/BENCH_serving.baseline.json
+fi
 
 rm -rf target/rt-bench
 
@@ -54,7 +61,8 @@ cargo bench
 # way).
 mkdir -p target/rt-bench
 
-echo "== aggregate into BENCH_kernels.json + BENCH_epoch.json + BENCH_scoring.json"
+echo "== aggregate into BENCH_kernels.json + BENCH_epoch.json + BENCH_scoring.json + BENCH_serving.json"
 cargo run --release -q -p umgad-bench --bin bench_agg -- \
     target/rt-bench BENCH_kernels.json BENCH_epoch.json BENCH_scoring.json \
-    "$EPOCH_BASELINE" "$SCORING_BASELINE"
+    "$EPOCH_BASELINE" "$SCORING_BASELINE" \
+    BENCH_serving.json "$SERVING_BASELINE"

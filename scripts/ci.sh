@@ -45,8 +45,17 @@ echo "== scoring determinism: parked batched scores byte-identical to one-shot"
 echo "   at UMGAD_THREADS in {1,4} and any request batching"
 cargo test --release -q -p umgad --test scoring_determinism
 
-echo "== perf smoke: steady-state epoch and parked scoring batch within 25%"
-echo "   of the committed baselines (BENCH_epoch.json / BENCH_scoring.json)"
+echo "== serving daemon e2e: umgad serve frames byte-identical to the in-process"
+echo "   service at UMGAD_THREADS in {1,4}, concurrent interleaved clients, plus"
+echo "   stdio mode, admission limits, multi-model registry, and net-fault containment"
+cargo test --release -q -p umgad-cli --test serve
+
+echo "== service protocol properties: request/response/error JSON round-trips exactly"
+cargo test --release -q -p umgad-core --test service_protocol
+
+echo "== perf smoke: steady-state epoch, parked scoring batch, and in-process"
+echo "   serving sweep within 25% of the committed baselines"
+echo "   (BENCH_epoch.json / BENCH_scoring.json / BENCH_serving.json)"
 cargo run --release -q -p umgad-bench --bin perf_smoke
 
 echo "== supervisor matrix: kill at every epoch boundary + corrupt newest checkpoint,"
